@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks for the elastic-sensitivity analysis stage
+//! (the "Elastic Sensitivity Analysis" row of paper Table 2: 7.03 ms
+//! average on the paper's corpus).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flex_core::{analyze, smooth, PrivacyParams};
+use flex_sql::parse_query;
+use flex_workloads::graph::{self, GraphConfig, TRIANGLE_SQL};
+use flex_workloads::uber::{self, UberConfig};
+
+fn bench_analysis(c: &mut Criterion) {
+    let db = uber::generate(&UberConfig {
+        trips: 10_000,
+        drivers: 500,
+        riders: 1_000,
+        user_tags: 500,
+        ..UberConfig::default()
+    });
+    let gdb = graph::graph_database(&GraphConfig {
+        nodes: 200,
+        edges: 1_000,
+        ..GraphConfig::default()
+    });
+
+    let cases = [
+        ("no_join", "SELECT COUNT(*) FROM trips WHERE status = 'completed'"),
+        (
+            "one_join",
+            "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id",
+        ),
+        (
+            "histogram_public_join",
+            "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id GROUP BY c.name",
+        ),
+        (
+            "three_joins",
+            "SELECT COUNT(*) FROM trips t \
+             JOIN drivers d ON t.driver_id = d.id \
+             JOIN analytics a ON d.id = a.driver_id \
+             JOIN cities c ON t.city_id = c.id",
+        ),
+    ];
+
+    let mut g = c.benchmark_group("elastic_sensitivity_analysis");
+    for (name, sql) in cases {
+        let q = parse_query(sql).unwrap();
+        g.bench_function(name, |b| b.iter(|| analyze(black_box(&q), &db).unwrap()));
+    }
+    let tri = parse_query(TRIANGLE_SQL).unwrap();
+    g.bench_function("triangle_self_joins", |b| {
+        b.iter(|| analyze(black_box(&tri), &gdb).unwrap())
+    });
+    g.finish();
+
+    // Parsing alone.
+    c.bench_function("parse_triangle_query", |b| {
+        b.iter(|| parse_query(black_box(TRIANGLE_SQL)).unwrap())
+    });
+
+    // Smoothing a degree-2 polynomial.
+    let a = analyze(&tri, &gdb).unwrap();
+    let sens = a.sensitivity();
+    let params = PrivacyParams::new(0.7, 1e-8).unwrap();
+    c.bench_function("smooth_triangle_sensitivity", |b| {
+        b.iter(|| smooth(black_box(&sens), params, 1_000_000).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks for the database substrate (the "Original query"
+//! row of paper Table 2 — execution dominates the pipeline).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flex_sql::parse_query;
+use flex_workloads::uber::{self, UberConfig};
+
+fn bench_exec(c: &mut Criterion) {
+    let db = uber::generate(&UberConfig {
+        trips: 20_000,
+        drivers: 1_000,
+        riders: 2_000,
+        user_tags: 1_000,
+        ..UberConfig::default()
+    });
+
+    let cases = [
+        ("count_scan", "SELECT COUNT(*) FROM trips WHERE fare > 20"),
+        (
+            "hash_join_count",
+            "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
+             WHERE d.status = 'active'",
+        ),
+        (
+            "group_by_histogram",
+            "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id \
+             GROUP BY c.name",
+        ),
+        (
+            "count_distinct",
+            "SELECT COUNT(DISTINCT driver_id) FROM trips WHERE status = 'completed'",
+        ),
+        (
+            "order_limit",
+            "SELECT driver_id, COUNT(*) AS n FROM trips GROUP BY driver_id \
+             ORDER BY n DESC LIMIT 10",
+        ),
+    ];
+
+    let mut g = c.benchmark_group("query_execution");
+    g.sample_size(20);
+    for (name, sql) in cases {
+        let q = parse_query(sql).unwrap();
+        g.bench_function(name, |b| b.iter(|| db.execute(black_box(&q)).unwrap()));
+    }
+    g.finish();
+
+    // Metrics collection (trigger-style refresh cost).
+    let mut db2 = db.clone();
+    c.bench_function("metrics_recompute", |b| {
+        b.iter(|| {
+            db2.recompute_metrics();
+            black_box(db2.metrics().len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the end-to-end FLEX pipeline and the
+//! perturbation stage (the "Output Perturbation" row of Table 2), plus the
+//! wPINQ baseline join.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flex_core::{laplace, run_sql, PrivacyParams};
+use flex_mechanisms::WeightedDataset;
+use flex_workloads::uber::{self, UberConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mechanism(c: &mut Criterion) {
+    let db = uber::generate(&UberConfig {
+        trips: 20_000,
+        drivers: 1_000,
+        riders: 2_000,
+        user_tags: 1_000,
+        ..UberConfig::default()
+    });
+    let params = PrivacyParams::new(0.1, 1e-8).unwrap();
+
+    let mut g = c.benchmark_group("flex_end_to_end");
+    g.sample_size(20);
+    for (name, sql) in [
+        ("count", "SELECT COUNT(*) FROM trips WHERE status = 'completed'"),
+        (
+            "join_count",
+            "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id",
+        ),
+        (
+            "public_histogram",
+            "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id \
+             GROUP BY c.name",
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| run_sql(&db, black_box(sql), params, &mut rng).unwrap())
+        });
+    }
+    g.finish();
+
+    c.bench_function("laplace_sampling_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += laplace(&mut rng, 10.0);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("wpinq_weighted_join", |b| {
+        let trips = WeightedDataset::from_table(db.table("trips").unwrap());
+        let drivers = WeightedDataset::from_table(db.table("drivers").unwrap())
+            .with_columns(vec![
+                "d_id".into(),
+                "d_city".into(),
+                "d_vehicle".into(),
+                "d_status".into(),
+                "d_signup".into(),
+            ]);
+        b.iter(|| {
+            black_box(trips.join("driver_id", &drivers, "d_id").total_weight())
+        })
+    });
+}
+
+criterion_group!(benches, bench_mechanism);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Reproduces paper Figure 6: effect of the privacy budget ε on median
+//! error, as a histogram of queries per error bucket for
+//! ε ∈ {0.1, 1, 10} (queries with population < 100 excluded, per §5.2.2).
+
+use flex_bench::{error_buckets, measure_workload, uber_db, write_json, Table};
+use flex_core::FlexOptions;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    println!("=== Figure 6: effect of ε on median error ===\n");
+    let (db, wl) = uber_db(scale);
+
+    let paper: [(&str, [f64; 3]); 6] = [
+        ("<1%", [49.85, 60.43, 66.17]),
+        ("1-5%", [7.40, 4.79, 3.23]),
+        ("5-10%", [2.63, 0.76, 1.77]),
+        ("10-25%", [3.16, 1.57, 3.30]),
+        ("25-100%", [2.47, 3.27, 4.52]),
+        ("More", [34.50, 29.18, 21.02]),
+    ];
+
+    let mut per_eps = Vec::new();
+    for (i, eps) in [0.1, 1.0, 10.0].into_iter().enumerate() {
+        let measured = measure_workload(
+            &db,
+            &wl,
+            eps,
+            flex_bench::DEFAULT_TRIALS,
+            &FlexOptions::new(),
+            31 + i as u64,
+        );
+        let errors: Vec<f64> = measured
+            .iter()
+            .filter(|m| m.population >= 100)
+            .map(|m| m.median_error_pct)
+            .collect();
+        per_eps.push((eps, error_buckets(&errors), errors.len()));
+    }
+
+    let mut t = Table::new([
+        "Median error",
+        "ε=0.1 %",
+        "ε=1 %",
+        "ε=10 %",
+        "paper ε=0.1",
+        "paper ε=1",
+        "paper ε=10",
+    ]);
+    let mut rows = Vec::new();
+    for (bi, (label, paper_vals)) in paper.iter().enumerate() {
+        t.row([
+            label.to_string(),
+            format!("{:.1}", per_eps[0].1[bi].1),
+            format!("{:.1}", per_eps[1].1[bi].1),
+            format!("{:.1}", per_eps[2].1[bi].1),
+            format!("{:.2}", paper_vals[0]),
+            format!("{:.2}", paper_vals[1]),
+            format!("{:.2}", paper_vals[2]),
+        ]);
+        rows.push(serde_json::json!({
+            "bucket": label,
+            "measured": [per_eps[0].1[bi].1, per_eps[1].1[bi].1, per_eps[2].1[bi].1],
+            "paper": paper_vals.to_vec(),
+        }));
+    }
+    t.print();
+    println!(
+        "\n(expected shape: mass shifts toward the low-error buckets as ε\n\
+         \x20 grows; a residual 'More' bucket persists — those are inherently\n\
+         \x20 sensitive queries, see table4)"
+    );
+
+    write_json(
+        "fig6",
+        &serde_json::json!({
+            "epsilons": [0.1, 1.0, 10.0],
+            "queries_measured": per_eps[0].2,
+            "buckets": rows,
+        }),
+    );
+}

@@ -1,0 +1,186 @@
+//! Reproduces the paper's §2 empirical study (Questions 1–8) on a
+//! synthetic corpus whose marginals are calibrated to the reported
+//! statistics of the 8.1M-query Uber dataset.
+//!
+//! Usage: `cargo run -p flex-bench --bin study [n_queries]`
+
+use flex_bench::{write_json, Table};
+use flex_core::study::analyze_corpus;
+use flex_workloads::corpus::{self, CorpusConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    println!("=== §2 empirical study (synthetic corpus, N = {n}) ===\n");
+    println!(
+        "Question 1 (database backends): the paper observes 6+ engines \
+         (Vertica, Postgres, MySQL, Hive, Presto, ...). This reproduction \
+         runs one engine (flex-db); Requirement 1 is demonstrated by FLEX \
+         never modifying it.\n"
+    );
+
+    let queries = corpus::generate(&CorpusConfig {
+        n_queries: n,
+        ..CorpusConfig::default()
+    });
+    // Metrics for join-relationship classification come from a catalog
+    // instance matching the corpus schema (column 0 of every table is a
+    // unique key).
+    let db = corpus::catalog_database(200, 17);
+    let r = analyze_corpus(&queries, Some(&db));
+
+    // Question 2: relational operators.
+    let mut t = Table::new(["Operator", "measured %", "paper %"]);
+    let pct = |x: usize| format!("{:.2}", 100.0 * x as f64 / r.total_queries as f64);
+    t.row(["Select".to_string(), pct(r.operators.select), "100".into()]);
+    t.row(["Join".to_string(), pct(r.operators.join), "62.1".into()]);
+    t.row(["Union".to_string(), pct(r.operators.union), "0.57".into()]);
+    t.row([
+        "Minus/Except".to_string(),
+        pct(r.operators.minus_except),
+        "0.06".into(),
+    ]);
+    t.row([
+        "Intersect".to_string(),
+        pct(r.operators.intersect),
+        "0.03".into(),
+    ]);
+    println!("Question 2: relational operator usage");
+    t.print();
+
+    // Question 3: joins per query.
+    let mut joins: Vec<usize> = r.joins_per_query.iter().copied().filter(|j| *j > 0).collect();
+    joins.sort_unstable();
+    let max_joins = joins.last().copied().unwrap_or(0);
+    println!("\nQuestion 3: joins per query (join queries only)");
+    let mut t = Table::new(["Joins", "queries"]);
+    for (lo, hi) in [(1, 1), (2, 2), (3, 5), (6, 19), (20, 95)] {
+        let c = joins.iter().filter(|j| **j >= lo && **j <= hi).count();
+        t.row([format!("{lo}-{hi}"), c.to_string()]);
+    }
+    t.print();
+    println!("max joins in one query: {max_joins} (paper: 95)");
+
+    // Question 4: join types / conditions / self joins / relationships.
+    println!("\nQuestion 4: join condition (measured % vs paper %)");
+    let jc = &r.join_conditions;
+    let total_j = (jc.equijoin + jc.compound + jc.column_comparison + jc.literal_comparison
+        + jc.other)
+        .max(1) as f64;
+    let mut t = Table::new(["Condition", "measured %", "paper %"]);
+    for (name, v, p) in [
+        ("Equijoin", jc.equijoin, "76"),
+        ("Compound expr.", jc.compound, "19"),
+        ("Col. comparison", jc.column_comparison, "3"),
+        ("Literal comparison", jc.literal_comparison, "2"),
+        ("Other/none", jc.other, "-"),
+    ] {
+        t.row([
+            name.to_string(),
+            format!("{:.1}", 100.0 * v as f64 / total_j),
+            p.to_string(),
+        ]);
+    }
+    t.print();
+
+    println!("\nQuestion 4: join type (measured % vs paper %)");
+    let jt = &r.join_types;
+    let total_t = (jt.inner + jt.left + jt.right + jt.full + jt.cross).max(1) as f64;
+    let mut t = Table::new(["Type", "measured %", "paper %"]);
+    for (name, v, p) in [
+        ("Inner", jt.inner, "69"),
+        ("Left", jt.left, "29"),
+        ("Right+Full", jt.right + jt.full, "<1"),
+        ("Cross", jt.cross, "1"),
+    ] {
+        t.row([
+            name.to_string(),
+            format!("{:.1}", 100.0 * v as f64 / total_t),
+            p.to_string(),
+        ]);
+    }
+    t.print();
+
+    let join_queries = r.joins_per_query.iter().filter(|j| **j > 0).count().max(1);
+    println!(
+        "\nQuestion 4: self joins: {:.1}% of join queries (paper: 28%)",
+        100.0 * r.self_join_queries as f64 / join_queries as f64
+    );
+    let jr = &r.join_relationships;
+    let rel_total = (jr.one_to_one + jr.one_to_many + jr.many_to_many).max(1) as f64;
+    println!(
+        "Question 4: join relationship (classified via mf metrics): \
+         1:1 {:.0}%  1:n {:.0}%  n:m {:.0}%  (paper: 26% / 64% / 10%)",
+        100.0 * jr.one_to_one as f64 / rel_total,
+        100.0 * jr.one_to_many as f64 / rel_total,
+        100.0 * jr.many_to_many as f64 / rel_total,
+    );
+
+    // Question 5: statistical fraction.
+    println!(
+        "\nQuestion 5: statistical queries: {:.1}% (paper: 34%)",
+        100.0 * r.statistical_fraction()
+    );
+
+    // Question 6: aggregation functions.
+    println!("\nQuestion 6: aggregation functions (measured % vs paper %)");
+    let a = &r.aggregations;
+    let at = a.total().max(1) as f64;
+    let mut t = Table::new(["Function", "measured %", "paper %"]);
+    for (name, v, p) in [
+        ("Count", a.count, "51"),
+        ("Sum", a.sum, "29"),
+        ("Avg", a.avg, "8"),
+        ("Max", a.max, "6"),
+        ("Min", a.min, "5"),
+        ("Median", a.median, "0.3"),
+        ("Stddev", a.stddev, "0.1"),
+    ] {
+        t.row([
+            name.to_string(),
+            format!("{:.1}", 100.0 * v as f64 / at),
+            p.to_string(),
+        ]);
+    }
+    t.print();
+
+    // Question 7: query sizes.
+    let mut sizes = r.query_sizes.clone();
+    sizes.sort_unstable();
+    println!("\nQuestion 7: query size in clauses");
+    let mut t = Table::new(["Percentile", "clauses"]);
+    for (p, label) in [(50, "p50"), (90, "p90"), (99, "p99"), (100, "max")] {
+        let idx = ((sizes.len() - 1) * p) / 100;
+        t.row([label.to_string(), sizes[idx].to_string()]);
+    }
+    t.print();
+    println!("(paper: majority < 100 clauses, tail into the thousands)");
+
+    println!(
+        "\nQuestion 8 (result sizes) is a property of the data, not the \
+         corpus; see the fig3 binary for the population-size distribution."
+    );
+
+    write_json(
+        "study",
+        &serde_json::json!({
+            "total_queries": r.total_queries,
+            "join_fraction": r.join_fraction(),
+            "statistical_fraction": r.statistical_fraction(),
+            "equijoin_fraction": r.equijoin_fraction(),
+            "self_join_fraction": r.self_join_queries as f64 / join_queries as f64,
+            "max_joins": max_joins,
+            "aggregations": {
+                "count": a.count, "sum": a.sum, "avg": a.avg, "max": a.max,
+                "min": a.min, "median": a.median, "stddev": a.stddev,
+            },
+            "paper": {
+                "join_fraction": 0.621, "statistical_fraction": 0.34,
+                "equijoin_fraction": 0.76, "self_join_fraction": 0.28,
+                "max_joins": 95,
+            }
+        }),
+    );
+}

@@ -1,0 +1,129 @@
+//! Reproduces paper Table 2: performance of FLEX-based differential
+//! privacy — average and maximum time for original query execution,
+//! elastic-sensitivity analysis, and output perturbation, plus the §5.1
+//! success-rate breakdown.
+
+use flex_bench::{measure_workload, uber_db, write_json, Table};
+use flex_core::{analyze, FlexOptions};
+use flex_workloads::corpus::{self, CorpusConfig};
+use std::time::Duration;
+
+fn fmt(d: Duration) -> String {
+    format!("{:.3} ms", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    println!("=== Table 2: performance of FLEX (workload scale {scale}) ===\n");
+    let (db, wl) = uber_db(scale);
+    let measured = measure_workload(&db, &wl, 0.1, 3, &FlexOptions::new(), 7);
+
+    let agg = |f: &dyn Fn(&flex_bench::MeasuredQuery) -> Duration| {
+        let times: Vec<Duration> = measured.iter().map(f).collect();
+        let avg = times.iter().sum::<Duration>() / times.len().max(1) as u32;
+        let max = times.iter().max().copied().unwrap_or_default();
+        (avg, max)
+    };
+    let (exec_avg, exec_max) = agg(&|m| m.timings.execution);
+    let (ana_avg, ana_max) = agg(&|m| m.timings.analysis);
+    let (pert_avg, pert_max) = agg(&|m| m.timings.perturbation);
+
+    let mut t = Table::new(["Stage", "avg", "max", "paper avg", "paper max"]);
+    t.row([
+        "Original query".to_string(),
+        fmt(exec_avg),
+        fmt(exec_max),
+        "42.4 s".into(),
+        "3452 s".into(),
+    ]);
+    t.row([
+        "Elastic sensitivity analysis".to_string(),
+        fmt(ana_avg),
+        fmt(ana_max),
+        "7 ms".into(),
+        "1.2 s".into(),
+    ]);
+    t.row([
+        "Output perturbation".to_string(),
+        fmt(pert_avg),
+        fmt(pert_max),
+        "4.9 ms".into(),
+        "2.4 s".into(),
+    ]);
+    t.print();
+    let overhead =
+        100.0 * (ana_avg + pert_avg).as_secs_f64() / exec_avg.as_secs_f64().max(1e-12);
+    println!(
+        "\nFLEX overhead vs. original execution: {overhead:.2}% \
+         (paper: 0.03% — their queries ran on production warehouses for\n\
+         \x20 42 s on average; the *shape* to check is analysis ≪ execution)"
+    );
+
+    // §5.1 success rate of the analysis. The paper's experiment dataset is
+    // its 9862 *statistical* (counting) queries, so the corpus is filtered
+    // to statistical queries before measuring, and analyzed against a
+    // catalog database matching the corpus schema.
+    println!("\n--- §5.1 success rate of the analysis ---");
+    let corpus_queries: Vec<_> = corpus::generate(&CorpusConfig {
+        n_queries: 20_000,
+        ..CorpusConfig::default()
+    })
+    .into_iter()
+    .filter(flex_core::study::query_is_statistical)
+    .collect();
+    let catalog = corpus::catalog_database(100, 3);
+    let mut ok = 0usize;
+    let mut unsupported = 0usize;
+    let mut other = 0usize;
+    for q in &corpus_queries {
+        match analyze(q, &catalog) {
+            Ok(_) => ok += 1,
+            Err(e) => match e.category() {
+                "unsupported query" => unsupported += 1,
+                _ => other += 1,
+            },
+        }
+    }
+    let n = corpus_queries.len() as f64;
+    let mut t = Table::new(["Outcome", "measured %", "paper %"]);
+    t.row([
+        "analysis succeeds".to_string(),
+        format!("{:.1}", 100.0 * ok as f64 / n),
+        "76.0".into(),
+    ]);
+    t.row([
+        "unsupported query".to_string(),
+        format!("{:.1}", 100.0 * unsupported as f64 / n),
+        "14.1".into(),
+    ]);
+    t.row([
+        "other (parse/schema)".to_string(),
+        format!("{:.1}", 100.0 * other as f64 / n),
+        "9.8".into(),
+    ]);
+    t.print();
+    println!(
+        "(the corpus generator emits raw-data and non-equijoin queries at the\n\
+         \x20paper's observed rates; parse failures do not occur because the\n\
+         \x20corpus is emitted by our own printer)"
+    );
+
+    write_json(
+        "table2",
+        &serde_json::json!({
+            "execution_avg_ms": exec_avg.as_secs_f64() * 1e3,
+            "execution_max_ms": exec_max.as_secs_f64() * 1e3,
+            "analysis_avg_ms": ana_avg.as_secs_f64() * 1e3,
+            "analysis_max_ms": ana_max.as_secs_f64() * 1e3,
+            "perturbation_avg_ms": pert_avg.as_secs_f64() * 1e3,
+            "perturbation_max_ms": pert_max.as_secs_f64() * 1e3,
+            "overhead_pct": overhead,
+            "success_rate": ok as f64 / n,
+            "paper": {"analysis_avg_ms": 7.03, "perturbation_avg_ms": 4.86,
+                       "overhead_pct": 0.03, "success_rate": 0.76},
+        }),
+    );
+}

@@ -1,0 +1,91 @@
+//! Reproduces the paper's §3.4 worked example: elastic sensitivity of the
+//! triangle-counting query on a graph with max-frequency metric 65,
+//! smoothed at ε = 0.7, and an end-to-end FLEX release.
+
+use flex_bench::write_json;
+use flex_core::{analyze, run_sql, PrivacyParams, SensExpr};
+use flex_workloads::graph::{self, GraphConfig, TRIANGLE_SQL};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("=== §3.4 example: counting triangles ===\n");
+    let cfg = GraphConfig::default();
+    let db = graph::graph_database(&cfg);
+    println!(
+        "graph: {} edges, mf(source) = {:?}, mf(dest) = {:?} (paper: 65)",
+        db.table("edges").unwrap().len(),
+        db.metrics().max_freq("edges", "source").unwrap(),
+        db.metrics().max_freq("edges", "dest").unwrap(),
+    );
+
+    let q = flex_sql::parse_query(TRIANGLE_SQL).unwrap();
+    let a = analyze(&q, &db).unwrap();
+    let ours = a.sensitivity();
+    let poly = ours.as_poly().expect("self-join-only query is polynomial");
+    println!("\nElastic sensitivity Ŝ(k):");
+    println!("  per Figure 1 definition : {poly}");
+    println!("  paper's walkthrough     : 2k^2 + 264k + 8711 (uses mf_k of the base table)");
+    println!("  paper as printed        : 2k^2 + 199k + 8711 (arithmetic slip)");
+
+    let epsilon = 0.7;
+    let n = db.total_rows();
+    println!("\nSmoothing with ε = {epsilon}:");
+    let paper_poly =
+        SensExpr::Poly(flex_core::Poly::from_coeffs(vec![8711.0, 199.0, 2.0]));
+    let walkthrough_poly =
+        SensExpr::Poly(flex_core::Poly::from_coeffs(vec![8711.0, 264.0, 2.0]));
+    let mut rows = Vec::new();
+    for (label, sens, delta) in [
+        ("figure-1 definition, δ=1e-8", &ours, 1e-8),
+        ("figure-1 definition, δ=1e-7", &ours, 1e-7),
+        ("paper walkthrough,   δ=1e-7", &walkthrough_poly, 1e-7),
+        ("paper as printed,    δ=1e-7", &paper_poly, 1e-7),
+        ("paper as printed,    δ=1e-8", &paper_poly, 1e-8),
+    ] {
+        let params = PrivacyParams::new(epsilon, delta).unwrap();
+        let s = flex_core::smooth(sens, params, n.max(10_000_000)).unwrap();
+        println!(
+            "  {label}: S = {:.2} at k = {} (noise scale 2S/ε = {:.1})",
+            s.smooth_bound, s.argmax_k, s.noise_scale
+        );
+        rows.push(serde_json::json!({
+            "variant": label, "S": s.smooth_bound, "k": s.argmax_k,
+        }));
+    }
+    println!("  (paper reports S = 8896.95 at k = 19 — matched by the printed");
+    println!("   polynomial with δ = 1e-7, not the stated 1e-8; see EXPERIMENTS.md)");
+
+    // End-to-end private release.
+    let truth = graph::count_triangles(db.table("edges").unwrap());
+    let params = PrivacyParams::new(epsilon, 1e-8).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let r = run_sql(&db, TRIANGLE_SQL, params, &mut rng).unwrap();
+    let noised = r.scalar().unwrap();
+    println!("\nEnd-to-end FLEX release:");
+    println!("  true triangle count   : {truth}");
+    println!("  private triangle count: {noised:.1}");
+    println!(
+        "  noise scale           : {:.1}",
+        r.column_sensitivity[0].unwrap().noise_scale
+    );
+    println!(
+        "  (with sensitivity in the thousands, small triangle counts are\n\
+         \x20  dominated by noise — exactly the paper's point that wPINQ-style\n\
+         \x20  targeted analyses beat generic mechanisms on this workload)"
+    );
+
+    write_json(
+        "triangles",
+        &serde_json::json!({
+            "our_polynomial": format!("{poly}"),
+            "paper_walkthrough": "2k^2 + 264k + 8711",
+            "paper_printed": "2k^2 + 199k + 8711",
+            "paper_reported_S": 8896.95,
+            "paper_reported_k": 19,
+            "smoothing": rows,
+            "true_triangles": truth,
+            "noised_triangles": noised,
+        }),
+    );
+}

@@ -1,0 +1,12 @@
+//! # flex-bench
+//!
+//! Shared harness for the experiment binaries that regenerate every table
+//! and figure of the paper's evaluation (see DESIGN.md's per-experiment
+//! index). Each binary prints the paper's reported values next to the
+//! measured ones and writes machine-readable JSON under `results/`.
+
+pub mod report;
+pub mod setup;
+
+pub use report::{bucket_label, error_buckets, write_json, Table};
+pub use setup::{measure_workload, uber_db, MeasuredQuery, DEFAULT_TRIALS};

@@ -1,0 +1,139 @@
+//! Terminal-table printing and JSON result dumps.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple fixed-width table printer for experiment output.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    pub fn print(&self) {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate().take(cols) {
+                s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+            }
+            println!("{}", s.trim_end());
+        };
+        line(&self.header);
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("--")
+        );
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Write a JSON result file under `results/` (relative to the workspace
+/// root when run via `cargo run`, else the current directory).
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let mut dir = PathBuf::from("results");
+    if !dir.exists() {
+        // Running from a crate subdirectory: walk up to the workspace root.
+        let up = PathBuf::from("../../results");
+        if up.exists() {
+            dir = up;
+        } else {
+            let _ = fs::create_dir_all(&dir);
+        }
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("\n[results written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize results: {e}"),
+    }
+}
+
+/// The paper's Figure 6/7 error buckets.
+pub const ERROR_BUCKETS: [(&str, f64, f64); 6] = [
+    ("<1%", 0.0, 1.0),
+    ("1-5%", 1.0, 5.0),
+    ("5-10%", 5.0, 10.0),
+    ("10-25%", 10.0, 25.0),
+    ("25-100%", 25.0, 100.0),
+    ("More", 100.0, f64::INFINITY),
+];
+
+/// Bucket a list of median errors (%) into the Figure 6/7 bins, returning
+/// percentages.
+pub fn error_buckets(errors: &[f64]) -> Vec<(&'static str, f64)> {
+    let n = errors.len().max(1) as f64;
+    ERROR_BUCKETS
+        .iter()
+        .map(|(label, lo, hi)| {
+            let c = errors.iter().filter(|e| **e >= *lo && **e < *hi).count();
+            (*label, 100.0 * c as f64 / n)
+        })
+        .collect()
+}
+
+/// Label for a single error value.
+pub fn bucket_label(error: f64) -> &'static str {
+    for (label, lo, hi) in ERROR_BUCKETS {
+        if error >= lo && error < hi {
+            return label;
+        }
+    }
+    "More"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_line() {
+        let errs = [0.5, 3.0, 7.0, 15.0, 50.0, 1e6];
+        let buckets = error_buckets(&errs);
+        let total: f64 = buckets.iter().map(|(_, p)| p).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        for (_, p) in &buckets {
+            assert!((*p - 100.0 / 6.0).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn bucket_labels() {
+        assert_eq!(bucket_label(0.0), "<1%");
+        assert_eq!(bucket_label(1.0), "1-5%");
+        assert_eq!(bucket_label(99.0), "25-100%");
+        assert_eq!(bucket_label(1e9), "More");
+    }
+}

@@ -1,0 +1,302 @@
+//! Privacy-budget management (paper §4.3).
+//!
+//! FLEX itself does not prescribe a budget strategy; this module provides
+//! the standard ones the paper points to: sequential composition, the
+//! strong composition theorem of Dwork, Rothblum & Vadhan, and the sparse
+//! vector technique (above-threshold queries that charge the budget only
+//! when answered).
+
+use crate::error::{FlexError, Result};
+use crate::mechanism::{run_sql_with, FlexOptions, FlexResult};
+use crate::smooth::PrivacyParams;
+use flex_db::Database;
+use rand::Rng;
+
+/// A simple (ε, δ) budget account using sequential composition: spent
+/// epsilons and deltas add up until the cap is reached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyBudget {
+    pub epsilon_cap: f64,
+    pub delta_cap: f64,
+    spent_epsilon: f64,
+    spent_delta: f64,
+}
+
+impl PrivacyBudget {
+    pub fn new(epsilon_cap: f64, delta_cap: f64) -> Self {
+        PrivacyBudget {
+            epsilon_cap,
+            delta_cap,
+            spent_epsilon: 0.0,
+            spent_delta: 0.0,
+        }
+    }
+
+    pub fn remaining_epsilon(&self) -> f64 {
+        (self.epsilon_cap - self.spent_epsilon).max(0.0)
+    }
+
+    pub fn remaining_delta(&self) -> f64 {
+        (self.delta_cap - self.spent_delta).max(0.0)
+    }
+
+    pub fn spent(&self) -> (f64, f64) {
+        (self.spent_epsilon, self.spent_delta)
+    }
+
+    /// Charge `(ε, δ)`; fails without spending if the cap would be exceeded.
+    pub fn try_spend(&mut self, epsilon: f64, delta: f64) -> Result<()> {
+        if epsilon <= 0.0 {
+            return Err(FlexError::InvalidParams(format!(
+                "cannot spend non-positive epsilon {epsilon}"
+            )));
+        }
+        // Tolerate float dust at the cap boundary.
+        let tol = 1e-12;
+        if self.spent_epsilon + epsilon > self.epsilon_cap + tol
+            || self.spent_delta + delta > self.delta_cap + tol
+        {
+            return Err(FlexError::BudgetExhausted {
+                requested: epsilon,
+                remaining: self.remaining_epsilon(),
+            });
+        }
+        self.spent_epsilon += epsilon;
+        self.spent_delta += delta;
+        Ok(())
+    }
+}
+
+/// Strong composition (Dwork, Rothblum & Vadhan 2010): running `k`
+/// mechanisms that are each (ε, δ)-DP is (ε', kδ + δ″)-DP with
+/// `ε' = ε·√(2k ln(1/δ″)) + k·ε·(e^ε − 1)`.
+///
+/// Returns `(ε', δ_total)`.
+pub fn strong_composition(epsilon: f64, delta: f64, k: u32, delta_slack: f64) -> (f64, f64) {
+    let k_f = k as f64;
+    let eps_prime =
+        epsilon * (2.0 * k_f * (1.0 / delta_slack).ln()).sqrt() + k_f * epsilon * (epsilon.exp() - 1.0);
+    (eps_prime, k_f * delta + delta_slack)
+}
+
+/// A FLEX front-end that charges a [`PrivacyBudget`] per query
+/// (sequential composition).
+pub struct BudgetedFlex<'a> {
+    db: &'a Database,
+    budget: PrivacyBudget,
+    opts: FlexOptions,
+}
+
+impl<'a> BudgetedFlex<'a> {
+    pub fn new(db: &'a Database, budget: PrivacyBudget) -> Self {
+        BudgetedFlex {
+            db,
+            budget,
+            opts: FlexOptions::new(),
+        }
+    }
+
+    pub fn with_options(mut self, opts: FlexOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    pub fn budget(&self) -> &PrivacyBudget {
+        &self.budget
+    }
+
+    /// Answer a query, charging `(ε, δ)` from the budget first.
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        sql: &str,
+        params: PrivacyParams,
+        rng: &mut R,
+    ) -> Result<FlexResult> {
+        self.budget.try_spend(params.epsilon, params.delta)?;
+        match run_sql_with(self.db, sql, params, rng, &self.opts) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                // Refund: the mechanism released nothing.
+                self.budget.spent_epsilon -= params.epsilon;
+                self.budget.spent_delta -= params.delta;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The sparse vector technique (paper §4.3): answer only queries whose
+/// noisy result clears a noisy threshold, charging the budget for answered
+/// queries only.
+///
+/// This follows the paper's description of Dwork et al.'s mechanism as a
+/// budget-efficiency layer over FLEX's Laplace interface: rejected probes
+/// consume only the threshold share of the budget, which is paid once.
+pub struct SparseVector<'a> {
+    db: &'a Database,
+    /// Threshold the noisy answer must clear.
+    pub threshold: f64,
+    params: PrivacyParams,
+    noisy_threshold: f64,
+    initialized: bool,
+}
+
+impl<'a> SparseVector<'a> {
+    pub fn new(db: &'a Database, threshold: f64, params: PrivacyParams) -> Self {
+        SparseVector {
+            db,
+            threshold,
+            params,
+            noisy_threshold: threshold,
+            initialized: false,
+        }
+    }
+
+    /// Probe a counting query. Returns `Some(noisy_answer)` if it clears
+    /// the noisy threshold, else `None`.
+    pub fn probe<R: Rng + ?Sized>(
+        &mut self,
+        sql: &str,
+        rng: &mut R,
+    ) -> Result<Option<f64>> {
+        if !self.initialized {
+            // Perturb the threshold once with half the epsilon.
+            let half = PrivacyParams::new(self.params.epsilon / 2.0, self.params.delta)?;
+            self.noisy_threshold =
+                self.threshold + crate::laplace::laplace(rng, 2.0 / half.epsilon);
+            self.initialized = true;
+        }
+        let half = PrivacyParams::new(self.params.epsilon / 2.0, self.params.delta)?;
+        let r = run_sql_with(self.db, sql, half, rng, &FlexOptions::new())?;
+        let answer = r.scalar().ok_or_else(|| {
+            FlexError::Db("sparse vector requires a scalar counting query".to_string())
+        })?;
+        if answer >= self.noisy_threshold {
+            Ok(Some(answer))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex_db::{DataType, Schema, Value};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table("t", Schema::of(&[("x", DataType::Int)])).unwrap();
+        db.insert(
+            "t",
+            (0..500).map(|i| vec![Value::Int(i)]).collect(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn budget_accumulates_and_caps() {
+        let mut b = PrivacyBudget::new(1.0, 1e-6);
+        b.try_spend(0.4, 1e-8).unwrap();
+        b.try_spend(0.6, 1e-8).unwrap();
+        assert!(b.remaining_epsilon() < 1e-9);
+        assert!(matches!(
+            b.try_spend(0.1, 0.0),
+            Err(FlexError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_rejects_nonpositive_spend() {
+        let mut b = PrivacyBudget::new(1.0, 1e-6);
+        assert!(b.try_spend(0.0, 0.0).is_err());
+        assert!(b.try_spend(-0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn budgeted_flex_charges_per_query() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bf = BudgetedFlex::new(&db, PrivacyBudget::new(0.5, 1e-6));
+        let p = PrivacyParams::new(0.2, 1e-8).unwrap();
+        bf.run("SELECT COUNT(*) FROM t", p, &mut rng).unwrap();
+        bf.run("SELECT COUNT(*) FROM t WHERE x > 10", p, &mut rng).unwrap();
+        let err = bf.run("SELECT COUNT(*) FROM t", p, &mut rng).unwrap_err();
+        assert!(matches!(err, FlexError::BudgetExhausted { .. }));
+        let (eps, _) = bf.budget().spent();
+        assert!((eps - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_queries_are_refunded() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bf = BudgetedFlex::new(&db, PrivacyBudget::new(1.0, 1e-6));
+        let p = PrivacyParams::new(0.3, 1e-8).unwrap();
+        // Raw-data query fails after the charge; it must be refunded.
+        assert!(bf.run("SELECT x FROM t", p, &mut rng).is_err());
+        assert_eq!(bf.budget().spent().0, 0.0);
+    }
+
+    #[test]
+    fn strong_composition_beats_sequential_for_many_queries() {
+        let (eps_strong, _) = strong_composition(0.01, 0.0, 10_000, 1e-6);
+        let eps_sequential = 0.01 * 10_000.0;
+        assert!(eps_strong < eps_sequential);
+    }
+
+    #[test]
+    fn sparse_vector_answers_above_threshold_only() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = PrivacyParams::new(2.0, 1e-8).unwrap();
+        let mut sv = SparseVector::new(&db, 100.0, p);
+        // True count 500 clears threshold 100.
+        let hit = sv.probe("SELECT COUNT(*) FROM t", &mut rng).unwrap();
+        assert!(hit.is_some());
+        // True count ~10 does not clear it.
+        let miss = sv
+            .probe("SELECT COUNT(*) FROM t WHERE x < 10", &mut rng)
+            .unwrap();
+        assert!(miss.is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A budget never reports spending more than its cap, no matter the
+        /// sequence of attempted charges.
+        #[test]
+        fn budget_never_exceeds_cap(
+            charges in proptest::collection::vec(0.0f64..0.6, 1..30)
+        ) {
+            let mut b = PrivacyBudget::new(1.0, 1e-3);
+            for eps in charges {
+                let _ = b.try_spend(eps, 1e-9);
+                let (spent_eps, spent_delta) = b.spent();
+                prop_assert!(spent_eps <= 1.0 + 1e-9);
+                prop_assert!(spent_delta <= 1e-3 + 1e-12);
+            }
+        }
+
+        /// Strong composition is monotone in k and never negative.
+        #[test]
+        fn strong_composition_monotone(
+            eps in 0.001f64..0.5,
+            k in 1u32..500,
+        ) {
+            let (e1, d1) = strong_composition(eps, 1e-9, k, 1e-6);
+            let (e2, d2) = strong_composition(eps, 1e-9, k + 1, 1e-6);
+            prop_assert!(e1 >= 0.0 && d1 >= 0.0);
+            prop_assert!(e2 >= e1);
+            prop_assert!(d2 >= d1);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Histogram bin enumeration (paper §4).
+//!
+//! When a GROUP BY query's bin labels are drawn from finite, non-protected
+//! domains (e.g. city names from the public `cities` table), FLEX can
+//! enumerate every possible bin itself, returning a noised count for each
+//! — including noised zeros for absent bins — so the presence or absence
+//! of a bin reveals nothing. When the labels are protected or not
+//! enumerable, the analyst must supply the bin labels explicitly.
+
+use crate::error::{FlexError, Result};
+use crate::lower::GroupKey;
+use flex_db::{Database, Value, ValueKey};
+use std::collections::HashSet;
+
+/// Default cap on the number of enumerated bins (the cross product of
+/// label domains can explode).
+pub const DEFAULT_MAX_BINS: usize = 100_000;
+
+/// Attempt to enumerate all possible bin label tuples for a histogram.
+///
+/// Returns `Ok(Some(bins))` when every group key is a column of a public
+/// table (labels are then the distinct values of those columns, crossed),
+/// `Ok(None)` when automatic enumeration is impossible, and an error only
+/// if the cross product exceeds `max_bins`.
+pub fn enumerate_bins(
+    db: &Database,
+    group_by: &[GroupKey],
+    max_bins: usize,
+) -> Result<Option<Vec<Vec<Value>>>> {
+    if group_by.is_empty() {
+        return Ok(None);
+    }
+    let mut domains: Vec<Vec<Value>> = Vec::with_capacity(group_by.len());
+    for g in group_by {
+        let Some(attr) = (if g.public { g.base.as_ref() } else { None }) else {
+            return Ok(None);
+        };
+        let table = db
+            .table(&attr.table)
+            .ok_or_else(|| FlexError::UnknownTable(attr.table.clone()))?;
+        let values = table
+            .column_values(&attr.column)
+            .ok_or_else(|| FlexError::UnknownColumn(attr.column.clone()))?;
+        let mut seen = HashSet::new();
+        let mut domain = Vec::new();
+        for v in values {
+            if v.is_null() {
+                continue;
+            }
+            if seen.insert(ValueKey::from(v)) {
+                domain.push(v.clone());
+            }
+        }
+        domain.sort_by(|a, b| a.total_cmp(b));
+        domains.push(domain);
+    }
+
+    let total: usize = domains
+        .iter()
+        .map(|d| d.len().max(1))
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .unwrap_or(usize::MAX);
+    if total > max_bins {
+        return Err(FlexError::BinsNotEnumerable(format!(
+            "cross product of {total} bins exceeds the {max_bins}-bin cap"
+        )));
+    }
+
+    // Cross product, lexicographic in domain order.
+    let mut bins: Vec<Vec<Value>> = vec![Vec::new()];
+    for domain in &domains {
+        let mut next = Vec::with_capacity(bins.len() * domain.len().max(1));
+        for prefix in &bins {
+            for v in domain {
+                let mut bin = prefix.clone();
+                bin.push(v.clone());
+                next.push(bin);
+            }
+        }
+        bins = next;
+    }
+    Ok(Some(bins))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relalg::Attr;
+    use flex_db::{DataType, Schema};
+    use flex_sql::{ColumnRef, Expr};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "cities",
+            Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]),
+        )
+        .unwrap();
+        db.mark_public("cities");
+        db.insert(
+            "cities",
+            vec![
+                vec![Value::Int(1), Value::str("sf")],
+                vec![Value::Int(2), Value::str("nyc")],
+                vec![Value::Int(2), Value::str("nyc")], // duplicate row
+                vec![Value::Int(3), Value::Null],       // null label skipped
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    fn key(table: &str, column: &str, public: bool) -> GroupKey {
+        GroupKey {
+            expr: Expr::Column(ColumnRef::bare(column)),
+            base: Some(Attr {
+                occurrence: 0,
+                table: table.to_string(),
+                column: column.to_string(),
+            }),
+            public,
+        }
+    }
+
+    #[test]
+    fn enumerates_distinct_public_labels() {
+        let db = db();
+        let bins = enumerate_bins(&db, &[key("cities", "name", true)], 1000)
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            bins,
+            vec![vec![Value::str("nyc")], vec![Value::str("sf")]]
+        );
+    }
+
+    #[test]
+    fn cross_product_of_two_keys() {
+        let db = db();
+        let bins = enumerate_bins(
+            &db,
+            &[key("cities", "id", true), key("cities", "name", true)],
+            1000,
+        )
+        .unwrap()
+        .unwrap();
+        // 3 distinct ids × 2 distinct names.
+        assert_eq!(bins.len(), 6);
+        assert_eq!(bins[0], vec![Value::Int(1), Value::str("nyc")]);
+    }
+
+    #[test]
+    fn private_key_not_enumerable() {
+        let db = db();
+        assert_eq!(
+            enumerate_bins(&db, &[key("cities", "name", false)], 1000).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn computed_key_not_enumerable() {
+        let db = db();
+        let g = GroupKey {
+            expr: Expr::Column(ColumnRef::bare("x")),
+            base: None,
+            public: true,
+        };
+        assert_eq!(enumerate_bins(&db, &[g], 1000).unwrap(), None);
+    }
+
+    #[test]
+    fn bin_cap_enforced() {
+        let db = db();
+        let err = enumerate_bins(
+            &db,
+            &[key("cities", "id", true), key("cities", "name", true)],
+            3,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlexError::BinsNotEnumerable(_)));
+    }
+
+    #[test]
+    fn no_group_by_gives_none() {
+        let db = db();
+        assert_eq!(enumerate_bins(&db, &[], 10).unwrap(), None);
+    }
+}

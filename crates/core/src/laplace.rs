@@ -1,0 +1,83 @@
+//! Laplace noise sampling.
+
+use rand::Rng;
+
+/// Draw one sample from the Laplace distribution with mean 0 and scale `b`
+/// via inverse-CDF sampling.
+///
+/// A scale of 0 returns 0 (no noise — used when the sensitivity is 0, e.g.
+/// queries touching only public tables).
+pub fn laplace<R: Rng + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    assert!(scale >= 0.0, "Laplace scale must be non-negative");
+    if scale == 0.0 {
+        return 0.0;
+    }
+    // u ∈ (−1/2, 1/2); X = −b · sgn(u) · ln(1 − 2|u|).
+    let u: f64 = rng.gen::<f64>() - 0.5;
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// Add Laplace noise to a true value.
+pub fn noisy<R: Rng + ?Sized>(rng: &mut R, true_value: f64, scale: f64) -> f64 {
+    true_value + laplace(rng, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_scale_is_noiseless() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(laplace(&mut rng, 0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn sample_mean_and_scale_match() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let b = 10.0;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| laplace(&mut rng, b)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        // Mean ≈ 0, E|X| = b.
+        assert!(mean.abs() < 0.2, "mean {mean}");
+        let mean_abs = samples.iter().map(|x| x.abs()).sum::<f64>() / n as f64;
+        assert!((mean_abs - b).abs() < 0.2, "mean |x| = {mean_abs}");
+        // Var = 2b².
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var - 2.0 * b * b).abs() < 10.0, "var {var}");
+    }
+
+    #[test]
+    fn symmetric_tails() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let pos = (0..n).filter(|_| laplace(&mut rng, 1.0) > 0.0).count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn noisy_adds_to_true_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = noisy(&mut rng, 100.0, 0.0);
+        assert_eq!(v, 100.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| laplace(&mut rng, 2.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..10).map(|_| laplace(&mut rng, 2.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

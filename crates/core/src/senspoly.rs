@@ -1,0 +1,443 @@
+//! Symbolic sensitivity-at-distance-`k` expressions.
+//!
+//! Paper Lemma 3 shows the elastic stability `Ŝ⁽ᵏ⁾(r, x)` is a polynomial
+//! in `k` of degree at most `j(r)²` with non-negative coefficients — except
+//! that the non-self-join rule takes a pointwise `max` of two such
+//! polynomials. We therefore represent sensitivities as a small expression
+//! tree over `k` supporting exact evaluation at any integer distance, a
+//! degree bound for the Theorem 3 smoothing cutoff, and conversion to a
+//! plain polynomial when no `max` node is present (used to reproduce the
+//! paper's §3.4 worked example).
+
+use std::fmt;
+
+/// A polynomial in `k` with non-negative coefficients; `coeffs[i]` is the
+/// coefficient of `kⁱ`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Poly {
+        debug_assert!(c >= 0.0, "sensitivity coefficients are non-negative");
+        if c == 0.0 {
+            Poly { coeffs: vec![] }
+        } else {
+            Poly { coeffs: vec![c] }
+        }
+    }
+
+    /// The polynomial `c + k` (the `mf_k` of a private base table).
+    pub fn affine(c: f64) -> Poly {
+        Poly {
+            coeffs: vec![c, 1.0],
+        }
+    }
+
+    /// Construct from coefficients (low order first).
+    pub fn from_coeffs(coeffs: Vec<f64>) -> Poly {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last() == Some(&0.0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluate at distance `k` (Horner's rule).
+    pub fn eval(&self, k: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, c| acc * k + c)
+    }
+
+    pub fn add(&self, other: &Poly) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![0.0; n];
+        for (i, c) in self.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        for (i, c) in other.coeffs.iter().enumerate() {
+            coeffs[i] += c;
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    pub fn mul(&self, other: &Poly) -> Poly {
+        if self.coeffs.is_empty() || other.coeffs.is_empty() {
+            return Poly::default();
+        }
+        let mut coeffs = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            for (j, b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Poly::from_coeffs(coeffs)
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+}
+
+impl fmt::Display for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.coeffs.is_empty() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if *c == 0.0 {
+                continue;
+            }
+            if !first {
+                f.write_str(" + ")?;
+            }
+            first = false;
+            match i {
+                0 => write!(f, "{c}")?,
+                1 if *c == 1.0 => f.write_str("k")?,
+                1 => write!(f, "{c}k")?,
+                _ if *c == 1.0 => write!(f, "k^{i}")?,
+                _ => write!(f, "{c}k^{i}")?,
+            }
+        }
+        if first {
+            f.write_str("0")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sensitivity expression over the distance variable `k`.
+///
+/// All leaves are non-negative polynomials, and every operator
+/// (`+`, `×`, `max`) is monotone on non-negative operands, so the value is
+/// non-decreasing in `k` — the monotonicity required of local sensitivity
+/// at distance (Definition 6).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SensExpr {
+    Poly(Poly),
+    Add(Box<SensExpr>, Box<SensExpr>),
+    Mul(Box<SensExpr>, Box<SensExpr>),
+    Max(Box<SensExpr>, Box<SensExpr>),
+}
+
+#[allow(clippy::should_implement_trait)] // add/mul are domain ops on a tree IR
+impl SensExpr {
+    pub fn constant(c: f64) -> SensExpr {
+        SensExpr::Poly(Poly::constant(c))
+    }
+
+    /// `mf + k`.
+    pub fn affine(mf: f64) -> SensExpr {
+        SensExpr::Poly(Poly::affine(mf))
+    }
+
+    pub fn zero() -> SensExpr {
+        SensExpr::Poly(Poly::default())
+    }
+
+    pub fn add(self, other: SensExpr) -> SensExpr {
+        match (self, other) {
+            (SensExpr::Poly(a), SensExpr::Poly(b)) => SensExpr::Poly(a.add(&b)),
+            (a, b) => SensExpr::Add(Box::new(a), Box::new(b)),
+        }
+    }
+
+    pub fn mul(self, other: SensExpr) -> SensExpr {
+        match (self, other) {
+            (SensExpr::Poly(a), SensExpr::Poly(b)) => SensExpr::Poly(a.mul(&b)),
+            // 0 · x = 0 and 1 · x = x keep trees small.
+            (SensExpr::Poly(p), b) | (b, SensExpr::Poly(p)) if p.is_zero() => {
+                let _ = b;
+                SensExpr::Poly(Poly::default())
+            }
+            (SensExpr::Poly(p), b) | (b, SensExpr::Poly(p))
+                if matches!(p.coeffs(), [c] if *c == 1.0) =>
+            {
+                b
+            }
+            (a, b) => SensExpr::Mul(Box::new(a), Box::new(b)),
+        }
+    }
+
+    pub fn max(self, other: SensExpr) -> SensExpr {
+        match (&self, &other) {
+            (SensExpr::Poly(a), SensExpr::Poly(b)) => {
+                // max collapses when one polynomial dominates coefficient-wise.
+                if dominates(a, b) {
+                    return self;
+                }
+                if dominates(b, a) {
+                    return other;
+                }
+                SensExpr::Max(Box::new(self), Box::new(other))
+            }
+            _ => SensExpr::Max(Box::new(self), Box::new(other)),
+        }
+    }
+
+    /// Scale by a non-negative constant.
+    pub fn scale(self, c: f64) -> SensExpr {
+        self.mul(SensExpr::constant(c))
+    }
+
+    /// Evaluate at integer distance `k`.
+    pub fn eval(&self, k: u64) -> f64 {
+        self.eval_f(k as f64)
+    }
+
+    fn eval_f(&self, k: f64) -> f64 {
+        match self {
+            SensExpr::Poly(p) => p.eval(k),
+            SensExpr::Add(a, b) => a.eval_f(k) + b.eval_f(k),
+            SensExpr::Mul(a, b) => a.eval_f(k) * b.eval_f(k),
+            SensExpr::Max(a, b) => a.eval_f(k).max(b.eval_f(k)),
+        }
+    }
+
+    /// Upper bound on the degree in `k` (Lemma 3: at most `j²`).
+    pub fn degree_bound(&self) -> usize {
+        match self {
+            SensExpr::Poly(p) => p.degree(),
+            SensExpr::Add(a, b) | SensExpr::Max(a, b) => {
+                a.degree_bound().max(b.degree_bound())
+            }
+            SensExpr::Mul(a, b) => a.degree_bound() + b.degree_bound(),
+        }
+    }
+
+    /// The expression as a plain polynomial, when no `max` node survives.
+    pub fn as_poly(&self) -> Option<Poly> {
+        match self {
+            SensExpr::Poly(p) => Some(p.clone()),
+            SensExpr::Add(a, b) => Some(a.as_poly()?.add(&b.as_poly()?)),
+            SensExpr::Mul(a, b) => Some(a.as_poly()?.mul(&b.as_poly()?)),
+            SensExpr::Max(_, _) => None,
+        }
+    }
+}
+
+/// `a` dominates `b` if every coefficient of `a` is ≥ the matching
+/// coefficient of `b` — then `a(k) ≥ b(k)` for all `k ≥ 0`.
+fn dominates(a: &Poly, b: &Poly) -> bool {
+    if b.coeffs().len() > a.coeffs().len() {
+        return false;
+    }
+    b.coeffs()
+        .iter()
+        .zip(a.coeffs())
+        .all(|(bc, ac)| ac >= bc)
+}
+
+impl fmt::Display for SensExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensExpr::Poly(p) => write!(f, "{p}"),
+            SensExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            SensExpr::Mul(a, b) => write!(f, "({a})·({b})"),
+            SensExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poly_eval_horner() {
+        // 2k² + 264k + 8711 — the corrected §3.4 triangle polynomial.
+        let p = Poly::from_coeffs(vec![8711.0, 264.0, 2.0]);
+        assert_eq!(p.eval(0.0), 8711.0);
+        assert_eq!(p.eval(1.0), 8977.0);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn poly_arithmetic() {
+        let a = Poly::affine(65.0); // 65 + k
+        let b = Poly::from_coeffs(vec![131.0, 2.0]); // 131 + 2k
+        let prod = a.mul(&b);
+        assert_eq!(prod.coeffs(), &[8515.0, 261.0, 2.0]);
+        let sum = a.add(&b);
+        assert_eq!(sum.coeffs(), &[196.0, 3.0]);
+    }
+
+    #[test]
+    fn triangle_polynomial_from_definition() {
+        // Join 1 (self join): mfk·S + mfk·S + S·S with S(edges)=1, mfk=65+k.
+        let s_edges = SensExpr::constant(1.0);
+        let mfk = SensExpr::affine(65.0);
+        let join1 = mfk
+            .clone()
+            .mul(s_edges.clone())
+            .add(mfk.clone().mul(s_edges.clone()))
+            .add(s_edges.clone().mul(s_edges.clone()));
+        assert_eq!(join1.as_poly().unwrap().coeffs(), &[131.0, 2.0]);
+
+        // Join 2 (self join with the previous relation).
+        let join2 = mfk
+            .clone()
+            .mul(join1.clone())
+            .add(mfk.mul(s_edges.clone()))
+            .add(join1.mul(s_edges));
+        let p = join2.as_poly().unwrap();
+        assert_eq!(p.coeffs(), &[8711.0, 264.0, 2.0]);
+    }
+
+    #[test]
+    fn max_collapses_when_dominated() {
+        let big = SensExpr::Poly(Poly::from_coeffs(vec![10.0, 2.0]));
+        let small = SensExpr::Poly(Poly::from_coeffs(vec![5.0, 1.0]));
+        let m = big.clone().max(small);
+        assert_eq!(m, big);
+    }
+
+    #[test]
+    fn max_kept_when_crossing() {
+        // 100 vs 2k: crosses at k=50.
+        let a = SensExpr::constant(100.0);
+        let b = SensExpr::Poly(Poly::from_coeffs(vec![0.0, 2.0]));
+        let m = a.max(b);
+        assert!(matches!(m, SensExpr::Max(_, _)));
+        assert_eq!(m.eval(0), 100.0);
+        assert_eq!(m.eval(100), 200.0);
+    }
+
+    #[test]
+    fn degree_bounds() {
+        let a = SensExpr::affine(5.0); // degree 1
+        let b = SensExpr::affine(7.0);
+        assert_eq!(a.clone().mul(b.clone()).degree_bound(), 2);
+        assert_eq!(a.clone().add(b.clone()).degree_bound(), 1);
+        assert_eq!(a.max(b).degree_bound(), 1);
+    }
+
+    #[test]
+    fn monotone_in_k() {
+        let e = SensExpr::affine(3.0)
+            .mul(SensExpr::affine(4.0))
+            .max(SensExpr::constant(50.0));
+        let mut prev = e.eval(0);
+        for k in 1..50 {
+            let cur = e.eval(k);
+            assert!(cur >= prev, "not monotone at k={k}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn mul_identities() {
+        let x = SensExpr::affine(9.0);
+        assert_eq!(x.clone().mul(SensExpr::constant(1.0)), x);
+        assert_eq!(
+            x.mul(SensExpr::zero()).as_poly().unwrap(),
+            Poly::default()
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Poly::from_coeffs(vec![8711.0, 264.0, 2.0]);
+        assert_eq!(p.to_string(), "2k^2 + 264k + 8711");
+        assert_eq!(Poly::constant(0.0).to_string(), "0");
+        assert_eq!(Poly::affine(0.0).to_string(), "k");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_poly() -> impl Strategy<Value = Poly> {
+        proptest::collection::vec(0.0f64..100.0, 0..5).prop_map(Poly::from_coeffs)
+    }
+
+    fn arb_expr() -> impl Strategy<Value = SensExpr> {
+        let leaf = arb_poly().prop_map(SensExpr::Poly);
+        leaf.prop_recursive(4, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+                (inner.clone(), inner).prop_map(|(a, b)| a.max(b)),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Addition and multiplication of polynomial leaves agree with
+        /// naive pointwise evaluation.
+        #[test]
+        fn poly_ops_match_pointwise(a in arb_poly(), b in arb_poly(), k in 0u64..50) {
+            let kf = k as f64;
+            let sum = a.add(&b);
+            let prod = a.mul(&b);
+            let rel = |x: f64, y: f64| (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()));
+            prop_assert!(rel(sum.eval(kf), a.eval(kf) + b.eval(kf)));
+            prop_assert!(rel(prod.eval(kf), a.eval(kf) * b.eval(kf)));
+        }
+
+        /// Every SensExpr is non-negative and monotone in k (the property
+        /// Definition 6 requires of sensitivity-at-distance).
+        #[test]
+        fn expr_nonnegative_and_monotone(e in arb_expr()) {
+            let mut prev = -1.0f64;
+            for k in 0..40u64 {
+                let v = e.eval(k);
+                prop_assert!(v >= 0.0, "negative at k={k}");
+                prop_assert!(v + 1e-9 * (1.0 + v.abs()) >= prev, "not monotone at k={k}");
+                prev = v;
+            }
+        }
+
+        /// The degree bound is honored: eval grows no faster than
+        /// k^degree_bound (checked by ratio at large k).
+        #[test]
+        fn degree_bound_controls_growth(e in arb_expr()) {
+            let d = e.degree_bound() as f64;
+            let v1 = e.eval(1_000);
+            let v2 = e.eval(2_000);
+            if v1 > 1.0 {
+                // Doubling k multiplies the value by at most ~2^d (slack 4x
+                // for lower-order terms).
+                prop_assert!(v2 <= v1 * 2f64.powf(d) * 4.0 + 1e-6);
+            }
+        }
+
+        /// Max dominance collapse never changes evaluation.
+        #[test]
+        fn max_collapse_preserves_semantics(a in arb_poly(), b in arb_poly(), k in 0u64..100) {
+            let collapsed = SensExpr::Poly(a.clone()).max(SensExpr::Poly(b.clone()));
+            let expected = a.eval(k as f64).max(b.eval(k as f64));
+            let got = collapsed.eval(k);
+            prop_assert!((got - expected).abs() <= 1e-6 * (1.0 + expected.abs()));
+        }
+
+        /// as_poly, when defined, agrees with eval.
+        #[test]
+        fn as_poly_agrees_with_eval(a in arb_poly(), b in arb_poly(), k in 0u64..50) {
+            let e = SensExpr::Poly(a).mul(SensExpr::Poly(b));
+            if let Some(p) = e.as_poly() {
+                let x = p.eval(k as f64);
+                let y = e.eval(k);
+                prop_assert!((x - y).abs() <= 1e-6 * (1.0 + y.abs()));
+            }
+        }
+    }
+}

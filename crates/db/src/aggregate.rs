@@ -1,0 +1,302 @@
+//! Aggregate functions: the seven used by the paper's workload study
+//! (count, sum, avg, min, max, median, stddev) plus `COUNT(DISTINCT ...)`.
+
+use crate::error::{DbError, Result};
+use crate::expr::CompiledExpr;
+use crate::value::{Value, ValueKey};
+use std::collections::HashSet;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(expr)` — counts non-null values.
+    Count,
+    /// `COUNT(DISTINCT expr)`.
+    CountDistinct,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    /// Median of non-null numeric values (average of middle two for even n).
+    Median,
+    /// Sample standard deviation (n−1 denominator).
+    Stddev,
+}
+
+impl AggFunc {
+    /// Resolve a SQL function name (+ DISTINCT flag) to an aggregate.
+    pub fn parse(name: &str, distinct: bool, wildcard: bool) -> Option<AggFunc> {
+        match name {
+            "count" if wildcard => Some(AggFunc::CountStar),
+            "count" if distinct => Some(AggFunc::CountDistinct),
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" | "mean" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            "median" => Some(AggFunc::Median),
+            "stddev" | "stddev_samp" => Some(AggFunc::Stddev),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-compiled aggregate call: the function plus its argument
+/// expression (absent for `COUNT(*)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub arg: Option<CompiledExpr>,
+}
+
+impl AggSpec {
+    /// Compute the aggregate over a set of input rows.
+    pub fn compute(&self, rows: &[&[Value]]) -> Result<Value> {
+        match self.func {
+            AggFunc::CountStar => Ok(Value::Int(rows.len() as i64)),
+            AggFunc::Count => {
+                let arg = self.arg_expr()?;
+                let mut n = 0i64;
+                for row in rows {
+                    if !arg.eval(row)?.is_null() {
+                        n += 1;
+                    }
+                }
+                Ok(Value::Int(n))
+            }
+            AggFunc::CountDistinct => {
+                let arg = self.arg_expr()?;
+                let mut seen: HashSet<ValueKey> = HashSet::new();
+                for row in rows {
+                    let v = arg.eval(row)?;
+                    if !v.is_null() {
+                        seen.insert(ValueKey::from(&v));
+                    }
+                }
+                Ok(Value::Int(seen.len() as i64))
+            }
+            AggFunc::Sum => {
+                let nums = self.numeric_args(rows)?;
+                if nums.is_empty() {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(nums.iter().sum()))
+                }
+            }
+            AggFunc::Avg => {
+                let nums = self.numeric_args(rows)?;
+                if nums.is_empty() {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Float(nums.iter().sum::<f64>() / nums.len() as f64))
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let arg = self.arg_expr()?;
+                let mut best: Option<Value> = None;
+                for row in rows {
+                    let v = arg.eval(row)?;
+                    if v.is_null() {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => v,
+                        Some(b) => {
+                            let keep_new = match v.total_cmp(&b) {
+                                std::cmp::Ordering::Less => self.func == AggFunc::Min,
+                                std::cmp::Ordering::Greater => self.func == AggFunc::Max,
+                                std::cmp::Ordering::Equal => false,
+                            };
+                            if keep_new {
+                                v
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                Ok(best.unwrap_or(Value::Null))
+            }
+            AggFunc::Median => {
+                let mut nums = self.numeric_args(rows)?;
+                if nums.is_empty() {
+                    return Ok(Value::Null);
+                }
+                nums.sort_by(f64::total_cmp);
+                let n = nums.len();
+                let m = if n % 2 == 1 {
+                    nums[n / 2]
+                } else {
+                    (nums[n / 2 - 1] + nums[n / 2]) / 2.0
+                };
+                Ok(Value::Float(m))
+            }
+            AggFunc::Stddev => {
+                let nums = self.numeric_args(rows)?;
+                if nums.len() < 2 {
+                    return Ok(Value::Null);
+                }
+                let n = nums.len() as f64;
+                let mean = nums.iter().sum::<f64>() / n;
+                let var = nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+                Ok(Value::Float(var.sqrt()))
+            }
+        }
+    }
+
+    fn arg_expr(&self) -> Result<&CompiledExpr> {
+        self.arg.as_ref().ok_or_else(|| {
+            DbError::InvalidAggregate(format!("{:?} requires an argument", self.func))
+        })
+    }
+
+    /// Evaluate the argument over all rows, dropping NULLs, requiring
+    /// numeric values.
+    fn numeric_args(&self, rows: &[&[Value]]) -> Result<Vec<f64>> {
+        let arg = self.arg_expr()?;
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let v = arg.eval(row)?;
+            if v.is_null() {
+                continue;
+            }
+            let x = v.as_f64().ok_or_else(|| DbError::TypeMismatch {
+                context: format!("{:?} argument", self.func),
+                expected: "number".to_string(),
+                found: v.type_name().to_string(),
+            })?;
+            out.push(x);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col0() -> Option<CompiledExpr> {
+        Some(CompiledExpr::Column(0))
+    }
+
+    fn rows(vals: &[Value]) -> Vec<Vec<Value>> {
+        vals.iter().map(|v| vec![v.clone()]).collect()
+    }
+
+    fn compute(func: AggFunc, vals: &[Value]) -> Value {
+        let spec = AggSpec {
+            func,
+            arg: if func == AggFunc::CountStar { None } else { col0() },
+        };
+        let owned = rows(vals);
+        let refs: Vec<&[Value]> = owned.iter().map(|r| r.as_slice()).collect();
+        spec.compute(&refs).unwrap()
+    }
+
+    #[test]
+    fn count_star_counts_all_rows() {
+        assert_eq!(
+            compute(AggFunc::CountStar, &[Value::Null, Value::Int(1)]),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn count_skips_nulls() {
+        assert_eq!(
+            compute(AggFunc::Count, &[Value::Null, Value::Int(1), Value::Int(2)]),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn count_distinct() {
+        assert_eq!(
+            compute(
+                AggFunc::CountDistinct,
+                &[Value::Int(1), Value::Int(1), Value::Int(2), Value::Null]
+            ),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn sum_avg_empty_is_null() {
+        assert_eq!(compute(AggFunc::Sum, &[]), Value::Null);
+        assert_eq!(compute(AggFunc::Avg, &[Value::Null]), Value::Null);
+    }
+
+    #[test]
+    fn sum_and_avg() {
+        let vals = [Value::Int(1), Value::Int(2), Value::Float(3.0)];
+        assert_eq!(compute(AggFunc::Sum, &vals), Value::Float(6.0));
+        assert_eq!(compute(AggFunc::Avg, &vals), Value::Float(2.0));
+    }
+
+    #[test]
+    fn min_max_mixed_with_nulls() {
+        let vals = [Value::Int(3), Value::Null, Value::Int(1), Value::Int(2)];
+        assert_eq!(compute(AggFunc::Min, &vals), Value::Int(1));
+        assert_eq!(compute(AggFunc::Max, &vals), Value::Int(3));
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let vals = [Value::str("b"), Value::str("a"), Value::str("c")];
+        assert_eq!(compute(AggFunc::Min, &vals), Value::str("a"));
+        assert_eq!(compute(AggFunc::Max, &vals), Value::str("c"));
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(
+            compute(AggFunc::Median, &[Value::Int(3), Value::Int(1), Value::Int(2)]),
+            Value::Float(2.0)
+        );
+        assert_eq!(
+            compute(
+                AggFunc::Median,
+                &[Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)]
+            ),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn stddev_sample() {
+        // stddev of {2, 4, 4, 4, 5, 5, 7, 9} with n-1 denominator ≈ 2.138
+        let vals: Vec<Value> = [2, 4, 4, 4, 5, 5, 7, 9]
+            .iter()
+            .map(|&v| Value::Int(v))
+            .collect();
+        let Value::Float(s) = compute(AggFunc::Stddev, &vals) else {
+            panic!("expected float");
+        };
+        assert!((s - 2.13809).abs() < 1e-4);
+        assert_eq!(compute(AggFunc::Stddev, &[Value::Int(1)]), Value::Null);
+    }
+
+    #[test]
+    fn parse_resolves_names() {
+        assert_eq!(AggFunc::parse("count", false, true), Some(AggFunc::CountStar));
+        assert_eq!(
+            AggFunc::parse("count", true, false),
+            Some(AggFunc::CountDistinct)
+        );
+        assert_eq!(AggFunc::parse("sum", false, false), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::parse("lower", false, false), None);
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let spec = AggSpec {
+            func: AggFunc::Sum,
+            arg: col0(),
+        };
+        let owned = rows(&[Value::str("x")]);
+        let refs: Vec<&[Value]> = owned.iter().map(|r| r.as_slice()).collect();
+        assert!(spec.compute(&refs).is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Minimal CSV import/export for tables — the "bring your own data" path
+//! for using FLEX against real datasets without writing loader code.
+//!
+//! The dialect is RFC-4180-ish: comma separator, `"` quoting with `""`
+//! escapes, first record is the header. Values are parsed per the target
+//! schema; empty unquoted fields load as NULL.
+
+use crate::error::{DbError, Result};
+use crate::schema::{DataType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Parse CSV text into a table with the given name and schema. The header
+/// must match the schema's column names (order included).
+pub fn table_from_csv(name: &str, schema: Schema, csv: &str) -> Result<Table> {
+    let mut records = parse_records(csv)?;
+    if records.is_empty() {
+        return Err(DbError::Parse("CSV input has no header".to_string()));
+    }
+    let header = records.remove(0);
+    let expected: Vec<&str> = schema.columns.iter().map(|c| c.name.as_str()).collect();
+    let got: Vec<&str> = header.iter().map(|(f, _)| f.as_str()).collect();
+    if got != expected {
+        return Err(DbError::Parse(format!(
+            "CSV header {got:?} does not match schema columns {expected:?}"
+        )));
+    }
+
+    let mut table = Table::new(name, schema);
+    for (line_no, record) in records.into_iter().enumerate() {
+        if record.len() != table.schema.len() {
+            return Err(DbError::ArityMismatch {
+                expected: table.schema.len(),
+                found: record.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(record.len());
+        for ((field, quoted), col) in record.into_iter().zip(&table.schema.columns) {
+            row.push(parse_value(&field, quoted, col.data_type).map_err(|e| {
+                DbError::Parse(format!("CSV record {}: {e}", line_no + 2))
+            })?);
+        }
+        table.insert(row)?;
+    }
+    Ok(table)
+}
+
+/// Render a table back to CSV (header included).
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table
+        .schema
+        .columns
+        .iter()
+        .map(|c| quote(&c.name))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in &table.rows {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                Value::Str(s) => quote(s),
+                other => other.to_string(),
+            })
+            .collect();
+        out.push_str(&fields.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.is_empty() {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split CSV text into records of `(field, was_quoted)` pairs.
+fn parse_records(csv: &str) -> Result<Vec<Vec<(String, bool)>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<(String, bool)> = Vec::new();
+    let mut field = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = csv.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if field.is_empty() => {
+                in_quotes = true;
+                quoted = true;
+            }
+            ',' => {
+                record.push((std::mem::take(&mut field), quoted));
+                quoted = false;
+            }
+            '\r' => {}
+            '\n' => {
+                record.push((std::mem::take(&mut field), quoted));
+                quoted = false;
+                // Skip blank lines.
+                if !(record.len() == 1 && record[0].0.is_empty() && !record[0].1) {
+                    records.push(std::mem::take(&mut record));
+                } else {
+                    record.clear();
+                }
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(DbError::Parse("unterminated quoted CSV field".to_string()));
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push((field, quoted));
+        records.push(record);
+    }
+    Ok(records)
+}
+
+fn parse_value(field: &str, quoted: bool, ty: DataType) -> Result<Value> {
+    if field.is_empty() && !quoted {
+        return Ok(Value::Null);
+    }
+    let err = |what: &str| DbError::TypeMismatch {
+        context: format!("CSV field `{field}`"),
+        expected: what.to_string(),
+        found: "text".to_string(),
+    };
+    match ty {
+        DataType::Str => Ok(Value::Str(field.to_string())),
+        DataType::Int => field
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| err("integer")),
+        DataType::Float => field
+            .trim()
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| err("float")),
+        DataType::Bool => match field.trim().to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" | "yes" => Ok(Value::Bool(true)),
+            "false" | "f" | "0" | "no" => Ok(Value::Bool(false)),
+            _ => Err(err("boolean")),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("id", DataType::Int),
+            ("name", DataType::Str),
+            ("fare", DataType::Float),
+            ("done", DataType::Bool),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_with_quotes_nulls_and_newlines() {
+        let mut t = Table::new("t", schema());
+        t.insert(vec![
+            Value::Int(1),
+            Value::str("plain"),
+            Value::Float(2.5),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        t.insert(vec![
+            Value::Int(2),
+            Value::str("has,comma and \"quote\"\nand newline"),
+            Value::Null,
+            Value::Bool(false),
+        ])
+        .unwrap();
+        let csv = table_to_csv(&t);
+        let back = table_from_csv("t", schema(), &csv).unwrap();
+        assert_eq!(back.rows, t.rows);
+    }
+
+    #[test]
+    fn parses_basic_csv() {
+        let csv = "id,name,fare,done\n1,alice,10.5,true\n2,bob,,false\n";
+        let t = table_from_csv("t", schema(), csv).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows[0][1], Value::str("alice"));
+        assert!(t.rows[1][2].is_null());
+        assert_eq!(t.rows[1][3], Value::Bool(false));
+    }
+
+    #[test]
+    fn quoted_empty_string_is_not_null() {
+        let csv = "id,name,fare,done\n1,\"\",1.0,t\n";
+        let t = table_from_csv("t", schema(), csv).unwrap();
+        assert_eq!(t.rows[0][1], Value::str(""));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let csv = "id,nom,fare,done\n";
+        assert!(matches!(
+            table_from_csv("t", schema(), csv),
+            Err(DbError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let csv = "id,name,fare,done\n1,alice\n";
+        assert!(matches!(
+            table_from_csv("t", schema(), csv),
+            Err(DbError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_numbers_rejected_with_line_info() {
+        let csv = "id,name,fare,done\nxyz,alice,1.0,t\n";
+        let err = table_from_csv("t", schema(), csv).unwrap_err();
+        assert!(err.to_string().contains("record 2"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let csv = "id,name,fare,done\n1,\"oops,1.0,t\n";
+        assert!(table_from_csv("t", schema(), csv).is_err());
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_tolerated() {
+        let csv = "id,name,fare,done\r\n\r\n1,a,1.0,t\r\n";
+        let t = table_from_csv("t", schema(), csv).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! The database: a named collection of tables, a set of public (non-
+//! protected) tables, and a metrics catalog kept fresh on writes.
+
+use crate::error::{DbError, Result};
+use crate::exec;
+use crate::metrics::MetricsCatalog;
+use crate::plan::ResultSet;
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+use flex_sql::{parse_query, Query};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An in-memory multi-table database.
+///
+/// Tables marked *public* contain non-protected data (paper §3.6) — e.g.
+/// the `cities` table in the paper's deployment; the elastic-sensitivity
+/// analysis treats them as having stability 0.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    public_tables: BTreeSet<String>,
+    metrics: MetricsCatalog,
+    /// Emulates the paper's trigger-based metric maintenance: when set
+    /// (the default), metrics are recomputed for a table after each write.
+    pub auto_metrics: bool,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database {
+            tables: BTreeMap::new(),
+            public_tables: BTreeSet::new(),
+            metrics: MetricsCatalog::default(),
+            auto_metrics: true,
+        }
+    }
+
+    /// Create an empty table.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(DbError::DuplicateTable(name));
+        }
+        let table = Table::new(name.clone(), schema);
+        if self.auto_metrics {
+            self.metrics.add_table(&table);
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Insert rows into a table, refreshing metrics if `auto_metrics`.
+    pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        t.insert_all(rows)?;
+        if self.auto_metrics {
+            self.metrics.add_table(t);
+        }
+        Ok(())
+    }
+
+    /// Mark a table as public (non-protected) for the §3.6 optimization.
+    pub fn mark_public(&mut self, table: &str) {
+        self.public_tables.insert(table.to_string());
+    }
+
+    pub fn is_public(&self, table: &str) -> bool {
+        self.public_tables.contains(table)
+    }
+
+    pub fn public_tables(&self) -> impl Iterator<Item = &str> {
+        self.public_tables.iter().map(String::as_str)
+    }
+
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Total number of rows across all tables — the database size `n` used
+    /// by the smooth-sensitivity mechanism and by `δ = n^(−ln n)`.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// The current metrics catalog.
+    pub fn metrics(&self) -> &MetricsCatalog {
+        &self.metrics
+    }
+
+    /// Mutable access to metrics (for overrides such as externally-defined
+    /// value ranges).
+    pub fn metrics_mut(&mut self) -> &mut MetricsCatalog {
+        &mut self.metrics
+    }
+
+    /// Recompute the full metrics catalog (needed after bulk loads with
+    /// `auto_metrics` disabled).
+    pub fn recompute_metrics(&mut self) {
+        self.metrics = MetricsCatalog::compute(self.tables.values());
+    }
+
+    /// Parse and execute a SQL query.
+    pub fn execute_sql(&self, sql: &str) -> Result<ResultSet> {
+        let q = parse_query(sql)?;
+        self.execute(&q)
+    }
+
+    /// Execute a parsed query.
+    pub fn execute(&self, q: &Query) -> Result<ResultSet> {
+        exec::execute(self, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "trips",
+            Schema::of(&[
+                ("id", DataType::Int),
+                ("driver_id", DataType::Int),
+                ("city_id", DataType::Int),
+                ("fare", DataType::Float),
+                ("status", DataType::Str),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "cities",
+            Schema::of(&[("id", DataType::Int), ("name", DataType::Str)]),
+        )
+        .unwrap();
+        db.mark_public("cities");
+        db.insert(
+            "cities",
+            vec![
+                vec![Value::Int(1), Value::str("sf")],
+                vec![Value::Int(2), Value::str("nyc")],
+            ],
+        )
+        .unwrap();
+        let rows = [
+            (1, 10, 1, 12.0, "completed"),
+            (2, 10, 1, 8.0, "completed"),
+            (3, 11, 2, 30.0, "canceled"),
+            (4, 12, 2, 22.0, "completed"),
+            (5, 10, 2, 15.0, "completed"),
+        ]
+        .into_iter()
+        .map(|(id, driver, city, fare, status)| {
+            vec![
+                Value::Int(id),
+                Value::Int(driver),
+                Value::Int(city),
+                Value::Float(fare),
+                Value::str(status),
+            ]
+        })
+        .collect();
+        db.insert("trips", rows).unwrap();
+        db
+    }
+
+    #[test]
+    fn count_star() {
+        let db = db();
+        let rs = db.execute_sql("SELECT COUNT(*) FROM trips").unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn where_filters() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT COUNT(*) FROM trips WHERE status = 'completed'")
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn join_and_group() {
+        let db = db();
+        let rs = db
+            .execute_sql(
+                "SELECT c.name, COUNT(*) AS n FROM trips t \
+                 JOIN cities c ON t.city_id = c.id \
+                 GROUP BY c.name ORDER BY n DESC",
+            )
+            .unwrap();
+        assert_eq!(rs.columns, vec!["name", "n"]);
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0], vec![Value::str("nyc"), Value::Int(3)]);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT COUNT(DISTINCT driver_id) FROM trips")
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn metrics_follow_writes() {
+        let mut db = db();
+        assert_eq!(db.metrics().max_freq("trips", "driver_id"), Some(3));
+        db.insert(
+            "trips",
+            vec![vec![
+                Value::Int(6),
+                Value::Int(10),
+                Value::Int(1),
+                Value::Float(9.0),
+                Value::str("completed"),
+            ]],
+        )
+        .unwrap();
+        assert_eq!(db.metrics().max_freq("trips", "driver_id"), Some(4));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = db();
+        assert!(matches!(
+            db.create_table("trips", Schema::default()),
+            Err(DbError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn total_rows_sums_tables() {
+        assert_eq!(db().total_rows(), 7);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the database engine.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+/// Errors raised by planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// Referenced column cannot be resolved in the current scope.
+    UnknownColumn(String),
+    /// A bare column name matches more than one column in scope.
+    AmbiguousColumn(String),
+    /// A value of the wrong type was supplied for a column.
+    TypeMismatch {
+        context: String,
+        expected: String,
+        found: String,
+    },
+    /// Row arity does not match the table schema.
+    ArityMismatch { expected: usize, found: usize },
+    /// The query uses a feature the engine does not execute.
+    Unsupported(String),
+    /// Aggregate function misuse (e.g. nested aggregates, non-grouped column).
+    InvalidAggregate(String),
+    /// A scalar function received bad arguments.
+    InvalidFunction(String),
+    /// Table already exists.
+    DuplicateTable(String),
+    /// Error bubbled up from the SQL parser.
+    Parse(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            DbError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            DbError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: expected {expected} values, found {found}")
+            }
+            DbError::Unsupported(what) => write!(f, "unsupported query feature: {what}"),
+            DbError::InvalidAggregate(msg) => write!(f, "invalid aggregate usage: {msg}"),
+            DbError::InvalidFunction(msg) => write!(f, "invalid function call: {msg}"),
+            DbError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            DbError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<flex_sql::ParseError> for DbError {
+    fn from(e: flex_sql::ParseError) -> Self {
+        DbError::Parse(e.to_string())
+    }
+}

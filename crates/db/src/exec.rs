@@ -1,0 +1,1403 @@
+//! Query execution.
+//!
+//! The executor interprets a parsed [`Query`] directly against the
+//! in-memory [`Database`]: CTEs are materialized into scoped temporary
+//! relations, joins use hash joins on extracted equijoin keys with residual
+//! predicates, grouped queries collect [`AggSpec`]s and evaluate them per
+//! group, and set operations follow SQL's distinct-set semantics.
+
+use crate::aggregate::{AggFunc, AggSpec};
+use crate::database::Database;
+use crate::error::{DbError, Result};
+use crate::expr::{CastTarget, CompiledExpr, ScalarFunc};
+use crate::plan::{ColMeta, Relation, ResultSet};
+use crate::table::Row;
+use crate::value::{RowKey, Value, ValueKey};
+use flex_sql::{
+    Cte, Expr, FunctionArg, JoinConstraint, JoinType, Literal, OrderByItem, Query, Select,
+    SelectItem, SetExpr, SetOperator, TableRef,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Execute a parsed query against a database.
+pub fn execute(db: &Database, q: &Query) -> Result<ResultSet> {
+    let mut exec = Exec {
+        db,
+        ctes: Vec::new(),
+    };
+    exec.query(q).map(ResultSet::from)
+}
+
+struct Exec<'a> {
+    db: &'a Database,
+    /// Stack of in-scope CTE bindings (inner scopes shadow outer ones).
+    ctes: Vec<(String, Relation)>,
+}
+
+impl<'a> Exec<'a> {
+    fn query(&mut self, q: &Query) -> Result<Relation> {
+        let depth = self.ctes.len();
+        for Cte { name, query } in &q.ctes {
+            let rel = self.query(query)?;
+            self.ctes.push((name.clone(), rel));
+        }
+        let result = self.query_body(q);
+        self.ctes.truncate(depth);
+        result
+    }
+
+    fn query_body(&mut self, q: &Query) -> Result<Relation> {
+        let mut rel = match &q.body {
+            SetExpr::Select(s) => self.select_full(s, &q.order_by)?,
+            SetExpr::SetOp { .. } => {
+                let mut rel = self.set_expr(&q.body)?;
+                if !q.order_by.is_empty() {
+                    sort_by_output_columns(&mut rel, &q.order_by)?;
+                }
+                rel
+            }
+        };
+        apply_limit_offset(&mut rel, q.limit, q.offset);
+        Ok(rel)
+    }
+
+    fn set_expr(&mut self, body: &SetExpr) -> Result<Relation> {
+        match body {
+            SetExpr::Select(s) => self.select_full(s, &[]),
+            SetExpr::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let l = self.set_expr(left)?;
+                let r = self.set_expr(right)?;
+                if l.cols.len() != r.cols.len() {
+                    return Err(DbError::Unsupported(format!(
+                        "set operation arity mismatch: {} vs {} columns",
+                        l.cols.len(),
+                        r.cols.len()
+                    )));
+                }
+                let rows = match (op, all) {
+                    (SetOperator::Union, true) => {
+                        let mut rows = l.rows;
+                        rows.extend(r.rows);
+                        rows
+                    }
+                    (SetOperator::Union, false) => {
+                        let mut seen = HashSet::new();
+                        let mut rows = Vec::new();
+                        for row in l.rows.into_iter().chain(r.rows) {
+                            if seen.insert(RowKey::from_values(&row)) {
+                                rows.push(row);
+                            }
+                        }
+                        rows
+                    }
+                    (SetOperator::Intersect, _) => {
+                        let right_keys: HashSet<RowKey> =
+                            r.rows.iter().map(|row| RowKey::from_values(row)).collect();
+                        let mut seen = HashSet::new();
+                        l.rows
+                            .into_iter()
+                            .filter(|row| {
+                                let k = RowKey::from_values(row);
+                                right_keys.contains(&k) && seen.insert(k)
+                            })
+                            .collect()
+                    }
+                    (SetOperator::Except, _) => {
+                        let right_keys: HashSet<RowKey> =
+                            r.rows.iter().map(|row| RowKey::from_values(row)).collect();
+                        let mut seen = HashSet::new();
+                        l.rows
+                            .into_iter()
+                            .filter(|row| {
+                                let k = RowKey::from_values(row);
+                                !right_keys.contains(&k) && seen.insert(k)
+                            })
+                            .collect()
+                    }
+                };
+                Ok(Relation::new(l.cols, rows))
+            }
+        }
+    }
+
+    /// Execute one SELECT block, including its ORDER BY (which may
+    /// reference un-projected input columns or aggregate expressions).
+    fn select_full(&mut self, s: &Select, order_by: &[OrderByItem]) -> Result<Relation> {
+        // FROM
+        let input = match &s.from {
+            Some(t) => self.table_ref(t)?,
+            // Table-less select: a single empty row.
+            None => Relation::new(Vec::new(), vec![Vec::new()]),
+        };
+
+        // WHERE
+        let input = if let Some(pred) = &s.selection {
+            let compiled = self.compile_scalar(pred, &input.cols)?;
+            let mut filtered = Vec::with_capacity(input.rows.len());
+            for row in input.rows {
+                if compiled.eval_bool(&row)? {
+                    filtered.push(row);
+                }
+            }
+            Relation::new(input.cols, filtered)
+        } else {
+            input
+        };
+
+        let has_aggregates = !s.group_by.is_empty()
+            || s.projection.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                _ => false,
+            })
+            || s.having.as_ref().is_some_and(Expr::contains_aggregate);
+
+        let (mut rel, key_rows) = if has_aggregates {
+            self.select_grouped(s, input, order_by)?
+        } else {
+            self.select_plain(s, input, order_by)?
+        };
+
+        // ORDER BY using precomputed keys.
+        if let Some(mut keys) = key_rows {
+            debug_assert_eq!(keys.len(), rel.rows.len());
+            let mut idx: Vec<usize> = (0..rel.rows.len()).collect();
+            idx.sort_by(|&a, &b| compare_key_rows(&keys[a], &keys[b], order_by));
+            rel.rows = permute(std::mem::take(&mut rel.rows), &idx);
+            keys.clear();
+        }
+
+        // DISTINCT (after sorting, keeps first occurrence).
+        if s.distinct {
+            let mut seen = HashSet::new();
+            rel.rows.retain(|row| seen.insert(RowKey::from_values(row)));
+        }
+        Ok(rel)
+    }
+
+    /// Non-aggregated projection. Returns the output relation plus, when
+    /// ORDER BY is present, one sort-key row per output row.
+    fn select_plain(
+        &mut self,
+        s: &Select,
+        input: Relation,
+        order_by: &[OrderByItem],
+    ) -> Result<(Relation, Option<Vec<Row>>)> {
+        // Compile projection items.
+        enum Item {
+            All,
+            Qualified(String),
+            Expr(CompiledExpr),
+        }
+        let mut items = Vec::new();
+        let mut out_cols = Vec::new();
+        for item in &s.projection {
+            match item {
+                SelectItem::Wildcard => {
+                    out_cols.extend(input.cols.iter().cloned());
+                    items.push(Item::All);
+                }
+                SelectItem::QualifiedWildcard(q) => {
+                    let matching: Vec<_> = input
+                        .cols
+                        .iter()
+                        .filter(|c| c.qualifier.as_deref() == Some(q.as_str()))
+                        .cloned()
+                        .collect();
+                    if matching.is_empty() {
+                        return Err(DbError::UnknownTable(q.clone()));
+                    }
+                    out_cols.extend(matching);
+                    items.push(Item::Qualified(q.clone()));
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let compiled = self.compile_scalar(expr, &input.cols)?;
+                    out_cols.push(ColMeta::new(None, output_name(expr, alias.as_deref())));
+                    items.push(Item::Expr(compiled));
+                }
+            }
+        }
+
+        // Sort keys: output-position/name matches are handled after
+        // projection; other expressions are evaluated on the input row.
+        let sort_plan = self.plan_sort_keys(order_by, &out_cols, &input.cols)?;
+
+        let mut out_rows = Vec::with_capacity(input.rows.len());
+        let mut key_rows = if order_by.is_empty() {
+            None
+        } else {
+            Some(Vec::with_capacity(input.rows.len()))
+        };
+        for row in &input.rows {
+            let mut out = Vec::with_capacity(out_cols.len());
+            for item in &items {
+                match item {
+                    Item::All => out.extend(row.iter().cloned()),
+                    Item::Qualified(q) => {
+                        for (c, v) in input.cols.iter().zip(row) {
+                            if c.qualifier.as_deref() == Some(q.as_str()) {
+                                out.push(v.clone());
+                            }
+                        }
+                    }
+                    Item::Expr(e) => out.push(e.eval(row)?),
+                }
+            }
+            if let Some(keys) = &mut key_rows {
+                keys.push(eval_sort_keys(&sort_plan, &out, row)?);
+            }
+            out_rows.push(out);
+        }
+        Ok((Relation::new(out_cols, out_rows), key_rows))
+    }
+
+    /// Aggregated projection (GROUP BY or aggregate functions present).
+    fn select_grouped(
+        &mut self,
+        s: &Select,
+        input: Relation,
+        order_by: &[OrderByItem],
+    ) -> Result<(Relation, Option<Vec<Row>>)> {
+        // Compile group keys in scalar mode.
+        let mut group_exprs = Vec::with_capacity(s.group_by.len());
+        for g in &s.group_by {
+            // Allow positional GROUP BY (e.g. GROUP BY 1).
+            if let Expr::Literal(Literal::Integer(i)) = g {
+                let idx = *i as usize;
+                if idx >= 1 && idx <= s.projection.len() {
+                    if let SelectItem::Expr { expr, .. } = &s.projection[idx - 1] {
+                        group_exprs.push(self.compile_scalar(expr, &input.cols)?);
+                        continue;
+                    }
+                }
+            }
+            group_exprs.push(self.compile_scalar(g, &input.cols)?);
+        }
+
+        // Compile projection and HAVING in group mode, collecting AggSpecs.
+        let mut gc = GroupCompiler {
+            group_exprs: &group_exprs,
+            aggs: Vec::new(),
+        };
+        let mut out_cols = Vec::new();
+        let mut out_exprs = Vec::new();
+        for item in &s.projection {
+            match item {
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+                    return Err(DbError::InvalidAggregate(
+                        "wildcard projection is not allowed in an aggregated query".into(),
+                    ));
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let compiled = gc.compile(self, expr, &input.cols)?;
+                    out_cols.push(ColMeta::new(None, output_name(expr, alias.as_deref())));
+                    out_exprs.push(compiled);
+                }
+            }
+        }
+        let having = s
+            .having
+            .as_ref()
+            .map(|h| gc.compile(self, h, &input.cols))
+            .transpose()?;
+        // Order-by expressions may also be grouped expressions.
+        let mut order_compiled = Vec::new();
+        for item in order_by {
+            let plan = match sort_key_by_output(&item.expr, &out_cols)? {
+                Some(pos) => SortKey::Output(pos),
+                None => SortKey::Source(gc.compile(self, &item.expr, &input.cols)?),
+            };
+            order_compiled.push(plan);
+        }
+        let aggs = gc.aggs;
+
+        // Partition input rows into groups.
+        let mut group_index: HashMap<RowKey, usize> = HashMap::new();
+        let mut groups: Vec<(Row, Vec<usize>)> = Vec::new();
+        for (ri, row) in input.rows.iter().enumerate() {
+            let mut key_vals = Vec::with_capacity(group_exprs.len());
+            for g in &group_exprs {
+                key_vals.push(g.eval(row)?);
+            }
+            let key = RowKey::from_values(&key_vals);
+            let gi = *group_index.entry(key).or_insert_with(|| {
+                groups.push((key_vals, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push(ri);
+        }
+        // A grand aggregate over zero rows still yields one group.
+        if s.group_by.is_empty() && groups.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+
+        // Evaluate aggregates per group and build post-group rows:
+        // [group key values..., aggregate values...].
+        let mut out_rows = Vec::with_capacity(groups.len());
+        let mut key_rows = if order_by.is_empty() {
+            None
+        } else {
+            Some(Vec::with_capacity(groups.len()))
+        };
+        for (key_vals, row_indices) in groups {
+            let member_rows: Vec<&[Value]> = row_indices
+                .iter()
+                .map(|&i| input.rows[i].as_slice())
+                .collect();
+            let mut group_row = key_vals;
+            for spec in &aggs {
+                group_row.push(spec.compute(&member_rows)?);
+            }
+            if let Some(h) = &having {
+                if !h.eval_bool(&group_row)? {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(out_exprs.len());
+            for e in &out_exprs {
+                out.push(e.eval(&group_row)?);
+            }
+            if let Some(keys) = &mut key_rows {
+                keys.push(eval_sort_keys(&order_compiled, &out, &group_row)?);
+            }
+            out_rows.push(out);
+        }
+        Ok((Relation::new(out_cols, out_rows), key_rows))
+    }
+
+    fn plan_sort_keys(
+        &mut self,
+        order_by: &[OrderByItem],
+        out_cols: &[ColMeta],
+        input_cols: &[ColMeta],
+    ) -> Result<Vec<SortKey>> {
+        let mut plan = Vec::with_capacity(order_by.len());
+        for item in order_by {
+            let key = match sort_key_by_output(&item.expr, out_cols)? {
+                Some(pos) => SortKey::Output(pos),
+                None => SortKey::Source(self.compile_scalar(&item.expr, input_cols)?),
+            };
+            plan.push(key);
+        }
+        Ok(plan)
+    }
+
+    // ---- FROM clause ----------------------------------------------------
+
+    fn table_ref(&mut self, t: &TableRef) -> Result<Relation> {
+        match t {
+            TableRef::Table { name, alias } => {
+                let qualifier = alias.clone().unwrap_or_else(|| name.clone());
+                // CTEs shadow base tables; later bindings shadow earlier.
+                if let Some((_, rel)) = self.ctes.iter().rev().find(|(n, _)| n == name) {
+                    return Ok(rel.clone().with_qualifier(&qualifier));
+                }
+                let table = self
+                    .db
+                    .table(name)
+                    .ok_or_else(|| DbError::UnknownTable(name.clone()))?;
+                let cols = table
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| ColMeta::new(Some(qualifier.clone()), c.name.clone()))
+                    .collect();
+                Ok(Relation::new(cols, table.rows.clone()))
+            }
+            TableRef::Derived { query, alias } => {
+                let rel = self.query(query)?;
+                Ok(rel.with_qualifier(alias))
+            }
+            TableRef::Join {
+                left,
+                right,
+                join_type,
+                constraint,
+            } => {
+                let l = self.table_ref(left)?;
+                let r = self.table_ref(right)?;
+                self.join(l, r, *join_type, constraint)
+            }
+        }
+    }
+
+    fn join(
+        &mut self,
+        left: Relation,
+        right: Relation,
+        join_type: JoinType,
+        constraint: &JoinConstraint,
+    ) -> Result<Relation> {
+        let mut combined_cols = left.cols.clone();
+        combined_cols.extend(right.cols.iter().cloned());
+
+        // Extract equijoin key pairs and a residual predicate.
+        let mut key_pairs: Vec<(usize, usize)> = Vec::new();
+        let mut residual: Vec<CompiledExpr> = Vec::new();
+        match constraint {
+            JoinConstraint::None => {}
+            JoinConstraint::Using(cols) => {
+                for name in cols {
+                    let cr = flex_sql::ColumnRef::bare(name.clone());
+                    let li = left.resolve(&cr)?;
+                    let ri = right.resolve(&cr)?;
+                    key_pairs.push((li, ri));
+                }
+            }
+            JoinConstraint::On(on) => {
+                for conjunct in on.conjuncts() {
+                    if let Some((a, b)) = conjunct.as_column_equality() {
+                        // Try `a` in left, `b` in right — then the reverse.
+                        match (left.resolve(a), right.resolve(b)) {
+                            (Ok(li), Ok(ri)) => {
+                                key_pairs.push((li, ri));
+                                continue;
+                            }
+                            _ => {
+                                if let (Ok(li), Ok(ri)) = (left.resolve(b), right.resolve(a)) {
+                                    key_pairs.push((li, ri));
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    residual.push(self.compile_scalar(conjunct, &combined_cols)?);
+                }
+            }
+        }
+
+        let lw = left.cols.len();
+        let rw = right.cols.len();
+        let mut out_rows: Vec<Row> = Vec::new();
+        let mut right_matched = vec![false; right.rows.len()];
+
+        // Scratch buffer reused for every candidate pair.
+        let mut combined: Row = vec![Value::Null; lw + rw];
+
+        let matches_for = |combined: &mut Row,
+                           lrow: &Row,
+                           rrow: &Row,
+                           residual: &[CompiledExpr]|
+         -> Result<bool> {
+            combined[..lw].clone_from_slice(lrow);
+            combined[lw..].clone_from_slice(rrow);
+            for p in residual {
+                if !p.eval_bool(combined)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        };
+
+        if !key_pairs.is_empty() {
+            // Hash join. NULL keys never match.
+            let mut index: HashMap<RowKey, Vec<usize>> = HashMap::new();
+            'right: for (ri, rrow) in right.rows.iter().enumerate() {
+                let mut key = Vec::with_capacity(key_pairs.len());
+                for &(_, rk) in &key_pairs {
+                    if rrow[rk].is_null() {
+                        continue 'right;
+                    }
+                    key.push(ValueKey::from(&rrow[rk]));
+                }
+                index.entry(RowKey(key)).or_default().push(ri);
+            }
+            for lrow in &left.rows {
+                let mut matched = false;
+                let mut key = Vec::with_capacity(key_pairs.len());
+                let mut has_null = false;
+                for &(lk, _) in &key_pairs {
+                    if lrow[lk].is_null() {
+                        has_null = true;
+                        break;
+                    }
+                    key.push(ValueKey::from(&lrow[lk]));
+                }
+                if !has_null {
+                    if let Some(candidates) = index.get(&RowKey(key)) {
+                        for &ri in candidates {
+                            if matches_for(&mut combined, lrow, &right.rows[ri], &residual)? {
+                                matched = true;
+                                right_matched[ri] = true;
+                                out_rows.push(combined.clone());
+                            }
+                        }
+                    }
+                }
+                if !matched && matches!(join_type, JoinType::Left | JoinType::Full) {
+                    let mut row = lrow.clone();
+                    row.extend(std::iter::repeat_n(Value::Null, rw));
+                    out_rows.push(row);
+                }
+            }
+        } else {
+            // Nested-loop join (cross joins and non-equi predicates).
+            for lrow in &left.rows {
+                let mut matched = false;
+                for (ri, rrow) in right.rows.iter().enumerate() {
+                    if matches_for(&mut combined, lrow, rrow, &residual)? {
+                        matched = true;
+                        right_matched[ri] = true;
+                        out_rows.push(combined.clone());
+                    }
+                }
+                if !matched && matches!(join_type, JoinType::Left | JoinType::Full) {
+                    let mut row = lrow.clone();
+                    row.extend(std::iter::repeat_n(Value::Null, rw));
+                    out_rows.push(row);
+                }
+            }
+        }
+
+        if matches!(join_type, JoinType::Right | JoinType::Full) {
+            for (ri, rrow) in right.rows.iter().enumerate() {
+                if !right_matched[ri] {
+                    let mut row = vec![Value::Null; lw];
+                    row.extend(rrow.iter().cloned());
+                    out_rows.push(row);
+                }
+            }
+        }
+
+        Ok(Relation::new(combined_cols, out_rows))
+    }
+
+    // ---- expression compilation -----------------------------------------
+
+    /// Compile an expression in scalar (non-aggregate) mode against a scope.
+    fn compile_scalar(&mut self, e: &Expr, cols: &[ColMeta]) -> Result<CompiledExpr> {
+        match e {
+            Expr::Column(c) => {
+                let scope = Relation::new(cols.to_vec(), Vec::new());
+                Ok(CompiledExpr::Column(scope.resolve(c)?))
+            }
+            Expr::Literal(l) => Ok(CompiledExpr::Literal(literal_value(l))),
+            Expr::BinaryOp { left, op, right } => Ok(CompiledExpr::Binary {
+                op: *op,
+                left: Box::new(self.compile_scalar(left, cols)?),
+                right: Box::new(self.compile_scalar(right, cols)?),
+            }),
+            Expr::UnaryOp { op, expr } => Ok(CompiledExpr::Unary {
+                op: *op,
+                expr: Box::new(self.compile_scalar(expr, cols)?),
+            }),
+            Expr::Function {
+                name,
+                distinct,
+                args,
+            } => {
+                if AggFunc::parse(
+                    name,
+                    *distinct,
+                    matches!(args.first(), Some(FunctionArg::Wildcard)),
+                )
+                .is_some()
+                {
+                    return Err(DbError::InvalidAggregate(format!(
+                        "aggregate function `{name}` is not allowed here"
+                    )));
+                }
+                let func = ScalarFunc::parse(name).ok_or_else(|| {
+                    DbError::Unsupported(format!("function `{name}`"))
+                })?;
+                let mut compiled_args = Vec::with_capacity(args.len());
+                for a in args {
+                    match a {
+                        FunctionArg::Wildcard => {
+                            return Err(DbError::InvalidFunction(format!(
+                                "`*` argument is only valid for count, not `{name}`"
+                            )));
+                        }
+                        FunctionArg::Expr(e) => {
+                            compiled_args.push(self.compile_scalar(e, cols)?)
+                        }
+                    }
+                }
+                Ok(CompiledExpr::ScalarFn {
+                    func,
+                    args: compiled_args,
+                })
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                let operand = operand
+                    .as_ref()
+                    .map(|o| self.compile_scalar(o, cols).map(Box::new))
+                    .transpose()?;
+                let mut compiled_branches = Vec::with_capacity(branches.len());
+                for (c, r) in branches {
+                    compiled_branches
+                        .push((self.compile_scalar(c, cols)?, self.compile_scalar(r, cols)?));
+                }
+                let else_result = else_result
+                    .as_ref()
+                    .map(|e| self.compile_scalar(e, cols).map(Box::new))
+                    .transpose()?;
+                Ok(CompiledExpr::Case {
+                    operand,
+                    branches: compiled_branches,
+                    else_result,
+                })
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let compiled = self.compile_scalar(expr, cols)?;
+                let mut compiled_list = Vec::with_capacity(list.len());
+                for item in list {
+                    compiled_list.push(self.compile_scalar(item, cols)?);
+                }
+                Ok(CompiledExpr::InList {
+                    expr: Box::new(compiled),
+                    list: compiled_list,
+                    negated: *negated,
+                })
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Ok(CompiledExpr::Between {
+                expr: Box::new(self.compile_scalar(expr, cols)?),
+                low: Box::new(self.compile_scalar(low, cols)?),
+                high: Box::new(self.compile_scalar(high, cols)?),
+                negated: *negated,
+            }),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Ok(CompiledExpr::Like {
+                expr: Box::new(self.compile_scalar(expr, cols)?),
+                pattern: Box::new(self.compile_scalar(pattern, cols)?),
+                negated: *negated,
+            }),
+            Expr::IsNull { expr, negated } => Ok(CompiledExpr::IsNull {
+                expr: Box::new(self.compile_scalar(expr, cols)?),
+                negated: *negated,
+            }),
+            Expr::Cast { expr, data_type } => Ok(CompiledExpr::Cast {
+                expr: Box::new(self.compile_scalar(expr, cols)?),
+                target: CastTarget::parse(data_type)?,
+            }),
+            // Uncorrelated subqueries are evaluated once at compile time.
+            Expr::Exists(q) => {
+                let rel = self.query(q)?;
+                Ok(CompiledExpr::Literal(Value::Bool(!rel.rows.is_empty())))
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let compiled = self.compile_scalar(expr, cols)?;
+                let rel = self.query(query)?;
+                if rel.cols.len() != 1 {
+                    return Err(DbError::Unsupported(
+                        "IN subquery must return exactly one column".into(),
+                    ));
+                }
+                let mut set = HashSet::with_capacity(rel.rows.len());
+                let mut has_null = false;
+                for row in &rel.rows {
+                    if row[0].is_null() {
+                        has_null = true;
+                    } else {
+                        set.insert(ValueKey::from(&row[0]));
+                    }
+                }
+                Ok(CompiledExpr::InSet {
+                    expr: Box::new(compiled),
+                    set,
+                    has_null,
+                    negated: *negated,
+                })
+            }
+        }
+    }
+}
+
+/// How one ORDER BY key is obtained.
+enum SortKey {
+    /// Value of an output column.
+    Output(usize),
+    /// An expression evaluated on the pre-projection source row.
+    Source(CompiledExpr),
+}
+
+/// Try to resolve an order-by expression as an output column: positional
+/// integers (`ORDER BY 2`) or names matching an output column.
+fn sort_key_by_output(e: &Expr, out_cols: &[ColMeta]) -> Result<Option<usize>> {
+    match e {
+        Expr::Literal(Literal::Integer(i)) => {
+            let idx = *i;
+            if idx < 1 || idx as usize > out_cols.len() {
+                return Err(DbError::Unsupported(format!(
+                    "ORDER BY position {idx} out of range"
+                )));
+            }
+            Ok(Some(idx as usize - 1))
+        }
+        Expr::Column(c) if c.qualifier.is_none() => {
+            Ok(out_cols.iter().position(|m| m.name == c.name))
+        }
+        _ => Ok(None),
+    }
+}
+
+fn eval_sort_keys(plan: &[SortKey], out_row: &[Value], source_row: &[Value]) -> Result<Row> {
+    let mut keys = Vec::with_capacity(plan.len());
+    for k in plan {
+        keys.push(match k {
+            SortKey::Output(i) => out_row[*i].clone(),
+            SortKey::Source(e) => e.eval(source_row)?,
+        });
+    }
+    Ok(keys)
+}
+
+fn compare_key_rows(a: &[Value], b: &[Value], order_by: &[OrderByItem]) -> std::cmp::Ordering {
+    for (i, item) in order_by.iter().enumerate() {
+        let ord = a[i].total_cmp(&b[i]);
+        let ord = if item.descending { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn permute(rows: Vec<Row>, idx: &[usize]) -> Vec<Row> {
+    let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
+    idx.iter()
+        .map(|&i| slots[i].take().expect("permutation index used once"))
+        .collect()
+}
+
+fn apply_limit_offset(rel: &mut Relation, limit: Option<u64>, offset: Option<u64>) {
+    if let Some(off) = offset {
+        let off = (off as usize).min(rel.rows.len());
+        rel.rows.drain(..off);
+    }
+    if let Some(lim) = limit {
+        rel.rows.truncate(lim as usize);
+    }
+}
+
+/// Sort a finished relation by output column names / positions only
+/// (used for set-operation results).
+fn sort_by_output_columns(rel: &mut Relation, order_by: &[OrderByItem]) -> Result<()> {
+    let mut positions = Vec::with_capacity(order_by.len());
+    for item in order_by {
+        match sort_key_by_output(&item.expr, &rel.cols)? {
+            Some(pos) => positions.push(pos),
+            None => {
+                return Err(DbError::Unsupported(
+                    "ORDER BY on a set operation must reference output columns".into(),
+                ))
+            }
+        }
+    }
+    rel.rows.sort_by(|a, b| {
+        for (pos, item) in positions.iter().zip(order_by) {
+            let ord = a[*pos].total_cmp(&b[*pos]);
+            let ord = if item.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(())
+}
+
+/// Derive the output column name for a projected expression.
+fn output_name(e: &Expr, alias: Option<&str>) -> String {
+    if let Some(a) = alias {
+        return a.to_string();
+    }
+    match e {
+        Expr::Column(c) => c.name.clone(),
+        Expr::Function { name, .. } => name.clone(),
+        _ => "expr".to_string(),
+    }
+}
+
+fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Null => Value::Null,
+        Literal::Boolean(b) => Value::Bool(*b),
+        Literal::Integer(i) => Value::Int(*i),
+        Literal::Float(f) => Value::Float(*f),
+        Literal::String(s) => Value::Str(s.clone()),
+    }
+}
+
+/// Compiles expressions in "group mode": aggregate calls become references
+/// to computed aggregate slots, and any other column use must match a
+/// GROUP BY expression.
+///
+/// Post-group rows are laid out as `[key values..., aggregate values...]`.
+struct GroupCompiler<'a> {
+    group_exprs: &'a [CompiledExpr],
+    aggs: Vec<AggSpec>,
+}
+
+impl<'a> GroupCompiler<'a> {
+    fn compile(
+        &mut self,
+        exec: &mut Exec<'_>,
+        e: &Expr,
+        input_cols: &[ColMeta],
+    ) -> Result<CompiledExpr> {
+        // Aggregate call → allocate (or reuse) an aggregate slot.
+        if let Expr::Function {
+            name,
+            distinct,
+            args,
+        } = e
+        {
+            let wildcard = matches!(args.first(), Some(FunctionArg::Wildcard));
+            if let Some(func) = AggFunc::parse(name, *distinct, wildcard) {
+                let arg = match (func, args.first()) {
+                    (AggFunc::CountStar, _) => None,
+                    (_, Some(FunctionArg::Expr(arg))) => {
+                        if arg.contains_aggregate() {
+                            return Err(DbError::InvalidAggregate(
+                                "nested aggregate functions".into(),
+                            ));
+                        }
+                        Some(exec.compile_scalar(arg, input_cols)?)
+                    }
+                    _ => {
+                        return Err(DbError::InvalidAggregate(format!(
+                            "`{name}` requires an argument"
+                        )))
+                    }
+                };
+                let spec = AggSpec { func, arg };
+                let idx = match self.aggs.iter().position(|s| *s == spec) {
+                    Some(i) => i,
+                    None => {
+                        self.aggs.push(spec);
+                        self.aggs.len() - 1
+                    }
+                };
+                return Ok(CompiledExpr::Column(self.group_exprs.len() + idx));
+            }
+        }
+
+        // A scalar-compilable expression matching a group key.
+        if let Ok(scalar) = exec.compile_scalar(e, input_cols) {
+            if let Some(pos) = self.group_exprs.iter().position(|g| *g == scalar) {
+                return Ok(CompiledExpr::Column(pos));
+            }
+            if !contains_column(&scalar) {
+                return Ok(scalar);
+            }
+        }
+
+        // Otherwise recurse structurally.
+        match e {
+            Expr::Column(c) => Err(DbError::InvalidAggregate(format!(
+                "column `{c}` must appear in GROUP BY or inside an aggregate"
+            ))),
+            Expr::Literal(l) => Ok(CompiledExpr::Literal(literal_value(l))),
+            Expr::BinaryOp { left, op, right } => Ok(CompiledExpr::Binary {
+                op: *op,
+                left: Box::new(self.compile(exec, left, input_cols)?),
+                right: Box::new(self.compile(exec, right, input_cols)?),
+            }),
+            Expr::UnaryOp { op, expr } => Ok(CompiledExpr::Unary {
+                op: *op,
+                expr: Box::new(self.compile(exec, expr, input_cols)?),
+            }),
+            Expr::Function { name, args, .. } => {
+                let func = ScalarFunc::parse(name).ok_or_else(|| {
+                    DbError::Unsupported(format!("function `{name}` in aggregate context"))
+                })?;
+                let mut compiled = Vec::with_capacity(args.len());
+                for a in args {
+                    match a {
+                        FunctionArg::Wildcard => {
+                            return Err(DbError::InvalidFunction(
+                                "`*` outside count".into(),
+                            ))
+                        }
+                        FunctionArg::Expr(e) => {
+                            compiled.push(self.compile(exec, e, input_cols)?)
+                        }
+                    }
+                }
+                Ok(CompiledExpr::ScalarFn {
+                    func,
+                    args: compiled,
+                })
+            }
+            Expr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                let operand = match operand {
+                    Some(o) => Some(Box::new(self.compile(exec, o, input_cols)?)),
+                    None => None,
+                };
+                let mut compiled_branches = Vec::with_capacity(branches.len());
+                for (c, r) in branches {
+                    compiled_branches.push((
+                        self.compile(exec, c, input_cols)?,
+                        self.compile(exec, r, input_cols)?,
+                    ));
+                }
+                let else_result = match else_result {
+                    Some(e) => Some(Box::new(self.compile(exec, e, input_cols)?)),
+                    None => None,
+                };
+                Ok(CompiledExpr::Case {
+                    operand,
+                    branches: compiled_branches,
+                    else_result,
+                })
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let compiled = self.compile(exec, expr, input_cols)?;
+                let mut compiled_list = Vec::with_capacity(list.len());
+                for item in list {
+                    compiled_list.push(self.compile(exec, item, input_cols)?);
+                }
+                Ok(CompiledExpr::InList {
+                    expr: Box::new(compiled),
+                    list: compiled_list,
+                    negated: *negated,
+                })
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Ok(CompiledExpr::Between {
+                expr: Box::new(self.compile(exec, expr, input_cols)?),
+                low: Box::new(self.compile(exec, low, input_cols)?),
+                high: Box::new(self.compile(exec, high, input_cols)?),
+                negated: *negated,
+            }),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Ok(CompiledExpr::Like {
+                expr: Box::new(self.compile(exec, expr, input_cols)?),
+                pattern: Box::new(self.compile(exec, pattern, input_cols)?),
+                negated: *negated,
+            }),
+            Expr::IsNull { expr, negated } => Ok(CompiledExpr::IsNull {
+                expr: Box::new(self.compile(exec, expr, input_cols)?),
+                negated: *negated,
+            }),
+            Expr::Cast { expr, data_type } => Ok(CompiledExpr::Cast {
+                expr: Box::new(self.compile(exec, expr, input_cols)?),
+                target: CastTarget::parse(data_type)?,
+            }),
+            Expr::Exists(_) | Expr::InSubquery { .. } => Err(DbError::Unsupported(
+                "subquery expressions in aggregate context".into(),
+            )),
+        }
+    }
+}
+
+fn contains_column(e: &CompiledExpr) -> bool {
+    match e {
+        CompiledExpr::Column(_) => true,
+        CompiledExpr::Literal(_) => false,
+        CompiledExpr::Binary { left, right, .. } => {
+            contains_column(left) || contains_column(right)
+        }
+        CompiledExpr::Unary { expr, .. } => contains_column(expr),
+        CompiledExpr::ScalarFn { args, .. } => args.iter().any(contains_column),
+        CompiledExpr::Case {
+            operand,
+            branches,
+            else_result,
+        } => {
+            operand.as_deref().is_some_and(contains_column)
+                || branches
+                    .iter()
+                    .any(|(c, r)| contains_column(c) || contains_column(r))
+                || else_result.as_deref().is_some_and(contains_column)
+        }
+        CompiledExpr::InList { expr, list, .. } => {
+            contains_column(expr) || list.iter().any(contains_column)
+        }
+        CompiledExpr::InSet { expr, .. } => contains_column(expr),
+        CompiledExpr::Between {
+            expr, low, high, ..
+        } => contains_column(expr) || contains_column(low) || contains_column(high),
+        CompiledExpr::Like { expr, pattern, .. } => {
+            contains_column(expr) || contains_column(pattern)
+        }
+        CompiledExpr::IsNull { expr, .. } => contains_column(expr),
+        CompiledExpr::Cast { expr, .. } => contains_column(expr),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::database::Database;
+    use crate::schema::{DataType, Schema};
+    use crate::value::Value;
+
+    /// Two small tables with NULLs, duplicates and non-matching keys.
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "l",
+            Schema::of(&[("k", DataType::Int), ("v", DataType::Str)]),
+        )
+        .unwrap();
+        db.create_table(
+            "r",
+            Schema::of(&[("k", DataType::Int), ("w", DataType::Int)]),
+        )
+        .unwrap();
+        db.insert(
+            "l",
+            vec![
+                vec![Value::Int(1), Value::str("a")],
+                vec![Value::Int(1), Value::str("b")],
+                vec![Value::Int(2), Value::str("c")],
+                vec![Value::Null, Value::str("n")],
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "r",
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(3), Value::Int(30)],
+                vec![Value::Null, Value::Int(99)],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    fn count(db: &Database, sql: &str) -> i64 {
+        db.execute_sql(sql)
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64()
+            .unwrap()
+    }
+
+    #[test]
+    fn inner_join_skips_null_keys() {
+        let db = db();
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k"), 2);
+    }
+
+    #[test]
+    fn left_join_pads_unmatched_with_nulls() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT l.v, r.w FROM l LEFT JOIN r ON l.k = r.k ORDER BY v")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 4);
+        // Row 'c' (k=2) and the NULL-key row have NULL w.
+        let c_row = rs.rows.iter().find(|r| r[0] == Value::str("c")).unwrap();
+        assert!(c_row[1].is_null());
+    }
+
+    #[test]
+    fn right_join_pads_left_side() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT l.v, r.w FROM l RIGHT JOIN r ON l.k = r.k")
+            .unwrap();
+        // 2 matches (a,b with w=10) + unmatched r rows k=3 and NULL.
+        assert_eq!(rs.rows.len(), 4);
+        let unmatched = rs.rows.iter().filter(|r| r[0].is_null()).count();
+        assert_eq!(unmatched, 2);
+    }
+
+    #[test]
+    fn full_join_pads_both_sides() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT l.v, r.w FROM l FULL JOIN r ON l.k = r.k")
+            .unwrap();
+        // 2 matches + 2 unmatched left (c, n) + 2 unmatched right (30, 99).
+        assert_eq!(rs.rows.len(), 6);
+    }
+
+    #[test]
+    fn cross_join_is_cartesian() {
+        let db = db();
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM l CROSS JOIN r"), 12);
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM l, r"), 12);
+    }
+
+    #[test]
+    fn join_with_residual_predicate() {
+        let db = db();
+        assert_eq!(
+            count(&db, "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k AND r.w > 10"),
+            0
+        );
+        assert_eq!(
+            count(&db, "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k AND r.w >= 10"),
+            2
+        );
+    }
+
+    #[test]
+    fn non_equi_join_uses_nested_loop() {
+        let db = db();
+        // l.k < r.w matches every non-null pair where k < w.
+        let n = count(&db, "SELECT COUNT(*) FROM l JOIN r ON l.k < r.w");
+        assert_eq!(n, 9); // 3 non-null l rows × 3 r rows, all k < w
+    }
+
+    #[test]
+    fn using_constraint_joins_on_shared_column() {
+        let db = db();
+        assert_eq!(count(&db, "SELECT COUNT(*) FROM l JOIN r USING (k)"), 2);
+    }
+
+    #[test]
+    fn group_by_treats_nulls_as_one_group() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT k, COUNT(*) FROM l GROUP BY k")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3); // 1, 2, NULL
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT k, COUNT(*) FROM l GROUP BY k HAVING COUNT(*) > 1")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0], vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn grand_aggregate_over_empty_input_yields_one_row() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT COUNT(*), SUM(w) FROM r WHERE w > 1000")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+        assert!(rs.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn order_by_positional_and_desc() {
+        let db = db();
+        let rs = db.execute_sql("SELECT v FROM l ORDER BY 1 DESC").unwrap();
+        let vals: Vec<_> = rs.rows.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(
+            vals,
+            vec![
+                Value::str("n"),
+                Value::str("c"),
+                Value::str("b"),
+                Value::str("a")
+            ]
+        );
+    }
+
+    #[test]
+    fn order_by_unprojected_column() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT v FROM r JOIN l ON r.k = l.k ORDER BY w DESC, v")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_by_aggregate_expression() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT k FROM l GROUP BY k ORDER BY COUNT(*) DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn limit_offset() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT v FROM l ORDER BY v LIMIT 2 OFFSET 1")
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::str("b")], vec![Value::str("c")]]
+        );
+    }
+
+    #[test]
+    fn union_distinct_and_all() {
+        let db = db();
+        let distinct = db
+            .execute_sql("SELECT k FROM l UNION SELECT k FROM r")
+            .unwrap();
+        assert_eq!(distinct.rows.len(), 4); // 1, 2, 3, NULL
+        let all = db
+            .execute_sql("SELECT k FROM l UNION ALL SELECT k FROM r")
+            .unwrap();
+        assert_eq!(all.rows.len(), 7);
+    }
+
+    #[test]
+    fn intersect_and_except() {
+        let db = db();
+        let inter = db
+            .execute_sql("SELECT k FROM l INTERSECT SELECT k FROM r")
+            .unwrap();
+        // Shared keys: 1 and NULL (set semantics group NULLs).
+        assert_eq!(inter.rows.len(), 2);
+        let except = db
+            .execute_sql("SELECT k FROM l EXCEPT SELECT k FROM r")
+            .unwrap();
+        assert_eq!(except.rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn cte_shadowing_and_reuse() {
+        let db = db();
+        let rs = db
+            .execute_sql(
+                "WITH l AS (SELECT k FROM r), x AS (SELECT k FROM l) \
+                 SELECT COUNT(*) FROM x",
+            )
+            .unwrap();
+        // CTE `l` shadows base table l; x reads from the CTE (3 rows).
+        assert_eq!(rs.scalar(), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn derived_table_with_alias_scope() {
+        let db = db();
+        assert_eq!(
+            count(
+                &db,
+                "SELECT COUNT(*) FROM (SELECT k AS key FROM l WHERE k IS NOT NULL) s \
+                 JOIN r ON s.key = r.k"
+            ),
+            2
+        );
+    }
+
+    #[test]
+    fn uncorrelated_in_subquery() {
+        let db = db();
+        assert_eq!(
+            count(&db, "SELECT COUNT(*) FROM l WHERE k IN (SELECT k FROM r)"),
+            2
+        );
+        assert_eq!(
+            count(
+                &db,
+                "SELECT COUNT(*) FROM l WHERE EXISTS (SELECT 1 FROM r WHERE w > 50)"
+            ),
+            4
+        );
+    }
+
+    #[test]
+    fn tableless_select() {
+        let db = db();
+        let rs = db.execute_sql("SELECT 1 + 2 AS three").unwrap();
+        assert_eq!(rs.columns, vec!["three"]);
+        assert_eq!(rs.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn qualified_wildcard_projects_one_side() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT r.* FROM l JOIN r ON l.k = r.k")
+            .unwrap();
+        assert_eq!(rs.columns, vec!["k", "w"]);
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn group_by_positional() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT v, COUNT(*) FROM l GROUP BY 1")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 4);
+    }
+
+    #[test]
+    fn aggregate_arithmetic_over_group_values() {
+        let db = db();
+        let rs = db
+            .execute_sql("SELECT k, COUNT(*) * 2 + 1 FROM l GROUP BY k ORDER BY 1")
+            .unwrap();
+        // k=1 has 2 rows → 5.
+        let one = rs
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Int(1))
+            .unwrap();
+        assert_eq!(one[1], Value::Int(5));
+    }
+
+    #[test]
+    fn non_grouped_column_is_rejected() {
+        let db = db();
+        let err = db
+            .execute_sql("SELECT v, COUNT(*) FROM l GROUP BY k")
+            .unwrap_err();
+        assert!(matches!(err, crate::error::DbError::InvalidAggregate(_)));
+    }
+
+    #[test]
+    fn distinct_projection() {
+        let db = db();
+        let rs = db.execute_sql("SELECT DISTINCT k FROM l").unwrap();
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn ambiguous_bare_column_is_rejected() {
+        let db = db();
+        let err = db
+            .execute_sql("SELECT k FROM l JOIN r ON l.k = r.k")
+            .unwrap_err();
+        assert!(matches!(err, crate::error::DbError::AmbiguousColumn(_)));
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let db = db();
+        assert_eq!(
+            count(&db, "SELECT COUNT(*) FROM l a JOIN l b ON a.k = b.k"),
+            5 // k=1: 2×2, k=2: 1×1
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # flex-db
+//!
+//! An in-memory SQL database engine: the substrate the FLEX differential-
+//! privacy system runs against. FLEX treats the database as a black box
+//! (paper Requirement 1 — compatibility with existing databases); this
+//! crate supplies that black box, plus the **metrics collector** producing
+//! the precomputed max-frequency (`mf`) and value-range (`vr`) metrics the
+//! elastic-sensitivity analysis consumes.
+//!
+//! Supported execution features: CTEs, derived tables, inner/left/right/
+//! full/cross joins (hash joins on extracted equijoin keys), WHERE/GROUP
+//! BY/HAVING/ORDER BY/LIMIT, the seven aggregation functions of the
+//! paper's study (count, sum, avg, min, max, median, stddev) including
+//! `COUNT(DISTINCT ...)`, set operations, and uncorrelated subquery
+//! predicates.
+//!
+//! ```
+//! use flex_db::{Database, DataType, Schema, Value};
+//!
+//! let mut db = Database::new();
+//! db.create_table("t", Schema::of(&[("x", DataType::Int)])).unwrap();
+//! db.insert("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+//! let rs = db.execute_sql("SELECT COUNT(*) FROM t WHERE x > 1").unwrap();
+//! assert_eq!(rs.scalar(), Some(&Value::Int(1)));
+//! ```
+
+pub mod aggregate;
+pub mod csv;
+pub mod database;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod metrics;
+pub mod plan;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use aggregate::{AggFunc, AggSpec};
+pub use csv::{table_from_csv, table_to_csv};
+pub use database::Database;
+pub use error::{DbError, Result};
+pub use metrics::MetricsCatalog;
+pub use plan::{ColMeta, Relation, ResultSet};
+pub use schema::{ColumnDef, DataType, Schema};
+pub use table::{Row, Table};
+pub use value::{RowKey, Value, ValueKey};

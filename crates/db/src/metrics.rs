@@ -1,0 +1,187 @@
+//! Precomputed database metrics consumed by the elastic-sensitivity
+//! analysis: the **max-frequency** metric `mf(a, t, x)` (paper §3.3) and
+//! the **value-range** metric `vr(a, t)` (paper §3.7.2).
+//!
+//! The paper obtains `mf` with one SQL query per join column, e.g.
+//! `SELECT COUNT(a) FROM T GROUP BY a ORDER BY count DESC LIMIT 1`, and
+//! refreshes it via database triggers on update; [`crate::Database`]
+//! emulates the trigger by recomputing metrics after each write when
+//! `auto_metrics` is enabled.
+
+use crate::table::Table;
+use crate::value::ValueKey;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Metrics for every `(table, column)` pair in a database.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsCatalog {
+    /// Max frequency: occurrences of the most frequent non-null value.
+    mf: HashMap<(String, String), u64>,
+    /// Value range `max - min` for numeric columns (None for non-numeric
+    /// or all-null columns).
+    vr: HashMap<(String, String), Option<f64>>,
+}
+
+impl MetricsCatalog {
+    /// Compute metrics for a set of tables.
+    pub fn compute<'a, I: IntoIterator<Item = &'a Table>>(tables: I) -> MetricsCatalog {
+        let mut catalog = MetricsCatalog::default();
+        for table in tables {
+            catalog.add_table(table);
+        }
+        catalog
+    }
+
+    /// Compute and record metrics for one table, replacing prior entries.
+    pub fn add_table(&mut self, table: &Table) {
+        for (ci, col) in table.schema.columns.iter().enumerate() {
+            let key = (table.name.clone(), col.name.clone());
+            self.mf.insert(key.clone(), max_frequency(table, ci));
+            self.vr.insert(key, value_range(table, ci));
+        }
+    }
+
+    /// The max-frequency metric `mf(column, table, x)` for the current
+    /// database instance, or `None` if the column is unknown.
+    pub fn max_freq(&self, table: &str, column: &str) -> Option<u64> {
+        self.mf.get(&(table.to_string(), column.to_string())).copied()
+    }
+
+    /// The value-range metric `vr(column, table)`, or `None` if the column
+    /// is unknown or has no numeric range.
+    pub fn value_range(&self, table: &str, column: &str) -> Option<f64> {
+        self.vr
+            .get(&(table.to_string(), column.to_string()))
+            .copied()
+            .flatten()
+    }
+
+    /// Override a metric (used to model externally-supplied data models,
+    /// e.g. a check constraint defining the permissible value range).
+    pub fn set_value_range(&mut self, table: &str, column: &str, range: f64) {
+        self.vr
+            .insert((table.to_string(), column.to_string()), Some(range));
+    }
+
+    /// Override the max-frequency metric (used by tests and by simulations
+    /// of stale metrics).
+    pub fn set_max_freq(&mut self, table: &str, column: &str, mf: u64) {
+        self.mf.insert((table.to_string(), column.to_string()), mf);
+    }
+
+    /// Number of `(table, column)` pairs with a recorded max frequency.
+    pub fn len(&self) -> usize {
+        self.mf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.mf.is_empty()
+    }
+}
+
+/// Frequency of the most frequent non-null value in column `ci`.
+fn max_frequency(table: &Table, ci: usize) -> u64 {
+    let mut counts: HashMap<ValueKey, u64> = HashMap::new();
+    let mut best = 0u64;
+    for row in &table.rows {
+        let v = &row[ci];
+        if v.is_null() {
+            continue;
+        }
+        let c = counts.entry(ValueKey::from(v)).or_insert(0);
+        *c += 1;
+        best = best.max(*c);
+    }
+    best
+}
+
+/// `max - min` over non-null numeric values of column `ci`.
+fn value_range(table: &Table, ci: usize) -> Option<f64> {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut any = false;
+    for row in &table.rows {
+        if let Some(x) = row[ci].as_f64() {
+            min = min.min(x);
+            max = max.max(x);
+            any = true;
+        }
+    }
+    if any {
+        Some(max - min)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let mut t = Table::new(
+            "trips",
+            Schema::of(&[
+                ("driver_id", DataType::Int),
+                ("fare", DataType::Float),
+                ("city", DataType::Str),
+            ]),
+        );
+        for (d, f, c) in [
+            (1, 10.0, "sf"),
+            (1, 20.0, "sf"),
+            (1, 5.0, "nyc"),
+            (2, 8.0, "sf"),
+        ] {
+            t.insert(vec![Value::Int(d), Value::Float(f), Value::str(c)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn max_frequency_counts_mode() {
+        let c = MetricsCatalog::compute([&table()]);
+        assert_eq!(c.max_freq("trips", "driver_id"), Some(3));
+        assert_eq!(c.max_freq("trips", "city"), Some(3));
+        assert_eq!(c.max_freq("trips", "fare"), Some(1));
+        assert_eq!(c.max_freq("trips", "nope"), None);
+    }
+
+    #[test]
+    fn max_frequency_ignores_nulls() {
+        let mut t = Table::new("t", Schema::of(&[("a", DataType::Int)]));
+        t.insert(vec![Value::Null]).unwrap();
+        t.insert(vec![Value::Null]).unwrap();
+        t.insert(vec![Value::Int(1)]).unwrap();
+        let c = MetricsCatalog::compute([&t]);
+        assert_eq!(c.max_freq("t", "a"), Some(1));
+    }
+
+    #[test]
+    fn empty_table_has_zero_mf() {
+        let t = Table::new("t", Schema::of(&[("a", DataType::Int)]));
+        let c = MetricsCatalog::compute([&t]);
+        assert_eq!(c.max_freq("t", "a"), Some(0));
+    }
+
+    #[test]
+    fn value_range_numeric_only() {
+        let c = MetricsCatalog::compute([&table()]);
+        assert_eq!(c.value_range("trips", "fare"), Some(15.0));
+        assert_eq!(c.value_range("trips", "driver_id"), Some(1.0));
+        assert_eq!(c.value_range("trips", "city"), None);
+    }
+
+    #[test]
+    fn overrides() {
+        let mut c = MetricsCatalog::compute([&table()]);
+        c.set_value_range("trips", "fare", 100.0);
+        c.set_max_freq("trips", "driver_id", 65);
+        assert_eq!(c.value_range("trips", "fare"), Some(100.0));
+        assert_eq!(c.max_freq("trips", "driver_id"), Some(65));
+    }
+}

@@ -1,0 +1,150 @@
+//! Intermediate relations flowing between execution operators.
+
+use crate::error::{DbError, Result};
+use crate::table::Row;
+use flex_sql::ColumnRef;
+
+/// Metadata for one column of an intermediate relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColMeta {
+    /// Table alias (or table name) qualifying the column, if any.
+    pub qualifier: Option<String>,
+    pub name: String,
+}
+
+impl ColMeta {
+    pub fn new(qualifier: Option<String>, name: impl Into<String>) -> Self {
+        ColMeta {
+            qualifier,
+            name: name.into(),
+        }
+    }
+
+    fn matches(&self, r: &ColumnRef) -> bool {
+        if self.name != r.name {
+            return false;
+        }
+        match &r.qualifier {
+            None => true,
+            Some(q) => self.qualifier.as_deref() == Some(q.as_str()),
+        }
+    }
+}
+
+/// An intermediate relation: ordered columns plus a multiset of rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Relation {
+    pub cols: Vec<ColMeta>,
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    pub fn new(cols: Vec<ColMeta>, rows: Vec<Row>) -> Self {
+        Relation { cols, rows }
+    }
+
+    /// Resolve a column reference to an index into this relation's rows.
+    ///
+    /// Bare names must be unambiguous; qualified names must match a column
+    /// with that qualifier.
+    pub fn resolve(&self, r: &ColumnRef) -> Result<usize> {
+        let mut found = None;
+        for (i, c) in self.cols.iter().enumerate() {
+            if c.matches(r) {
+                if found.is_some() {
+                    return Err(DbError::AmbiguousColumn(r.to_string()));
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| DbError::UnknownColumn(r.to_string()))
+    }
+
+    /// Re-qualify every column with a new alias (as when a derived table or
+    /// base table gets a `FROM ... alias`).
+    pub fn with_qualifier(mut self, alias: &str) -> Relation {
+        for c in &mut self.cols {
+            c.qualifier = Some(alias.to_string());
+        }
+        self
+    }
+}
+
+/// The final result of executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl From<Relation> for ResultSet {
+    fn from(r: Relation) -> Self {
+        ResultSet {
+            columns: r.cols.into_iter().map(|c| c.name).collect(),
+            rows: r.rows,
+        }
+    }
+}
+
+impl ResultSet {
+    /// The single scalar value of a 1×1 result, if the shape matches.
+    pub fn scalar(&self) -> Option<&crate::value::Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn rel() -> Relation {
+        Relation::new(
+            vec![
+                ColMeta::new(Some("t".into()), "id"),
+                ColMeta::new(Some("u".into()), "id"),
+                ColMeta::new(Some("t".into()), "city"),
+            ],
+            vec![vec![Value::Int(1), Value::Int(2), Value::str("sf")]],
+        )
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let r = rel();
+        assert_eq!(r.resolve(&ColumnRef::qualified("u", "id")).unwrap(), 1);
+        assert_eq!(r.resolve(&ColumnRef::qualified("t", "city")).unwrap(), 2);
+    }
+
+    #[test]
+    fn bare_ambiguous_name_errors() {
+        let r = rel();
+        assert!(matches!(
+            r.resolve(&ColumnRef::bare("id")),
+            Err(DbError::AmbiguousColumn(_))
+        ));
+        assert_eq!(r.resolve(&ColumnRef::bare("city")).unwrap(), 2);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let r = rel();
+        assert!(matches!(
+            r.resolve(&ColumnRef::bare("nope")),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        let rs = ResultSet {
+            columns: vec!["count".into()],
+            rows: vec![vec![Value::Int(7)]],
+        };
+        assert_eq!(rs.scalar(), Some(&Value::Int(7)));
+    }
+}

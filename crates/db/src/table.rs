@@ -1,0 +1,88 @@
+//! In-memory tables.
+
+use crate::error::Result;
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// A row is a vector of values matching the table schema's arity.
+pub type Row = Vec<Value>;
+
+/// An in-memory table: a schema plus a multiset of rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    pub name: String,
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a row after validating it against the schema.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        self.schema.check_row(&row)?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Insert many rows, validating each.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<()> {
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// All values of the named column (including NULLs), if it exists.
+    pub fn column_values(&self, column: &str) -> Option<Vec<&Value>> {
+        let idx = self.schema.index_of(column)?;
+        Some(self.rows.iter().map(|r| &r[idx]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    fn demo() -> Table {
+        let mut t = Table::new(
+            "t",
+            Schema::of(&[("id", DataType::Int), ("city", DataType::Str)]),
+        );
+        t.insert(vec![Value::Int(1), Value::str("sf")]).unwrap();
+        t.insert(vec![Value::Int(2), Value::str("nyc")]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut t = demo();
+        assert_eq!(t.len(), 2);
+        assert!(t.insert(vec![Value::str("bad"), Value::str("x")]).is_err());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn column_values_projects() {
+        let t = demo();
+        let vals = t.column_values("city").unwrap();
+        assert_eq!(vals, vec![&Value::str("sf"), &Value::str("nyc")]);
+        assert!(t.column_values("nope").is_none());
+    }
+}

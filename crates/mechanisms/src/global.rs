@@ -1,0 +1,97 @@
+//! The naive global-sensitivity Laplace mechanism (Dwork et al., TCC 2006).
+//!
+//! Counting queries without joins have global sensitivity 1 under bounded
+//! differential privacy; queries with joins have **unbounded** global
+//! sensitivity ("a join has the ability to multiply input records" —
+//! McSherry, quoted in paper §3.1), so this baseline must reject them.
+
+use flex_core::relalg::Rel;
+use rand::Rng;
+
+/// Global sensitivity of a counting query over `rel`, or `None` when it is
+/// unbounded (any join of protected relations).
+pub fn global_sensitivity(rel: &Rel) -> Option<f64> {
+    match rel {
+        Rel::Table { public, .. } => Some(if *public { 0.0 } else { 1.0 }),
+        Rel::Project(r) | Rel::Select(r) => global_sensitivity(r),
+        Rel::Count(_) => Some(1.0),
+        Rel::Join { left, right, .. } => {
+            let sl = global_sensitivity(left)?;
+            let sr = global_sensitivity(right)?;
+            // A join where one side is entirely public merely replicates
+            // private rows a data-independent number of times — but that
+            // number is unbounded over all databases too, unless the
+            // public side is fixed. We treat public-side joins as
+            // unbounded as well, matching the classical treatment; only
+            // fully public joins are trivially 0.
+            if sl == 0.0 && sr == 0.0 {
+                Some(0.0)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Release a count with `Lap(s/ε)` noise (pure ε-DP).
+pub fn noisy_count<R: Rng + ?Sized>(
+    true_count: f64,
+    sensitivity: f64,
+    epsilon: f64,
+    rng: &mut R,
+) -> f64 {
+    true_count + flex_core::laplace(rng, sensitivity / epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex_core::relalg::Attr;
+
+    fn table(name: &str, occ: usize, public: bool) -> Rel {
+        Rel::Table {
+            name: name.to_string(),
+            occurrence: occ,
+            public,
+        }
+    }
+
+    fn attr(occ: usize) -> Attr {
+        Attr {
+            occurrence: occ,
+            table: "t".to_string(),
+            column: "c".to_string(),
+        }
+    }
+
+    #[test]
+    fn plain_count_is_one() {
+        assert_eq!(global_sensitivity(&table("t", 0, false)), Some(1.0));
+        assert_eq!(
+            global_sensitivity(&Rel::Select(Box::new(table("t", 0, false)))),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn join_is_unbounded() {
+        let j = Rel::Join {
+            left: Box::new(table("a", 0, false)),
+            right: Box::new(table("b", 1, false)),
+            left_key: attr(0),
+            right_key: attr(1),
+        };
+        assert_eq!(global_sensitivity(&j), None);
+    }
+
+    #[test]
+    fn fully_public_join_is_zero() {
+        let j = Rel::Join {
+            left: Box::new(table("a", 0, true)),
+            right: Box::new(table("b", 1, true)),
+            left_key: attr(0),
+            right_key: attr(1),
+        };
+        assert_eq!(global_sensitivity(&j), Some(0.0));
+    }
+}

@@ -1,0 +1,93 @@
+//! # flex-mechanisms
+//!
+//! Baseline general-purpose differential-privacy mechanisms with join
+//! support, implemented for the paper's comparisons (Table 1 and §5.5):
+//!
+//! * [`wpinq`] — weighted PINQ: weight-rescaling joins, `Lap(1/ε)` noisy
+//!   counts over total weight. Supports all join relationships; requires a
+//!   custom runtime (fails paper Requirement 1).
+//! * [`pinq`] — PINQ's restricted key-grouping join: counts unique join
+//!   keys, so only one-to-one joins have standard semantics.
+//! * [`restricted`] — restricted sensitivity: global per-key frequency
+//!   bounds; handles one-to-one/one-to-many joins, rejects many-to-many.
+//! * [`global`] — the naive global-sensitivity Laplace mechanism: rejects
+//!   all joins of protected tables.
+
+pub mod global;
+pub mod pinq;
+pub mod restricted;
+pub mod wpinq;
+
+pub use pinq::PinqDataset;
+pub use restricted::{restricted_sensitivity, FrequencyBounds, RestrictedError, StaticBounds};
+pub use wpinq::WeightedDataset;
+
+/// The feature matrix of paper Table 1, decided by the mechanisms' actual
+/// capabilities as implemented in this crate and in `flex-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MechanismFeatures {
+    pub name: &'static str,
+    /// Requirement 1: runs against unmodified databases.
+    pub database_compatibility: bool,
+    pub one_to_one_equijoin: bool,
+    pub one_to_many_equijoin: bool,
+    pub many_to_many_equijoin: bool,
+}
+
+/// The rows of Table 1.
+pub fn table1_features() -> Vec<MechanismFeatures> {
+    vec![
+        MechanismFeatures {
+            name: "PINQ",
+            database_compatibility: false,
+            one_to_one_equijoin: true,
+            one_to_many_equijoin: false,
+            many_to_many_equijoin: false,
+        },
+        MechanismFeatures {
+            name: "wPINQ",
+            database_compatibility: false,
+            one_to_one_equijoin: true,
+            one_to_many_equijoin: true,
+            many_to_many_equijoin: true,
+        },
+        MechanismFeatures {
+            name: "Restricted sensitivity",
+            database_compatibility: false,
+            one_to_one_equijoin: true,
+            one_to_many_equijoin: true,
+            many_to_many_equijoin: false,
+        },
+        MechanismFeatures {
+            name: "DJoin",
+            database_compatibility: false,
+            one_to_one_equijoin: true,
+            one_to_many_equijoin: false,
+            many_to_many_equijoin: false,
+        },
+        MechanismFeatures {
+            name: "Elastic sensitivity (FLEX)",
+            database_compatibility: true,
+            one_to_one_equijoin: true,
+            one_to_many_equijoin: true,
+            many_to_many_equijoin: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let rows = table1_features();
+        assert_eq!(rows.len(), 5);
+        let flex = rows.last().unwrap();
+        assert!(flex.database_compatibility);
+        assert!(flex.many_to_many_equijoin);
+        let pinq = &rows[0];
+        assert!(!pinq.database_compatibility);
+        assert!(!pinq.one_to_many_equijoin);
+    }
+}

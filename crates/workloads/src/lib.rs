@@ -1,0 +1,27 @@
+//! # flex-workloads
+//!
+//! Synthetic data and query workloads calibrated to the paper's
+//! evaluation, substituting for its proprietary inputs (see DESIGN.md):
+//!
+//! * [`uber`] — a ride-sharing schema (trips/drivers/riders/cities/
+//!   user_tags/analytics) with Zipf-skewed join keys, the §5 experiment
+//!   workload, and the six Table 5 representative queries;
+//! * [`tpch`] — the TPC-H counting-query subset of §5.2.1 (8 tables,
+//!   queries Q1/Q4/Q13/Q16/Q21, region/nation/part public);
+//! * [`graph`] — a ca-HepTh-like power-law digraph with max-frequency 65
+//!   for the §3.4 triangle-counting example;
+//! * [`corpus`] — a query-corpus generator sampling the §2 study's
+//!   marginal distributions;
+//! * [`zipf`] — the skewed sampler underlying all of the above.
+
+pub mod corpus;
+pub mod graph;
+pub mod tpch;
+pub mod uber;
+pub mod zipf;
+
+pub use corpus::CorpusConfig;
+pub use graph::{GraphConfig, TRIANGLE_SQL};
+pub use tpch::TpchConfig;
+pub use uber::{QueryTraits, UberConfig, WorkloadQuery};
+pub use zipf::Zipf;

@@ -1,0 +1,95 @@
+//! A small Zipf-distributed sampler (the whitelisted `rand` crate does not
+//! ship `rand_distr`). Used to give synthetic join keys the skew that
+//! drives realistic max-frequency metrics.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability ∝ `1/(rank+1)^s` via a
+/// precomputed CDF and binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `n` ranks with exponent `s` (s = 0 is
+    /// uniform; s ≈ 1 is classic Zipf).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf support must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite CDF"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 700.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_one() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate rank 99 by roughly 100×.
+        assert!(counts[0] > 20 * counts[99].max(1));
+        // And the distribution must be monotone-ish at the head.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[5]);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+}

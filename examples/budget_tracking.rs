@@ -1,0 +1,68 @@
+//! Privacy-budget management across a query session (paper §4.3):
+//! sequential composition with a hard cap, the strong-composition
+//! calculator, and the sparse vector technique for above-threshold probes.
+//!
+//! Run with: `cargo run --example budget_tracking`
+
+use flex::core::budget::{strong_composition, SparseVector};
+use flex::prelude::*;
+use flex::workloads::uber;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let db = uber::generate(&UberConfig {
+        trips: 20_000,
+        ..UberConfig::default()
+    });
+    let delta = PrivacyParams::delta_for_db_size(db.total_rows());
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // --- Sequential composition: ε adds up until the cap. ----------------
+    println!("=== sequential composition (cap ε = 1.0) ===");
+    let mut session = BudgetedFlex::new(&db, PrivacyBudget::new(1.0, 1e-4));
+    let per_query = PrivacyParams::new(0.3, delta).unwrap();
+    for sql in [
+        "SELECT COUNT(*) FROM trips",
+        "SELECT COUNT(*) FROM trips WHERE status = 'completed'",
+        "SELECT COUNT(*) FROM trips WHERE fare > 20",
+        "SELECT COUNT(*) FROM trips WHERE fare > 40", // 4th × 0.3 > 1.0
+    ] {
+        match session.run(sql, per_query, &mut rng) {
+            Ok(r) => println!(
+                "  ε spent {:.1}/{:.1} → {sql}\n      answer {:.0}",
+                session.budget().spent().0,
+                session.budget().epsilon_cap,
+                r.scalar().unwrap()
+            ),
+            Err(e) => println!("  {sql}\n      {e}"),
+        }
+    }
+
+    // --- Strong composition: tighter accounting for many queries. --------
+    println!("\n=== strong composition (Dwork–Rothblum–Vadhan) ===");
+    for k in [10u32, 100, 1000] {
+        let (eps_strong, delta_total) = strong_composition(0.01, 0.0, k, 1e-6);
+        println!(
+            "  {k} queries at ε = 0.01 → sequential ε = {:.2}, strong ε' = {:.3} \
+             (δ″ = 1e-6, total δ = {delta_total:.1e})",
+            0.01 * k as f64,
+            eps_strong
+        );
+    }
+
+    // --- Sparse vector: pay only for answered queries. --------------------
+    println!("\n=== sparse vector technique (threshold = 500 trips) ===");
+    let params = PrivacyParams::new(1.0, delta).unwrap();
+    let mut sv = SparseVector::new(&db, 500.0, params);
+    for sql in [
+        "SELECT COUNT(*) FROM trips WHERE fare > 35",
+        "SELECT COUNT(*) FROM trips WHERE status = 'canceled'",
+        "SELECT COUNT(*) FROM trips WHERE driver_id = 3",
+    ] {
+        match sv.probe(sql, &mut rng).unwrap() {
+            Some(answer) => println!("  {sql}\n      above threshold: ~{answer:.0}"),
+            None => println!("  {sql}\n      below threshold (no budget charged)"),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a tiny database, run one counting query with
+//! differential privacy, and inspect what FLEX did.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use flex::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A database with one protected table. FLEX never modifies the
+    //    database — it only needs the precomputed max-frequency metrics,
+    //    which flex-db maintains automatically on writes.
+    let mut db = Database::new();
+    db.create_table(
+        "visits",
+        Schema::of(&[
+            ("user_id", DataType::Int),
+            ("page", DataType::Str),
+            ("seconds", DataType::Int),
+        ]),
+    )
+    .expect("fresh table");
+    let rows: Vec<Vec<Value>> = (0..10_000)
+        .map(|i| {
+            vec![
+                Value::Int(i % 700),                              // user
+                Value::str(if i % 3 == 0 { "home" } else { "search" }),
+                Value::Int(10 + (i * 7) % 120),
+            ]
+        })
+        .collect();
+    db.insert("visits", rows).expect("typed rows");
+
+    // 2. Privacy parameters. delta_for_db_size gives the paper's
+    //    δ = n^(−ln n) default.
+    let n = db.total_rows();
+    let params = PrivacyParams::new(0.5, PrivacyParams::delta_for_db_size(n))
+        .expect("valid (ε, δ)");
+
+    // 3. Ask a question with differential privacy.
+    let sql = "SELECT COUNT(*) FROM visits WHERE page = 'home'";
+    let mut rng = StdRng::seed_from_u64(2024);
+    let result = run_sql(&db, sql, params, &mut rng).expect("supported query");
+
+    let truth = db.execute_sql(sql).unwrap();
+    println!("query          : {sql}");
+    println!("true count     : {}", truth.rows[0][0]);
+    println!("private count  : {:.1}", result.scalar().unwrap());
+    let sens = result.column_sensitivity[0].expect("aggregate column");
+    println!(
+        "elastic sens.  : smooth bound {:.3} at k = {}, Laplace scale {:.2}",
+        sens.smooth_bound, sens.argmax_k, sens.noise_scale
+    );
+    println!(
+        "pipeline time  : analysis {:?}, execution {:?}, perturbation {:?}",
+        result.timings.analysis, result.timings.execution, result.timings.perturbation
+    );
+
+    // 4. Unsupported queries are rejected with a structured reason rather
+    //    than leaking data.
+    let raw = run_sql(&db, "SELECT user_id FROM visits", params, &mut rng);
+    println!("\nraw-data query → {}", raw.unwrap_err());
+}

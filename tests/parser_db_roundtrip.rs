@@ -1,0 +1,236 @@
+//! Property tests spanning flex-sql and flex-db: printer/parser
+//! round-trips on generated ASTs, and executor semantics checked against
+//! independent Rust reimplementations.
+
+use flex::prelude::*;
+use flex::sql::{
+    BinaryOperator, ColumnRef, Expr, Literal, Select, SelectItem, TableRef,
+};
+use proptest::prelude::*;
+
+// ---- expression generation ------------------------------------------------
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Boolean),
+        (-1000i64..1000).prop_map(Literal::Integer),
+        (-100i32..100).prop_map(|v| Literal::Float(v as f64 / 4.0)),
+        "[a-z]{0,6}".prop_map(Literal::String),
+    ]
+}
+
+fn arb_column() -> impl Strategy<Value = ColumnRef> {
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,5}".prop_map(ColumnRef::bare),
+        ("[a-z][a-z0-9_]{0,3}", "[a-z][a-z0-9_]{0,5}")
+            .prop_map(|(q, n)| ColumnRef::qualified(q, n)),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        arb_column().prop_map(Expr::Column),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                inner.clone(),
+                prop_oneof![
+                    Just(BinaryOperator::Plus),
+                    Just(BinaryOperator::Multiply),
+                    Just(BinaryOperator::Eq),
+                    Just(BinaryOperator::Lt),
+                    Just(BinaryOperator::And),
+                    Just(BinaryOperator::Or),
+                ],
+                inner.clone()
+            )
+                .prop_map(|(l, op, r)| Expr::binary(l, op, r)),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(e, list)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated: false,
+                }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| {
+                Expr::Between {
+                    expr: Box::new(a),
+                    low: Box::new(b),
+                    high: Box::new(c),
+                    negated: true,
+                }
+            }),
+            inner.clone().prop_map(|e| Expr::IsNull {
+                expr: Box::new(e),
+                negated: false,
+            }),
+            (inner.clone(), inner).prop_map(|(c, r)| Expr::Case {
+                operand: None,
+                branches: vec![(c, r)],
+                else_result: None,
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// print → parse is the identity on expression ASTs.
+    #[test]
+    fn expression_print_parse_roundtrip(e in arb_expr()) {
+        let select = Select {
+            distinct: false,
+            projection: vec![SelectItem::Expr { expr: e, alias: None }],
+            from: Some(TableRef::Table { name: "t".into(), alias: None }),
+            selection: None,
+            group_by: vec![],
+            having: None,
+        };
+        let q = Query::from_select(select);
+        let text = print_query(&q);
+        let reparsed = parse_query(&text)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{text}"));
+        prop_assert_eq!(q, reparsed, "{}", text);
+    }
+}
+
+// ---- executor semantics ----------------------------------------------------
+
+fn int_db(xs: &[i64]) -> Database {
+    let mut db = Database::new();
+    db.create_table("t", Schema::of(&[("x", DataType::Int)])).unwrap();
+    db.insert("t", xs.iter().map(|x| vec![Value::Int(*x)]).collect())
+        .unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// COUNT(*) WHERE x > c agrees with a direct Rust filter.
+    #[test]
+    fn filtered_count_matches_rust(
+        xs in proptest::collection::vec(-50i64..50, 0..40),
+        c in -60i64..60,
+    ) {
+        let db = int_db(&xs);
+        let rs = db
+            .execute_sql(&format!("SELECT COUNT(*) FROM t WHERE x > {c}"))
+            .unwrap();
+        let expected = xs.iter().filter(|x| **x > c).count() as i64;
+        prop_assert_eq!(rs.scalar().unwrap().as_i64().unwrap(), expected);
+    }
+
+    /// SUM/MIN/MAX agree with direct computation (empty → NULL).
+    #[test]
+    fn aggregates_match_rust(xs in proptest::collection::vec(-50i64..50, 0..40)) {
+        let db = int_db(&xs);
+        let rs = db
+            .execute_sql("SELECT SUM(x), MIN(x), MAX(x), COUNT(x) FROM t")
+            .unwrap();
+        let row = &rs.rows[0];
+        if xs.is_empty() {
+            prop_assert!(row[0].is_null() && row[1].is_null() && row[2].is_null());
+            prop_assert_eq!(row[3].as_i64(), Some(0));
+        } else {
+            prop_assert_eq!(row[0].as_f64().unwrap() as i64, xs.iter().sum::<i64>());
+            prop_assert_eq!(row[1].as_i64(), xs.iter().min().copied());
+            prop_assert_eq!(row[2].as_i64(), xs.iter().max().copied());
+        }
+    }
+
+    /// GROUP BY partitions: per-group counts sum to the total.
+    #[test]
+    fn group_by_partitions(xs in proptest::collection::vec(0i64..6, 1..60)) {
+        let db = int_db(&xs);
+        let rs = db
+            .execute_sql("SELECT x, COUNT(*) FROM t GROUP BY x")
+            .unwrap();
+        let total: i64 = rs.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        prop_assert_eq!(total, xs.len() as i64);
+        // Each group's count matches a direct tally.
+        for row in &rs.rows {
+            let key = row[0].as_i64().unwrap();
+            let expected = xs.iter().filter(|x| **x == key).count() as i64;
+            prop_assert_eq!(row[1].as_i64().unwrap(), expected);
+        }
+    }
+
+    /// Inner-join cardinality equals the sum over keys of count products.
+    #[test]
+    fn join_cardinality_matches_combinatorics(
+        xs in proptest::collection::vec(0i64..5, 0..25),
+        ys in proptest::collection::vec(0i64..5, 0..25),
+    ) {
+        let mut db = Database::new();
+        db.create_table("a", Schema::of(&[("k", DataType::Int)])).unwrap();
+        db.create_table("b", Schema::of(&[("k", DataType::Int)])).unwrap();
+        db.insert("a", xs.iter().map(|x| vec![Value::Int(*x)]).collect()).unwrap();
+        db.insert("b", ys.iter().map(|y| vec![Value::Int(*y)]).collect()).unwrap();
+        let rs = db
+            .execute_sql("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k")
+            .unwrap();
+        let mut expected = 0i64;
+        for key in 0..5 {
+            let ca = xs.iter().filter(|x| **x == key).count() as i64;
+            let cb = ys.iter().filter(|y| **y == key).count() as i64;
+            expected += ca * cb;
+        }
+        prop_assert_eq!(rs.scalar().unwrap().as_i64().unwrap(), expected);
+    }
+
+    /// LEFT JOIN preserves every left row at least once.
+    #[test]
+    fn left_join_preserves_left_rows(
+        xs in proptest::collection::vec(0i64..5, 1..20),
+        ys in proptest::collection::vec(0i64..5, 0..20),
+    ) {
+        let mut db = Database::new();
+        db.create_table("a", Schema::of(&[("k", DataType::Int)])).unwrap();
+        db.create_table("b", Schema::of(&[("k", DataType::Int)])).unwrap();
+        db.insert("a", xs.iter().map(|x| vec![Value::Int(*x)]).collect()).unwrap();
+        db.insert("b", ys.iter().map(|y| vec![Value::Int(*y)]).collect()).unwrap();
+        let n = db
+            .execute_sql("SELECT COUNT(*) FROM a LEFT JOIN b ON a.k = b.k")
+            .unwrap()
+            .scalar()
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        prop_assert!(n >= xs.len() as i64);
+    }
+
+    /// ORDER BY x yields a sorted column; LIMIT truncates.
+    #[test]
+    fn order_by_sorts_and_limit_truncates(
+        xs in proptest::collection::vec(-50i64..50, 0..40),
+        lim in 0u64..10,
+    ) {
+        let db = int_db(&xs);
+        let rs = db
+            .execute_sql(&format!("SELECT x FROM t ORDER BY x LIMIT {lim}"))
+            .unwrap();
+        prop_assert!(rs.rows.len() <= lim as usize);
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.truncate(lim as usize);
+        prop_assert_eq!(got, sorted);
+    }
+
+    /// DISTINCT yields the set of values.
+    #[test]
+    fn distinct_deduplicates(xs in proptest::collection::vec(0i64..8, 0..40)) {
+        let db = int_db(&xs);
+        let rs = db.execute_sql("SELECT DISTINCT x FROM t").unwrap();
+        let mut got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        got.sort_unstable();
+        let mut expected: Vec<i64> = xs.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(got, expected);
+    }
+}
