@@ -22,7 +22,10 @@ fn bench_mechanism(c: &mut Criterion) {
     let mut g = c.benchmark_group("flex_end_to_end");
     g.sample_size(20);
     for (name, sql) in [
-        ("count", "SELECT COUNT(*) FROM trips WHERE status = 'completed'"),
+        (
+            "count",
+            "SELECT COUNT(*) FROM trips WHERE status = 'completed'",
+        ),
         (
             "join_count",
             "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id",
@@ -53,17 +56,14 @@ fn bench_mechanism(c: &mut Criterion) {
 
     c.bench_function("wpinq_weighted_join", |b| {
         let trips = WeightedDataset::from_table(db.table("trips").unwrap());
-        let drivers = WeightedDataset::from_table(db.table("drivers").unwrap())
-            .with_columns(vec![
-                "d_id".into(),
-                "d_city".into(),
-                "d_vehicle".into(),
-                "d_status".into(),
-                "d_signup".into(),
-            ]);
-        b.iter(|| {
-            black_box(trips.join("driver_id", &drivers, "d_id").total_weight())
-        })
+        let drivers = WeightedDataset::from_table(db.table("drivers").unwrap()).with_columns(vec![
+            "d_id".into(),
+            "d_city".into(),
+            "d_vehicle".into(),
+            "d_status".into(),
+            "d_signup".into(),
+        ]);
+        b.iter(|| black_box(trips.join("driver_id", &drivers, "d_id").total_weight()))
     });
 }
 

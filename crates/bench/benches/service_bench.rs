@@ -1,0 +1,57 @@
+//! Criterion benchmarks for the `flex-service` serving path: cache-hit
+//! serving vs. the full pipeline, and ledger admission overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flex_core::PrivacyParams;
+use flex_service::{BudgetLedger, LedgerPolicy, QueryService, ServiceConfig};
+use flex_workloads::uber::{self, UberConfig};
+use std::sync::Arc;
+
+fn bench_service(c: &mut Criterion) {
+    let db = Arc::new(uber::generate(&UberConfig {
+        trips: 10_000,
+        drivers: 500,
+        riders: 1_000,
+        user_tags: 500,
+        ..UberConfig::default()
+    }));
+    let params = PrivacyParams::new(0.01, 1e-9).unwrap();
+    let sql = "SELECT COUNT(*) FROM trips WHERE status = 'completed'";
+
+    let mut g = c.benchmark_group("service");
+    g.sample_size(20);
+
+    // Serving a repeated query from the noisy-answer cache: the hot path
+    // a deployment sees under heavy repeated traffic.
+    g.bench_function("cache_hit", |b| {
+        let svc = QueryService::new(Arc::clone(&db), ServiceConfig::default());
+        svc.query("warm", sql, params).unwrap();
+        b.iter(|| svc.query("reader", black_box(sql), params).unwrap())
+    });
+
+    // The same query with the cache disabled: full admission + parse +
+    // analyze + execute + noise every time.
+    g.bench_function("full_pipeline", |b| {
+        let cfg = ServiceConfig {
+            cache_capacity: 0,
+            policy: LedgerPolicy::sequential(f64::MAX, 0.999_999),
+            ..ServiceConfig::default()
+        };
+        let svc = QueryService::new(Arc::clone(&db), cfg);
+        b.iter(|| svc.query("a", black_box(sql), params).unwrap())
+    });
+
+    g.finish();
+
+    // Ledger admission on its own: the per-request bookkeeping overhead.
+    c.bench_function("ledger_charge_refund", |b| {
+        let ledger = BudgetLedger::new(LedgerPolicy::sequential(f64::MAX, 0.999_999));
+        b.iter(|| {
+            let charge = ledger.try_charge("a", 0.01, 1e-12).unwrap();
+            ledger.refund(black_box(&charge));
+        })
+    });
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

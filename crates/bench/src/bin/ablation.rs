@@ -13,7 +13,7 @@
 
 use flex_bench::write_json;
 use flex_core::{analyze, PrivacyParams, SensExpr};
-use flex_db::{Database, DataType, Schema, Value};
+use flex_db::{DataType, Database, Schema, Value};
 use flex_sql::parse_query;
 use std::time::Instant;
 
@@ -43,19 +43,20 @@ fn main() {
         "   cutoff scan : S = {:.2} at k = {} in {:?}",
         fast.smooth_bound, fast.argmax_k, fast_time
     );
-    println!(
-        "   exhaustive  : S = {slow_best:.2} (first 10M of {n} distances) in {slow_time:?}"
-    );
+    println!("   exhaustive  : S = {slow_best:.2} (first 10M of {n} distances) in {slow_time:?}");
     assert!((fast.smooth_bound - slow_best).abs() <= 1e-9 * slow_best.max(1.0));
-    println!("   → identical result, {}x faster\n",
-        (slow_time.as_nanos() / fast_time.as_nanos().max(1)));
+    println!(
+        "   → identical result, {}x faster\n",
+        (slow_time.as_nanos() / fast_time.as_nanos().max(1))
+    );
 
     // ---- 2. Max-collapse. -------------------------------------------------
     // Chain of non-self joins: each step max(mf_l·S_r, mf_r·S_l). With
     // dominance collapse most max nodes fold into one branch.
     let mut db = Database::new();
     for (i, t) in ["t0", "t1", "t2", "t3", "t4", "t5"].iter().enumerate() {
-        db.create_table(*t, Schema::of(&[("k", DataType::Int)])).unwrap();
+        db.create_table(*t, Schema::of(&[("k", DataType::Int)]))
+            .unwrap();
         db.insert(
             t,
             (0..40 + i as i64)
@@ -80,14 +81,16 @@ fn main() {
     // A modified tuple moving between two bins changes the histogram's L1
     // by 2; the factor-1 variant would under-noise.
     let mut hdb = Database::new();
-    hdb.create_table("t", Schema::of(&[("g", DataType::Int)])).unwrap();
+    hdb.create_table("t", Schema::of(&[("g", DataType::Int)]))
+        .unwrap();
     hdb.insert("t", (0..10).map(|i| vec![Value::Int(i % 2)]).collect())
         .unwrap();
     let base = hdb
         .execute_sql("SELECT g, COUNT(*) FROM t GROUP BY g")
         .unwrap();
     let mut hdb2 = Database::new();
-    hdb2.create_table("t", Schema::of(&[("g", DataType::Int)])).unwrap();
+    hdb2.create_table("t", Schema::of(&[("g", DataType::Int)]))
+        .unwrap();
     let mut rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i % 2)]).collect();
     rows[0] = vec![Value::Int(1)]; // move one tuple from bin 0 to bin 1
     hdb2.insert("t", rows).unwrap();
@@ -107,15 +110,20 @@ fn main() {
     .unwrap();
     println!("3. histogram factor 2:");
     println!("   observed L1 change from one modified tuple: {l1}");
-    println!("   elastic sensitivity (with factor 2): {}", h.sensitivity().eval(0));
+    println!(
+        "   elastic sensitivity (with factor 2): {}",
+        h.sensitivity().eval(0)
+    );
     assert_eq!(l1, 2.0);
     assert_eq!(h.sensitivity().eval(0), 2.0);
     println!("   → factor 1 would violate the bound\n");
 
     // ---- 4. Metric freshness. ---------------------------------------------
     let mut mdb = Database::new();
-    mdb.create_table("a", Schema::of(&[("k", DataType::Int)])).unwrap();
-    mdb.create_table("b", Schema::of(&[("k", DataType::Int)])).unwrap();
+    mdb.create_table("a", Schema::of(&[("k", DataType::Int)]))
+        .unwrap();
+    mdb.create_table("b", Schema::of(&[("k", DataType::Int)]))
+        .unwrap();
     mdb.insert("a", (0..20).map(|_| vec![Value::Int(1)]).collect())
         .unwrap();
     mdb.insert("b", vec![vec![Value::Int(1)]]).unwrap();

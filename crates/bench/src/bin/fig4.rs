@@ -64,12 +64,17 @@ fn main() {
         .unwrap_or(1.0);
     println!("=== Figure 4: median error vs population size (ε = 0.1) ===");
     let (db, wl) = uber_db(scale);
-    let measured = measure_workload(&db, &wl, 0.1, flex_bench::DEFAULT_TRIALS, &FlexOptions::new(), 21);
+    let measured = measure_workload(
+        &db,
+        &wl,
+        0.1,
+        flex_bench::DEFAULT_TRIALS,
+        &FlexOptions::new(),
+        21,
+    );
 
-    let no_join: Vec<&MeasuredQuery> =
-        measured.iter().filter(|m| !m.traits.has_join).collect();
-    let with_join: Vec<&MeasuredQuery> =
-        measured.iter().filter(|m| m.traits.has_join).collect();
+    let no_join: Vec<&MeasuredQuery> = measured.iter().filter(|m| !m.traits.has_join).collect();
+    let with_join: Vec<&MeasuredQuery> = measured.iter().filter(|m| m.traits.has_join).collect();
 
     print_series("(a) queries with no joins", &no_join);
     print_series("(b) queries with joins", &with_join);
@@ -92,10 +97,7 @@ fn main() {
     println!("  with joins: {ok_j}/{n_j}");
     println!("(paper: high utility for the majority of queries in both panels)");
 
-    let m2m: Vec<&MeasuredQuery> = measured
-        .iter()
-        .filter(|m| m.traits.many_to_many)
-        .collect();
+    let m2m: Vec<&MeasuredQuery> = measured.iter().filter(|m| m.traits.many_to_many).collect();
     if !m2m.is_empty() {
         let med_m2m = median(m2m.iter().map(|m| m.median_error_pct));
         let med_other = median(

@@ -139,5 +139,8 @@ fn main() {
          \x20 tiny-population Q16 sit orders of magnitude above Q1/Q4/Q13)"
     );
 
-    write_json("fig5", &serde_json::json!({"scale": scale, "queries": rows}));
+    write_json(
+        "fig5",
+        &serde_json::json!({"scale": scale, "queries": rows}),
+    );
 }

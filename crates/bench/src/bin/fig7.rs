@@ -20,8 +20,7 @@ fn main() {
             },
             ..FlexOptions::new()
         };
-        let measured =
-            measure_workload(&db, &wl, 0.1, flex_bench::DEFAULT_TRIALS, &opts, seed);
+        let measured = measure_workload(&db, &wl, 0.1, flex_bench::DEFAULT_TRIALS, &opts, seed);
         measured
             .into_iter()
             .filter(|m| m.population >= 100)
@@ -40,7 +39,10 @@ fn main() {
     );
 
     let b_with = error_buckets(
-        &with_opt.iter().map(|m| m.median_error_pct).collect::<Vec<_>>(),
+        &with_opt
+            .iter()
+            .map(|m| m.median_error_pct)
+            .collect::<Vec<_>>(),
     );
     let b_without = error_buckets(
         &without_opt

@@ -51,7 +51,12 @@ fn main() {
     t.print();
 
     // Question 3: joins per query.
-    let mut joins: Vec<usize> = r.joins_per_query.iter().copied().filter(|j| *j > 0).collect();
+    let mut joins: Vec<usize> = r
+        .joins_per_query
+        .iter()
+        .copied()
+        .filter(|j| *j > 0)
+        .collect();
     joins.sort_unstable();
     let max_joins = joins.last().copied().unwrap_or(0);
     println!("\nQuestion 3: joins per query (join queries only)");
@@ -66,7 +71,10 @@ fn main() {
     // Question 4: join types / conditions / self joins / relationships.
     println!("\nQuestion 4: join condition (measured % vs paper %)");
     let jc = &r.join_conditions;
-    let total_j = (jc.equijoin + jc.compound + jc.column_comparison + jc.literal_comparison
+    let total_j = (jc.equijoin
+        + jc.compound
+        + jc.column_comparison
+        + jc.literal_comparison
         + jc.other)
         .max(1) as f64;
     let mut t = Table::new(["Condition", "measured %", "paper %"]);

@@ -11,8 +11,13 @@ use flex_mechanisms::{
 
 fn probe_table(name: &str, key_values: &[i64]) -> flex_db::Table {
     let mut t = flex_db::Table::new(name, Schema::of(&[("k", DataType::Int)]));
-    t.insert_all(key_values.iter().map(|v| vec![Value::Int(*v)]).collect::<Vec<_>>())
-        .unwrap();
+    t.insert_all(
+        key_values
+            .iter()
+            .map(|v| vec![Value::Int(*v)])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
     t
 }
 
@@ -52,34 +57,35 @@ fn main() {
 
     // --- PINQ: restricted join counts unique keys, so only 1:1 joins have
     // standard semantics.
-    let pinq_one = PinqDataset::from_table(&one_a)
-        .restricted_join("k", &PinqDataset::from_table(&one_b), "k");
+    let pinq_one =
+        PinqDataset::from_table(&one_a).restricted_join("k", &PinqDataset::from_table(&one_b), "k");
     let true_one_to_one = 3; // keys 1,2,3 pair uniquely
     let pinq_1to1_ok = pinq_one.rows.len() == true_one_to_one;
-    let pinq_many = PinqDataset::from_table(&many_a)
-        .restricted_join("k", &PinqDataset::from_table(&one_b), "k");
+    let pinq_many = PinqDataset::from_table(&many_a).restricted_join(
+        "k",
+        &PinqDataset::from_table(&one_b),
+        "k",
+    );
     let true_one_to_many = 5; // standard join of many_a with one_b
     let pinq_1ton_ok = pinq_many.rows.len() == true_one_to_many;
 
     // --- wPINQ: all joins execute; counts are weighted (biased but DP).
-    let w_mm = WeightedDataset::from_table(&many_a)
-        .join("k", &WeightedDataset::from_table(&many_b), "k");
+    let w_mm =
+        WeightedDataset::from_table(&many_a).join("k", &WeightedDataset::from_table(&many_b), "k");
     let wpinq_mm_ok = w_mm.total_weight() > 0.0;
 
     // --- Restricted sensitivity: bounded for 1:1 and 1:n, fails on n:m.
-    let bounds = StaticBounds::new()
-        .with("a", "k", 2)
-        .with("b", "k", 1);
+    let bounds = StaticBounds::new().with("a", "k", 2).with("b", "k", 1);
     let rs_1n = restricted_sensitivity(&rel_join("a", "b"), &bounds);
-    let bounds_mm = StaticBounds::new()
-        .with("a", "k", 2)
-        .with("b", "k", 3);
+    let bounds_mm = StaticBounds::new().with("a", "k", 2).with("b", "k", 3);
     let rs_mm = restricted_sensitivity(&rel_join("a", "b"), &bounds_mm);
 
     // --- Elastic sensitivity: all three classes bounded.
     let mut db = flex_db::Database::new();
-    db.create_table("a", Schema::of(&[("k", DataType::Int)])).unwrap();
-    db.create_table("b", Schema::of(&[("k", DataType::Int)])).unwrap();
+    db.create_table("a", Schema::of(&[("k", DataType::Int)]))
+        .unwrap();
+    db.create_table("b", Schema::of(&[("k", DataType::Int)]))
+        .unwrap();
     db.insert("a", many_a.rows.clone()).unwrap();
     db.insert("b", many_b.rows.clone()).unwrap();
     let q = flex_sql::parse_query("SELECT COUNT(*) FROM a JOIN b ON a.k = b.k").unwrap();
@@ -90,13 +96,21 @@ fn main() {
         "  PINQ restricted join, 1:1   → count {} (truth {}) — {}",
         pinq_one.rows.len(),
         true_one_to_one,
-        if pinq_1to1_ok { "standard semantics" } else { "DEVIATES" }
+        if pinq_1to1_ok {
+            "standard semantics"
+        } else {
+            "DEVIATES"
+        }
     );
     println!(
         "  PINQ restricted join, 1:n   → count {} (truth {}) — {}",
         pinq_many.rows.len(),
         true_one_to_many,
-        if pinq_1ton_ok { "standard semantics" } else { "deviates (counts keys)" }
+        if pinq_1ton_ok {
+            "standard semantics"
+        } else {
+            "deviates (counts keys)"
+        }
     );
     println!(
         "  wPINQ n:m join              → total weight {:.3} (executes, weighted)",
@@ -131,9 +145,15 @@ fn main() {
     println!("\n(matches paper Table 1 row for row)");
 
     // Cross-check the matrix against the probes.
-    assert!(pinq_1to1_ok && !pinq_1ton_ok, "PINQ probe contradicts matrix");
+    assert!(
+        pinq_1to1_ok && !pinq_1ton_ok,
+        "PINQ probe contradicts matrix"
+    );
     assert!(wpinq_mm_ok, "wPINQ probe contradicts matrix");
-    assert!(rs_1n.is_ok() && rs_mm.is_err(), "restricted probe contradicts matrix");
+    assert!(
+        rs_1n.is_ok() && rs_mm.is_err(),
+        "restricted probe contradicts matrix"
+    );
     assert!(elastic_mm_ok, "elastic probe contradicts matrix");
 
     write_json(

@@ -54,8 +54,7 @@ fn main() {
         "2.4 s".into(),
     ]);
     t.print();
-    let overhead =
-        100.0 * (ana_avg + pert_avg).as_secs_f64() / exec_avg.as_secs_f64().max(1e-12);
+    let overhead = 100.0 * (ana_avg + pert_avg).as_secs_f64() / exec_avg.as_secs_f64().max(1e-12);
     println!(
         "\nFLEX overhead vs. original execution: {overhead:.2}% \
          (paper: 0.03% — their queries ran on production warehouses for\n\

@@ -16,8 +16,14 @@ fn main() {
         .unwrap_or(1.0);
     println!("=== Table 4: why do high-error queries have high error? ===\n");
     let (db, wl) = uber_db(scale);
-    let measured =
-        measure_workload(&db, &wl, 0.1, flex_bench::DEFAULT_TRIALS, &FlexOptions::new(), 51);
+    let measured = measure_workload(
+        &db,
+        &wl,
+        0.1,
+        flex_bench::DEFAULT_TRIALS,
+        &FlexOptions::new(),
+        51,
+    );
 
     // High error: > 100% median relative error (the paper's "More" bucket).
     let high: Vec<_> = measured

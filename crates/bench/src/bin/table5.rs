@@ -75,29 +75,32 @@ fn run_wpinq(no: u32, db: &Database, rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
             // trips(7) + cities(2) = 9 cols, then drivers: d_city_id at 10.
             let moved = joined.where_(|r| r[3].sql_eq(&r[10]) == Some(false));
             let est = moved.distinct(&["driver_id"]).noisy_count(EPS, rng);
-            let truth = scalar(db,
+            let truth = scalar(
+                db,
                 "SELECT COUNT(DISTINCT d.id) FROM trips t \
                  JOIN drivers d ON t.driver_id = d.id \
                  JOIN cities c ON t.city_id = c.id \
                  WHERE c.name = 'san francisco' AND t.status = 'completed' \
-                 AND d.city_id <> t.city_id");
+                 AND d.city_id <> t.city_id",
+            );
             (vec![est], vec![truth])
         }
         2 => {
             // Active drivers tagged duplicate after June 6.
             let filtered_tags = tags.where_(|r| {
                 r[1] == Value::str("duplicate_account")
-                    && r[2].sql_cmp(&Value::str("2016-06-06"))
-                        == Some(std::cmp::Ordering::Greater)
+                    && r[2].sql_cmp(&Value::str("2016-06-06")) == Some(std::cmp::Ordering::Greater)
             });
             let active = drivers_renamed.where_(|r| r[3] == Value::str("active"));
             let est = active
                 .join("d_id", &filtered_tags, "user_id")
                 .noisy_count(EPS, rng);
-            let truth = scalar(db,
+            let truth = scalar(
+                db,
                 "SELECT COUNT(*) FROM drivers d JOIN user_tags u ON d.id = u.user_id \
                  WHERE d.status = 'active' AND u.tag = 'duplicate_account' \
-                 AND u.tagged_at > '2016-06-06'");
+                 AND u.tagged_at > '2016-06-06'",
+            );
             (vec![est], vec![truth])
         }
         3 => {
@@ -107,14 +110,17 @@ fn run_wpinq(no: u32, db: &Database, rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
                     && r[2] == Value::str("motorbike")
                     && r[3] == Value::str("active")
             });
-            let heavy = analytics.where_(|r| {
-                r[1].sql_cmp(&Value::Int(10)) != Some(std::cmp::Ordering::Less)
-            });
-            let est = hanoi.join("d_id", &heavy, "driver_id").noisy_count(EPS, rng);
-            let truth = scalar(db,
+            let heavy = analytics
+                .where_(|r| r[1].sql_cmp(&Value::Int(10)) != Some(std::cmp::Ordering::Less));
+            let est = hanoi
+                .join("d_id", &heavy, "driver_id")
+                .noisy_count(EPS, rng);
+            let truth = scalar(
+                db,
                 "SELECT COUNT(*) FROM drivers d JOIN analytics a ON d.id = a.driver_id \
                  WHERE d.vehicle = 'motorbike' AND d.city_id = 3 \
-                 AND d.status = 'active' AND a.completed_trips >= 10");
+                 AND d.status = 'active' AND a.completed_trips >= 10",
+            );
             (vec![est], vec![truth])
         }
         4 => {
@@ -124,18 +130,19 @@ fn run_wpinq(no: u32, db: &Database, rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
                 .lookup_join("city_id", cities, "id");
             let bins: Vec<Value> = cities.rows.iter().map(|r| r[1].clone()).collect();
             let out = day.noisy_count_by_key("cities_name", &bins, EPS, rng);
-            let truth = histogram(db,
+            let truth = histogram(
+                db,
                 "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id \
                  WHERE t.trip_date = '2016-10-24' GROUP BY c.name",
-                &bins);
+                &bins,
+            );
             (out.into_iter().map(|(_, v)| v).collect(), truth)
         }
         5 => {
             // Histogram: trips per driver in Hong Kong, Sept 9 – Oct 3.
             let window = trips.where_(|r| {
                 r[6].sql_cmp(&Value::str("2016-09-09")) != Some(std::cmp::Ordering::Less)
-                    && r[6].sql_cmp(&Value::str("2016-10-03"))
-                        != Some(std::cmp::Ordering::Greater)
+                    && r[6].sql_cmp(&Value::str("2016-10-03")) != Some(std::cmp::Ordering::Greater)
             });
             let hk_drivers = drivers_renamed.where_(|r| r[1] == Value::Int(4));
             let joined = window.join("driver_id", &hk_drivers, "d_id");
@@ -148,12 +155,14 @@ fn run_wpinq(no: u32, db: &Database, rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
                 .map(|r| r[0].clone())
                 .collect();
             let out = joined.noisy_count_by_key("driver_id", &bins, EPS, rng);
-            let truth = histogram(db,
+            let truth = histogram(
+                db,
                 "SELECT t.driver_id, COUNT(*) FROM trips t \
                  JOIN drivers d ON t.driver_id = d.id \
                  WHERE d.city_id = 4 AND t.trip_date BETWEEN '2016-09-09' AND '2016-10-03' \
                  GROUP BY t.driver_id",
-                &bins);
+                &bins,
+            );
             (out.into_iter().map(|(_, v)| v).collect(), truth)
         }
         6 => {
@@ -175,9 +184,14 @@ fn run_wpinq(no: u32, db: &Database, rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
                 };
                 vec![Value::str(label)]
             });
-            let bins = vec![Value::str("heavy"), Value::str("regular"), Value::str("light")];
+            let bins = vec![
+                Value::str("heavy"),
+                Value::str("regular"),
+                Value::str("light"),
+            ];
             let out = bucketed.noisy_count_by_key("bucket", &bins, EPS, rng);
-            let truth = histogram(db,
+            let truth = histogram(
+                db,
                 "SELECT CASE WHEN a.completed_trips >= 250 THEN 'heavy' \
                              WHEN a.completed_trips >= 100 THEN 'regular' \
                              ELSE 'light' END AS bucket, COUNT(*) \
@@ -186,7 +200,8 @@ fn run_wpinq(no: u32, db: &Database, rng: &mut StdRng) -> (Vec<f64>, Vec<f64>) {
                  GROUP BY CASE WHEN a.completed_trips >= 250 THEN 'heavy' \
                                WHEN a.completed_trips >= 100 THEN 'regular' \
                                ELSE 'light' END",
-                &bins);
+                &bins,
+            );
             (out.into_iter().map(|(_, v)| v).collect(), truth)
         }
         other => panic!("unknown program {other}"),
@@ -301,5 +316,8 @@ fn main() {
          \x20 joins multiply FLEX's sensitivity but wPINQ's weights survive)"
     );
 
-    write_json("table5", &serde_json::json!({"epsilon": EPS, "runs": RUNS, "programs": rows}));
+    write_json(
+        "table5",
+        &serde_json::json!({"epsilon": EPS, "runs": RUNS, "programs": rows}),
+    );
 }

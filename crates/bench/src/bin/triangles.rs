@@ -31,10 +31,8 @@ fn main() {
     let epsilon = 0.7;
     let n = db.total_rows();
     println!("\nSmoothing with ε = {epsilon}:");
-    let paper_poly =
-        SensExpr::Poly(flex_core::Poly::from_coeffs(vec![8711.0, 199.0, 2.0]));
-    let walkthrough_poly =
-        SensExpr::Poly(flex_core::Poly::from_coeffs(vec![8711.0, 264.0, 2.0]));
+    let paper_poly = SensExpr::Poly(flex_core::Poly::from_coeffs(vec![8711.0, 199.0, 2.0]));
+    let walkthrough_poly = SensExpr::Poly(flex_core::Poly::from_coeffs(vec![8711.0, 264.0, 2.0]));
     let mut rows = Vec::new();
     for (label, sens, delta) in [
         ("figure-1 definition, δ=1e-8", &ours, 1e-8),

@@ -117,10 +117,7 @@ pub fn measure_workload(
 /// Draw a fresh noise vector over an existing FLEX result and return the
 /// median relative error, exactly as `FlexResult::median_relative_error_pct`
 /// would report for an independent run.
-fn re_noise_error<R: rand::Rng + ?Sized>(
-    r: &flex_core::FlexResult,
-    rng: &mut R,
-) -> Option<f64> {
+fn re_noise_error<R: rand::Rng + ?Sized>(r: &flex_core::FlexResult, rng: &mut R) -> Option<f64> {
     let mut errs: Vec<f64> = Vec::new();
     for truth in &r.true_rows {
         for (ci, s) in r.column_sensitivity.iter().enumerate() {

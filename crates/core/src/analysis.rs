@@ -58,11 +58,7 @@ pub fn analyze(q: &Query, db: &Database) -> Result<AnalyzedQuery> {
 }
 
 /// [`analyze`] with explicit options.
-pub fn analyze_with(
-    q: &Query,
-    db: &Database,
-    opts: &AnalysisOptions,
-) -> Result<AnalyzedQuery> {
+pub fn analyze_with(q: &Query, db: &Database, opts: &AnalysisOptions) -> Result<AnalyzedQuery> {
     let mut lowered = lower::lower(q, db)?;
     if opts.ignore_public_tables {
         strip_public(&mut lowered.rel);
@@ -193,13 +189,14 @@ pub fn mfk(attr: &Attr, rel: &Rel, metrics: &MetricsCatalog) -> Result<SensExpr>
                     "attribute {attr} does not originate from table occurrence {occurrence}"
                 )));
             }
-            let mf = metrics.max_freq(name, &attr.column).ok_or_else(|| {
-                FlexError::MissingMetric {
-                    table: name.clone(),
-                    column: attr.column.clone(),
-                    metric: "max-frequency".to_string(),
-                }
-            })?;
+            let mf =
+                metrics
+                    .max_freq(name, &attr.column)
+                    .ok_or_else(|| FlexError::MissingMetric {
+                        table: name.clone(),
+                        column: attr.column.clone(),
+                        metric: "max-frequency".to_string(),
+                    })?;
             // Clamp to ≥ 1: a key participating in a join matches at least
             // itself once present; this also keeps outer joins sound.
             let mf = (mf.max(1)) as f64;
@@ -307,10 +304,7 @@ mod tests {
     #[test]
     fn histogram_doubles_sensitivity() {
         let db = uber_db();
-        let a = analyze_sql(
-            &db,
-            "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id",
-        );
+        let a = analyze_sql(&db, "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id");
         assert_eq!(a.sensitivity().eval(0), 2.0);
         assert!(a.is_histogram());
     }
@@ -334,7 +328,10 @@ mod tests {
              JOIN edges e3 ON e2.dest = e3.source AND e3.dest = e1.source \
              AND e2.source < e3.source",
         );
-        let p = a.sensitivity().as_poly().expect("self joins give a plain polynomial");
+        let p = a
+            .sensitivity()
+            .as_poly()
+            .expect("self joins give a plain polynomial");
         assert_eq!(p.coeffs(), &[12871.0, 393.0, 3.0]);
         assert_eq!(a.join_count, 2);
         // First join alone: (65+k) + (65+k) + 1 = 131 + 2k, matching the
@@ -387,10 +384,8 @@ mod tests {
     #[test]
     fn ignoring_public_tables_restores_private_treatment() {
         let db = uber_db();
-        let q = parse_query(
-            "SELECT COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT COUNT(*) FROM trips t JOIN cities c ON t.city_id = c.id").unwrap();
         let a = analyze_with(
             &q,
             &db,
@@ -427,7 +422,8 @@ mod tests {
     fn sum_without_vr_metric_errors() {
         let mut db = uber_db();
         // driver_id has no vr; remove by fresh metrics on a str column.
-        db.create_table("u", Schema::of(&[("s", DataType::Str)])).unwrap();
+        db.create_table("u", Schema::of(&[("s", DataType::Str)]))
+            .unwrap();
         db.metrics_mut().set_max_freq("u", "s", 1);
         let q = parse_query("SELECT SUM(s) FROM u").unwrap();
         assert!(matches!(

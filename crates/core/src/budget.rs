@@ -65,6 +65,63 @@ impl PrivacyBudget {
         self.spent_delta += delta;
         Ok(())
     }
+
+    /// Return a previously-charged `(ε, δ)` to the budget (e.g. when the
+    /// mechanism failed after admission and released nothing). Clamped at
+    /// zero so a stray refund can never mint spare budget.
+    pub fn refund(&mut self, epsilon: f64, delta: f64) {
+        self.spent_epsilon = (self.spent_epsilon - epsilon).max(0.0);
+        self.spent_delta = (self.spent_delta - delta).max(0.0);
+    }
+}
+
+/// How a sequence of per-query charges composes into total privacy cost.
+///
+/// This is the hook `flex-service`'s per-analyst ledger plugs into; both
+/// strategies are the ones the paper's §4.3 points to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Composition {
+    /// Sequential composition: `k` queries at `(ε₀, δ₀)` cost `(kε₀, kδ₀)`.
+    Sequential,
+    /// Strong composition (Dwork, Rothblum & Vadhan): `k` homogeneous
+    /// `(ε₀, δ₀)` queries cost `(ε₀√(2k ln(1/δ″)) + kε₀(e^ε₀−1), kδ₀+δ″)`,
+    /// sublinear in `k` at the price of the fixed slack `δ″`.
+    Strong {
+        /// The `δ″` slack term of the theorem; must lie in `(0, 1)`.
+        delta_slack: f64,
+    },
+}
+
+impl Composition {
+    /// Is this strategy well-formed? (`Strong` needs `δ″ ∈ (0, 1)`.)
+    pub fn is_valid(&self) -> bool {
+        match self {
+            Composition::Sequential => true,
+            Composition::Strong { delta_slack } => *delta_slack > 0.0 && *delta_slack < 1.0,
+        }
+    }
+
+    /// Total `(ε, δ)` cost of `k` queries each charged `(epsilon, delta)`.
+    ///
+    /// **Fails closed**: a malformed strategy (e.g. `delta_slack` outside
+    /// `(0, 1)`, whose logarithm would poison the bound with NaN) reports
+    /// infinite cost so admission control built on this can never admit
+    /// under it.
+    pub fn total_cost(&self, epsilon: f64, delta: f64, k: u32) -> (f64, f64) {
+        if !self.is_valid() {
+            return (f64::INFINITY, f64::INFINITY);
+        }
+        match self {
+            Composition::Sequential => (epsilon * k as f64, delta * k as f64),
+            Composition::Strong { delta_slack } => {
+                if k == 0 {
+                    (0.0, 0.0)
+                } else {
+                    strong_composition(epsilon, delta, k, *delta_slack)
+                }
+            }
+        }
+    }
 }
 
 /// Strong composition (Dwork, Rothblum & Vadhan 2010): running `k`
@@ -74,8 +131,8 @@ impl PrivacyBudget {
 /// Returns `(ε', δ_total)`.
 pub fn strong_composition(epsilon: f64, delta: f64, k: u32, delta_slack: f64) -> (f64, f64) {
     let k_f = k as f64;
-    let eps_prime =
-        epsilon * (2.0 * k_f * (1.0 / delta_slack).ln()).sqrt() + k_f * epsilon * (epsilon.exp() - 1.0);
+    let eps_prime = epsilon * (2.0 * k_f * (1.0 / delta_slack).ln()).sqrt()
+        + k_f * epsilon * (epsilon.exp() - 1.0);
     (eps_prime, k_f * delta + delta_slack)
 }
 
@@ -117,8 +174,7 @@ impl<'a> BudgetedFlex<'a> {
             Ok(r) => Ok(r),
             Err(e) => {
                 // Refund: the mechanism released nothing.
-                self.budget.spent_epsilon -= params.epsilon;
-                self.budget.spent_delta -= params.delta;
+                self.budget.refund(params.epsilon, params.delta);
                 Err(e)
             }
         }
@@ -154,11 +210,7 @@ impl<'a> SparseVector<'a> {
 
     /// Probe a counting query. Returns `Some(noisy_answer)` if it clears
     /// the noisy threshold, else `None`.
-    pub fn probe<R: Rng + ?Sized>(
-        &mut self,
-        sql: &str,
-        rng: &mut R,
-    ) -> Result<Option<f64>> {
+    pub fn probe<R: Rng + ?Sized>(&mut self, sql: &str, rng: &mut R) -> Result<Option<f64>> {
         if !self.initialized {
             // Perturb the threshold once with half the epsilon.
             let half = PrivacyParams::new(self.params.epsilon / 2.0, self.params.delta)?;
@@ -188,12 +240,10 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.create_table("t", Schema::of(&[("x", DataType::Int)])).unwrap();
-        db.insert(
-            "t",
-            (0..500).map(|i| vec![Value::Int(i)]).collect(),
-        )
-        .unwrap();
+        db.create_table("t", Schema::of(&[("x", DataType::Int)]))
+            .unwrap();
+        db.insert("t", (0..500).map(|i| vec![Value::Int(i)]).collect())
+            .unwrap();
         db
     }
 
@@ -210,6 +260,55 @@ mod tests {
     }
 
     #[test]
+    fn budget_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PrivacyBudget>();
+        assert_send_sync::<Composition>();
+    }
+
+    #[test]
+    fn refund_restores_and_clamps() {
+        let mut b = PrivacyBudget::new(1.0, 1e-6);
+        b.try_spend(0.8, 1e-8).unwrap();
+        b.refund(0.3, 0.0);
+        assert!((b.spent().0 - 0.5).abs() < 1e-12);
+        // Over-refund clamps at zero instead of minting budget.
+        b.refund(100.0, 1.0);
+        assert_eq!(b.spent(), (0.0, 0.0));
+        b.try_spend(1.0, 1e-8).unwrap();
+    }
+
+    #[test]
+    fn composition_costs() {
+        let (e, d) = Composition::Sequential.total_cost(0.1, 1e-9, 10);
+        assert!((e - 1.0).abs() < 1e-12 && (d - 1e-8).abs() < 1e-20);
+        let strong = Composition::Strong { delta_slack: 1e-6 };
+        assert_eq!(strong.total_cost(0.1, 1e-9, 0), (0.0, 0.0));
+        let (e1, _) = strong.total_cost(0.01, 1e-9, 10_000);
+        assert!(e1 < 0.01 * 10_000.0, "strong should beat sequential");
+        let (ek, _) = strong.total_cost(0.1, 1e-9, 5);
+        let (ek1, _) = strong.total_cost(0.1, 1e-9, 6);
+        assert!(ek1 > ek, "strong composition must be monotone in k");
+    }
+
+    #[test]
+    fn malformed_strong_composition_fails_closed() {
+        for bad_slack in [-1e-6, 0.0, 1.0, 2.0, f64::NAN] {
+            let c = Composition::Strong {
+                delta_slack: bad_slack,
+            };
+            assert!(!c.is_valid());
+            let (e, d) = c.total_cost(0.01, 1e-9, 1);
+            assert!(
+                e.is_infinite() && d.is_infinite(),
+                "slack {bad_slack} must cost infinity, got ({e}, {d})"
+            );
+        }
+        assert!(Composition::Sequential.is_valid());
+        assert!(Composition::Strong { delta_slack: 1e-6 }.is_valid());
+    }
+
+    #[test]
     fn budget_rejects_nonpositive_spend() {
         let mut b = PrivacyBudget::new(1.0, 1e-6);
         assert!(b.try_spend(0.0, 0.0).is_err());
@@ -223,7 +322,8 @@ mod tests {
         let mut bf = BudgetedFlex::new(&db, PrivacyBudget::new(0.5, 1e-6));
         let p = PrivacyParams::new(0.2, 1e-8).unwrap();
         bf.run("SELECT COUNT(*) FROM t", p, &mut rng).unwrap();
-        bf.run("SELECT COUNT(*) FROM t WHERE x > 10", p, &mut rng).unwrap();
+        bf.run("SELECT COUNT(*) FROM t WHERE x > 10", p, &mut rng)
+            .unwrap();
         let err = bf.run("SELECT COUNT(*) FROM t", p, &mut rng).unwrap_err();
         assert!(matches!(err, FlexError::BudgetExhausted { .. }));
         let (eps, _) = bf.budget().spent();

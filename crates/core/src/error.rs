@@ -32,7 +32,11 @@ pub enum FlexError {
     /// Referenced column missing or ambiguous.
     UnknownColumn(String),
     /// A required metric is missing (e.g. value range for a SUM column).
-    MissingMetric { table: String, column: String, metric: String },
+    MissingMetric {
+        table: String,
+        column: String,
+        metric: String,
+    },
     /// SQL failed to parse.
     Parse(String),
     /// The privacy budget is exhausted.

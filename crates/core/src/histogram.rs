@@ -128,10 +128,7 @@ mod tests {
         let bins = enumerate_bins(&db, &[key("cities", "name", true)], 1000)
             .unwrap()
             .unwrap();
-        assert_eq!(
-            bins,
-            vec![vec![Value::str("nyc")], vec![Value::str("sf")]]
-        );
+        assert_eq!(bins, vec![vec![Value::str("nyc")], vec![Value::str("sf")]]);
     }
 
     #[test]

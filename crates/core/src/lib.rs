@@ -50,16 +50,16 @@ pub mod smooth;
 pub mod study;
 
 pub use analysis::{analyze, analyze_with, AnalysisOptions, AnalyzedQuery};
-pub use budget::{strong_composition, BudgetedFlex, PrivacyBudget, SparseVector};
+pub use budget::{strong_composition, BudgetedFlex, Composition, PrivacyBudget, SparseVector};
 pub use error::{FlexError, Result};
 pub use histogram::enumerate_bins;
 pub use laplace::{laplace, noisy};
 pub use lower::{lower, GroupKey, Lowered, OutputColumn, RootAgg};
+pub use mechanism::{
+    run_query, run_query_with, run_sql, run_sql_with, FlexOptions, FlexResult, FlexTimings,
+};
 pub use mwem::{mwem, LinearQuery, MwemResult};
 pub use ptr::{propose_test_release, PtrOutcome};
-pub use mechanism::{
-    run_query, run_sql, run_sql_with, FlexOptions, FlexResult, FlexTimings,
-};
 pub use relalg::{Attr, QueryKind, Rel};
 pub use senspoly::{Poly, SensExpr};
 pub use smooth::{smooth, PrivacyParams, SmoothSensitivity};

@@ -133,9 +133,7 @@ impl Scope {
             for (name, origin) in &e.columns {
                 if name == &c.name {
                     if found.is_some() {
-                        return Err(FlexError::UnknownColumn(format!(
-                            "{c} is ambiguous"
-                        )));
+                        return Err(FlexError::UnknownColumn(format!("{c} is ambiguous")));
                     }
                     found = Some(origin);
                 }
@@ -260,9 +258,10 @@ impl<'a> Lowerer<'a> {
                     // A bare column matching a single-column group key by
                     // name (qualification differences).
                     if let (Expr::Column(c), true) = (expr, !group_by.is_empty()) {
-                        if let Some(i) = group_by.iter().position(|g| {
-                            matches!(&g.expr, Expr::Column(gc) if gc.name == c.name)
-                        }) {
+                        if let Some(i) = group_by
+                            .iter()
+                            .position(|g| matches!(&g.expr, Expr::Column(gc) if gc.name == c.name))
+                        {
                             outputs.push(OutputColumn::Label(i));
                             continue;
                         }
@@ -319,9 +318,9 @@ impl<'a> Lowerer<'a> {
             "avg" | "mean" => Ok(Some(RootAgg::Avg(resolve_col_arg(scope)?))),
             "min" => Ok(Some(RootAgg::Min(resolve_col_arg(scope)?))),
             "max" => Ok(Some(RootAgg::Max(resolve_col_arg(scope)?))),
-            "median" | "stddev" | "stddev_samp" => Err(FlexError::UnsupportedAggregate(
-                name.clone(),
-            )),
+            "median" | "stddev" | "stddev_samp" => {
+                Err(FlexError::UnsupportedAggregate(name.clone()))
+            }
             _ => Ok(None),
         }
     }
@@ -331,11 +330,7 @@ impl<'a> Lowerer<'a> {
     /// Lower a FROM-clause relation. `where_conjuncts` lets implicit
     /// (comma/cross) joins recover their equijoin condition from the WHERE
     /// clause.
-    fn lower_table_ref(
-        &mut self,
-        t: &TableRef,
-        where_conjuncts: &[&Expr],
-    ) -> Result<(Rel, Scope)> {
+    fn lower_table_ref(&mut self, t: &TableRef, where_conjuncts: &[&Expr]) -> Result<(Rel, Scope)> {
         match t {
             TableRef::Table { name, alias } => {
                 let qualifier = alias.clone().unwrap_or_else(|| name.clone());
@@ -388,8 +383,7 @@ impl<'a> Lowerer<'a> {
                 let (rrel, rscope) = self.lower_table_ref(right, where_conjuncts)?;
                 let scope = lscope.merge(rscope.clone());
                 let lres = Scope {
-                    entries: scope.entries[..scope.entries.len() - rscope.entries.len()]
-                        .to_vec(),
+                    entries: scope.entries[..scope.entries.len() - rscope.entries.len()].to_vec(),
                 };
 
                 let lo = lrel.occurrences();
@@ -436,13 +430,11 @@ impl<'a> Lowerer<'a> {
                     };
                     match (oa, ob) {
                         (Origin::Base(attr_a), Origin::Base(attr_b)) => {
-                            if lo.contains(&attr_a.occurrence) && ro.contains(&attr_b.occurrence)
-                            {
+                            if lo.contains(&attr_a.occurrence) && ro.contains(&attr_b.occurrence) {
                                 key = Some((attr_a, attr_b));
                                 break;
                             }
-                            if lo.contains(&attr_b.occurrence) && ro.contains(&attr_a.occurrence)
-                            {
+                            if lo.contains(&attr_b.occurrence) && ro.contains(&attr_a.occurrence) {
                                 key = Some((attr_b, attr_a));
                                 break;
                             }
@@ -710,10 +702,7 @@ mod tests {
 
     #[test]
     fn histogram_kind_with_labels() {
-        let l = lower_sql(
-            "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id",
-        )
-        .unwrap();
+        let l = lower_sql("SELECT city_id, COUNT(*) FROM trips GROUP BY city_id").unwrap();
         assert_eq!(l.kind, QueryKind::Histogram);
         assert_eq!(l.outputs.len(), 2);
         assert!(matches!(l.outputs[0], OutputColumn::Label(0)));
@@ -735,10 +724,8 @@ mod tests {
 
     #[test]
     fn join_keys_resolved_to_base_attrs() {
-        let l = lower_sql(
-            "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id",
-        )
-        .unwrap();
+        let l =
+            lower_sql("SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id").unwrap();
         let Rel::Join {
             left_key,
             right_key,
@@ -755,10 +742,8 @@ mod tests {
 
     #[test]
     fn reversed_equality_still_resolves() {
-        let l = lower_sql(
-            "SELECT COUNT(*) FROM trips t JOIN drivers d ON d.id = t.driver_id",
-        )
-        .unwrap();
+        let l =
+            lower_sql("SELECT COUNT(*) FROM trips t JOIN drivers d ON d.id = t.driver_id").unwrap();
         let Rel::Join { left_key, .. } = &l.rel else {
             panic!("expected join");
         };
@@ -767,33 +752,26 @@ mod tests {
 
     #[test]
     fn self_join_gets_distinct_occurrences() {
-        let l = lower_sql(
-            "SELECT COUNT(*) FROM edges e1 JOIN edges e2 ON e1.dest = e2.source",
-        )
-        .unwrap();
+        let l = lower_sql("SELECT COUNT(*) FROM edges e1 JOIN edges e2 ON e1.dest = e2.source")
+            .unwrap();
         let Rel::Join { left, right, .. } = &l.rel else {
             panic!("expected join");
         };
         assert_ne!(left.occurrences(), right.occurrences());
-        assert_eq!(
-            left.ancestors().intersection(&right.ancestors()).count(),
-            1
-        );
+        assert_eq!(left.ancestors().intersection(&right.ancestors()).count(), 1);
     }
 
     #[test]
     fn comma_join_recovers_key_from_where() {
-        let l = lower_sql(
-            "SELECT COUNT(*) FROM trips t, drivers d WHERE t.driver_id = d.id",
-        )
-        .unwrap();
+        let l =
+            lower_sql("SELECT COUNT(*) FROM trips t, drivers d WHERE t.driver_id = d.id").unwrap();
         assert!(matches!(l.rel, Rel::Select(_)));
     }
 
     #[test]
     fn non_equijoin_rejected() {
-        let err = lower_sql("SELECT COUNT(*) FROM trips a JOIN trips b ON a.fare > b.fare")
-            .unwrap_err();
+        let err =
+            lower_sql("SELECT COUNT(*) FROM trips a JOIN trips b ON a.fare > b.fare").unwrap_err();
         assert!(matches!(err, FlexError::NonEquijoin(_)));
     }
 
@@ -838,20 +816,14 @@ mod tests {
     #[test]
     fn projection_over_count_descends_to_inner_root() {
         // π_count Count(trips) — supported per §3.3.
-        let l = lower_sql(
-            "SELECT n FROM (SELECT count(*) AS n FROM trips) x",
-        )
-        .unwrap();
+        let l = lower_sql("SELECT n FROM (SELECT count(*) AS n FROM trips) x").unwrap();
         assert_eq!(l.kind, QueryKind::Count);
         assert!(matches!(l.rel, Rel::Table { .. }));
     }
 
     #[test]
     fn cte_reference_descends_to_inner_root() {
-        let l = lower_sql(
-            "WITH c AS (SELECT count(*) AS n FROM trips) SELECT n FROM c",
-        )
-        .unwrap();
+        let l = lower_sql("WITH c AS (SELECT count(*) AS n FROM trips) SELECT n FROM c").unwrap();
         assert_eq!(l.kind, QueryKind::Count);
     }
 
@@ -893,9 +865,7 @@ mod tests {
     #[test]
     fn subquery_predicate_rejected() {
         assert!(matches!(
-            lower_sql(
-                "SELECT count(*) FROM trips WHERE driver_id IN (SELECT id FROM drivers)"
-            ),
+            lower_sql("SELECT count(*) FROM trips WHERE driver_id IN (SELECT id FROM drivers)"),
             Err(FlexError::UnsupportedSubqueryPredicate)
         ));
     }

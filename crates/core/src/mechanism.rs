@@ -43,7 +43,7 @@ impl FlexOptions {
 }
 
 /// Wall-clock timings of the three pipeline stages (Table 2).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlexTimings {
     /// Elastic-sensitivity analysis (parse + lower + sensitivity).
     pub analysis: Duration,
@@ -139,7 +139,7 @@ pub fn run_sql_with<R: Rng + ?Sized>(
 ) -> Result<FlexResult> {
     let t0 = Instant::now();
     let q = parse_query(sql)?;
-    run_query_with(db, &q, params, rng, opts, t0.elapsed())
+    run_query_timed(db, &q, params, rng, opts, t0.elapsed())
 }
 
 /// Run FLEX on a parsed query.
@@ -149,10 +149,22 @@ pub fn run_query<R: Rng + ?Sized>(
     params: PrivacyParams,
     rng: &mut R,
 ) -> Result<FlexResult> {
-    run_query_with(db, q, params, rng, &FlexOptions::new(), Duration::ZERO)
+    run_query_with(db, q, params, rng, &FlexOptions::new())
 }
 
-fn run_query_with<R: Rng + ?Sized>(
+/// Run FLEX on a parsed query with options (the entry point used by
+/// `flex-service`, which parses and canonicalizes up front).
+pub fn run_query_with<R: Rng + ?Sized>(
+    db: &Database,
+    q: &Query,
+    params: PrivacyParams,
+    rng: &mut R,
+    opts: &FlexOptions,
+) -> Result<FlexResult> {
+    run_query_timed(db, q, params, rng, opts, Duration::ZERO)
+}
+
+fn run_query_timed<R: Rng + ?Sized>(
     db: &Database,
     q: &Query,
     params: PrivacyParams,

@@ -121,8 +121,7 @@ pub fn mwem<R: Rng + ?Sized>(
         }
 
         // Laplace measurement of the chosen query.
-        let measurement =
-            workload[chosen].eval(true_hist) + laplace(rng, 2.0 / eps_round);
+        let measurement = workload[chosen].eval(true_hist) + laplace(rng, 2.0 / eps_round);
         trace.push((chosen, measurement));
 
         // Multiplicative weights update toward the measurement.

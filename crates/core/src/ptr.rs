@@ -91,10 +91,10 @@ pub fn propose_test_release<R: Rng + ?Sized>(
         .execute(&q)?
         .scalar()
         .and_then(|v| v.as_f64())
-        .ok_or_else(|| {
-            FlexError::Db("PTR requires a scalar counting query".to_string())
-        })?;
-    Ok(PtrOutcome::Released(truth + laplace(rng, proposed_bound / epsilon)))
+        .ok_or_else(|| FlexError::Db("PTR requires a scalar counting query".to_string()))?;
+    Ok(PtrOutcome::Released(
+        truth + laplace(rng, proposed_bound / epsilon),
+    ))
 }
 
 #[cfg(test)]
@@ -106,8 +106,10 @@ mod tests {
 
     fn db(skewed: bool) -> Database {
         let mut db = Database::new();
-        db.create_table("a", Schema::of(&[("k", DataType::Int)])).unwrap();
-        db.create_table("b", Schema::of(&[("k", DataType::Int)])).unwrap();
+        db.create_table("a", Schema::of(&[("k", DataType::Int)]))
+            .unwrap();
+        db.create_table("b", Schema::of(&[("k", DataType::Int)]))
+            .unwrap();
         let keys: Vec<i64> = if skewed {
             (0..2000).map(|i| if i < 1500 { 0 } else { i }).collect()
         } else {
@@ -126,8 +128,8 @@ mod tests {
         // database maximally far from trouble.
         let db = db(false);
         let mut rng = StdRng::seed_from_u64(1);
-        let out = propose_test_release(&db, "SELECT COUNT(*) FROM a", 1.0, 1.0, 1e-6, &mut rng)
-            .unwrap();
+        let out =
+            propose_test_release(&db, "SELECT COUNT(*) FROM a", 1.0, 1.0, 1e-6, &mut rng).unwrap();
         match out {
             PtrOutcome::Released(v) => assert!((v - 2000.0).abs() < 50.0),
             PtrOutcome::Withheld => panic!("flat-sensitivity count must release"),
@@ -155,7 +157,10 @@ mod tests {
                 withheld += 1;
             }
         }
-        assert_eq!(withheld, 20, "a tight bound must essentially always withhold");
+        assert_eq!(
+            withheld, 20,
+            "a tight bound must essentially always withhold"
+        );
     }
 
     #[test]
@@ -183,12 +188,15 @@ mod tests {
     fn rejects_bad_parameters() {
         let db = db(false);
         let mut rng = StdRng::seed_from_u64(4);
-        assert!(propose_test_release(&db, "SELECT COUNT(*) FROM a", 0.0, 1.0, 1e-6, &mut rng)
-            .is_err());
-        assert!(propose_test_release(&db, "SELECT COUNT(*) FROM a", 1.0, 0.0, 1e-6, &mut rng)
-            .is_err());
-        assert!(propose_test_release(&db, "SELECT COUNT(*) FROM a", 1.0, 1.0, 0.0, &mut rng)
-            .is_err());
+        assert!(
+            propose_test_release(&db, "SELECT COUNT(*) FROM a", 0.0, 1.0, 1e-6, &mut rng).is_err()
+        );
+        assert!(
+            propose_test_release(&db, "SELECT COUNT(*) FROM a", 1.0, 0.0, 1e-6, &mut rng).is_err()
+        );
+        assert!(
+            propose_test_release(&db, "SELECT COUNT(*) FROM a", 1.0, 1.0, 0.0, &mut rng).is_err()
+        );
     }
 
     #[test]

@@ -99,9 +99,7 @@ impl Rel {
                 left.collect_occurrences(out);
                 right.collect_occurrences(out);
             }
-            Rel::Project(r) | Rel::Select(r) | Rel::Count(r) => {
-                r.collect_occurrences(out)
-            }
+            Rel::Project(r) | Rel::Select(r) | Rel::Count(r) => r.collect_occurrences(out),
         }
     }
 

@@ -166,9 +166,7 @@ impl SensExpr {
                 let _ = b;
                 SensExpr::Poly(Poly::default())
             }
-            (SensExpr::Poly(p), b) | (b, SensExpr::Poly(p))
-                if matches!(p.coeffs(), [c] if *c == 1.0) =>
-            {
+            (SensExpr::Poly(p), b) | (b, SensExpr::Poly(p)) if matches!(p.coeffs(), [c] if *c == 1.0) => {
                 b
             }
             (a, b) => SensExpr::Mul(Box::new(a), Box::new(b)),
@@ -214,9 +212,7 @@ impl SensExpr {
     pub fn degree_bound(&self) -> usize {
         match self {
             SensExpr::Poly(p) => p.degree(),
-            SensExpr::Add(a, b) | SensExpr::Max(a, b) => {
-                a.degree_bound().max(b.degree_bound())
-            }
+            SensExpr::Add(a, b) | SensExpr::Max(a, b) => a.degree_bound().max(b.degree_bound()),
             SensExpr::Mul(a, b) => a.degree_bound() + b.degree_bound(),
         }
     }
@@ -238,10 +234,7 @@ fn dominates(a: &Poly, b: &Poly) -> bool {
     if b.coeffs().len() > a.coeffs().len() {
         return false;
     }
-    b.coeffs()
-        .iter()
-        .zip(a.coeffs())
-        .all(|(bc, ac)| ac >= bc)
+    b.coeffs().iter().zip(a.coeffs()).all(|(bc, ac)| ac >= bc)
 }
 
 impl fmt::Display for SensExpr {
@@ -345,10 +338,7 @@ mod tests {
     fn mul_identities() {
         let x = SensExpr::affine(9.0);
         assert_eq!(x.clone().mul(SensExpr::constant(1.0)), x);
-        assert_eq!(
-            x.mul(SensExpr::zero()).as_poly().unwrap(),
-            Poly::default()
-        );
+        assert_eq!(x.mul(SensExpr::zero()).as_poly().unwrap(), Poly::default());
     }
 
     #[test]

@@ -62,11 +62,7 @@ pub struct SmoothSensitivity {
 /// `db_size` is the total number of tuples `n`; the scan range is
 /// `min(n, ⌈degree/β⌉)` per Theorem 3 (with degree the Lemma 3 bound on
 /// the polynomial degree of `Ŝ⁽ᵏ⁾`).
-pub fn smooth(
-    sens: &SensExpr,
-    params: PrivacyParams,
-    db_size: usize,
-) -> Result<SmoothSensitivity> {
+pub fn smooth(sens: &SensExpr, params: PrivacyParams, db_size: usize) -> Result<SmoothSensitivity> {
     let beta = params.beta();
     if beta <= 0.0 || beta.is_nan() {
         return Err(FlexError::InvalidParams(format!(

@@ -8,8 +8,7 @@
 use flex_db::Database;
 use flex_sql::visitor::{clause_count, walk_exprs, walk_joins, walk_selects};
 use flex_sql::{
-    Expr, FunctionArg, JoinConstraint, JoinType, Query, SelectItem, SetExpr, SetOperator,
-    TableRef,
+    Expr, FunctionArg, JoinConstraint, JoinType, Query, SelectItem, SetExpr, SetOperator, TableRef,
 };
 
 /// Queries using each relational operator (Question 2).
@@ -174,12 +173,8 @@ fn analyze_query(q: &Query, db: Option<&Database>, report: &mut StudyReport) {
         match class {
             ConditionClass::Equijoin => report.join_conditions.equijoin += 1,
             ConditionClass::Compound => report.join_conditions.compound += 1,
-            ConditionClass::ColumnComparison => {
-                report.join_conditions.column_comparison += 1
-            }
-            ConditionClass::LiteralComparison => {
-                report.join_conditions.literal_comparison += 1
-            }
+            ConditionClass::ColumnComparison => report.join_conditions.column_comparison += 1,
+            ConditionClass::LiteralComparison => report.join_conditions.literal_comparison += 1,
             ConditionClass::Other => report.join_conditions.other += 1,
         }
         if !matches!(class, ConditionClass::Equijoin | ConditionClass::Compound) {
@@ -268,8 +263,7 @@ fn classify_condition(c: &JoinConstraint) -> ConditionClass {
                             ConditionClass::ColumnComparison
                         }
                     }
-                    (Expr::Column(_), Expr::Literal(_))
-                    | (Expr::Literal(_), Expr::Column(_)) => {
+                    (Expr::Column(_), Expr::Literal(_)) | (Expr::Literal(_), Expr::Column(_)) => {
                         ConditionClass::LiteralComparison
                     }
                     _ => ConditionClass::Compound,
@@ -307,11 +301,7 @@ fn classify_relationship(join: &TableRef, db: &Database, out: &mut JoinRelations
         }),
         JoinConstraint::None => None,
     };
-    let (Some((a, b)), Some(lt), Some(rt)) = (
-        key,
-        single_table(left),
-        single_table(right),
-    ) else {
+    let (Some((a, b)), Some(lt), Some(rt)) = (key, single_table(left), single_table(right)) else {
         out.unknown += 1;
         return;
     };
@@ -373,10 +363,7 @@ pub fn query_is_statistical(q: &Query) -> bool {
                 }
                 SelectItem::Expr { expr, .. } => {
                     let is_group_label = s.group_by.contains(expr)
-                        || matches!(
-                            (expr, s.group_by.len()),
-                            (Expr::Column(_), 1..)
-                        );
+                        || matches!((expr, s.group_by.len()), (Expr::Column(_), 1..));
                     if !expr.contains_aggregate() && !is_group_label {
                         statistical = false;
                     }
@@ -384,9 +371,10 @@ pub fn query_is_statistical(q: &Query) -> bool {
             }
         }
         // No aggregate output at all → raw data.
-        let has_agg = s.projection.iter().any(|i| {
-            matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate())
-        });
+        let has_agg = s
+            .projection
+            .iter()
+            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if expr.contains_aggregate()));
         if !has_agg {
             statistical = false;
         }
@@ -509,7 +497,8 @@ mod tests {
             Schema::of(&[("id", DataType::Int), ("cust", DataType::Int)]),
         )
         .unwrap();
-        db.create_table("custs", Schema::of(&[("id", DataType::Int)])).unwrap();
+        db.create_table("custs", Schema::of(&[("id", DataType::Int)]))
+            .unwrap();
         db.metrics_mut().set_max_freq("orders", "id", 1);
         db.metrics_mut().set_max_freq("orders", "cust", 9);
         db.metrics_mut().set_max_freq("custs", "id", 1);

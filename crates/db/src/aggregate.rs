@@ -188,7 +188,11 @@ mod tests {
     fn compute(func: AggFunc, vals: &[Value]) -> Value {
         let spec = AggSpec {
             func,
-            arg: if func == AggFunc::CountStar { None } else { col0() },
+            arg: if func == AggFunc::CountStar {
+                None
+            } else {
+                col0()
+            },
         };
         let owned = rows(vals);
         let refs: Vec<&[Value]> = owned.iter().map(|r| r.as_slice()).collect();
@@ -252,7 +256,10 @@ mod tests {
     #[test]
     fn median_odd_and_even() {
         assert_eq!(
-            compute(AggFunc::Median, &[Value::Int(3), Value::Int(1), Value::Int(2)]),
+            compute(
+                AggFunc::Median,
+                &[Value::Int(3), Value::Int(1), Value::Int(2)]
+            ),
             Value::Float(2.0)
         );
         assert_eq!(
@@ -280,7 +287,10 @@ mod tests {
 
     #[test]
     fn parse_resolves_names() {
-        assert_eq!(AggFunc::parse("count", false, true), Some(AggFunc::CountStar));
+        assert_eq!(
+            AggFunc::parse("count", false, true),
+            Some(AggFunc::CountStar)
+        );
         assert_eq!(
             AggFunc::parse("count", true, false),
             Some(AggFunc::CountDistinct)

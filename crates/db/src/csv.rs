@@ -36,9 +36,10 @@ pub fn table_from_csv(name: &str, schema: Schema, csv: &str) -> Result<Table> {
         }
         let mut row = Vec::with_capacity(record.len());
         for ((field, quoted), col) in record.into_iter().zip(&table.schema.columns) {
-            row.push(parse_value(&field, quoted, col.data_type).map_err(|e| {
-                DbError::Parse(format!("CSV record {}: {e}", line_no + 2))
-            })?);
+            row.push(
+                parse_value(&field, quoted, col.data_type)
+                    .map_err(|e| DbError::Parse(format!("CSV record {}: {e}", line_no + 2)))?,
+            );
         }
         table.insert(row)?;
     }

@@ -44,9 +44,15 @@ impl fmt::Display for DbError {
                 context,
                 expected,
                 found,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             DbError::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} values, found {found}"
+                )
             }
             DbError::Unsupported(what) => write!(f, "unsupported query feature: {what}"),
             DbError::InvalidAggregate(msg) => write!(f, "invalid aggregate usage: {msg}"),

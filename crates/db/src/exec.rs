@@ -601,9 +601,8 @@ impl<'a> Exec<'a> {
                         "aggregate function `{name}` is not allowed here"
                     )));
                 }
-                let func = ScalarFunc::parse(name).ok_or_else(|| {
-                    DbError::Unsupported(format!("function `{name}`"))
-                })?;
+                let func = ScalarFunc::parse(name)
+                    .ok_or_else(|| DbError::Unsupported(format!("function `{name}`")))?;
                 let mut compiled_args = Vec::with_capacity(args.len());
                 for a in args {
                     match a {
@@ -612,9 +611,7 @@ impl<'a> Exec<'a> {
                                 "`*` argument is only valid for count, not `{name}`"
                             )));
                         }
-                        FunctionArg::Expr(e) => {
-                            compiled_args.push(self.compile_scalar(e, cols)?)
-                        }
+                        FunctionArg::Expr(e) => compiled_args.push(self.compile_scalar(e, cols)?),
                     }
                 }
                 Ok(CompiledExpr::ScalarFn {
@@ -930,13 +927,9 @@ impl<'a> GroupCompiler<'a> {
                 for a in args {
                     match a {
                         FunctionArg::Wildcard => {
-                            return Err(DbError::InvalidFunction(
-                                "`*` outside count".into(),
-                            ))
+                            return Err(DbError::InvalidFunction("`*` outside count".into()))
                         }
-                        FunctionArg::Expr(e) => {
-                            compiled.push(self.compile(exec, e, input_cols)?)
-                        }
+                        FunctionArg::Expr(e) => compiled.push(self.compile(exec, e, input_cols)?),
                     }
                 }
                 Ok(CompiledExpr::ScalarFn {
@@ -1025,9 +1018,7 @@ fn contains_column(e: &CompiledExpr) -> bool {
     match e {
         CompiledExpr::Column(_) => true,
         CompiledExpr::Literal(_) => false,
-        CompiledExpr::Binary { left, right, .. } => {
-            contains_column(left) || contains_column(right)
-        }
+        CompiledExpr::Binary { left, right, .. } => contains_column(left) || contains_column(right),
         CompiledExpr::Unary { expr, .. } => contains_column(expr),
         CompiledExpr::ScalarFn { args, .. } => args.iter().any(contains_column),
         CompiledExpr::Case {
@@ -1157,11 +1148,17 @@ mod tests {
     fn join_with_residual_predicate() {
         let db = db();
         assert_eq!(
-            count(&db, "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k AND r.w > 10"),
+            count(
+                &db,
+                "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k AND r.w > 10"
+            ),
             0
         );
         assert_eq!(
-            count(&db, "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k AND r.w >= 10"),
+            count(
+                &db,
+                "SELECT COUNT(*) FROM l JOIN r ON l.k = r.k AND r.w >= 10"
+            ),
             2
         );
     }
@@ -1250,10 +1247,7 @@ mod tests {
         let rs = db
             .execute_sql("SELECT v FROM l ORDER BY v LIMIT 2 OFFSET 1")
             .unwrap();
-        assert_eq!(
-            rs.rows,
-            vec![vec![Value::str("b")], vec![Value::str("c")]]
-        );
+        assert_eq!(rs.rows, vec![vec![Value::str("b")], vec![Value::str("c")]]);
     }
 
     #[test]
@@ -1359,11 +1353,7 @@ mod tests {
             .execute_sql("SELECT k, COUNT(*) * 2 + 1 FROM l GROUP BY k ORDER BY 1")
             .unwrap();
         // k=1 has 2 rows → 5.
-        let one = rs
-            .rows
-            .iter()
-            .find(|r| r[0] == Value::Int(1))
-            .unwrap();
+        let one = rs.rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
         assert_eq!(one[1], Value::Int(5));
     }
 

@@ -126,9 +126,7 @@ impl CompiledExpr {
         match self {
             CompiledExpr::Column(i) => Ok(row[*i].clone()),
             CompiledExpr::Literal(v) => Ok(v.clone()),
-            CompiledExpr::Binary { op, left, right } => {
-                eval_binary(*op, left, right, row)
-            }
+            CompiledExpr::Binary { op, left, right } => eval_binary(*op, left, right, row),
             CompiledExpr::Unary { op, expr } => {
                 let v = expr.eval(row)?;
                 match op {
@@ -223,8 +221,8 @@ impl CompiledExpr {
                 let hi = high.eval(row)?;
                 match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
                     (Some(a), Some(b)) => {
-                        let inside = a != std::cmp::Ordering::Less
-                            && b != std::cmp::Ordering::Greater;
+                        let inside =
+                            a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
                         Ok(Value::Bool(inside != *negated))
                     }
                     _ => Ok(Value::Null),
@@ -357,8 +355,12 @@ fn eval_binary(
             _ => unreachable!("arithmetic op"),
         }),
         _ => {
-            let a = l.as_f64().ok_or_else(|| type_err("arithmetic", "number", &l))?;
-            let b = r.as_f64().ok_or_else(|| type_err("arithmetic", "number", &r))?;
+            let a = l
+                .as_f64()
+                .ok_or_else(|| type_err("arithmetic", "number", &l))?;
+            let b = r
+                .as_f64()
+                .ok_or_else(|| type_err("arithmetic", "number", &r))?;
             Ok(match op {
                 BinaryOperator::Plus => Value::Float(a + b),
                 BinaryOperator::Minus => Value::Float(a - b),
@@ -571,15 +573,21 @@ mod tests {
     #[test]
     fn arithmetic_int_and_float() {
         assert_eq!(
-            bin(lit(2i64), BinaryOperator::Plus, lit(3i64)).eval(&[]).unwrap(),
+            bin(lit(2i64), BinaryOperator::Plus, lit(3i64))
+                .eval(&[])
+                .unwrap(),
             Value::Int(5)
         );
         assert_eq!(
-            bin(lit(2i64), BinaryOperator::Multiply, lit(1.5)).eval(&[]).unwrap(),
+            bin(lit(2i64), BinaryOperator::Multiply, lit(1.5))
+                .eval(&[])
+                .unwrap(),
             Value::Float(3.0)
         );
         assert_eq!(
-            bin(lit(7i64), BinaryOperator::Divide, lit(2i64)).eval(&[]).unwrap(),
+            bin(lit(7i64), BinaryOperator::Divide, lit(2i64))
+                .eval(&[])
+                .unwrap(),
             Value::Int(3)
         );
     }
@@ -587,11 +595,15 @@ mod tests {
     #[test]
     fn division_by_zero_is_null() {
         assert_eq!(
-            bin(lit(1i64), BinaryOperator::Divide, lit(0i64)).eval(&[]).unwrap(),
+            bin(lit(1i64), BinaryOperator::Divide, lit(0i64))
+                .eval(&[])
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            bin(lit(1.0), BinaryOperator::Modulo, lit(0.0)).eval(&[]).unwrap(),
+            bin(lit(1.0), BinaryOperator::Modulo, lit(0.0))
+                .eval(&[])
+                .unwrap(),
             Value::Null
         );
     }
@@ -602,15 +614,21 @@ mod tests {
         let t = lit(true);
         let f = lit(false);
         assert_eq!(
-            bin(f.clone(), BinaryOperator::And, null.clone()).eval(&[]).unwrap(),
+            bin(f.clone(), BinaryOperator::And, null.clone())
+                .eval(&[])
+                .unwrap(),
             Value::Bool(false)
         );
         assert_eq!(
-            bin(t.clone(), BinaryOperator::And, null.clone()).eval(&[]).unwrap(),
+            bin(t.clone(), BinaryOperator::And, null.clone())
+                .eval(&[])
+                .unwrap(),
             Value::Null
         );
         assert_eq!(
-            bin(t.clone(), BinaryOperator::Or, null.clone()).eval(&[]).unwrap(),
+            bin(t.clone(), BinaryOperator::Or, null.clone())
+                .eval(&[])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
@@ -623,7 +641,9 @@ mod tests {
     #[test]
     fn comparisons_with_null_are_null() {
         assert_eq!(
-            bin(lit(Value::Null), BinaryOperator::Eq, lit(1i64)).eval(&[]).unwrap(),
+            bin(lit(Value::Null), BinaryOperator::Eq, lit(1i64))
+                .eval(&[])
+                .unwrap(),
             Value::Null
         );
     }
@@ -701,7 +721,9 @@ mod tests {
             Value::str("abc")
         );
         assert_eq!(
-            call(ScalarFunc::Length, vec![lit("abc")]).eval(&[]).unwrap(),
+            call(ScalarFunc::Length, vec![lit("abc")])
+                .eval(&[])
+                .unwrap(),
             Value::Int(3)
         );
         assert_eq!(
@@ -734,7 +756,10 @@ mod tests {
             expr: Box::new(CompiledExpr::Literal(v)),
             target: t,
         };
-        assert_eq!(c(Value::str("42"), CastTarget::Int).eval(&[]).unwrap(), Value::Int(42));
+        assert_eq!(
+            c(Value::str("42"), CastTarget::Int).eval(&[]).unwrap(),
+            Value::Int(42)
+        );
         assert_eq!(
             c(Value::Int(3), CastTarget::Float).eval(&[]).unwrap(),
             Value::Float(3.0)

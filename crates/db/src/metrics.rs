@@ -45,7 +45,9 @@ impl MetricsCatalog {
     /// The max-frequency metric `mf(column, table, x)` for the current
     /// database instance, or `None` if the column is unknown.
     pub fn max_freq(&self, table: &str, column: &str) -> Option<u64> {
-        self.mf.get(&(table.to_string(), column.to_string())).copied()
+        self.mf
+            .get(&(table.to_string(), column.to_string()))
+            .copied()
     }
 
     /// The value-range metric `vr(column, table)`, or `None` if the column

@@ -68,10 +68,7 @@ impl Schema {
     /// Build a schema from `(name, type)` pairs.
     pub fn of(cols: &[(&str, DataType)]) -> Self {
         Schema {
-            columns: cols
-                .iter()
-                .map(|(n, t)| ColumnDef::new(*n, *t))
-                .collect(),
+            columns: cols.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect(),
         }
     }
 
@@ -115,7 +112,12 @@ mod tests {
 
     #[test]
     fn admits_nulls_everywhere() {
-        for t in [DataType::Bool, DataType::Int, DataType::Float, DataType::Str] {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Str,
+        ] {
             assert!(t.admits(&Value::Null));
         }
     }

@@ -181,7 +181,10 @@ impl From<&Value> for ValueKey {
             Value::Bool(b) => ValueKey::Bool(*b),
             Value::Int(i) => ValueKey::Int(*i),
             Value::Float(f) => {
-                if f.fract() == 0.0 && f.is_finite() && *f >= i64::MIN as f64 && *f <= i64::MAX as f64
+                if f.fract() == 0.0
+                    && f.is_finite()
+                    && *f >= i64::MIN as f64
+                    && *f <= i64::MAX as f64
                 {
                     ValueKey::Int(*f as i64)
                 } else {
@@ -248,11 +251,13 @@ mod tests {
 
     #[test]
     fn total_order_ranks_types() {
-        let mut vals = [Value::str("z"),
+        let mut vals = [
+            Value::str("z"),
             Value::Int(5),
             Value::Null,
             Value::Bool(true),
-            Value::Float(1.5)];
+            Value::Float(1.5),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert!(matches!(vals[1], Value::Bool(_)));
@@ -261,8 +266,14 @@ mod tests {
 
     #[test]
     fn value_key_unifies_int_and_float() {
-        assert_eq!(ValueKey::from(&Value::Int(3)), ValueKey::from(&Value::Float(3.0)));
-        assert_ne!(ValueKey::from(&Value::Int(3)), ValueKey::from(&Value::Float(3.5)));
+        assert_eq!(
+            ValueKey::from(&Value::Int(3)),
+            ValueKey::from(&Value::Float(3.0))
+        );
+        assert_ne!(
+            ValueKey::from(&Value::Int(3)),
+            ValueKey::from(&Value::Float(3.5))
+        );
     }
 
     #[test]

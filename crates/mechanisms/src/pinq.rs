@@ -177,8 +177,7 @@ mod tests {
 
     #[test]
     fn where_filters() {
-        let o = PinqDataset::from_table(&orders())
-            .where_(|r| r[1] == Value::Int(10));
+        let o = PinqDataset::from_table(&orders()).where_(|r| r[1] == Value::Int(10));
         assert_eq!(o.rows.len(), 2);
     }
 }

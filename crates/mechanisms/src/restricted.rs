@@ -179,9 +179,7 @@ mod tests {
 
     #[test]
     fn many_to_many_rejected() {
-        let b = StaticBounds::new()
-            .with("a", "k", 10)
-            .with("b", "k", 20);
+        let b = StaticBounds::new().with("a", "k", 10).with("b", "k", 20);
         let rel = join(
             table("a", 0),
             table("b", 1),

@@ -72,18 +72,10 @@ impl WeightedDataset {
 
     /// `Select`: map each record (weights unchanged). The mapping must be
     /// per-record (stable, c = 1).
-    pub fn select<F: Fn(&Row) -> Row>(
-        &self,
-        new_columns: Vec<String>,
-        f: F,
-    ) -> WeightedDataset {
+    pub fn select<F: Fn(&Row) -> Row>(&self, new_columns: Vec<String>, f: F) -> WeightedDataset {
         WeightedDataset {
             columns: new_columns,
-            records: self
-                .records
-                .iter()
-                .map(|(r, w)| (f(r), *w))
-                .collect(),
+            records: self.records.iter().map(|(r, w)| (f(r), *w)).collect(),
         }
     }
 
@@ -94,12 +86,7 @@ impl WeightedDataset {
     /// dropped (inner-join semantics); a public key matching several rows
     /// duplicates the record with its weight (the public multiplicity is
     /// data-independent).
-    pub fn lookup_join(
-        &self,
-        key: &str,
-        public: &Table,
-        public_key: &str,
-    ) -> WeightedDataset {
+    pub fn lookup_join(&self, key: &str, public: &Table, public_key: &str) -> WeightedDataset {
         let ki = self.col(key);
         let pki = public
             .schema
@@ -108,7 +95,10 @@ impl WeightedDataset {
         let mut index: HashMap<ValueKey, Vec<&Row>> = HashMap::new();
         for row in &public.rows {
             if !row[pki].is_null() {
-                index.entry(ValueKey::from(&row[pki])).or_default().push(row);
+                index
+                    .entry(ValueKey::from(&row[pki]))
+                    .or_default()
+                    .push(row);
             }
         }
         let mut columns = self.columns.clone();
@@ -295,8 +285,7 @@ mod tests {
 
     #[test]
     fn where_preserves_weights() {
-        let w = WeightedDataset::from_table(&trips())
-            .where_(|r| r[1] == Value::str("sf"));
+        let w = WeightedDataset::from_table(&trips()).where_(|r| r[1] == Value::str("sf"));
         assert_eq!(w.total_weight(), 3.0);
     }
 

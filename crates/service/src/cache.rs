@@ -1,0 +1,178 @@
+//! The noisy-answer cache.
+//!
+//! Keyed on the **canonical AST form** of the query (see
+//! [`flex_sql::canonical`]) plus the privacy parameters, the cache stores
+//! already-released noised answers. Re-serving a released answer is
+//! post-processing of a differentially-private output, so a cache hit
+//! costs **zero** additional privacy budget — the textbook way to absorb
+//! heavy repeated traffic (dashboards, retried queries, many analysts
+//! asking the same question) without budget blowup.
+//!
+//! Only the *noised* rows are stored; true rows never enter the cache.
+
+use flex_core::PrivacyParams;
+use flex_db::Value;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Cache key: canonical SQL text plus exact privacy parameters (the same
+/// query at a different ε is a different release).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    canonical_sql: String,
+    epsilon_bits: u64,
+    delta_bits: u64,
+}
+
+impl CacheKey {
+    pub fn new(canonical_sql: String, params: PrivacyParams) -> Self {
+        CacheKey {
+            canonical_sql,
+            epsilon_bits: params.epsilon.to_bits(),
+            delta_bits: params.delta.to_bits(),
+        }
+    }
+
+    pub fn canonical_sql(&self) -> &str {
+        &self.canonical_sql
+    }
+}
+
+/// A released noisy answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedAnswer {
+    pub columns: Vec<String>,
+    /// Noised rows only — label cells pass through, aggregate cells carry
+    /// Laplace noise. No true values.
+    pub rows: Vec<Vec<Value>>,
+    pub join_count: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    answer: CachedAnswer,
+    /// Logical timestamp of last use, for eviction.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    clock: u64,
+}
+
+/// A bounded, thread-safe LRU map from canonical queries to released
+/// answers.
+#[derive(Debug)]
+pub struct AnswerCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl AnswerCache {
+    /// A cache holding at most `capacity` answers (`capacity = 0` is
+    /// legal and caches nothing).
+    pub fn new(capacity: usize) -> Self {
+        AnswerCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.get_mut(key).map(|e| {
+            e.last_used = clock;
+            e.answer.clone()
+        })
+    }
+
+    pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.insert(
+            key,
+            Entry {
+                answer,
+                last_used: clock,
+            },
+        );
+        while inner.map.len() > self.capacity {
+            let oldest = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("nonempty map has a minimum");
+            inner.map.remove(&oldest);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(eps: f64) -> PrivacyParams {
+        PrivacyParams::new(eps, 1e-8).unwrap()
+    }
+
+    fn answer(v: i64) -> CachedAnswer {
+        CachedAnswer {
+            columns: vec!["count".to_string()],
+            rows: vec![vec![Value::Int(v)]],
+            join_count: 0,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss() {
+        let cache = AnswerCache::new(8);
+        let k1 = CacheKey::new("SELECT 1".into(), params(1.0));
+        assert_eq!(cache.get(&k1), None);
+        cache.insert(k1.clone(), answer(1));
+        assert_eq!(cache.get(&k1), Some(answer(1)));
+        // Same SQL at a different epsilon is a different release.
+        let k2 = CacheKey::new("SELECT 1".into(), params(0.5));
+        assert_eq!(cache.get(&k2), None);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let cache = AnswerCache::new(2);
+        let ka = CacheKey::new("a".into(), params(1.0));
+        let kb = CacheKey::new("b".into(), params(1.0));
+        let kc = CacheKey::new("c".into(), params(1.0));
+        cache.insert(ka.clone(), answer(1));
+        cache.insert(kb.clone(), answer(2));
+        cache.get(&ka); // refresh `a`; `b` is now oldest
+        cache.insert(kc.clone(), answer(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&ka).is_some());
+        assert!(cache.get(&kb).is_none());
+        assert!(cache.get(&kc).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = AnswerCache::new(0);
+        let k = CacheKey::new("a".into(), params(1.0));
+        cache.insert(k.clone(), answer(1));
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&k), None);
+    }
+}

@@ -1,0 +1,75 @@
+//! Service-level errors.
+
+use flex_core::FlexError;
+use std::fmt;
+
+/// Result alias for service operations.
+pub type ServiceResult<T> = std::result::Result<T, ServiceError>;
+
+/// Why the service could not answer a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Admission control rejected the request: answering would push the
+    /// analyst's composed privacy cost past their cap. Nothing was
+    /// computed and nothing was charged.
+    BudgetRejected {
+        analyst: String,
+        requested_epsilon: f64,
+        remaining_epsilon: f64,
+    },
+    /// The ledger runs strong composition, which requires homogeneous
+    /// per-query parameters; this request's `(ε, δ)` differs from the
+    /// analyst's pinned values.
+    HeterogeneousParams {
+        analyst: String,
+        pinned: (f64, f64),
+        requested: (f64, f64),
+    },
+    /// The underlying FLEX pipeline failed (parse error, unsupported
+    /// query, execution error, ...). Any admission charge was refunded.
+    Flex(FlexError),
+    /// The service is shutting down and dropped the request.
+    Shutdown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BudgetRejected {
+                analyst,
+                requested_epsilon,
+                remaining_epsilon,
+            } => write!(
+                f,
+                "analyst `{analyst}`: requested ε={requested_epsilon} but only \
+                 ε={remaining_epsilon} remains"
+            ),
+            ServiceError::HeterogeneousParams {
+                analyst,
+                pinned,
+                requested,
+            } => write!(
+                f,
+                "analyst `{analyst}`: strong composition requires homogeneous \
+                 parameters; pinned (ε, δ)=({}, {}) but got ({}, {})",
+                pinned.0, pinned.1, requested.0, requested.1
+            ),
+            ServiceError::Flex(e) => write!(f, "query failed: {e}"),
+            ServiceError::Shutdown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<FlexError> for ServiceError {
+    fn from(e: FlexError) -> Self {
+        ServiceError::Flex(e)
+    }
+}
+
+impl From<flex_sql::ParseError> for ServiceError {
+    fn from(e: flex_sql::ParseError) -> Self {
+        ServiceError::Flex(FlexError::from(e))
+    }
+}

@@ -1,0 +1,366 @@
+//! Thread-safe per-analyst privacy-budget accounting with admission
+//! control, layered on [`flex_core::budget`].
+//!
+//! The ledger is the service's privacy gatekeeper: a request that would
+//! push an analyst's *composed* privacy cost past their `(ε, δ)` cap is
+//! rejected before any computation touches the database. Two composition
+//! strategies are supported through [`Composition`]: plain sequential
+//! composition (charges add up) and strong composition (sublinear total
+//! cost for homogeneous per-query parameters).
+
+use crate::error::{ServiceError, ServiceResult};
+use flex_core::{Composition, PrivacyBudget};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Per-analyst budget policy. Different analysts may run different caps
+/// and composition strategies (e.g. a trusted internal team vs. an
+/// external partner).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerPolicy {
+    pub epsilon_cap: f64,
+    pub delta_cap: f64,
+    pub composition: Composition,
+}
+
+impl LedgerPolicy {
+    pub fn sequential(epsilon_cap: f64, delta_cap: f64) -> Self {
+        LedgerPolicy {
+            epsilon_cap,
+            delta_cap,
+            composition: Composition::Sequential,
+        }
+    }
+
+    /// Strong-composition policy. Panics unless `delta_slack ∈ (0, 1)`:
+    /// an invalid slack would poison the admission bound with NaN, and a
+    /// ledger that silently admits everything is the one failure a DP
+    /// service must not have. (A policy built around this constructor
+    /// with a bad slack still fails *closed* — see
+    /// [`Composition::total_cost`].)
+    pub fn strong(epsilon_cap: f64, delta_cap: f64, delta_slack: f64) -> Self {
+        let composition = Composition::Strong { delta_slack };
+        assert!(
+            composition.is_valid(),
+            "strong-composition delta_slack must lie in (0, 1), got {delta_slack}"
+        );
+        LedgerPolicy {
+            epsilon_cap,
+            delta_cap,
+            composition,
+        }
+    }
+}
+
+/// Proof of admission: the exact charge to hand back on refund.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Charge {
+    pub analyst: String,
+    pub epsilon: f64,
+    pub delta: f64,
+}
+
+#[derive(Debug)]
+struct Account {
+    policy: LedgerPolicy,
+    /// Sequential-mode accumulator. Strong mode never touches it (its
+    /// composed cost is a function of `pinned` and `queries`); always go
+    /// through [`Account::composed_cost`] for spend/remaining numbers.
+    budget: PrivacyBudget,
+    /// Number of admitted (not refunded) queries.
+    queries: u32,
+    /// Strong mode pins the first query's `(ε, δ)`; subsequent queries
+    /// must match (the theorem composes homogeneous mechanisms).
+    pinned: Option<(f64, f64)>,
+}
+
+impl Account {
+    fn new(policy: LedgerPolicy) -> Self {
+        Account {
+            budget: PrivacyBudget::new(policy.epsilon_cap, policy.delta_cap),
+            policy,
+            queries: 0,
+            pinned: None,
+        }
+    }
+
+    /// Composed `(ε, δ)` cost of this account's admitted queries.
+    fn composed_cost(&self) -> (f64, f64) {
+        match self.policy.composition {
+            Composition::Sequential => self.budget.spent(),
+            Composition::Strong { .. } => match self.pinned {
+                Some((e0, d0)) => self.policy.composition.total_cost(e0, d0, self.queries),
+                None => (0.0, 0.0),
+            },
+        }
+    }
+}
+
+/// A thread-safe multi-analyst budget ledger.
+///
+/// All methods take `&self`; interior state is guarded by a single mutex,
+/// which makes admission atomic: concurrent `try_charge` calls can never
+/// jointly overshoot a cap (stress-tested in `tests/`).
+#[derive(Debug)]
+pub struct BudgetLedger {
+    default_policy: LedgerPolicy,
+    accounts: Mutex<HashMap<String, Account>>,
+}
+
+impl BudgetLedger {
+    /// A ledger handing every new analyst `default_policy`.
+    pub fn new(default_policy: LedgerPolicy) -> Self {
+        BudgetLedger {
+            default_policy,
+            accounts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Override the policy for one analyst. Fails if the analyst has
+    /// already spent budget (retroactive policy edits would un-release
+    /// answers that are already out).
+    pub fn set_policy(&self, analyst: &str, policy: LedgerPolicy) -> ServiceResult<()> {
+        let mut accounts = self.accounts.lock().expect("ledger poisoned");
+        if let Some(acct) = accounts.get(analyst) {
+            if acct.queries > 0 {
+                let (e_now, _) = acct.composed_cost();
+                return Err(ServiceError::BudgetRejected {
+                    analyst: analyst.to_string(),
+                    requested_epsilon: policy.epsilon_cap,
+                    remaining_epsilon: (acct.policy.epsilon_cap - e_now).max(0.0),
+                });
+            }
+        }
+        accounts.insert(analyst.to_string(), Account::new(policy));
+        Ok(())
+    }
+
+    /// Admission control: atomically charge `(ε, δ)` against the
+    /// analyst's composed budget, creating the account on first contact.
+    /// On `Err` nothing was charged.
+    pub fn try_charge(&self, analyst: &str, epsilon: f64, delta: f64) -> ServiceResult<Charge> {
+        let mut accounts = self.accounts.lock().expect("ledger poisoned");
+        let acct = accounts
+            .entry(analyst.to_string())
+            .or_insert_with(|| Account::new(self.default_policy));
+
+        match acct.policy.composition {
+            Composition::Sequential => {
+                acct.budget.try_spend(epsilon, delta).map_err(|_| {
+                    ServiceError::BudgetRejected {
+                        analyst: analyst.to_string(),
+                        requested_epsilon: epsilon,
+                        remaining_epsilon: acct.budget.remaining_epsilon(),
+                    }
+                })?;
+            }
+            Composition::Strong { .. } => {
+                let tol = 1e-12;
+                if let Some((e0, d0)) = acct.pinned {
+                    if (epsilon - e0).abs() > tol || (delta - d0).abs() > tol {
+                        return Err(ServiceError::HeterogeneousParams {
+                            analyst: analyst.to_string(),
+                            pinned: (e0, d0),
+                            requested: (epsilon, delta),
+                        });
+                    }
+                } else if epsilon <= 0.0 {
+                    return Err(ServiceError::Flex(flex_core::FlexError::InvalidParams(
+                        format!("cannot spend non-positive epsilon {epsilon}"),
+                    )));
+                }
+                let (e_total, d_total) =
+                    acct.policy
+                        .composition
+                        .total_cost(epsilon, delta, acct.queries + 1);
+                if e_total > acct.policy.epsilon_cap + tol || d_total > acct.policy.delta_cap + tol
+                {
+                    let (e_now, _) = acct.composed_cost();
+                    return Err(ServiceError::BudgetRejected {
+                        analyst: analyst.to_string(),
+                        requested_epsilon: epsilon,
+                        remaining_epsilon: (acct.policy.epsilon_cap - e_now).max(0.0),
+                    });
+                }
+                acct.pinned = Some((epsilon, delta));
+            }
+        }
+        acct.queries += 1;
+        Ok(Charge {
+            analyst: analyst.to_string(),
+            epsilon,
+            delta,
+        })
+    }
+
+    /// Hand a charge back (the query failed after admission; nothing was
+    /// released).
+    pub fn refund(&self, charge: &Charge) {
+        let mut accounts = self.accounts.lock().expect("ledger poisoned");
+        if let Some(acct) = accounts.get_mut(&charge.analyst) {
+            match acct.policy.composition {
+                Composition::Sequential => acct.budget.refund(charge.epsilon, charge.delta),
+                Composition::Strong { .. } => {}
+            }
+            acct.queries = acct.queries.saturating_sub(1);
+            // With nothing admitted there is nothing to compose against:
+            // release the strong-mode pin so the analyst is not locked to
+            // the (ε, δ) of a query that failed and was fully refunded.
+            if acct.queries == 0 {
+                acct.pinned = None;
+            }
+        }
+    }
+
+    /// The analyst's composed `(ε, δ)` spend so far (0 for unknown
+    /// analysts).
+    pub fn spent(&self, analyst: &str) -> (f64, f64) {
+        let accounts = self.accounts.lock().expect("ledger poisoned");
+        accounts
+            .get(analyst)
+            .map(|a| a.composed_cost())
+            .unwrap_or((0.0, 0.0))
+    }
+
+    /// Remaining ε under the analyst's cap (the full default cap for
+    /// unknown analysts).
+    pub fn remaining_epsilon(&self, analyst: &str) -> f64 {
+        let accounts = self.accounts.lock().expect("ledger poisoned");
+        match accounts.get(analyst) {
+            Some(a) => (a.policy.epsilon_cap - a.composed_cost().0).max(0.0),
+            None => self.default_policy.epsilon_cap,
+        }
+    }
+
+    /// Number of admitted (non-refunded) queries for the analyst.
+    pub fn queries(&self, analyst: &str) -> u32 {
+        let accounts = self.accounts.lock().expect("ledger poisoned");
+        accounts.get(analyst).map(|a| a.queries).unwrap_or(0)
+    }
+
+    /// All analysts with an account, sorted.
+    pub fn analysts(&self) -> Vec<String> {
+        let accounts = self.accounts.lock().expect("ledger poisoned");
+        let mut names: Vec<String> = accounts.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BudgetLedger>();
+    }
+
+    #[test]
+    fn sequential_charges_and_rejects() {
+        let ledger = BudgetLedger::new(LedgerPolicy::sequential(1.0, 1e-6));
+        ledger.try_charge("alice", 0.6, 1e-9).unwrap();
+        ledger.try_charge("alice", 0.4, 1e-9).unwrap();
+        let err = ledger.try_charge("alice", 0.1, 1e-9).unwrap_err();
+        assert!(matches!(err, ServiceError::BudgetRejected { .. }));
+        // Bob's budget is independent.
+        ledger.try_charge("bob", 1.0, 1e-9).unwrap();
+        assert!((ledger.spent("alice").0 - 1.0).abs() < 1e-12);
+        assert_eq!(ledger.queries("alice"), 2);
+        assert_eq!(ledger.analysts(), vec!["alice", "bob"]);
+    }
+
+    #[test]
+    fn refund_restores_sequential_budget() {
+        let ledger = BudgetLedger::new(LedgerPolicy::sequential(1.0, 1e-6));
+        let charge = ledger.try_charge("a", 0.7, 1e-9).unwrap();
+        ledger.refund(&charge);
+        assert_eq!(ledger.spent("a"), (0.0, 0.0));
+        assert_eq!(ledger.queries("a"), 0);
+        ledger.try_charge("a", 1.0, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn strong_composition_admits_more_small_queries() {
+        let cap = 1.0;
+        let per_query = 0.01;
+        let seq = BudgetLedger::new(LedgerPolicy::sequential(cap, 1e-4));
+        let strong = BudgetLedger::new(LedgerPolicy::strong(cap, 1e-4, 1e-6));
+        let admitted = |ledger: &BudgetLedger| {
+            let mut n = 0;
+            while ledger.try_charge("a", per_query, 1e-9).is_ok() {
+                n += 1;
+                assert!(n < 1_000_000, "ledger never rejects");
+            }
+            n
+        };
+        let n_seq = admitted(&seq);
+        let n_strong = admitted(&strong);
+        assert_eq!(n_seq, 100);
+        assert!(
+            n_strong > n_seq,
+            "strong ({n_strong}) should beat sequential ({n_seq})"
+        );
+        // And the strong account's composed cost stays under the cap.
+        assert!(strong.spent("a").0 <= cap + 1e-9);
+    }
+
+    #[test]
+    fn strong_composition_rejects_heterogeneous_params() {
+        let ledger = BudgetLedger::new(LedgerPolicy::strong(1.0, 1e-4, 1e-6));
+        ledger.try_charge("a", 0.01, 1e-9).unwrap();
+        let err = ledger.try_charge("a", 0.02, 1e-9).unwrap_err();
+        assert!(matches!(err, ServiceError::HeterogeneousParams { .. }));
+    }
+
+    #[test]
+    fn strong_mode_pin_is_released_when_all_charges_are_refunded() {
+        let ledger = BudgetLedger::new(LedgerPolicy::strong(1.0, 1e-4, 1e-6));
+        let charge = ledger.try_charge("a", 0.01, 1e-9).unwrap();
+        ledger.refund(&charge);
+        // Nothing admitted → the analyst may start over at another ε.
+        ledger.try_charge("a", 0.05, 1e-9).unwrap();
+        // …and is immediately pinned to the new value.
+        assert!(matches!(
+            ledger.try_charge("a", 0.01, 1e-9),
+            Err(ServiceError::HeterogeneousParams { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta_slack must lie in (0, 1)")]
+    fn invalid_delta_slack_is_refused_at_construction() {
+        let _ = LedgerPolicy::strong(1.0, 1e-4, -1e-6);
+    }
+
+    #[test]
+    fn hand_rolled_invalid_strong_policy_fails_closed() {
+        // Bypassing the constructor must reject every request, never
+        // admit everything (a NaN bound would compare false forever).
+        let policy = LedgerPolicy {
+            epsilon_cap: 1.0,
+            delta_cap: 1e-4,
+            composition: Composition::Strong { delta_slack: -1e-6 },
+        };
+        let ledger = BudgetLedger::new(policy);
+        assert!(matches!(
+            ledger.try_charge("a", 0.01, 1e-9),
+            Err(ServiceError::BudgetRejected { .. })
+        ));
+    }
+
+    #[test]
+    fn per_analyst_policies() {
+        let ledger = BudgetLedger::new(LedgerPolicy::sequential(1.0, 1e-6));
+        ledger
+            .set_policy("restricted", LedgerPolicy::sequential(0.1, 1e-8))
+            .unwrap();
+        assert!(ledger.try_charge("restricted", 0.5, 1e-9).is_err());
+        ledger.try_charge("restricted", 0.1, 1e-9).unwrap();
+        // Policy edits after spending are refused.
+        assert!(ledger
+            .set_policy("restricted", LedgerPolicy::sequential(9.0, 1e-6))
+            .is_err());
+    }
+}

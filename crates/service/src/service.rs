@@ -1,0 +1,624 @@
+//! The query service: the front door of the FLEX system.
+//!
+//! [`QueryService`] accepts SQL from named analysts and drives the full
+//! parse → canonicalize → admission → analyze → execute → smooth → noise
+//! pipeline on a pool of worker threads. Three components make it a
+//! subsystem rather than a wrapper:
+//!
+//! 1. the per-analyst [`BudgetLedger`](crate::BudgetLedger) — a request
+//!    that would overspend is rejected *before* any computation;
+//! 2. the [`AnswerCache`](crate::AnswerCache) keyed on canonical ASTs — a
+//!    repeated query returns the *same* released answer at zero marginal
+//!    budget;
+//! 3. [`Telemetry`](crate::Telemetry) — hit/miss/reject counters, queue
+//!    depth and per-stage timings, snapshotable for ops.
+//!
+//! Responses carry only noised rows; true values never leave the worker.
+
+use crate::cache::{AnswerCache, CacheKey, CachedAnswer};
+use crate::error::{ServiceError, ServiceResult};
+use crate::ledger::{BudgetLedger, Charge, LedgerPolicy};
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use flex_core::{run_query_with, Composition, FlexOptions, FlexTimings, PrivacyParams};
+use flex_db::{Database, Value};
+use flex_sql::{canonicalize, parse_query, print_query, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, SendError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`QueryService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads driving the pipeline. Clamped to at least 1.
+    pub workers: usize,
+    /// Default per-analyst `(ε, δ)` caps and composition strategy.
+    pub policy: LedgerPolicy,
+    /// Maximum cached answers; 0 disables the cache entirely.
+    pub cache_capacity: usize,
+    /// Options forwarded to the FLEX mechanism.
+    pub flex: FlexOptions,
+    /// Base seed for noise generation. Noise is a deterministic function
+    /// of `(seed, canonical query, ε, δ)`, so a service restarted with
+    /// the same seed re-releases identical answers instead of burning
+    /// fresh budget on a cold cache.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            policy: LedgerPolicy {
+                epsilon_cap: 10.0,
+                delta_cap: 1e-4,
+                composition: Composition::Sequential,
+            },
+            cache_capacity: 1024,
+            flex: FlexOptions::new(),
+            seed: 0xF1E8,
+        }
+    }
+}
+
+/// A differentially-private answer released to an analyst.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceResponse {
+    pub analyst: String,
+    /// Canonical SQL the answer was computed for (also the cache key).
+    pub canonical_sql: String,
+    pub columns: Vec<String>,
+    /// Noised rows (label cells pass through, aggregates carry noise).
+    pub rows: Vec<Vec<Value>>,
+    /// Whether this answer came from the noisy-answer cache.
+    pub from_cache: bool,
+    /// `(ε, δ)` charged to the analyst for this answer; `(0, 0)` on a
+    /// cache hit.
+    pub charged: (f64, f64),
+    pub join_count: usize,
+    /// Pipeline stage timings; `None` for cache hits (nothing ran).
+    pub timings: Option<FlexTimings>,
+}
+
+impl ServiceResponse {
+    /// The noised scalar of a 1×1 result.
+    pub fn scalar(&self) -> Option<f64> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            self.rows[0][0].as_f64()
+        } else {
+            None
+        }
+    }
+}
+
+/// Handle to an in-flight request; [`Ticket::wait`] blocks for the
+/// outcome.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<ServiceResult<ServiceResponse>>,
+}
+
+impl Ticket {
+    pub fn wait(self) -> ServiceResult<ServiceResponse> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Shutdown))
+    }
+}
+
+type Respond = Sender<ServiceResult<ServiceResponse>>;
+
+struct Job {
+    analyst: String,
+    query: Query,
+    key: CacheKey,
+    params: PrivacyParams,
+    charge: Charge,
+    respond: Respond,
+}
+
+struct Shared {
+    db: Arc<Database>,
+    ledger: BudgetLedger,
+    cache: AnswerCache,
+    telemetry: Telemetry,
+    flex: FlexOptions,
+    seed: u64,
+    /// Single-flight map: canonical queries currently being computed, and
+    /// the requesters waiting to piggyback on the release. Guarantees
+    /// concurrent identical submissions charge **one** budget for **one**
+    /// computation instead of racing past the cache.
+    pending: Mutex<HashMap<CacheKey, Vec<(String, Respond)>>>,
+}
+
+/// Remove and return the piggybacking waiters for a completed key.
+fn take_waiters(shared: &Shared, key: &CacheKey) -> Vec<(String, Respond)> {
+    shared
+        .pending
+        .lock()
+        .map(|mut p| p.remove(key).unwrap_or_default())
+        .unwrap_or_default()
+}
+
+/// A concurrent multi-analyst DP query service over one database.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// FNV-1a, used to derive a per-query noise seed from the cache key.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl QueryService {
+    pub fn new(db: Arc<Database>, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            db,
+            ledger: BudgetLedger::new(config.policy),
+            cache: AnswerCache::new(config.cache_capacity),
+            telemetry: Telemetry::default(),
+            flex: config.flex.clone(),
+            seed: config.seed,
+            pending: Mutex::new(HashMap::new()),
+        });
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("flex-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        QueryService {
+            shared,
+            sender: Some(tx),
+            workers,
+        }
+    }
+
+    /// Submit a query for `analyst`, returning a [`Ticket`] immediately.
+    ///
+    /// Cache hits and rejections resolve the ticket without touching the
+    /// worker pool; everything else is answered asynchronously.
+    pub fn submit(&self, analyst: &str, sql: &str, params: PrivacyParams) -> Ticket {
+        let shared = &self.shared;
+        shared.telemetry.record_submitted();
+        let (tx, rx) = channel();
+        let ticket = Ticket { rx };
+
+        let query = match parse_query(sql) {
+            Ok(q) => canonicalize(&q),
+            Err(e) => {
+                shared.telemetry.record_failed();
+                let _ = tx.send(Err(ServiceError::from(e)));
+                return ticket;
+            }
+        };
+        let canonical_sql = print_query(&query);
+        let key = CacheKey::new(canonical_sql.clone(), params);
+
+        // Single-flight section: cache lookup, coalescing, and admission
+        // are decided under the pending-map lock so concurrent identical
+        // submissions can never each charge budget for the same release.
+        let charge = {
+            let mut pending = shared.pending.lock().expect("pending map poisoned");
+
+            // Serving an already-released answer is post-processing: free.
+            if let Some(hit) = shared.cache.get(&key) {
+                shared.telemetry.record_cache_hit();
+                let _ = tx.send(Ok(ServiceResponse {
+                    analyst: analyst.to_string(),
+                    canonical_sql,
+                    columns: hit.columns,
+                    rows: hit.rows,
+                    from_cache: true,
+                    charged: (0.0, 0.0),
+                    join_count: hit.join_count,
+                    timings: None,
+                }));
+                return ticket;
+            }
+            shared.telemetry.record_cache_miss();
+
+            // An identical query is already in flight: piggyback on its
+            // release instead of paying for a duplicate computation.
+            if let Some(waiters) = pending.get_mut(&key) {
+                shared.telemetry.record_coalesced();
+                waiters.push((analyst.to_string(), tx));
+                return ticket;
+            }
+
+            // Admission control: charge before any computation.
+            match shared
+                .ledger
+                .try_charge(analyst, params.epsilon, params.delta)
+            {
+                Ok(c) => {
+                    pending.insert(key.clone(), Vec::new());
+                    c
+                }
+                Err(e) => {
+                    shared.telemetry.record_rejected();
+                    let _ = tx.send(Err(e));
+                    return ticket;
+                }
+            }
+        };
+
+        let job = Job {
+            analyst: analyst.to_string(),
+            query,
+            key,
+            params,
+            charge,
+            respond: tx,
+        };
+        shared.telemetry.record_enqueued();
+        match &self.sender {
+            Some(sender) => {
+                if let Err(SendError(job)) = sender.send(job) {
+                    abort_job(shared, job);
+                }
+            }
+            None => abort_job(shared, job),
+        }
+        ticket
+    }
+
+    /// Submit and block for the answer.
+    pub fn query(
+        &self,
+        analyst: &str,
+        sql: &str,
+        params: PrivacyParams,
+    ) -> ServiceResult<ServiceResponse> {
+        self.submit(analyst, sql, params).wait()
+    }
+
+    /// The per-analyst budget ledger (for policy setup and inspection).
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.shared.ledger
+    }
+
+    /// Point-in-time telemetry.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.shared.telemetry.snapshot()
+    }
+
+    /// Number of answers currently cached.
+    pub fn cached_answers(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Drain the queue and stop all workers, returning final telemetry.
+    pub fn shutdown(mut self) -> TelemetrySnapshot {
+        self.stop_workers();
+        self.shared.telemetry.snapshot()
+    }
+
+    fn stop_workers(&mut self) {
+        self.sender.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while receiving so workers drain in parallel.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else {
+            return; // all senders dropped: shutdown
+        };
+        shared.telemetry.record_dequeued();
+        run_job(shared, job);
+    }
+}
+
+/// An admitted job that can no longer reach a worker (channel closed):
+/// refund the charge, release any piggybacked waiters, and tell everyone.
+fn abort_job(shared: &Shared, job: Job) {
+    shared.telemetry.record_dequeued();
+    shared.telemetry.record_failed();
+    shared.ledger.refund(&job.charge);
+    for (_, waiter) in take_waiters(shared, &job.key) {
+        let _ = waiter.send(Err(ServiceError::Shutdown));
+    }
+    let _ = job.respond.send(Err(ServiceError::Shutdown));
+}
+
+fn run_job(shared: &Shared, job: Job) {
+    // Noise is a deterministic function of (service seed, canonical
+    // query, ε, δ): re-computing the same release after a cache eviction
+    // or restart reproduces the same answer instead of leaking a fresh
+    // sample of the noise distribution.
+    let noise_seed = shared.seed
+        ^ fnv64(job.key.canonical_sql().as_bytes())
+        ^ job.params.epsilon.to_bits().rotate_left(17)
+        ^ job.params.delta.to_bits().rotate_left(43);
+
+    // A panicking pipeline must not take the worker (and every queued
+    // job's budget) down with it: catch, refund, report.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut rng = StdRng::seed_from_u64(noise_seed);
+        run_query_with(&shared.db, &job.query, job.params, &mut rng, &shared.flex)
+    }));
+
+    match outcome {
+        Ok(Ok(result)) => {
+            let answer = CachedAnswer {
+                columns: result.columns.clone(),
+                rows: result.rows.clone(),
+                join_count: result.join_count,
+            };
+            // Insert into the cache *before* draining the pending entry:
+            // at every instant a concurrent submit sees the key in at
+            // least one of the two, so exactly one computation is paid.
+            shared.cache.insert(job.key.clone(), answer);
+            shared.telemetry.record_completed(&result.timings);
+            for (analyst, waiter) in take_waiters(shared, &job.key) {
+                let _ = waiter.send(Ok(ServiceResponse {
+                    analyst,
+                    canonical_sql: job.key.canonical_sql().to_string(),
+                    columns: result.columns.clone(),
+                    rows: result.rows.clone(),
+                    from_cache: true,
+                    charged: (0.0, 0.0),
+                    join_count: result.join_count,
+                    timings: None,
+                }));
+            }
+            let _ = job.respond.send(Ok(ServiceResponse {
+                analyst: job.analyst,
+                canonical_sql: job.key.canonical_sql().to_string(),
+                columns: result.columns,
+                rows: result.rows,
+                from_cache: false,
+                charged: (job.charge.epsilon, job.charge.delta),
+                join_count: result.join_count,
+                timings: Some(result.timings),
+            }));
+        }
+        Ok(Err(e)) => {
+            // Nothing was released: hand the budget back. Waiters get the
+            // same (deterministic) failure without being charged.
+            shared.ledger.refund(&job.charge);
+            shared.telemetry.record_failed();
+            let err = ServiceError::Flex(e);
+            for (_, waiter) in take_waiters(shared, &job.key) {
+                let _ = waiter.send(Err(err.clone()));
+            }
+            let _ = job.respond.send(Err(err));
+        }
+        Err(_panic) => {
+            shared.ledger.refund(&job.charge);
+            shared.telemetry.record_failed();
+            let err = ServiceError::Flex(flex_core::FlexError::Db(
+                "query worker panicked while computing the release".to_string(),
+            ));
+            for (_, waiter) in take_waiters(shared, &job.key) {
+                let _ = waiter.send(Err(err.clone()));
+            }
+            let _ = job.respond.send(Err(err));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flex_db::{DataType, Schema};
+
+    fn test_db() -> Arc<Database> {
+        let mut db = Database::new();
+        db.create_table(
+            "trips",
+            Schema::of(&[("id", DataType::Int), ("city_id", DataType::Int)]),
+        )
+        .unwrap();
+        db.insert(
+            "trips",
+            (0..500)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+                .collect(),
+        )
+        .unwrap();
+        Arc::new(db)
+    }
+
+    fn service(config: ServiceConfig) -> QueryService {
+        QueryService::new(test_db(), config)
+    }
+
+    fn params(eps: f64) -> PrivacyParams {
+        PrivacyParams::new(eps, 1e-8).unwrap()
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryService>();
+    }
+
+    #[test]
+    fn answers_counting_queries() {
+        let svc = service(ServiceConfig::default());
+        let r = svc
+            .query("alice", "SELECT COUNT(*) FROM trips", params(1.0))
+            .unwrap();
+        assert!(!r.from_cache);
+        assert_eq!(r.charged, (1.0, 1e-8));
+        let noised = r.scalar().unwrap();
+        assert!((noised - 500.0).abs() < 100.0, "noised = {noised}");
+    }
+
+    #[test]
+    fn repeated_query_is_served_from_cache_for_free() {
+        let svc = service(ServiceConfig::default());
+        let p = params(0.5);
+        let first = svc
+            .query("alice", "SELECT COUNT(*) FROM trips WHERE city_id = 3", p)
+            .unwrap();
+        let spent_after_first = svc.ledger().spent("alice");
+        // Different formatting, same canonical query — and even a
+        // different analyst: the answer is already public to the service's
+        // clients, so re-serving it is free post-processing.
+        let second = svc
+            .query("bob", "select count(*)\nfrom trips where 3 = city_id", p)
+            .unwrap();
+        assert!(second.from_cache);
+        assert_eq!(second.charged, (0.0, 0.0));
+        assert_eq!(second.rows, first.rows, "must be bit-identical");
+        assert_eq!(svc.ledger().spent("alice"), spent_after_first);
+        assert_eq!(svc.ledger().spent("bob"), (0.0, 0.0));
+        // A genuinely different query is charged normally.
+        let third = svc
+            .query("bob", "SELECT COUNT(*) FROM trips WHERE city_id = 4", p)
+            .unwrap();
+        assert!(!third.from_cache);
+        assert_eq!(svc.ledger().spent("bob"), (0.5, 1e-8));
+    }
+
+    #[test]
+    fn same_query_different_epsilon_is_a_fresh_release() {
+        let svc = service(ServiceConfig::default());
+        let a = svc
+            .query("a", "SELECT COUNT(*) FROM trips", params(1.0))
+            .unwrap();
+        let b = svc
+            .query("a", "SELECT COUNT(*) FROM trips", params(2.0))
+            .unwrap();
+        assert!(!b.from_cache);
+        assert_ne!(a.rows, b.rows);
+        assert_eq!(svc.ledger().spent("a").0, 3.0);
+    }
+
+    #[test]
+    fn budget_rejection_happens_before_computation() {
+        let cfg = ServiceConfig {
+            policy: LedgerPolicy::sequential(1.0, 1e-6),
+            ..ServiceConfig::default()
+        };
+        let svc = service(cfg);
+        svc.query("a", "SELECT COUNT(*) FROM trips", params(0.9))
+            .unwrap();
+        let before = svc.telemetry();
+        let err = svc
+            .query(
+                "a",
+                "SELECT COUNT(*) FROM trips WHERE city_id = 1",
+                params(0.9),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::BudgetRejected { .. }));
+        let after = svc.telemetry();
+        assert_eq!(after.rejected_budget, before.rejected_budget + 1);
+        assert_eq!(after.completed, before.completed, "nothing ran");
+        // The failed attempt did not spend.
+        assert!((svc.ledger().spent("a").0 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_queries_are_refunded() {
+        let svc = service(ServiceConfig::default());
+        // Raw-data query: admitted (it parses), then rejected by analysis.
+        let err = svc
+            .query("a", "SELECT id FROM trips", params(1.0))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Flex(_)));
+        assert_eq!(svc.ledger().spent("a"), (0.0, 0.0));
+        let t = svc.telemetry();
+        assert_eq!(t.failed, 1);
+    }
+
+    #[test]
+    fn parse_errors_fail_fast() {
+        let svc = service(ServiceConfig::default());
+        let err = svc
+            .query("a", "SELECT FROM WHERE", params(1.0))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Flex(_)));
+        assert_eq!(svc.ledger().spent("a"), (0.0, 0.0));
+    }
+
+    #[test]
+    fn disabled_cache_recomputes_and_recharges() {
+        let cfg = ServiceConfig {
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        };
+        let svc = service(cfg);
+        let p = params(0.5);
+        svc.query("a", "SELECT COUNT(*) FROM trips", p).unwrap();
+        let r2 = svc.query("a", "SELECT COUNT(*) FROM trips", p).unwrap();
+        assert!(!r2.from_cache);
+        assert_eq!(svc.ledger().spent("a").0, 1.0);
+        assert_eq!(svc.cached_answers(), 0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed_and_query() {
+        let p = params(1.0);
+        let sql = "SELECT COUNT(*) FROM trips";
+        let a = service(ServiceConfig::default())
+            .query("x", sql, p)
+            .unwrap();
+        let b = service(ServiceConfig::default())
+            .query("y", sql, p)
+            .unwrap();
+        assert_eq!(
+            a.rows, b.rows,
+            "same seed + same canonical query must re-release the same answer"
+        );
+        let mut other_seed = ServiceConfig::default();
+        other_seed.seed ^= 0xDEAD_BEEF;
+        let c = service(other_seed).query("z", sql, p).unwrap();
+        assert_ne!(a.rows, c.rows, "different seed, different noise");
+    }
+
+    #[test]
+    fn histogram_queries_round_trip() {
+        let svc = service(ServiceConfig::default());
+        let r = svc
+            .query(
+                "a",
+                "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id",
+                params(1.0),
+            )
+            .unwrap();
+        assert_eq!(r.columns.len(), 2);
+        assert_eq!(r.rows.len(), 7);
+    }
+
+    #[test]
+    fn shutdown_returns_final_telemetry() {
+        let svc = service(ServiceConfig::default());
+        svc.query("a", "SELECT COUNT(*) FROM trips", params(0.1))
+            .unwrap();
+        let snap = svc.shutdown();
+        assert_eq!(snap.submitted, 1);
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.queue_depth, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Service telemetry: lock-free counters and stage-timing accumulators,
+//! snapshotable for ops dashboards.
+
+use flex_core::FlexTimings;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Monotonic counters and gauges for one service instance. All updates
+/// are relaxed atomics — telemetry never contends with the query path.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    coalesced: AtomicU64,
+    rejected_budget: AtomicU64,
+    failed: AtomicU64,
+    queue_depth: AtomicU64,
+    max_queue_depth: AtomicU64,
+    analysis_ns: AtomicU64,
+    execution_ns: AtomicU64,
+    perturbation_ns: AtomicU64,
+}
+
+impl Telemetry {
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_rejected(&self) {
+        self.rejected_budget.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_completed(&self, timings: &FlexTimings) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.analysis_ns
+            .fetch_add(timings.analysis.as_nanos() as u64, Ordering::Relaxed);
+        self.execution_ns
+            .fetch_add(timings.execution.as_nanos() as u64, Ordering::Relaxed);
+        self.perturbation_ns
+            .fetch_add(timings.perturbation.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub fn record_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy of all counters.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected_budget: self.rejected_budget.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            analysis_time: Duration::from_nanos(self.analysis_ns.load(Ordering::Relaxed)),
+            execution_time: Duration::from_nanos(self.execution_ns.load(Ordering::Relaxed)),
+            perturbation_time: Duration::from_nanos(self.perturbation_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time view of a [`Telemetry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Requests accepted by `submit`/`query` (including later rejects).
+    pub submitted: u64,
+    /// Queries computed through the full pipeline.
+    pub completed: u64,
+    /// Requests served from the noisy-answer cache (zero budget).
+    pub cache_hits: u64,
+    /// Requests that missed the cache and went to admission control.
+    pub cache_misses: u64,
+    /// Cache misses that piggybacked on an identical in-flight query
+    /// (request coalescing) instead of computing and paying themselves.
+    pub coalesced: u64,
+    /// Requests rejected by budget admission control.
+    pub rejected_budget: u64,
+    /// Admitted requests whose pipeline failed (charge refunded).
+    pub failed: u64,
+    /// Jobs currently queued for a worker.
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: u64,
+    /// Total time in elastic-sensitivity analysis across queries.
+    pub analysis_time: Duration,
+    /// Total time executing true queries.
+    pub execution_time: Duration,
+    /// Total time smoothing + noising.
+    pub perturbation_time: Duration,
+}
+
+impl TelemetrySnapshot {
+    /// Cache hit rate over all cache lookups, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
+}
+
+impl std::fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "service telemetry")?;
+        writeln!(f, "  submitted        {:>8}", self.submitted)?;
+        writeln!(f, "  completed        {:>8}", self.completed)?;
+        writeln!(
+            f,
+            "  cache hits       {:>8}  ({:.1}% of lookups)",
+            self.cache_hits,
+            100.0 * self.hit_rate()
+        )?;
+        writeln!(f, "  cache misses     {:>8}", self.cache_misses)?;
+        writeln!(f, "  coalesced        {:>8}", self.coalesced)?;
+        writeln!(f, "  budget rejects   {:>8}", self.rejected_budget)?;
+        writeln!(f, "  failed           {:>8}", self.failed)?;
+        writeln!(
+            f,
+            "  queue depth      {:>8}  (max {})",
+            self.queue_depth, self.max_queue_depth
+        )?;
+        writeln!(
+            f,
+            "  analysis time    {:>10.3} ms",
+            self.analysis_time.as_secs_f64() * 1e3
+        )?;
+        writeln!(
+            f,
+            "  execution time   {:>10.3} ms",
+            self.execution_time.as_secs_f64() * 1e3
+        )?;
+        write!(
+            f,
+            "  perturbation     {:>10.3} ms",
+            self.perturbation_time.as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let t = Telemetry::default();
+        t.record_submitted();
+        t.record_submitted();
+        t.record_cache_hit();
+        t.record_cache_miss();
+        t.record_enqueued();
+        t.record_enqueued();
+        t.record_dequeued();
+        t.record_completed(&FlexTimings {
+            analysis: Duration::from_millis(2),
+            execution: Duration::from_millis(3),
+            perturbation: Duration::from_millis(1),
+        });
+        let s = t.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.queue_depth, 1);
+        assert_eq!(s.max_queue_depth, 2);
+        assert_eq!(s.analysis_time, Duration::from_millis(2));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        let text = s.to_string();
+        assert!(text.contains("cache hits") && text.contains("50.0%"));
+    }
+}

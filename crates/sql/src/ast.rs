@@ -393,20 +393,14 @@ impl Expr {
                     || branches
                         .iter()
                         .any(|(c, r)| c.contains_aggregate() || r.contains_aggregate())
-                    || else_result
-                        .as_deref()
-                        .is_some_and(Expr::contains_aggregate)
+                    || else_result.as_deref().is_some_and(Expr::contains_aggregate)
             }
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::Like { expr, pattern, .. } => {
                 expr.contains_aggregate() || pattern.contains_aggregate()
             }
@@ -418,8 +412,7 @@ impl Expr {
 }
 
 /// The aggregation functions recognized by the engine and the analysis.
-pub const AGGREGATE_FUNCTIONS: &[&str] =
-    &["count", "sum", "avg", "min", "max", "median", "stddev"];
+pub const AGGREGATE_FUNCTIONS: &[&str] = &["count", "sum", "avg", "min", "max", "median", "stddev"];
 
 /// Is `name` one of the recognized aggregation functions?
 pub fn is_aggregate_function(name: &str) -> bool {

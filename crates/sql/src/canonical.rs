@@ -1,0 +1,453 @@
+//! Query canonicalization: a semantics-preserving normal form used as the
+//! cache key of the `flex-service` noisy-answer cache.
+//!
+//! Two queries that differ only in formatting or in a small set of
+//! provably-safe syntactic permutations map to the same canonical AST and
+//! therefore the same canonical SQL text:
+//!
+//! * whitespace, keyword case, and unquoted identifier case (erased by the
+//!   lexer/printer round-trip);
+//! * order of `AND`/`OR` operands — conjunct/disjunct trees are flattened,
+//!   deduplicated, sorted, and rebuilt left-deep;
+//! * operand order of the symmetric operators `=`, `<>`, `+`, `*`
+//!   (`t.a = u.b` vs `u.b = t.a`);
+//! * comparison direction: `>` and `>=` are rewritten as mirrored `<` /
+//!   `<=` (`x > 5` and `5 < x` agree);
+//! * `IN`-list member order and duplicates;
+//! * `GROUP BY` key order.
+//!
+//! Deliberately *not* normalized because it can change results or output
+//! shape: projection order and aliases, join tree shape (outer joins do
+//! not commute), `USING` column order, set-operation branch order
+//! (`EXCEPT` is asymmetric), `ORDER BY`/`LIMIT`/`OFFSET`, and CTE order
+//! (later CTEs may reference earlier ones).
+//!
+//! The canonical form is a **fixpoint**: canonicalizing a canonical query
+//! is the identity, and printing + reparsing a canonical query yields the
+//! same canonical AST (checked by tests here and in the workspace-level
+//! suite).
+
+use crate::ast::*;
+use crate::printer::{print_expr, print_query};
+
+/// Canonicalize a query (deep copy; the input is untouched).
+pub fn canonicalize(q: &Query) -> Query {
+    canon_query(q)
+}
+
+/// The canonical SQL text of a query — equal strings iff the queries have
+/// the same canonical form. This is the `flex-service` cache key.
+pub fn canonical_sql(q: &Query) -> String {
+    print_query(&canonicalize(q))
+}
+
+fn canon_query(q: &Query) -> Query {
+    Query {
+        ctes: q
+            .ctes
+            .iter()
+            .map(|c| Cte {
+                name: c.name.clone(),
+                query: canon_query(&c.query),
+            })
+            .collect(),
+        body: canon_set_expr(&q.body),
+        order_by: q
+            .order_by
+            .iter()
+            .map(|o| OrderByItem {
+                expr: canon_expr(&o.expr),
+                descending: o.descending,
+            })
+            .collect(),
+        limit: q.limit,
+        offset: q.offset,
+    }
+}
+
+fn canon_set_expr(body: &SetExpr) -> SetExpr {
+    match body {
+        SetExpr::Select(s) => SetExpr::Select(Box::new(canon_select(s))),
+        SetExpr::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => SetExpr::SetOp {
+            op: *op,
+            all: *all,
+            left: Box::new(canon_set_expr(left)),
+            right: Box::new(canon_set_expr(right)),
+        },
+    }
+}
+
+fn canon_select(s: &Select) -> Select {
+    let mut group_by: Vec<Expr> = s.group_by.iter().map(canon_expr).collect();
+    group_by.sort_by_key(print_expr);
+    Select {
+        distinct: s.distinct,
+        projection: s
+            .projection
+            .iter()
+            .map(|item| match item {
+                SelectItem::Wildcard => SelectItem::Wildcard,
+                SelectItem::QualifiedWildcard(q) => SelectItem::QualifiedWildcard(q.clone()),
+                SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                    expr: canon_expr(expr),
+                    alias: alias.clone(),
+                },
+            })
+            .collect(),
+        from: s.from.as_ref().map(canon_table_ref),
+        selection: s.selection.as_ref().map(canon_expr),
+        group_by,
+        having: s.having.as_ref().map(canon_expr),
+    }
+}
+
+fn canon_table_ref(t: &TableRef) -> TableRef {
+    match t {
+        TableRef::Table { name, alias } => TableRef::Table {
+            name: name.clone(),
+            alias: alias.clone(),
+        },
+        TableRef::Derived { query, alias } => TableRef::Derived {
+            query: Box::new(canon_query(query)),
+            alias: alias.clone(),
+        },
+        TableRef::Join {
+            left,
+            right,
+            join_type,
+            constraint,
+        } => TableRef::Join {
+            left: Box::new(canon_table_ref(left)),
+            right: Box::new(canon_table_ref(right)),
+            join_type: *join_type,
+            constraint: match constraint {
+                JoinConstraint::On(e) => JoinConstraint::On(canon_expr(e)),
+                JoinConstraint::Using(cols) => JoinConstraint::Using(cols.clone()),
+                JoinConstraint::None => JoinConstraint::None,
+            },
+        },
+    }
+}
+
+/// Flatten a (possibly nested) `op`-tree into its operand list.
+fn flatten<'a>(e: &'a Expr, op: BinaryOperator, out: &mut Vec<&'a Expr>) {
+    match e {
+        Expr::BinaryOp {
+            left,
+            op: inner,
+            right,
+        } if *inner == op => {
+            flatten(left, op, out);
+            flatten(right, op, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Rebuild a sorted, deduplicated operand list as a left-deep `op`-tree.
+fn rebuild(mut operands: Vec<Expr>, op: BinaryOperator) -> Expr {
+    debug_assert!(!operands.is_empty());
+    let mut acc = operands.remove(0);
+    for next in operands {
+        acc = Expr::BinaryOp {
+            left: Box::new(acc),
+            op,
+            right: Box::new(next),
+        };
+    }
+    acc
+}
+
+fn canon_expr(e: &Expr) -> Expr {
+    match e {
+        Expr::BinaryOp { op, .. } if matches!(op, BinaryOperator::And | BinaryOperator::Or) => {
+            let mut parts = Vec::new();
+            flatten(e, *op, &mut parts);
+            let mut canon: Vec<(String, Expr)> = parts
+                .into_iter()
+                .map(|p| {
+                    let c = canon_expr(p);
+                    (print_expr(&c), c)
+                })
+                .collect();
+            canon.sort_by(|a, b| a.0.cmp(&b.0));
+            canon.dedup_by(|a, b| a.0 == b.0);
+            rebuild(canon.into_iter().map(|(_, e)| e).collect(), *op)
+        }
+        Expr::BinaryOp { left, op, right } => {
+            let mut l = canon_expr(left);
+            let mut r = canon_expr(right);
+            // Mirror > and >= so both directions of the same comparison
+            // agree; then order operands of the symmetric operators.
+            let op = match op {
+                BinaryOperator::Gt => {
+                    std::mem::swap(&mut l, &mut r);
+                    BinaryOperator::Lt
+                }
+                BinaryOperator::GtEq => {
+                    std::mem::swap(&mut l, &mut r);
+                    BinaryOperator::LtEq
+                }
+                symmetric @ (BinaryOperator::Eq
+                | BinaryOperator::NotEq
+                | BinaryOperator::Plus
+                | BinaryOperator::Multiply) => {
+                    if print_expr(&l) > print_expr(&r) {
+                        std::mem::swap(&mut l, &mut r);
+                    }
+                    *symmetric
+                }
+                other => *other,
+            };
+            Expr::BinaryOp {
+                left: Box::new(l),
+                op,
+                right: Box::new(r),
+            }
+        }
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+            op: *op,
+            expr: Box::new(canon_expr(expr)),
+        },
+        Expr::Function {
+            name,
+            distinct,
+            args,
+        } => Expr::Function {
+            name: name.clone(),
+            distinct: *distinct,
+            args: args
+                .iter()
+                .map(|a| match a {
+                    FunctionArg::Wildcard => FunctionArg::Wildcard,
+                    FunctionArg::Expr(e) => FunctionArg::Expr(canon_expr(e)),
+                })
+                .collect(),
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_result,
+        } => Expr::Case {
+            operand: operand.as_ref().map(|e| Box::new(canon_expr(e))),
+            branches: branches
+                .iter()
+                .map(|(c, r)| (canon_expr(c), canon_expr(r)))
+                .collect(),
+            else_result: else_result.as_ref().map(|e| Box::new(canon_expr(e))),
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let mut members: Vec<(String, Expr)> = list
+                .iter()
+                .map(|m| {
+                    let c = canon_expr(m);
+                    (print_expr(&c), c)
+                })
+                .collect();
+            members.sort_by(|a, b| a.0.cmp(&b.0));
+            members.dedup_by(|a, b| a.0 == b.0);
+            Expr::InList {
+                expr: Box::new(canon_expr(expr)),
+                list: members.into_iter().map(|(_, e)| e).collect(),
+                negated: *negated,
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(canon_expr(expr)),
+            low: Box::new(canon_expr(low)),
+            high: Box::new(canon_expr(high)),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(canon_expr(expr)),
+            pattern: Box::new(canon_expr(pattern)),
+            negated: *negated,
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(canon_expr(expr)),
+            negated: *negated,
+        },
+        Expr::Cast { expr, data_type } => Expr::Cast {
+            expr: Box::new(canon_expr(expr)),
+            data_type: data_type.clone(),
+        },
+        Expr::Exists(q) => Expr::Exists(Box::new(canon_query(q))),
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => Expr::InSubquery {
+            expr: Box::new(canon_expr(expr)),
+            query: Box::new(canon_query(query)),
+            negated: *negated,
+        },
+        leaf @ (Expr::Column(_) | Expr::Literal(_)) => leaf.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn key(sql: &str) -> String {
+        canonical_sql(&parse_query(sql).unwrap())
+    }
+
+    fn assert_same_key(a: &str, b: &str) {
+        assert_eq!(key(a), key(b), "expected {a:?} and {b:?} to share a key");
+    }
+
+    fn assert_different_key(a: &str, b: &str) {
+        assert_ne!(key(a), key(b), "expected {a:?} and {b:?} to differ");
+    }
+
+    #[test]
+    fn whitespace_and_case_are_erased() {
+        assert_same_key(
+            "SELECT COUNT(*) FROM trips WHERE city_id = 3",
+            "select   count(*)\n  from TRIPS\nwhere CITY_ID=3",
+        );
+    }
+
+    #[test]
+    fn conjunct_order_is_erased() {
+        assert_same_key(
+            "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2 AND c = 3",
+            "SELECT COUNT(*) FROM t WHERE c = 3 AND (a = 1 AND b = 2)",
+        );
+        assert_same_key(
+            "SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2",
+            "SELECT COUNT(*) FROM t WHERE b = 2 OR a = 1",
+        );
+        // AND vs OR must stay distinct.
+        assert_different_key(
+            "SELECT COUNT(*) FROM t WHERE a = 1 AND b = 2",
+            "SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2",
+        );
+    }
+
+    #[test]
+    fn duplicate_conjuncts_collapse() {
+        assert_same_key(
+            "SELECT COUNT(*) FROM t WHERE a = 1 AND a = 1",
+            "SELECT COUNT(*) FROM t WHERE a = 1",
+        );
+    }
+
+    #[test]
+    fn symmetric_operand_order_is_erased() {
+        assert_same_key(
+            "SELECT COUNT(*) FROM a JOIN b ON a.k = b.k",
+            "SELECT COUNT(*) FROM a JOIN b ON b.k = a.k",
+        );
+        assert_same_key(
+            "SELECT COUNT(*) FROM t WHERE x + y = 3",
+            "SELECT COUNT(*) FROM t WHERE y + x = 3",
+        );
+        // `-` is not symmetric.
+        assert_different_key(
+            "SELECT COUNT(*) FROM t WHERE x - y = 3",
+            "SELECT COUNT(*) FROM t WHERE y - x = 3",
+        );
+    }
+
+    #[test]
+    fn comparison_direction_is_erased() {
+        assert_same_key(
+            "SELECT COUNT(*) FROM t WHERE x > 5",
+            "SELECT COUNT(*) FROM t WHERE 5 < x",
+        );
+        assert_same_key(
+            "SELECT COUNT(*) FROM t WHERE x >= 5",
+            "SELECT COUNT(*) FROM t WHERE 5 <= x",
+        );
+        assert_different_key(
+            "SELECT COUNT(*) FROM t WHERE x > 5",
+            "SELECT COUNT(*) FROM t WHERE x < 5",
+        );
+    }
+
+    #[test]
+    fn in_list_order_and_duplicates_are_erased() {
+        assert_same_key(
+            "SELECT COUNT(*) FROM t WHERE a IN (3, 1, 2, 1)",
+            "SELECT COUNT(*) FROM t WHERE a IN (1, 2, 3)",
+        );
+        assert_different_key(
+            "SELECT COUNT(*) FROM t WHERE a IN (1, 2)",
+            "SELECT COUNT(*) FROM t WHERE a NOT IN (1, 2)",
+        );
+    }
+
+    #[test]
+    fn group_by_order_is_erased() {
+        assert_same_key(
+            "SELECT a, b, COUNT(*) FROM t GROUP BY a, b",
+            "SELECT a, b, COUNT(*) FROM t GROUP BY b, a",
+        );
+    }
+
+    #[test]
+    fn semantic_differences_are_preserved() {
+        assert_different_key("SELECT COUNT(*) FROM t", "SELECT COUNT(*) FROM u");
+        assert_different_key("SELECT COUNT(*) FROM t", "SELECT COUNT(DISTINCT x) FROM t");
+        assert_different_key(
+            "SELECT a, COUNT(*) FROM t GROUP BY a",
+            "SELECT b, COUNT(*) FROM t GROUP BY b",
+        );
+        // Projection order changes the output shape.
+        assert_different_key("SELECT a, b FROM t", "SELECT b, a FROM t");
+        // EXCEPT branches must not be swapped.
+        assert_different_key(
+            "SELECT a FROM t EXCEPT SELECT a FROM u",
+            "SELECT a FROM u EXCEPT SELECT a FROM t",
+        );
+        // Outer-join sides must not be swapped.
+        assert_different_key(
+            "SELECT COUNT(*) FROM a LEFT JOIN b ON a.k = b.k",
+            "SELECT COUNT(*) FROM b LEFT JOIN a ON a.k = b.k",
+        );
+    }
+
+    #[test]
+    fn canonicalization_is_a_fixpoint() {
+        for sql in [
+            "SELECT COUNT(*) FROM trips WHERE c = 3 AND a = 1 AND b = 2",
+            "SELECT c.name, COUNT(*) FROM trips t JOIN cities c ON c.id = t.city_id GROUP BY c.name",
+            "WITH w AS (SELECT a FROM t WHERE x > 2) SELECT COUNT(*) FROM w",
+            "SELECT COUNT(*) FROM t WHERE a IN (9, 1, 4) OR b BETWEEN 2 AND 7",
+            "SELECT CASE WHEN y > x THEN 'a' ELSE 'b' END FROM t ORDER BY 1 DESC LIMIT 5",
+            "SELECT a FROM t1 UNION ALL SELECT a FROM t2",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let once = canonicalize(&q);
+            let twice = canonicalize(&once);
+            assert_eq!(once, twice, "canonicalize not idempotent for {sql:?}");
+            let reparsed = parse_query(&print_query(&once)).unwrap();
+            assert_eq!(
+                once,
+                canonicalize(&reparsed),
+                "print/reparse not a fixpoint for {sql:?}"
+            );
+        }
+    }
+}

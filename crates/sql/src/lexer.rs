@@ -44,11 +44,7 @@ impl<'a> Lexer<'a> {
                 b',' => self.single(TokenKind::Comma),
                 b'.' => {
                     // A dot followed by a digit begins a float like `.5`.
-                    if self
-                        .bytes
-                        .get(self.pos + 1)
-                        .is_some_and(u8::is_ascii_digit)
-                    {
+                    if self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit) {
                         self.number()?;
                     } else {
                         self.single(TokenKind::Dot);
@@ -224,31 +220,18 @@ impl<'a> Lexer<'a> {
     fn number(&mut self) -> Result<()> {
         let start = self.pos;
         let mut is_float = false;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(u8::is_ascii_digit)
-        {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
             self.pos += 1;
         }
         if self.peek_at(0) == Some(b'.')
-            && self
-                .bytes
-                .get(self.pos + 1)
-                .is_some_and(u8::is_ascii_digit)
+            && self.bytes.get(self.pos + 1).is_some_and(u8::is_ascii_digit)
         {
             is_float = true;
             self.pos += 1;
-            while self
-                .bytes
-                .get(self.pos)
-                .is_some_and(u8::is_ascii_digit)
-            {
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
                 self.pos += 1;
             }
-        } else if self.peek_at(0) == Some(b'.')
-            && self.bytes.get(start) != Some(&b'.')
-        {
+        } else if self.peek_at(0) == Some(b'.') && self.bytes.get(start) != Some(&b'.') {
             // Trailing dot as in `1.` — treat as float.
             is_float = true;
             self.pos += 1;
@@ -261,11 +244,7 @@ impl<'a> Lexer<'a> {
             if self.bytes.get(ahead).is_some_and(u8::is_ascii_digit) {
                 is_float = true;
                 self.pos = ahead;
-                while self
-                    .bytes
-                    .get(self.pos)
-                    .is_some_and(u8::is_ascii_digit)
-                {
+                while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
                     self.pos += 1;
                 }
             }
@@ -281,9 +260,10 @@ impl<'a> Lexer<'a> {
                 Ok(v) => TokenKind::Integer(v),
                 // Integers too large for i64 degrade to floats, matching the
                 // permissiveness of real SQL engines.
-                Err(_) => TokenKind::Float(text.parse::<f64>().map_err(|e| {
-                    ParseError::lex(start, format!("bad numeric literal: {e}"))
-                })?),
+                Err(_) => TokenKind::Float(
+                    text.parse::<f64>()
+                        .map_err(|e| ParseError::lex(start, format!("bad numeric literal: {e}")))?,
+                ),
             }
         };
         self.out.push(Token {
@@ -388,18 +368,12 @@ mod tests {
 
     #[test]
     fn huge_integer_degrades_to_float() {
-        assert_eq!(
-            kinds("99999999999999999999")[0],
-            TokenKind::Float(1e20)
-        );
+        assert_eq!(kinds("99999999999999999999")[0], TokenKind::Float(1e20));
     }
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(
-            kinds("'it''s'")[0],
-            TokenKind::String("it's".to_string())
-        );
+        assert_eq!(kinds("'it''s'")[0], TokenKind::String("it's".to_string()));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! ```
 
 pub mod ast;
+pub mod canonical;
 pub mod error;
 pub mod lexer;
 pub mod parser;
@@ -27,6 +28,7 @@ pub mod token;
 pub mod visitor;
 
 pub use ast::*;
+pub use canonical::{canonical_sql, canonicalize};
 pub use error::{ParseError, Result};
 pub use parser::{parse_query, parse_script};
 pub use printer::{print_expr, print_query};

@@ -385,9 +385,9 @@ impl Parser {
                 let q = self.query()?;
                 self.expect(&TokenKind::RParen)?;
                 self.eat_kw(Keyword::As);
-                let alias = self.ident().map_err(|_| {
-                    self.error("derived table requires an alias".to_string())
-                })?;
+                let alias = self
+                    .ident()
+                    .map_err(|_| self.error("derived table requires an alias".to_string()))?;
                 return Ok(TableRef::Derived {
                     query: Box::new(q),
                     alias,
@@ -735,9 +735,7 @@ mod tests {
 
     #[test]
     fn parses_join_with_compound_on() {
-        let q = parse(
-            "SELECT count(*) FROM a JOIN b ON a.id = b.id AND a.size > b.size",
-        );
+        let q = parse("SELECT count(*) FROM a JOIN b ON a.id = b.id AND a.size > b.size");
         let s = q.as_select().unwrap();
         match s.from.as_ref().unwrap() {
             TableRef::Join {
@@ -936,7 +934,12 @@ mod tests {
         let s = q.as_select().unwrap();
         match &s.projection[0] {
             SelectItem::Expr {
-                expr: Expr::Case { branches, else_result, .. },
+                expr:
+                    Expr::Case {
+                        branches,
+                        else_result,
+                        ..
+                    },
                 ..
             } => {
                 assert_eq!(branches.len(), 2);

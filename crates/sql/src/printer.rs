@@ -318,11 +318,7 @@ fn write_expr(out: &mut String, e: &Expr) {
         Expr::IsNull { expr, negated } => {
             out.push('(');
             write_expr(out, expr);
-            out.push_str(if *negated {
-                " IS NOT NULL"
-            } else {
-                " IS NULL"
-            });
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
             out.push(')');
         }
         Expr::Cast { expr, data_type } => {
@@ -399,8 +395,7 @@ mod tests {
     fn roundtrip(sql: &str) {
         let q1 = parse_query(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
         let printed = print_query(&q1);
-        let q2 = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+        let q2 = parse_query(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
         let printed2 = print_query(&q2);
         assert_eq!(printed, printed2, "printer not a fixed point for {sql:?}");
     }

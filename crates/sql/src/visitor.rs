@@ -240,10 +240,8 @@ mod tests {
 
     #[test]
     fn walk_joins_counts_nested_joins() {
-        let q = parse_query(
-            "SELECT count(*) FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT count(*) FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y").unwrap();
         let mut joins = 0;
         walk_joins(&q, &mut |_| joins += 1);
         assert_eq!(joins, 2);
@@ -251,10 +249,8 @@ mod tests {
 
     #[test]
     fn walk_joins_descends_into_derived() {
-        let q = parse_query(
-            "SELECT count(*) FROM (SELECT * FROM a JOIN b ON a.x = b.x) s",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT count(*) FROM (SELECT * FROM a JOIN b ON a.x = b.x) s").unwrap();
         let mut joins = 0;
         walk_joins(&q, &mut |_| joins += 1);
         assert_eq!(joins, 1);

@@ -61,7 +61,10 @@ const TABLES: [(&str, [&str; 4]); 8] = [
     ("cities", ["id", "name", "region", "population"]),
     ("payments", ["id", "trip_id", "amount", "method"]),
     ("sessions", ["id", "user_id", "duration", "device"]),
-    ("support_tickets", ["id", "user_id", "category", "opened_at"]),
+    (
+        "support_tickets",
+        ["id", "user_id", "category", "opened_at"],
+    ),
     ("promotions", ["id", "city_id", "budget", "code"]),
 ];
 
@@ -70,7 +73,9 @@ const AGG_NAMES: [&str; 7] = ["count", "sum", "avg", "max", "min", "median", "st
 /// Generate the corpus.
 pub fn generate(cfg: &CorpusConfig) -> Vec<Query> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    (0..cfg.n_queries).map(|_| gen_query(cfg, &mut rng)).collect()
+    (0..cfg.n_queries)
+        .map(|_| gen_query(cfg, &mut rng))
+        .collect()
 }
 
 /// A small database instance matching the corpus's synthetic schema, so
@@ -84,12 +89,7 @@ pub fn catalog_database(rows_per_table: usize, seed: u64) -> flex_db::Database {
     for (name, cols) in TABLES {
         // Every corpus column is generated as a skewed integer; the study
         // and analysis only consult metrics, not semantics.
-        let schema = Schema::of(
-            &cols
-                .iter()
-                .map(|c| (*c, DataType::Int))
-                .collect::<Vec<_>>(),
-        );
+        let schema = Schema::of(&cols.iter().map(|c| (*c, DataType::Int)).collect::<Vec<_>>());
         db.create_table(name, schema).unwrap();
         let rows = (0..rows_per_table)
             .map(|i| {
@@ -221,8 +221,7 @@ fn gen_select(cfg: &CorpusConfig, rng: &mut StdRng) -> Select {
             let tj = if self_join && j == 0 {
                 t0
             } else {
-                let unused: Vec<usize> =
-                    (0..TABLES.len()).filter(|t| !used.contains(t)).collect();
+                let unused: Vec<usize> = (0..TABLES.len()).filter(|t| !used.contains(t)).collect();
                 if unused.is_empty() {
                     rng.gen_range(0..TABLES.len())
                 } else {
@@ -265,11 +264,7 @@ fn gen_select(cfg: &CorpusConfig, rng: &mut StdRng) -> Select {
                     1 => JoinConstraint::On(Expr::binary(
                         Expr::col_eq(lc.clone(), rc.clone()),
                         BinaryOperator::And,
-                        Expr::binary(
-                            Expr::Column(lc),
-                            BinaryOperator::Gt,
-                            Expr::Column(rc),
-                        ),
+                        Expr::binary(Expr::Column(lc), BinaryOperator::Gt, Expr::Column(rc)),
                     )),
                     // Column comparison.
                     2 => JoinConstraint::On(Expr::binary(

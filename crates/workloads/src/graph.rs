@@ -7,7 +7,7 @@
 //! configurable bound, so the elastic-sensitivity numbers match exactly.
 
 use crate::zipf::Zipf;
-use flex_db::{Database, DataType, Schema, Table, Value};
+use flex_db::{DataType, Database, Schema, Table, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};

@@ -7,7 +7,7 @@
 //! `partsupp` are private; `region`, `nation` and `part` are public.
 
 use crate::uber::date_2016;
-use flex_db::{Database, DataType, Schema, Value};
+use flex_db::{DataType, Database, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -216,7 +216,15 @@ pub fn generate(cfg: &TpchConfig) -> Database {
                 vec![
                     Value::Int(i as i64),
                     Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
-                    Value::str(["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"][rng.gen_range(0..5)]),
+                    Value::str(
+                        [
+                            "AUTOMOBILE",
+                            "BUILDING",
+                            "FURNITURE",
+                            "HOUSEHOLD",
+                            "MACHINERY",
+                        ][rng.gen_range(0..5)],
+                    ),
                 ]
             })
             .collect(),
@@ -374,8 +382,7 @@ mod tests {
     fn generates_all_eight_tables() {
         let db = generate(&tiny());
         for t in [
-            "region", "nation", "part", "supplier", "partsupp", "customer", "orders",
-            "lineitem",
+            "region", "nation", "part", "supplier", "partsupp", "customer", "orders", "lineitem",
         ] {
             assert!(db.table(t).is_some(), "missing {t}");
         }

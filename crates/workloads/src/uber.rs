@@ -9,7 +9,7 @@
 //! populations).
 
 use crate::zipf::Zipf;
-use flex_db::{Database, DataType, Schema, Value};
+use flex_db::{DataType, Database, Schema, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -141,7 +141,11 @@ pub fn generate(cfg: &UberConfig) -> Database {
                 Value::Int(i as i64 + 1),
                 Value::Int(city_zipf.sample(&mut rng) as i64 + 1),
                 Value::str(VEHICLES[rng.gen_range(0..VEHICLES.len())]),
-                Value::str(if rng.gen_bool(0.85) { "active" } else { "inactive" }),
+                Value::str(if rng.gen_bool(0.85) {
+                    "active"
+                } else {
+                    "inactive"
+                }),
                 Value::str(date_2016(rng.gen_range(0..366))),
             ]
         })
@@ -198,7 +202,11 @@ pub fn generate(cfg: &UberConfig) -> Database {
                 Value::Int(driver_zipf.sample(&mut rng) as i64 + 1),
                 Value::Int(rider_zipf.sample(&mut rng) as i64 + 1),
                 Value::Int(city_zipf.sample(&mut rng) as i64 + 1),
-                Value::str(if rng.gen_bool(0.9) { "completed" } else { "canceled" }),
+                Value::str(if rng.gen_bool(0.9) {
+                    "completed"
+                } else {
+                    "canceled"
+                }),
                 Value::Float((fare * 100.0).round() / 100.0),
                 Value::str(date_2016(rng.gen_range(0..366))),
             ]
@@ -297,7 +305,7 @@ pub fn workload(cfg: &UberConfig) -> Vec<WorkloadQuery> {
     let mut out = Vec::new();
     let n_cities = cfg.cities.min(CITY_NAMES.len());
     let windows: [(u32, u32, &str); 4] = [
-        (297, 297, "1d"),   // Oct 24
+        (297, 297, "1d"), // Oct 24
         (250, 256, "1w"),
         (182, 212, "1m"),
         (0, 365, "1y"),
@@ -314,9 +322,7 @@ pub fn workload(cfg: &UberConfig) -> Vec<WorkloadQuery> {
             out.push(WorkloadQuery {
                 name: format!("count_city{city}_{wname}"),
                 sql: format!("SELECT COUNT(*) FROM trips WHERE {pred}"),
-                population_sql: format!(
-                    "SELECT COUNT(DISTINCT id) FROM trips WHERE {pred}"
-                ),
+                population_sql: format!("SELECT COUNT(DISTINCT id) FROM trips WHERE {pred}"),
                 traits: QueryTraits {
                     has_join: false,
                     uses_public_table: false,
@@ -333,9 +339,7 @@ pub fn workload(cfg: &UberConfig) -> Vec<WorkloadQuery> {
         out.push(WorkloadQuery {
             name: format!("count_fare_gt_{i}"),
             sql: format!("SELECT COUNT(*) FROM trips WHERE fare > {fare}"),
-            population_sql: format!(
-                "SELECT COUNT(DISTINCT id) FROM trips WHERE fare > {fare}"
-            ),
+            population_sql: format!("SELECT COUNT(DISTINCT id) FROM trips WHERE fare > {fare}"),
             traits: QueryTraits {
                 has_join: false,
                 uses_public_table: false,
@@ -358,9 +362,9 @@ pub fn workload(cfg: &UberConfig) -> Vec<WorkloadQuery> {
     ] {
         let pred = match window {
             None => format!("driver_id = {driver}"),
-            Some((lo, hi)) => format!(
-                "driver_id = {driver} AND trip_date BETWEEN '{lo}' AND '{hi}'"
-            ),
+            Some((lo, hi)) => {
+                format!("driver_id = {driver} AND trip_date BETWEEN '{lo}' AND '{hi}'")
+            }
         };
         out.push(WorkloadQuery {
             name: format!("count_driver_{driver}"),
@@ -485,9 +489,7 @@ pub fn workload(cfg: &UberConfig) -> Vec<WorkloadQuery> {
 
     // One-to-one join (drivers ⋈ analytics) with threshold sweeps.
     for threshold in [10, 50, 150, 300] {
-        let pred = format!(
-            "a.completed_trips >= {threshold} AND d.status = 'active'"
-        );
+        let pred = format!("a.completed_trips >= {threshold} AND d.status = 'active'");
         out.push(WorkloadQuery {
             name: format!("count_analytics_ge_{threshold}"),
             sql: format!(
@@ -644,7 +646,14 @@ mod tests {
     #[test]
     fn generates_all_tables_with_metrics() {
         let db = generate(&small());
-        for t in ["cities", "drivers", "riders", "trips", "user_tags", "analytics"] {
+        for t in [
+            "cities",
+            "drivers",
+            "riders",
+            "trips",
+            "user_tags",
+            "analytics",
+        ] {
             assert!(db.table(t).is_some(), "missing {t}");
         }
         assert_eq!(db.table("trips").unwrap().len(), 2000);
@@ -670,9 +679,19 @@ mod tests {
         // Spot-check a sample of each trait combination.
         for q in wl.iter().step_by(7) {
             let rs = db.execute_sql(&q.sql);
-            assert!(rs.is_ok(), "query {} failed: {:?}\n{}", q.name, rs.err(), q.sql);
+            assert!(
+                rs.is_ok(),
+                "query {} failed: {:?}\n{}",
+                q.name,
+                rs.err(),
+                q.sql
+            );
             let pop = db.execute_sql(&q.population_sql).unwrap();
-            assert!(pop.scalar().is_some(), "population query {} not scalar", q.name);
+            assert!(
+                pop.scalar().is_some(),
+                "population query {} not scalar",
+                q.name
+            );
         }
     }
 
@@ -680,7 +699,9 @@ mod tests {
     fn workload_covers_all_classes() {
         let wl = workload(&small());
         assert!(wl.iter().any(|q| !q.traits.has_join));
-        assert!(wl.iter().any(|q| q.traits.has_join && !q.traits.uses_public_table));
+        assert!(wl
+            .iter()
+            .any(|q| q.traits.has_join && !q.traits.uses_public_table));
         assert!(wl.iter().any(|q| q.traits.uses_public_table));
         assert!(wl.iter().any(|q| q.traits.many_to_many));
         assert!(wl.iter().any(|q| q.traits.targets_individual));
@@ -719,6 +740,9 @@ mod tests {
     fn deterministic_generation() {
         let a = generate(&small());
         let b = generate(&small());
-        assert_eq!(a.table("trips").unwrap().rows, b.table("trips").unwrap().rows);
+        assert_eq!(
+            a.table("trips").unwrap().rows,
+            b.table("trips").unwrap().rows
+        );
     }
 }

@@ -24,7 +24,7 @@ fn main() {
     let rows: Vec<Vec<Value>> = (0..10_000)
         .map(|i| {
             vec![
-                Value::Int(i % 700),                              // user
+                Value::Int(i % 700), // user
                 Value::str(if i % 3 == 0 { "home" } else { "search" }),
                 Value::Int(10 + (i * 7) % 120),
             ]
@@ -35,8 +35,8 @@ fn main() {
     // 2. Privacy parameters. delta_for_db_size gives the paper's
     //    δ = n^(−ln n) default.
     let n = db.total_rows();
-    let params = PrivacyParams::new(0.5, PrivacyParams::delta_for_db_size(n))
-        .expect("valid (ε, δ)");
+    let params =
+        PrivacyParams::new(0.5, PrivacyParams::delta_for_db_size(n)).expect("valid (ε, δ)");
 
     // 3. Ask a question with differential privacy.
     let sql = "SELECT COUNT(*) FROM visits WHERE page = 'home'";

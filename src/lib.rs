@@ -11,7 +11,9 @@
 //! * [`core`] — elastic sensitivity and the FLEX mechanism ([`flex_core`]);
 //! * [`mechanisms`] — wPINQ/PINQ/restricted-sensitivity baselines
 //!   ([`flex_mechanisms`]);
-//! * [`workloads`] — synthetic datasets and workloads ([`flex_workloads`]).
+//! * [`workloads`] — synthetic datasets and workloads ([`flex_workloads`]);
+//! * [`service`] — the concurrent multi-analyst query service with budget
+//!   ledgers and a noisy-answer cache ([`flex_service`]).
 //!
 //! ```
 //! use flex::prelude::*;
@@ -36,6 +38,7 @@
 pub use flex_core as core;
 pub use flex_db as db;
 pub use flex_mechanisms as mechanisms;
+pub use flex_service as service;
 pub use flex_sql as sql;
 pub use flex_workloads as workloads;
 
@@ -43,10 +46,14 @@ pub use flex_workloads as workloads;
 pub mod prelude {
     pub use flex_core::{
         analyze, analyze_with, enumerate_bins, run_sql, run_sql_with, AnalysisOptions,
-        AnalyzedQuery, BudgetedFlex, FlexError, FlexOptions, FlexResult, PrivacyBudget,
-        PrivacyParams, SensExpr, SmoothSensitivity,
+        AnalyzedQuery, BudgetedFlex, Composition, FlexError, FlexOptions, FlexResult,
+        PrivacyBudget, PrivacyParams, SensExpr, SmoothSensitivity,
     };
-    pub use flex_db::{Database, DataType, ResultSet, Schema, Table, Value};
-    pub use flex_sql::{parse_query, print_query, Query};
+    pub use flex_db::{DataType, Database, ResultSet, Schema, Table, Value};
+    pub use flex_service::{
+        BudgetLedger, LedgerPolicy, QueryService, ServiceConfig, ServiceError, ServiceResponse,
+        TelemetrySnapshot,
+    };
+    pub use flex_sql::{canonical_sql, canonicalize, parse_query, print_query, Query};
     pub use flex_workloads::{GraphConfig, TpchConfig, UberConfig};
 }

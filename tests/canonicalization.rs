@@ -1,0 +1,87 @@
+//! Satellite test: SQL canonicalization over the whole Uber evaluation
+//! workload — parse → canonicalize → print → reparse is a fixpoint, and
+//! semantically identical query spellings produce equal cache keys.
+
+use flex::sql::{canonical_sql, canonicalize, parse_query, print_query};
+use flex::workloads::uber::{workload, UberConfig};
+
+#[test]
+fn workload_canonicalization_is_a_fixpoint() {
+    let queries = workload(&UberConfig::default());
+    assert!(queries.len() > 50, "workload should be sizeable");
+    for wq in &queries {
+        for sql in [&wq.sql, &wq.population_sql] {
+            let q = parse_query(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
+            let once = canonicalize(&q);
+            // Idempotent on the AST.
+            assert_eq!(once, canonicalize(&once), "not idempotent: {sql}");
+            // Printing and reparsing the canonical form lands on the same
+            // canonical AST (the cache key is stable across round-trips).
+            let printed = print_query(&once);
+            let reparsed =
+                parse_query(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+            assert_eq!(once, canonicalize(&reparsed), "round-trip drift: {sql}");
+            assert_eq!(printed, canonical_sql(&reparsed), "key drift: {sql}");
+        }
+    }
+}
+
+#[test]
+fn equivalent_spellings_share_cache_keys() {
+    let key = |sql: &str| canonical_sql(&parse_query(sql).unwrap());
+    let groups: &[&[&str]] = &[
+        // Whitespace + keyword/identifier case.
+        &[
+            "SELECT COUNT(*) FROM trips WHERE status = 'completed'",
+            "select   COUNT(*)  from TRIPS\n where STATUS='completed'",
+        ],
+        // Conjunct commutation and association.
+        &[
+            "SELECT COUNT(*) FROM trips WHERE city_id = 3 AND fare > 10 AND status = 'completed'",
+            "SELECT COUNT(*) FROM trips WHERE status = 'completed' AND (city_id = 3 AND fare > 10)",
+            "SELECT COUNT(*) FROM trips WHERE fare > 10 AND status = 'completed' AND city_id = 3",
+        ],
+        // Equality operand order, including in join constraints.
+        &[
+            "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id",
+            "SELECT COUNT(*) FROM trips t JOIN drivers d ON d.id = t.driver_id",
+        ],
+        // Comparison direction.
+        &[
+            "SELECT COUNT(*) FROM trips WHERE fare > 42.5",
+            "SELECT COUNT(*) FROM trips WHERE 42.5 < fare",
+        ],
+        // IN-list order and duplicates.
+        &[
+            "SELECT COUNT(*) FROM trips WHERE city_id IN (3, 1, 2)",
+            "SELECT COUNT(*) FROM trips WHERE city_id IN (1, 2, 3, 2)",
+        ],
+    ];
+    for group in groups {
+        let expect = key(group[0]);
+        for sql in &group[1..] {
+            assert_eq!(
+                key(sql),
+                expect,
+                "{sql:?} should share a key with {:?}",
+                group[0]
+            );
+        }
+    }
+
+    // And inequivalent spellings must not collide.
+    let distinct = [
+        "SELECT COUNT(*) FROM trips",
+        "SELECT COUNT(*) FROM drivers",
+        "SELECT COUNT(*) FROM trips WHERE city_id = 3",
+        "SELECT COUNT(*) FROM trips WHERE city_id = 4",
+        "SELECT COUNT(DISTINCT driver_id) FROM trips",
+        "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id",
+    ];
+    let keys: Vec<String> = distinct.iter().map(|s| key(s)).collect();
+    for i in 0..keys.len() {
+        for j in i + 1..keys.len() {
+            assert_ne!(keys[i], keys[j], "{:?} vs {:?}", distinct[i], distinct[j]);
+        }
+    }
+}

@@ -146,8 +146,8 @@ fn tpch_queries_run_privately() {
     let params = params_for(&db, 0.1);
     let mut rng = StdRng::seed_from_u64(6);
     for (name, sql, joins) in tpch::queries() {
-        let r = run_sql(&db, sql, params, &mut rng)
-            .unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+        let r =
+            run_sql(&db, sql, params, &mut rng).unwrap_or_else(|e| panic!("{name} rejected: {e}"));
         assert_eq!(r.join_count, joins, "{name} join count");
         assert!(!r.rows.is_empty(), "{name} returned nothing");
     }
@@ -179,8 +179,12 @@ fn budgeted_session_enforces_cap_across_crates() {
     let mut session = BudgetedFlex::new(&db, PrivacyBudget::new(0.25, 1e-4));
     let params = params_for(&db, 0.1);
     let mut rng = StdRng::seed_from_u64(8);
-    assert!(session.run("SELECT COUNT(*) FROM trips", params, &mut rng).is_ok());
-    assert!(session.run("SELECT COUNT(*) FROM drivers", params, &mut rng).is_ok());
+    assert!(session
+        .run("SELECT COUNT(*) FROM trips", params, &mut rng)
+        .is_ok());
+    assert!(session
+        .run("SELECT COUNT(*) FROM drivers", params, &mut rng)
+        .is_ok());
     let third = session.run("SELECT COUNT(*) FROM riders", params, &mut rng);
     assert!(matches!(third, Err(FlexError::BudgetExhausted { .. })));
 }
@@ -248,7 +252,7 @@ fn deterministic_given_seed_and_data() {
     let (db, _) = small_uber();
     let params = params_for(&db, 0.1);
     let sql = "SELECT COUNT(*) FROM trips WHERE fare > 10";
-    let a = run_sql(&db, sql, params, &mut StdRng::seed_from_u64(77), ).unwrap();
+    let a = run_sql(&db, sql, params, &mut StdRng::seed_from_u64(77)).unwrap();
     let b = run_sql(&db, sql, params, &mut StdRng::seed_from_u64(77)).unwrap();
     assert_eq!(a.rows, b.rows);
 }

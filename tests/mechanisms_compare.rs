@@ -11,8 +11,10 @@ use rand::SeedableRng;
 
 fn two_table_db(xs: &[i64], ys: &[i64]) -> Database {
     let mut db = Database::new();
-    db.create_table("a", Schema::of(&[("k", DataType::Int)])).unwrap();
-    db.create_table("b", Schema::of(&[("k", DataType::Int)])).unwrap();
+    db.create_table("a", Schema::of(&[("k", DataType::Int)]))
+        .unwrap();
+    db.create_table("b", Schema::of(&[("k", DataType::Int)]))
+        .unwrap();
     db.insert("a", xs.iter().map(|x| vec![Value::Int(*x)]).collect())
         .unwrap();
     db.insert("b", ys.iter().map(|y| vec![Value::Int(*y)]).collect())
@@ -138,8 +140,7 @@ fn flex_beats_wpinq_on_skewed_one_to_many_join() {
 
     // wPINQ: weighted count + Lap(1/ε).
     let a = WeightedDataset::from_table(db.table("a").unwrap());
-    let b = WeightedDataset::from_table(db.table("b").unwrap())
-        .with_columns(vec!["bk".into()]);
+    let b = WeightedDataset::from_table(db.table("b").unwrap()).with_columns(vec!["bk".into()]);
     let mut wpinq_err = 0.0;
     for _ in 0..trials {
         let est = a.join("k", &b, "bk").noisy_count(eps, &mut rng);

@@ -3,9 +3,7 @@
 //! independent Rust reimplementations.
 
 use flex::prelude::*;
-use flex::sql::{
-    BinaryOperator, ColumnRef, Expr, Literal, Select, SelectItem, TableRef,
-};
+use flex::sql::{BinaryOperator, ColumnRef, Expr, Literal, Select, SelectItem, TableRef};
 use proptest::prelude::*;
 
 // ---- expression generation ------------------------------------------------
@@ -48,7 +46,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 inner.clone()
             )
                 .prop_map(|(l, op, r)| Expr::binary(l, op, r)),
-            (inner.clone(), proptest::collection::vec(inner.clone(), 1..4))
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..4)
+            )
                 .prop_map(|(e, list)| Expr::InList {
                     expr: Box::new(e),
                     list,
@@ -101,7 +102,8 @@ proptest! {
 
 fn int_db(xs: &[i64]) -> Database {
     let mut db = Database::new();
-    db.create_table("t", Schema::of(&[("x", DataType::Int)])).unwrap();
+    db.create_table("t", Schema::of(&[("x", DataType::Int)]))
+        .unwrap();
     db.insert("t", xs.iter().map(|x| vec![Value::Int(*x)]).collect())
         .unwrap();
     db

@@ -21,7 +21,8 @@ fn build_db(a_rows: &[(i64, i64)], b_rows: &[i64]) -> Database {
         Schema::of(&[("k", DataType::Int), ("v", DataType::Int)]),
     )
     .unwrap();
-    db.create_table("b", Schema::of(&[("k", DataType::Int)])).unwrap();
+    db.create_table("b", Schema::of(&[("k", DataType::Int)]))
+        .unwrap();
     db.insert(
         "a",
         a_rows

@@ -1,0 +1,114 @@
+//! Satellite test: N threads spending from one `BudgetLedger` never
+//! exceed the configured ε, even under contention, with a deterministic
+//! final-accounting assertion (pure std threads; no loom).
+
+use flex::service::{BudgetLedger, LedgerPolicy, ServiceError};
+use std::sync::Arc;
+
+#[test]
+fn hammered_ledger_never_overspends() {
+    let cap = 2.0;
+    let per_query = 0.003;
+    let threads = 16;
+    let attempts_per_thread = 100;
+    // 16 × 100 × 0.003 = 4.8ε attempted against a 2.0ε cap.
+    let ledger = Arc::new(BudgetLedger::new(LedgerPolicy::sequential(cap, 1e-3)));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || {
+                let mut admitted = 0u64;
+                for _ in 0..attempts_per_thread {
+                    match ledger.try_charge("shared", per_query, 1e-9) {
+                        Ok(_) => admitted += 1,
+                        Err(ServiceError::BudgetRejected { .. }) => {}
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                    // The invariant must hold at every instant, not just
+                    // at the end.
+                    let (eps, _) = ledger.spent("shared");
+                    assert!(eps <= cap + 1e-9, "cap exceeded mid-flight: {eps}");
+                }
+                admitted
+            })
+        })
+        .collect();
+
+    let total_admitted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    // Deterministic final accounting: exactly ⌊cap / per_query⌋ charges
+    // fit, whatever the interleaving, and the ledger's books agree with
+    // the threads' own tally.
+    let expected = (cap / per_query).round() as u64; // 666.66… → 666 admitted
+    let expected = if expected as f64 * per_query > cap + 1e-9 {
+        expected - 1
+    } else {
+        expected
+    };
+    assert_eq!(total_admitted, expected, "admitted {total_admitted}");
+    let (eps, _) = ledger.spent("shared");
+    assert!(
+        (eps - total_admitted as f64 * per_query).abs() < 1e-9,
+        "books disagree: spent {eps} vs {} admitted charges",
+        total_admitted
+    );
+    assert_eq!(ledger.queries("shared"), total_admitted as u32);
+}
+
+#[test]
+fn refunds_under_contention_balance_to_zero() {
+    let ledger = Arc::new(BudgetLedger::new(LedgerPolicy::sequential(
+        1000.0,
+        1.0 - 1e-9,
+    )));
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let charge = ledger.try_charge("a", 0.25, 1e-9).unwrap();
+                    ledger.refund(&charge);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Charges and refunds of the same amounts interleave across threads,
+    // so f64 accumulation can leave dust on the order of a few ulps —
+    // assert balance up to tolerance, and exact query-count balance.
+    let (eps, delta) = ledger.spent("a");
+    assert!(eps.abs() < 1e-12, "ε imbalance: {eps}");
+    assert!(delta.abs() < 1e-18, "δ imbalance: {delta}");
+    assert_eq!(ledger.queries("a"), 0);
+    // The dust must not block future admissions.
+    ledger.try_charge("a", 1000.0, 0.5).unwrap();
+}
+
+#[test]
+fn per_analyst_isolation_under_contention() {
+    let ledger = Arc::new(BudgetLedger::new(LedgerPolicy::sequential(1.0, 1e-3)));
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let ledger = Arc::clone(&ledger);
+            std::thread::spawn(move || {
+                let analyst = format!("analyst-{t}");
+                let mut admitted = 0u32;
+                for _ in 0..30 {
+                    if ledger.try_charge(&analyst, 0.05, 1e-9).is_ok() {
+                        admitted += 1;
+                    }
+                }
+                (analyst, admitted)
+            })
+        })
+        .collect();
+    for h in handles {
+        let (analyst, admitted) = h.join().unwrap();
+        assert_eq!(admitted, 20, "{analyst}: 1.0 / 0.05 = 20 admissions");
+        let (eps, _) = ledger.spent(&analyst);
+        assert!((eps - 1.0).abs() < 1e-9, "{analyst} spent {eps}");
+    }
+}

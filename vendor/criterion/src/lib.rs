@@ -1,0 +1,179 @@
+//! Vendored minimal benchmark harness exposing the subset of the
+//! `criterion` API this workspace's benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `sample_size` / `finish`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `sample_size` samples of adaptively-batched iterations; the mean,
+//! minimum and maximum per-iteration times are printed. There are no
+//! statistical reports, baselines, or HTML output.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean/min/max per-iteration time of the measured samples.
+    result: Option<(Duration, Duration, Duration)>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, batching iterations so one sample takes ≳1 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: grow the batch until it costs ≥ 1 ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed() / batch as u32;
+            total += per_iter;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+        }
+        self.result = Some((total / self.sample_size as u32, min, max));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        result: None,
+        sample_size,
+    };
+    f(&mut b);
+    match b.result {
+        Some((mean, min, max)) => println!(
+            "{name:<50} mean {:>10}   [{} .. {}]",
+            fmt_duration(mean),
+            fmt_duration(min),
+            fmt_duration(max),
+        ),
+        None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Top-level benchmark registry (stateless in this stub).
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.effective_sample_size(), &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            sample_size: None,
+            parent: self,
+        }
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: Option<usize>,
+    #[allow(dead_code)]
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let sample_size = self
+            .sample_size
+            .unwrap_or_else(|| self.parent.effective_sample_size());
+        run_one(&format!("{}/{name}", self.prefix), sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declare a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_end_to_end() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_function("add", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,63 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use std::ops::{Range, RangeInclusive};
+
+/// Accepted element-count specifications for [`vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.size.min..=self.size.max);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(elem, 1..30)`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}

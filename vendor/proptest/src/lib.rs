@@ -1,0 +1,495 @@
+//! Vendored mini property-testing framework exposing the subset of the
+//! `proptest` API this workspace uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, range and string-pattern
+//! strategies, [`Just`], [`any`], `collection::vec`, `prop_oneof!`, the
+//! `proptest!` test macro, and `prop_assert*!`.
+//!
+//! Differences from the real crate, by design: no shrinking (a failing
+//! case reports its case index; cases regenerate deterministically from
+//! the test-name seed), string "regex" strategies support only the
+//! character-class + `{m,n}` repetition subset actually used in-tree, and
+//! `\PC` generates printable ASCII.
+
+pub mod collection;
+pub mod pattern;
+pub mod prelude;
+
+// Used by macro expansions in downstream crates that may not depend on
+// `rand` themselves.
+#[doc(hidden)]
+pub use rand as __rand;
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure raised by `prop_assert*!`; carries the formatted message.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy behind a cheap clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(move |rng: &mut StdRng| self.generate(rng)))
+    }
+
+    /// Build recursive structures: `recurse` receives a strategy for the
+    /// current depth and returns one for the next. Unlike the real crate
+    /// the result is depth-bounded up front (no lazy expansion), mixing
+    /// leaves back in at every level so sizes stay small.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::weighted(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        strat
+    }
+}
+
+/// Clonable type-erased strategy handle.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among strategies of a common value type (the engine
+/// behind `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u32,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Union::weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        let total_weight = options.iter().map(|(w, _)| *w).sum();
+        Union {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = rng.gen_range(0..self.total_weight);
+        for (w, s) in &self.options {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut StdRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut StdRng) -> f64 {
+        // Finite, sign-symmetric, spanning several orders of magnitude.
+        let mag = rng.gen::<f64>() * 1e6;
+        if rng.gen() {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// Strategy for [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+/// String-pattern strategies: `"[a-z]{1,8}"`-style literals.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+);
+
+/// Deterministic 64-bit seed from a test name (FNV-1a).
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Choose among strategies (uniformly; weights are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Fail the current property case with a formatted message unless `cond`
+/// holds. Only usable inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both operands on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!($left, $right, "assertion failed: {} == {}",
+            stringify!($left), stringify!($right))
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__pt_left, __pt_right) => {
+                if !(*__pt_left == *__pt_right) {
+                    return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+),
+                        __pt_left,
+                        __pt_right,
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Define property tests. Each function body runs once per generated case;
+/// failures report the deterministic case index (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __pt_cfg: $crate::ProptestConfig = $cfg;
+            let __pt_seed = $crate::seed_from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __pt_case in 0..__pt_cfg.cases {
+                use $crate::Strategy as _;
+                let mut __pt_rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    __pt_seed ^ (__pt_case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = ($strat).generate(&mut __pt_rng);)+
+                let __pt_result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = __pt_result {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed: {e}\n\
+                         (cases regenerate deterministically from the test name)",
+                        __pt_case + 1,
+                        __pt_cfg.cases,
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3i64..9, y in 0.5f64..2.5, n in 1u32..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.5..2.5).contains(&y));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_tuple_composition(
+            pairs in crate::collection::vec((0i64..4, 0i64..4), 2..6)
+        ) {
+            prop_assert!(pairs.len() >= 2 && pairs.len() < 6);
+            for (a, b) in &pairs {
+                prop_assert!((0..4).contains(a) && (0..4).contains(b));
+            }
+        }
+
+        #[test]
+        fn oneof_map_and_just(v in prop_oneof![
+            (0i64..5).prop_map(|x| x * 2),
+            Just(100i64),
+        ]) {
+            prop_assert!(v == 100 || (v % 2 == 0 && v < 10));
+        }
+
+        #[test]
+        fn string_patterns(s in "[a-z][a-z0-9_]{0,5}") {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+
+        #[test]
+        fn any_bool_generates(b in any::<bool>()) {
+            prop_assert!(usize::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(v) => u32::from((0..10).contains(v)),
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 4);
+            saw_node |= matches!(t, Tree::Node(..));
+        }
+        assert!(saw_node, "recursion never produced an inner node");
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_index() {
+        proptest! {
+            #[allow(dead_code)]
+            fn always_fails(x in 0i64..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,138 @@
+//! Tiny "regex" generator backing string-literal strategies.
+//!
+//! Supported syntax — the subset used by this workspace's tests:
+//!
+//! * character classes `[a-z0-9_]` with ranges and literal members;
+//! * `\PC` — any printable character (generated as printable ASCII);
+//! * literal characters;
+//! * `{n}` / `{m,n}` repetition suffixes on any of the above.
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+
+/// One atom: a set of inclusive codepoint ranges plus a repetition count.
+struct Atom {
+    ranges: Vec<(u32, u32)>,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges: Vec<(u32, u32)> = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((chars[i] as u32, chars[i + 2] as u32));
+                        i += 3;
+                    } else {
+                        ranges.push((chars[i] as u32, chars[i] as u32));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pat:?}");
+                i += 1; // consume ']'
+                ranges
+            }
+            '\\' => {
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pat:?}"
+                );
+                i += 3;
+                vec![(0x20, 0x7E)]
+            }
+            c => {
+                i += 1;
+                vec![(c as u32, c as u32)]
+            }
+        };
+        let (mut min, mut max) = (1u32, 1u32);
+        if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|c| *c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in {pat:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    min = lo.trim().parse().expect("repetition lower bound");
+                    max = hi.trim().parse().expect("repetition upper bound");
+                }
+                None => {
+                    min = body.trim().parse().expect("repetition count");
+                    max = min;
+                }
+            }
+            i += close + 1;
+        }
+        assert!(min <= max, "inverted repetition in {pat:?}");
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+/// Generate one string matching `pat`.
+pub fn generate(pat: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pat) {
+        let total: u32 = atom.ranges.iter().map(|(lo, hi)| hi - lo + 1).sum();
+        assert!(total > 0, "empty character class in {pat:?}");
+        let n = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..n {
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in &atom.ranges {
+                let span = hi - lo + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo + pick).expect("valid codepoint"));
+                    break;
+                }
+                pick -= span;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_ranges_and_literal_members() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = generate("[a-z0-9_]{1,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_escape_and_zero_min() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let s = generate("\\PC{0,120}", &mut rng);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            saw_empty |= s.is_empty();
+        }
+        assert!(saw_empty, "min 0 never produced an empty string");
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate("x{3}", &mut rng), "xxx");
+    }
+}

@@ -1,0 +1,6 @@
+//! The `use proptest::prelude::*;` surface.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+    ProptestConfig, Strategy, TestCaseError, Union,
+};

@@ -1,0 +1,14 @@
+//! Vendored stand-in for the `serde` facade.
+//!
+//! Exposes the `Serialize`/`Deserialize` trait *names* and their derive
+//! macros so `#[derive(Serialize, Deserialize)]` on workspace types
+//! compiles. The derives emit no impls (see `serde_derive`); nothing
+//! in-tree relies on serde-based serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

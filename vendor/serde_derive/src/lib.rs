@@ -1,0 +1,19 @@
+//! Vendored no-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace derives these traits on AST/value types for downstream
+//! consumers, but nothing in-tree performs serde-based (de)serialization
+//! (the JSON result dumps go through the vendored `serde_json::Value`
+//! directly). Emitting no impl keeps the derives compiling without pulling
+//! in the real `serde` machinery, which is unavailable offline.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

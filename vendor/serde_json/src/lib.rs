@@ -1,0 +1,424 @@
+//! Vendored stand-in for the subset of `serde_json` the workspace uses:
+//! the [`Value`] tree, the [`json!`] literal macro, and
+//! [`to_string_pretty`]. Serialization of arbitrary `Serialize` types is
+//! *not* supported — callers build `Value`s explicitly via `json!`.
+
+use std::fmt;
+
+/// A JSON number: integers are kept exact, everything else is an `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    Int(i64),
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::Float(v) if v.is_finite() => write!(f, "{v}"),
+            // JSON has no NaN/Inf; emit null like serde_json's lossy modes.
+            Number::Float(_) => f.write_str("null"),
+        }
+    }
+}
+
+/// A JSON document tree. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Serialization error (the pretty printer is total, so this is never
+/// produced; it exists for signature compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::Int(v as i64))
+            }
+        }
+    )*};
+}
+
+from_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        if v <= i64::MAX as u64 {
+            Value::Number(Number::Int(v as i64))
+        } else {
+            Value::Number(Number::Float(v as f64))
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Value {
+        Value::Null
+    }
+}
+
+/// Conversion used by `json!` expression interpolation. Takes `&self` so
+/// interpolating a field never moves it (matching real serde_json, whose
+/// macro serializes through a reference).
+pub trait ToJson {
+    fn to_json(&self) -> Value;
+}
+
+macro_rules! to_json_via_from {
+    ($($t:ty),* $(,)?) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+    )*};
+}
+
+to_json_via_from!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64, bool);
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const STEP: usize = 2;
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(out, item, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, item, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Render a [`Value`] as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Render a [`Value`] as compact JSON.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    fn write_compact(out: &mut String, v: &Value) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_compact(out, item);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, item)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    write_compact(out, item);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    write_compact(&mut out, value);
+    Ok(out)
+}
+
+/// Build a [`Value`] from JSON-ish literal syntax. Object keys must be
+/// string literals; values may be nested `{...}`/`[...]` literals or
+/// arbitrary Rust expressions convertible to `Value` via `From`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_items!([] () $($tt)+))
+    };
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object($crate::json_entries!([] $($tt)+))
+    };
+    ($e:expr) => { $crate::ToJson::to_json(&$e) };
+}
+
+/// Internal: accumulate array items, splitting on top-level commas, and
+/// emit one `vec![...]` of the parsed elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_items {
+    ([$($parsed:expr),*] ()) => {
+        vec![$($parsed),*]
+    };
+    ([$($parsed:expr),*] ($($cur:tt)+)) => {
+        vec![$($parsed,)* $crate::json!($($cur)+)]
+    };
+    ([$($parsed:expr),*] ($($cur:tt)+) , $($rest:tt)*) => {
+        $crate::json_items!([$($parsed,)* $crate::json!($($cur)+)] () $($rest)*)
+    };
+    ([$($parsed:expr),*] ($($cur:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_items!([$($parsed),*] ($($cur)* $next) $($rest)*)
+    };
+}
+
+/// Internal: accumulate object entries, splitting on top-level commas, and
+/// emit one `vec![...]` of `(key, value)` pairs.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entries {
+    ([$($parsed:expr),*]) => {
+        vec![$($parsed),*]
+    };
+    ([$($parsed:expr),*] $key:literal : $($rest:tt)+) => {
+        $crate::json_entry_value!([$($parsed),*] $key; () $($rest)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_entry_value {
+    ([$($parsed:expr),*] $key:literal; ($($cur:tt)+)) => {
+        vec![$($parsed,)* ($key.to_string(), $crate::json!($($cur)+))]
+    };
+    ([$($parsed:expr),*] $key:literal; ($($cur:tt)+) , $($rest:tt)*) => {
+        $crate::json_entries!([$($parsed,)* ($key.to_string(), $crate::json!($($cur)+))] $($rest)*)
+    };
+    ([$($parsed:expr),*] $key:literal; ($($cur:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_entry_value!([$($parsed),*] $key; ($($cur)* $next) $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_shapes() {
+        let rows = vec![json!({"a": 1}), json!({"a": 2})];
+        let n = 4usize;
+        let v = json!({
+            "int": 3,
+            "float": 1.5,
+            "expr": 100.0 * n as f64 / 8.0,
+            "string": "hi",
+            "bool": true,
+            "null": null,
+            "nested": {"x": [1, 2, 3], "y": {}},
+            "rows": rows,
+        });
+        let Value::Object(entries) = &v else {
+            panic!("expected object")
+        };
+        assert_eq!(entries.len(), 8);
+        assert_eq!(
+            entries[0],
+            ("int".to_string(), Value::Number(Number::Int(3)))
+        );
+        assert_eq!(
+            entries[2],
+            ("expr".to_string(), Value::Number(Number::Float(50.0)))
+        );
+        assert!(matches!(&entries[7].1, Value::Array(a) if a.len() == 2));
+    }
+
+    #[test]
+    fn trailing_commas_accepted() {
+        let v = json!({"a": 1, "b": [1, 2,],});
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"a":1,"b":[1,2]}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_stable() {
+        let v = json!({"k": [1], "s": "a\"b"});
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "{\n  \"k\": [\n    1\n  ],\n  \"s\": \"a\\\"b\"\n}");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let s = to_string(&json!({"x": f64::NAN})).unwrap();
+        assert_eq!(s, r#"{"x":null}"#);
+    }
+}
