@@ -46,9 +46,14 @@ impl PrivacyBudget {
 
     /// Charge `(ε, δ)`; fails without spending if the cap would be exceeded.
     pub fn try_spend(&mut self, epsilon: f64, delta: f64) -> Result<()> {
-        if epsilon <= 0.0 {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
             return Err(FlexError::InvalidParams(format!(
                 "cannot spend non-positive epsilon {epsilon}"
+            )));
+        }
+        if !delta.is_finite() || delta < 0.0 {
+            return Err(FlexError::InvalidParams(format!(
+                "cannot spend negative delta {delta}"
             )));
         }
         // Tolerate float dust at the cap boundary.
@@ -107,17 +112,33 @@ impl Composition {
     /// `(0, 1)`, whose logarithm would poison the bound with NaN) reports
     /// infinite cost so admission control built on this can never admit
     /// under it.
+    ///
+    /// `Strong` reports the tighter of two *simultaneously valid* claims:
+    /// the DRV strong bound and basic composition `(kε, kδ)` — `k`-fold
+    /// composition of `(ε, δ)`-DP mechanisms satisfies both. For small
+    /// `k` the `√(2k·ln(1/δ″))` term makes the strong bound looser than
+    /// basic composition (a single ε = 0.5 query "costs" ≈ 2.9 under it);
+    /// without the fallback, admission control would reject queries that
+    /// are provably within budget.
     pub fn total_cost(&self, epsilon: f64, delta: f64, k: u32) -> (f64, f64) {
         if !self.is_valid() {
             return (f64::INFINITY, f64::INFINITY);
         }
+        let basic = (epsilon * k as f64, delta * k as f64);
         match self {
-            Composition::Sequential => (epsilon * k as f64, delta * k as f64),
+            Composition::Sequential => basic,
             Composition::Strong { delta_slack } => {
                 if k == 0 {
                     (0.0, 0.0)
                 } else {
-                    strong_composition(epsilon, delta, k, *delta_slack)
+                    let strong = strong_composition(epsilon, delta, k, *delta_slack);
+                    // basic.1 = kδ < kδ + δ″ = strong.1 always, so when
+                    // basic's ε is also smaller it dominates outright.
+                    if basic.0 <= strong.0 {
+                        basic
+                    } else {
+                        strong
+                    }
                 }
             }
         }
@@ -289,6 +310,13 @@ mod tests {
         let (ek, _) = strong.total_cost(0.1, 1e-9, 5);
         let (ek1, _) = strong.total_cost(0.1, 1e-9, 6);
         assert!(ek1 > ek, "strong composition must be monotone in k");
+        // Small k: the DRV bound is looser than basic composition, and
+        // total_cost must report the tighter valid claim.
+        assert_eq!(
+            strong.total_cost(0.5, 1e-9, 1),
+            (0.5, 1e-9),
+            "a single query must cost its own (ε, δ), not the DRV bound"
+        );
     }
 
     #[test]

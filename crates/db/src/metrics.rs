@@ -59,6 +59,25 @@ impl MetricsCatalog {
             .flatten()
     }
 
+    /// All metric entries as `(table, column, mf, vr)` in sorted order —
+    /// a stable enumeration for fingerprinting and serialization (the
+    /// backing maps iterate in randomized hash order).
+    pub fn sorted_entries(&self) -> Vec<(&str, &str, Option<u64>, Option<f64>)> {
+        let mut keys: Vec<&(String, String)> = self.mf.keys().chain(self.vr.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        keys.into_iter()
+            .map(|key| {
+                (
+                    key.0.as_str(),
+                    key.1.as_str(),
+                    self.mf.get(key).copied(),
+                    self.vr.get(key).copied().flatten(),
+                )
+            })
+            .collect()
+    }
+
     /// Override a metric (used to model externally-supplied data models,
     /// e.g. a check constraint defining the permissible value range).
     pub fn set_value_range(&mut self, table: &str, column: &str, range: f64) {

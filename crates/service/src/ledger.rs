@@ -10,7 +10,8 @@
 
 use crate::error::{ServiceError, ServiceResult};
 use flex_core::{Composition, PrivacyBudget};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Per-analyst budget policy. Different analysts may run different caps
@@ -53,11 +54,17 @@ impl LedgerPolicy {
 }
 
 /// Proof of admission: the exact charge to hand back on refund.
+///
+/// Each charge carries a private id the ledger tracks while the charge
+/// is outstanding; [`BudgetLedger::refund`] consumes it, so a duplicate
+/// (or cloned) refund is a no-op instead of minting budget headroom.
+/// Charges cannot be constructed outside the ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Charge {
     pub analyst: String,
     pub epsilon: f64,
     pub delta: f64,
+    id: u64,
 }
 
 #[derive(Debug)]
@@ -72,6 +79,9 @@ struct Account {
     /// Strong mode pins the first query's `(ε, δ)`; subsequent queries
     /// must match (the theorem composes homogeneous mechanisms).
     pinned: Option<(f64, f64)>,
+    /// Ids of admitted charges that are still refundable (neither
+    /// settled nor already refunded). Bounded by in-flight queries.
+    outstanding: HashSet<u64>,
 }
 
 impl Account {
@@ -81,6 +91,7 @@ impl Account {
             policy,
             queries: 0,
             pinned: None,
+            outstanding: HashSet::new(),
         }
     }
 
@@ -105,6 +116,7 @@ impl Account {
 pub struct BudgetLedger {
     default_policy: LedgerPolicy,
     accounts: Mutex<HashMap<String, Account>>,
+    next_charge_id: AtomicU64,
 }
 
 impl BudgetLedger {
@@ -113,6 +125,7 @@ impl BudgetLedger {
         BudgetLedger {
             default_policy,
             accounts: Mutex::new(HashMap::new()),
+            next_charge_id: AtomicU64::new(0),
         }
     }
 
@@ -139,6 +152,14 @@ impl BudgetLedger {
     /// analyst's composed budget, creating the account on first contact.
     /// On `Err` nothing was charged.
     pub fn try_charge(&self, analyst: &str, epsilon: f64, delta: f64) -> ServiceResult<Charge> {
+        // Validate before touching any account: this entry point takes
+        // raw f64s, and a negative (or NaN/∞) charge would *mint* budget
+        // headroom instead of spending it.
+        if !epsilon.is_finite() || epsilon <= 0.0 || !delta.is_finite() || delta < 0.0 {
+            return Err(ServiceError::Flex(flex_core::FlexError::InvalidParams(
+                format!("invalid privacy charge (ε = {epsilon}, δ = {delta})"),
+            )));
+        }
         let mut accounts = self.accounts.lock().expect("ledger poisoned");
         let acct = accounts
             .entry(analyst.to_string())
@@ -156,23 +177,27 @@ impl BudgetLedger {
             }
             Composition::Strong { .. } => {
                 let tol = 1e-12;
-                if let Some((e0, d0)) = acct.pinned {
-                    if (epsilon - e0).abs() > tol || (delta - d0).abs() > tol {
-                        return Err(ServiceError::HeterogeneousParams {
-                            analyst: analyst.to_string(),
-                            pinned: (e0, d0),
-                            requested: (epsilon, delta),
-                        });
+                // The pin is immutable while queries are admitted: cost
+                // bounds are always computed against the *original*
+                // pinned (ε, δ), never the tolerance-matched request —
+                // otherwise repeated within-tolerance requests could walk
+                // the pin arbitrarily far from the parameters the
+                // composed-cost bound was checked against.
+                let (e0, d0) = match acct.pinned {
+                    Some((e0, d0)) => {
+                        if (epsilon - e0).abs() > tol || (delta - d0).abs() > tol {
+                            return Err(ServiceError::HeterogeneousParams {
+                                analyst: analyst.to_string(),
+                                pinned: (e0, d0),
+                                requested: (epsilon, delta),
+                            });
+                        }
+                        (e0, d0)
                     }
-                } else if epsilon <= 0.0 {
-                    return Err(ServiceError::Flex(flex_core::FlexError::InvalidParams(
-                        format!("cannot spend non-positive epsilon {epsilon}"),
-                    )));
-                }
+                    None => (epsilon, delta),
+                };
                 let (e_total, d_total) =
-                    acct.policy
-                        .composition
-                        .total_cost(epsilon, delta, acct.queries + 1);
+                    acct.policy.composition.total_cost(e0, d0, acct.queries + 1);
                 if e_total > acct.policy.epsilon_cap + tol || d_total > acct.policy.delta_cap + tol
                 {
                     let (e_now, _) = acct.composed_cost();
@@ -182,22 +207,42 @@ impl BudgetLedger {
                         remaining_epsilon: (acct.policy.epsilon_cap - e_now).max(0.0),
                     });
                 }
-                acct.pinned = Some((epsilon, delta));
+                acct.pinned = Some((e0, d0));
+                acct.queries += 1;
+                let id = self.next_charge_id.fetch_add(1, Ordering::Relaxed);
+                acct.outstanding.insert(id);
+                // The charge records the pinned parameters — what the
+                // account is actually composed over.
+                return Ok(Charge {
+                    analyst: analyst.to_string(),
+                    epsilon: e0,
+                    delta: d0,
+                    id,
+                });
             }
         }
         acct.queries += 1;
+        let id = self.next_charge_id.fetch_add(1, Ordering::Relaxed);
+        acct.outstanding.insert(id);
         Ok(Charge {
             analyst: analyst.to_string(),
             epsilon,
             delta,
+            id,
         })
     }
 
     /// Hand a charge back (the query failed after admission; nothing was
-    /// released).
+    /// released). Consumes the charge's id: refunding the same charge
+    /// twice — or a charge already [`settle`](Self::settle)d — is a
+    /// no-op, so a retry loop (or a hostile caller cloning charges) can
+    /// never erase budget that paid for a released answer.
     pub fn refund(&self, charge: &Charge) {
         let mut accounts = self.accounts.lock().expect("ledger poisoned");
         if let Some(acct) = accounts.get_mut(&charge.analyst) {
+            if !acct.outstanding.remove(&charge.id) {
+                return;
+            }
             match acct.policy.composition {
                 Composition::Sequential => acct.budget.refund(charge.epsilon, charge.delta),
                 Composition::Strong { .. } => {}
@@ -209,6 +254,16 @@ impl BudgetLedger {
             if acct.queries == 0 {
                 acct.pinned = None;
             }
+        }
+    }
+
+    /// Mark a charge as spent for good (its answer was released): the
+    /// charge is no longer refundable. Keeps the outstanding-charge set
+    /// bounded by queries actually in flight.
+    pub fn settle(&self, charge: &Charge) {
+        let mut accounts = self.accounts.lock().expect("ledger poisoned");
+        if let Some(acct) = accounts.get_mut(&charge.analyst) {
+            acct.outstanding.remove(&charge.id);
         }
     }
 
@@ -282,6 +337,46 @@ mod tests {
     }
 
     #[test]
+    fn double_refund_cannot_mint_budget() {
+        let ledger = BudgetLedger::new(LedgerPolicy::sequential(1.0, 1e-6));
+        let c1 = ledger.try_charge("a", 0.4, 1e-9).unwrap();
+        let c2 = ledger.try_charge("a", 0.4, 1e-9).unwrap();
+        ledger.refund(&c1);
+        // Refunding the same charge again (even via a clone) must not
+        // erase the budget c2's released answer actually spent.
+        ledger.refund(&c1);
+        ledger.refund(&c1.clone());
+        assert!((ledger.spent("a").0 - 0.4).abs() < 1e-12);
+        assert_eq!(ledger.queries("a"), 1);
+        let _ = c2;
+    }
+
+    #[test]
+    fn settled_charges_are_not_refundable() {
+        let ledger = BudgetLedger::new(LedgerPolicy::sequential(1.0, 1e-6));
+        let charge = ledger.try_charge("a", 0.6, 1e-9).unwrap();
+        ledger.settle(&charge);
+        ledger.refund(&charge);
+        assert!((ledger.spent("a").0 - 0.6).abs() < 1e-12);
+        assert_eq!(ledger.queries("a"), 1);
+    }
+
+    #[test]
+    fn strong_mode_first_query_admits_via_basic_composition_fallback() {
+        // Under the raw DRV bound a single ε = 0.5 query "costs" ≈ 2.9;
+        // basic composition (also valid) prices it at 0.5, so two fit a
+        // 1.0 cap and a third is rejected.
+        let ledger = BudgetLedger::new(LedgerPolicy::strong(1.0, 1e-4, 1e-6));
+        ledger.try_charge("a", 0.5, 1e-9).unwrap();
+        assert!((ledger.spent("a").0 - 0.5).abs() < 1e-12);
+        ledger.try_charge("a", 0.5, 1e-9).unwrap();
+        assert!(matches!(
+            ledger.try_charge("a", 0.5, 1e-9),
+            Err(ServiceError::BudgetRejected { .. })
+        ));
+    }
+
+    #[test]
     fn strong_composition_admits_more_small_queries() {
         let cap = 1.0;
         let per_query = 0.01;
@@ -312,6 +407,52 @@ mod tests {
         ledger.try_charge("a", 0.01, 1e-9).unwrap();
         let err = ledger.try_charge("a", 0.02, 1e-9).unwrap_err();
         assert!(matches!(err, ServiceError::HeterogeneousParams { .. }));
+    }
+
+    #[test]
+    fn invalid_charges_are_rejected_not_minted() {
+        for policy in [
+            LedgerPolicy::sequential(1.0, 1e-4),
+            LedgerPolicy::strong(1.0, 1e-4, 1e-6),
+        ] {
+            let ledger = BudgetLedger::new(policy);
+            // A negative δ must not decrease spent_delta; a negative,
+            // zero, NaN, or infinite ε must not be admitted at all.
+            for (e, d) in [
+                (0.1, -1e-3),
+                (-0.1, 1e-9),
+                (0.0, 1e-9),
+                (f64::NAN, 1e-9),
+                (f64::INFINITY, 1e-9),
+                (0.1, f64::NAN),
+            ] {
+                assert!(
+                    ledger.try_charge("a", e, d).is_err(),
+                    "charge (ε = {e}, δ = {d}) must be rejected"
+                );
+            }
+            assert_eq!(ledger.spent("a"), (0.0, 0.0));
+            assert_eq!(ledger.queries("a"), 0);
+        }
+    }
+
+    #[test]
+    fn strong_mode_pin_does_not_drift_under_tolerance_matching() {
+        let ledger = BudgetLedger::new(LedgerPolicy::strong(1.0, 1e-4, 1e-6));
+        let e = 0.01;
+        let charge = ledger.try_charge("a", e, 1e-9).unwrap();
+        assert_eq!((charge.epsilon, charge.delta), (e, 1e-9));
+        // Within tolerance of the pin: admitted, charged at the *pinned*
+        // parameters, and the pin itself must not move.
+        let drifted = ledger.try_charge("a", e + 9e-13, 1e-9).unwrap();
+        assert_eq!(drifted.epsilon, e, "charge records the pinned ε");
+        // Within tolerance of the previous (drifted) request but not of
+        // the original pin: must be rejected, or an analyst could walk
+        // the pin by ~1e-12 per query away from the checked bound.
+        assert!(matches!(
+            ledger.try_charge("a", e + 1.8e-12, 1e-9),
+            Err(ServiceError::HeterogeneousParams { .. })
+        ));
     }
 
     #[test]

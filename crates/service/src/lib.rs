@@ -45,6 +45,7 @@
 pub mod cache;
 pub mod error;
 pub mod ledger;
+mod prf;
 pub mod service;
 pub mod telemetry;
 

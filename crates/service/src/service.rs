@@ -18,6 +18,7 @@
 use crate::cache::{AnswerCache, CacheKey, CachedAnswer};
 use crate::error::{ServiceError, ServiceResult};
 use crate::ledger::{BudgetLedger, Charge, LedgerPolicy};
+use crate::prf;
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use flex_core::{run_query_with, Composition, FlexOptions, FlexTimings, PrivacyParams};
 use flex_db::{Database, Value};
@@ -40,11 +41,22 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Options forwarded to the FLEX mechanism.
     pub flex: FlexOptions,
-    /// Base seed for noise generation. Noise is a deterministic function
-    /// of `(seed, canonical query, ε, δ)`, so a service restarted with
-    /// the same seed re-releases identical answers instead of burning
-    /// fresh budget on a cold cache.
-    pub seed: u64,
+    /// Optional secret base seed for noise generation.
+    ///
+    /// `None` (the default) draws a fresh random secret from the OS for
+    /// each service instance — the safe choice, since DP noise that an
+    /// adversary can recompute is no noise at all.
+    ///
+    /// `Some(seed)` makes noise a deterministic function of
+    /// `(seed, canonical query, ε, δ, dataset fingerprint)`, so a service
+    /// restarted with the same seed over the *same data* re-releases
+    /// identical answers instead of burning fresh budget on a cold cache;
+    /// any change to the database contents re-keys the noise. **The seed
+    /// is then the privacy guarantee:** it must be generated per
+    /// deployment, kept secret, and never committed to source or config
+    /// files an analyst could read — anyone who knows it can strip the
+    /// noise from every release.
+    pub seed: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -58,7 +70,7 @@ impl Default for ServiceConfig {
             },
             cache_capacity: 1024,
             flex: FlexOptions::new(),
-            seed: 0xF1E8,
+            seed: None,
         }
     }
 }
@@ -72,10 +84,13 @@ pub struct ServiceResponse {
     pub columns: Vec<String>,
     /// Noised rows (label cells pass through, aggregates carry noise).
     pub rows: Vec<Vec<Value>>,
-    /// Whether this answer came from the noisy-answer cache.
+    /// Whether this answer was served from the noisy-answer cache. A
+    /// request coalesced onto an identical in-flight computation reports
+    /// `false` here (the answer was freshly computed, just not charged to
+    /// this request) — check `charged == (0.0, 0.0)` for "free".
     pub from_cache: bool,
     /// `(ε, δ)` charged to the analyst for this answer; `(0, 0)` on a
-    /// cache hit.
+    /// cache hit or a coalesced request.
     pub charged: (f64, f64),
     pub join_count: usize,
     /// Pipeline stage timings; `None` for cache hits (nothing ran).
@@ -123,7 +138,16 @@ struct Shared {
     cache: AnswerCache,
     telemetry: Telemetry,
     flex: FlexOptions,
-    seed: u64,
+    /// Secret 128-bit key for the per-query noise-seed PRF. Derived from
+    /// `ServiceConfig::seed` when set, otherwise drawn from OS entropy.
+    noise_key: [u64; 2],
+    /// Fingerprint of the database (contents, schemas, public-table
+    /// markings, metrics catalog) and FLEX options, bound into every
+    /// noise seed: an explicit seed reused after anything that shifts
+    /// the truth or the noise scale changes draws fresh noise instead of
+    /// re-applying the old stream (which an analyst could difference
+    /// away).
+    db_fingerprint: u64,
     /// Single-flight map: canonical queries currently being computed, and
     /// the requesters waiting to piggyback on the release. Guarantees
     /// concurrent identical submissions charge **one** budget for **one**
@@ -147,25 +171,106 @@ pub struct QueryService {
     workers: Vec<JoinHandle<()>>,
 }
 
-/// FNV-1a, used to derive a per-query noise seed from the cache key.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// A stable fingerprint of everything that determines a release's true
+/// answer or its noise scale: table names, schemas (column names and
+/// types), public-table markings, every row value, and the metrics
+/// catalog (max-frequency and value-range entries, including manual
+/// overrides), chained through the keyed PRF with a fixed public key.
+/// Computed once at service construction.
+///
+/// Anything left out of this fingerprint is an attack surface under an
+/// explicit seed: if a change can move the truth (or the noise scale)
+/// without re-keying the noise, an analyst can difference two releases
+/// taken across the change and cancel the noise exactly.
+fn db_fingerprint(db: &Database) -> u64 {
+    let mut acc = 0x666c_6578_5f64_6266u64; // "flex_dbf"
+    let mut names: Vec<&str> = db.table_names().collect();
+    names.sort_unstable();
+    let mut buf = Vec::new();
+    for name in names {
+        let Some(table) = db.table(name) else {
+            continue;
+        };
+        acc = prf::siphash24([acc, table.rows.len() as u64], name.as_bytes());
+        buf.clear();
+        buf.push(db.is_public(name) as u8);
+        for col in &table.schema.columns {
+            buf.extend_from_slice(col.name.as_bytes());
+            buf.push(0);
+            buf.extend_from_slice(col.data_type.name().as_bytes());
+            buf.push(0);
+        }
+        acc = prf::siphash24([acc, table.schema.columns.len() as u64], &buf);
+        for row in &table.rows {
+            buf.clear();
+            for v in row {
+                match v {
+                    Value::Null => buf.push(0),
+                    Value::Bool(b) => buf.extend_from_slice(&[1, *b as u8]),
+                    Value::Int(i) => {
+                        buf.push(2);
+                        buf.extend_from_slice(&i.to_le_bytes());
+                    }
+                    Value::Float(f) => {
+                        buf.push(3);
+                        buf.extend_from_slice(&f.to_bits().to_le_bytes());
+                    }
+                    Value::Str(s) => {
+                        buf.push(4);
+                        buf.extend_from_slice(&(s.len() as u64).to_le_bytes());
+                        buf.extend_from_slice(s.as_bytes());
+                    }
+                }
+            }
+            acc = prf::siphash24([acc, row.len() as u64], &buf);
+        }
     }
-    h
+    for (table, column, mf, vr) in db.metrics().sorted_entries() {
+        buf.clear();
+        buf.extend_from_slice(table.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(column.as_bytes());
+        buf.push(0);
+        match mf {
+            Some(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+            None => buf.push(0),
+        }
+        match vr {
+            Some(v) => {
+                buf.push(1);
+                buf.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            None => buf.push(0),
+        }
+        acc = prf::siphash24([acc, buf.len() as u64], &buf);
+    }
+    acc
 }
 
 impl QueryService {
     pub fn new(db: Arc<Database>, config: ServiceConfig) -> Self {
+        let noise_key = match config.seed {
+            Some(seed) => prf::expand_key(seed),
+            None => [prf::entropy64(), prf::entropy64()],
+        };
+        // Bind the FLEX options too: they steer the analysis (e.g. the
+        // public-table optimization), so changing them can change a
+        // release's noise scale just like a data change can.
+        let db_fingerprint = prf::siphash24(
+            [db_fingerprint(&db), 0x6f70_7473],
+            format!("{:?}", config.flex).as_bytes(),
+        );
         let shared = Arc::new(Shared {
             db,
             ledger: BudgetLedger::new(config.policy),
             cache: AnswerCache::new(config.cache_capacity),
             telemetry: Telemetry::default(),
             flex: config.flex.clone(),
-            seed: config.seed,
+            noise_key,
+            db_fingerprint,
             pending: Mutex::new(HashMap::new()),
         });
         let (tx, rx) = channel::<Job>();
@@ -229,15 +334,17 @@ impl QueryService {
                 }));
                 return ticket;
             }
-            shared.telemetry.record_cache_miss();
 
             // An identical query is already in flight: piggyback on its
             // release instead of paying for a duplicate computation.
+            // Counted as coalesced only — not as a miss — so misses stay
+            // exactly "requests that went to admission control".
             if let Some(waiters) = pending.get_mut(&key) {
                 shared.telemetry.record_coalesced();
                 waiters.push((analyst.to_string(), tx));
                 return ticket;
             }
+            shared.telemetry.record_cache_miss();
 
             // Admission control: charge before any computation.
             match shared
@@ -349,14 +456,23 @@ fn abort_job(shared: &Shared, job: Job) {
 }
 
 fn run_job(shared: &Shared, job: Job) {
-    // Noise is a deterministic function of (service seed, canonical
-    // query, ε, δ): re-computing the same release after a cache eviction
-    // or restart reproduces the same answer instead of leaking a fresh
-    // sample of the noise distribution.
-    let noise_seed = shared.seed
-        ^ fnv64(job.key.canonical_sql().as_bytes())
-        ^ job.params.epsilon.to_bits().rotate_left(17)
-        ^ job.params.delta.to_bits().rotate_left(43);
+    // Noise is a deterministic function of (secret service key, canonical
+    // query, ε, δ, dataset fingerprint): re-computing the same release
+    // after a cache eviction or restart reproduces the same answer
+    // instead of leaking a fresh sample of the noise distribution, while
+    // any change to the data re-keys the noise (identical noise over two
+    // different truths would let an analyst difference it away). The seed is derived with a keyed
+    // PRF (SipHash-2-4) rather than any invertible mix: without the
+    // secret key an analyst can neither predict a query's noise stream
+    // nor craft a second (query, ε, δ) whose stream collides with it,
+    // which is what makes the determinism safe to offer at all.
+    let sql = job.key.canonical_sql().as_bytes();
+    let mut msg = Vec::with_capacity(sql.len() + 24);
+    msg.extend_from_slice(sql);
+    msg.extend_from_slice(&job.params.epsilon.to_bits().to_le_bytes());
+    msg.extend_from_slice(&job.params.delta.to_bits().to_le_bytes());
+    msg.extend_from_slice(&shared.db_fingerprint.to_le_bytes());
+    let noise_seed = prf::siphash24(shared.noise_key, &msg);
 
     // A panicking pipeline must not take the worker (and every queued
     // job's budget) down with it: catch, refund, report.
@@ -367,6 +483,9 @@ fn run_job(shared: &Shared, job: Job) {
 
     match outcome {
         Ok(Ok(result)) => {
+            // The answer is about to be released: the charge is final
+            // and no longer refundable.
+            shared.ledger.settle(&job.charge);
             let answer = CachedAnswer {
                 columns: result.columns.clone(),
                 rows: result.rows.clone(),
@@ -383,7 +502,9 @@ fn run_job(shared: &Shared, job: Job) {
                     canonical_sql: job.key.canonical_sql().to_string(),
                     columns: result.columns.clone(),
                     rows: result.rows.clone(),
-                    from_cache: true,
+                    // Piggybacked on the computation, not served from the
+                    // cache — free, but honest about the path.
+                    from_cache: false,
                     charged: (0.0, 0.0),
                     join_count: result.join_count,
                     timings: None,
@@ -578,23 +699,124 @@ mod tests {
     }
 
     #[test]
-    fn noise_is_deterministic_per_seed_and_query() {
+    fn noise_is_deterministic_per_explicit_seed_and_query() {
+        let p = params(1.0);
+        let sql = "SELECT COUNT(*) FROM trips";
+        let seeded = |seed| ServiceConfig {
+            seed: Some(seed),
+            ..ServiceConfig::default()
+        };
+        let a = service(seeded(0xF1E8)).query("x", sql, p).unwrap();
+        let b = service(seeded(0xF1E8)).query("y", sql, p).unwrap();
+        assert_eq!(
+            a.rows, b.rows,
+            "same seed + same canonical query must re-release the same answer"
+        );
+        let c = service(seeded(0xDEAD_BEEF)).query("z", sql, p).unwrap();
+        assert_ne!(a.rows, c.rows, "different seed, different noise");
+    }
+
+    #[test]
+    fn fingerprint_binds_schema_public_marks_and_metrics() {
+        let base = || {
+            let mut db = Database::new();
+            db.create_table(
+                "t",
+                Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]),
+            )
+            .unwrap();
+            db.insert("t", vec![vec![Value::Int(1), Value::Int(2)]])
+                .unwrap();
+            db
+        };
+        let fp0 = db_fingerprint(&base());
+
+        // Same data, column names swapped: the true answer of e.g.
+        // SUM(a) changes, so the fingerprint must too.
+        let mut renamed = Database::new();
+        renamed
+            .create_table(
+                "t",
+                Schema::of(&[("b", DataType::Int), ("a", DataType::Int)]),
+            )
+            .unwrap();
+        renamed
+            .insert("t", vec![vec![Value::Int(1), Value::Int(2)]])
+            .unwrap();
+        assert_ne!(fp0, db_fingerprint(&renamed), "schema rename");
+
+        // Marking a table public changes the sensitivity analysis.
+        let mut public = base();
+        public.mark_public("t");
+        assert_ne!(fp0, db_fingerprint(&public), "public marking");
+
+        // A metrics override changes the noise scale.
+        let mut tuned = base();
+        tuned.metrics_mut().set_value_range("t", "a", 1e6);
+        assert_ne!(fp0, db_fingerprint(&tuned), "metrics override");
+
+        // And identical databases agree (the fingerprint is stable).
+        assert_eq!(fp0, db_fingerprint(&base()));
+    }
+
+    #[test]
+    fn data_change_rekeys_noise_under_an_explicit_seed() {
+        // Same seed, same query, dataset differing in one row: the noise
+        // must differ, or an analyst could difference two releases taken
+        // across the change and recover the delta with zero noise.
+        let p = params(1.0);
+        let sql = "SELECT COUNT(*) FROM trips";
+        let cfg = || ServiceConfig {
+            seed: Some(0xF1E8),
+            ..ServiceConfig::default()
+        };
+        let db_with = |n: i64| {
+            let mut db = Database::new();
+            db.create_table(
+                "trips",
+                Schema::of(&[("id", DataType::Int), ("city_id", DataType::Int)]),
+            )
+            .unwrap();
+            db.insert(
+                "trips",
+                (0..n)
+                    .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+                    .collect(),
+            )
+            .unwrap();
+            Arc::new(db)
+        };
+        let a = QueryService::new(db_with(500), cfg())
+            .query("x", sql, p)
+            .unwrap();
+        let b = QueryService::new(db_with(501), cfg())
+            .query("x", sql, p)
+            .unwrap();
+        let (a, b) = (a.scalar().unwrap(), b.scalar().unwrap());
+        assert_ne!(
+            a - 500.0,
+            b - 501.0,
+            "noise must not repeat across a data change"
+        );
+    }
+
+    #[test]
+    fn default_config_noise_is_not_predictable_across_instances() {
+        // With no explicit seed, every instance draws a fresh secret: an
+        // adversary holding the public source must not be able to
+        // recompute (and strip) the noise of a default-config deployment.
         let p = params(1.0);
         let sql = "SELECT COUNT(*) FROM trips";
         let a = service(ServiceConfig::default())
             .query("x", sql, p)
             .unwrap();
         let b = service(ServiceConfig::default())
-            .query("y", sql, p)
+            .query("x", sql, p)
             .unwrap();
-        assert_eq!(
+        assert_ne!(
             a.rows, b.rows,
-            "same seed + same canonical query must re-release the same answer"
+            "two default-config instances must not share a noise stream"
         );
-        let mut other_seed = ServiceConfig::default();
-        other_seed.seed ^= 0xDEAD_BEEF;
-        let c = service(other_seed).query("z", sql, p).unwrap();
-        assert_ne!(a.rows, c.rows, "different seed, different noise");
     }
 
     #[test]

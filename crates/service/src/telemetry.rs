@@ -96,9 +96,12 @@ pub struct TelemetrySnapshot {
     /// Requests served from the noisy-answer cache (zero budget).
     pub cache_hits: u64,
     /// Requests that missed the cache and went to admission control.
+    /// Disjoint from `coalesced`: a piggybacked request never reaches
+    /// admission and is counted only as coalesced.
     pub cache_misses: u64,
-    /// Cache misses that piggybacked on an identical in-flight query
-    /// (request coalescing) instead of computing and paying themselves.
+    /// Requests that missed the cache but piggybacked on an identical
+    /// in-flight query (request coalescing) instead of going to
+    /// admission and computing themselves.
     pub coalesced: u64,
     /// Requests rejected by budget admission control.
     pub rejected_budget: u64,
@@ -117,9 +120,11 @@ pub struct TelemetrySnapshot {
 }
 
 impl TelemetrySnapshot {
-    /// Cache hit rate over all cache lookups, in `[0, 1]`.
+    /// Cache hit rate over all cache lookups, in `[0, 1]`. Lookups are
+    /// hits, misses, and coalesced requests (which looked up the cache
+    /// and missed, even though they never reached admission).
     pub fn hit_rate(&self) -> f64 {
-        let lookups = self.cache_hits + self.cache_misses;
+        let lookups = self.cache_hits + self.cache_misses + self.coalesced;
         if lookups == 0 {
             0.0
         } else {

@@ -80,7 +80,9 @@ fn main() {
                         pool[(a * 13 + i * 7) % pool.len()].clone()
                     };
                     match service.query(&analyst, &sql, params) {
-                        Ok(r) if r.from_cache => cached += 1,
+                        // Free answers: cache hits plus requests coalesced
+                        // onto an identical in-flight computation.
+                        Ok(r) if r.charged == (0.0, 0.0) => cached += 1,
                         Ok(_) => answered += 1,
                         Err(ServiceError::BudgetRejected { .. }) => rejected += 1,
                         Err(_) => unsupported += 1,

@@ -3,11 +3,12 @@
 //! and `rngs::StdRng`.
 //!
 //! The build container has no access to a crates registry, so this crate is
-//! wired in as a path dependency named `rand`. The generator is
-//! xoshiro256++ seeded through SplitMix64 — not the ChaCha12 of the real
-//! `StdRng`, but a high-quality generator whose statistical behaviour is
-//! more than adequate for sampling noise and synthetic data. Streams are
-//! deterministic per seed, which is all the workspace relies on.
+//! wired in as a path dependency named `rand`. The generator is ChaCha12
+//! (the RFC 8439 block function, 64-bit seed expanded to a 256-bit key
+//! through SplitMix64) — the same cipher as the real `StdRng`, chosen
+//! because DP noise must come from a generator whose state cannot be
+//! reconstructed from observed outputs. Streams are deterministic per
+//! seed; the exact stream differs from upstream `rand`'s.
 //!
 //! [`rand` 0.8]: https://docs.rs/rand/0.8
 

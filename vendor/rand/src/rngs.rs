@@ -2,11 +2,31 @@
 
 use crate::{RngCore, SeedableRng};
 
-/// Deterministic pseudo-random generator: xoshiro256++ (Blackman & Vigna),
-/// seeded by expanding a 64-bit seed through SplitMix64.
+/// The four "expand 32-byte k" constants of the ChaCha state.
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Rounds used by [`StdRng`], matching the real `rand` crate's ChaCha12.
+const STDRNG_ROUNDS: usize = 12;
+
+/// Deterministic cryptographically-strong generator: the ChaCha stream
+/// cipher (RFC 8439 block function) with 12 rounds, matching the real
+/// `rand::rngs::StdRng`. The 64-bit seed is expanded to a 256-bit key
+/// through SplitMix64 (the same scheme `SeedableRng::seed_from_u64` uses
+/// upstream).
+///
+/// Unlike a statistical generator (xoshiro, PCG, …), ChaCha's state
+/// cannot be recovered from observed outputs, which matters when the
+/// stream is used to sample differential-privacy noise an adversary can
+/// observe.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StdRng {
-    s: [u64; 4],
+    key: [u32; 8],
+    /// Block counter for the *next* block to generate.
+    counter: u64,
+    /// Current 512-bit output block, repacked as u64 words.
+    buf: [u64; 8],
+    /// Next unconsumed word in `buf`; 8 means "refill".
+    idx: usize,
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -17,32 +37,124 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// ChaCha quarter round on state words `a, b, c, d` (RFC 8439 §2.1).
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// One keystream block: the ChaCha block function over `rounds` rounds
+/// with a 64-bit block counter and zero nonce (the original ChaCha
+/// layout, which is what a seeded generator needs — there is no message
+/// to bind a nonce to).
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: usize) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // state[14], state[15]: nonce, fixed to zero.
+
+    let mut w = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut w, 0, 4, 8, 12);
+        quarter_round(&mut w, 1, 5, 9, 13);
+        quarter_round(&mut w, 2, 6, 10, 14);
+        quarter_round(&mut w, 3, 7, 11, 15);
+        quarter_round(&mut w, 0, 5, 10, 15);
+        quarter_round(&mut w, 1, 6, 11, 12);
+        quarter_round(&mut w, 2, 7, 8, 13);
+        quarter_round(&mut w, 3, 4, 9, 14);
+    }
+    for (wi, si) in w.iter_mut().zip(state.iter()) {
+        *wi = wi.wrapping_add(*si);
+    }
+    w
+}
+
+impl StdRng {
+    fn refill(&mut self) {
+        let words = chacha_block(&self.key, self.counter, STDRNG_ROUNDS);
+        self.counter = self.counter.wrapping_add(1);
+        for (slot, pair) in self.buf.iter_mut().zip(words.chunks_exact(2)) {
+            *slot = pair[0] as u64 | ((pair[1] as u64) << 32);
+        }
+        self.idx = 0;
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
-        let mut s = [0u64; 4];
-        for slot in &mut s {
-            *slot = splitmix64(&mut sm);
+        let mut key = [0u32; 8];
+        for pair in key.chunks_exact_mut(2) {
+            let v = splitmix64(&mut sm);
+            pair[0] = v as u32;
+            pair[1] = (v >> 32) as u32;
         }
-        // All-zero state is the one invalid xoshiro state.
-        if s == [0, 0, 0, 0] {
-            s[0] = 0x9E37_79B9_7F4A_7C15;
+        StdRng {
+            key,
+            counter: 0,
+            buf: [0; 8],
+            idx: 8,
         }
-        StdRng { s }
     }
 }
 
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
-        let s = &mut self.s;
-        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
-        let t = s[1] << 17;
-        s[2] ^= s[0];
-        s[3] ^= s[1];
-        s[1] ^= s[2];
-        s[0] ^= s[3];
-        s[2] ^= t;
-        s[3] = s[3].rotate_left(45);
-        result
+        if self.idx >= 8 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarter_round_matches_rfc8439_vector() {
+        // RFC 8439 §2.1.1 test vector.
+        let mut s = [0u32; 16];
+        s[0] = 0x1111_1111;
+        s[1] = 0x0102_0304;
+        s[2] = 0x9b8d_6f43;
+        s[3] = 0x0123_4567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a_92f4);
+        assert_eq!(s[1], 0xcb1c_f8ce);
+        assert_eq!(s[2], 0x4581_472e);
+        assert_eq!(s[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn blocks_differ_per_counter_and_key() {
+        let key_a = [1, 2, 3, 4, 5, 6, 7, 8];
+        let key_b = [1, 2, 3, 4, 5, 6, 7, 9];
+        let b0 = chacha_block(&key_a, 0, STDRNG_ROUNDS);
+        let b1 = chacha_block(&key_a, 1, STDRNG_ROUNDS);
+        let c0 = chacha_block(&key_b, 0, STDRNG_ROUNDS);
+        assert_ne!(b0, b1);
+        assert_ne!(b0, c0);
+        assert_eq!(b0, chacha_block(&key_a, 0, STDRNG_ROUNDS));
+    }
+
+    #[test]
+    fn stream_crosses_block_boundaries() {
+        // 8 u64 per block: word 8 must come from a fresh block, not
+        // repeat the first.
+        let mut rng = StdRng::seed_from_u64(42);
+        let first: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        assert_ne!(&first[..8], &first[8..]);
     }
 }
