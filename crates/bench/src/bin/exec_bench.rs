@@ -1,0 +1,288 @@
+//! Execution-engine microbenchmarks with a CI regression gate.
+//!
+//! Measures median ns/op for the scenarios the serving path depends on —
+//! the vectorized scan/aggregate shapes, the row-engine join path, and
+//! the service's noisy-answer cache hit — and writes `BENCH_exec.json`.
+//! Two gates can fail the run (which is what the CI `bench` job enforces
+//! on PRs):
+//!
+//! 1. vectorized scenarios must keep a ≥ `SPEEDUP_FLOOR`× speedup over
+//!    the row interpreter measured in the same run (machine-independent);
+//! 2. against the committed `BENCH_exec.baseline.json`, no scenario may
+//!    regress more than `REGRESSION_FACTOR`× after normalizing by the
+//!    run's median current/baseline ratio — the "machine factor" that
+//!    cancels out CI runners being faster or slower than the machine
+//!    that recorded the baseline.
+//!
+//! Usage:
+//!   exec_bench [--quick] [--out PATH] [--baseline PATH] [--write-baseline]
+//!
+//! `--quick` shrinks the database and iteration counts for CI; the gate
+//! compares like-for-like because the committed baseline is also recorded
+//! with `--quick`. Before timing anything, every SQL scenario is executed
+//! on both engines and the `ResultSet`s are compared — the speedup is
+//! only reported if the answers (and therefore downstream DP noise
+//! calibration) are byte-identical.
+
+use flex_core::{run_sql_with, FlexOptions, PrivacyParams};
+use flex_service::{QueryService, ServiceConfig};
+use flex_sql::parse_query;
+use flex_workloads::uber::{self, UberConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A scenario fails the gate when its median exceeds baseline × this
+/// (after normalizing by the run's median cur/baseline ratio, which
+/// cancels out runner-speed differences from the baseline machine).
+const REGRESSION_FACTOR: f64 = 1.5;
+
+/// Vectorized scenarios must stay at least this much faster than the row
+/// interpreter measured in the same run (machine-independent).
+const SPEEDUP_FLOOR: f64 = 3.0;
+
+struct Args {
+    quick: bool,
+    out: String,
+    baseline: String,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_exec.json".to_string(),
+        baseline: "BENCH_exec.baseline.json".to_string(),
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            "--baseline" => args.baseline = it.next().expect("--baseline needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Median wall time in ns over `iters` runs (after one warmup run).
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    let (trips, iters, cache_iters) = if args.quick {
+        (100_000, 15, 2_000)
+    } else {
+        (100_000, 60, 10_000)
+    };
+
+    eprintln!("generating uber database ({trips} trips)...");
+    let db = uber::generate(&UberConfig {
+        trips,
+        drivers: 4_000,
+        riders: 8_000,
+        user_tags: 4_000,
+        ..UberConfig::default()
+    });
+
+    // (name, sql, vectorizable) — `vectorizable` scenarios report the
+    // row-engine median and the speedup alongside.
+    let sql_scenarios = [
+        (
+            "scan-filter-count",
+            "SELECT COUNT(*) FROM trips WHERE fare > 20",
+            true,
+        ),
+        (
+            "group-by-sum",
+            "SELECT city_id, SUM(fare) FROM trips GROUP BY city_id",
+            true,
+        ),
+        (
+            "join-count",
+            "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
+             WHERE d.status = 'active'",
+            false,
+        ),
+    ];
+
+    let mut scenarios: Vec<(String, Value)> = Vec::new();
+    for (name, sql, vectorizable) in sql_scenarios {
+        let q = parse_query(sql).expect("benchmark SQL parses");
+
+        // Correctness gate before any timing: identical answers on both
+        // engines (this is what keeps DP noise calibration unchanged).
+        let fast = db.execute(&q).expect("query executes");
+        let slow = db.execute_row(&q).expect("query executes on row engine");
+        assert_eq!(
+            fast, slow,
+            "engine results differ on `{name}` — refusing to benchmark"
+        );
+
+        let med = median_ns(iters, || {
+            std::hint::black_box(db.execute(&q).unwrap());
+        });
+        let mut entry = vec![("median_ns".to_string(), Value::from(med))];
+        if vectorizable {
+            let row_med = median_ns(iters, || {
+                std::hint::black_box(db.execute_row(&q).unwrap());
+            });
+            let speedup = row_med as f64 / med.max(1) as f64;
+            entry.push(("row_median_ns".to_string(), Value::from(row_med)));
+            entry.push((
+                "speedup".to_string(),
+                Value::from((speedup * 100.0).round() / 100.0),
+            ));
+            eprintln!("{name:>18}: {med:>10} ns/op (row: {row_med} ns/op, {speedup:.2}x)");
+        } else {
+            eprintln!("{name:>18}: {med:>10} ns/op");
+        }
+        scenarios.push((name.to_string(), Value::Object(entry)));
+    }
+
+    // End-to-end sanity: the full FLEX pipeline (analysis + execution +
+    // perturbation) over the vectorized path stays deterministic under a
+    // fixed seed.
+    {
+        let params = PrivacyParams::new(0.1, 1e-9).expect("valid params");
+        let opts = FlexOptions::new();
+        let sql = "SELECT COUNT(*) FROM trips WHERE fare > 20";
+        let a = run_sql_with(&db, sql, params, &mut StdRng::seed_from_u64(7), &opts)
+            .expect("pipeline runs");
+        let b = run_sql_with(&db, sql, params, &mut StdRng::seed_from_u64(7), &opts)
+            .expect("pipeline runs");
+        assert_eq!(a.rows, b.rows, "fixed-seed pipeline must be deterministic");
+        assert_eq!(a.true_rows, b.true_rows, "true results must be stable");
+    }
+
+    // Cache-hit serving path: repeated query answered from the
+    // noisy-answer cache.
+    {
+        let svc = QueryService::new(
+            Arc::new(db),
+            ServiceConfig {
+                seed: Some(0xBE9C),
+                ..ServiceConfig::default()
+            },
+        );
+        let params = PrivacyParams::new(0.01, 1e-9).expect("valid params");
+        let sql = "SELECT COUNT(*) FROM trips WHERE status = 'completed'";
+        svc.query("warm", sql, params).expect("warmup query");
+        let med = median_ns(cache_iters, || {
+            std::hint::black_box(svc.query("reader", sql, params).unwrap());
+        });
+        eprintln!("{:>18}: {med:>10} ns/op", "cache-hit");
+        scenarios.push((
+            "cache-hit".to_string(),
+            Value::Object(vec![("median_ns".to_string(), Value::from(med))]),
+        ));
+    }
+
+    let report = json!({
+        "config": {"quick": args.quick, "trips": trips, "iters": iters},
+        "scenarios": Value::Object(scenarios),
+    });
+    let text = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&args.out, text.clone() + "\n").expect("write report");
+    eprintln!("wrote {}", args.out);
+    if args.write_baseline {
+        std::fs::write(&args.baseline, text + "\n").expect("write baseline");
+        eprintln!("wrote {}", args.baseline);
+    }
+
+    // Machine-independent floor: the vectorized scenarios must keep the
+    // promised speedup over the row interpreter (both medians come from
+    // this run, so runner speed cancels out).
+    let mut failed = false;
+    let current = report.get("scenarios").and_then(Value::as_object).unwrap();
+    for (name, entry) in current {
+        if let Some(speedup) = entry.get("speedup").and_then(Value::as_f64) {
+            if speedup < SPEEDUP_FLOOR {
+                eprintln!(
+                    "REGRESSION GATE: `{name}` vectorized speedup {speedup:.2}x is below \
+                     the {SPEEDUP_FLOOR}x floor"
+                );
+                failed = true;
+            }
+        }
+    }
+
+    // Regression gate against the committed baseline, if present. Runner
+    // hardware differs from the baseline machine, so raw medians are
+    // normalized by this run's median cur/base ratio (the "machine
+    // factor"): a uniformly slower runner passes, while one scenario
+    // regressing relative to the rest fails.
+    match std::fs::read_to_string(&args.baseline) {
+        Err(_) => eprintln!(
+            "no baseline at {} — skipping regression gate",
+            args.baseline
+        ),
+        Ok(text) => {
+            let baseline = serde_json::from_str(&text).expect("baseline parses");
+            let empty = Vec::new();
+            let base_scenarios = baseline
+                .get("scenarios")
+                .and_then(Value::as_object)
+                .unwrap_or(&empty);
+            let mut ratios: Vec<(String, f64)> = Vec::new();
+            for (name, base_entry) in base_scenarios {
+                let Some(base) = base_entry.get("median_ns").and_then(Value::as_f64) else {
+                    continue;
+                };
+                let Some(cur) = current
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .and_then(|(_, e)| e.get("median_ns"))
+                    .and_then(Value::as_f64)
+                else {
+                    eprintln!("REGRESSION GATE: scenario `{name}` missing from current run");
+                    failed = true;
+                    continue;
+                };
+                ratios.push((name.clone(), cur / base.max(1.0)));
+            }
+            let mut sorted: Vec<f64> = ratios.iter().map(|(_, r)| *r).collect();
+            sorted.sort_by(f64::total_cmp);
+            let machine_factor = if sorted.is_empty() {
+                1.0
+            } else {
+                sorted[sorted.len() / 2].max(f64::MIN_POSITIVE)
+            };
+            eprintln!("machine factor vs baseline: {machine_factor:.2}x");
+            for (name, ratio) in &ratios {
+                let normalized = ratio / machine_factor;
+                if normalized > REGRESSION_FACTOR {
+                    eprintln!(
+                        "REGRESSION GATE: `{name}` is {normalized:.2}x the baseline after \
+                         machine-factor normalization (raw {ratio:.2}x, limit \
+                         {REGRESSION_FACTOR}x)"
+                    );
+                    failed = true;
+                } else {
+                    eprintln!("gate ok: `{name}` {normalized:.2}x of baseline (raw {ratio:.2}x)");
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

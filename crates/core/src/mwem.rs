@@ -7,7 +7,7 @@
 //! answers the *whole workload* from it, spending budget only on the `T`
 //! measurement rounds. "Each of these mechanisms is defined in terms of
 //! the Laplace mechanism and thus can be implemented using FLEX" — here
-//! the per-round measurements reuse [`crate::laplace`], and the histogram
+//! the per-round measurements reuse [`crate::laplace()`], and the histogram
 //! to fit can come straight from a FLEX histogram query.
 //!
 //! This implementation targets linear counting queries over a discrete

@@ -119,30 +119,8 @@ impl AggSpec {
                 }
                 Ok(best.unwrap_or(Value::Null))
             }
-            AggFunc::Median => {
-                let mut nums = self.numeric_args(rows)?;
-                if nums.is_empty() {
-                    return Ok(Value::Null);
-                }
-                nums.sort_by(f64::total_cmp);
-                let n = nums.len();
-                let m = if n % 2 == 1 {
-                    nums[n / 2]
-                } else {
-                    (nums[n / 2 - 1] + nums[n / 2]) / 2.0
-                };
-                Ok(Value::Float(m))
-            }
-            AggFunc::Stddev => {
-                let nums = self.numeric_args(rows)?;
-                if nums.len() < 2 {
-                    return Ok(Value::Null);
-                }
-                let n = nums.len() as f64;
-                let mean = nums.iter().sum::<f64>() / n;
-                let var = nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-                Ok(Value::Float(var.sqrt()))
-            }
+            AggFunc::Median => Ok(median_of(self.numeric_args(rows)?)),
+            AggFunc::Stddev => Ok(stddev_of(&self.numeric_args(rows)?)),
         }
     }
 
@@ -171,6 +149,35 @@ impl AggSpec {
         }
         Ok(out)
     }
+}
+
+/// Median of the collected non-null numeric arguments (NULL when empty,
+/// average of the middle two for even counts). Shared by both execution
+/// engines so grouped results are bit-identical.
+pub(crate) fn median_of(mut nums: Vec<f64>) -> Value {
+    if nums.is_empty() {
+        return Value::Null;
+    }
+    nums.sort_by(f64::total_cmp);
+    let n = nums.len();
+    let m = if n % 2 == 1 {
+        nums[n / 2]
+    } else {
+        (nums[n / 2 - 1] + nums[n / 2]) / 2.0
+    };
+    Value::Float(m)
+}
+
+/// Sample standard deviation (n−1 denominator; NULL below two values),
+/// summing in input order. Shared by both execution engines.
+pub(crate) fn stddev_of(nums: &[f64]) -> Value {
+    if nums.len() < 2 {
+        return Value::Null;
+    }
+    let n = nums.len() as f64;
+    let mean = nums.iter().sum::<f64>() / n;
+    let var = nums.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    Value::Float(var.sqrt())
 }
 
 #[cfg(test)]

@@ -1,0 +1,276 @@
+//! Columnar storage for the vectorized execution engine.
+//!
+//! A [`ColumnarTable`] is a column-major projection of a table's rows:
+//! one typed vector per column plus a null bitmap. Batch operators in
+//! [`crate::vexec`] iterate these vectors directly instead of cloning and
+//! interpreting `Vec<Value>` rows.
+//!
+//! Because runtime values are dynamically typed (a `Float` column may
+//! physically hold `Value::Int`s), the representation is chosen from the
+//! values actually present, not the declared schema type: a column whose
+//! non-null values are all integers becomes [`ColumnData::Int64`], and so
+//! on. Columns mixing physical types fall back to [`ColumnData::Mixed`],
+//! which keeps the original `Value`s. This makes [`Column::value`] an
+//! exact reconstruction — the vectorized engine returns byte-identical
+//! results to the row interpreter, so DP noise calibration downstream is
+//! unchanged.
+
+use crate::table::Row;
+use crate::value::Value;
+
+/// A bitmap marking NULL slots of a column (1 bit per row, set = NULL).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NullMask {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl NullMask {
+    /// An all-valid mask for `len` rows.
+    pub fn new(len: usize) -> Self {
+        NullMask {
+            words: vec![0u64; len.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Mark row `i` as NULL.
+    pub fn set(&mut self, i: usize) {
+        let word = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *word & bit == 0 {
+            *word |= bit;
+            self.count += 1;
+        }
+    }
+
+    /// Is row `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether any row is NULL (lets kernels skip the bitmap probe).
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.count > 0
+    }
+}
+
+/// Typed value vector backing one column. NULL slots hold an arbitrary
+/// placeholder in the typed variants; the [`NullMask`] is authoritative.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    Bool(Vec<bool>),
+    Str(Vec<String>),
+    /// Columns mixing physical types (e.g. `Int` and `Float` in one
+    /// `Float` column) keep their original values, NULLs included.
+    Mixed(Vec<Value>),
+}
+
+/// One column: typed data plus a null bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub data: ColumnData,
+    pub nulls: NullMask,
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Mixed(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.is_null(i)
+    }
+
+    /// Reconstruct the exact original [`Value`] at row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        if self.nulls.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int64(v) => Value::Int(v[i]),
+            ColumnData::Float64(v) => Value::Float(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Build a column from the `col`-th field of each row.
+    fn from_rows(rows: &[Row], col: usize) -> Column {
+        let mut nulls = NullMask::new(rows.len());
+        let (mut ints, mut floats, mut bools, mut strs) = (0usize, 0usize, 0usize, 0usize);
+        for (i, row) in rows.iter().enumerate() {
+            match &row[col] {
+                Value::Null => nulls.set(i),
+                Value::Int(_) => ints += 1,
+                Value::Float(_) => floats += 1,
+                Value::Bool(_) => bools += 1,
+                Value::Str(_) => strs += 1,
+            }
+        }
+        let non_null = rows.len() - nulls.null_count();
+        let data = if ints == non_null {
+            ColumnData::Int64(
+                rows.iter()
+                    .map(|r| match &r[col] {
+                        Value::Int(x) => *x,
+                        _ => 0,
+                    })
+                    .collect(),
+            )
+        } else if floats == non_null {
+            ColumnData::Float64(
+                rows.iter()
+                    .map(|r| match &r[col] {
+                        Value::Float(x) => *x,
+                        _ => 0.0,
+                    })
+                    .collect(),
+            )
+        } else if bools == non_null {
+            ColumnData::Bool(
+                rows.iter()
+                    .map(|r| matches!(&r[col], Value::Bool(true)))
+                    .collect(),
+            )
+        } else if strs == non_null {
+            ColumnData::Str(
+                rows.iter()
+                    .map(|r| match &r[col] {
+                        Value::Str(s) => s.clone(),
+                        _ => String::new(),
+                    })
+                    .collect(),
+            )
+        } else {
+            ColumnData::Mixed(rows.iter().map(|r| r[col].clone()).collect())
+        };
+        Column { data, nulls }
+    }
+}
+
+/// A column-major projection of a table: one [`Column`] per schema column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarTable {
+    pub columns: Vec<Column>,
+    len: usize,
+}
+
+impl ColumnarTable {
+    /// Convert rows (all of width `arity`) to columnar form.
+    pub fn from_rows(rows: &[Row], arity: usize) -> ColumnarTable {
+        ColumnarTable {
+            columns: (0..arity).map(|c| Column::from_rows(rows, c)).collect(),
+            len: rows.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reconstruct row `i` exactly as stored in the row-major table.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_mask_tracks_bits() {
+        let mut m = NullMask::new(130);
+        assert!(!m.any());
+        m.set(0);
+        m.set(64);
+        m.set(129);
+        m.set(129); // idempotent
+        assert_eq!(m.null_count(), 3);
+        assert!(m.is_null(0) && m.is_null(64) && m.is_null(129));
+        assert!(!m.is_null(1) && !m.is_null(128));
+    }
+
+    #[test]
+    fn typed_representation_per_contents() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(1.5), Value::str("a")],
+            vec![Value::Null, Value::Float(2.5), Value::Null],
+            vec![Value::Int(3), Value::Null, Value::str("c")],
+        ];
+        let t = ColumnarTable::from_rows(&rows, 3);
+        assert!(matches!(t.columns[0].data, ColumnData::Int64(_)));
+        assert!(matches!(t.columns[1].data, ColumnData::Float64(_)));
+        assert!(matches!(t.columns[2].data, ColumnData::Str(_)));
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(&t.row(i), row);
+        }
+    }
+
+    #[test]
+    fn mixed_physical_types_fall_back() {
+        // A Float schema column physically holding both Int and Float.
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Float(2.5)],
+            vec![Value::Null],
+        ];
+        let t = ColumnarTable::from_rows(&rows, 1);
+        assert!(matches!(t.columns[0].data, ColumnData::Mixed(_)));
+        // Exact reconstruction: Int stays Int, Float stays Float.
+        assert_eq!(t.columns[0].value(0), Value::Int(1));
+        assert_eq!(t.columns[0].value(1), Value::Float(2.5));
+        assert_eq!(t.columns[0].value(2), Value::Null);
+    }
+
+    #[test]
+    fn all_null_and_empty_columns() {
+        let rows = vec![vec![Value::Null], vec![Value::Null]];
+        let t = ColumnarTable::from_rows(&rows, 1);
+        assert_eq!(t.columns[0].value(0), Value::Null);
+        let empty = ColumnarTable::from_rows(&[], 2);
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.columns.len(), 2);
+    }
+
+    #[test]
+    fn bool_column_roundtrip() {
+        let rows = vec![
+            vec![Value::Bool(true)],
+            vec![Value::Bool(false)],
+            vec![Value::Null],
+        ];
+        let t = ColumnarTable::from_rows(&rows, 1);
+        assert!(matches!(t.columns[0].data, ColumnData::Bool(_)));
+        assert_eq!(t.columns[0].value(1), Value::Bool(false));
+        assert_eq!(t.columns[0].value(2), Value::Null);
+    }
+}

@@ -112,9 +112,23 @@ impl Database {
         self.execute(&q)
     }
 
-    /// Execute a parsed query.
+    /// Execute a parsed query. Vectorizable query blocks run on the
+    /// columnar engine ([`crate::vexec`]); everything else runs on the
+    /// row interpreter. Both produce identical results.
     pub fn execute(&self, q: &Query) -> Result<ResultSet> {
         exec::execute(self, q)
+    }
+
+    /// Execute a parsed query on the row interpreter only, bypassing the
+    /// vectorized engine. Intended for differential tests and benchmarks.
+    pub fn execute_row(&self, q: &Query) -> Result<ResultSet> {
+        exec::execute_row(self, q)
+    }
+
+    /// Parse and execute a SQL query on the row interpreter only.
+    pub fn execute_sql_row(&self, sql: &str) -> Result<ResultSet> {
+        let q = parse_query(sql)?;
+        self.execute_row(&q)
     }
 }
 

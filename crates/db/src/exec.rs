@@ -1,10 +1,22 @@
-//! Query execution.
+//! Row-at-a-time query execution and the engine-routing entry point.
 //!
-//! The executor interprets a parsed [`Query`] directly against the
+//! The row interpreter evaluates a parsed [`Query`] directly against the
 //! in-memory [`Database`]: CTEs are materialized into scoped temporary
 //! relations, joins use hash joins on extracted equijoin keys with residual
 //! predicates, grouped queries collect [`AggSpec`]s and evaluate them per
 //! group, and set operations follow SQL's distinct-set semantics.
+//!
+//! # Engine routing
+//!
+//! [`execute`] is the single entry point. It first offers the query to the
+//! vectorized engine ([`crate::vexec`]), which accepts single-table
+//! SELECT/WHERE/GROUP BY blocks and declines (returns `None`) everything
+//! else — CTEs, set operations, joins, derived tables, table-less selects.
+//! Declined queries run on the row interpreter below. The two engines
+//! share the expression compiler (`Exec::compile_scalar`,
+//! `GroupCompiler`) and the post-projection tail (ORDER BY / DISTINCT /
+//! LIMIT handling), so every query produces identical results on both —
+//! see `vexec`'s module docs for the exact contract.
 
 use crate::aggregate::{AggFunc, AggSpec};
 use crate::database::Database;
@@ -19,22 +31,37 @@ use flex_sql::{
 };
 use std::collections::{HashMap, HashSet};
 
-/// Execute a parsed query against a database.
+/// Execute a parsed query against a database, routing vectorizable query
+/// blocks to the columnar engine and the rest to the row interpreter.
 pub fn execute(db: &Database, q: &Query) -> Result<ResultSet> {
-    let mut exec = Exec {
-        db,
-        ctes: Vec::new(),
-    };
+    if let Some(result) = crate::vexec::try_execute(db, q) {
+        return result;
+    }
+    execute_row(db, q)
+}
+
+/// Execute a parsed query on the row interpreter only (no vectorization).
+/// Exposed for differential testing and benchmarking against the
+/// vectorized engine; [`execute`] is what normal callers want.
+pub fn execute_row(db: &Database, q: &Query) -> Result<ResultSet> {
+    let mut exec = Exec::new(db);
     exec.query(q).map(ResultSet::from)
 }
 
-struct Exec<'a> {
+pub(crate) struct Exec<'a> {
     db: &'a Database,
     /// Stack of in-scope CTE bindings (inner scopes shadow outer ones).
     ctes: Vec<(String, Relation)>,
 }
 
 impl<'a> Exec<'a> {
+    pub(crate) fn new(db: &'a Database) -> Exec<'a> {
+        Exec {
+            db,
+            ctes: Vec::new(),
+        }
+    }
+
     fn query(&mut self, q: &Query) -> Result<Relation> {
         let depth = self.ctes.len();
         for Cte { name, query } in &q.ctes {
@@ -149,34 +176,35 @@ impl<'a> Exec<'a> {
             input
         };
 
-        let has_aggregates = !s.group_by.is_empty()
+        self.select_after_where(s, input, order_by)
+    }
+
+    /// Whether a SELECT block is an aggregation (GROUP BY present, or any
+    /// aggregate function in the projection or HAVING).
+    pub(crate) fn has_aggregates(s: &Select) -> bool {
+        !s.group_by.is_empty()
             || s.projection.iter().any(|item| match item {
                 SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
                 _ => false,
             })
-            || s.having.as_ref().is_some_and(Expr::contains_aggregate);
+            || s.having.as_ref().is_some_and(Expr::contains_aggregate)
+    }
 
-        let (mut rel, key_rows) = if has_aggregates {
+    /// Everything in a SELECT block downstream of the WHERE filter:
+    /// grouping/projection, ORDER BY and DISTINCT. Shared verbatim by the
+    /// vectorized engine, which computes `input` with columnar filtering.
+    pub(crate) fn select_after_where(
+        &mut self,
+        s: &Select,
+        input: Relation,
+        order_by: &[OrderByItem],
+    ) -> Result<Relation> {
+        let (rel, key_rows) = if Self::has_aggregates(s) {
             self.select_grouped(s, input, order_by)?
         } else {
             self.select_plain(s, input, order_by)?
         };
-
-        // ORDER BY using precomputed keys.
-        if let Some(mut keys) = key_rows {
-            debug_assert_eq!(keys.len(), rel.rows.len());
-            let mut idx: Vec<usize> = (0..rel.rows.len()).collect();
-            idx.sort_by(|&a, &b| compare_key_rows(&keys[a], &keys[b], order_by));
-            rel.rows = permute(std::mem::take(&mut rel.rows), &idx);
-            keys.clear();
-        }
-
-        // DISTINCT (after sorting, keeps first occurrence).
-        if s.distinct {
-            let mut seen = HashSet::new();
-            rel.rows.retain(|row| seen.insert(RowKey::from_values(row)));
-        }
-        Ok(rel)
+        Ok(finish_select(rel, key_rows, order_by, s.distinct))
     }
 
     /// Non-aggregated projection. Returns the output relation plus, when
@@ -262,21 +290,7 @@ impl<'a> Exec<'a> {
         input: Relation,
         order_by: &[OrderByItem],
     ) -> Result<(Relation, Option<Vec<Row>>)> {
-        // Compile group keys in scalar mode.
-        let mut group_exprs = Vec::with_capacity(s.group_by.len());
-        for g in &s.group_by {
-            // Allow positional GROUP BY (e.g. GROUP BY 1).
-            if let Expr::Literal(Literal::Integer(i)) = g {
-                let idx = *i as usize;
-                if idx >= 1 && idx <= s.projection.len() {
-                    if let SelectItem::Expr { expr, .. } = &s.projection[idx - 1] {
-                        group_exprs.push(self.compile_scalar(expr, &input.cols)?);
-                        continue;
-                    }
-                }
-            }
-            group_exprs.push(self.compile_scalar(g, &input.cols)?);
-        }
+        let group_exprs = self.compile_group_exprs(s, &input.cols)?;
 
         // Compile projection and HAVING in group mode, collecting AggSpecs.
         let mut gc = GroupCompiler {
@@ -369,7 +383,30 @@ impl<'a> Exec<'a> {
         Ok((Relation::new(out_cols, out_rows), key_rows))
     }
 
-    fn plan_sort_keys(
+    /// Compile GROUP BY expressions in scalar mode, resolving positional
+    /// references (`GROUP BY 1`) against the projection list.
+    pub(crate) fn compile_group_exprs(
+        &mut self,
+        s: &Select,
+        cols: &[ColMeta],
+    ) -> Result<Vec<CompiledExpr>> {
+        let mut group_exprs = Vec::with_capacity(s.group_by.len());
+        for g in &s.group_by {
+            if let Expr::Literal(Literal::Integer(i)) = g {
+                let idx = *i as usize;
+                if idx >= 1 && idx <= s.projection.len() {
+                    if let SelectItem::Expr { expr, .. } = &s.projection[idx - 1] {
+                        group_exprs.push(self.compile_scalar(expr, cols)?);
+                        continue;
+                    }
+                }
+            }
+            group_exprs.push(self.compile_scalar(g, cols)?);
+        }
+        Ok(group_exprs)
+    }
+
+    pub(crate) fn plan_sort_keys(
         &mut self,
         order_by: &[OrderByItem],
         out_cols: &[ColMeta],
@@ -569,7 +606,7 @@ impl<'a> Exec<'a> {
     // ---- expression compilation -----------------------------------------
 
     /// Compile an expression in scalar (non-aggregate) mode against a scope.
-    fn compile_scalar(&mut self, e: &Expr, cols: &[ColMeta]) -> Result<CompiledExpr> {
+    pub(crate) fn compile_scalar(&mut self, e: &Expr, cols: &[ColMeta]) -> Result<CompiledExpr> {
         match e {
             Expr::Column(c) => {
                 let scope = Relation::new(cols.to_vec(), Vec::new());
@@ -724,8 +761,29 @@ impl<'a> Exec<'a> {
     }
 }
 
+/// Apply the SELECT tail shared by both engines: ORDER BY (via
+/// precomputed key rows) then DISTINCT (keeping the first occurrence).
+pub(crate) fn finish_select(
+    mut rel: Relation,
+    key_rows: Option<Vec<Row>>,
+    order_by: &[OrderByItem],
+    distinct: bool,
+) -> Relation {
+    if let Some(keys) = key_rows {
+        debug_assert_eq!(keys.len(), rel.rows.len());
+        let mut idx: Vec<usize> = (0..rel.rows.len()).collect();
+        idx.sort_by(|&a, &b| compare_key_rows(&keys[a], &keys[b], order_by));
+        rel.rows = permute(std::mem::take(&mut rel.rows), &idx);
+    }
+    if distinct {
+        let mut seen = HashSet::new();
+        rel.rows.retain(|row| seen.insert(RowKey::from_values(row)));
+    }
+    rel
+}
+
 /// How one ORDER BY key is obtained.
-enum SortKey {
+pub(crate) enum SortKey {
     /// Value of an output column.
     Output(usize),
     /// An expression evaluated on the pre-projection source row.
@@ -734,7 +792,7 @@ enum SortKey {
 
 /// Try to resolve an order-by expression as an output column: positional
 /// integers (`ORDER BY 2`) or names matching an output column.
-fn sort_key_by_output(e: &Expr, out_cols: &[ColMeta]) -> Result<Option<usize>> {
+pub(crate) fn sort_key_by_output(e: &Expr, out_cols: &[ColMeta]) -> Result<Option<usize>> {
     match e {
         Expr::Literal(Literal::Integer(i)) => {
             let idx = *i;
@@ -752,7 +810,11 @@ fn sort_key_by_output(e: &Expr, out_cols: &[ColMeta]) -> Result<Option<usize>> {
     }
 }
 
-fn eval_sort_keys(plan: &[SortKey], out_row: &[Value], source_row: &[Value]) -> Result<Row> {
+pub(crate) fn eval_sort_keys(
+    plan: &[SortKey],
+    out_row: &[Value],
+    source_row: &[Value],
+) -> Result<Row> {
     let mut keys = Vec::with_capacity(plan.len());
     for k in plan {
         keys.push(match k {
@@ -763,7 +825,11 @@ fn eval_sort_keys(plan: &[SortKey], out_row: &[Value], source_row: &[Value]) -> 
     Ok(keys)
 }
 
-fn compare_key_rows(a: &[Value], b: &[Value], order_by: &[OrderByItem]) -> std::cmp::Ordering {
+pub(crate) fn compare_key_rows(
+    a: &[Value],
+    b: &[Value],
+    order_by: &[OrderByItem],
+) -> std::cmp::Ordering {
     for (i, item) in order_by.iter().enumerate() {
         let ord = a[i].total_cmp(&b[i]);
         let ord = if item.descending { ord.reverse() } else { ord };
@@ -774,14 +840,14 @@ fn compare_key_rows(a: &[Value], b: &[Value], order_by: &[OrderByItem]) -> std::
     std::cmp::Ordering::Equal
 }
 
-fn permute(rows: Vec<Row>, idx: &[usize]) -> Vec<Row> {
+pub(crate) fn permute(rows: Vec<Row>, idx: &[usize]) -> Vec<Row> {
     let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
     idx.iter()
         .map(|&i| slots[i].take().expect("permutation index used once"))
         .collect()
 }
 
-fn apply_limit_offset(rel: &mut Relation, limit: Option<u64>, offset: Option<u64>) {
+pub(crate) fn apply_limit_offset(rel: &mut Relation, limit: Option<u64>, offset: Option<u64>) {
     if let Some(off) = offset {
         let off = (off as usize).min(rel.rows.len());
         rel.rows.drain(..off);
@@ -819,7 +885,7 @@ fn sort_by_output_columns(rel: &mut Relation, order_by: &[OrderByItem]) -> Resul
 }
 
 /// Derive the output column name for a projected expression.
-fn output_name(e: &Expr, alias: Option<&str>) -> String {
+pub(crate) fn output_name(e: &Expr, alias: Option<&str>) -> String {
     if let Some(a) = alias {
         return a.to_string();
     }
@@ -845,13 +911,13 @@ fn literal_value(l: &Literal) -> Value {
 /// GROUP BY expression.
 ///
 /// Post-group rows are laid out as `[key values..., aggregate values...]`.
-struct GroupCompiler<'a> {
-    group_exprs: &'a [CompiledExpr],
-    aggs: Vec<AggSpec>,
+pub(crate) struct GroupCompiler<'a> {
+    pub(crate) group_exprs: &'a [CompiledExpr],
+    pub(crate) aggs: Vec<AggSpec>,
 }
 
 impl<'a> GroupCompiler<'a> {
-    fn compile(
+    pub(crate) fn compile(
         &mut self,
         exec: &mut Exec<'_>,
         e: &Expr,

@@ -262,6 +262,62 @@ impl CompiledExpr {
     pub fn eval_bool(&self, row: &[Value]) -> Result<bool> {
         Ok(self.eval(row)?.is_true())
     }
+
+    /// Visit the index of every column this expression reads. The
+    /// vectorized engine uses this to gather only referenced columns into
+    /// scratch rows when it falls back to scalar evaluation.
+    pub fn for_each_column(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            CompiledExpr::Column(i) => f(*i),
+            CompiledExpr::Literal(_) => {}
+            CompiledExpr::Binary { left, right, .. } => {
+                left.for_each_column(f);
+                right.for_each_column(f);
+            }
+            CompiledExpr::Unary { expr, .. } => expr.for_each_column(f),
+            CompiledExpr::ScalarFn { args, .. } => {
+                for a in args {
+                    a.for_each_column(f);
+                }
+            }
+            CompiledExpr::Case {
+                operand,
+                branches,
+                else_result,
+            } => {
+                if let Some(o) = operand {
+                    o.for_each_column(f);
+                }
+                for (c, r) in branches {
+                    c.for_each_column(f);
+                    r.for_each_column(f);
+                }
+                if let Some(e) = else_result {
+                    e.for_each_column(f);
+                }
+            }
+            CompiledExpr::InList { expr, list, .. } => {
+                expr.for_each_column(f);
+                for item in list {
+                    item.for_each_column(f);
+                }
+            }
+            CompiledExpr::InSet { expr, .. } => expr.for_each_column(f),
+            CompiledExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.for_each_column(f);
+                low.for_each_column(f);
+                high.for_each_column(f);
+            }
+            CompiledExpr::Like { expr, pattern, .. } => {
+                expr.for_each_column(f);
+                pattern.for_each_column(f);
+            }
+            CompiledExpr::IsNull { expr, .. } => expr.for_each_column(f),
+            CompiledExpr::Cast { expr, .. } => expr.for_each_column(f),
+        }
+    }
 }
 
 fn type_err(context: &str, expected: &str, found: &Value) -> DbError {

@@ -14,6 +14,14 @@
 //! `COUNT(DISTINCT ...)`, set operations, and uncorrelated subquery
 //! predicates.
 //!
+//! Queries run on one of **two engines** behind [`Database::execute`]:
+//! single-table SELECT/WHERE/GROUP BY blocks go to the vectorized
+//! columnar engine ([`vexec`], scanning each table's lazily built
+//! [`ColumnarTable`] projection with predicate kernels and a columnar
+//! hash-aggregate), and everything else runs on the row interpreter
+//! ([`exec`]). Both produce byte-identical results — see [`vexec`]'s
+//! module docs for the routing contract.
+//!
 //! ```
 //! use flex_db::{Database, DataType, Schema, Value};
 //!
@@ -25,6 +33,7 @@
 //! ```
 
 pub mod aggregate;
+pub mod column;
 pub mod csv;
 pub mod database;
 pub mod error;
@@ -35,8 +44,10 @@ pub mod plan;
 pub mod schema;
 pub mod table;
 pub mod value;
+pub mod vexec;
 
 pub use aggregate::{AggFunc, AggSpec};
+pub use column::{Column, ColumnData, ColumnarTable, NullMask};
 pub use csv::{table_from_csv, table_to_csv};
 pub use database::Database;
 pub use error::{DbError, Result};

@@ -1,19 +1,39 @@
 //! In-memory tables.
 
+use crate::column::ColumnarTable;
 use crate::error::Result;
 use crate::schema::Schema;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 /// A row is a vector of values matching the table schema's arity.
 pub type Row = Vec<Value>;
 
 /// An in-memory table: a schema plus a multiset of rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The table also carries a lazily built [`ColumnarTable`] projection used
+/// by the vectorized execution engine ([`crate::vexec`]): the first
+/// vectorized scan pays the row-to-column conversion once, and subsequent
+/// reads share it. Writes through [`Table::insert`] invalidate the
+/// projection; `rows` is public for read access, and any code mutating it
+/// directly must go through `insert`/`insert_all` instead so the cache
+/// stays coherent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
     pub name: String,
     pub schema: Schema,
     pub rows: Vec<Row>,
+    /// Lazily built column-major projection of `rows`.
+    columnar: OnceLock<Arc<ColumnarTable>>,
+}
+
+/// Equality ignores the columnar cache: two tables with the same rows are
+/// equal whether or not either has been scanned columnar-ly.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl Table {
@@ -22,6 +42,7 @@ impl Table {
             name: name.into(),
             schema,
             rows: Vec::new(),
+            columnar: OnceLock::new(),
         }
     }
 
@@ -36,6 +57,7 @@ impl Table {
     /// Insert a row after validating it against the schema.
     pub fn insert(&mut self, row: Row) -> Result<()> {
         self.schema.check_row(&row)?;
+        self.columnar.take();
         self.rows.push(row);
         Ok(())
     }
@@ -46,6 +68,13 @@ impl Table {
             self.insert(row)?;
         }
         Ok(())
+    }
+
+    /// The columnar projection of this table, built on first use and
+    /// shared (cheaply clonable `Arc`) until the next write.
+    pub fn columnar(&self) -> &Arc<ColumnarTable> {
+        self.columnar
+            .get_or_init(|| Arc::new(ColumnarTable::from_rows(&self.rows, self.schema.len())))
     }
 
     /// All values of the named column (including NULLs), if it exists.
@@ -84,5 +113,32 @@ mod tests {
         let vals = t.column_values("city").unwrap();
         assert_eq!(vals, vec![&Value::str("sf"), &Value::str("nyc")]);
         assert!(t.column_values("nope").is_none());
+    }
+
+    #[test]
+    fn columnar_projection_matches_rows() {
+        let t = demo();
+        let c = t.columnar();
+        assert_eq!(c.len(), 2);
+        for (i, row) in t.rows.iter().enumerate() {
+            assert_eq!(&c.row(i), row);
+        }
+    }
+
+    #[test]
+    fn insert_invalidates_columnar_cache() {
+        let mut t = demo();
+        assert_eq!(t.columnar().len(), 2);
+        t.insert(vec![Value::Int(3), Value::str("la")]).unwrap();
+        assert_eq!(t.columnar().len(), 3);
+        assert_eq!(t.columnar().row(2), vec![Value::Int(3), Value::str("la")]);
+    }
+
+    #[test]
+    fn equality_ignores_cache_state() {
+        let a = demo();
+        let b = demo();
+        let _ = a.columnar();
+        assert_eq!(a, b);
     }
 }

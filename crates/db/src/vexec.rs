@@ -1,0 +1,802 @@
+//! Vectorized (columnar, batch-at-a-time) execution engine.
+//!
+//! Instead of interpreting one `Vec<Value>` row at a time, this engine
+//! scans the table's lazily built [`ColumnarTable`] projection: WHERE
+//! predicates run as **comparison kernels** over whole typed column
+//! vectors, narrowing a *selection vector* of surviving row indices, and
+//! GROUP BY / aggregate blocks run as a **columnar hash-aggregate** that
+//! assigns group ids from key columns and accumulates each aggregate in a
+//! single pass — no intermediate row materialization at all on the hot
+//! COUNT/SUM/AVG shapes that dominate the Uber and TPC-H workloads.
+//!
+//! # Routing contract
+//!
+//! [`try_execute`] accepts a query iff it is a single SELECT block over
+//! one base table: no CTEs, no set operations, no joins, no derived
+//! tables, no table-less SELECT. Everything else returns `None` and runs
+//! on the row interpreter ([`crate::exec`]). Within an accepted query,
+//! sub-shapes the columnar operators don't cover degrade gracefully
+//! rather than bailing out:
+//!
+//! - WHERE predicates containing any conjunct without a kernel (e.g.
+//!   arbitrary CASE or arithmetic) are evaluated whole by the shared
+//!   scalar interpreter over scratch rows gathered from only the
+//!   referenced columns, preserving short-circuit and error semantics;
+//! - grouped queries whose group keys or aggregate arguments are not
+//!   plain columns fall back to gathering the filtered rows and running
+//!   the row engine's grouping code on them (keeping the filter win);
+//! - projection, HAVING, ORDER BY and DISTINCT always reuse the row
+//!   engine's compiled expressions and tail logic verbatim.
+//!
+//! **Result identity:** both engines compile expressions with the same
+//! compiler, accumulate floating-point aggregates in the same row order,
+//! and share the ORDER BY / DISTINCT / LIMIT tail, so any query that
+//! executes without error returns a byte-identical [`ResultSet`] on
+//! either engine — the DP layers above (sensitivity analysis, noise
+//! seeding) cannot observe which engine ran. The one permitted
+//! divergence: *aggregate-stage* type errors (e.g. `SUM` over a column
+//! mixing strings into numbers) may be reported from a different row,
+//! because the columnar accumulators visit rows in table order rather
+//! than group order; whether a query errors is still identical.
+
+use crate::aggregate::{self, AggFunc, AggSpec};
+use crate::column::{Column, ColumnData, ColumnarTable};
+use crate::database::Database;
+use crate::error::{DbError, Result};
+use crate::exec::{self, Exec, GroupCompiler, SortKey};
+use crate::expr::{like_match, CompiledExpr};
+use crate::plan::{ColMeta, Relation, ResultSet};
+use crate::table::{Row, Table};
+use crate::value::{RowKey, Value, ValueKey};
+use flex_sql::{BinaryOperator, OrderByItem, Query, Select, SelectItem, SetExpr, TableRef};
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// Execute `q` on the vectorized engine if it is vectorizable, else
+/// `None` (the caller falls back to the row interpreter).
+pub fn try_execute(db: &Database, q: &Query) -> Option<Result<ResultSet>> {
+    if !q.ctes.is_empty() {
+        return None;
+    }
+    let s = match &q.body {
+        SetExpr::Select(s) => s,
+        SetExpr::SetOp { .. } => return None,
+    };
+    let (name, alias) = match s.from.as_ref()? {
+        TableRef::Table { name, alias } => (name, alias),
+        _ => return None,
+    };
+    // Unknown tables fall back so the row engine reports the error.
+    let table = db.table(name)?;
+    let qualifier = alias.as_deref().unwrap_or(name);
+    Some(run(db, q, s, table, qualifier))
+}
+
+fn run(db: &Database, q: &Query, s: &Select, table: &Table, qualifier: &str) -> Result<ResultSet> {
+    let cols: Vec<ColMeta> = table
+        .schema
+        .columns
+        .iter()
+        .map(|c| ColMeta::new(Some(qualifier.to_string()), c.name.clone()))
+        .collect();
+    let ctab = table.columnar().clone();
+    let mut ex = Exec::new(db);
+
+    // WHERE → selection vector.
+    let all: Vec<u32> = (0..ctab.len() as u32).collect();
+    let sel = match &s.selection {
+        Some(pred) => {
+            let compiled = ex.compile_scalar(pred, &cols)?;
+            filter(&ctab, &compiled, all)?
+        }
+        None => all,
+    };
+
+    let mut rel = if Exec::has_aggregates(s) {
+        match grouped_fast(&mut ex, s, &cols, &ctab, &sel, &q.order_by) {
+            Some(result) => result?,
+            // Group keys or aggregate args are not plain columns: gather
+            // the filtered rows and run the row engine's grouping on them.
+            None => {
+                let input = Relation::new(cols, gather_rows(&ctab, &sel));
+                ex.select_after_where(s, input, &q.order_by)?
+            }
+        }
+    } else {
+        // Plain projection: the filter ran columnar, the rest is the row
+        // engine's projection over only the surviving rows.
+        let input = Relation::new(cols, gather_rows(&ctab, &sel));
+        ex.select_after_where(s, input, &q.order_by)?
+    };
+    exec::apply_limit_offset(&mut rel, q.limit, q.offset);
+    Ok(ResultSet::from(rel))
+}
+
+/// Materialize the selected rows (exact `Value` reconstruction).
+fn gather_rows(ctab: &ColumnarTable, sel: &[u32]) -> Vec<Row> {
+    sel.iter().map(|&i| ctab.row(i as usize)).collect()
+}
+
+// ---- columnar filtering -------------------------------------------------
+
+/// Narrow `sel` to the rows where `pred` is TRUE (SQL filter semantics:
+/// NULL drops).
+///
+/// When every top-level AND conjunct has a kernel, conjuncts narrow the
+/// selection one at a time, so later conjuncts only touch surviving
+/// rows. That reordering is only sound because kernels are infallible:
+/// the row engine keeps evaluating later conjuncts on rows where an
+/// earlier one was NULL (AND short-circuits on FALSE only), so skipping
+/// those rows may skip a runtime *error* the row engine would report.
+/// Any conjunct without a kernel therefore sends the whole predicate to
+/// the scalar interpreter, which preserves short-circuit and error
+/// behavior exactly.
+fn filter(ctab: &ColumnarTable, pred: &CompiledExpr, mut sel: Vec<u32>) -> Result<Vec<u32>> {
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(pred, &mut conjuncts);
+    if !conjuncts.iter().all(|c| kernelizable(ctab, c)) {
+        return generic_filter(ctab, pred, sel);
+    }
+    for c in conjuncts {
+        if sel.is_empty() {
+            break;
+        }
+        sel = apply_kernel(ctab, c, sel);
+    }
+    Ok(sel)
+}
+
+/// Does this conjunct have an infallible columnar kernel?
+fn kernelizable(ctab: &ColumnarTable, e: &CompiledExpr) -> bool {
+    match e {
+        CompiledExpr::Binary { op, left, right } if op.is_comparison() => matches!(
+            (&**left, &**right),
+            (CompiledExpr::Column(_), CompiledExpr::Literal(_))
+                | (CompiledExpr::Literal(_), CompiledExpr::Column(_))
+        ),
+        CompiledExpr::IsNull { expr, .. } => matches!(&**expr, CompiledExpr::Column(_)),
+        // LIKE can only error on non-string values, so the kernel (and
+        // its infallibility) requires an all-string column.
+        CompiledExpr::Like { expr, pattern, .. } => match (&**expr, &**pattern) {
+            (CompiledExpr::Column(c), CompiledExpr::Literal(Value::Str(_))) => {
+                matches!(ctab.columns[*c].data, ColumnData::Str(_))
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn collect_conjuncts<'e>(e: &'e CompiledExpr, out: &mut Vec<&'e CompiledExpr>) {
+    if let CompiledExpr::Binary {
+        op: BinaryOperator::And,
+        left,
+        right,
+    } = e
+    {
+        collect_conjuncts(left, out);
+        collect_conjuncts(right, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Run one [`kernelizable`] conjunct over the selection.
+fn apply_kernel(ctab: &ColumnarTable, e: &CompiledExpr, sel: Vec<u32>) -> Vec<u32> {
+    match e {
+        CompiledExpr::Binary { op, left, right } if op.is_comparison() => {
+            if let (CompiledExpr::Column(c), CompiledExpr::Literal(v)) = (&**left, &**right) {
+                return cmp_kernel(&ctab.columns[*c], *op, v, &sel);
+            }
+            if let (CompiledExpr::Literal(v), CompiledExpr::Column(c)) = (&**left, &**right) {
+                return cmp_kernel(&ctab.columns[*c], flip(*op), v, &sel);
+            }
+            unreachable!("kernelizable comparison without column/literal shape")
+        }
+        CompiledExpr::IsNull { expr, negated } => {
+            let CompiledExpr::Column(c) = &**expr else {
+                unreachable!("kernelizable IS NULL without a column")
+            };
+            let col = &ctab.columns[*c];
+            sel.into_iter()
+                .filter(|&i| col.is_null(i as usize) != *negated)
+                .collect()
+        }
+        CompiledExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let (CompiledExpr::Column(c), CompiledExpr::Literal(Value::Str(p))) =
+                (&**expr, &**pattern)
+            else {
+                unreachable!("kernelizable LIKE without column/literal shape")
+            };
+            let col = &ctab.columns[*c];
+            let ColumnData::Str(ss) = &col.data else {
+                unreachable!("kernelizable LIKE over a non-string column")
+            };
+            sel.into_iter()
+                .filter(|&i| {
+                    let i = i as usize;
+                    !col.is_null(i) && (like_match(&ss[i], p) != *negated)
+                })
+                .collect()
+        }
+        _ => unreachable!("apply_kernel called on a non-kernel conjunct"),
+    }
+}
+
+/// Fallback conjunct evaluation: scalar-interpret `e` per surviving row,
+/// gathering only the columns it references into a scratch row. Produces
+/// exactly the row engine's values (shared evaluator), including errors.
+fn generic_filter(ctab: &ColumnarTable, e: &CompiledExpr, sel: Vec<u32>) -> Result<Vec<u32>> {
+    let mut refs = Vec::new();
+    e.for_each_column(&mut |i| refs.push(i));
+    refs.sort_unstable();
+    refs.dedup();
+    let mut scratch: Row = vec![Value::Null; ctab.columns.len()];
+    let mut out = Vec::with_capacity(sel.len());
+    for i in sel {
+        let idx = i as usize;
+        for &c in &refs {
+            scratch[c] = ctab.columns[c].value(idx);
+        }
+        if e.eval_bool(&scratch)? {
+            out.push(i);
+        }
+    }
+    Ok(out)
+}
+
+/// Mirror a comparison so `lit op col` becomes `col op' lit`.
+fn flip(op: BinaryOperator) -> BinaryOperator {
+    match op {
+        BinaryOperator::Lt => BinaryOperator::Gt,
+        BinaryOperator::Gt => BinaryOperator::Lt,
+        BinaryOperator::LtEq => BinaryOperator::GtEq,
+        BinaryOperator::GtEq => BinaryOperator::LtEq,
+        other => other,
+    }
+}
+
+/// `column op literal` over a selection vector, with the exact semantics
+/// of [`Value::sql_cmp`]: NULLs and incomparable type pairs never match.
+fn cmp_kernel(col: &Column, op: BinaryOperator, lit: &Value, sel: &[u32]) -> Vec<u32> {
+    if lit.is_null() {
+        return Vec::new();
+    }
+    let keep = |ord: Ordering| match op {
+        BinaryOperator::Eq => ord == Ordering::Equal,
+        BinaryOperator::NotEq => ord != Ordering::Equal,
+        BinaryOperator::Lt => ord == Ordering::Less,
+        BinaryOperator::LtEq => ord != Ordering::Greater,
+        BinaryOperator::Gt => ord == Ordering::Greater,
+        BinaryOperator::GtEq => ord != Ordering::Less,
+        _ => unreachable!("comparison op"),
+    };
+    let has_nulls = col.nulls.any();
+    let filt = |cmp_at: &dyn Fn(usize) -> Option<Ordering>| -> Vec<u32> {
+        sel.iter()
+            .copied()
+            .filter(|&i| {
+                let i = i as usize;
+                if has_nulls && col.is_null(i) {
+                    return false;
+                }
+                matches!(cmp_at(i), Some(ord) if keep(ord))
+            })
+            .collect()
+    };
+    match (&col.data, lit) {
+        // sql_cmp compares Int-vs-Int through f64 coercion too (not exact
+        // i64 order) — match it bit-for-bit, 2^53-adjacent values included.
+        (ColumnData::Int64(xs), Value::Int(b)) => {
+            let b = *b as f64;
+            filt(&|i| (xs[i] as f64).partial_cmp(&b))
+        }
+        (ColumnData::Int64(xs), Value::Float(b)) => filt(&|i| (xs[i] as f64).partial_cmp(b)),
+        (ColumnData::Float64(xs), Value::Int(b)) => {
+            let b = *b as f64;
+            filt(&|i| xs[i].partial_cmp(&b))
+        }
+        (ColumnData::Float64(xs), Value::Float(b)) => filt(&|i| xs[i].partial_cmp(b)),
+        (ColumnData::Str(ss), Value::Str(b)) => filt(&|i| Some(ss[i].as_str().cmp(b.as_str()))),
+        (ColumnData::Bool(bs), Value::Bool(b)) => filt(&|i| Some(bs[i].cmp(b))),
+        // Numeric coercion pairs involving booleans (sql_cmp coerces
+        // booleans to 0/1 when the other side is numeric).
+        (ColumnData::Int64(xs), Value::Bool(b)) => {
+            let b = if *b { 1.0 } else { 0.0 };
+            filt(&|i| (xs[i] as f64).partial_cmp(&b))
+        }
+        (ColumnData::Float64(xs), Value::Bool(b)) => {
+            let b = if *b { 1.0 } else { 0.0 };
+            filt(&|i| xs[i].partial_cmp(&b))
+        }
+        (ColumnData::Bool(bs), Value::Int(_) | Value::Float(_)) => {
+            let b = lit.as_f64().expect("numeric literal");
+            filt(&|i| (if bs[i] { 1.0 } else { 0.0 }).partial_cmp(&b))
+        }
+        (ColumnData::Mixed(vs), _) => filt(&|i| vs[i].sql_cmp(lit)),
+        // Remaining cross-type pairs are incomparable under sql_cmp: the
+        // comparison is NULL for every row, so nothing survives.
+        _ => Vec::new(),
+    }
+}
+
+// ---- columnar hash-aggregate -------------------------------------------
+
+/// Compiled pieces of a fast-path grouped query.
+struct GroupedPlan {
+    key_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    /// Per-aggregate argument column (`None` for `COUNT(*)`).
+    agg_args: Vec<Option<usize>>,
+    out_cols: Vec<ColMeta>,
+    out_exprs: Vec<CompiledExpr>,
+    having: Option<CompiledExpr>,
+    order_plan: Vec<SortKey>,
+}
+
+/// Try the columnar grouped path. `None` means "not fast-path eligible"
+/// (including compile errors — the row-engine fallback recompiles and
+/// reports them identically); `Some(Err)` is a genuine execution error.
+fn grouped_fast(
+    ex: &mut Exec<'_>,
+    s: &Select,
+    cols: &[ColMeta],
+    ctab: &ColumnarTable,
+    sel: &[u32],
+    order_by: &[OrderByItem],
+) -> Option<Result<Relation>> {
+    let group_exprs = ex.compile_group_exprs(s, cols).ok()?;
+    let mut key_cols = Vec::with_capacity(group_exprs.len());
+    for g in &group_exprs {
+        match g {
+            CompiledExpr::Column(i) => key_cols.push(*i),
+            _ => return None,
+        }
+    }
+    let mut gc = GroupCompiler {
+        group_exprs: &group_exprs,
+        aggs: Vec::new(),
+    };
+    let mut out_cols = Vec::new();
+    let mut out_exprs = Vec::new();
+    for item in &s.projection {
+        match item {
+            SelectItem::Expr { expr, alias } => {
+                let compiled = gc.compile(ex, expr, cols).ok()?;
+                out_cols.push(ColMeta::new(
+                    None,
+                    exec::output_name(expr, alias.as_deref()),
+                ));
+                out_exprs.push(compiled);
+            }
+            // Wildcards in aggregated queries are an error; let the row
+            // engine report it.
+            _ => return None,
+        }
+    }
+    let having = match &s.having {
+        Some(h) => Some(gc.compile(ex, h, cols).ok()?),
+        None => None,
+    };
+    let mut order_plan = Vec::with_capacity(order_by.len());
+    for item in order_by {
+        let key = match exec::sort_key_by_output(&item.expr, &out_cols).ok()? {
+            Some(pos) => SortKey::Output(pos),
+            None => SortKey::Source(gc.compile(ex, &item.expr, cols).ok()?),
+        };
+        order_plan.push(key);
+    }
+    let mut agg_args = Vec::with_capacity(gc.aggs.len());
+    for spec in &gc.aggs {
+        match &spec.arg {
+            None => agg_args.push(None),
+            Some(CompiledExpr::Column(i)) => agg_args.push(Some(*i)),
+            Some(_) => return None,
+        }
+    }
+    let plan = GroupedPlan {
+        key_cols,
+        aggs: gc.aggs,
+        agg_args,
+        out_cols,
+        out_exprs,
+        having,
+        order_plan,
+    };
+    Some(run_grouped(s, ctab, sel, order_by, plan))
+}
+
+fn run_grouped(
+    s: &Select,
+    ctab: &ColumnarTable,
+    sel: &[u32],
+    order_by: &[OrderByItem],
+    plan: GroupedPlan,
+) -> Result<Relation> {
+    let (gids, mut groups) = assign_groups(ctab, &plan.key_cols, sel);
+    // A grand aggregate over zero rows still yields one group.
+    if plan.key_cols.is_empty() && groups.is_empty() {
+        groups.push(Vec::new());
+    }
+    let ngroups = groups.len();
+
+    let mut agg_vals: Vec<Vec<Value>> = Vec::with_capacity(plan.aggs.len());
+    for (spec, arg) in plan.aggs.iter().zip(&plan.agg_args) {
+        agg_vals.push(compute_agg(ctab, spec.func, *arg, sel, &gids, ngroups)?);
+    }
+
+    // Tail identical to the row engine's select_grouped: build post-group
+    // rows `[key values..., aggregate values...]`, filter HAVING, project.
+    let mut out_rows = Vec::with_capacity(ngroups);
+    let mut key_rows = if order_by.is_empty() {
+        None
+    } else {
+        Some(Vec::with_capacity(ngroups))
+    };
+    for (g, key_vals) in groups.into_iter().enumerate() {
+        let mut group_row = key_vals;
+        for a in &agg_vals {
+            group_row.push(a[g].clone());
+        }
+        if let Some(h) = &plan.having {
+            if !h.eval_bool(&group_row)? {
+                continue;
+            }
+        }
+        let mut out = Vec::with_capacity(plan.out_exprs.len());
+        for e in &plan.out_exprs {
+            out.push(e.eval(&group_row)?);
+        }
+        if let Some(keys) = &mut key_rows {
+            keys.push(exec::eval_sort_keys(&plan.order_plan, &out, &group_row)?);
+        }
+        out_rows.push(out);
+    }
+    Ok(exec::finish_select(
+        Relation::new(plan.out_cols, out_rows),
+        key_rows,
+        order_by,
+        s.distinct,
+    ))
+}
+
+/// Assign a group id to every selected row (ids in first-appearance
+/// order, like the row engine) and collect each group's key values.
+/// Integer and string single-column keys get dedicated hash paths; the
+/// general case goes through [`RowKey`], which unifies `1` and `1.0`
+/// exactly like the row engine does.
+fn assign_groups(ctab: &ColumnarTable, key_cols: &[usize], sel: &[u32]) -> (Vec<u32>, Vec<Row>) {
+    let mut gids = Vec::with_capacity(sel.len());
+    let mut groups: Vec<Row> = Vec::new();
+    if key_cols.is_empty() {
+        if !sel.is_empty() {
+            gids.resize(sel.len(), 0);
+            groups.push(Vec::new());
+        }
+        return (gids, groups);
+    }
+    if let [c] = key_cols {
+        let col = &ctab.columns[*c];
+        match &col.data {
+            ColumnData::Int64(xs) => {
+                let mut map: HashMap<i64, u32> = HashMap::new();
+                let mut null_gid: Option<u32> = None;
+                for &i in sel {
+                    let idx = i as usize;
+                    let g = if col.is_null(idx) {
+                        *null_gid.get_or_insert_with(|| {
+                            groups.push(vec![Value::Null]);
+                            (groups.len() - 1) as u32
+                        })
+                    } else {
+                        match map.entry(xs[idx]) {
+                            Entry::Occupied(e) => *e.get(),
+                            Entry::Vacant(e) => {
+                                groups.push(vec![Value::Int(xs[idx])]);
+                                *e.insert((groups.len() - 1) as u32)
+                            }
+                        }
+                    };
+                    gids.push(g);
+                }
+                return (gids, groups);
+            }
+            ColumnData::Str(ss) => {
+                let mut map: HashMap<&str, u32> = HashMap::new();
+                let mut null_gid: Option<u32> = None;
+                for &i in sel {
+                    let idx = i as usize;
+                    let g = if col.is_null(idx) {
+                        *null_gid.get_or_insert_with(|| {
+                            groups.push(vec![Value::Null]);
+                            (groups.len() - 1) as u32
+                        })
+                    } else {
+                        match map.entry(ss[idx].as_str()) {
+                            Entry::Occupied(e) => *e.get(),
+                            Entry::Vacant(e) => {
+                                groups.push(vec![Value::Str(ss[idx].clone())]);
+                                *e.insert((groups.len() - 1) as u32)
+                            }
+                        }
+                    };
+                    gids.push(g);
+                }
+                return (gids, groups);
+            }
+            _ => {}
+        }
+    }
+    let mut map: HashMap<RowKey, u32> = HashMap::new();
+    for &i in sel {
+        let idx = i as usize;
+        let key_vals: Row = key_cols
+            .iter()
+            .map(|&c| ctab.columns[c].value(idx))
+            .collect();
+        let g = match map.entry(RowKey::from_values(&key_vals)) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                groups.push(key_vals);
+                *e.insert((groups.len() - 1) as u32)
+            }
+        };
+        gids.push(g);
+    }
+    (gids, groups)
+}
+
+/// Numeric view of a non-null column slot, with the row engine's exact
+/// type error on non-numeric values.
+fn numeric_at(col: &Column, idx: usize, func: AggFunc) -> Result<f64> {
+    let type_err = |found: &str| DbError::TypeMismatch {
+        context: format!("{func:?} argument"),
+        expected: "number".to_string(),
+        found: found.to_string(),
+    };
+    match &col.data {
+        ColumnData::Int64(xs) => Ok(xs[idx] as f64),
+        ColumnData::Float64(xs) => Ok(xs[idx]),
+        ColumnData::Bool(bs) => Ok(if bs[idx] { 1.0 } else { 0.0 }),
+        ColumnData::Str(_) => Err(type_err("string")),
+        ColumnData::Mixed(vs) => vs[idx]
+            .as_f64()
+            .ok_or_else(|| type_err(vs[idx].type_name())),
+    }
+}
+
+/// Evaluate one aggregate over all groups in a single columnar pass.
+/// Floating-point accumulation visits rows in selection (= table) order,
+/// matching the row engine's per-group summation order bit-for-bit.
+fn compute_agg(
+    ctab: &ColumnarTable,
+    func: AggFunc,
+    arg: Option<usize>,
+    sel: &[u32],
+    gids: &[u32],
+    ngroups: usize,
+) -> Result<Vec<Value>> {
+    if func == AggFunc::CountStar {
+        let mut counts = vec![0i64; ngroups];
+        for &g in gids {
+            counts[g as usize] += 1;
+        }
+        return Ok(counts.into_iter().map(Value::Int).collect());
+    }
+    let col = match arg {
+        Some(c) => &ctab.columns[c],
+        None => {
+            return Err(DbError::InvalidAggregate(format!(
+                "{func:?} requires an argument"
+            )))
+        }
+    };
+    match func {
+        AggFunc::CountStar => unreachable!("handled above"),
+        AggFunc::Count => {
+            let mut counts = vec![0i64; ngroups];
+            if col.nulls.any() {
+                for (k, &i) in sel.iter().enumerate() {
+                    if !col.is_null(i as usize) {
+                        counts[gids[k] as usize] += 1;
+                    }
+                }
+            } else {
+                for &g in gids {
+                    counts[g as usize] += 1;
+                }
+            }
+            Ok(counts.into_iter().map(Value::Int).collect())
+        }
+        AggFunc::CountDistinct => {
+            let mut sets: Vec<HashSet<ValueKey>> = vec![HashSet::new(); ngroups];
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                let key = match &col.data {
+                    ColumnData::Int64(xs) => ValueKey::Int(xs[idx]),
+                    ColumnData::Float64(xs) => ValueKey::from(&Value::Float(xs[idx])),
+                    ColumnData::Bool(bs) => ValueKey::Bool(bs[idx]),
+                    ColumnData::Str(ss) => ValueKey::Str(ss[idx].clone()),
+                    ColumnData::Mixed(vs) => ValueKey::from(&vs[idx]),
+                };
+                sets[gids[k] as usize].insert(key);
+            }
+            Ok(sets
+                .into_iter()
+                .map(|s| Value::Int(s.len() as i64))
+                .collect())
+        }
+        AggFunc::Sum | AggFunc::Avg => {
+            let mut sums = vec![0.0f64; ngroups];
+            let mut counts = vec![0usize; ngroups];
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                let g = gids[k] as usize;
+                sums[g] += numeric_at(col, idx, func)?;
+                counts[g] += 1;
+            }
+            Ok((0..ngroups)
+                .map(|g| {
+                    if counts[g] == 0 {
+                        Value::Null
+                    } else if func == AggFunc::Sum {
+                        Value::Float(sums[g])
+                    } else {
+                        Value::Float(sums[g] / counts[g] as f64)
+                    }
+                })
+                .collect())
+        }
+        AggFunc::Min | AggFunc::Max => Ok(min_max(col, func, sel, gids, ngroups)),
+        AggFunc::Median | AggFunc::Stddev => {
+            let mut per: Vec<Vec<f64>> = vec![Vec::new(); ngroups];
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                per[gids[k] as usize].push(numeric_at(col, idx, func)?);
+            }
+            Ok(per
+                .into_iter()
+                .map(|nums| {
+                    if func == AggFunc::Median {
+                        aggregate::median_of(nums)
+                    } else {
+                        aggregate::stddev_of(&nums)
+                    }
+                })
+                .collect())
+        }
+    }
+}
+
+/// MIN/MAX with the row engine's tie-breaking (first occurrence wins on
+/// `total_cmp` equality), specialized per column representation.
+fn min_max(col: &Column, func: AggFunc, sel: &[u32], gids: &[u32], ngroups: usize) -> Vec<Value> {
+    let min = func == AggFunc::Min;
+    let adopt = |ord: Ordering| match ord {
+        Ordering::Less => min,
+        Ordering::Greater => !min,
+        Ordering::Equal => false,
+    };
+    match &col.data {
+        ColumnData::Int64(xs) => {
+            let mut best: Vec<Option<i64>> = vec![None; ngroups];
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                let b = &mut best[gids[k] as usize];
+                match b {
+                    None => *b = Some(xs[idx]),
+                    Some(cur) => {
+                        if adopt(xs[idx].cmp(cur)) {
+                            *cur = xs[idx];
+                        }
+                    }
+                }
+            }
+            best.into_iter()
+                .map(|o| o.map_or(Value::Null, Value::Int))
+                .collect()
+        }
+        ColumnData::Float64(xs) => {
+            let mut best: Vec<Option<f64>> = vec![None; ngroups];
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                let b = &mut best[gids[k] as usize];
+                match b {
+                    None => *b = Some(xs[idx]),
+                    Some(cur) => {
+                        if adopt(xs[idx].total_cmp(cur)) {
+                            *cur = xs[idx];
+                        }
+                    }
+                }
+            }
+            best.into_iter()
+                .map(|o| o.map_or(Value::Null, Value::Float))
+                .collect()
+        }
+        ColumnData::Bool(bs) => {
+            let mut best: Vec<Option<bool>> = vec![None; ngroups];
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                let b = &mut best[gids[k] as usize];
+                match b {
+                    None => *b = Some(bs[idx]),
+                    Some(cur) => {
+                        if adopt(bs[idx].cmp(cur)) {
+                            *cur = bs[idx];
+                        }
+                    }
+                }
+            }
+            best.into_iter()
+                .map(|o| o.map_or(Value::Null, Value::Bool))
+                .collect()
+        }
+        ColumnData::Str(ss) => {
+            // Track the best row index; clone the winning string once.
+            let mut best: Vec<Option<usize>> = vec![None; ngroups];
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                let b = &mut best[gids[k] as usize];
+                match b {
+                    None => *b = Some(idx),
+                    Some(cur) => {
+                        if adopt(ss[idx].cmp(&ss[*cur])) {
+                            *cur = idx;
+                        }
+                    }
+                }
+            }
+            best.into_iter()
+                .map(|o| o.map_or(Value::Null, |i| Value::Str(ss[i].clone())))
+                .collect()
+        }
+        ColumnData::Mixed(vs) => {
+            let mut best: Vec<Option<&Value>> = vec![None; ngroups];
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                let b = &mut best[gids[k] as usize];
+                match b {
+                    None => *b = Some(&vs[idx]),
+                    Some(cur) => {
+                        if adopt(vs[idx].total_cmp(cur)) {
+                            *cur = &vs[idx];
+                        }
+                    }
+                }
+            }
+            best.into_iter()
+                .map(|o| o.map_or(Value::Null, Clone::clone))
+                .collect()
+        }
+    }
+}

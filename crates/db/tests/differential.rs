@@ -1,0 +1,435 @@
+//! Differential tests between the two execution engines.
+//!
+//! The vectorized engine (`flex_db::vexec`) must be observationally
+//! identical to the row interpreter on every query it accepts — same
+//! rows, same order, same NULLs — because DP noise calibration hashes
+//! the true results. These tests generate random supported queries over
+//! random small tables (nulls, duplicates, mixed group sizes) and assert
+//! `ResultSet` equality, plus explicit NULL-handling cases for the
+//! vectorized aggregate kernels and LIMIT/OFFSET/ORDER BY regressions on
+//! both engines.
+
+use flex_db::{DataType, Database, ResultSet, Schema, Value};
+use flex_sql::parse_query;
+use proptest::prelude::*;
+
+/// Schema shared by every generated case: an Int, a Float, a Str and a
+/// small Int "category" column, all nullable.
+fn build_db(rows: Vec<(Value, Value, Value, Value)>) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("c", DataType::Str),
+            ("d", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    db.insert(
+        "t",
+        rows.into_iter()
+            .map(|(a, b, c, d)| vec![a, b, c, d])
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+fn arb_int() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-4i64..5).prop_map(Value::Int),
+        (-4i64..5).prop_map(Value::Int),
+        (-4i64..5).prop_map(Value::Int),
+    ]
+    .boxed()
+}
+
+fn arb_float() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-4i64..5).prop_map(|i| Value::Float(i as f64 * 0.5)),
+        (-4i64..5).prop_map(|i| Value::Float(i as f64 * 0.5)),
+        (-4i64..5).prop_map(|i| Value::Float(i as f64 * 0.5)),
+    ]
+    .boxed()
+}
+
+fn arb_str() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        "[ab]{1,2}".prop_map(Value::Str),
+        "[ab]{1,2}".prop_map(Value::Str),
+        "[ab]{1,2}".prop_map(Value::Str),
+    ]
+    .boxed()
+}
+
+fn arb_cat() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (0i64..3).prop_map(Value::Int),
+        (0i64..3).prop_map(Value::Int),
+        (0i64..3).prop_map(Value::Int),
+        (0i64..3).prop_map(Value::Int),
+    ]
+    .boxed()
+}
+
+fn arb_rows() -> BoxedStrategy<Vec<(Value, Value, Value, Value)>> {
+    proptest::collection::vec((arb_int(), arb_float(), arb_str(), arb_cat()), 0..30).boxed()
+}
+
+/// A random WHERE predicate mixing kernel-covered comparisons (column op
+/// literal, IS NULL, LIKE) with shapes that exercise the scalar fallback
+/// (arithmetic, OR, BETWEEN, IN lists, cross-type comparisons).
+fn arb_pred() -> BoxedStrategy<String> {
+    prop_oneof![
+        (-4i64..5).prop_map(|c| format!("a > {c}")),
+        (-4i64..5).prop_map(|c| format!("a <= {c}")),
+        (-4i64..5).prop_map(|c| format!("a <> {c}")),
+        (-4i64..5).prop_map(|c| format!("b >= {}", c as f64 * 0.5)),
+        (-4i64..5).prop_map(|c| format!("b < {c}")),
+        "[ab]{1,2}".prop_map(|s| format!("c = '{s}'")),
+        "[ab]{1,2}".prop_map(|s| format!("c >= '{s}'")),
+        Just("a IS NULL".to_string()),
+        Just("c IS NOT NULL".to_string()),
+        "[ab]".prop_map(|s| format!("c LIKE '%{s}'")),
+        "[ab]".prop_map(|s| format!("c NOT LIKE '{s}_'")),
+        (-4i64..5).prop_map(|c| format!("a + d > {c}")),
+        ((-4i64..1), (0i64..5)).prop_map(|(l, h)| format!("a BETWEEN {l} AND {h}")),
+        (-4i64..5).prop_map(|c| format!("a > {c} AND d < 2")),
+        (-4i64..5).prop_map(|c| format!("a > {c} OR b < 0")),
+        Just("d IN (0, 2)".to_string()),
+        // Cross-type comparison: NULL for every row under sql_cmp.
+        Just("a > 'zzz'".to_string()),
+    ]
+    .boxed()
+}
+
+fn arb_where() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just(String::new()),
+        arb_pred().prop_map(|p| format!(" WHERE {p}")),
+        arb_pred().prop_map(|p| format!(" WHERE {p}")),
+    ]
+    .boxed()
+}
+
+/// Random queries covering every vectorized shape: plain projection,
+/// columnar hash-aggregates on int/str/expression keys, grand
+/// aggregates, plus DISTINCT / HAVING / ORDER BY / LIMIT tails.
+fn arb_query() -> BoxedStrategy<String> {
+    let plain = (arb_where(), 0u32..4, 0u32..4, 0u32..2).prop_map(|(w, ob, lim, dis)| {
+        let distinct = if dis == 1 { "DISTINCT " } else { "" };
+        let order = match ob {
+            0 => "",
+            1 => " ORDER BY a, b, c, d",
+            2 => " ORDER BY 1 DESC, 4",
+            _ => " ORDER BY c DESC, a",
+        };
+        let limit = match lim {
+            0 => "",
+            1 => " LIMIT 5",
+            2 => " LIMIT 3 OFFSET 2",
+            _ => " LIMIT 2 OFFSET 40",
+        };
+        format!("SELECT {distinct}a, b, c, d FROM t{w}{order}{limit}")
+    });
+    let agg_int_key = (arb_where(), 0u32..3, 0u32..3).prop_map(|(w, hv, ob)| {
+        let having = match hv {
+            0 => "",
+            1 => " HAVING COUNT(*) > 1",
+            _ => " HAVING SUM(a) >= 0",
+        };
+        let order = match ob {
+            0 => "",
+            1 => " ORDER BY n DESC, d",
+            _ => " ORDER BY 1",
+        };
+        format!(
+            "SELECT d, COUNT(*) AS n, SUM(a), AVG(b), MIN(c), MAX(a), \
+             COUNT(DISTINCT a) FROM t{w} GROUP BY d{having}{order}"
+        )
+    });
+    let agg_str_key = (arb_where(), 0u32..2).prop_map(|(w, ob)| {
+        let order = if ob == 0 { "" } else { " ORDER BY 2 DESC, 1" };
+        format!("SELECT c, COUNT(*), MIN(a), MEDIAN(b) FROM t{w} GROUP BY c{order}")
+    });
+    let agg_multi_key = (arb_where(),).prop_map(|(w,)| {
+        format!("SELECT d, c, COUNT(*), SUM(b) FROM t{w} GROUP BY d, c ORDER BY 3 DESC, 1, 2")
+    });
+    // Expression group key: vectorized filter + row-engine grouping.
+    let agg_expr_key = (arb_where(),).prop_map(|(w,)| {
+        format!("SELECT a + d AS k, COUNT(*) FROM t{w} GROUP BY a + d ORDER BY 2 DESC, 1")
+    });
+    let grand = arb_where().prop_map(|w| {
+        format!("SELECT COUNT(*), SUM(b), MEDIAN(a), STDDEV(b), MIN(b), MAX(c) FROM t{w}")
+    });
+    prop_oneof![
+        plain,
+        agg_int_key,
+        agg_str_key,
+        agg_multi_key,
+        agg_expr_key,
+        grand,
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The vectorized engine and the row interpreter return identical
+    /// `ResultSet`s (or both fail) on every generated query.
+    #[test]
+    fn engines_agree_on_random_queries(rows in arb_rows(), sql in arb_query()) {
+        let db = build_db(rows);
+        let vectorized = db.execute_sql(&sql);
+        let row = db.execute_sql_row(&sql);
+        match (vectorized, row) {
+            (Ok(v), Ok(r)) => prop_assert_eq!(v, r, "engines disagree on: {}", sql),
+            (Err(_), Err(_)) => {}
+            (v, r) => prop_assert!(
+                false,
+                "one engine failed on {}: vectorized={:?} row={:?}",
+                sql, v, r
+            ),
+        }
+    }
+}
+
+// ---- explicit NULL handling in vectorized aggregates ---------------------
+
+/// Run on both engines, assert agreement, and return the shared result.
+fn both(db: &Database, sql: &str) -> ResultSet {
+    let v = db.execute_sql(sql).unwrap();
+    let r = db.execute_sql_row(sql).unwrap();
+    assert_eq!(v, r, "engines disagree on: {sql}");
+    v
+}
+
+fn null_db() -> Database {
+    // d=0 has only NULL a/b values; d=1 mixes; d=NULL is its own group.
+    build_db(vec![
+        (Value::Null, Value::Null, Value::Null, Value::Int(0)),
+        (Value::Null, Value::Null, Value::str("x"), Value::Int(0)),
+        (
+            Value::Int(3),
+            Value::Float(1.5),
+            Value::str("y"),
+            Value::Int(1),
+        ),
+        (Value::Null, Value::Float(2.5), Value::Null, Value::Int(1)),
+        (Value::Int(3), Value::Null, Value::str("y"), Value::Null),
+    ])
+}
+
+#[test]
+fn vectorized_aggregates_skip_nulls() {
+    let db = null_db();
+    let rs = both(
+        &db,
+        "SELECT COUNT(*), COUNT(a), COUNT(DISTINCT a), SUM(a), AVG(b), MIN(a), MAX(b) FROM t",
+    );
+    assert_eq!(
+        rs.rows[0],
+        vec![
+            Value::Int(5),     // COUNT(*) counts NULL rows
+            Value::Int(2),     // COUNT(a) skips NULLs
+            Value::Int(1),     // both non-null a's are 3
+            Value::Float(6.0), // SUM over non-null
+            Value::Float(2.0), // AVG of {1.5, 2.5}
+            Value::Int(3),     // MIN skips NULLs
+            Value::Float(2.5), // MAX skips NULLs
+        ]
+    );
+}
+
+#[test]
+fn vectorized_all_null_group_yields_null_aggregates() {
+    let db = null_db();
+    let rs = both(
+        &db,
+        "SELECT d, SUM(a), AVG(a), MIN(a), MAX(a), MEDIAN(a), STDDEV(a) FROM t \
+         WHERE d = 0 GROUP BY d",
+    );
+    assert_eq!(rs.rows.len(), 1);
+    // Group d=0 has only NULL a's: every aggregate is NULL.
+    assert_eq!(rs.rows[0][0], Value::Int(0));
+    for v in &rs.rows[0][1..] {
+        assert!(v.is_null(), "expected NULL, got {v:?}");
+    }
+}
+
+#[test]
+fn vectorized_null_group_key_forms_one_group() {
+    let db = null_db();
+    let rs = both(
+        &db,
+        "SELECT d, COUNT(*) FROM t GROUP BY d ORDER BY 2 DESC, 1",
+    );
+    // Groups: d=0 (2 rows), d=1 (2 rows), d=NULL (1 row).
+    assert_eq!(rs.rows.len(), 3);
+    let null_group = rs.rows.iter().find(|r| r[0].is_null()).unwrap();
+    assert_eq!(null_group[1], Value::Int(1));
+}
+
+#[test]
+fn vectorized_grand_aggregate_over_empty_selection() {
+    let db = null_db();
+    let rs = both(&db, "SELECT COUNT(*), SUM(a), MIN(c) FROM t WHERE d = 99");
+    assert_eq!(rs.rows, vec![vec![Value::Int(0), Value::Null, Value::Null]]);
+}
+
+#[test]
+fn vectorized_count_distinct_unifies_int_and_float() {
+    // A Float-typed column physically holding Int and Float values
+    // (Mixed representation): 1 and 1.0 must count as one value.
+    let mut db = Database::new();
+    db.create_table("m", Schema::of(&[("x", DataType::Float)]))
+        .unwrap();
+    db.insert(
+        "m",
+        vec![
+            vec![Value::Int(1)],
+            vec![Value::Float(1.0)],
+            vec![Value::Float(2.5)],
+            vec![Value::Null],
+        ],
+    )
+    .unwrap();
+    let rs = both(&db, "SELECT COUNT(DISTINCT x), COUNT(x) FROM m");
+    assert_eq!(rs.rows[0], vec![Value::Int(2), Value::Int(3)]);
+}
+
+// ---- LIMIT/OFFSET and ORDER BY regressions (both engines) ----------------
+
+#[test]
+fn limit_with_offset_past_end_is_empty() {
+    let db = null_db();
+    for sql in [
+        "SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 40",
+        "SELECT a FROM t ORDER BY a LIMIT 0",
+        "SELECT d, COUNT(*) FROM t GROUP BY d LIMIT 5 OFFSET 10",
+    ] {
+        let rs = both(&db, sql);
+        assert!(rs.rows.is_empty(), "expected empty result for: {sql}");
+    }
+}
+
+#[test]
+fn limit_offset_slices_after_order_by() {
+    let db = build_db(
+        (0..6)
+            .map(|i| {
+                (
+                    Value::Int(i),
+                    Value::Float(i as f64),
+                    Value::str("s"),
+                    Value::Int(0),
+                )
+            })
+            .collect(),
+    );
+    let rs = both(&db, "SELECT a FROM t ORDER BY a DESC LIMIT 2 OFFSET 1");
+    assert_eq!(rs.rows, vec![vec![Value::Int(4)], vec![Value::Int(3)]]);
+    // OFFSET clamps to the row count rather than panicking.
+    let rs = both(&db, "SELECT a FROM t ORDER BY a LIMIT 3 OFFSET 5");
+    assert_eq!(rs.rows, vec![vec![Value::Int(5)]]);
+}
+
+#[test]
+fn order_by_aliased_aggregate_with_limit() {
+    let db = null_db();
+    let rs = both(
+        &db,
+        "SELECT d, COUNT(*) AS n FROM t GROUP BY d ORDER BY n DESC, d LIMIT 2",
+    );
+    assert_eq!(rs.columns, vec!["d", "n"]);
+    assert_eq!(rs.rows.len(), 2);
+    // Both 2-row groups (d=0, d=1) outrank the NULL singleton.
+    assert_eq!(rs.rows[0], vec![Value::Int(0), Value::Int(2)]);
+    assert_eq!(rs.rows[1], vec![Value::Int(1), Value::Int(2)]);
+}
+
+#[test]
+fn int_comparisons_coerce_through_f64_like_sql_cmp() {
+    // sql_cmp compares Int-vs-Int through f64, so 2^53 and 2^53+1 are
+    // "equal". The vectorized kernel must reproduce that, not exact i64
+    // order.
+    let two_53 = 9_007_199_254_740_992i64; // 2^53
+    let mut db = Database::new();
+    db.create_table("big", Schema::of(&[("v", DataType::Int)]))
+        .unwrap();
+    db.insert(
+        "big",
+        vec![
+            vec![Value::Int(two_53 + 1)],
+            vec![Value::Int(two_53)],
+            vec![Value::Int(7)],
+        ],
+    )
+    .unwrap();
+    let rs = both(&db, &format!("SELECT COUNT(*) FROM big WHERE v = {two_53}"));
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+    let rs = both(&db, &format!("SELECT COUNT(*) FROM big WHERE v > {two_53}"));
+    assert_eq!(rs.rows[0][0], Value::Int(0));
+}
+
+#[test]
+fn fallible_conjunct_errors_on_both_engines() {
+    // `a = 1` is NULL (not FALSE) on the (NULL, 'x') row, so AND keeps
+    // evaluating and `c + 1` errors on the string. Conjunct narrowing
+    // must not skip that row and turn the error into an empty result.
+    let db = build_db(vec![(
+        Value::Null,
+        Value::Float(0.0),
+        Value::str("x"),
+        Value::Int(0),
+    )]);
+    let sql = "SELECT COUNT(*) FROM t WHERE a = 1 AND c + 1 > 0";
+    let v = db.execute_sql(sql);
+    let r = db.execute_sql_row(sql);
+    assert!(v.is_err(), "vectorized engine must error too, got {v:?}");
+    assert!(r.is_err());
+}
+
+// ---- routing sanity -------------------------------------------------------
+
+#[test]
+fn vectorized_path_engages_on_supported_shapes() {
+    let db = null_db();
+    for sql in [
+        "SELECT COUNT(*) FROM t WHERE a > 1",
+        "SELECT d, SUM(a) FROM t GROUP BY d",
+        "SELECT a, c FROM t WHERE c LIKE 'a%' ORDER BY a LIMIT 3",
+        "SELECT COUNT(DISTINCT c) FROM t",
+    ] {
+        let q = parse_query(sql).unwrap();
+        assert!(
+            flex_db::vexec::try_execute(&db, &q).is_some(),
+            "expected vectorized execution for: {sql}"
+        );
+    }
+}
+
+#[test]
+fn vectorized_path_declines_unsupported_shapes() {
+    let db = null_db();
+    for sql in [
+        "WITH x AS (SELECT a FROM t) SELECT COUNT(*) FROM x",
+        "SELECT COUNT(*) FROM t u JOIN t v ON u.a = v.a",
+        "SELECT a FROM t UNION SELECT d FROM t",
+        "SELECT COUNT(*) FROM (SELECT a FROM t) s",
+        "SELECT 1 + 2",
+    ] {
+        let q = parse_query(sql).unwrap();
+        assert!(
+            flex_db::vexec::try_execute(&db, &q).is_none(),
+            "expected row-engine fallback for: {sql}"
+        );
+    }
+}

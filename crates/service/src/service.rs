@@ -5,12 +5,12 @@
 //! pipeline on a pool of worker threads. Three components make it a
 //! subsystem rather than a wrapper:
 //!
-//! 1. the per-analyst [`BudgetLedger`](crate::BudgetLedger) — a request
+//! 1. the per-analyst [`BudgetLedger`] — a request
 //!    that would overspend is rejected *before* any computation;
-//! 2. the [`AnswerCache`](crate::AnswerCache) keyed on canonical ASTs — a
+//! 2. the [`AnswerCache`] keyed on canonical ASTs — a
 //!    repeated query returns the *same* released answer at zero marginal
 //!    budget;
-//! 3. [`Telemetry`](crate::Telemetry) — hit/miss/reject counters, queue
+//! 3. [`Telemetry`] — hit/miss/reject counters, queue
 //!    depth and per-stage timings, snapshotable for ops.
 //!
 //! Responses carry only noised rows; true values never leave the worker.

@@ -1,0 +1,63 @@
+//! Engine-agreement sweep over the paper's workload corpora.
+//!
+//! Every query in the Uber-like workload and the TPC-H subset must
+//! produce an identical `ResultSet` on the vectorized engine and the row
+//! interpreter (same rows, same order after ORDER BY). This is what keeps
+//! DP answers and noise seeds unchanged by engine routing: the service's
+//! release fingerprint and noise calibration consume the true results,
+//! so a single differing cell would shift every noisy answer downstream.
+
+use flex_db::Database;
+use flex_sql::parse_query;
+use flex_workloads::tpch::{self, TpchConfig};
+use flex_workloads::uber::{self, UberConfig};
+
+fn assert_engines_agree(db: &Database, sql: &str, context: &str) {
+    let q = match parse_query(sql) {
+        Ok(q) => q,
+        // Unparsable corpus entries are out of scope here.
+        Err(_) => return,
+    };
+    let vectorized = db.execute(&q);
+    let row = db.execute_row(&q);
+    match (vectorized, row) {
+        (Ok(v), Ok(r)) => assert_eq!(v, r, "engines disagree on {context}: {sql}"),
+        (Err(_), Err(_)) => {}
+        (v, r) => panic!("one engine failed on {context}: {sql}\nvectorized={v:?}\nrow={r:?}"),
+    }
+}
+
+#[test]
+fn uber_workload_queries_agree() {
+    let cfg = UberConfig {
+        trips: 4_000,
+        drivers: 300,
+        riders: 500,
+        user_tags: 300,
+        ..UberConfig::default()
+    };
+    let db = uber::generate(&cfg);
+    let workload = uber::workload(&cfg);
+    assert!(!workload.is_empty());
+    for wq in &workload {
+        assert_engines_agree(&db, &wq.sql, &format!("uber query `{}`", wq.name));
+        assert_engines_agree(
+            &db,
+            &wq.population_sql,
+            &format!("uber population query `{}`", wq.name),
+        );
+    }
+}
+
+#[test]
+fn tpch_queries_agree() {
+    let db = tpch::generate(&TpchConfig {
+        scale: 0.01,
+        ..TpchConfig::default()
+    });
+    let queries = tpch::queries();
+    assert!(!queries.is_empty());
+    for (name, sql, _) in &queries {
+        assert_engines_agree(&db, sql, &format!("tpch query `{name}`"));
+    }
+}

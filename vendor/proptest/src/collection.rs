@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::Rng as _;
 use std::ops::{Range, RangeInclusive};
 
-/// Accepted element-count specifications for [`vec`].
+/// Accepted element-count specifications for [`vec()`].
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     min: usize,

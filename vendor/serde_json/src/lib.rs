@@ -1,7 +1,9 @@
 //! Vendored stand-in for the subset of `serde_json` the workspace uses:
-//! the [`Value`] tree, the [`json!`] literal macro, and
-//! [`to_string_pretty`]. Serialization of arbitrary `Serialize` types is
-//! *not* supported — callers build `Value`s explicitly via `json!`.
+//! the [`Value`] tree, the [`json!`] literal macro, [`to_string_pretty`],
+//! and a [`from_str`] parser with the [`Value::get`]/[`Value::as_f64`]
+//! accessors (used by the benchmark-regression gate to read committed
+//! baseline files). Serialization of arbitrary `Serialize` types is *not*
+//! supported — callers build `Value`s explicitly via `json!`.
 
 use std::fmt;
 
@@ -269,6 +271,207 @@ pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
     Ok(out)
 }
 
+impl Value {
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of a number value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v as f64),
+            Value::Number(Number::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object's entries, in insertion order.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Supports the full JSON grammar except that
+/// numbers outside `i64` fall back to `f64`, and `\u` escapes must be
+/// valid scalar values (surrogate pairs are not combined).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error);
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error)
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error);
+                }
+                *pos += 1;
+                entries.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+        None => Err(Error),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error);
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let mut chars = std::str::from_utf8(&b[*pos..]).map_err(|_| Error)?.chars();
+    loop {
+        let c = chars.next().ok_or(Error)?;
+        *pos += c.len_utf8();
+        match c {
+            '"' => return Ok(out),
+            '\\' => {
+                let e = chars.next().ok_or(Error)?;
+                *pos += e.len_utf8();
+                match e {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let h = chars.next().ok_or(Error)?;
+                            *pos += h.len_utf8();
+                            code = code * 16 + h.to_digit(16).ok_or(Error)?;
+                        }
+                        out.push(char::from_u32(code).ok_or(Error)?);
+                    }
+                    _ => return Err(Error),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error)?;
+    if text.is_empty() {
+        return Err(Error);
+    }
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::Int(i)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Number(Number::Float(f)))
+        .map_err(|_| Error)
+}
+
 /// Render a [`Value`] as compact JSON.
 pub fn to_string(value: &Value) -> Result<String, Error> {
     fn write_compact(out: &mut String, v: &Value) {
@@ -367,6 +570,51 @@ macro_rules! json_entry_value {
     ([$($parsed:expr),*] $key:literal; ($($cur:tt)*) $next:tt $($rest:tt)*) => {
         $crate::json_entry_value!([$($parsed),*] $key; ($($cur)* $next) $($rest)*)
     };
+}
+
+#[cfg(test)]
+mod parse_tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_printer() {
+        let v = json!({
+            "scenarios": {"scan": {"median_ns": 1234, "speedup": 3.5}},
+            "quick": true,
+            "names": ["a", "b\nc"],
+            "none": null
+        });
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let v = from_str(r#"{"a": {"b": 2.5}, "c": [1, "x"]}"#).unwrap();
+        assert_eq!(
+            v.get("a").and_then(|a| a.get("b")).and_then(Value::as_f64),
+            Some(2.5)
+        );
+        assert_eq!(v.get("c").and_then(Value::as_array).map(Vec::len), Some(2));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1 2", "\"unterminated"] {
+            assert!(from_str(bad).is_err(), "expected parse failure for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_parse_exact_and_float() {
+        assert_eq!(from_str("42").unwrap(), Value::Number(Number::Int(42)));
+        assert_eq!(from_str("-7").unwrap(), Value::Number(Number::Int(-7)));
+        assert_eq!(
+            from_str("2.5e1").unwrap(),
+            Value::Number(Number::Float(25.0))
+        );
+    }
 }
 
 #[cfg(test)]
