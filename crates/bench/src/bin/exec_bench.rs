@@ -1,8 +1,9 @@
 //! Execution-engine microbenchmarks with a CI regression gate.
 //!
 //! Measures median ns/op for the scenarios the serving path depends on —
-//! the vectorized scan/aggregate shapes, the row-engine join path, and
-//! the service's noisy-answer cache hit — and writes `BENCH_exec.json`.
+//! the vectorized scan/aggregate shapes, the vectorized hash-join
+//! pipeline (`join-count`, `join-filter-sum`), and the service's
+//! noisy-answer cache hit — and writes `BENCH_exec.json`.
 //! Two gates can fail the run (which is what the CI `bench` job enforces
 //! on PRs):
 //!
@@ -120,7 +121,14 @@ fn main() {
             "join-count",
             "SELECT COUNT(*) FROM trips t JOIN drivers d ON t.driver_id = d.id \
              WHERE d.status = 'active'",
-            false,
+            true,
+        ),
+        (
+            "join-filter-sum",
+            "SELECT d.city_id, SUM(t.fare) FROM trips t \
+             JOIN drivers d ON t.driver_id = d.id \
+             WHERE d.status = 'active' GROUP BY d.city_id",
+            true,
         ),
     ];
 

@@ -71,6 +71,11 @@ pub struct FlexResult {
     pub timings: FlexTimings,
     /// Join count of the analyzed query.
     pub join_count: usize,
+    /// Whether the true query ran on the vectorized columnar engine
+    /// (`false` = row-interpreter fallback). Surfaced for routing
+    /// telemetry; it never affects the released values, which are
+    /// byte-identical on both engines.
+    pub vectorized: bool,
 }
 
 impl FlexResult {
@@ -179,7 +184,8 @@ fn run_query_timed<R: Rng + ?Sized>(
 
     // --- Stage 2: execute the unmodified query on the database. ---
     let t_exec = Instant::now();
-    let truth: ResultSet = db.execute(q)?;
+    let (vectorized, truth) = db.execute_traced(q);
+    let truth: ResultSet = truth?;
     let execution = t_exec.elapsed();
 
     // --- Stage 3: smooth sensitivity + Laplace perturbation. ---
@@ -223,6 +229,7 @@ fn run_query_timed<R: Rng + ?Sized>(
             perturbation,
         },
         join_count: analysis.join_count,
+        vectorized,
     })
 }
 

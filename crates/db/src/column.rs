@@ -18,6 +18,11 @@
 use crate::table::Row;
 use crate::value::Value;
 
+/// Sentinel row index meaning "no source row" in a gather index vector:
+/// [`Column::gather`] fills such slots with NULL. Used by the vectorized
+/// join pipeline for the NULL-padded side of LEFT JOIN rows.
+pub const GATHER_NULL: u32 = u32::MAX;
+
 /// A bitmap marking NULL slots of a column (1 bit per row, set = NULL).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct NullMask {
@@ -31,6 +36,14 @@ impl NullMask {
         NullMask {
             words: vec![0u64; len.div_ceil(64)],
             count: 0,
+        }
+    }
+
+    /// An all-NULL mask for `len` rows.
+    pub fn all_null(len: usize) -> Self {
+        NullMask {
+            words: vec![!0u64; len.div_ceil(64)],
+            count: len,
         }
     }
 
@@ -117,6 +130,83 @@ impl Column {
         }
     }
 
+    /// Gather rows by index into a new column: output slot `k` holds the
+    /// value of row `idxs[k]`, and slots where `idxs[k] == GATHER_NULL`
+    /// become NULL. This is the late-materialization primitive of the
+    /// vectorized join pipeline: joined values are only ever gathered for
+    /// the columns the query actually touches, after all filtering.
+    pub fn gather(&self, idxs: &[u32]) -> Column {
+        let mut nulls = NullMask::new(idxs.len());
+        let has_nulls = self.nulls.any();
+        for (k, &i) in idxs.iter().enumerate() {
+            if i == GATHER_NULL || (has_nulls && self.nulls.is_null(i as usize)) {
+                nulls.set(k);
+            }
+        }
+        // Typed vectors keep an arbitrary placeholder in NULL slots (the
+        // mask is authoritative), exactly like `from_rows`.
+        let data = match &self.data {
+            ColumnData::Int64(xs) => ColumnData::Int64(
+                idxs.iter()
+                    .map(|&i| if i == GATHER_NULL { 0 } else { xs[i as usize] })
+                    .collect(),
+            ),
+            ColumnData::Float64(xs) => ColumnData::Float64(
+                idxs.iter()
+                    .map(|&i| {
+                        if i == GATHER_NULL {
+                            0.0
+                        } else {
+                            xs[i as usize]
+                        }
+                    })
+                    .collect(),
+            ),
+            ColumnData::Bool(bs) => ColumnData::Bool(
+                idxs.iter()
+                    .map(|&i| i != GATHER_NULL && bs[i as usize])
+                    .collect(),
+            ),
+            ColumnData::Str(ss) => ColumnData::Str(
+                idxs.iter()
+                    .map(|&i| {
+                        if i == GATHER_NULL {
+                            String::new()
+                        } else {
+                            ss[i as usize].clone()
+                        }
+                    })
+                    .collect(),
+            ),
+            ColumnData::Mixed(vs) => ColumnData::Mixed(
+                idxs.iter()
+                    .map(|&i| {
+                        if i == GATHER_NULL {
+                            Value::Null
+                        } else {
+                            vs[i as usize].clone()
+                        }
+                    })
+                    .collect(),
+            ),
+        };
+        Column { data, nulls }
+    }
+
+    /// An all-NULL column of `len` rows, used for the *dead* columns of a
+    /// late-materialized join result (columns the query never touches).
+    ///
+    /// The backing vector is intentionally empty: every accessor consults
+    /// the null mask first (which marks every row NULL), so the data is
+    /// never indexed. Only the [`ColumnarTable`]'s own `len()` is
+    /// meaningful for such a column.
+    pub fn all_null(len: usize) -> Column {
+        Column {
+            data: ColumnData::Int64(Vec::new()),
+            nulls: NullMask::all_null(len),
+        }
+    }
+
     /// Build a column from the `col`-th field of each row.
     fn from_rows(rows: &[Row], col: usize) -> Column {
         let mut nulls = NullMask::new(rows.len());
@@ -185,6 +275,13 @@ impl ColumnarTable {
             columns: (0..arity).map(|c| Column::from_rows(rows, c)).collect(),
             len: rows.len(),
         }
+    }
+
+    /// Assemble a table from pre-built columns (each of `len` rows, or
+    /// [`Column::all_null`] placeholders) — the output shape of the join
+    /// pipeline's late materialization.
+    pub fn from_columns(columns: Vec<Column>, len: usize) -> ColumnarTable {
+        ColumnarTable { columns, len }
     }
 
     /// Number of rows.
@@ -259,6 +356,52 @@ mod tests {
         let empty = ColumnarTable::from_rows(&[], 2);
         assert_eq!(empty.len(), 0);
         assert_eq!(empty.columns.len(), 2);
+    }
+
+    #[test]
+    fn gather_reorders_duplicates_and_pads_nulls() {
+        let rows = vec![
+            vec![Value::Int(10), Value::str("a")],
+            vec![Value::Null, Value::str("b")],
+            vec![Value::Int(30), Value::Null],
+        ];
+        let t = ColumnarTable::from_rows(&rows, 2);
+        let idxs = [2u32, 0, 0, GATHER_NULL, 1];
+        let g0 = t.columns[0].gather(&idxs);
+        assert_eq!(g0.value(0), Value::Int(30));
+        assert_eq!(g0.value(1), Value::Int(10));
+        assert_eq!(g0.value(2), Value::Int(10));
+        assert_eq!(g0.value(3), Value::Null); // GATHER_NULL pad
+        assert_eq!(g0.value(4), Value::Null); // source NULL
+        let g1 = t.columns[1].gather(&idxs);
+        assert_eq!(g1.value(0), Value::Null);
+        assert_eq!(g1.value(3), Value::Null);
+        assert_eq!(g1.value(4), Value::str("b"));
+    }
+
+    #[test]
+    fn gather_mixed_column_preserves_values() {
+        let rows = vec![
+            vec![Value::Int(1)],
+            vec![Value::Float(2.5)],
+            vec![Value::Null],
+        ];
+        let t = ColumnarTable::from_rows(&rows, 1);
+        let g = t.columns[0].gather(&[1, GATHER_NULL, 0]);
+        assert_eq!(g.value(0), Value::Float(2.5));
+        assert_eq!(g.value(1), Value::Null);
+        assert_eq!(g.value(2), Value::Int(1));
+    }
+
+    #[test]
+    fn all_null_column_reads_null_everywhere() {
+        let c = Column::all_null(70);
+        assert!(c.is_null(0) && c.is_null(69));
+        assert_eq!(c.value(69), Value::Null);
+        assert_eq!(c.nulls.null_count(), 70);
+        let t = ColumnarTable::from_columns(vec![c], 70);
+        assert_eq!(t.len(), 70);
+        assert_eq!(t.row(3), vec![Value::Null]);
     }
 
     #[test]

@@ -119,6 +119,13 @@ impl Database {
         exec::execute(self, q)
     }
 
+    /// Like [`Database::execute`], but also report which engine ran
+    /// (`true` = vectorized columnar) so callers can observe fast-path
+    /// coverage without a separate planning pass.
+    pub fn execute_traced(&self, q: &Query) -> (bool, Result<ResultSet>) {
+        exec::execute_traced(self, q)
+    }
+
     /// Execute a parsed query on the row interpreter only, bypassing the
     /// vectorized engine. Intended for differential tests and benchmarks.
     pub fn execute_row(&self, q: &Query) -> Result<ResultSet> {
@@ -129,6 +136,13 @@ impl Database {
     pub fn execute_sql_row(&self, sql: &str) -> Result<ResultSet> {
         let q = parse_query(sql)?;
         self.execute_row(&q)
+    }
+
+    /// Whether [`Database::execute`] would route `q` to the vectorized
+    /// columnar engine (`true`) or fall back to the row interpreter
+    /// (`false`). Plans but does not execute; used for routing telemetry.
+    pub fn routes_vectorized(&self, q: &Query) -> bool {
+        exec::routes_vectorized(self, q)
     }
 }
 

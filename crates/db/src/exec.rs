@@ -10,10 +10,14 @@
 //!
 //! [`execute`] is the single entry point. It first offers the query to the
 //! vectorized engine ([`crate::vexec`]), which accepts single-table
-//! SELECT/WHERE/GROUP BY blocks and declines (returns `None`) everything
-//! else — CTEs, set operations, joins, derived tables, table-less selects.
-//! Declined queries run on the row interpreter below. The two engines
-//! share the expression compiler (`Exec::compile_scalar`,
+//! SELECT/WHERE/GROUP BY blocks and two-table INNER/LEFT equi-joins
+//! (run as a columnar hash join with predicate pushdown and late
+//! materialization — see [`crate::plan`]), and declines (returns `None`)
+//! everything else — CTEs, set operations, RIGHT/FULL/CROSS and non-equi
+//! joins, >2-table join trees, derived tables, table-less selects.
+//! Declined queries run on the row interpreter below;
+//! [`routes_vectorized`] exposes the decision for telemetry. The two
+//! engines share the expression compiler (`Exec::compile_scalar`,
 //! `GroupCompiler`) and the post-projection tail (ORDER BY / DISTINCT /
 //! LIMIT handling), so every query produces identical results on both —
 //! see `vexec`'s module docs for the exact contract.
@@ -34,10 +38,18 @@ use std::collections::{HashMap, HashSet};
 /// Execute a parsed query against a database, routing vectorizable query
 /// blocks to the columnar engine and the rest to the row interpreter.
 pub fn execute(db: &Database, q: &Query) -> Result<ResultSet> {
-    if let Some(result) = crate::vexec::try_execute(db, q) {
-        return result;
+    execute_traced(db, q).1
+}
+
+/// Like [`execute`], but also report which engine ran (`true` =
+/// vectorized columnar). This is the routing decision itself, not a
+/// re-plan — callers that want fast-path coverage telemetry (e.g. the
+/// query service) read it at zero extra cost.
+pub fn execute_traced(db: &Database, q: &Query) -> (bool, Result<ResultSet>) {
+    match crate::vexec::try_execute(db, q) {
+        Some(result) => (true, result),
+        None => (false, execute_row(db, q)),
     }
-    execute_row(db, q)
 }
 
 /// Execute a parsed query on the row interpreter only (no vectorization).
@@ -46,6 +58,14 @@ pub fn execute(db: &Database, q: &Query) -> Result<ResultSet> {
 pub fn execute_row(db: &Database, q: &Query) -> Result<ResultSet> {
     let mut exec = Exec::new(db);
     exec.query(q).map(ResultSet::from)
+}
+
+/// Whether [`execute`] routes `q` to the vectorized columnar engine
+/// (`true`) or the row interpreter (`false`). Costs a planning pass but
+/// executes nothing; used by service telemetry to track fast-path
+/// coverage in production.
+pub fn routes_vectorized(db: &Database, q: &Query) -> bool {
+    crate::vexec::accepts(db, q)
 }
 
 pub(crate) struct Exec<'a> {

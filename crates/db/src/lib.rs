@@ -15,12 +15,15 @@
 //! predicates.
 //!
 //! Queries run on one of **two engines** behind [`Database::execute`]:
-//! single-table SELECT/WHERE/GROUP BY blocks go to the vectorized
-//! columnar engine ([`vexec`], scanning each table's lazily built
-//! [`ColumnarTable`] projection with predicate kernels and a columnar
+//! single-table SELECT/WHERE/GROUP BY blocks and two-table INNER/LEFT
+//! equi-joins go to the vectorized columnar engine ([`vexec`], scanning
+//! each table's lazily built [`ColumnarTable`] projection with predicate
+//! kernels, a columnar hash join with predicate pushdown and late
+//! materialization — physical plans in [`plan`] — and a columnar
 //! hash-aggregate), and everything else runs on the row interpreter
 //! ([`exec`]). Both produce byte-identical results — see [`vexec`]'s
-//! module docs for the routing contract.
+//! module docs for the routing contract, and
+//! [`Database::routes_vectorized`] to observe the routing decision.
 //!
 //! ```
 //! use flex_db::{Database, DataType, Schema, Value};

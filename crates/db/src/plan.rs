@@ -1,8 +1,45 @@
-//! Intermediate relations flowing between execution operators.
+//! Intermediate relations flowing between execution operators, plus the
+//! physical-plan layer for the vectorized join pipeline.
+//!
+//! # Physical join plans
+//!
+//! `JoinPlan` describes a two-table equi-join as the columnar engine
+//! runs it: `scan → filter → hash-join → post-filter → late
+//! materialization → aggregate/project`. `plan_equi_join` builds one
+//! from a SELECT block, splitting the WHERE clause into per-table
+//! conjuncts pushed below the join plus a residual, under rules that keep
+//! the result — rows, order, NULLs, *and errors* — byte-identical to the
+//! row interpreter:
+//!
+//! - Only **infallible kernel conjuncts** (`col op literal`, `IS NULL`,
+//!   `LIKE` on a string column — see `vexec::kernelizable`) are ever
+//!   pushed or reordered. Any fallible conjunct pins the whole predicate
+//!   it belongs to at its row-engine evaluation point, in original order,
+//!   so runtime errors surface from the same row on both engines.
+//! - ON-clause residual kernels push to their side for INNER joins; for
+//!   LEFT joins only the right side may be pushed (a left row failing a
+//!   left-side ON conjunct is *unmatchable*, not droppable — it must
+//!   still be NULL-padded), so left-side kernels become match kernels.
+//! - WHERE kernels push below an INNER join on both sides, and below a
+//!   LEFT join on the left side only; right-side WHERE kernels of a LEFT
+//!   join apply *after* the join so NULL-padded rows keep the row
+//!   engine's padding semantics (`w > 5` drops pads, `w IS NULL` keeps
+//!   them). WHERE pushdown below the join additionally requires the ON
+//!   residual to be all-kernel: shrinking the candidate pair set under a
+//!   fallible ON residual could skip an error the row engine reports.
+//! - Everything the plan cannot express falls back: the caller returns
+//!   `None` and the row interpreter runs the query unchanged.
 
+use crate::column::ColumnarTable;
 use crate::error::{DbError, Result};
+use crate::exec::{output_name, Exec};
+use crate::expr::CompiledExpr;
 use crate::table::Row;
-use flex_sql::ColumnRef;
+use crate::vexec::{collect_conjuncts, side_kernel};
+use flex_sql::{
+    visitor, ColumnRef, Expr, JoinConstraint, JoinType, Literal, OrderByItem, Query, Select,
+    SelectItem,
+};
 
 /// Metadata for one column of an intermediate relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +130,239 @@ impl ResultSet {
             Some(&self.rows[0][0])
         } else {
             None
+        }
+    }
+}
+
+// ---- physical plan for the vectorized join pipeline ----------------------
+
+/// Which side of a join a single-column kernel conjunct reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JoinSide {
+    Left,
+    Right,
+}
+
+/// Physical plan for a two-table equi-join run by the columnar engine
+/// (`vexec`). All kernels are rebased to *side-local* column indices;
+/// `join_residual` and `post_filter` stay in the combined scope
+/// `left.cols ++ right.cols` and run on the shared scalar interpreter.
+pub(crate) struct JoinPlan {
+    pub join_type: JoinType,
+    /// Equi-key column pairs as (left-local, right-local) indices.
+    /// Never empty — keyless joins fall back to the row engine.
+    pub key_pairs: Vec<(usize, usize)>,
+    /// Infallible kernels narrowing the left scan before the join.
+    pub pushed_left: Vec<CompiledExpr>,
+    /// Infallible kernels narrowing the right scan before the join.
+    pub pushed_right: Vec<CompiledExpr>,
+    /// LEFT JOIN only: left-side ON kernels. A left row failing one has
+    /// no match (it is NULL-padded), but is not dropped from the scan.
+    pub left_match_kernels: Vec<CompiledExpr>,
+    /// Fallible ON conjuncts, evaluated per candidate pair in ON order on
+    /// the shared interpreter — exactly the row engine's residual check.
+    pub join_residual: Vec<CompiledExpr>,
+    /// Infallible WHERE kernels applied to the joined match vectors
+    /// (LEFT-join right-side predicates land here so NULL padding keeps
+    /// row-engine semantics).
+    pub post_kernels: Vec<(JoinSide, CompiledExpr)>,
+    /// The whole WHERE predicate when any conjunct lacks a kernel:
+    /// interpreted over joined rows in output order, preserving
+    /// short-circuit and error behavior exactly.
+    pub post_filter: Option<CompiledExpr>,
+    /// Combined columns the query reads after the join (projection,
+    /// grouping, HAVING, ORDER BY). Only these are materialized; dead
+    /// columns become cheap all-NULL placeholders.
+    pub live_cols: Vec<bool>,
+}
+
+/// Plan a two-table equi-join for the vectorized pipeline, or `None` if
+/// the shape must fall back to the row engine (no equi keys, or a scope
+/// error the row interpreter will re-derive and report identically).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn plan_equi_join(
+    ex: &mut Exec<'_>,
+    q: &Query,
+    s: &Select,
+    join_type: JoinType,
+    constraint: &JoinConstraint,
+    left_cols: &[ColMeta],
+    right_cols: &[ColMeta],
+    ltab: &ColumnarTable,
+    rtab: &ColumnarTable,
+) -> Option<JoinPlan> {
+    debug_assert!(matches!(join_type, JoinType::Inner | JoinType::Left));
+    let lw = left_cols.len();
+    let left_rel = Relation::new(left_cols.to_vec(), Vec::new());
+    let right_rel = Relation::new(right_cols.to_vec(), Vec::new());
+    let mut combined = left_cols.to_vec();
+    combined.extend(right_cols.iter().cloned());
+
+    // Equi-key extraction, mirroring the row engine's `join` exactly
+    // (same resolution order, same leftovers going to the residual).
+    let mut key_pairs: Vec<(usize, usize)> = Vec::new();
+    let mut on_rest: Vec<&Expr> = Vec::new();
+    match constraint {
+        JoinConstraint::None => return None,
+        JoinConstraint::Using(cols) => {
+            for name in cols {
+                let cr = ColumnRef::bare(name.clone());
+                let li = left_rel.resolve(&cr).ok()?;
+                let ri = right_rel.resolve(&cr).ok()?;
+                key_pairs.push((li, ri));
+            }
+        }
+        JoinConstraint::On(on) => {
+            for conjunct in on.conjuncts() {
+                if let Some((a, b)) = conjunct.as_column_equality() {
+                    match (left_rel.resolve(a), right_rel.resolve(b)) {
+                        (Ok(li), Ok(ri)) => {
+                            key_pairs.push((li, ri));
+                            continue;
+                        }
+                        _ => {
+                            if let (Ok(li), Ok(ri)) = (left_rel.resolve(b), right_rel.resolve(a)) {
+                                key_pairs.push((li, ri));
+                                continue;
+                            }
+                        }
+                    }
+                }
+                on_rest.push(conjunct);
+            }
+        }
+    }
+    if key_pairs.is_empty() {
+        return None;
+    }
+
+    let mut on_compiled = Vec::with_capacity(on_rest.len());
+    for c in &on_rest {
+        on_compiled.push(ex.compile_scalar(c, &combined).ok()?);
+    }
+
+    let mut plan = JoinPlan {
+        join_type,
+        key_pairs,
+        pushed_left: Vec::new(),
+        pushed_right: Vec::new(),
+        left_match_kernels: Vec::new(),
+        join_residual: Vec::new(),
+        post_kernels: Vec::new(),
+        post_filter: None,
+        live_cols: vec![false; combined.len()],
+    };
+
+    // ON residual: push only when *every* conjunct has a kernel — a
+    // fallible conjunct must keep seeing the full candidate pair set.
+    let on_kernels: Option<Vec<_>> = on_compiled
+        .iter()
+        .map(|e| side_kernel(e, lw, ltab, rtab))
+        .collect();
+    // (An empty residual collects to `Some(vec![])`, so this also covers
+    // the pure-equi-join case.)
+    let push_on = on_kernels.is_some();
+    match on_kernels {
+        Some(kernels) => {
+            for (side, k) in kernels {
+                match (side, join_type) {
+                    (JoinSide::Right, _) => plan.pushed_right.push(k),
+                    (JoinSide::Left, JoinType::Inner) => plan.pushed_left.push(k),
+                    (JoinSide::Left, _) => plan.left_match_kernels.push(k),
+                }
+            }
+        }
+        None => plan.join_residual = on_compiled,
+    }
+
+    // WHERE: all-kernel predicates split per side; anything else runs
+    // whole, post-join, on the interpreter.
+    if let Some(pred) = &s.selection {
+        let compiled = ex.compile_scalar(pred, &combined).ok()?;
+        let mut conjuncts = Vec::new();
+        collect_conjuncts(&compiled, &mut conjuncts);
+        let kernels: Option<Vec<_>> = conjuncts
+            .iter()
+            .map(|e| side_kernel(e, lw, ltab, rtab))
+            .collect();
+        match kernels {
+            Some(kernels) => {
+                for (side, k) in kernels {
+                    match (side, join_type) {
+                        // Pushing below the join is only sound when the
+                        // join's own residual is infallible.
+                        (JoinSide::Left, _) if push_on => plan.pushed_left.push(k),
+                        (JoinSide::Right, JoinType::Inner) if push_on => plan.pushed_right.push(k),
+                        (side, _) => plan.post_kernels.push((side, k)),
+                    }
+                }
+            }
+            None => plan.post_filter = Some(compiled),
+        }
+    }
+
+    mark_live_columns(
+        q,
+        s,
+        &Relation::new(combined, Vec::new()),
+        &mut plan.live_cols,
+    );
+    Some(plan)
+}
+
+/// Mark every combined column the query can read *after* the join —
+/// projection, GROUP BY, HAVING and ORDER BY. Over-marking is harmless
+/// (an extra gather); under-marking never happens: a reference that does
+/// not resolve here fails compilation in the shared tail before any row
+/// is touched, and wildcards mark whole sides.
+fn mark_live_columns(q: &Query, s: &Select, combined: &Relation, live: &mut [bool]) {
+    let mark_expr = |e: &Expr, live: &mut [bool]| {
+        visitor::walk_expr(e, &mut |sub| {
+            if let Expr::Column(c) = sub {
+                if let Ok(i) = combined.resolve(c) {
+                    live[i] = true;
+                }
+            }
+        });
+    };
+
+    // Output column names, for ORDER BY items that resolve to an output
+    // position (those never read input columns). Mirrors
+    // `exec::output_name` on explicit projection items.
+    let mut out_names: Vec<String> = Vec::new();
+    for item in &s.projection {
+        match item {
+            SelectItem::Wildcard => {
+                live.iter_mut().for_each(|l| *l = true);
+                return; // everything is live already
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                for (i, c) in combined.cols.iter().enumerate() {
+                    if c.qualifier.as_deref() == Some(q.as_str()) {
+                        live[i] = true;
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                out_names.push(output_name(expr, alias.as_deref()));
+                mark_expr(expr, live);
+            }
+        }
+    }
+    for g in &s.group_by {
+        mark_expr(g, live);
+    }
+    if let Some(h) = &s.having {
+        mark_expr(h, live);
+    }
+    for OrderByItem { expr, .. } in &q.order_by {
+        match expr {
+            // Positional (`ORDER BY 2`) reads no input column.
+            Expr::Literal(Literal::Integer(_)) => {}
+            // A bare name matching an output column sorts on the output
+            // value, exactly like `exec::sort_key_by_output`.
+            Expr::Column(c) if c.qualifier.is_none() && out_names.contains(&c.name) => {}
+            other => mark_expr(other, live),
         }
     }
 }

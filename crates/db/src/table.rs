@@ -2,6 +2,7 @@
 
 use crate::column::ColumnarTable;
 use crate::error::Result;
+use crate::plan::ColMeta;
 use crate::schema::Schema;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
@@ -75,6 +76,18 @@ impl Table {
     pub fn columnar(&self) -> &Arc<ColumnarTable> {
         self.columnar
             .get_or_init(|| Arc::new(ColumnarTable::from_rows(&self.rows, self.schema.len())))
+    }
+
+    /// The schema columns as scope metadata qualified by `qualifier` (the
+    /// table's alias, or its name) — exactly what the row engine builds
+    /// when it scans this table, shared so the vectorized engine resolves
+    /// column references identically.
+    pub fn col_metas(&self, qualifier: &str) -> Vec<ColMeta> {
+        self.schema
+            .columns
+            .iter()
+            .map(|c| ColMeta::new(Some(qualifier.to_string()), c.name.clone()))
+            .collect()
     }
 
     /// All values of the named column (including NULLs), if it exists.

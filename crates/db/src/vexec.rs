@@ -11,12 +11,20 @@
 //!
 //! # Routing contract
 //!
-//! [`try_execute`] accepts a query iff it is a single SELECT block over
-//! one base table: no CTEs, no set operations, no joins, no derived
-//! tables, no table-less SELECT. Everything else returns `None` and runs
-//! on the row interpreter ([`crate::exec`]). Within an accepted query,
-//! sub-shapes the columnar operators don't cover degrade gracefully
-//! rather than bailing out:
+//! [`try_execute`] accepts a query iff it is a single SELECT block (no
+//! CTEs, no set operations, no table-less SELECT) whose FROM clause is
+//! either **one base table** or a **two-base-table INNER/LEFT equi-join**
+//! that the planner in [`crate::plan`] accepts (at least one equi-key
+//! pair extracted from ON/USING). Everything else — RIGHT/FULL/CROSS
+//! joins, non-equi and keyless joins, >2-table join trees, derived
+//! tables — returns `None` and runs on the row interpreter
+//! ([`crate::exec`]). Joined queries run the columnar pipeline described
+//! in [`crate::plan`]: per-side scans narrowed by pushed-down predicate
+//! kernels, a columnar hash join producing `(left, right)` match index
+//! vectors, post-join kernels/residuals, then **late materialization** —
+//! only columns the query reads are gathered into the joined table.
+//! Within an accepted query, sub-shapes the columnar operators don't
+//! cover degrade gracefully rather than bailing out:
 //!
 //! - WHERE predicates containing any conjunct without a kernel (e.g.
 //!   arbitrary CASE or arithmetic) are evaluated whole by the shared
@@ -40,22 +48,48 @@
 //! than group order; whether a query errors is still identical.
 
 use crate::aggregate::{self, AggFunc, AggSpec};
-use crate::column::{Column, ColumnData, ColumnarTable};
+use crate::column::{Column, ColumnData, ColumnarTable, GATHER_NULL};
 use crate::database::Database;
 use crate::error::{DbError, Result};
 use crate::exec::{self, Exec, GroupCompiler, SortKey};
 use crate::expr::{like_match, CompiledExpr};
-use crate::plan::{ColMeta, Relation, ResultSet};
+use crate::plan::{self, ColMeta, JoinPlan, JoinSide, Relation, ResultSet};
 use crate::table::{Row, Table};
 use crate::value::{RowKey, Value, ValueKey};
-use flex_sql::{BinaryOperator, OrderByItem, Query, Select, SelectItem, SetExpr, TableRef};
+use flex_sql::{
+    BinaryOperator, JoinType, OrderByItem, Query, Select, SelectItem, SetExpr, TableRef,
+};
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
-/// Execute `q` on the vectorized engine if it is vectorizable, else
-/// `None` (the caller falls back to the row interpreter).
-pub fn try_execute(db: &Database, q: &Query) -> Option<Result<ResultSet>> {
+/// A planned vectorized execution of one query.
+enum Route<'a> {
+    /// Single-table scan/filter/aggregate block.
+    Single {
+        s: &'a Select,
+        table: &'a Table,
+        qualifier: &'a str,
+    },
+    /// Two-table equi-join pipeline.
+    Join(Box<JoinRoute<'a>>),
+}
+
+struct JoinRoute<'a> {
+    s: &'a Select,
+    plan: JoinPlan,
+    /// Combined scope `left.cols ++ right.cols`, qualified like the row
+    /// engine's join output.
+    cols: Vec<ColMeta>,
+    ltab: Arc<ColumnarTable>,
+    rtab: Arc<ColumnarTable>,
+}
+
+/// Decide whether (and how) the vectorized engine runs `q`. `None` means
+/// the row interpreter handles it — including shapes where planning hits
+/// a scope error the row engine will re-derive and report identically.
+fn route<'a>(db: &'a Database, q: &'a Query) -> Option<Route<'a>> {
     if !q.ctes.is_empty() {
         return None;
     }
@@ -63,23 +97,97 @@ pub fn try_execute(db: &Database, q: &Query) -> Option<Result<ResultSet>> {
         SetExpr::Select(s) => s,
         SetExpr::SetOp { .. } => return None,
     };
-    let (name, alias) = match s.from.as_ref()? {
-        TableRef::Table { name, alias } => (name, alias),
-        _ => return None,
-    };
-    // Unknown tables fall back so the row engine reports the error.
-    let table = db.table(name)?;
-    let qualifier = alias.as_deref().unwrap_or(name);
-    Some(run(db, q, s, table, qualifier))
+    match s.from.as_ref()? {
+        TableRef::Table { name, alias } => {
+            // Unknown tables fall back so the row engine reports the error.
+            let table = db.table(name)?;
+            Some(Route::Single {
+                s,
+                table,
+                qualifier: alias.as_deref().unwrap_or(name),
+            })
+        }
+        TableRef::Join {
+            left,
+            right,
+            join_type,
+            constraint,
+        } => {
+            if !matches!(join_type, JoinType::Inner | JoinType::Left) {
+                return None;
+            }
+            let (
+                TableRef::Table {
+                    name: lname,
+                    alias: lalias,
+                },
+                TableRef::Table {
+                    name: rname,
+                    alias: ralias,
+                },
+            ) = (&**left, &**right)
+            else {
+                return None;
+            };
+            let lt = db.table(lname)?;
+            let rt = db.table(rname)?;
+            // Selection vectors are u32 with GATHER_NULL as a sentinel.
+            if lt.len() >= GATHER_NULL as usize || rt.len() >= GATHER_NULL as usize {
+                return None;
+            }
+            let left_cols = lt.col_metas(lalias.as_deref().unwrap_or(lname));
+            let right_cols = rt.col_metas(ralias.as_deref().unwrap_or(rname));
+            let ltab = lt.columnar().clone();
+            let rtab = rt.columnar().clone();
+            let mut ex = Exec::new(db);
+            let plan = plan::plan_equi_join(
+                &mut ex,
+                q,
+                s,
+                *join_type,
+                constraint,
+                &left_cols,
+                &right_cols,
+                &ltab,
+                &rtab,
+            )?;
+            let mut cols = left_cols;
+            cols.extend(right_cols);
+            Some(Route::Join(Box::new(JoinRoute {
+                s,
+                plan,
+                cols,
+                ltab,
+                rtab,
+            })))
+        }
+        TableRef::Derived { .. } => None,
+    }
+}
+
+/// Execute `q` on the vectorized engine if it is vectorizable, else
+/// `None` (the caller falls back to the row interpreter).
+pub fn try_execute(db: &Database, q: &Query) -> Option<Result<ResultSet>> {
+    match route(db, q)? {
+        Route::Single {
+            s,
+            table,
+            qualifier,
+        } => Some(run(db, q, s, table, qualifier)),
+        Route::Join(j) => Some(run_join(db, q, &j)),
+    }
+}
+
+/// Whether [`try_execute`] would accept `q` — i.e. whether
+/// [`crate::exec::execute`] routes it to the columnar engine. Exposed so
+/// callers (e.g. service telemetry) can observe fast-path coverage
+/// without executing anything.
+pub fn accepts(db: &Database, q: &Query) -> bool {
+    route(db, q).is_some()
 }
 
 fn run(db: &Database, q: &Query, s: &Select, table: &Table, qualifier: &str) -> Result<ResultSet> {
-    let cols: Vec<ColMeta> = table
-        .schema
-        .columns
-        .iter()
-        .map(|c| ColMeta::new(Some(qualifier.to_string()), c.name.clone()))
-        .collect();
+    let cols = table.col_metas(qualifier);
     let ctab = table.columnar().clone();
     let mut ex = Exec::new(db);
 
@@ -92,21 +200,35 @@ fn run(db: &Database, q: &Query, s: &Select, table: &Table, qualifier: &str) -> 
         }
         None => all,
     };
+    finish_block(&mut ex, q, s, cols, &ctab, &sel)
+}
 
+/// Everything downstream of the scan/filter/join: the columnar
+/// hash-aggregate when eligible, otherwise row gathering plus the row
+/// engine's grouping/projection, then the shared LIMIT/OFFSET tail.
+/// Shared by the single-table and join pipelines.
+fn finish_block(
+    ex: &mut Exec<'_>,
+    q: &Query,
+    s: &Select,
+    cols: Vec<ColMeta>,
+    ctab: &ColumnarTable,
+    sel: &[u32],
+) -> Result<ResultSet> {
     let mut rel = if Exec::has_aggregates(s) {
-        match grouped_fast(&mut ex, s, &cols, &ctab, &sel, &q.order_by) {
+        match grouped_fast(ex, s, &cols, ctab, sel, &q.order_by) {
             Some(result) => result?,
             // Group keys or aggregate args are not plain columns: gather
             // the filtered rows and run the row engine's grouping on them.
             None => {
-                let input = Relation::new(cols, gather_rows(&ctab, &sel));
+                let input = Relation::new(cols, gather_rows(ctab, sel));
                 ex.select_after_where(s, input, &q.order_by)?
             }
         }
     } else {
         // Plain projection: the filter ran columnar, the rest is the row
         // engine's projection over only the surviving rows.
-        let input = Relation::new(cols, gather_rows(&ctab, &sel));
+        let input = Relation::new(cols, gather_rows(ctab, sel));
         ex.select_after_where(s, input, &q.order_by)?
     };
     exec::apply_limit_offset(&mut rel, q.limit, q.offset);
@@ -148,7 +270,7 @@ fn filter(ctab: &ColumnarTable, pred: &CompiledExpr, mut sel: Vec<u32>) -> Resul
 }
 
 /// Does this conjunct have an infallible columnar kernel?
-fn kernelizable(ctab: &ColumnarTable, e: &CompiledExpr) -> bool {
+pub(crate) fn kernelizable(ctab: &ColumnarTable, e: &CompiledExpr) -> bool {
     match e {
         CompiledExpr::Binary { op, left, right } if op.is_comparison() => matches!(
             (&**left, &**right),
@@ -168,7 +290,7 @@ fn kernelizable(ctab: &ColumnarTable, e: &CompiledExpr) -> bool {
     }
 }
 
-fn collect_conjuncts<'e>(e: &'e CompiledExpr, out: &mut Vec<&'e CompiledExpr>) {
+pub(crate) fn collect_conjuncts<'e>(e: &'e CompiledExpr, out: &mut Vec<&'e CompiledExpr>) {
     if let CompiledExpr::Binary {
         op: BinaryOperator::And,
         left,
@@ -184,13 +306,26 @@ fn collect_conjuncts<'e>(e: &'e CompiledExpr, out: &mut Vec<&'e CompiledExpr>) {
 
 /// Run one [`kernelizable`] conjunct over the selection.
 fn apply_kernel(ctab: &ColumnarTable, e: &CompiledExpr, sel: Vec<u32>) -> Vec<u32> {
+    let pred = kernel_predicate(ctab, e);
+    sel.into_iter().filter(|&i| pred(i as usize)).collect()
+}
+
+/// Row predicate for one [`kernelizable`] conjunct: `true` iff the row
+/// passes. NULL rows never pass comparisons or LIKE (SQL filter
+/// semantics); `IS [NOT] NULL` follows its negation. The type dispatch
+/// happens once here, so callers can apply the returned closure across
+/// selection vectors or join match vectors alike.
+pub(crate) fn kernel_predicate<'a>(
+    ctab: &'a ColumnarTable,
+    e: &'a CompiledExpr,
+) -> Box<dyn Fn(usize) -> bool + 'a> {
     match e {
         CompiledExpr::Binary { op, left, right } if op.is_comparison() => {
             if let (CompiledExpr::Column(c), CompiledExpr::Literal(v)) = (&**left, &**right) {
-                return cmp_kernel(&ctab.columns[*c], *op, v, &sel);
+                return cmp_predicate(&ctab.columns[*c], *op, v);
             }
             if let (CompiledExpr::Literal(v), CompiledExpr::Column(c)) = (&**left, &**right) {
-                return cmp_kernel(&ctab.columns[*c], flip(*op), v, &sel);
+                return cmp_predicate(&ctab.columns[*c], flip(*op), v);
             }
             unreachable!("kernelizable comparison without column/literal shape")
         }
@@ -199,9 +334,8 @@ fn apply_kernel(ctab: &ColumnarTable, e: &CompiledExpr, sel: Vec<u32>) -> Vec<u3
                 unreachable!("kernelizable IS NULL without a column")
             };
             let col = &ctab.columns[*c];
-            sel.into_iter()
-                .filter(|&i| col.is_null(i as usize) != *negated)
-                .collect()
+            let negated = *negated;
+            Box::new(move |i| col.is_null(i) != negated)
         }
         CompiledExpr::Like {
             expr,
@@ -217,15 +351,18 @@ fn apply_kernel(ctab: &ColumnarTable, e: &CompiledExpr, sel: Vec<u32>) -> Vec<u3
             let ColumnData::Str(ss) = &col.data else {
                 unreachable!("kernelizable LIKE over a non-string column")
             };
-            sel.into_iter()
-                .filter(|&i| {
-                    let i = i as usize;
-                    !col.is_null(i) && (like_match(&ss[i], p) != *negated)
-                })
-                .collect()
+            let negated = *negated;
+            Box::new(move |i| !col.is_null(i) && (like_match(&ss[i], p) != negated))
         }
-        _ => unreachable!("apply_kernel called on a non-kernel conjunct"),
+        _ => unreachable!("kernel_predicate called on a non-kernel conjunct"),
     }
+}
+
+/// What a kernel yields on the NULL-padded side of an unmatched LEFT
+/// JOIN row, where every column reads as NULL: only a non-negated
+/// `IS NULL` keeps the row.
+pub(crate) fn kernel_keeps_all_null(e: &CompiledExpr) -> bool {
+    matches!(e, CompiledExpr::IsNull { negated: false, .. })
 }
 
 /// Fallback conjunct evaluation: scalar-interpret `e` per surviving row,
@@ -261,13 +398,455 @@ fn flip(op: BinaryOperator) -> BinaryOperator {
     }
 }
 
-/// `column op literal` over a selection vector, with the exact semantics
-/// of [`Value::sql_cmp`]: NULLs and incomparable type pairs never match.
-fn cmp_kernel(col: &Column, op: BinaryOperator, lit: &Value, sel: &[u32]) -> Vec<u32> {
-    if lit.is_null() {
-        return Vec::new();
+// ---- columnar hash join -------------------------------------------------
+
+/// If `e` (compiled against the combined join scope of width `lw + rw`)
+/// is a single-side [`kernelizable`] conjunct, return its side and the
+/// kernel rebased to that side's local column indices; else `None`.
+pub(crate) fn side_kernel(
+    e: &CompiledExpr,
+    lw: usize,
+    ltab: &ColumnarTable,
+    rtab: &ColumnarTable,
+) -> Option<(JoinSide, CompiledExpr)> {
+    // Kernel shapes reference exactly one column, which pins the side.
+    let mut cols = Vec::new();
+    e.for_each_column(&mut |i| cols.push(i));
+    let [c] = cols[..] else { return None };
+    if c < lw {
+        kernelizable(ltab, e).then(|| (JoinSide::Left, e.clone()))
+    } else {
+        let rebased = rebase_kernel_shape(e, lw)?;
+        kernelizable(rtab, &rebased).then_some((JoinSide::Right, rebased))
     }
-    let keep = |ord: Ordering| match op {
+}
+
+/// Rebase every column index in a candidate kernel expression by
+/// `-offset`. Returns `None` for shapes a kernel can never take (deep
+/// trees are not worth cloning just to fail [`kernelizable`]).
+fn rebase_kernel_shape(e: &CompiledExpr, offset: usize) -> Option<CompiledExpr> {
+    let leaf = |e: &CompiledExpr| match e {
+        CompiledExpr::Column(i) => Some(CompiledExpr::Column(i - offset)),
+        CompiledExpr::Literal(v) => Some(CompiledExpr::Literal(v.clone())),
+        _ => None,
+    };
+    match e {
+        CompiledExpr::Binary { op, left, right } if op.is_comparison() => {
+            Some(CompiledExpr::Binary {
+                op: *op,
+                left: Box::new(leaf(left)?),
+                right: Box::new(leaf(right)?),
+            })
+        }
+        CompiledExpr::IsNull { expr, negated } => Some(CompiledExpr::IsNull {
+            expr: Box::new(leaf(expr)?),
+            negated: *negated,
+        }),
+        CompiledExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Some(CompiledExpr::Like {
+            expr: Box::new(leaf(expr)?),
+            pattern: Box::new(leaf(pattern)?),
+            negated: *negated,
+        }),
+        _ => None,
+    }
+}
+
+/// Hash index over the right (build) side's join-key columns. Key
+/// equality must match the row engine's `ValueKey` semantics exactly.
+/// The `i64`/`&str` specializations are chosen from the *build side's*
+/// physical column type alone (where `ValueKey` equality degenerates to
+/// plain equality); a left key column of a different physical type is
+/// handled in [`JoinIndex::probe`], whose fall-through arms route
+/// through `ValueKey` so `1` still joins `1.0` — do not simplify those
+/// arms away. Bucket candidate lists are in right-table order, so probes
+/// emit matches in the row engine's order.
+enum JoinIndex<'a> {
+    Int(HashMap<i64, Vec<u32>>),
+    Str(HashMap<&'a str, Vec<u32>>),
+    Value(HashMap<ValueKey, Vec<u32>>),
+    Multi(HashMap<RowKey, Vec<u32>>),
+}
+
+impl<'a> JoinIndex<'a> {
+    /// Build over the (already filtered) right selection. Rows with any
+    /// NULL key column never enter the index — NULL keys never match.
+    fn build(rtab: &'a ColumnarTable, key_pairs: &[(usize, usize)], rsel: &[u32]) -> JoinIndex<'a> {
+        if let [(_, rk)] = key_pairs {
+            let col = &rtab.columns[*rk];
+            match &col.data {
+                ColumnData::Int64(xs) => {
+                    let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
+                    for &ri in rsel {
+                        let idx = ri as usize;
+                        if !col.is_null(idx) {
+                            map.entry(xs[idx]).or_default().push(ri);
+                        }
+                    }
+                    return JoinIndex::Int(map);
+                }
+                ColumnData::Str(ss) => {
+                    let mut map: HashMap<&str, Vec<u32>> = HashMap::new();
+                    for &ri in rsel {
+                        let idx = ri as usize;
+                        if !col.is_null(idx) {
+                            map.entry(ss[idx].as_str()).or_default().push(ri);
+                        }
+                    }
+                    return JoinIndex::Str(map);
+                }
+                _ => {
+                    let mut map: HashMap<ValueKey, Vec<u32>> = HashMap::new();
+                    for &ri in rsel {
+                        let idx = ri as usize;
+                        if !col.is_null(idx) {
+                            map.entry(ValueKey::from(&col.value(idx)))
+                                .or_default()
+                                .push(ri);
+                        }
+                    }
+                    return JoinIndex::Value(map);
+                }
+            }
+        }
+        let mut map: HashMap<RowKey, Vec<u32>> = HashMap::new();
+        'right: for &ri in rsel {
+            let idx = ri as usize;
+            let mut key = Vec::with_capacity(key_pairs.len());
+            for &(_, rk) in key_pairs {
+                let col = &rtab.columns[rk];
+                if col.is_null(idx) {
+                    continue 'right;
+                }
+                key.push(ValueKey::from(&col.value(idx)));
+            }
+            map.entry(RowKey(key)).or_default().push(ri);
+        }
+        JoinIndex::Multi(map)
+    }
+
+    /// Candidate right rows for left row `lidx`, or `None` when the key
+    /// is NULL or absent. The `Int`/`Str` arms cover mismatched physical
+    /// types by falling through `ValueKey` where needed.
+    fn probe(
+        &self,
+        ltab: &ColumnarTable,
+        key_pairs: &[(usize, usize)],
+        lidx: usize,
+    ) -> Option<&[u32]> {
+        match self {
+            JoinIndex::Int(map) => {
+                let (lk, _) = key_pairs[0];
+                let col = &ltab.columns[lk];
+                if col.is_null(lidx) {
+                    return None;
+                }
+                match &col.data {
+                    ColumnData::Int64(xs) => map.get(&xs[lidx]).map(Vec::as_slice),
+                    // Left key is not physically Int64: go through
+                    // ValueKey, which unifies integral floats with ints.
+                    _ => match ValueKey::from(&col.value(lidx)) {
+                        ValueKey::Int(k) => map.get(&k).map(Vec::as_slice),
+                        _ => None,
+                    },
+                }
+            }
+            JoinIndex::Str(map) => {
+                let (lk, _) = key_pairs[0];
+                let col = &ltab.columns[lk];
+                if col.is_null(lidx) {
+                    return None;
+                }
+                match &col.data {
+                    ColumnData::Str(ss) => map.get(ss[lidx].as_str()).map(Vec::as_slice),
+                    ColumnData::Mixed(vs) => match &vs[lidx] {
+                        Value::Str(s) => map.get(s.as_str()).map(Vec::as_slice),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+            JoinIndex::Value(map) => {
+                let (lk, _) = key_pairs[0];
+                let col = &ltab.columns[lk];
+                if col.is_null(lidx) {
+                    return None;
+                }
+                map.get(&ValueKey::from(&col.value(lidx)))
+                    .map(Vec::as_slice)
+            }
+            JoinIndex::Multi(map) => {
+                let mut key = Vec::with_capacity(key_pairs.len());
+                for &(lk, _) in key_pairs {
+                    let col = &ltab.columns[lk];
+                    if col.is_null(lidx) {
+                        return None;
+                    }
+                    key.push(ValueKey::from(&col.value(lidx)));
+                }
+                map.get(&RowKey(key)).map(Vec::as_slice)
+            }
+        }
+    }
+}
+
+/// Evaluator for fallible ON-residual conjuncts: a scratch combined row
+/// holding only the columns the residual references, refilled per side as
+/// the probe walks candidate pairs. Produces exactly the row engine's
+/// values and errors (shared interpreter, same evaluation order).
+struct ResidualEval<'a> {
+    residual: &'a [CompiledExpr],
+    lrefs: Vec<usize>,
+    rrefs: Vec<usize>,
+    scratch: Row,
+}
+
+impl<'a> ResidualEval<'a> {
+    fn new(residual: &'a [CompiledExpr], lw: usize, rw: usize) -> ResidualEval<'a> {
+        let mut refs = Vec::new();
+        for e in residual {
+            e.for_each_column(&mut |i| refs.push(i));
+        }
+        refs.sort_unstable();
+        refs.dedup();
+        let (lrefs, rrefs): (Vec<_>, Vec<_>) = refs.into_iter().partition(|&i| i < lw);
+        ResidualEval {
+            residual,
+            lrefs,
+            rrefs,
+            scratch: vec![Value::Null; lw + rw],
+        }
+    }
+
+    fn load_left(&mut self, ltab: &ColumnarTable, lidx: usize) {
+        for &c in &self.lrefs {
+            self.scratch[c] = ltab.columns[c].value(lidx);
+        }
+    }
+
+    /// Whether the candidate pair passes every residual conjunct,
+    /// short-circuiting on the first non-TRUE like the row engine.
+    fn pair_ok(&mut self, rtab: &ColumnarTable, lw: usize, ridx: usize) -> Result<bool> {
+        for &c in &self.rrefs {
+            self.scratch[c] = rtab.columns[c - lw].value(ridx);
+        }
+        for p in self.residual {
+            if !p.eval_bool(&self.scratch)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Apply one post-join kernel to the match vectors in place. On the
+/// NULL-padded right side of an unmatched LEFT JOIN row every column
+/// reads NULL, so only a non-negated `IS NULL` keeps the pad.
+fn apply_pair_kernel(
+    ltab: &ColumnarTable,
+    rtab: &ColumnarTable,
+    side: JoinSide,
+    kernel: &CompiledExpr,
+    pairs_l: &mut Vec<u32>,
+    pairs_r: &mut Vec<u32>,
+) {
+    let tab = match side {
+        JoinSide::Left => ltab,
+        JoinSide::Right => rtab,
+    };
+    let pred = kernel_predicate(tab, kernel);
+    let keeps_pad = kernel_keeps_all_null(kernel);
+    let mut w = 0;
+    for k in 0..pairs_l.len() {
+        let keep = match side {
+            JoinSide::Left => pred(pairs_l[k] as usize),
+            JoinSide::Right => {
+                let ri = pairs_r[k];
+                if ri == GATHER_NULL {
+                    keeps_pad
+                } else {
+                    pred(ri as usize)
+                }
+            }
+        };
+        if keep {
+            pairs_l[w] = pairs_l[k];
+            pairs_r[w] = pairs_r[k];
+            w += 1;
+        }
+    }
+    pairs_l.truncate(w);
+    pairs_r.truncate(w);
+}
+
+/// Post-join evaluation of a whole WHERE predicate that has no kernel
+/// decomposition: scalar-interpret it per joined row (in output order)
+/// over a scratch row holding only the referenced columns. Exactly the
+/// row engine's filter — same values, same short-circuit, same errors.
+fn generic_pair_filter(
+    ltab: &ColumnarTable,
+    rtab: &ColumnarTable,
+    pred: &CompiledExpr,
+    pairs_l: &mut Vec<u32>,
+    pairs_r: &mut Vec<u32>,
+) -> Result<()> {
+    let lw = ltab.columns.len();
+    let mut refs = Vec::new();
+    pred.for_each_column(&mut |i| refs.push(i));
+    refs.sort_unstable();
+    refs.dedup();
+    let (lrefs, rrefs): (Vec<_>, Vec<_>) = refs.into_iter().partition(|&i| i < lw);
+    let mut scratch: Row = vec![Value::Null; lw + rtab.columns.len()];
+    let mut w = 0;
+    for k in 0..pairs_l.len() {
+        let (li, ri) = (pairs_l[k], pairs_r[k]);
+        for &c in &lrefs {
+            scratch[c] = ltab.columns[c].value(li as usize);
+        }
+        for &c in &rrefs {
+            scratch[c] = if ri == GATHER_NULL {
+                Value::Null
+            } else {
+                rtab.columns[c - lw].value(ri as usize)
+            };
+        }
+        if pred.eval_bool(&scratch)? {
+            pairs_l[w] = li;
+            pairs_r[w] = ri;
+            w += 1;
+        }
+    }
+    pairs_l.truncate(w);
+    pairs_r.truncate(w);
+    Ok(())
+}
+
+/// Run a planned two-table equi-join: kernel-narrowed scans, columnar
+/// hash join into `(left, right)` match vectors, post-join filters, late
+/// materialization of only the live columns, then the shared
+/// aggregate/projection tail. Byte-identical to the row interpreter —
+/// see [`crate::plan`] for why each pushdown preserves that.
+fn run_join(db: &Database, q: &Query, route: &JoinRoute<'_>) -> Result<ResultSet> {
+    let JoinRoute {
+        s,
+        plan,
+        cols,
+        ltab,
+        rtab,
+    } = route;
+    let lw = ltab.columns.len();
+    let rw = rtab.columns.len();
+
+    // Scans: selection vectors narrowed by the pushed-down kernels.
+    let mut lsel: Vec<u32> = (0..ltab.len() as u32).collect();
+    for k in &plan.pushed_left {
+        if lsel.is_empty() {
+            break;
+        }
+        lsel = apply_kernel(ltab, k, lsel);
+    }
+    let mut rsel: Vec<u32> = (0..rtab.len() as u32).collect();
+    for k in &plan.pushed_right {
+        if rsel.is_empty() {
+            break;
+        }
+        rsel = apply_kernel(rtab, k, rsel);
+    }
+
+    // Build + probe. Probing walks the left side in order and each
+    // bucket in right-table order, so matches come out exactly in the
+    // row engine's combined-row order; unmatched left rows of a LEFT
+    // JOIN are emitted in place with the GATHER_NULL pad.
+    let index = JoinIndex::build(rtab, &plan.key_pairs, &rsel);
+    let left_preds: Vec<_> = plan
+        .left_match_kernels
+        .iter()
+        .map(|k| kernel_predicate(ltab, k))
+        .collect();
+    let mut residual =
+        (!plan.join_residual.is_empty()).then(|| ResidualEval::new(&plan.join_residual, lw, rw));
+    let pad = matches!(plan.join_type, JoinType::Left);
+    let mut pairs_l: Vec<u32> = Vec::with_capacity(lsel.len());
+    let mut pairs_r: Vec<u32> = Vec::with_capacity(lsel.len());
+    for &li in &lsel {
+        let lidx = li as usize;
+        let mut matched = false;
+        if left_preds.iter().all(|p| p(lidx)) {
+            if let Some(candidates) = index.probe(ltab, &plan.key_pairs, lidx) {
+                if let Some(res) = &mut residual {
+                    res.load_left(ltab, lidx);
+                    for &ri in candidates {
+                        if res.pair_ok(rtab, lw, ri as usize)? {
+                            matched = true;
+                            pairs_l.push(li);
+                            pairs_r.push(ri);
+                        }
+                    }
+                } else {
+                    matched = !candidates.is_empty();
+                    for &ri in candidates {
+                        pairs_l.push(li);
+                        pairs_r.push(ri);
+                    }
+                }
+            }
+        }
+        if !matched && pad {
+            pairs_l.push(li);
+            pairs_r.push(GATHER_NULL);
+        }
+    }
+
+    // Post-join filters (WHERE conjuncts that could not be pushed).
+    for (side, k) in &plan.post_kernels {
+        if pairs_l.is_empty() {
+            break;
+        }
+        apply_pair_kernel(ltab, rtab, *side, k, &mut pairs_l, &mut pairs_r);
+    }
+    if let Some(pred) = &plan.post_filter {
+        generic_pair_filter(ltab, rtab, pred, &mut pairs_l, &mut pairs_r)?;
+    }
+
+    // Late materialization: gather only the live columns; dead columns
+    // become all-NULL placeholders the tail never reads.
+    let n = pairs_l.len();
+    let mut columns = Vec::with_capacity(lw + rw);
+    for (c, col) in ltab.columns.iter().enumerate() {
+        columns.push(if plan.live_cols[c] {
+            col.gather(&pairs_l)
+        } else {
+            Column::all_null(n)
+        });
+    }
+    for (c, col) in rtab.columns.iter().enumerate() {
+        columns.push(if plan.live_cols[lw + c] {
+            col.gather(&pairs_r)
+        } else {
+            Column::all_null(n)
+        });
+    }
+    let joined = ColumnarTable::from_columns(columns, n);
+
+    let sel: Vec<u32> = (0..n as u32).collect();
+    let mut ex = Exec::new(db);
+    finish_block(&mut ex, q, s, cols.clone(), &joined, &sel)
+}
+
+/// Row predicate for `column op literal`, with the exact semantics of
+/// [`Value::sql_cmp`]: NULLs and incomparable type pairs never match.
+fn cmp_predicate<'a>(
+    col: &'a Column,
+    op: BinaryOperator,
+    lit: &Value,
+) -> Box<dyn Fn(usize) -> bool + 'a> {
+    if lit.is_null() {
+        return Box::new(|_| false);
+    }
+    let keep = move |ord: Ordering| match op {
         BinaryOperator::Eq => ord == Ordering::Equal,
         BinaryOperator::NotEq => ord != Ordering::Equal,
         BinaryOperator::Lt => ord == Ordering::Less,
@@ -277,51 +856,65 @@ fn cmp_kernel(col: &Column, op: BinaryOperator, lit: &Value, sel: &[u32]) -> Vec
         _ => unreachable!("comparison op"),
     };
     let has_nulls = col.nulls.any();
-    let filt = |cmp_at: &dyn Fn(usize) -> Option<Ordering>| -> Vec<u32> {
-        sel.iter()
-            .copied()
-            .filter(|&i| {
-                let i = i as usize;
+    macro_rules! pred {
+        ($cmp_at:expr) => {{
+            let cmp_at = $cmp_at;
+            Box::new(move |i: usize| {
                 if has_nulls && col.is_null(i) {
                     return false;
                 }
                 matches!(cmp_at(i), Some(ord) if keep(ord))
             })
-            .collect()
-    };
+        }};
+    }
     match (&col.data, lit) {
         // sql_cmp compares Int-vs-Int through f64 coercion too (not exact
         // i64 order) — match it bit-for-bit, 2^53-adjacent values included.
         (ColumnData::Int64(xs), Value::Int(b)) => {
             let b = *b as f64;
-            filt(&|i| (xs[i] as f64).partial_cmp(&b))
+            pred!(move |i: usize| (xs[i] as f64).partial_cmp(&b))
         }
-        (ColumnData::Int64(xs), Value::Float(b)) => filt(&|i| (xs[i] as f64).partial_cmp(b)),
+        (ColumnData::Int64(xs), Value::Float(b)) => {
+            let b = *b;
+            pred!(move |i: usize| (xs[i] as f64).partial_cmp(&b))
+        }
         (ColumnData::Float64(xs), Value::Int(b)) => {
             let b = *b as f64;
-            filt(&|i| xs[i].partial_cmp(&b))
+            pred!(move |i: usize| xs[i].partial_cmp(&b))
         }
-        (ColumnData::Float64(xs), Value::Float(b)) => filt(&|i| xs[i].partial_cmp(b)),
-        (ColumnData::Str(ss), Value::Str(b)) => filt(&|i| Some(ss[i].as_str().cmp(b.as_str()))),
-        (ColumnData::Bool(bs), Value::Bool(b)) => filt(&|i| Some(bs[i].cmp(b))),
+        (ColumnData::Float64(xs), Value::Float(b)) => {
+            let b = *b;
+            pred!(move |i: usize| xs[i].partial_cmp(&b))
+        }
+        (ColumnData::Str(ss), Value::Str(b)) => {
+            let b = b.clone();
+            pred!(move |i: usize| Some(ss[i].as_str().cmp(b.as_str())))
+        }
+        (ColumnData::Bool(bs), Value::Bool(b)) => {
+            let b = *b;
+            pred!(move |i: usize| Some(bs[i].cmp(&b)))
+        }
         // Numeric coercion pairs involving booleans (sql_cmp coerces
         // booleans to 0/1 when the other side is numeric).
         (ColumnData::Int64(xs), Value::Bool(b)) => {
             let b = if *b { 1.0 } else { 0.0 };
-            filt(&|i| (xs[i] as f64).partial_cmp(&b))
+            pred!(move |i: usize| (xs[i] as f64).partial_cmp(&b))
         }
         (ColumnData::Float64(xs), Value::Bool(b)) => {
             let b = if *b { 1.0 } else { 0.0 };
-            filt(&|i| xs[i].partial_cmp(&b))
+            pred!(move |i: usize| xs[i].partial_cmp(&b))
         }
         (ColumnData::Bool(bs), Value::Int(_) | Value::Float(_)) => {
             let b = lit.as_f64().expect("numeric literal");
-            filt(&|i| (if bs[i] { 1.0 } else { 0.0 }).partial_cmp(&b))
+            pred!(move |i: usize| (if bs[i] { 1.0 } else { 0.0 }).partial_cmp(&b))
         }
-        (ColumnData::Mixed(vs), _) => filt(&|i| vs[i].sql_cmp(lit)),
+        (ColumnData::Mixed(vs), _) => {
+            let lit = lit.clone();
+            pred!(move |i: usize| vs[i].sql_cmp(&lit))
+        }
         // Remaining cross-type pairs are incomparable under sql_cmp: the
         // comparison is NULL for every row, so nothing survives.
-        _ => Vec::new(),
+        _ => Box::new(|_| false),
     }
 }
 

@@ -5,9 +5,12 @@
 //! rows, same order, same NULLs — because DP noise calibration hashes
 //! the true results. These tests generate random supported queries over
 //! random small tables (nulls, duplicates, mixed group sizes) and assert
-//! `ResultSet` equality, plus explicit NULL-handling cases for the
-//! vectorized aggregate kernels and LIMIT/OFFSET/ORDER BY regressions on
-//! both engines.
+//! `ResultSet` equality — both single-table blocks and two-table
+//! INNER/LEFT equi-joins (ON and USING, residual predicates, NULL join
+//! keys) that exercise the columnar join pipeline's predicate pushdown —
+//! plus explicit NULL-handling cases for the vectorized aggregate
+//! kernels, LEFT JOIN pushdown/padding regressions, and
+//! LIMIT/OFFSET/ORDER BY regressions on both engines.
 
 use flex_db::{DataType, Database, ResultSet, Schema, Value};
 use flex_sql::parse_query;
@@ -179,6 +182,84 @@ fn arb_query() -> BoxedStrategy<String> {
     .boxed()
 }
 
+/// Add the join partner table `r(a Int, w Int, u Str)` — `a` is shared
+/// with `t` so `USING (a)` works, all columns nullable.
+fn add_r(db: &mut Database, rows: Vec<(Value, Value, Value)>) {
+    db.create_table(
+        "r",
+        Schema::of(&[
+            ("a", DataType::Int),
+            ("w", DataType::Int),
+            ("u", DataType::Str),
+        ]),
+    )
+    .unwrap();
+    db.insert(
+        "r",
+        rows.into_iter().map(|(a, w, u)| vec![a, w, u]).collect(),
+    )
+    .unwrap();
+}
+
+fn arb_r_rows() -> BoxedStrategy<Vec<(Value, Value, Value)>> {
+    proptest::collection::vec((arb_int(), arb_int(), arb_str()), 0..25).boxed()
+}
+
+/// Random two-table equi-join queries covering the columnar join
+/// pipeline: INNER and LEFT, ON and USING, kernelizable and fallible
+/// residuals, WHERE conjuncts pushed to either side or kept post-join,
+/// NULL join keys, plain/grand/grouped projections and ORDER BY/LIMIT
+/// tails.
+fn arb_join_query() -> BoxedStrategy<String> {
+    let jt = prop_oneof![Just("JOIN"), Just("LEFT JOIN")];
+    let on = prop_oneof![
+        Just("ON x.a = y.a".to_string()),
+        Just("USING (a)".to_string()),
+        // Kernelizable ON residuals (pushable per side).
+        (-4i64..5).prop_map(|c| format!("ON x.a = y.a AND y.w >= {c}")),
+        (-4i64..5).prop_map(|c| format!("ON x.a = y.a AND x.d <> {c}")),
+        // Fallible residual: evaluated per candidate pair, no pushdown.
+        Just("ON x.a = y.a AND x.b < y.w".to_string()),
+    ];
+    let wh = prop_oneof![
+        Just(String::new()),
+        (-4i64..5).prop_map(|c| format!(" WHERE x.d > {c}")),
+        (-4i64..5).prop_map(|c| format!(" WHERE y.w <= {c}")),
+        Just(" WHERE y.u IS NULL".to_string()),
+        Just(" WHERE y.u IS NOT NULL AND x.c IS NOT NULL".to_string()),
+        "[ab]{1,2}".prop_map(|s| format!(" WHERE x.c = '{s}' AND y.w > -2")),
+        // Both-side / fallible conjuncts: the whole WHERE runs post-join.
+        (-4i64..5).prop_map(|c| format!(" WHERE x.b + y.w > {c}")),
+        Just(" WHERE x.a > 0 OR y.w > 2".to_string()),
+    ];
+    let shape = prop_oneof![
+        (0u32..3).prop_map(|ob| {
+            let order = match ob {
+                0 => "",
+                1 => " ORDER BY x.a, x.b, x.c, x.d, y.w, y.u",
+                _ => " ORDER BY y.w DESC, 1, 2",
+            };
+            format!("SELECT x.a, x.c, y.w, y.u FROM_JOIN{order}")
+        }),
+        Just("SELECT * FROM_JOIN LIMIT 7".to_string()),
+        Just("SELECT y.* FROM_JOIN".to_string()),
+        Just(
+            "SELECT COUNT(*), COUNT(y.w), SUM(y.w), MIN(x.c), MAX(y.w), \
+             COUNT(DISTINCT y.u) FROM_JOIN"
+                .to_string()
+        ),
+        Just("SELECT x.d, COUNT(*) AS n, SUM(y.w), MIN(y.u) FROM_JOIN GROUP BY x.d ORDER BY n DESC, 1".to_string()),
+        Just("SELECT y.u, COUNT(*), SUM(x.b) FROM_JOIN GROUP BY y.u ORDER BY 2 DESC, 1 LIMIT 4".to_string()),
+        // Expression group key: columnar join + row-engine grouping.
+        Just("SELECT x.d + y.w AS k, COUNT(*) FROM_JOIN GROUP BY x.d + y.w ORDER BY 2 DESC, 1".to_string()),
+    ];
+    (shape, jt, on, wh)
+        .prop_map(|(shape, jt, on, wh)| {
+            shape.replace("FROM_JOIN", &format!(" FROM t x {jt} r y {on}{wh}"))
+        })
+        .boxed()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -187,6 +268,35 @@ proptest! {
     #[test]
     fn engines_agree_on_random_queries(rows in arb_rows(), sql in arb_query()) {
         let db = build_db(rows);
+        let vectorized = db.execute_sql(&sql);
+        let row = db.execute_sql_row(&sql);
+        match (vectorized, row) {
+            (Ok(v), Ok(r)) => prop_assert_eq!(v, r, "engines disagree on: {}", sql),
+            (Err(_), Err(_)) => {}
+            (v, r) => prop_assert!(
+                false,
+                "one engine failed on {}: vectorized={:?} row={:?}",
+                sql, v, r
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Same contract for two-table equi-joins: the columnar hash-join
+    /// pipeline (pushdown, match vectors, late materialization) must be
+    /// indistinguishable from the row interpreter, so DP noise seeds are
+    /// unaffected by routing.
+    #[test]
+    fn engines_agree_on_random_join_queries(
+        trows in arb_rows(),
+        rrows in arb_r_rows(),
+        sql in arb_join_query(),
+    ) {
+        let mut db = build_db(trows);
+        add_r(&mut db, rrows);
         let vectorized = db.execute_sql(&sql);
         let row = db.execute_sql_row(&sql);
         match (vectorized, row) {
@@ -397,6 +507,183 @@ fn fallible_conjunct_errors_on_both_engines() {
     assert!(r.is_err());
 }
 
+// ---- LEFT JOIN pushdown correctness ---------------------------------------
+
+/// Fixed two-table dataset with NULL join keys on both sides, duplicate
+/// keys, and NULLs in the pushed-predicate columns.
+fn join_db() -> Database {
+    let mut db = build_db(vec![
+        (
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::str("a"),
+            Value::Int(0),
+        ),
+        (
+            Value::Int(1),
+            Value::Float(2.0),
+            Value::str("b"),
+            Value::Int(1),
+        ),
+        (Value::Int(2), Value::Null, Value::str("c"), Value::Int(1)),
+        (
+            Value::Null,
+            Value::Float(0.5),
+            Value::str("d"),
+            Value::Int(0),
+        ),
+        (Value::Int(3), Value::Float(1.5), Value::Null, Value::Null),
+    ]);
+    add_r(
+        &mut db,
+        vec![
+            (Value::Int(1), Value::Int(10), Value::str("a")),
+            (Value::Int(1), Value::Null, Value::str("b")),
+            (Value::Int(2), Value::Int(5), Value::Null),
+            (Value::Null, Value::Int(99), Value::str("z")),
+            (Value::Int(4), Value::Int(7), Value::str("q")),
+        ],
+    );
+    db
+}
+
+#[test]
+fn left_join_where_on_nullable_side_drops_pads() {
+    // A WHERE predicate on the right (nullable) side must NOT be pushed
+    // below a LEFT JOIN: it filters *after* padding, so NULL-padded rows
+    // fail `w > 0` and disappear — making the result identical to the
+    // inner join. Pushing it below the join would instead turn filtered
+    // left rows into surviving pads.
+    let db = join_db();
+    let left = both(
+        &db,
+        "SELECT x.a, x.c, y.w FROM t x LEFT JOIN r y ON x.a = y.a WHERE y.w > 0",
+    );
+    let inner = both(
+        &db,
+        "SELECT x.a, x.c, y.w FROM t x JOIN r y ON x.a = y.a WHERE y.w > 0",
+    );
+    assert_eq!(left.rows, inner.rows);
+    assert!(left.rows.iter().all(|r| !r[2].is_null()));
+}
+
+#[test]
+fn left_join_where_is_null_keeps_pads() {
+    // `IS NULL` on the nullable side keeps both genuine NULL matches and
+    // NULL-padded unmatched rows — padding semantics must survive the
+    // kernel path.
+    let db = join_db();
+    let rs = both(
+        &db,
+        "SELECT x.a, x.c, y.w FROM t x LEFT JOIN r y ON x.a = y.a WHERE y.w IS NULL",
+    );
+    // Matches with w NULL: (1,a)×(1,NULL), (1,b)×(1,NULL); pads: the
+    // x.a=3 row and the x.a NULL row.
+    assert_eq!(rs.rows.len(), 4);
+    let pads = rs
+        .rows
+        .iter()
+        .filter(|r| r[0] == Value::Int(3) || r[0].is_null())
+        .count();
+    assert_eq!(pads, 2);
+}
+
+#[test]
+fn left_join_on_right_predicate_pushes_but_keeps_padding() {
+    // A right-side predicate in the ON clause only shrinks the match
+    // set: left rows whose matches all fail it are padded, never
+    // dropped. (This one IS safely pushable to the right scan.)
+    let db = join_db();
+    let rs = both(
+        &db,
+        "SELECT x.a, x.b, y.w FROM t x LEFT JOIN r y ON x.a = y.a AND y.w > 5",
+    );
+    // Every t row survives; only (1,*)×(1,10) actually matches.
+    assert_eq!(rs.rows.len(), 5);
+    let matched: Vec<_> = rs.rows.iter().filter(|r| !r[2].is_null()).collect();
+    assert_eq!(matched.len(), 2);
+    assert!(matched.iter().all(|r| r[2] == Value::Int(10)));
+}
+
+#[test]
+fn left_join_on_left_predicate_pads_instead_of_dropping() {
+    // A left-side ON predicate makes failing left rows *unmatchable*,
+    // not droppable — they must still appear NULL-padded.
+    let db = join_db();
+    let rs = both(
+        &db,
+        "SELECT x.a, x.d, y.w FROM t x LEFT JOIN r y ON x.a = y.a AND x.d = 1",
+    );
+    // d=1 left rows: a=1 matches twice, a=2 once; the other 3 rows pad.
+    assert_eq!(rs.rows.len(), 6);
+    // d=1 rows (a=1 and a=2) match; everything else is padded.
+    for row in &rs.rows {
+        if row[1] == Value::Int(1) {
+            assert!(row[0] == Value::Int(1) || row[0] == Value::Int(2));
+        } else {
+            assert!(row[2].is_null(), "non-d=1 rows must be padded: {row:?}");
+        }
+    }
+}
+
+#[test]
+fn inner_join_pushes_where_to_both_sides() {
+    let db = join_db();
+    let rs = both(
+        &db,
+        "SELECT COUNT(*) FROM t x JOIN r y ON x.a = y.a WHERE x.d >= 0 AND y.u = 'a'",
+    );
+    // Pairs on a=1 with u='a': rows (1,0) and (1,1) of t × r row (1,10,'a').
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+}
+
+#[test]
+fn join_null_keys_never_match() {
+    let db = join_db();
+    let rs = both(&db, "SELECT COUNT(*) FROM t x JOIN r y ON x.a = y.a");
+    // a=1: 2×2, a=2: 1×1, a=3/NULL: none; r's NULL key matches nothing.
+    assert_eq!(rs.rows[0][0], Value::Int(5));
+    let rs = both(
+        &db,
+        "SELECT COUNT(*) FROM t x LEFT JOIN r y ON x.a = y.a WHERE y.a IS NULL",
+    );
+    // Unmatched left rows: a=3 and a=NULL.
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+}
+
+#[test]
+fn fallible_join_predicates_error_on_both_engines() {
+    // `y.u + 1` type-errors on string values. Whether it sits in the ON
+    // residual or the WHERE, the vectorized pipeline must surface the
+    // same error the row engine does instead of filtering around it.
+    let db = join_db();
+    for sql in [
+        "SELECT COUNT(*) FROM t x JOIN r y ON x.a = y.a AND y.u + 1 > 0",
+        "SELECT COUNT(*) FROM t x JOIN r y ON x.a = y.a WHERE y.u + 1 > 0",
+    ] {
+        let v = db.execute_sql(sql);
+        let r = db.execute_sql_row(sql);
+        assert!(
+            v.is_err(),
+            "vectorized engine must error on {sql}, got {v:?}"
+        );
+        assert!(r.is_err(), "row engine must error on {sql}");
+    }
+}
+
+#[test]
+fn join_order_by_unprojected_and_late_materialization() {
+    // ORDER BY touches an unprojected right column: the live-column
+    // analysis must materialize it even though the projection doesn't.
+    let db = join_db();
+    let rs = both(
+        &db,
+        "SELECT x.c FROM t x JOIN r y ON x.a = y.a ORDER BY y.w DESC, x.c, y.u",
+    );
+    assert_eq!(rs.rows.len(), 5);
+    assert_eq!(rs.rows[0], vec![Value::str("a")]); // w=10 first
+}
+
 // ---- routing sanity -------------------------------------------------------
 
 #[test]
@@ -407,12 +694,18 @@ fn vectorized_path_engages_on_supported_shapes() {
         "SELECT d, SUM(a) FROM t GROUP BY d",
         "SELECT a, c FROM t WHERE c LIKE 'a%' ORDER BY a LIMIT 3",
         "SELECT COUNT(DISTINCT c) FROM t",
+        // Two-table equi-joins route through the columnar join pipeline.
+        "SELECT COUNT(*) FROM t u JOIN t v ON u.a = v.a",
+        "SELECT COUNT(*) FROM t u LEFT JOIN t v ON u.a = v.a WHERE v.d > 1",
+        "SELECT u.d, SUM(v.b) FROM t u JOIN t v USING (d) GROUP BY u.d",
+        "SELECT COUNT(*) FROM t u JOIN t v ON u.a = v.a AND u.b < v.b",
     ] {
         let q = parse_query(sql).unwrap();
         assert!(
             flex_db::vexec::try_execute(&db, &q).is_some(),
             "expected vectorized execution for: {sql}"
         );
+        assert!(db.routes_vectorized(&q), "routing probe disagrees: {sql}");
     }
 }
 
@@ -421,15 +714,23 @@ fn vectorized_path_declines_unsupported_shapes() {
     let db = null_db();
     for sql in [
         "WITH x AS (SELECT a FROM t) SELECT COUNT(*) FROM x",
-        "SELECT COUNT(*) FROM t u JOIN t v ON u.a = v.a",
         "SELECT a FROM t UNION SELECT d FROM t",
         "SELECT COUNT(*) FROM (SELECT a FROM t) s",
         "SELECT 1 + 2",
+        // Join shapes the columnar pipeline must leave to the row engine:
+        // RIGHT/FULL/CROSS, non-equi, keyless, and >2-table trees.
+        "SELECT COUNT(*) FROM t u RIGHT JOIN t v ON u.a = v.a",
+        "SELECT COUNT(*) FROM t u FULL JOIN t v ON u.a = v.a",
+        "SELECT COUNT(*) FROM t u CROSS JOIN t v",
+        "SELECT COUNT(*) FROM t u JOIN t v ON u.a < v.a",
+        "SELECT COUNT(*) FROM t u JOIN t v ON u.a = v.a JOIN t w ON v.a = w.a",
+        "SELECT COUNT(*) FROM t u JOIN (SELECT a FROM t) s ON u.a = s.a",
     ] {
         let q = parse_query(sql).unwrap();
         assert!(
             flex_db::vexec::try_execute(&db, &q).is_none(),
             "expected row-engine fallback for: {sql}"
         );
+        assert!(!db.routes_vectorized(&q), "routing probe disagrees: {sql}");
     }
 }

@@ -496,6 +496,10 @@ fn run_job(shared: &Shared, job: Job) {
             // least one of the two, so exactly one computation is paid.
             shared.cache.insert(job.key.clone(), answer);
             shared.telemetry.record_completed(&result.timings);
+            // Engine routing observed by the pipeline itself (no second
+            // planning pass): makes fast-path coverage visible in the
+            // telemetry snapshot.
+            shared.telemetry.record_engine(result.vectorized);
             for (analyst, waiter) in take_waiters(shared, &job.key) {
                 let _ = waiter.send(Ok(ServiceResponse {
                     analyst,
@@ -817,6 +821,41 @@ mod tests {
             a.rows, b.rows,
             "two default-config instances must not share a noise stream"
         );
+    }
+
+    #[test]
+    fn telemetry_tracks_engine_routing() {
+        let svc = service(ServiceConfig::default());
+        // Vectorized: single-table counting query.
+        svc.query("a", "SELECT COUNT(*) FROM trips", params(0.1))
+            .unwrap();
+        // Vectorized: two-table equi-join (self-join on id).
+        svc.query(
+            "a",
+            "SELECT COUNT(*) FROM trips t JOIN trips u ON t.id = u.id",
+            params(0.1),
+        )
+        .unwrap_or_else(|_| panic!("join query should run"));
+        // Row fallback: a three-table join tree (completes through the
+        // pipeline, but the columnar engine only takes 2-table joins).
+        svc.query(
+            "a",
+            "SELECT COUNT(*) FROM trips t JOIN trips u ON t.id = u.id \
+             JOIN trips v ON u.id = v.id",
+            params(0.1),
+        )
+        .unwrap();
+        let t = svc.telemetry();
+        assert_eq!(t.vectorized_hits, 2, "snapshot: {t}");
+        assert_eq!(t.row_fallbacks, 1, "snapshot: {t}");
+        // Cache hits execute nothing: counters must not move.
+        let hit = svc
+            .query("b", "SELECT COUNT(*) FROM trips", params(0.1))
+            .unwrap();
+        assert!(hit.from_cache);
+        let t2 = svc.telemetry();
+        assert_eq!(t2.vectorized_hits, t.vectorized_hits);
+        assert_eq!(t2.row_fallbacks, t.row_fallbacks);
     }
 
     #[test]

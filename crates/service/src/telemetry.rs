@@ -16,6 +16,8 @@ pub struct Telemetry {
     coalesced: AtomicU64,
     rejected_budget: AtomicU64,
     failed: AtomicU64,
+    vectorized_hits: AtomicU64,
+    row_fallbacks: AtomicU64,
     queue_depth: AtomicU64,
     max_queue_depth: AtomicU64,
     analysis_ns: AtomicU64,
@@ -48,6 +50,16 @@ impl Telemetry {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record which execution engine a computed query routed to:
+    /// vectorized columnar (`true`) or the row interpreter (`false`).
+    pub fn record_engine(&self, vectorized: bool) {
+        if vectorized {
+            self.vectorized_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.row_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     pub fn record_completed(&self, timings: &FlexTimings) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.analysis_ns
@@ -77,6 +89,8 @@ impl Telemetry {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             rejected_budget: self.rejected_budget.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            vectorized_hits: self.vectorized_hits.load(Ordering::Relaxed),
+            row_fallbacks: self.row_fallbacks.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             analysis_time: Duration::from_nanos(self.analysis_ns.load(Ordering::Relaxed)),
@@ -107,6 +121,16 @@ pub struct TelemetrySnapshot {
     pub rejected_budget: u64,
     /// Admitted requests whose pipeline failed (charge refunded).
     pub failed: u64,
+    /// Completed queries whose execution ran on the vectorized columnar
+    /// engine (single-table blocks and two-table equi-joins), as
+    /// reported by the pipeline itself. Together with `row_fallbacks`
+    /// this makes fast-path coverage observable in production; cache
+    /// hits and coalesced requests execute nothing, and requests that
+    /// fail before release are counted in neither.
+    pub vectorized_hits: u64,
+    /// Completed queries whose execution fell back to the row
+    /// interpreter.
+    pub row_fallbacks: u64,
     /// Jobs currently queued for a worker.
     pub queue_depth: u64,
     /// High-water mark of `queue_depth`.
@@ -131,6 +155,17 @@ impl TelemetrySnapshot {
             self.cache_hits as f64 / lookups as f64
         }
     }
+
+    /// Fraction of computed queries that ran on the vectorized engine,
+    /// in `[0, 1]` (0 when nothing has been computed yet).
+    pub fn vectorized_rate(&self) -> f64 {
+        let routed = self.vectorized_hits + self.row_fallbacks;
+        if routed == 0 {
+            0.0
+        } else {
+            self.vectorized_hits as f64 / routed as f64
+        }
+    }
 }
 
 impl std::fmt::Display for TelemetrySnapshot {
@@ -148,6 +183,13 @@ impl std::fmt::Display for TelemetrySnapshot {
         writeln!(f, "  coalesced        {:>8}", self.coalesced)?;
         writeln!(f, "  budget rejects   {:>8}", self.rejected_budget)?;
         writeln!(f, "  failed           {:>8}", self.failed)?;
+        writeln!(
+            f,
+            "  vectorized       {:>8}  ({:.1}% of computed)",
+            self.vectorized_hits,
+            100.0 * self.vectorized_rate()
+        )?;
+        writeln!(f, "  row fallbacks    {:>8}", self.row_fallbacks)?;
         writeln!(
             f,
             "  queue depth      {:>8}  (max {})",
@@ -200,5 +242,22 @@ mod tests {
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         let text = s.to_string();
         assert!(text.contains("cache hits") && text.contains("50.0%"));
+    }
+
+    #[test]
+    fn engine_routing_counters() {
+        let t = Telemetry::default();
+        let s = t.snapshot();
+        assert_eq!((s.vectorized_hits, s.row_fallbacks), (0, 0));
+        assert_eq!(s.vectorized_rate(), 0.0);
+        t.record_engine(true);
+        t.record_engine(true);
+        t.record_engine(true);
+        t.record_engine(false);
+        let s = t.snapshot();
+        assert_eq!(s.vectorized_hits, 3);
+        assert_eq!(s.row_fallbacks, 1);
+        assert!((s.vectorized_rate() - 0.75).abs() < 1e-12);
+        assert!(s.to_string().contains("75.0% of computed"));
     }
 }
