@@ -2,18 +2,25 @@
 //!
 //! Measures median ns/op for the scenarios the serving path depends on —
 //! the vectorized scan/aggregate shapes, the vectorized hash-join
-//! pipeline (`join-count`, `join-filter-sum`), and the service's
-//! noisy-answer cache hit — and writes `BENCH_exec.json`.
-//! Two gates can fail the run (which is what the CI `bench` job enforces
-//! on PRs):
+//! pipeline (`join-count`, `join-filter-sum`), their morsel-parallel
+//! variants (`parallel-*`, at [`PARALLEL_WORKERS`] workers), and the
+//! service's noisy-answer cache hit — and writes `BENCH_exec.json`.
+//! Three gates can fail the run (which is what the CI `bench` job
+//! enforces on PRs):
 //!
 //! 1. vectorized scenarios must keep a ≥ `SPEEDUP_FLOOR`× speedup over
 //!    the row interpreter measured in the same run (machine-independent);
-//! 2. against the committed `BENCH_exec.baseline.json`, no scenario may
+//! 2. the gated parallel scenarios must scale ≥ `SCALING_FLOOR`× over
+//!    the sequential vectorized engine measured in the same run — but
+//!    only when the runner actually has ≥ `PARALLEL_WORKERS` cores
+//!    (`std::thread::available_parallelism`), so core-starved runners
+//!    report the scaling without flaking the gate;
+//! 3. against the committed `BENCH_exec.baseline.json`, no scenario may
 //!    regress more than `REGRESSION_FACTOR`× after normalizing by the
 //!    run's median current/baseline ratio — the "machine factor" that
 //!    cancels out CI runners being faster or slower than the machine
-//!    that recorded the baseline.
+//!    that recorded the baseline. This normalized gate is what covers
+//!    the parallel scenarios' absolute medians across runner hardware.
 //!
 //! Usage:
 //!   exec_bench [--quick] [--out PATH] [--baseline PATH] [--write-baseline]
@@ -43,6 +50,14 @@ const REGRESSION_FACTOR: f64 = 1.5;
 /// Vectorized scenarios must stay at least this much faster than the row
 /// interpreter measured in the same run (machine-independent).
 const SPEEDUP_FLOOR: f64 = 3.0;
+
+/// Morsel workers for the parallel scenarios.
+const PARALLEL_WORKERS: usize = 4;
+
+/// Gated parallel scenarios must beat the sequential vectorized engine
+/// by at least this factor at [`PARALLEL_WORKERS`] workers — enforced
+/// only on runners with that many cores available.
+const SCALING_FLOOR: f64 = 2.0;
 
 struct Args {
     quick: bool,
@@ -166,6 +181,66 @@ fn main() {
         scenarios.push((name.to_string(), Value::Object(entry)));
     }
 
+    // Morsel-parallel variants: the same vectorized scenarios at
+    // PARALLEL_WORKERS workers. `scaling` is parallel-vs-sequential from
+    // this run, so runner speed cancels out; the `gated` scenarios must
+    // clear SCALING_FLOOR when the runner has the cores for it.
+    let parallel_scenarios = [
+        ("scan-filter-count", true),
+        ("group-by-sum", false),
+        ("join-filter-sum", true),
+    ];
+    let mut scaling_gate: Vec<(String, f64)> = Vec::new();
+    for (base, gated) in parallel_scenarios {
+        let (_, sql, _) = sql_scenarios
+            .iter()
+            .find(|(name, _, _)| *name == base)
+            .expect("parallel variant of a known scenario");
+        let q = parse_query(sql).expect("benchmark SQL parses");
+
+        // Correctness gate: byte-identical to the sequential engine (and
+        // therefore to the row interpreter checked above) — thread count
+        // must be unobservable to the DP layers.
+        db.set_parallelism(1);
+        let sequential = db.execute(&q).expect("query executes");
+        db.set_parallelism(PARALLEL_WORKERS);
+        let parallel = db.execute(&q).expect("query executes in parallel");
+        assert_eq!(
+            parallel, sequential,
+            "parallel execution diverges on `{base}` — refusing to benchmark"
+        );
+
+        let med = median_ns(iters, || {
+            std::hint::black_box(db.execute(&q).unwrap());
+        });
+        db.set_parallelism(1);
+        let seq_med = median_ns(iters, || {
+            std::hint::black_box(db.execute(&q).unwrap());
+        });
+        let scaling = seq_med as f64 / med.max(1) as f64;
+        let name = format!("parallel-{base}");
+        eprintln!(
+            "{name:>26}: {med:>10} ns/op (sequential: {seq_med} ns/op, {scaling:.2}x at \
+             {PARALLEL_WORKERS} workers)"
+        );
+        scenarios.push((
+            name.clone(),
+            Value::Object(vec![
+                ("median_ns".to_string(), Value::from(med)),
+                ("seq_median_ns".to_string(), Value::from(seq_med)),
+                (
+                    "scaling".to_string(),
+                    Value::from((scaling * 100.0).round() / 100.0),
+                ),
+                ("workers".to_string(), Value::from(PARALLEL_WORKERS as u64)),
+            ]),
+        ));
+        if gated {
+            scaling_gate.push((name, scaling));
+        }
+    }
+    db.set_parallelism(1);
+
     // End-to-end sanity: the full FLEX pipeline (analysis + execution +
     // perturbation) over the vectorized path stays deterministic under a
     // fixed seed.
@@ -204,8 +279,17 @@ fn main() {
         ));
     }
 
+    let available_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let report = json!({
-        "config": {"quick": args.quick, "trips": trips, "iters": iters},
+        "config": {
+            "quick": args.quick,
+            "trips": trips,
+            "iters": iters,
+            "parallel_workers": PARALLEL_WORKERS,
+            "available_cores": available_cores,
+        },
         "scenarios": Value::Object(scenarios),
     });
     let text = serde_json::to_string_pretty(&report).expect("serialize report");
@@ -231,6 +315,31 @@ fn main() {
                 failed = true;
             }
         }
+    }
+
+    // Scaling floor for the morsel-parallel scenarios, also measured
+    // entirely within this run. Enforced only when the runner actually
+    // has PARALLEL_WORKERS cores: a 1- or 2-core runner cannot scale 2x
+    // at 4 workers no matter how good the engine is, so there the
+    // scaling is reported (and the baseline gate below still bounds the
+    // absolute medians) without flaking the floor.
+    if available_cores >= PARALLEL_WORKERS {
+        for (name, scaling) in &scaling_gate {
+            if *scaling < SCALING_FLOOR {
+                eprintln!(
+                    "REGRESSION GATE: `{name}` scales only {scaling:.2}x over the sequential \
+                     engine at {PARALLEL_WORKERS} workers (floor {SCALING_FLOOR}x)"
+                );
+                failed = true;
+            } else {
+                eprintln!("gate ok: `{name}` scaling {scaling:.2}x (floor {SCALING_FLOOR}x)");
+            }
+        }
+    } else {
+        eprintln!(
+            "runner has {available_cores} core(s) < {PARALLEL_WORKERS} workers: reporting \
+             parallel scaling without enforcing the {SCALING_FLOOR}x floor"
+        );
     }
 
     // Regression gate against the committed baseline, if present. Runner

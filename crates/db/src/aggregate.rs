@@ -151,6 +151,188 @@ impl AggSpec {
     }
 }
 
+/// Per-morsel partial state of one aggregate, over morsel-local group
+/// ids. The parallel grouped operator in [`crate::vexec`] computes one of
+/// these per (morsel, aggregate) on the worker pool, then merges them
+/// **in morsel order** on the coordinating thread; [`AggPartial::merge`]
+/// is written so that the merged state is exactly what a sequential pass
+/// over the whole selection would have built:
+///
+/// - counts add (integers, order-free);
+/// - distinct key sets union (order-free);
+/// - `MIN`/`MAX` keep the earlier morsel's value on `total_cmp` ties,
+///   reproducing first-occurrence-wins;
+/// - `SUM`/`AVG`/`MEDIAN`/`STDDEV` are **value-collecting**: partials
+///   carry the argument values themselves (in row order), and the single
+///   floating-point fold happens at [`AggPartial::finalize`] over the
+///   morsel-order concatenation — float addition is not associative, so
+///   merging per-morsel partial *sums* would change the bit pattern.
+#[derive(Debug)]
+pub(crate) enum AggPartial {
+    /// `COUNT(*)` / `COUNT(expr)`: per-group non-null counts.
+    Counts(Vec<i64>),
+    /// `COUNT(DISTINCT expr)`: per-group value-key sets.
+    Distinct(Vec<HashSet<ValueKey>>),
+    /// `SUM`/`AVG`/`MEDIAN`/`STDDEV`: per-group argument values in row
+    /// order.
+    Values(Vec<Vec<f64>>),
+    /// `MIN`/`MAX` over a **single-typed** column: per-group best-so-far
+    /// (`Value::Null` = no value yet). Sound only because the typed
+    /// comparisons (`i64`, `f64::total_cmp`, strings, bools) are total
+    /// orders, where a first-wins fold of per-morsel folds equals the
+    /// sequential left fold.
+    Best(Vec<Value>),
+    /// `MIN`/`MAX` over a `Mixed` column: per-group argument values in
+    /// row order. `Value::total_cmp` is *not transitive* across physical
+    /// types (Int-vs-Int compares exact `i64`, Int-vs-Float coerces
+    /// through `f64`, so `2^53` f64-ties `2^53 + 1` but `i64`-beats it),
+    /// so per-morsel winners cannot be merged — [`AggPartial::finalize`]
+    /// replays the sequential left fold over the concatenation instead.
+    BestValues(Vec<Vec<Value>>),
+}
+
+impl AggPartial {
+    /// Empty global accumulator for `ngroups` merged groups.
+    /// `mixed_best` selects the value-collecting `MIN`/`MAX` shape and
+    /// must match what the morsel workers produced (i.e. whether the
+    /// argument column is `Mixed`).
+    pub(crate) fn new_global(func: AggFunc, ngroups: usize, mixed_best: bool) -> AggPartial {
+        match func {
+            AggFunc::CountStar | AggFunc::Count => AggPartial::Counts(vec![0; ngroups]),
+            AggFunc::CountDistinct => AggPartial::Distinct(vec![HashSet::new(); ngroups]),
+            AggFunc::Sum | AggFunc::Avg | AggFunc::Median | AggFunc::Stddev => {
+                AggPartial::Values(vec![Vec::new(); ngroups])
+            }
+            AggFunc::Min | AggFunc::Max if mixed_best => {
+                AggPartial::BestValues(vec![Vec::new(); ngroups])
+            }
+            AggFunc::Min | AggFunc::Max => AggPartial::Best(vec![Value::Null; ngroups]),
+        }
+    }
+
+    /// Fold one morsel's local partial into this global accumulator.
+    /// `gid_map[local_gid]` is the merged global group id. Must be called
+    /// in morsel order (earlier morsels first) — that is what preserves
+    /// row-order value concatenation and first-occurrence tie-breaking.
+    pub(crate) fn merge(&mut self, local: AggPartial, gid_map: &[u32], func: AggFunc) {
+        match (self, local) {
+            (AggPartial::Counts(global), AggPartial::Counts(local)) => {
+                for (g, n) in local.into_iter().enumerate() {
+                    global[gid_map[g] as usize] += n;
+                }
+            }
+            (AggPartial::Distinct(global), AggPartial::Distinct(local)) => {
+                for (g, set) in local.into_iter().enumerate() {
+                    let dst = &mut global[gid_map[g] as usize];
+                    if dst.is_empty() {
+                        *dst = set;
+                    } else {
+                        dst.extend(set);
+                    }
+                }
+            }
+            (AggPartial::Values(global), AggPartial::Values(local)) => {
+                for (g, vals) in local.into_iter().enumerate() {
+                    let dst = &mut global[gid_map[g] as usize];
+                    if dst.is_empty() {
+                        *dst = vals;
+                    } else {
+                        dst.extend(vals);
+                    }
+                }
+            }
+            (AggPartial::BestValues(global), AggPartial::BestValues(local)) => {
+                for (g, vals) in local.into_iter().enumerate() {
+                    let dst = &mut global[gid_map[g] as usize];
+                    if dst.is_empty() {
+                        *dst = vals;
+                    } else {
+                        dst.extend(vals);
+                    }
+                }
+            }
+            (AggPartial::Best(global), AggPartial::Best(local)) => {
+                let min = func == AggFunc::Min;
+                for (g, v) in local.into_iter().enumerate() {
+                    if v.is_null() {
+                        continue;
+                    }
+                    let dst = &mut global[gid_map[g] as usize];
+                    let adopt = dst.is_null()
+                        || match v.total_cmp(dst) {
+                            std::cmp::Ordering::Less => min,
+                            std::cmp::Ordering::Greater => !min,
+                            std::cmp::Ordering::Equal => false,
+                        };
+                    if adopt {
+                        *dst = v;
+                    }
+                }
+            }
+            _ => unreachable!("mismatched aggregate partial variants"),
+        }
+    }
+
+    /// Turn the merged state into per-group output values — the same
+    /// values (bit for bit) the sequential single-pass operator produces.
+    pub(crate) fn finalize(self, func: AggFunc) -> Vec<Value> {
+        match self {
+            AggPartial::Counts(counts) => counts.into_iter().map(Value::Int).collect(),
+            AggPartial::Distinct(sets) => sets
+                .into_iter()
+                .map(|s| Value::Int(s.len() as i64))
+                .collect(),
+            AggPartial::Values(per) => per
+                .into_iter()
+                .map(|nums| match func {
+                    AggFunc::Sum if nums.is_empty() => Value::Null,
+                    // Left fold from 0.0 in row order: the sequential
+                    // accumulator's exact addition sequence.
+                    AggFunc::Sum => Value::Float(nums.iter().fold(0.0f64, |s, x| s + x)),
+                    AggFunc::Avg if nums.is_empty() => Value::Null,
+                    AggFunc::Avg => {
+                        Value::Float(nums.iter().fold(0.0f64, |s, x| s + x) / nums.len() as f64)
+                    }
+                    AggFunc::Median => median_of(nums),
+                    AggFunc::Stddev => stddev_of(&nums),
+                    _ => unreachable!("Values partial for non-numeric aggregate"),
+                })
+                .collect(),
+            AggPartial::Best(best) => best,
+            // Replay the sequential Mixed-column fold exactly: values are
+            // in row order, first occurrence wins `total_cmp` ties, and
+            // the non-transitive cross-type comparisons happen in the
+            // same left-to-right sequence the single-pass engine uses.
+            AggPartial::BestValues(per) => {
+                let min = func == AggFunc::Min;
+                per.into_iter()
+                    .map(|vals| {
+                        let mut best: Option<Value> = None;
+                        for v in vals {
+                            best = Some(match best {
+                                None => v,
+                                Some(cur) => {
+                                    let adopt = match v.total_cmp(&cur) {
+                                        std::cmp::Ordering::Less => min,
+                                        std::cmp::Ordering::Greater => !min,
+                                        std::cmp::Ordering::Equal => false,
+                                    };
+                                    if adopt {
+                                        v
+                                    } else {
+                                        cur
+                                    }
+                                }
+                            });
+                        }
+                        best.unwrap_or(Value::Null)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
 /// Median of the collected non-null numeric arguments (NULL when empty,
 /// average of the middle two for even counts). Shared by both execution
 /// engines so grouped results are bit-identical.

@@ -13,7 +13,9 @@
 //! which keeps the original `Value`s. This makes [`Column::value`] an
 //! exact reconstruction — the vectorized engine returns byte-identical
 //! results to the row interpreter, so DP noise calibration downstream is
-//! unchanged.
+//! unchanged. Columns are immutable once built (writes rebuild the
+//! projection), which is what lets the morsel-parallel operators in
+//! [`crate::vexec`] read them from many worker threads lock-free.
 
 use crate::table::Row;
 use crate::value::Value;

@@ -4,18 +4,20 @@
 use crate::error::{DbError, Result};
 use crate::exec;
 use crate::metrics::MetricsCatalog;
+use crate::morsel::{self, DEFAULT_MORSEL_ROWS};
 use crate::plan::ResultSet;
 use crate::schema::Schema;
 use crate::table::{Row, Table};
 use flex_sql::{parse_query, Query};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// An in-memory multi-table database.
 ///
 /// Tables marked *public* contain non-protected data (paper §3.6) — e.g.
 /// the `cities` table in the paper's deployment; the elastic-sensitivity
 /// analysis treats them as having stability 0.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
     public_tables: BTreeSet<String>,
@@ -23,6 +25,33 @@ pub struct Database {
     /// Emulates the paper's trigger-based metric maintenance: when set
     /// (the default), metrics are recomputed for a table after each write.
     pub auto_metrics: bool,
+    /// Worker threads the vectorized engine may use per query (morsel-
+    /// driven; see [`crate::morsel`]). 1 = sequential. Atomic so shared
+    /// (`Arc<Database>`) handles can tune it; it is pure execution tuning
+    /// and never affects results, which are byte-identical at any value.
+    exec_parallelism: AtomicUsize,
+    /// Rows per morsel for parallel operators (tests shrink it to force
+    /// multi-morsel merging on small tables).
+    exec_morsel_rows: AtomicUsize,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            tables: self.tables.clone(),
+            public_tables: self.public_tables.clone(),
+            metrics: self.metrics.clone(),
+            auto_metrics: self.auto_metrics,
+            exec_parallelism: AtomicUsize::new(self.parallelism()),
+            exec_morsel_rows: AtomicUsize::new(self.morsel_rows()),
+        }
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
 }
 
 impl Database {
@@ -32,6 +61,48 @@ impl Database {
             public_tables: BTreeSet::new(),
             metrics: MetricsCatalog::default(),
             auto_metrics: true,
+            exec_parallelism: AtomicUsize::new(1),
+            exec_morsel_rows: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
+        }
+    }
+
+    /// Set the number of worker threads the vectorized engine may use for
+    /// one query (clamped to ≥ 1; 1 disables intra-query parallelism and
+    /// runs the exact sequential code paths). Results are byte-identical
+    /// at every setting — per-morsel partial results are merged in morsel
+    /// order — so downstream DP noise seeding is unaffected. Takes
+    /// `&self` (atomic) so services holding `Arc<Database>` can tune it.
+    pub fn set_parallelism(&self, workers: usize) {
+        self.exec_parallelism
+            .store(workers.max(1), Ordering::Relaxed);
+    }
+
+    /// Current per-query worker budget of the vectorized engine.
+    pub fn parallelism(&self) -> usize {
+        self.exec_parallelism.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Override the rows-per-morsel granularity of parallel operators.
+    /// Exposed for differential tests (tiny morsels force real multi-
+    /// morsel merging on small tables); production code should keep the
+    /// default.
+    #[doc(hidden)]
+    pub fn set_morsel_rows(&self, rows: usize) {
+        self.exec_morsel_rows.store(rows.max(1), Ordering::Relaxed);
+    }
+
+    /// Current rows-per-morsel granularity.
+    pub fn morsel_rows(&self) -> usize {
+        self.exec_morsel_rows.load(Ordering::Relaxed).max(1)
+    }
+
+    /// The execution-tuning snapshot the vectorized operators read once
+    /// per query (so a concurrent retune cannot split one query across
+    /// two configurations).
+    pub(crate) fn exec_tuning(&self) -> morsel::Parallelism {
+        morsel::Parallelism {
+            workers: self.parallelism(),
+            morsel_rows: self.morsel_rows(),
         }
     }
 

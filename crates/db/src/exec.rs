@@ -20,7 +20,10 @@
 //! engines share the expression compiler (`Exec::compile_scalar`,
 //! `GroupCompiler`) and the post-projection tail (ORDER BY / DISTINCT /
 //! LIMIT handling), so every query produces identical results on both —
-//! see `vexec`'s module docs for the exact contract.
+//! see `vexec`'s module docs for the exact contract. Accepted queries
+//! additionally run morsel-parallel when [`Database::set_parallelism`]
+//! allows it ([`crate::morsel`]); that, too, is unobservable in the
+//! results.
 
 use crate::aggregate::{AggFunc, AggSpec};
 use crate::database::Database;

@@ -24,6 +24,10 @@
 //! ([`exec`]). Both produce byte-identical results — see [`vexec`]'s
 //! module docs for the routing contract, and
 //! [`Database::routes_vectorized`] to observe the routing decision.
+//! The columnar engine additionally runs **morsel-parallel** across a
+//! scoped worker pool when [`Database::set_parallelism`] raises the
+//! per-query worker budget; per-morsel results merge in morsel order
+//! ([`morsel`]), so results stay byte-identical at every thread count.
 //!
 //! ```
 //! use flex_db::{Database, DataType, Schema, Value};
@@ -43,6 +47,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod metrics;
+pub mod morsel;
 pub mod plan;
 pub mod schema;
 pub mod table;
@@ -55,6 +60,7 @@ pub use csv::{table_from_csv, table_to_csv};
 pub use database::Database;
 pub use error::{DbError, Result};
 pub use metrics::MetricsCatalog;
+pub use morsel::DEFAULT_MORSEL_ROWS;
 pub use plan::{ColMeta, Relation, ResultSet};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use table::{Row, Table};

@@ -1,0 +1,184 @@
+//! Morsel-driven parallel scheduling for the vectorized engine.
+//!
+//! A *morsel* is a fixed-size slice of rows (or selection-vector entries).
+//! Parallel operators split their input into morsels, a scoped worker
+//! pool ([`std::thread::scope`] — no runtime dependency, threads never
+//! outlive the query) claims morsels from a shared atomic cursor, and the
+//! per-morsel results are **merged in morsel order**. That merge order is
+//! the whole determinism story: whatever the scheduling, the combined
+//! output is exactly what a sequential left-to-right pass would have
+//! produced, so floats accumulate in the same order, first-appearance
+//! group ids match, and the first error (in row order) is the error
+//! reported. The DP layers above can never observe the worker count.
+//!
+//! With one effective worker (or a single morsel) `run` degrades to a
+//! plain sequential loop on the calling thread — no threads, no atomics —
+//! which is what makes `parallelism = 1` byte-for-byte the sequential
+//! engine.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default rows per morsel. Small enough that a 100k-row scan yields
+/// ~24 morsels (good load balance at 4–8 workers), large enough that the
+/// per-morsel scheduling cost disappears into the scan itself.
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// Execution-tuning knobs threaded through the vectorized operators.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Parallelism {
+    /// Worker threads an operator may use (1 = sequential).
+    pub workers: usize,
+    /// Rows per morsel (tests shrink this to exercise merging on tiny
+    /// tables).
+    pub morsel_rows: usize,
+}
+
+impl Parallelism {
+    /// Should `len` input rows be processed in parallel at all?
+    pub fn engaged(&self, len: usize) -> bool {
+        self.workers > 1 && len > self.morsel_rows
+    }
+}
+
+/// Split `len` items into morsel index ranges of `morsel_rows` each.
+fn morsel_ranges(len: usize, morsel_rows: usize) -> Vec<Range<usize>> {
+    let step = morsel_rows.max(1);
+    (0..len.div_ceil(step))
+        .map(|m| m * step..((m + 1) * step).min(len))
+        .collect()
+}
+
+/// Run `f` over every morsel of `0..len` and return the per-morsel
+/// results **in morsel order**, using up to `par.workers` scoped threads.
+///
+/// `f` must be a pure function of its range (it sees shared read-only
+/// state only), so the result is independent of which worker claims which
+/// morsel. Worker panics propagate to the caller with their original
+/// payload, exactly like a panic in a sequential loop would.
+pub(crate) fn run<T, F>(len: usize, par: Parallelism, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = morsel_ranges(len, par.morsel_rows);
+    let workers = par.workers.min(ranges.len());
+    if workers <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = ranges.iter().map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let ranges = &ranges;
+                let f = &f;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(range) = ranges.get(m) else { break };
+                        out.push((m, f(range.clone())));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(results) => {
+                    for (m, t) in results {
+                        slots[m] = Some(t);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every morsel was claimed exactly once"))
+        .collect()
+}
+
+/// Fallible variant of [`run`]: each morsel yields a `Result`, and the
+/// merged outcome is either every `Ok` payload in morsel order or the
+/// error of the **earliest** failing morsel — the same error a sequential
+/// left-to-right pass reports first (later morsels may have run, but
+/// morsel workers are side-effect free, so that is unobservable).
+pub(crate) fn try_run<T, E, F>(len: usize, par: Parallelism, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(Range<usize>) -> Result<T, E> + Sync,
+{
+    run(len, par, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn par(workers: usize, morsel_rows: usize) -> Parallelism {
+        Parallelism {
+            workers,
+            morsel_rows,
+        }
+    }
+
+    #[test]
+    fn ranges_cover_input_exactly() {
+        assert_eq!(morsel_ranges(0, 4), Vec::<Range<usize>>::new());
+        assert_eq!(morsel_ranges(10, 4), vec![0..4, 4..8, 8..10]);
+        assert_eq!(morsel_ranges(8, 4), vec![0..4, 4..8]);
+        assert_eq!(morsel_ranges(3, 4), vec![0..3]);
+    }
+
+    #[test]
+    fn parallel_results_arrive_in_morsel_order() {
+        for workers in [1, 2, 3, 8] {
+            let got = run(1000, par(workers, 7), |r| r.clone());
+            let flat: Vec<usize> = got.into_iter().flatten().collect();
+            assert_eq!(flat, (0..1000).collect::<Vec<_>>(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn try_run_reports_earliest_morsel_error() {
+        // Morsels 3 and 7 fail; the merged error must be morsel 3's.
+        let r: Result<Vec<()>, usize> = try_run(100, par(4, 10), |range| {
+            let m = range.start / 10;
+            if m == 3 || m == 7 {
+                Err(m)
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(r.unwrap_err(), 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            run(100, par(4, 10), |range| {
+                if range.start == 50 {
+                    panic!("boom at 50");
+                }
+                range.len()
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn single_worker_never_spawns() {
+        // Runs on the calling thread: thread-local state proves it.
+        thread_local! {
+            static MARK: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+        }
+        MARK.with(|m| m.set(7));
+        let got = run(100, par(1, 10), |_| MARK.with(|m| m.get()));
+        assert!(got.iter().all(|&v| v == 7));
+    }
+}

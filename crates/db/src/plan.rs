@@ -29,6 +29,11 @@
 //!   fallible ON residual could skip an error the row engine reports.
 //! - Everything the plan cannot express falls back: the caller returns
 //!   `None` and the row interpreter runs the query unchanged.
+//!
+//! The plan itself is execution-strategy agnostic: `vexec` runs the same
+//! `JoinPlan` sequentially or morsel-parallel (pushed kernels, probe and
+//! post-filters all chunk per morsel and merge in morsel order — see
+//! [`crate::morsel`]), with byte-identical results either way.
 
 use crate::column::ColumnarTable;
 use crate::error::{DbError, Result};

@@ -72,7 +72,10 @@ impl Table {
     }
 
     /// The columnar projection of this table, built on first use and
-    /// shared (cheaply clonable `Arc`) until the next write.
+    /// shared (cheaply clonable `Arc`) until the next write. The `Arc`
+    /// is what lets the morsel-parallel operators in [`crate::vexec`]
+    /// scan one immutable projection from several worker threads at
+    /// once without copying or locking.
     pub fn columnar(&self) -> &Arc<ColumnarTable> {
         self.columnar
             .get_or_init(|| Arc::new(ColumnarTable::from_rows(&self.rows, self.schema.len())))

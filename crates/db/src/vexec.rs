@@ -36,23 +36,42 @@
 //! - projection, HAVING, ORDER BY and DISTINCT always reuse the row
 //!   engine's compiled expressions and tail logic verbatim.
 //!
+//! # Morsel-driven parallelism
+//!
+//! When [`Database::set_parallelism`] raises the per-query worker budget
+//! above 1, the filter pass, the per-side join scans, the hash-join
+//! probe (against a shared read-only build side), row gathering and
+//! grouped aggregation all run across a scoped worker pool in fixed-size
+//! morsels ([`crate::morsel`]). Every parallel operator merges its
+//! per-morsel results **in morsel order**: selection vectors and match
+//! vectors concatenate, per-morsel group tables map into the global
+//! first-appearance order, and aggregate partial states
+//! (`AggPartial` in [`crate::aggregate`]) merge under order-preserving rules
+//! (value-collecting partials for `SUM`/`AVG`/`MEDIAN`/`STDDEV`, so the
+//! single float fold still happens in row order). Execution is therefore
+//! byte-identical at every worker count — including *which* runtime
+//! error surfaces — and `parallelism = 1` takes the exact sequential
+//! code paths.
+//!
 //! **Result identity:** both engines compile expressions with the same
 //! compiler, accumulate floating-point aggregates in the same row order,
 //! and share the ORDER BY / DISTINCT / LIMIT tail, so any query that
 //! executes without error returns a byte-identical [`ResultSet`] on
 //! either engine — the DP layers above (sensitivity analysis, noise
-//! seeding) cannot observe which engine ran. The one permitted
-//! divergence: *aggregate-stage* type errors (e.g. `SUM` over a column
-//! mixing strings into numbers) may be reported from a different row,
-//! because the columnar accumulators visit rows in table order rather
-//! than group order; whether a query errors is still identical.
+//! seeding) cannot observe which engine ran, nor how many threads ran
+//! it. The one permitted divergence: *aggregate-stage* type errors (e.g.
+//! `SUM` over a column mixing strings into numbers) may be reported from
+//! a different row, because the columnar accumulators visit rows in
+//! table order rather than group order; whether a query errors is still
+//! identical.
 
-use crate::aggregate::{self, AggFunc, AggSpec};
+use crate::aggregate::{self, AggFunc, AggPartial, AggSpec};
 use crate::column::{Column, ColumnData, ColumnarTable, GATHER_NULL};
 use crate::database::Database;
 use crate::error::{DbError, Result};
 use crate::exec::{self, Exec, GroupCompiler, SortKey};
 use crate::expr::{like_match, CompiledExpr};
+use crate::morsel::{self, Parallelism};
 use crate::plan::{self, ColMeta, JoinPlan, JoinSide, Relation, ResultSet};
 use crate::table::{Row, Table};
 use crate::value::{RowKey, Value, ValueKey};
@@ -189,6 +208,7 @@ pub fn accepts(db: &Database, q: &Query) -> bool {
 fn run(db: &Database, q: &Query, s: &Select, table: &Table, qualifier: &str) -> Result<ResultSet> {
     let cols = table.col_metas(qualifier);
     let ctab = table.columnar().clone();
+    let par = db.exec_tuning();
     let mut ex = Exec::new(db);
 
     // WHERE → selection vector.
@@ -196,11 +216,11 @@ fn run(db: &Database, q: &Query, s: &Select, table: &Table, qualifier: &str) -> 
     let sel = match &s.selection {
         Some(pred) => {
             let compiled = ex.compile_scalar(pred, &cols)?;
-            filter(&ctab, &compiled, all)?
+            filter(&ctab, &compiled, all, par)?
         }
         None => all,
     };
-    finish_block(&mut ex, q, s, cols, &ctab, &sel)
+    finish_block(&mut ex, q, s, cols, &ctab, &sel, par)
 }
 
 /// Everything downstream of the scan/filter/join: the columnar
@@ -214,29 +234,45 @@ fn finish_block(
     cols: Vec<ColMeta>,
     ctab: &ColumnarTable,
     sel: &[u32],
+    par: Parallelism,
 ) -> Result<ResultSet> {
     let mut rel = if Exec::has_aggregates(s) {
-        match grouped_fast(ex, s, &cols, ctab, sel, &q.order_by) {
+        match grouped_fast(ex, s, &cols, ctab, sel, &q.order_by, par) {
             Some(result) => result?,
             // Group keys or aggregate args are not plain columns: gather
             // the filtered rows and run the row engine's grouping on them.
             None => {
-                let input = Relation::new(cols, gather_rows(ctab, sel));
+                let input = Relation::new(cols, gather_rows(ctab, sel, par));
                 ex.select_after_where(s, input, &q.order_by)?
             }
         }
     } else {
         // Plain projection: the filter ran columnar, the rest is the row
         // engine's projection over only the surviving rows.
-        let input = Relation::new(cols, gather_rows(ctab, sel));
+        let input = Relation::new(cols, gather_rows(ctab, sel, par));
         ex.select_after_where(s, input, &q.order_by)?
     };
     exec::apply_limit_offset(&mut rel, q.limit, q.offset);
     Ok(ResultSet::from(rel))
 }
 
-/// Materialize the selected rows (exact `Value` reconstruction).
-fn gather_rows(ctab: &ColumnarTable, sel: &[u32]) -> Vec<Row> {
+/// Materialize the selected rows (exact `Value` reconstruction). Morsels
+/// gather independently; concatenating them in morsel order reproduces
+/// the sequential row order exactly.
+fn gather_rows(ctab: &ColumnarTable, sel: &[u32], par: Parallelism) -> Vec<Row> {
+    if par.engaged(sel.len()) {
+        // flatten() moves the worker-built rows; `concat()` would clone
+        // every Row a second time on the coordinating thread.
+        return morsel::run(sel.len(), par, |r| {
+            sel[r]
+                .iter()
+                .map(|&i| ctab.row(i as usize))
+                .collect::<Vec<Row>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    }
     sel.iter().map(|&i| ctab.row(i as usize)).collect()
 }
 
@@ -254,19 +290,52 @@ fn gather_rows(ctab: &ColumnarTable, sel: &[u32]) -> Vec<Row> {
 /// Any conjunct without a kernel therefore sends the whole predicate to
 /// the scalar interpreter, which preserves short-circuit and error
 /// behavior exactly.
-fn filter(ctab: &ColumnarTable, pred: &CompiledExpr, mut sel: Vec<u32>) -> Result<Vec<u32>> {
+///
+/// With parallelism engaged the selection splits into morsels, each
+/// morsel narrows independently (kernels and the scalar interpreter are
+/// both per-row), and the surviving indices concatenate in morsel order —
+/// the sequential output, bit for bit, including which error surfaces.
+fn filter(
+    ctab: &ColumnarTable,
+    pred: &CompiledExpr,
+    mut sel: Vec<u32>,
+    par: Parallelism,
+) -> Result<Vec<u32>> {
     let mut conjuncts = Vec::new();
     collect_conjuncts(pred, &mut conjuncts);
     if !conjuncts.iter().all(|c| kernelizable(ctab, c)) {
-        return generic_filter(ctab, pred, sel);
+        if par.engaged(sel.len()) {
+            let chunks = morsel::try_run(sel.len(), par, |r| {
+                generic_filter_chunk(ctab, pred, &sel[r])
+            })?;
+            return Ok(chunks.concat());
+        }
+        return generic_filter_chunk(ctab, pred, &sel);
     }
+    if par.engaged(sel.len()) {
+        let chunks = morsel::run(sel.len(), par, |r| {
+            narrow_by_kernels(ctab, &conjuncts, sel[r].to_vec())
+        });
+        return Ok(chunks.concat());
+    }
+    sel = narrow_by_kernels(ctab, &conjuncts, sel);
+    Ok(sel)
+}
+
+/// Apply every kernel conjunct in order to one selection (the sequential
+/// inner loop of [`filter`], shared by its morsel workers).
+fn narrow_by_kernels(
+    ctab: &ColumnarTable,
+    conjuncts: &[&CompiledExpr],
+    mut sel: Vec<u32>,
+) -> Vec<u32> {
     for c in conjuncts {
         if sel.is_empty() {
             break;
         }
         sel = apply_kernel(ctab, c, sel);
     }
-    Ok(sel)
+    sel
 }
 
 /// Does this conjunct have an infallible columnar kernel?
@@ -368,14 +437,14 @@ pub(crate) fn kernel_keeps_all_null(e: &CompiledExpr) -> bool {
 /// Fallback conjunct evaluation: scalar-interpret `e` per surviving row,
 /// gathering only the columns it references into a scratch row. Produces
 /// exactly the row engine's values (shared evaluator), including errors.
-fn generic_filter(ctab: &ColumnarTable, e: &CompiledExpr, sel: Vec<u32>) -> Result<Vec<u32>> {
+fn generic_filter_chunk(ctab: &ColumnarTable, e: &CompiledExpr, sel: &[u32]) -> Result<Vec<u32>> {
     let mut refs = Vec::new();
     e.for_each_column(&mut |i| refs.push(i));
     refs.sort_unstable();
     refs.dedup();
     let mut scratch: Row = vec![Value::Null; ctab.columns.len()];
     let mut out = Vec::with_capacity(sel.len());
-    for i in sel {
+    for &i in sel {
         let idx = i as usize;
         for &c in &refs {
             scratch[c] = ctab.columns[c].value(idx);
@@ -739,76 +808,111 @@ fn run_join(db: &Database, q: &Query, route: &JoinRoute<'_>) -> Result<ResultSet
     } = route;
     let lw = ltab.columns.len();
     let rw = rtab.columns.len();
+    let par = db.exec_tuning();
 
-    // Scans: selection vectors narrowed by the pushed-down kernels.
-    let mut lsel: Vec<u32> = (0..ltab.len() as u32).collect();
-    for k in &plan.pushed_left {
-        if lsel.is_empty() {
-            break;
-        }
-        lsel = apply_kernel(ltab, k, lsel);
-    }
-    let mut rsel: Vec<u32> = (0..rtab.len() as u32).collect();
-    for k in &plan.pushed_right {
-        if rsel.is_empty() {
-            break;
-        }
-        rsel = apply_kernel(rtab, k, rsel);
-    }
+    // Scans: selection vectors narrowed by the pushed-down kernels
+    // (morsel-parallel per side; kernels are per-row, so chunked
+    // narrowing concatenates back to the sequential selection).
+    let lsel = kernel_scan(ltab, &plan.pushed_left, par);
+    let rsel = kernel_scan(rtab, &plan.pushed_right, par);
 
-    // Build + probe. Probing walks the left side in order and each
-    // bucket in right-table order, so matches come out exactly in the
-    // row engine's combined-row order; unmatched left rows of a LEFT
-    // JOIN are emitted in place with the GATHER_NULL pad.
+    // Build + probe. The build side is sequential (it is the smaller,
+    // already-narrowed side and its bucket lists must be in right-table
+    // order); probing walks the left side in order and each bucket in
+    // right-table order, so matches come out exactly in the row engine's
+    // combined-row order; unmatched left rows of a LEFT JOIN are emitted
+    // in place with the GATHER_NULL pad. Parallel probes claim morsels
+    // of `lsel` against the shared read-only index and their match
+    // vectors concatenate in morsel order — the same pair sequence.
     let index = JoinIndex::build(rtab, &plan.key_pairs, &rsel);
-    let left_preds: Vec<_> = plan
-        .left_match_kernels
-        .iter()
-        .map(|k| kernel_predicate(ltab, k))
-        .collect();
-    let mut residual =
-        (!plan.join_residual.is_empty()).then(|| ResidualEval::new(&plan.join_residual, lw, rw));
     let pad = matches!(plan.join_type, JoinType::Left);
-    let mut pairs_l: Vec<u32> = Vec::with_capacity(lsel.len());
-    let mut pairs_r: Vec<u32> = Vec::with_capacity(lsel.len());
-    for &li in &lsel {
-        let lidx = li as usize;
-        let mut matched = false;
-        if left_preds.iter().all(|p| p(lidx)) {
-            if let Some(candidates) = index.probe(ltab, &plan.key_pairs, lidx) {
-                if let Some(res) = &mut residual {
-                    res.load_left(ltab, lidx);
-                    for &ri in candidates {
-                        if res.pair_ok(rtab, lw, ri as usize)? {
-                            matched = true;
+    let probe_chunk = |chunk: &[u32]| -> Result<(Vec<u32>, Vec<u32>)> {
+        let left_preds: Vec<_> = plan
+            .left_match_kernels
+            .iter()
+            .map(|k| kernel_predicate(ltab, k))
+            .collect();
+        let mut residual = (!plan.join_residual.is_empty())
+            .then(|| ResidualEval::new(&plan.join_residual, lw, rw));
+        let mut pairs_l: Vec<u32> = Vec::with_capacity(chunk.len());
+        let mut pairs_r: Vec<u32> = Vec::with_capacity(chunk.len());
+        for &li in chunk {
+            let lidx = li as usize;
+            let mut matched = false;
+            if left_preds.iter().all(|p| p(lidx)) {
+                if let Some(candidates) = index.probe(ltab, &plan.key_pairs, lidx) {
+                    if let Some(res) = &mut residual {
+                        res.load_left(ltab, lidx);
+                        for &ri in candidates {
+                            if res.pair_ok(rtab, lw, ri as usize)? {
+                                matched = true;
+                                pairs_l.push(li);
+                                pairs_r.push(ri);
+                            }
+                        }
+                    } else {
+                        matched = !candidates.is_empty();
+                        for &ri in candidates {
                             pairs_l.push(li);
                             pairs_r.push(ri);
                         }
                     }
-                } else {
-                    matched = !candidates.is_empty();
-                    for &ri in candidates {
-                        pairs_l.push(li);
-                        pairs_r.push(ri);
-                    }
                 }
             }
+            if !matched && pad {
+                pairs_l.push(li);
+                pairs_r.push(GATHER_NULL);
+            }
         }
-        if !matched && pad {
-            pairs_l.push(li);
-            pairs_r.push(GATHER_NULL);
+        Ok((pairs_l, pairs_r))
+    };
+    let (mut pairs_l, mut pairs_r) = if par.engaged(lsel.len()) {
+        let chunks = morsel::try_run(lsel.len(), par, |r| probe_chunk(&lsel[r]))?;
+        let total = chunks.iter().map(|(l, _)| l.len()).sum();
+        let mut pairs_l: Vec<u32> = Vec::with_capacity(total);
+        let mut pairs_r: Vec<u32> = Vec::with_capacity(total);
+        for (l, r) in chunks {
+            pairs_l.extend(l);
+            pairs_r.extend(r);
         }
-    }
+        (pairs_l, pairs_r)
+    } else {
+        probe_chunk(&lsel)?
+    };
 
-    // Post-join filters (WHERE conjuncts that could not be pushed).
-    for (side, k) in &plan.post_kernels {
-        if pairs_l.is_empty() {
-            break;
+    // Post-join filters (WHERE conjuncts that could not be pushed),
+    // applied per pair — chunkable the same way.
+    if par.engaged(pairs_l.len()) && (!plan.post_kernels.is_empty() || plan.post_filter.is_some()) {
+        let chunks = morsel::try_run(pairs_l.len(), par, |range| {
+            let mut pl = pairs_l[range.clone()].to_vec();
+            let mut pr = pairs_r[range].to_vec();
+            for (side, k) in &plan.post_kernels {
+                if pl.is_empty() {
+                    break;
+                }
+                apply_pair_kernel(ltab, rtab, *side, k, &mut pl, &mut pr);
+            }
+            if let Some(pred) = &plan.post_filter {
+                generic_pair_filter(ltab, rtab, pred, &mut pl, &mut pr)?;
+            }
+            Ok::<_, DbError>((pl, pr))
+        })?;
+        pairs_l.clear();
+        pairs_r.clear();
+        for (l, r) in chunks {
+            pairs_l.extend(l);
+            pairs_r.extend(r);
         }
-        apply_pair_kernel(ltab, rtab, *side, k, &mut pairs_l, &mut pairs_r);
-    }
-    if let Some(pred) = &plan.post_filter {
-        generic_pair_filter(ltab, rtab, pred, &mut pairs_l, &mut pairs_r)?;
+    } else {
+        for (side, k) in &plan.post_kernels {
+            if pairs_l.is_empty() {
+                break;
+            }
+            apply_pair_kernel(ltab, rtab, *side, k, &mut pairs_l, &mut pairs_r);
+        }
+        if let Some(pred) = &plan.post_filter {
+            generic_pair_filter(ltab, rtab, pred, &mut pairs_l, &mut pairs_r)?;
+        }
     }
 
     // Late materialization: gather only the live columns; dead columns
@@ -833,7 +937,22 @@ fn run_join(db: &Database, q: &Query, route: &JoinRoute<'_>) -> Result<ResultSet
 
     let sel: Vec<u32> = (0..n as u32).collect();
     let mut ex = Exec::new(db);
-    finish_block(&mut ex, q, s, cols.clone(), &joined, &sel)
+    finish_block(&mut ex, q, s, cols.clone(), &joined, &sel, par)
+}
+
+/// Narrow a full-table scan by a list of pushed-down kernels
+/// (morsel-parallel when engaged; identity selection when `kernels` is
+/// empty).
+fn kernel_scan(tab: &ColumnarTable, kernels: &[CompiledExpr], par: Parallelism) -> Vec<u32> {
+    let len = tab.len();
+    let refs: Vec<&CompiledExpr> = kernels.iter().collect();
+    if par.engaged(len) && !kernels.is_empty() {
+        return morsel::run(len, par, |r| {
+            narrow_by_kernels(tab, &refs, (r.start as u32..r.end as u32).collect())
+        })
+        .concat();
+    }
+    narrow_by_kernels(tab, &refs, (0..len as u32).collect())
 }
 
 /// Row predicate for `column op literal`, with the exact semantics of
@@ -942,6 +1061,7 @@ fn grouped_fast(
     ctab: &ColumnarTable,
     sel: &[u32],
     order_by: &[OrderByItem],
+    par: Parallelism,
 ) -> Option<Result<Relation>> {
     let group_exprs = ex.compile_group_exprs(s, cols).ok()?;
     let mut key_cols = Vec::with_capacity(group_exprs.len());
@@ -1001,7 +1121,7 @@ fn grouped_fast(
         having,
         order_plan,
     };
-    Some(run_grouped(s, ctab, sel, order_by, plan))
+    Some(run_grouped(s, ctab, sel, order_by, plan, par))
 }
 
 fn run_grouped(
@@ -1010,7 +1130,11 @@ fn run_grouped(
     sel: &[u32],
     order_by: &[OrderByItem],
     plan: GroupedPlan,
+    par: Parallelism,
 ) -> Result<Relation> {
+    if par.engaged(sel.len()) {
+        return run_grouped_parallel(s, ctab, sel, order_by, plan, par);
+    }
     let (gids, mut groups) = assign_groups(ctab, &plan.key_cols, sel);
     // A grand aggregate over zero rows still yields one group.
     if plan.key_cols.is_empty() && groups.is_empty() {
@@ -1022,9 +1146,113 @@ fn run_grouped(
     for (spec, arg) in plan.aggs.iter().zip(&plan.agg_args) {
         agg_vals.push(compute_agg(ctab, spec.func, *arg, sel, &gids, ngroups)?);
     }
+    grouped_tail(s, order_by, plan, groups, agg_vals)
+}
 
-    // Tail identical to the row engine's select_grouped: build post-group
-    // rows `[key values..., aggregate values...]`, filter HAVING, project.
+/// Morsel-parallel grouped aggregation: every morsel of the selection
+/// builds its own local group table (first-appearance order within the
+/// morsel) and one [`AggPartial`] per aggregate; the coordinating thread
+/// then merges morsels **in morsel order** — local groups map into a
+/// global table that reproduces the sequential first-appearance order
+/// (all of morsel 0's rows precede morsel 1's), and partial states merge
+/// per [`AggPartial::merge`]'s order-preserving rules. Aggregate-stage
+/// errors are reported for the lowest aggregate index first and, within
+/// an aggregate, from the earliest morsel — exactly the sequential
+/// engine's aggregate-major, row-order error.
+fn run_grouped_parallel(
+    s: &Select,
+    ctab: &ColumnarTable,
+    sel: &[u32],
+    order_by: &[OrderByItem],
+    plan: GroupedPlan,
+    par: Parallelism,
+) -> Result<Relation> {
+    type MorselState = (Vec<Row>, Vec<Result<AggPartial>>);
+    let morsels: Vec<MorselState> = morsel::run(sel.len(), par, |range| {
+        let chunk = &sel[range];
+        let (gids, groups) = assign_groups(ctab, &plan.key_cols, chunk);
+        let ngroups = groups.len();
+        let partials = plan
+            .aggs
+            .iter()
+            .zip(&plan.agg_args)
+            .map(|(spec, arg)| partial_agg(ctab, spec.func, *arg, chunk, &gids, ngroups))
+            .collect();
+        (groups, partials)
+    });
+
+    // Merge morsel-local groups into the global first-appearance order.
+    let naggs = plan.aggs.len();
+    let mut map: HashMap<RowKey, u32> = HashMap::new();
+    let mut groups: Vec<Row> = Vec::new();
+    let mut gid_maps: Vec<Vec<u32>> = Vec::with_capacity(morsels.len());
+    let mut locals: Vec<Vec<Result<AggPartial>>> = Vec::with_capacity(morsels.len());
+    for (local_groups, partials) in morsels {
+        let mut gmap = Vec::with_capacity(local_groups.len());
+        for key_vals in local_groups {
+            let gid = match map.entry(RowKey::from_values(&key_vals)) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    groups.push(key_vals);
+                    *e.insert((groups.len() - 1) as u32)
+                }
+            };
+            gmap.push(gid);
+        }
+        gid_maps.push(gmap);
+        locals.push(partials);
+    }
+    // A grand aggregate over zero rows still yields one group.
+    if plan.key_cols.is_empty() && groups.is_empty() {
+        groups.push(Vec::new());
+    }
+    let ngroups = groups.len();
+
+    // Merge partial states per aggregate, morsels in order.
+    let mut global: Vec<AggPartial> = plan
+        .aggs
+        .iter()
+        .zip(&plan.agg_args)
+        .map(|(spec, arg)| {
+            AggPartial::new_global(spec.func, ngroups, mixed_best(ctab, spec.func, *arg))
+        })
+        .collect();
+    let mut first_err: Vec<Option<DbError>> = Vec::with_capacity(naggs);
+    first_err.resize_with(naggs, || None);
+    for (m, partials) in locals.into_iter().enumerate() {
+        for (a, partial) in partials.into_iter().enumerate() {
+            if first_err[a].is_some() {
+                continue;
+            }
+            match partial {
+                Ok(p) => global[a].merge(p, &gid_maps[m], plan.aggs[a].func),
+                Err(e) => first_err[a] = Some(e),
+            }
+        }
+    }
+    if let Some(e) = first_err.into_iter().flatten().next() {
+        return Err(e);
+    }
+    let agg_vals: Vec<Vec<Value>> = global
+        .into_iter()
+        .zip(&plan.aggs)
+        .map(|(g, spec)| g.finalize(spec.func))
+        .collect();
+    grouped_tail(s, order_by, plan, groups, agg_vals)
+}
+
+/// Post-aggregation tail shared by the sequential and parallel grouped
+/// operators — identical to the row engine's `select_grouped`: build
+/// post-group rows `[key values..., aggregate values...]`, filter HAVING,
+/// project, sort.
+fn grouped_tail(
+    s: &Select,
+    order_by: &[OrderByItem],
+    plan: GroupedPlan,
+    groups: Vec<Row>,
+    agg_vals: Vec<Vec<Value>>,
+) -> Result<Relation> {
+    let ngroups = groups.len();
     let mut out_rows = Vec::with_capacity(ngroups);
     let mut key_rows = if order_by.is_empty() {
         None
@@ -1213,14 +1441,7 @@ fn compute_agg(
                 if col.is_null(idx) {
                     continue;
                 }
-                let key = match &col.data {
-                    ColumnData::Int64(xs) => ValueKey::Int(xs[idx]),
-                    ColumnData::Float64(xs) => ValueKey::from(&Value::Float(xs[idx])),
-                    ColumnData::Bool(bs) => ValueKey::Bool(bs[idx]),
-                    ColumnData::Str(ss) => ValueKey::Str(ss[idx].clone()),
-                    ColumnData::Mixed(vs) => ValueKey::from(&vs[idx]),
-                };
-                sets[gids[k] as usize].insert(key);
+                sets[gids[k] as usize].insert(value_key_at(col, idx));
             }
             Ok(sets
                 .into_iter()
@@ -1273,6 +1494,115 @@ fn compute_agg(
                 .collect())
         }
     }
+}
+
+/// Hashable grouping/distinct key of a non-null column slot, matching
+/// `ValueKey::from(&col.value(idx))` without materializing the `Value`.
+fn value_key_at(col: &Column, idx: usize) -> ValueKey {
+    match &col.data {
+        ColumnData::Int64(xs) => ValueKey::Int(xs[idx]),
+        ColumnData::Float64(xs) => ValueKey::from(&Value::Float(xs[idx])),
+        ColumnData::Bool(bs) => ValueKey::Bool(bs[idx]),
+        ColumnData::Str(ss) => ValueKey::Str(ss[idx].clone()),
+        ColumnData::Mixed(vs) => ValueKey::from(&vs[idx]),
+    }
+}
+
+/// Compute one aggregate's [`AggPartial`] over one morsel of the
+/// selection (morsel-local group ids). Mirrors [`compute_agg`] exactly,
+/// but defers the order-sensitive finishing steps — float folds, median
+/// sorting — to [`AggPartial::finalize`] after the morsel-order merge, so
+/// the parallel pipeline's numeric results are bit-identical to the
+/// sequential single pass. Type errors surface from the same rows,
+/// walked in the same (selection) order.
+fn partial_agg(
+    ctab: &ColumnarTable,
+    func: AggFunc,
+    arg: Option<usize>,
+    sel: &[u32],
+    gids: &[u32],
+    ngroups: usize,
+) -> Result<AggPartial> {
+    if func == AggFunc::CountStar {
+        let mut counts = vec![0i64; ngroups];
+        for &g in gids {
+            counts[g as usize] += 1;
+        }
+        return Ok(AggPartial::Counts(counts));
+    }
+    let col = match arg {
+        Some(c) => &ctab.columns[c],
+        None => {
+            return Err(DbError::InvalidAggregate(format!(
+                "{func:?} requires an argument"
+            )))
+        }
+    };
+    match func {
+        AggFunc::CountStar => unreachable!("handled above"),
+        AggFunc::Count => {
+            let mut counts = vec![0i64; ngroups];
+            if col.nulls.any() {
+                for (k, &i) in sel.iter().enumerate() {
+                    if !col.is_null(i as usize) {
+                        counts[gids[k] as usize] += 1;
+                    }
+                }
+            } else {
+                for &g in gids {
+                    counts[g as usize] += 1;
+                }
+            }
+            Ok(AggPartial::Counts(counts))
+        }
+        AggFunc::CountDistinct => {
+            let mut sets: Vec<HashSet<ValueKey>> = vec![HashSet::new(); ngroups];
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                sets[gids[k] as usize].insert(value_key_at(col, idx));
+            }
+            Ok(AggPartial::Distinct(sets))
+        }
+        AggFunc::Sum | AggFunc::Avg | AggFunc::Median | AggFunc::Stddev => {
+            let mut per: Vec<Vec<f64>> = vec![Vec::new(); ngroups];
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                per[gids[k] as usize].push(numeric_at(col, idx, func)?);
+            }
+            Ok(AggPartial::Values(per))
+        }
+        AggFunc::Min | AggFunc::Max => {
+            // Mixed columns need value-collecting partials: total_cmp is
+            // not transitive across physical types, so per-morsel winners
+            // cannot be merged — see `AggPartial::BestValues`.
+            if let ColumnData::Mixed(vs) = &col.data {
+                let mut per: Vec<Vec<Value>> = vec![Vec::new(); ngroups];
+                for (k, &i) in sel.iter().enumerate() {
+                    let idx = i as usize;
+                    if col.is_null(idx) {
+                        continue;
+                    }
+                    per[gids[k] as usize].push(vs[idx].clone());
+                }
+                return Ok(AggPartial::BestValues(per));
+            }
+            Ok(AggPartial::Best(min_max(col, func, sel, gids, ngroups)))
+        }
+    }
+}
+
+/// Whether `partial_agg` produces the value-collecting `MIN`/`MAX` shape
+/// for this aggregate (Mixed argument column) — the global accumulator
+/// must be constructed to match.
+fn mixed_best(ctab: &ColumnarTable, func: AggFunc, arg: Option<usize>) -> bool {
+    matches!(func, AggFunc::Min | AggFunc::Max)
+        && arg.is_some_and(|c| matches!(ctab.columns[c].data, ColumnData::Mixed(_)))
 }
 
 /// MIN/MAX with the row engine's tie-breaking (first occurrence wins on

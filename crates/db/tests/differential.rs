@@ -56,6 +56,10 @@ fn arb_float() -> BoxedStrategy<Value> {
         (-4i64..5).prop_map(|i| Value::Float(i as f64 * 0.5)),
         (-4i64..5).prop_map(|i| Value::Float(i as f64 * 0.5)),
         (-4i64..5).prop_map(|i| Value::Float(i as f64 * 0.5)),
+        // A Float-typed column may physically hold Ints too: makes the
+        // column Mixed, exercising the engines' cross-type comparison,
+        // grouping and MIN/MAX paths.
+        (-4i64..5).prop_map(Value::Int),
     ]
     .boxed()
 }
@@ -311,6 +315,149 @@ proptest! {
     }
 }
 
+// ---- morsel-parallel execution: byte-identity across worker counts -------
+
+/// Engage real multi-morsel parallel merging on the tiny generated
+/// tables: a handful of rows per morsel forces per-morsel group tables,
+/// partial aggregates and match vectors to actually merge.
+fn parallelize(db: &Database, workers: usize) {
+    db.set_parallelism(workers);
+    db.set_morsel_rows(3);
+}
+
+/// Both executions must agree exactly: same `ResultSet` (rows, order,
+/// NULLs, float bits) or the same error.
+fn assert_modes_agree(
+    seq: Result<ResultSet, flex_db::DbError>,
+    par: Result<ResultSet, flex_db::DbError>,
+    workers: usize,
+    sql: &str,
+) -> Result<(), proptest::TestCaseError> {
+    match (seq, par) {
+        (Ok(s), Ok(p)) => prop_assert_eq!(s, p, "parallel({}) diverges on: {}", workers, sql),
+        (Err(s), Err(p)) => prop_assert_eq!(
+            s.to_string(),
+            p.to_string(),
+            "parallel({}) reports a different error on: {}",
+            workers,
+            sql
+        ),
+        (s, p) => prop_assert!(
+            false,
+            "one mode failed on {} (workers {}): seq={:?} par={:?}",
+            sql,
+            workers,
+            s,
+            p
+        ),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Sequential (`parallelism = 1`) and morsel-parallel (2–8 workers)
+    /// executions are byte-identical on every accepted single-table
+    /// query: per-morsel partial states merge in morsel order, so rows,
+    /// float bit patterns and error choices cannot depend on the worker
+    /// count — and neither can DP noise seeds downstream.
+    #[test]
+    fn parallel_matches_sequential_on_random_queries(
+        rows in arb_rows(),
+        sql in arb_query(),
+        workers in 2usize..=8,
+    ) {
+        let db = build_db(rows);
+        let seq = db.execute_sql(&sql);
+        parallelize(&db, workers);
+        let par = db.execute_sql(&sql);
+        assert_modes_agree(seq, par, workers, &sql)?;
+    }
+
+    /// Same contract for the columnar join pipeline: parallel per-side
+    /// scans, morsel-parallel probes of the shared build side and
+    /// parallel post-join filters must reproduce the sequential match
+    /// vectors exactly.
+    #[test]
+    fn parallel_matches_sequential_on_random_join_queries(
+        trows in arb_rows(),
+        rrows in arb_r_rows(),
+        sql in arb_join_query(),
+        workers in 2usize..=8,
+    ) {
+        let mut db = build_db(trows);
+        add_r(&mut db, rrows);
+        let seq = db.execute_sql(&sql);
+        parallelize(&db, workers);
+        let par = db.execute_sql(&sql);
+        assert_modes_agree(seq, par, workers, &sql)?;
+    }
+}
+
+/// `Value::total_cmp` is not transitive across physical types: Int-vs-Int
+/// compares exact i64, Int-vs-Float coerces through f64, so on a Mixed
+/// column `Float(2^53)` f64-ties `Int(2^53 + 1)` while `Int(2^53)` beats
+/// it exactly. A parallel MIN/MAX that merged per-morsel *winners* would
+/// therefore diverge from the sequential left fold (the morsel holding
+/// `[Float(2^53), Int(2^53)]` elects `Float(2^53)`, which then ties — and
+/// loses first-wins — against `Int(2^53 + 1)` globally, discarding the
+/// true minimum). The value-collecting `BestValues` partial replays the
+/// sequential fold instead; this pins it.
+#[test]
+fn parallel_min_max_on_mixed_column_matches_sequential_above_2p53() {
+    let two53 = 9_007_199_254_740_992i64;
+    let mut db = Database::new();
+    db.create_table("m", Schema::of(&[("v", DataType::Float)]))
+        .unwrap();
+    db.insert(
+        "m",
+        vec![
+            vec![Value::Null],
+            vec![Value::Int(two53 + 1)],
+            vec![Value::Float(two53 as f64)],
+            vec![Value::Int(two53)],
+        ],
+    )
+    .unwrap();
+    for sql in ["SELECT MIN(v) FROM m", "SELECT MAX(v) FROM m"] {
+        let seq = db.execute_sql(sql).unwrap();
+        let row = db.execute_sql_row(sql).unwrap();
+        assert_eq!(seq, row, "engines disagree on: {sql}");
+        db.set_parallelism(2);
+        db.set_morsel_rows(2);
+        let par = db.execute_sql(sql).unwrap();
+        assert_eq!(par, seq, "parallel diverges on: {sql}");
+        db.set_parallelism(1);
+    }
+}
+
+#[test]
+fn parallel_error_choice_matches_sequential() {
+    // Rows erroring in *later* morsels only: the parallel generic filter
+    // must report the sequential first-in-row-order error even though
+    // other morsels ran concurrently (and an all-Ok earlier morsel must
+    // not mask it).
+    let mut rows = vec![
+        (
+            Value::Int(1),
+            Value::Float(0.0),
+            Value::str("ok"),
+            Value::Int(0),
+        );
+        10
+    ];
+    // Row 7: `a = 1` is NULL here, so AND keeps evaluating and `c + 1`
+    // type-errors on the string.
+    rows[7].0 = Value::Null;
+    let db = build_db(rows);
+    let sql = "SELECT COUNT(*) FROM t WHERE a = 2 AND c + 1 > 0";
+    let seq = db.execute_sql(sql).unwrap_err();
+    parallelize(&db, 4);
+    let par = db.execute_sql(sql).unwrap_err();
+    assert_eq!(seq.to_string(), par.to_string());
+}
+
 // ---- explicit NULL handling in vectorized aggregates ---------------------
 
 /// Run on both engines, assert agreement, and return the shared result.
@@ -415,6 +562,111 @@ fn vectorized_count_distinct_unifies_int_and_float() {
     assert_eq!(rs.rows[0], vec![Value::Int(2), Value::Int(3)]);
 }
 
+// ---- NaN / negative-zero aggregates (both engines, bit-identical) --------
+
+/// `ResultSet` equality can't check NaN rows (`NaN != NaN`), so compare
+/// float cells by bit pattern — which is also the real contract: noise
+/// seeding hashes the bits, so the engines must agree *bit for bit*.
+fn assert_rows_bit_identical(a: &ResultSet, b: &ResultSet, ctx: &str) {
+    assert_eq!(a.columns, b.columns, "columns differ on: {ctx}");
+    assert_eq!(a.rows.len(), b.rows.len(), "row counts differ on: {ctx}");
+    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(ra.len(), rb.len());
+        for (va, vb) in ra.iter().zip(rb) {
+            match (va, vb) {
+                (Value::Float(x), Value::Float(y)) => {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "float bits differ ({x:?} vs {y:?}) on: {ctx}"
+                    );
+                }
+                _ => assert_eq!(va, vb, "cells differ on: {ctx}"),
+            }
+        }
+    }
+}
+
+/// MEDIAN/STDDEV (and the other float aggregates) over columns holding
+/// NaN and ±0.0: both engines — and the morsel-parallel path — must
+/// collect argument values in selection-vector order, so `total_cmp`
+/// sorting and accumulation produce the same bits everywhere.
+#[test]
+fn median_stddev_nan_negative_zero_bit_identical() {
+    let mk = |b0: f64| {
+        build_db(vec![
+            (
+                Value::Int(1),
+                Value::Float(b0),
+                Value::str("x"),
+                Value::Int(0),
+            ),
+            (
+                Value::Int(2),
+                Value::Float(-0.0),
+                Value::str("x"),
+                Value::Int(0),
+            ),
+            (
+                Value::Int(3),
+                Value::Float(0.0),
+                Value::str("y"),
+                Value::Int(1),
+            ),
+            (Value::Int(4), Value::Null, Value::str("y"), Value::Int(1)),
+            (
+                Value::Int(5),
+                Value::Float(2.5),
+                Value::str("y"),
+                Value::Int(1),
+            ),
+            (
+                Value::Int(6),
+                Value::Float(-1.5),
+                Value::str("z"),
+                Value::Int(0),
+            ),
+        ])
+    };
+    let queries = [
+        "SELECT MEDIAN(b), STDDEV(b), SUM(b), AVG(b), MIN(b), MAX(b) FROM t",
+        "SELECT d, MEDIAN(b), STDDEV(b), SUM(b), MIN(b) FROM t GROUP BY d ORDER BY d",
+        "SELECT c, MEDIAN(b), MAX(b) FROM t GROUP BY c ORDER BY c",
+    ];
+    for seed in [f64::NAN, -f64::NAN, -0.0] {
+        let db = mk(seed);
+        for sql in queries {
+            let v = db.execute_sql(sql).unwrap();
+            let r = db.execute_sql_row(sql).unwrap();
+            assert_rows_bit_identical(&v, &r, sql);
+            // Morsel-parallel grouped aggregation: value-collecting
+            // partials concatenated in morsel order must not move a NaN
+            // or flip a -0.0.
+            db.set_parallelism(4);
+            db.set_morsel_rows(2);
+            let p = db.execute_sql(sql).unwrap();
+            assert_rows_bit_identical(&p, &r, sql);
+            db.set_parallelism(1);
+        }
+    }
+    // Pin the -0.0 semantics explicitly: MIN is -0.0 (total_cmp orders it
+    // below +0.0) and the even-count median of {-0.0, 0.0} is +0.0.
+    // Selection is rows a = 2 (b = -0.0) and a = 3 (b = 0.0); the kernel
+    // `b = 0` keeps both (f64 coercion: -0.0 == 0).
+    let db = mk(-0.0);
+    let rs = db
+        .execute_sql("SELECT MIN(b), MEDIAN(b) FROM t WHERE b = 0 AND a >= 2")
+        .unwrap();
+    let Value::Float(min) = &rs.rows[0][0] else {
+        panic!("expected float MIN");
+    };
+    assert_eq!(min.to_bits(), (-0.0f64).to_bits(), "MIN must keep -0.0");
+    let Value::Float(med) = &rs.rows[0][1] else {
+        panic!("expected float MEDIAN");
+    };
+    assert_eq!(med.to_bits(), 0.0f64.to_bits(), "median of {{-0.0, 0.0}}");
+}
+
 // ---- LIMIT/OFFSET and ORDER BY regressions (both engines) ----------------
 
 #[test]
@@ -487,6 +739,87 @@ fn int_comparisons_coerce_through_f64_like_sql_cmp() {
     assert_eq!(rs.rows[0][0], Value::Int(2));
     let rs = both(&db, &format!("SELECT COUNT(*) FROM big WHERE v > {two_53}"));
     assert_eq!(rs.rows[0][0], Value::Int(0));
+}
+
+/// Audit of the Int64 comparison kernels (`vexec::cmp_predicate`): every
+/// `xs[i] as f64` cast is lossy above 2^53, but so is the row engine's
+/// own `sql_cmp`, which coerces Int-vs-Int through `as_f64` too — the
+/// kernels must reproduce that coercion bit-for-bit on *both* sides of
+/// the 2^53 boundary, for negative magnitudes, for Float columns probed
+/// with huge Int literals, and for the exact-integer paths (GROUP BY,
+/// COUNT(DISTINCT), join keys) that must NOT coerce.
+#[test]
+fn int_kernels_match_sql_cmp_at_both_2p53_boundaries() {
+    let two53 = 9_007_199_254_740_992i64; // 2^53
+    let mut db = Database::new();
+    db.create_table(
+        "big",
+        Schema::of(&[("v", DataType::Int), ("f", DataType::Float)]),
+    )
+    .unwrap();
+    db.insert(
+        "big",
+        vec![
+            vec![Value::Int(two53), Value::Float(two53 as f64)],
+            vec![Value::Int(two53 + 1), Value::Float(-(two53 as f64))],
+            vec![Value::Int(-two53), Value::Float(7.0)],
+            vec![Value::Int(-two53 - 1), Value::Null],
+            vec![Value::Int(7), Value::Float(0.5)],
+        ],
+    )
+    .unwrap();
+
+    // Positive boundary: 2^53 + 1 rounds to 2^53 as f64, so under f64
+    // coercion it equals 2^53 and nothing exceeds it.
+    let rs = both(&db, &format!("SELECT COUNT(*) FROM big WHERE v = {two53}"));
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+    let rs = both(
+        &db,
+        &format!("SELECT COUNT(*) FROM big WHERE v = {}", two53 + 1),
+    );
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+    let rs = both(&db, &format!("SELECT COUNT(*) FROM big WHERE v > {two53}"));
+    assert_eq!(rs.rows[0][0], Value::Int(0));
+    // Negative boundary. (Negative literals compile as a unary minus, so
+    // this exercises the non-kernel fallback; negative *column values*
+    // against positive literals exercise the kernel.)
+    let rs = both(
+        &db,
+        &format!("SELECT COUNT(*) FROM big WHERE v = -{}", two53 + 1),
+    );
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+    let rs = both(
+        &db,
+        &format!("SELECT COUNT(*) FROM big WHERE v < {}", -two53),
+    );
+    assert_eq!(rs.rows[0][0], Value::Int(0));
+    let rs = both(&db, &format!("SELECT COUNT(*) FROM big WHERE v < {two53}"));
+    assert_eq!(rs.rows[0][0], Value::Int(3));
+    // Float column probed with a 2^53-adjacent Int literal: the
+    // Float64-vs-Int kernel coerces the literal exactly like sql_cmp.
+    let rs = both(
+        &db,
+        &format!("SELECT COUNT(*) FROM big WHERE f = {}", two53 + 1),
+    );
+    assert_eq!(rs.rows[0][0], Value::Int(1));
+    // Exact-integer paths must NOT coerce: 2^53 and 2^53 + 1 stay
+    // distinct group/distinct/join keys on both engines.
+    let rs = both(&db, "SELECT v, COUNT(*) FROM big GROUP BY v ORDER BY 1");
+    assert_eq!(rs.rows.len(), 5);
+    let rs = both(&db, "SELECT COUNT(DISTINCT v) FROM big");
+    assert_eq!(rs.rows[0][0], Value::Int(5));
+    let rs = both(
+        &db,
+        "SELECT COUNT(*) FROM big x JOIN big y ON x.v = y.v WHERE x.v > 0",
+    );
+    assert_eq!(rs.rows[0][0], Value::Int(3));
+    // And the whole audit holds under morsel-parallel execution too.
+    db.set_parallelism(4);
+    db.set_morsel_rows(2);
+    let rs = both(&db, &format!("SELECT COUNT(*) FROM big WHERE v = {two53}"));
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+    let rs = both(&db, "SELECT COUNT(DISTINCT v) FROM big");
+    assert_eq!(rs.rows[0][0], Value::Int(5));
 }
 
 #[test]

@@ -491,6 +491,99 @@ mod tests {
         ));
     }
 
+    /// Random charge/refund/settle interleavings against a reference
+    /// model. Invariants under every prefix of every sequence:
+    ///
+    /// - composed spend never goes negative (in ε or δ) — a refund can
+    ///   never mint headroom;
+    /// - a refund after `settle()` is a no-op, as is a double refund
+    ///   (the model only erases a charge on its *first* refund while
+    ///   still outstanding);
+    /// - sequential spend tracks the model's sum of live charges, and
+    ///   admitted-query counts match in both composition modes.
+    #[test]
+    fn random_charge_refund_settle_interleavings_hold_invariants() {
+        use proptest::prelude::*;
+
+        #[derive(Clone, Copy, PartialEq)]
+        enum ChargeState {
+            Outstanding,
+            Settled,
+            Refunded,
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            fn run(
+                ops in proptest::collection::vec((0u8..4, 0usize..8, 1u32..9), 1..80),
+                strong in proptest::prelude::any::<bool>(),
+            ) {
+                let cap = 1.0;
+                let policy = if strong {
+                    LedgerPolicy::strong(cap, 1e-4, 1e-6)
+                } else {
+                    LedgerPolicy::sequential(cap, 1e-4)
+                };
+                let ledger = BudgetLedger::new(policy);
+                let mut charges: Vec<(Charge, ChargeState)> = Vec::new();
+                for (kind, slot, step) in ops {
+                    match kind {
+                        0 => {
+                            // Strong mode pins homogeneous (ε, δ).
+                            let eps = if strong { 0.02 } else { step as f64 * 0.02 };
+                            if let Ok(c) = ledger.try_charge("a", eps, 1e-9) {
+                                charges.push((c, ChargeState::Outstanding));
+                            }
+                        }
+                        1 | 3 => {
+                            // Refund an arbitrary charge — possibly one
+                            // already refunded or settled (must no-op).
+                            if !charges.is_empty() {
+                                let i = slot % charges.len();
+                                ledger.refund(&charges[i].0);
+                                if charges[i].1 == ChargeState::Outstanding {
+                                    charges[i].1 = ChargeState::Refunded;
+                                }
+                            }
+                        }
+                        _ => {
+                            if !charges.is_empty() {
+                                let i = slot % charges.len();
+                                ledger.settle(&charges[i].0);
+                                if charges[i].1 == ChargeState::Outstanding {
+                                    charges[i].1 = ChargeState::Settled;
+                                }
+                            }
+                        }
+                    }
+                    // Invariants after every step.
+                    let (e, d) = ledger.spent("a");
+                    prop_assert!(e >= 0.0 && d >= 0.0, "spend went negative: ({e}, {d})");
+                    let live: Vec<&Charge> = charges
+                        .iter()
+                        .filter(|(_, s)| *s != ChargeState::Refunded)
+                        .map(|(c, _)| c)
+                        .collect();
+                    prop_assert_eq!(
+                        ledger.queries("a") as usize,
+                        live.len(),
+                        "admitted-query count diverged from the model"
+                    );
+                    if !strong {
+                        let expect_e: f64 = live.iter().map(|c| c.epsilon).sum();
+                        let expect_d: f64 = live.iter().map(|c| c.delta).sum();
+                        prop_assert!(
+                            (e - expect_e).abs() < 1e-9 && (d - expect_d).abs() < 1e-9,
+                            "sequential spend ({e}, {d}) != model ({expect_e}, {expect_d})"
+                        );
+                        prop_assert!(e <= cap + 1e-9, "spend exceeded the cap");
+                    }
+                }
+            }
+        }
+        run();
+    }
+
     #[test]
     fn per_analyst_policies() {
         let ledger = BudgetLedger::new(LedgerPolicy::sequential(1.0, 1e-6));

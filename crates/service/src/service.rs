@@ -35,6 +35,15 @@ use std::thread::JoinHandle;
 pub struct ServiceConfig {
     /// Worker threads driving the pipeline. Clamped to at least 1.
     pub workers: usize,
+    /// Intra-query worker threads of the vectorized execution engine
+    /// (morsel-driven parallel scans, joins and aggregations). Clamped to
+    /// at least 1; 1 (the default) keeps execution single-threaded per
+    /// query, which is usually right when `workers` already runs several
+    /// queries concurrently — raise it for latency-sensitive deployments
+    /// with idle cores. Wired to the shared [`Database`] at construction
+    /// and observed through `Database::execute_traced`; results (and
+    /// therefore DP noise seeds) are byte-identical at every setting.
+    pub parallelism: usize,
     /// Default per-analyst `(ε, δ)` caps and composition strategy.
     pub policy: LedgerPolicy,
     /// Maximum cached answers; 0 disables the cache entirely.
@@ -63,6 +72,7 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         ServiceConfig {
             workers: 4,
+            parallelism: 1,
             policy: LedgerPolicy {
                 epsilon_cap: 10.0,
                 delta_cap: 1e-4,
@@ -263,11 +273,17 @@ impl QueryService {
             [db_fingerprint(&db), 0x6f70_7473],
             format!("{:?}", config.flex).as_bytes(),
         );
+        // The execution-parallelism knob lives on the (shared) database:
+        // it is pure tuning, never part of the noise-seed fingerprint,
+        // because results are byte-identical at every worker count.
+        db.set_parallelism(config.parallelism);
+        let telemetry = Telemetry::default();
+        telemetry.record_parallelism(db.parallelism() as u64);
         let shared = Arc::new(Shared {
             db,
             ledger: BudgetLedger::new(config.policy),
             cache: AnswerCache::new(config.cache_capacity),
-            telemetry: Telemetry::default(),
+            telemetry,
             flex: config.flex.clone(),
             noise_key,
             db_fingerprint,
@@ -856,6 +872,61 @@ mod tests {
         let t2 = svc.telemetry();
         assert_eq!(t2.vectorized_hits, t.vectorized_hits);
         assert_eq!(t2.row_fallbacks, t.row_fallbacks);
+    }
+
+    /// The tentpole contract end to end: intra-query parallelism is pure
+    /// execution tuning. Same explicit seed, same query, different
+    /// worker counts — the released (noised) rows must be bit-identical,
+    /// because the true results are byte-identical and the noise seed
+    /// never sees the thread count.
+    #[test]
+    fn parallelism_does_not_change_noise_or_results() {
+        let p = params(1.0);
+        let sql = "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id";
+        let cfg = |par: usize| ServiceConfig {
+            seed: Some(0xA11CE),
+            parallelism: par,
+            ..ServiceConfig::default()
+        };
+        let run = |par: usize| {
+            let db = test_db();
+            // Tiny morsels so the 500-row table really splits across
+            // workers instead of degrading to one morsel.
+            db.set_morsel_rows(64);
+            let svc = QueryService::new(db, cfg(par));
+            svc.query("x", sql, p).unwrap()
+        };
+        let sequential = run(1);
+        for workers in [2, 4, 7] {
+            let parallel = run(workers);
+            assert_eq!(
+                sequential.rows, parallel.rows,
+                "noise changed with parallelism = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_config_reaches_db_and_telemetry() {
+        let db = test_db();
+        let svc = QueryService::new(
+            Arc::clone(&db),
+            ServiceConfig {
+                parallelism: 3,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(db.parallelism(), 3);
+        assert_eq!(svc.telemetry().exec_parallelism, 3);
+        // Clamped to ≥ 1 like the pipeline worker count.
+        let svc0 = QueryService::new(
+            test_db(),
+            ServiceConfig {
+                parallelism: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(svc0.telemetry().exec_parallelism, 1);
     }
 
     #[test]

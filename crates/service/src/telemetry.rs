@@ -18,6 +18,7 @@ pub struct Telemetry {
     failed: AtomicU64,
     vectorized_hits: AtomicU64,
     row_fallbacks: AtomicU64,
+    exec_parallelism: AtomicU64,
     queue_depth: AtomicU64,
     max_queue_depth: AtomicU64,
     analysis_ns: AtomicU64,
@@ -60,6 +61,15 @@ impl Telemetry {
         }
     }
 
+    /// Record the vectorized engine's per-query worker budget (gauge,
+    /// not a counter): how many morsel workers one execution may use.
+    /// Set at service construction so dashboards can correlate stage
+    /// timings with the configured intra-query parallelism.
+    pub fn record_parallelism(&self, workers: u64) {
+        self.exec_parallelism
+            .store(workers.max(1), Ordering::Relaxed);
+    }
+
     pub fn record_completed(&self, timings: &FlexTimings) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.analysis_ns
@@ -91,6 +101,7 @@ impl Telemetry {
             failed: self.failed.load(Ordering::Relaxed),
             vectorized_hits: self.vectorized_hits.load(Ordering::Relaxed),
             row_fallbacks: self.row_fallbacks.load(Ordering::Relaxed),
+            exec_parallelism: self.exec_parallelism.load(Ordering::Relaxed).max(1),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             analysis_time: Duration::from_nanos(self.analysis_ns.load(Ordering::Relaxed)),
@@ -131,6 +142,10 @@ pub struct TelemetrySnapshot {
     /// Completed queries whose execution fell back to the row
     /// interpreter.
     pub row_fallbacks: u64,
+    /// Per-query worker budget of the vectorized engine (morsel-driven
+    /// parallelism; 1 = sequential execution), as configured on the
+    /// service. A gauge, not a counter.
+    pub exec_parallelism: u64,
     /// Jobs currently queued for a worker.
     pub queue_depth: u64,
     /// High-water mark of `queue_depth`.
@@ -190,6 +205,7 @@ impl std::fmt::Display for TelemetrySnapshot {
             100.0 * self.vectorized_rate()
         )?;
         writeln!(f, "  row fallbacks    {:>8}", self.row_fallbacks)?;
+        writeln!(f, "  exec workers     {:>8}", self.exec_parallelism)?;
         writeln!(
             f,
             "  queue depth      {:>8}  (max {})",
@@ -242,6 +258,38 @@ mod tests {
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         let text = s.to_string();
         assert!(text.contains("cache hits") && text.contains("50.0%"));
+    }
+
+    /// A snapshot of a service that has served nothing must report
+    /// finite rates (0.0, not NaN from 0/0) everywhere — including the
+    /// percentages in the `Display` rendering that ops dashboards show.
+    #[test]
+    fn zero_query_snapshot_has_finite_rates() {
+        let t = Telemetry::default();
+        let s = t.snapshot();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.vectorized_rate(), 0.0);
+        assert!(s.hit_rate().is_finite() && s.vectorized_rate().is_finite());
+        // The parallelism gauge defaults to 1 (sequential) until the
+        // service records its configuration.
+        assert_eq!(s.exec_parallelism, 1);
+        let text = s.to_string();
+        assert!(!text.contains("NaN"), "Display leaked a NaN: {text}");
+        assert!(text.contains("(0.0% of lookups)"), "snapshot: {text}");
+        assert!(text.contains("(0.0% of computed)"), "snapshot: {text}");
+    }
+
+    #[test]
+    fn parallelism_gauge_is_a_gauge() {
+        let t = Telemetry::default();
+        t.record_parallelism(4);
+        t.record_parallelism(2);
+        let s = t.snapshot();
+        assert_eq!(s.exec_parallelism, 2);
+        assert!(s.to_string().contains("exec workers"));
+        // Clamped: a misconfigured 0 still reads as sequential.
+        t.record_parallelism(0);
+        assert_eq!(t.snapshot().exec_parallelism, 1);
     }
 
     #[test]
