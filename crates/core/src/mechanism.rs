@@ -76,6 +76,10 @@ pub struct FlexResult {
     /// telemetry; it never affects the released values, which are
     /// byte-identical on both engines.
     pub vectorized: bool,
+    /// Whether the vectorized tail served `ORDER BY … LIMIT k` from a
+    /// bounded top-K heap instead of a full sort. Telemetry only — the
+    /// top-K path is byte-identical to the full sort.
+    pub topk: bool,
 }
 
 impl FlexResult {
@@ -184,7 +188,7 @@ fn run_query_timed<R: Rng + ?Sized>(
 
     // --- Stage 2: execute the unmodified query on the database. ---
     let t_exec = Instant::now();
-    let (vectorized, truth) = db.execute_traced(q);
+    let (trace, truth) = db.execute_traced(q);
     let truth: ResultSet = truth?;
     let execution = t_exec.elapsed();
 
@@ -229,7 +233,8 @@ fn run_query_timed<R: Rng + ?Sized>(
             perturbation,
         },
         join_count: analysis.join_count,
-        vectorized,
+        vectorized: trace.vectorized,
+        topk: trace.topk,
     })
 }
 

@@ -19,6 +19,7 @@
 
 use crate::table::Row;
 use crate::value::Value;
+use std::cmp::Ordering;
 
 /// Sentinel row index meaning "no source row" in a gather index vector:
 /// [`Column::gather`] fills such slots with NULL. Used by the vectorized
@@ -193,6 +194,48 @@ impl Column {
             ),
         };
         Column { data, nulls }
+    }
+
+    /// A comparator over this column's rows with exactly the semantics of
+    /// `self.value(a).total_cmp(&self.value(b))` — the row engine's ORDER
+    /// BY comparison — but with the type dispatch hoisted out of the
+    /// comparison loop so sorting a selection vector never materializes a
+    /// `Value`. NULLs sort first (`total_cmp` ranks `NULL` below every
+    /// non-null value); `Int64` columns compare exact `i64` (matching the
+    /// Int-vs-Int arm of `total_cmp`, *not* the f64 coercion `sql_cmp`
+    /// uses); `Mixed` columns defer to `Value::total_cmp` itself so
+    /// cross-type coercions match. `Sync` so morsel-parallel sort workers
+    /// can share one comparator.
+    pub(crate) fn row_ordering(&self) -> Box<dyn Fn(usize, usize) -> Ordering + Sync + '_> {
+        let nulls = &self.nulls;
+        let has_nulls = nulls.any();
+        // NULL slots hold arbitrary placeholders in the typed vectors, so
+        // every typed arm must settle NULLs from the mask first.
+        macro_rules! ord {
+            ($cmp:expr) => {{
+                let cmp = $cmp;
+                Box::new(move |a: usize, b: usize| {
+                    if has_nulls {
+                        match (nulls.is_null(a), nulls.is_null(b)) {
+                            (true, true) => return Ordering::Equal,
+                            (true, false) => return Ordering::Less,
+                            (false, true) => return Ordering::Greater,
+                            (false, false) => {}
+                        }
+                    }
+                    cmp(a, b)
+                })
+            }};
+        }
+        match &self.data {
+            ColumnData::Int64(xs) => ord!(move |a: usize, b: usize| xs[a].cmp(&xs[b])),
+            ColumnData::Float64(xs) => ord!(move |a: usize, b: usize| xs[a].total_cmp(&xs[b])),
+            ColumnData::Bool(bs) => ord!(move |a: usize, b: usize| bs[a].cmp(&bs[b])),
+            ColumnData::Str(ss) => ord!(move |a: usize, b: usize| ss[a].cmp(&ss[b])),
+            // Mixed keeps original `Value`s (NULLs included), and
+            // `Value::total_cmp` already ranks NULL first.
+            ColumnData::Mixed(vs) => Box::new(move |a, b| vs[a].total_cmp(&vs[b])),
+        }
     }
 
     /// An all-NULL column of `len` rows, used for the *dead* columns of a
@@ -404,6 +447,67 @@ mod tests {
         let t = ColumnarTable::from_columns(vec![c], 70);
         assert_eq!(t.len(), 70);
         assert_eq!(t.row(3), vec![Value::Null]);
+    }
+
+    #[test]
+    fn row_ordering_matches_value_total_cmp() {
+        // One table per physical representation, NULLs and ties included;
+        // the Float column also carries NaN and ±0.0 (total_cmp is a
+        // total order over all bit patterns) and the Mixed column holds a
+        // 2^53-boundary Int/Float pair whose comparison is coercion-
+        // sensitive.
+        let two53 = 9_007_199_254_740_992i64;
+        let rows = vec![
+            vec![
+                Value::Int(3),
+                Value::Float(f64::NAN),
+                Value::Bool(true),
+                Value::str("b"),
+                Value::Int(two53 + 1),
+            ],
+            vec![
+                Value::Null,
+                Value::Float(-0.0),
+                Value::Null,
+                Value::Null,
+                Value::Float(two53 as f64),
+            ],
+            vec![
+                Value::Int(-1),
+                Value::Float(0.0),
+                Value::Bool(false),
+                Value::str("a"),
+                Value::Null,
+            ],
+            vec![
+                Value::Int(3),
+                Value::Null,
+                Value::Bool(true),
+                Value::str("a"),
+                Value::Int(-two53),
+            ],
+            vec![
+                Value::Int(0),
+                Value::Float(-f64::NAN),
+                Value::Bool(false),
+                Value::str("ab"),
+                Value::Float(0.5),
+            ],
+        ];
+        let t = ColumnarTable::from_rows(&rows, 5);
+        assert!(matches!(t.columns[4].data, ColumnData::Mixed(_)));
+        for col in &t.columns {
+            let cmp = col.row_ordering();
+            for a in 0..rows.len() {
+                for b in 0..rows.len() {
+                    assert_eq!(
+                        cmp(a, b),
+                        col.value(a).total_cmp(&col.value(b)),
+                        "row_ordering diverges from total_cmp at ({a}, {b})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -190,10 +190,11 @@ impl Database {
         exec::execute(self, q)
     }
 
-    /// Like [`Database::execute`], but also report which engine ran
-    /// (`true` = vectorized columnar) so callers can observe fast-path
-    /// coverage without a separate planning pass.
-    pub fn execute_traced(&self, q: &Query) -> (bool, Result<ResultSet>) {
+    /// Like [`Database::execute`], but also report how the query ran
+    /// ([`exec::ExecTrace`]: engine routing plus top-K pushdown) so
+    /// callers can observe fast-path coverage without a separate
+    /// planning pass.
+    pub fn execute_traced(&self, q: &Query) -> (exec::ExecTrace, Result<ResultSet>) {
         exec::execute_traced(self, q)
     }
 

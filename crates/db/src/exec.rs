@@ -18,9 +18,12 @@
 //! Declined queries run on the row interpreter below;
 //! [`routes_vectorized`] exposes the decision for telemetry. The two
 //! engines share the expression compiler (`Exec::compile_scalar`,
-//! `GroupCompiler`) and the post-projection tail (ORDER BY / DISTINCT /
-//! LIMIT handling), so every query produces identical results on both —
-//! see `vexec`'s module docs for the exact contract. Accepted queries
+//! `GroupCompiler`) and one ORDER BY resolution rule
+//! (`plan_sort_keys_with`), and the vectorized ORDER BY / DISTINCT /
+//! LIMIT tail is constructed to reproduce this module's
+//! `finish_select` + `apply_limit_offset` semantics exactly, so
+//! every query produces identical results on both — see `vexec`'s
+//! module docs for the exact contract. Accepted queries
 //! additionally run morsel-parallel when [`Database::set_parallelism`]
 //! allows it ([`crate::morsel`]); that, too, is unobservable in the
 //! results.
@@ -44,14 +47,34 @@ pub fn execute(db: &Database, q: &Query) -> Result<ResultSet> {
     execute_traced(db, q).1
 }
 
-/// Like [`execute`], but also report which engine ran (`true` =
-/// vectorized columnar). This is the routing decision itself, not a
+/// What the execution pipeline observed about how one query ran —
+/// routing facts the service surfaces as telemetry. Never affects
+/// results, which are byte-identical across every routing combination.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecTrace {
+    /// Whether the query ran on the vectorized columnar engine (`false`
+    /// = row-interpreter fallback).
+    pub vectorized: bool,
+    /// Whether the vectorized tail served `ORDER BY … LIMIT k` from a
+    /// bounded top-K heap instead of a full sort (always `false` on the
+    /// row interpreter, which has no such pushdown).
+    pub topk: bool,
+}
+
+/// Like [`execute`], but also report how the query ran (engine routing
+/// plus top-K pushdown). This is the pipeline's own record, not a
 /// re-plan — callers that want fast-path coverage telemetry (e.g. the
 /// query service) read it at zero extra cost.
-pub fn execute_traced(db: &Database, q: &Query) -> (bool, Result<ResultSet>) {
-    match crate::vexec::try_execute(db, q) {
-        Some(result) => (true, result),
-        None => (false, execute_row(db, q)),
+pub fn execute_traced(db: &Database, q: &Query) -> (ExecTrace, Result<ResultSet>) {
+    match crate::vexec::try_execute_traced(db, q) {
+        Some((result, topk)) => (
+            ExecTrace {
+                vectorized: true,
+                topk,
+            },
+            result,
+        ),
+        None => (ExecTrace::default(), execute_row(db, q)),
     }
 }
 
@@ -342,14 +365,9 @@ impl<'a> Exec<'a> {
             .map(|h| gc.compile(self, h, &input.cols))
             .transpose()?;
         // Order-by expressions may also be grouped expressions.
-        let mut order_compiled = Vec::new();
-        for item in order_by {
-            let plan = match sort_key_by_output(&item.expr, &out_cols)? {
-                Some(pos) => SortKey::Output(pos),
-                None => SortKey::Source(gc.compile(self, &item.expr, &input.cols)?),
-            };
-            order_compiled.push(plan);
-        }
+        let order_compiled = plan_sort_keys_with(order_by, &out_cols, &mut |e| {
+            gc.compile(self, e, &input.cols)
+        })?;
         let aggs = gc.aggs;
 
         // Partition input rows into groups.
@@ -435,15 +453,9 @@ impl<'a> Exec<'a> {
         out_cols: &[ColMeta],
         input_cols: &[ColMeta],
     ) -> Result<Vec<SortKey>> {
-        let mut plan = Vec::with_capacity(order_by.len());
-        for item in order_by {
-            let key = match sort_key_by_output(&item.expr, out_cols)? {
-                Some(pos) => SortKey::Output(pos),
-                None => SortKey::Source(self.compile_scalar(&item.expr, input_cols)?),
-            };
-            plan.push(key);
-        }
-        Ok(plan)
+        plan_sort_keys_with(order_by, out_cols, &mut |e| {
+            self.compile_scalar(e, input_cols)
+        })
     }
 
     // ---- FROM clause ----------------------------------------------------
@@ -813,6 +825,29 @@ pub(crate) enum SortKey {
     Source(CompiledExpr),
 }
 
+/// Resolve every ORDER BY item to a [`SortKey`]: output-position/name
+/// matches first ([`sort_key_by_output`] — ordinals and bare names
+/// naming an output column, aliases included), then `compile_source` for
+/// everything else. This is the **single** resolution rule shared by the
+/// row engine's scalar and grouped paths, the set-operation sort, and
+/// the vectorized engine's tail planner — one helper so the engines
+/// cannot drift on alias/ordinal resolution.
+pub(crate) fn plan_sort_keys_with(
+    order_by: &[OrderByItem],
+    out_cols: &[ColMeta],
+    compile_source: &mut dyn FnMut(&Expr) -> Result<CompiledExpr>,
+) -> Result<Vec<SortKey>> {
+    let mut plan = Vec::with_capacity(order_by.len());
+    for item in order_by {
+        let key = match sort_key_by_output(&item.expr, out_cols)? {
+            Some(pos) => SortKey::Output(pos),
+            None => SortKey::Source(compile_source(&item.expr)?),
+        };
+        plan.push(key);
+    }
+    Ok(plan)
+}
+
 /// Try to resolve an order-by expression as an output column: positional
 /// integers (`ORDER BY 2`) or names matching an output column.
 pub(crate) fn sort_key_by_output(e: &Expr, out_cols: &[ColMeta]) -> Result<Option<usize>> {
@@ -870,6 +905,121 @@ pub(crate) fn permute(rows: Vec<Row>, idx: &[usize]) -> Vec<Row> {
         .collect()
 }
 
+/// The smallest `offset + limit` prefix the ORDER BY tail must produce,
+/// or `None` when `LIMIT` is absent (everything must be sorted).
+pub(crate) fn tail_bound(limit: Option<u64>, offset: Option<u64>) -> Option<usize> {
+    limit.map(|l| (l as usize).saturating_add(offset.unwrap_or(0) as usize))
+}
+
+/// The `k` items that sort first under `cmp`, in sorted order, selected
+/// with a bounded binary max-heap — `O(n log k)` and never more than `k`
+/// items of state, instead of sorting all `n`.
+///
+/// `cmp` must be a **total order with no ties between distinct items**
+/// (callers append an input-position tie-break): under such an order the
+/// k smallest items, sorted, are exactly the first k of a stable full
+/// sort, which is what makes the top-K pushdown byte-identical to the
+/// row engine's sort-then-truncate.
+pub(crate) fn top_k_sorted<T: Copy>(
+    items: impl IntoIterator<Item = T>,
+    k: usize,
+    cmp: &impl Fn(&T, &T) -> std::cmp::Ordering,
+) -> Vec<T> {
+    use std::cmp::Ordering::{Greater, Less};
+    let mut heap: Vec<T> = Vec::with_capacity(k.min(1024));
+    if k == 0 {
+        return heap;
+    }
+    for item in items {
+        if heap.len() < k {
+            // Insert and sift up (max-heap: parent never less than child).
+            heap.push(item);
+            let mut i = heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if cmp(&heap[i], &heap[parent]) == Greater {
+                    heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if cmp(&item, &heap[0]) == Less {
+            // Evict the current k-th (the root) and sift down.
+            heap[0] = item;
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut largest = i;
+                if l < heap.len() && cmp(&heap[l], &heap[largest]) == Greater {
+                    largest = l;
+                }
+                if r < heap.len() && cmp(&heap[r], &heap[largest]) == Greater {
+                    largest = r;
+                }
+                if largest == i {
+                    break;
+                }
+                heap.swap(i, largest);
+                i = largest;
+            }
+        }
+    }
+    heap.sort_unstable_by(cmp);
+    heap
+}
+
+/// [`finish_select`] followed by [`apply_limit_offset`], as one fused
+/// tail: when `ORDER BY … LIMIT` allows it (no DISTINCT, a known bound
+/// smaller than the input), the sort runs as a bounded top-K selection
+/// over row indices instead of a full sort — same output, bit for bit,
+/// because the heap's comparator carries the stable sort's index
+/// tie-break. Used by the vectorized engine's grouped tail (the plain
+/// tail has its own fully-columnar version in `vexec`); `topk_hit`
+/// reports whether the bounded path actually engaged (telemetry).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_select_sliced(
+    mut rel: Relation,
+    key_rows: Option<Vec<Row>>,
+    order_by: &[OrderByItem],
+    distinct: bool,
+    limit: Option<u64>,
+    offset: Option<u64>,
+    topk_hit: &mut bool,
+) -> Relation {
+    if let Some(keys) = key_rows {
+        debug_assert_eq!(keys.len(), rel.rows.len());
+        let n_rows = rel.rows.len();
+        // DISTINCT filters *after* the sort, so a pre-DISTINCT bound
+        // could come up short; it disables the top-K path.
+        let bound = if distinct {
+            None
+        } else {
+            tail_bound(limit, offset)
+        };
+        let full_cmp =
+            |a: &usize, b: &usize| compare_key_rows(&keys[*a], &keys[*b], order_by).then(a.cmp(b));
+        let idx: Vec<usize> = match bound {
+            Some(k) if k < n_rows => {
+                *topk_hit = true;
+                top_k_sorted(0..n_rows, k, &full_cmp)
+            }
+            _ => {
+                let mut idx: Vec<usize> = (0..n_rows).collect();
+                idx.sort_unstable_by(full_cmp);
+                idx
+            }
+        };
+        rel.rows = permute(std::mem::take(&mut rel.rows), &idx);
+    }
+    if distinct {
+        let mut seen = HashSet::new();
+        rel.rows.retain(|row| seen.insert(RowKey::from_values(row)));
+    }
+    apply_limit_offset(&mut rel, limit, offset);
+    rel
+}
+
 pub(crate) fn apply_limit_offset(rel: &mut Relation, limit: Option<u64>, offset: Option<u64>) {
     if let Some(off) = offset {
         let off = (off as usize).min(rel.rows.len());
@@ -881,19 +1031,23 @@ pub(crate) fn apply_limit_offset(rel: &mut Relation, limit: Option<u64>, offset:
 }
 
 /// Sort a finished relation by output column names / positions only
-/// (used for set-operation results).
+/// (used for set-operation results). Resolution goes through the shared
+/// [`plan_sort_keys_with`] helper with a source compiler that always
+/// fails: set operations have no source scope, so every key must resolve
+/// as an output column.
 fn sort_by_output_columns(rel: &mut Relation, order_by: &[OrderByItem]) -> Result<()> {
-    let mut positions = Vec::with_capacity(order_by.len());
-    for item in order_by {
-        match sort_key_by_output(&item.expr, &rel.cols)? {
-            Some(pos) => positions.push(pos),
-            None => {
-                return Err(DbError::Unsupported(
-                    "ORDER BY on a set operation must reference output columns".into(),
-                ))
-            }
-        }
-    }
+    let plan = plan_sort_keys_with(order_by, &rel.cols, &mut |_| {
+        Err(DbError::Unsupported(
+            "ORDER BY on a set operation must reference output columns".into(),
+        ))
+    })?;
+    let positions: Vec<usize> = plan
+        .into_iter()
+        .map(|key| match key {
+            SortKey::Output(pos) => pos,
+            SortKey::Source(_) => unreachable!("source compiler always errors"),
+        })
+        .collect();
     rel.rows.sort_by(|a, b| {
         for (pos, item) in positions.iter().zip(order_by) {
             let ord = a[*pos].total_cmp(&b[*pos]);

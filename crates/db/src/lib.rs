@@ -59,9 +59,10 @@ pub use column::{Column, ColumnData, ColumnarTable, NullMask};
 pub use csv::{table_from_csv, table_to_csv};
 pub use database::Database;
 pub use error::{DbError, Result};
+pub use exec::ExecTrace;
 pub use metrics::MetricsCatalog;
 pub use morsel::DEFAULT_MORSEL_ROWS;
 pub use plan::{ColMeta, Relation, ResultSet};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use table::{Row, Table};
-pub use value::{RowKey, Value, ValueKey};
+pub use value::{BorrowKey, RowKey, Value, ValueKey};

@@ -16,6 +16,7 @@
 //! which is what makes `parallelism = 1` byte-for-byte the sequential
 //! engine.
 
+use std::cmp::Ordering as CmpOrdering;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -116,6 +117,111 @@ where
     run(len, par, f).into_iter().collect()
 }
 
+// ---- loser-tree merge of sorted morsel runs ------------------------------
+
+/// Does run `a`'s head beat (come before) run `b`'s head? Exhausted runs
+/// (and the padding leaves above `runs.len()`) always lose; on `cmp`
+/// equality the lower run index wins, which — because runs are per-morsel
+/// and morsels partition the input in order — reproduces a stable
+/// sequential sort's tie order.
+fn run_beats<T>(
+    runs: &[Vec<T>],
+    pos: &[usize],
+    cmp: &impl Fn(&T, &T) -> CmpOrdering,
+    a: usize,
+    b: usize,
+) -> bool {
+    let head = |i: usize| {
+        if i < runs.len() {
+            runs[i].get(pos[i])
+        } else {
+            None
+        }
+    };
+    match (head(a), head(b)) {
+        (None, _) => false,
+        (Some(_), None) => true,
+        (Some(x), Some(y)) => match cmp(x, y) {
+            CmpOrdering::Less => true,
+            CmpOrdering::Greater => false,
+            CmpOrdering::Equal => a < b,
+        },
+    }
+}
+
+/// Play out the initial tournament below `node`: internal nodes record
+/// the *loser* run of their match, the winner propagates up. Leaves are
+/// `p..2p` and map to run ids `0..p` (ids `>= runs.len()` are permanent
+/// padding losers).
+fn play_initial<B: Fn(usize, usize) -> bool>(
+    node: usize,
+    p: usize,
+    tree: &mut [usize],
+    beats: &B,
+) -> usize {
+    if node >= p {
+        return node - p;
+    }
+    let l = play_initial(node * 2, p, tree, beats);
+    let r = play_initial(node * 2 + 1, p, tree, beats);
+    let (winner, loser) = if beats(l, r) { (l, r) } else { (r, l) };
+    tree[node] = loser;
+    winner
+}
+
+/// Merge pre-sorted runs into one sorted output via a **loser tree**
+/// (tournament tree): each pop costs one leaf-to-root replay of
+/// `log2(runs)` comparisons, instead of a full rescan of every run head.
+/// Runs must each be sorted under `cmp`; ties across runs break toward
+/// the lower run index, so merging per-morsel stable sorts reproduces the
+/// sequential stable sort of the concatenated input — bit for bit, which
+/// is what keeps the parallel ORDER BY byte-identical to the row engine.
+/// `take` bounds the output length (for top-K merges); `None` drains
+/// every run.
+pub(crate) fn merge_sorted_runs<T: Copy>(
+    runs: Vec<Vec<T>>,
+    take: Option<usize>,
+    cmp: impl Fn(&T, &T) -> CmpOrdering,
+) -> Vec<T> {
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let want = take.map_or(total, |t| t.min(total));
+    if want == 0 {
+        return Vec::new();
+    }
+    if runs.len() == 1 {
+        let mut run = runs.into_iter().next().expect("one run");
+        run.truncate(want);
+        return run;
+    }
+    let p = runs.len().next_power_of_two();
+    let mut pos = vec![0usize; runs.len()];
+    let mut tree = vec![usize::MAX; p];
+    let mut winner = {
+        let beats = |a: usize, b: usize| run_beats(&runs, &pos, &cmp, a, b);
+        play_initial(1, p, &mut tree, &beats)
+    };
+    let mut out = Vec::with_capacity(want);
+    while out.len() < want {
+        out.push(runs[winner][pos[winner]]);
+        pos[winner] += 1;
+        // Replay the matches on the path from this run's leaf to the
+        // root; the previous losers stored along it are exactly the
+        // candidates the new head must face.
+        let mut node = (p + winner) / 2;
+        let mut cur = winner;
+        while node >= 1 {
+            let challenger = tree[node];
+            if !run_beats(&runs, &pos, &cmp, cur, challenger) {
+                tree[node] = cur;
+                cur = challenger;
+            }
+            node /= 2;
+        }
+        winner = cur;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +275,62 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn loser_tree_merge_equals_global_stable_sort() {
+        // Deterministic pseudo-random keys with many duplicates. Items
+        // are (key, global_index); runs are chunk-local stable sorts by
+        // key, so the merge must reproduce the global stable sort — ties
+        // in input order — for every chunking and run count.
+        let keys: Vec<u32> = (0..500u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 7)
+            .collect();
+        let items: Vec<(u32, u32)> = keys.iter().copied().zip(0..).collect();
+        let mut expect = items.clone();
+        expect.sort_by_key(|&(k, _)| k); // stable
+        for chunk in [1usize, 3, 7, 64, 500, 900] {
+            let runs: Vec<Vec<(u32, u32)>> = items
+                .chunks(chunk)
+                .map(|c| {
+                    let mut run = c.to_vec();
+                    run.sort_by_key(|&(k, _)| k);
+                    run
+                })
+                .collect();
+            let merged = merge_sorted_runs(runs, None, |a, b| a.0.cmp(&b.0));
+            assert_eq!(merged, expect, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn loser_tree_take_bounds_output() {
+        let runs = vec![vec![1, 4, 7], vec![2, 3, 9], vec![], vec![0, 8]];
+        assert_eq!(
+            merge_sorted_runs(runs.clone(), Some(4), i32::cmp),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            merge_sorted_runs(runs.clone(), None, i32::cmp),
+            vec![0, 1, 2, 3, 4, 7, 8, 9]
+        );
+        assert_eq!(
+            merge_sorted_runs(runs.clone(), Some(100), i32::cmp),
+            vec![0, 1, 2, 3, 4, 7, 8, 9]
+        );
+        assert_eq!(
+            merge_sorted_runs(runs, Some(0), i32::cmp),
+            Vec::<i32>::new()
+        );
+        assert_eq!(
+            merge_sorted_runs(Vec::<Vec<i32>>::new(), None, i32::cmp),
+            Vec::<i32>::new()
+        );
+        // A single run short-circuits (no tree built).
+        assert_eq!(
+            merge_sorted_runs(vec![vec![5, 6, 7]], Some(2), i32::cmp),
+            vec![5, 6]
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@
 
 use crate::column::ColumnarTable;
 use crate::error::{DbError, Result};
-use crate::exec::{output_name, Exec};
+use crate::exec::{self, output_name, Exec, SortKey};
 use crate::expr::CompiledExpr;
 use crate::table::Row;
 use crate::vexec::{collect_conjuncts, side_kernel};
@@ -313,6 +313,106 @@ pub(crate) fn plan_equi_join(
         &mut plan.live_cols,
     );
     Some(plan)
+}
+
+// ---- physical plan for the vectorized ORDER BY / DISTINCT / LIMIT tail ---
+
+/// Physical plan for a fully-columnar query tail: projection, ORDER BY,
+/// DISTINCT and LIMIT/OFFSET expressed entirely over **source column
+/// indices**, so the tail can sort/dedupe/slice the selection vector and
+/// late-materialize only the surviving rows.
+///
+/// # Eligibility (why every part must be a plain column)
+///
+/// The row engine evaluates projection and sort-key expressions for
+/// *every* post-WHERE row before sorting or truncating, so any of those
+/// expressions may raise a runtime error from a row that `LIMIT` would
+/// later discard. A tail that materializes only the surviving rows must
+/// therefore be **infallible**: [`plan_tail`] only accepts projections
+/// made of plain columns (wildcards included) and ORDER BY keys that
+/// resolve — through the engines' shared [`exec::plan_sort_keys_with`]
+/// rule, aliases and ordinals included — to source columns. Column
+/// reads cannot error, so skipping non-surviving rows is unobservable.
+/// Everything else (computed projections, expression sort keys) falls
+/// back to the row engine's tail over gathered rows, which reports
+/// errors identically.
+pub(crate) struct TailPlan {
+    /// Output column metadata, exactly as `select_plain` would name it.
+    pub out_cols: Vec<ColMeta>,
+    /// Source column index backing each output column.
+    pub out_srcs: Vec<usize>,
+    /// ORDER BY keys as (source column, descending) pairs.
+    pub sort: Vec<(usize, bool)>,
+    pub distinct: bool,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+/// Plan the fully-columnar tail for a non-aggregated SELECT block, or
+/// `None` when the shape must use the row engine's tail (computed
+/// projections or sort keys, or a scope error the row engine will
+/// re-derive and report identically).
+pub(crate) fn plan_tail(q: &Query, s: &Select, cols: &[ColMeta]) -> Option<TailPlan> {
+    debug_assert!(!Exec::has_aggregates(s));
+    let scope = Relation::new(cols.to_vec(), Vec::new());
+    let mut out_cols: Vec<ColMeta> = Vec::new();
+    let mut out_srcs: Vec<usize> = Vec::new();
+    for item in &s.projection {
+        match item {
+            SelectItem::Wildcard => {
+                out_cols.extend(cols.iter().cloned());
+                out_srcs.extend(0..cols.len());
+            }
+            SelectItem::QualifiedWildcard(qual) => {
+                let before = out_srcs.len();
+                for (i, c) in cols.iter().enumerate() {
+                    if c.qualifier.as_deref() == Some(qual.as_str()) {
+                        out_cols.push(c.clone());
+                        out_srcs.push(i);
+                    }
+                }
+                if out_srcs.len() == before {
+                    // Unknown qualifier: the row-engine tail reports it.
+                    return None;
+                }
+            }
+            SelectItem::Expr { expr, alias } => match expr {
+                Expr::Column(c) => {
+                    let src = scope.resolve(c).ok()?;
+                    out_cols.push(ColMeta::new(None, output_name(expr, alias.as_deref())));
+                    out_srcs.push(src);
+                }
+                _ => return None,
+            },
+        }
+    }
+
+    // ORDER BY resolution goes through the engines' single shared rule;
+    // the source compiler only admits plain columns, so every key ends
+    // up column-backed (or the whole tail falls back).
+    let keys = exec::plan_sort_keys_with(&q.order_by, &out_cols, &mut |e| match e {
+        Expr::Column(c) => Ok(CompiledExpr::Column(scope.resolve(c)?)),
+        _ => Err(DbError::Unsupported("non-column sort key".into())),
+    })
+    .ok()?;
+    let mut sort = Vec::with_capacity(keys.len());
+    for (key, item) in keys.into_iter().zip(&q.order_by) {
+        let src = match key {
+            SortKey::Output(pos) => out_srcs[pos],
+            SortKey::Source(CompiledExpr::Column(i)) => i,
+            SortKey::Source(_) => unreachable!("source compiler only admits columns"),
+        };
+        sort.push((src, item.descending));
+    }
+
+    Some(TailPlan {
+        out_cols,
+        out_srcs,
+        sort,
+        distinct: s.distinct,
+        limit: q.limit,
+        offset: q.offset,
+    })
 }
 
 /// Mark every combined column the query can read *after* the join —

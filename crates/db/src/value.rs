@@ -174,26 +174,68 @@ pub enum ValueKey {
     Str(String),
 }
 
+/// Canonical key form of a float: `Ok(i)` when it is exactly an integer
+/// (so `1.0` keys equal to `1`), else the bit pattern with NaNs and
+/// `-0.0` normalized so equal-by-sql values collide. The single
+/// normalization rule behind [`ValueKey`] and [`BorrowKey`].
+fn float_key(f: f64) -> std::result::Result<i64, u64> {
+    if f.fract() == 0.0 && f.is_finite() && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+        Ok(f as i64)
+    } else {
+        let canon = if f.is_nan() { f64::NAN } else { f + 0.0 };
+        Err(canon.to_bits())
+    }
+}
+
 impl From<&Value> for ValueKey {
     fn from(v: &Value) -> Self {
         match v {
             Value::Null => ValueKey::Null,
             Value::Bool(b) => ValueKey::Bool(*b),
             Value::Int(i) => ValueKey::Int(*i),
-            Value::Float(f) => {
-                if f.fract() == 0.0
-                    && f.is_finite()
-                    && *f >= i64::MIN as f64
-                    && *f <= i64::MAX as f64
-                {
-                    ValueKey::Int(*f as i64)
-                } else {
-                    // Normalize NaNs and -0.0 so equal-by-sql values collide.
-                    let canon = if f.is_nan() { f64::NAN } else { *f + 0.0 };
-                    ValueKey::FloatBits(canon.to_bits())
-                }
-            }
+            Value::Float(f) => match float_key(*f) {
+                Ok(i) => ValueKey::Int(i),
+                Err(bits) => ValueKey::FloatBits(bits),
+            },
             Value::Str(s) => ValueKey::Str(s.clone()),
+        }
+    }
+}
+
+/// Borrowing counterpart of [`ValueKey`]: the same variant mapping and
+/// float normalization (via the shared `float_key` rule), so two values key
+/// equal under `BorrowKey` iff they key equal under `ValueKey` — but
+/// strings are borrowed, so building a key never clones. Used by hot
+/// dedupe paths (the vectorized DISTINCT) that only compare keys with
+/// each other and drop them before the borrow ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BorrowKey<'a> {
+    Null,
+    Bool(bool),
+    Int(i64),
+    /// Bit pattern of a float that is not exactly representable as i64.
+    FloatBits(u64),
+    Str(&'a str),
+}
+
+impl<'a> From<&'a Value> for BorrowKey<'a> {
+    fn from(v: &'a Value) -> Self {
+        match v {
+            Value::Null => BorrowKey::Null,
+            Value::Bool(b) => BorrowKey::Bool(*b),
+            Value::Int(i) => BorrowKey::Int(*i),
+            Value::Float(f) => BorrowKey::from_float(*f),
+            Value::Str(s) => BorrowKey::Str(s),
+        }
+    }
+}
+
+impl<'a> BorrowKey<'a> {
+    /// Key a float exactly like `ValueKey::from(&Value::Float(f))`.
+    pub fn from_float(f: f64) -> BorrowKey<'a> {
+        match float_key(f) {
+            Ok(i) => BorrowKey::Int(i),
+            Err(bits) => BorrowKey::FloatBits(bits),
         }
     }
 }
@@ -291,5 +333,35 @@ mod tests {
             ValueKey::from(&Value::Float(f64::NAN)),
             ValueKey::from(&Value::Float(-f64::NAN))
         );
+    }
+
+    /// `BorrowKey` must partition values exactly like `ValueKey` — same
+    /// variant, same float normalization — or the vectorized DISTINCT
+    /// would dedupe differently than the row engine.
+    #[test]
+    fn borrow_key_mirrors_value_key() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(3),
+            Value::Float(3.0),
+            Value::Float(3.5),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(f64::NAN),
+            Value::Float(-f64::NAN),
+            Value::str("a"),
+            Value::str("b"),
+            Value::Int(9_007_199_254_740_993),
+        ];
+        for a in &vals {
+            for b in &vals {
+                assert_eq!(
+                    BorrowKey::from(a) == BorrowKey::from(b),
+                    ValueKey::from(a) == ValueKey::from(b),
+                    "key equality diverges on {a:?} vs {b:?}"
+                );
+            }
+        }
     }
 }

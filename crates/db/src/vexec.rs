@@ -33,19 +33,27 @@
 //! - grouped queries whose group keys or aggregate arguments are not
 //!   plain columns fall back to gathering the filtered rows and running
 //!   the row engine's grouping code on them (keeping the filter win);
-//! - projection, HAVING, ORDER BY and DISTINCT always reuse the row
-//!   engine's compiled expressions and tail logic verbatim.
+//! - the ORDER BY / DISTINCT / LIMIT tail runs fully columnar when the
+//!   projection and sort keys are plain columns (`plan::plan_tail`):
+//!   indices sort by typed column keys, `ORDER BY … LIMIT k` runs as a
+//!   bounded top-K heap, DISTINCT dedupes typed keys, and only the
+//!   surviving rows late-materialize (`run_tail`); computed
+//!   projections or expression sort keys reuse the row engine's
+//!   compiled expressions and tail logic over gathered rows instead.
 //!
 //! # Morsel-driven parallelism
 //!
 //! When [`Database::set_parallelism`] raises the per-query worker budget
 //! above 1, the filter pass, the per-side join scans, the hash-join
-//! probe (against a shared read-only build side), row gathering and
+//! probe (against a shared read-only build side), row gathering, the
+//! ORDER BY sort (morsel-local sorts or top-K selections merged by the
+//! loser tree in [`crate::morsel`]), tail late materialization and
 //! grouped aggregation all run across a scoped worker pool in fixed-size
 //! morsels ([`crate::morsel`]). Every parallel operator merges its
 //! per-morsel results **in morsel order**: selection vectors and match
-//! vectors concatenate, per-morsel group tables map into the global
-//! first-appearance order, and aggregate partial states
+//! vectors concatenate, sorted runs merge with a lower-run-wins
+//! tie-break (= the sequential stable sort), per-morsel group tables map
+//! into the global first-appearance order, and aggregate partial states
 //! (`AggPartial` in [`crate::aggregate`]) merge under order-preserving rules
 //! (value-collecting partials for `SUM`/`AVG`/`MEDIAN`/`STDDEV`, so the
 //! single float fold still happens in row order). Execution is therefore
@@ -55,29 +63,29 @@
 //!
 //! **Result identity:** both engines compile expressions with the same
 //! compiler, accumulate floating-point aggregates in the same row order,
-//! and share the ORDER BY / DISTINCT / LIMIT tail, so any query that
-//! executes without error returns a byte-identical [`ResultSet`] on
-//! either engine — the DP layers above (sensitivity analysis, noise
-//! seeding) cannot observe which engine ran, nor how many threads ran
-//! it. The one permitted divergence: *aggregate-stage* type errors (e.g.
+//! and resolve ORDER BY keys through one shared rule, and the columnar
+//! tail reproduces the row engine's stable sort / first-occurrence
+//! DISTINCT / LIMIT slice exactly (index tie-breaks stand in for sort
+//! stability — see `run_tail`), so any query that executes without
+//! error returns a byte-identical [`ResultSet`] on either engine — the
+//! DP layers above (sensitivity analysis, noise seeding) cannot observe
+//! which engine ran, nor how many threads ran it. The one permitted divergence: *aggregate-stage* type errors (e.g.
 //! `SUM` over a column mixing strings into numbers) may be reported from
 //! a different row, because the columnar accumulators visit rows in
 //! table order rather than group order; whether a query errors is still
 //! identical.
 
-use crate::aggregate::{self, AggFunc, AggPartial, AggSpec};
+use crate::aggregate::{self, AggFunc, AggPartial, AggSpec, GroupedRows};
 use crate::column::{Column, ColumnData, ColumnarTable, GATHER_NULL};
 use crate::database::Database;
 use crate::error::{DbError, Result};
 use crate::exec::{self, Exec, GroupCompiler, SortKey};
 use crate::expr::{like_match, CompiledExpr};
 use crate::morsel::{self, Parallelism};
-use crate::plan::{self, ColMeta, JoinPlan, JoinSide, Relation, ResultSet};
+use crate::plan::{self, ColMeta, JoinPlan, JoinSide, Relation, ResultSet, TailPlan};
 use crate::table::{Row, Table};
-use crate::value::{RowKey, Value, ValueKey};
-use flex_sql::{
-    BinaryOperator, JoinType, OrderByItem, Query, Select, SelectItem, SetExpr, TableRef,
-};
+use crate::value::{BorrowKey, RowKey, Value, ValueKey};
+use flex_sql::{BinaryOperator, JoinType, Query, Select, SelectItem, SetExpr, TableRef};
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
@@ -187,14 +195,23 @@ fn route<'a>(db: &'a Database, q: &'a Query) -> Option<Route<'a>> {
 /// Execute `q` on the vectorized engine if it is vectorizable, else
 /// `None` (the caller falls back to the row interpreter).
 pub fn try_execute(db: &Database, q: &Query) -> Option<Result<ResultSet>> {
-    match route(db, q)? {
+    try_execute_traced(db, q).map(|(result, _)| result)
+}
+
+/// Like [`try_execute`], but also report whether the `ORDER BY … LIMIT`
+/// tail ran as a bounded top-K selection instead of a full sort — the
+/// pipeline's own record, surfaced as `topk_hits` service telemetry.
+pub(crate) fn try_execute_traced(db: &Database, q: &Query) -> Option<(Result<ResultSet>, bool)> {
+    let mut topk = false;
+    let result = match route(db, q)? {
         Route::Single {
             s,
             table,
             qualifier,
-        } => Some(run(db, q, s, table, qualifier)),
-        Route::Join(j) => Some(run_join(db, q, &j)),
-    }
+        } => run(db, q, s, table, qualifier, &mut topk),
+        Route::Join(j) => run_join(db, q, &j, &mut topk),
+    };
+    Some((result, topk))
 }
 
 /// Whether [`try_execute`] would accept `q` — i.e. whether
@@ -205,7 +222,14 @@ pub fn accepts(db: &Database, q: &Query) -> bool {
     route(db, q).is_some()
 }
 
-fn run(db: &Database, q: &Query, s: &Select, table: &Table, qualifier: &str) -> Result<ResultSet> {
+fn run(
+    db: &Database,
+    q: &Query,
+    s: &Select,
+    table: &Table,
+    qualifier: &str,
+    topk: &mut bool,
+) -> Result<ResultSet> {
     let cols = table.col_metas(qualifier);
     let ctab = table.columnar().clone();
     let par = db.exec_tuning();
@@ -220,13 +244,23 @@ fn run(db: &Database, q: &Query, s: &Select, table: &Table, qualifier: &str) -> 
         }
         None => all,
     };
-    finish_block(&mut ex, q, s, cols, &ctab, &sel, par)
+    finish_block(&mut ex, q, s, cols, &ctab, &sel, par, topk)
 }
 
-/// Everything downstream of the scan/filter/join: the columnar
-/// hash-aggregate when eligible, otherwise row gathering plus the row
-/// engine's grouping/projection, then the shared LIMIT/OFFSET tail.
+/// Everything downstream of the scan/filter/join. Three tails, tried in
+/// order:
+///
+/// 1. aggregated blocks run the columnar hash-aggregate plus the grouped
+///    tail (top-K over group indices when `ORDER BY … LIMIT` allows);
+/// 2. plain blocks whose projection and sort keys are all plain columns
+///    run the fully-columnar tail ([`run_tail`]): sort/dedupe/slice the
+///    selection vector itself, then late-materialize only the survivors;
+/// 3. anything else gathers the filtered rows and reuses the row
+///    engine's projection/sort/DISTINCT tail verbatim (which also
+///    re-derives any compile error, identically).
+///
 /// Shared by the single-table and join pipelines.
+#[allow(clippy::too_many_arguments)]
 fn finish_block(
     ex: &mut Exec<'_>,
     q: &Query,
@@ -235,23 +269,22 @@ fn finish_block(
     ctab: &ColumnarTable,
     sel: &[u32],
     par: Parallelism,
+    topk: &mut bool,
 ) -> Result<ResultSet> {
-    let mut rel = if Exec::has_aggregates(s) {
-        match grouped_fast(ex, s, &cols, ctab, sel, &q.order_by, par) {
-            Some(result) => result?,
-            // Group keys or aggregate args are not plain columns: gather
-            // the filtered rows and run the row engine's grouping on them.
-            None => {
-                let input = Relation::new(cols, gather_rows(ctab, sel, par));
-                ex.select_after_where(s, input, &q.order_by)?
-            }
+    if Exec::has_aggregates(s) {
+        if let Some(result) = grouped_fast(ex, q, s, &cols, ctab, sel, par, topk) {
+            // LIMIT/OFFSET already applied by the grouped tail.
+            return result.map(ResultSet::from);
         }
-    } else {
-        // Plain projection: the filter ran columnar, the rest is the row
-        // engine's projection over only the surviving rows.
-        let input = Relation::new(cols, gather_rows(ctab, sel, par));
-        ex.select_after_where(s, input, &q.order_by)?
-    };
+    } else if let Some(tail) = plan::plan_tail(q, s, &cols) {
+        // Fully-columnar tail: LIMIT/OFFSET applied on indices inside.
+        return Ok(ResultSet::from(run_tail(ctab, sel, &tail, par, topk)));
+    }
+    // Row-engine tail over only the surviving rows (grouping fallback for
+    // non-column group keys/aggregate args, computed projections, or
+    // expression sort keys).
+    let input = Relation::new(cols, gather_rows(ctab, sel, par));
+    let mut rel = ex.select_after_where(s, input, &q.order_by)?;
     exec::apply_limit_offset(&mut rel, q.limit, q.offset);
     Ok(ResultSet::from(rel))
 }
@@ -274,6 +307,385 @@ fn gather_rows(ctab: &ColumnarTable, sel: &[u32], par: Parallelism) -> Vec<Row> 
         .collect();
     }
     sel.iter().map(|&i| ctab.row(i as usize)).collect()
+}
+
+// ---- fully-columnar ORDER BY / DISTINCT / LIMIT tail ----------------------
+
+/// Run a planned fully-columnar tail over the selection vector:
+///
+/// 1. **Sort** the *indices* by typed columnar sort keys
+///    ([`Column::row_ordering`] — no `Value` materialization, no key
+///    rows). `ORDER BY … LIMIT k` with no DISTINCT runs as a bounded
+///    **top-K heap** ([`exec::top_k_sorted`]) so only `offset + k`
+///    indices are ever held. With parallelism engaged, morsels sort (or
+///    top-K-select) locally and a loser tree merges the runs
+///    ([`morsel::merge_sorted_runs`]).
+/// 2. **DISTINCT** dedupes the surviving indices over typed column keys
+///    ([`distinct_key`] — [`BorrowKey`]s that partition values exactly
+///    like the `ValueKey`s the row engine hashes, without cloning),
+///    keeping first occurrences in the current order and stopping early
+///    once `offset + limit` rows are kept.
+/// 3. **LIMIT/OFFSET** slice the index vector.
+/// 4. Only then are the survivors **late-materialized**, gathering just
+///    the projected columns (morsel-parallel, stitched in order).
+///
+/// Every step is infallible (plain column reads only — that is
+/// [`plan::plan_tail`]'s eligibility rule), so skipping non-surviving
+/// rows can never skip an error the row engine would report.
+///
+/// # Byte-identity with the row engine
+///
+/// The row engine stable-sorts whole rows by evaluated key values
+/// (`Value::total_cmp` per key). Here the comparator chains the same
+/// per-column orderings and then breaks ties by row index — selection
+/// vectors are strictly increasing, so index order *is* the row engine's
+/// stable-sort tie order, and a total order with no inter-row ties makes
+/// unstable sorts, bounded heaps and run merges all produce that same
+/// permutation. DISTINCT hashes keys that partition rows exactly as
+/// `RowKey::from_values` over the projected row would.
+fn run_tail(
+    ctab: &ColumnarTable,
+    sel: &[u32],
+    tail: &TailPlan,
+    par: Parallelism,
+    topk_hit: &mut bool,
+) -> Relation {
+    let bound = if tail.distinct {
+        None
+    } else {
+        exec::tail_bound(tail.limit, tail.offset)
+    };
+
+    // 1. Order the surviving indices.
+    let mut idx: Vec<u32> = if tail.sort.is_empty() {
+        match bound {
+            // No sort, no DISTINCT: the tail is a pure slice — take it
+            // before materializing anything.
+            Some(k) => sel[..k.min(sel.len())].to_vec(),
+            None => sel.to_vec(),
+        }
+    } else {
+        ordered_indices(ctab, &tail.sort, sel, bound, par, topk_hit)
+    };
+
+    // 2. DISTINCT over typed column keys, first occurrence wins.
+    if tail.distinct {
+        let target = exec::tail_bound(tail.limit, tail.offset);
+        let mut seen: HashSet<Vec<BorrowKey<'_>>> = HashSet::new();
+        let mut kept = Vec::new();
+        for &i in &idx {
+            if seen.insert(distinct_key(ctab, &tail.out_srcs, i as usize)) {
+                kept.push(i);
+                // Infallible tail: stopping at the bound is unobservable.
+                if target.is_some_and(|t| kept.len() >= t) {
+                    break;
+                }
+            }
+        }
+        idx = kept;
+    }
+
+    // 3. LIMIT/OFFSET on the index vector. (Paths bounded above already
+    // hold at most `offset + limit` indices, where this is cheap.)
+    if let Some(off) = tail.offset {
+        idx.drain(..(off as usize).min(idx.len()));
+    }
+    if let Some(lim) = tail.limit {
+        idx.truncate(lim as usize);
+    }
+
+    // 4. Late materialization of only the projected columns.
+    let rows = materialize_rows(ctab, &idx, &tail.out_srcs, par);
+    Relation::new(tail.out_cols.clone(), rows)
+}
+
+/// Sort the selection indices by the tail's typed columnar sort keys —
+/// bounded top-K when `bound` allows, morsel-parallel with a loser-tree
+/// merge when engaged. Single-key sorts over a single-typed column get a
+/// **monomorphized** comparator (the hot dashboard shape: the `f64`
+/// comparison inlines into the sort loop); multi-key and `Mixed`-column
+/// sorts chain the boxed per-column orderings.
+fn ordered_indices(
+    ctab: &ColumnarTable,
+    sort: &[(usize, bool)],
+    sel: &[u32],
+    bound: Option<usize>,
+    par: Parallelism,
+    topk_hit: &mut bool,
+) -> Vec<u32> {
+    if let [(c, desc)] = *sort {
+        let col = &ctab.columns[c];
+        match &col.data {
+            ColumnData::Int64(xs) => {
+                return order_by_typed_key(
+                    sel,
+                    bound,
+                    par,
+                    desc,
+                    topk_hit,
+                    col,
+                    |i| xs[i],
+                    |a: &i64, b| a.cmp(b),
+                );
+            }
+            ColumnData::Float64(xs) => {
+                return order_by_typed_key(
+                    sel,
+                    bound,
+                    par,
+                    desc,
+                    topk_hit,
+                    col,
+                    |i| xs[i],
+                    |a: &f64, b| a.total_cmp(b),
+                );
+            }
+            ColumnData::Str(ss) => {
+                return order_by_typed_key(
+                    sel,
+                    bound,
+                    par,
+                    desc,
+                    topk_hit,
+                    col,
+                    |i| ss[i].as_str(),
+                    |a: &&str, b| a.cmp(b),
+                );
+            }
+            ColumnData::Bool(bs) => {
+                return order_by_typed_key(
+                    sel,
+                    bound,
+                    par,
+                    desc,
+                    topk_hit,
+                    col,
+                    |i| bs[i],
+                    |a: &bool, b| a.cmp(b),
+                );
+            }
+            ColumnData::Mixed(_) => {}
+        }
+    }
+    type BoxedKey<'a> = (Box<dyn Fn(usize, usize) -> Ordering + Sync + 'a>, bool);
+    let keys: Vec<BoxedKey<'_>> = sort
+        .iter()
+        .map(|&(c, desc)| (ctab.columns[c].row_ordering(), desc))
+        .collect();
+    let cmp = move |a: &u32, b: &u32| {
+        for (key, desc) in &keys {
+            let ord = key(*a as usize, *b as usize);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        a.cmp(b)
+    };
+    order_indices(sel, bound, par, cmp, topk_hit)
+}
+
+/// Single-typed-key ordering via decorate–sort–undecorate: each morsel
+/// splits its slice of the selection into NULL indices and `(key, row)`
+/// pairs, sorts (or bounded-top-K-selects) the *pairs* — key comparisons
+/// read sequentially-copied pair memory instead of chasing random column
+/// indices, and the comparator is monomorphized per column type — then
+/// the runs loser-tree-merge and NULLs splice back in at the position
+/// `total_cmp` gives them (first ascending, last descending).
+///
+/// Order identity with the boxed comparator chain (and therefore the row
+/// engine): NULLs tie with each other only, so among themselves they
+/// keep index order — chunks collect them in selection order and
+/// concatenate in morsel order, which is exactly that; pairs carry the
+/// index tie-break in the comparator; and `desc` only reverses the key
+/// order, never the tie-break.
+#[allow(clippy::too_many_arguments)]
+fn order_by_typed_key<T, G, F>(
+    sel: &[u32],
+    bound: Option<usize>,
+    par: Parallelism,
+    desc: bool,
+    topk_hit: &mut bool,
+    col: &Column,
+    get: G,
+    ord: F,
+) -> Vec<u32>
+where
+    T: Copy + Send + Sync,
+    G: Fn(usize) -> T + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let has_nulls = col.nulls.any();
+    let pair_cmp = move |a: &(T, u32), b: &(T, u32)| {
+        let o = ord(&a.0, &b.0);
+        let o = if desc { o.reverse() } else { o };
+        o.then(a.1.cmp(&b.1))
+    };
+    let topk = bound.is_some_and(|k| k < sel.len());
+    if topk {
+        *topk_hit = true;
+    }
+    let k = bound.unwrap_or(usize::MAX);
+    // Under top-K, at most k NULL indices can survive the splice below,
+    // and they are collected in selection order — capping the collection
+    // (per morsel and merged) keeps the bounded tail's memory at
+    // O(offset + k) even on a mostly-NULL key column, byte-identically.
+    let null_cap = if topk { k } else { usize::MAX };
+    let decorate = |r: std::ops::Range<usize>| -> (Vec<u32>, Vec<(T, u32)>) {
+        let mut nulls = Vec::new();
+        let mut pairs = Vec::with_capacity(r.len());
+        for &i in &sel[r] {
+            let idx = i as usize;
+            if has_nulls && col.is_null(idx) {
+                if nulls.len() < null_cap {
+                    nulls.push(i);
+                }
+            } else {
+                pairs.push((get(idx), i));
+            }
+        }
+        (nulls, pairs)
+    };
+    let (nulls, pairs) = if par.engaged(sel.len()) {
+        let chunks = morsel::run(sel.len(), par, |r| {
+            let (nulls, mut pairs) = decorate(r);
+            if topk {
+                pairs = exec::top_k_sorted(pairs, k, &pair_cmp);
+            } else {
+                pairs.sort_unstable_by(&pair_cmp);
+            }
+            (nulls, pairs)
+        });
+        let mut nulls: Vec<u32> = Vec::new();
+        let mut runs = Vec::with_capacity(chunks.len());
+        for (n, p) in chunks {
+            let room = null_cap - nulls.len();
+            nulls.extend(n.into_iter().take(room));
+            runs.push(p);
+        }
+        let take = topk.then_some(k);
+        (nulls, morsel::merge_sorted_runs(runs, take, pair_cmp))
+    } else {
+        let (nulls, mut pairs) = decorate(0..sel.len());
+        if topk {
+            pairs = exec::top_k_sorted(pairs, k, &pair_cmp);
+        } else {
+            pairs.sort_unstable_by(&pair_cmp);
+        }
+        (nulls, pairs)
+    };
+    // Splice NULLs back: ascending order ranks them below every key
+    // (first), descending reverses that (last). `k` bounds the total.
+    let want = k.min(nulls.len() + pairs.len());
+    let mut out = Vec::with_capacity(want);
+    if desc {
+        out.extend(pairs.into_iter().map(|p| p.1).take(want));
+        let rest = want - out.len();
+        out.extend(nulls.into_iter().take(rest));
+    } else {
+        out.extend(nulls.into_iter().take(want));
+        let rest = want - out.len();
+        out.extend(pairs.into_iter().map(|p| p.1).take(rest));
+    }
+    out
+}
+
+/// The shared ordering engine behind [`ordered_indices`], generic over
+/// the comparator so typed fast paths stay monomorphized end to end
+/// (heap, sort and merge included). `cmp` must be a total order with no
+/// ties between distinct indices (every caller ends with the index
+/// tie-break), which is what lets unstable sorts, bounded heaps and the
+/// loser-tree merge all reproduce the row engine's stable sort exactly.
+fn order_indices<C>(
+    sel: &[u32],
+    bound: Option<usize>,
+    par: Parallelism,
+    cmp: C,
+    topk_hit: &mut bool,
+) -> Vec<u32>
+where
+    C: Fn(&u32, &u32) -> Ordering + Sync,
+{
+    match bound {
+        Some(k) if k < sel.len() => {
+            *topk_hit = true;
+            if par.engaged(sel.len()) {
+                // Morsel-local top-K runs, loser-tree merged; any global
+                // top-K index is in its morsel's top K.
+                let runs = morsel::run(sel.len(), par, |r| {
+                    exec::top_k_sorted(sel[r].iter().copied(), k, &cmp)
+                });
+                morsel::merge_sorted_runs(runs, Some(k), cmp)
+            } else {
+                exec::top_k_sorted(sel.iter().copied(), k, &cmp)
+            }
+        }
+        _ => {
+            if par.engaged(sel.len()) {
+                let runs = morsel::run(sel.len(), par, |r| {
+                    let mut run = sel[r].to_vec();
+                    run.sort_unstable_by(&cmp);
+                    run
+                });
+                morsel::merge_sorted_runs(runs, None, cmp)
+            } else {
+                let mut idx = sel.to_vec();
+                idx.sort_unstable_by(cmp);
+                idx
+            }
+        }
+    }
+}
+
+/// The DISTINCT key of row `i` under a plain-column projection: the same
+/// key sequence `RowKey::from_values` derives from the projected output
+/// row — [`BorrowKey`] mirrors `ValueKey` exactly — but borrowing
+/// strings straight from the columns, so keying a row never clones.
+fn distinct_key<'a>(ctab: &'a ColumnarTable, srcs: &[usize], i: usize) -> Vec<BorrowKey<'a>> {
+    srcs.iter()
+        .map(|&c| {
+            let col = &ctab.columns[c];
+            if col.is_null(i) {
+                return BorrowKey::Null;
+            }
+            match &col.data {
+                ColumnData::Int64(xs) => BorrowKey::Int(xs[i]),
+                ColumnData::Float64(xs) => BorrowKey::from_float(xs[i]),
+                ColumnData::Bool(bs) => BorrowKey::Bool(bs[i]),
+                ColumnData::Str(ss) => BorrowKey::Str(&ss[i]),
+                ColumnData::Mixed(vs) => BorrowKey::from(&vs[i]),
+            }
+        })
+        .collect()
+}
+
+/// Materialize the tail's surviving rows, reading only the projected
+/// source columns (in output order — a column projected twice is read
+/// twice, like the row engine's projection). Morsels materialize
+/// independently and stitch in order.
+fn materialize_rows(
+    ctab: &ColumnarTable,
+    idx: &[u32],
+    srcs: &[usize],
+    par: Parallelism,
+) -> Vec<Row> {
+    let chunk = |r: std::ops::Range<usize>| -> Vec<Row> {
+        idx[r]
+            .iter()
+            .map(|&i| {
+                srcs.iter()
+                    .map(|&c| ctab.columns[c].value(i as usize))
+                    .collect()
+            })
+            .collect()
+    };
+    if par.engaged(idx.len()) {
+        return morsel::run(idx.len(), par, chunk)
+            .into_iter()
+            .flatten()
+            .collect();
+    }
+    chunk(0..idx.len())
 }
 
 // ---- columnar filtering -------------------------------------------------
@@ -798,7 +1210,7 @@ fn generic_pair_filter(
 /// materialization of only the live columns, then the shared
 /// aggregate/projection tail. Byte-identical to the row interpreter —
 /// see [`crate::plan`] for why each pushdown preserves that.
-fn run_join(db: &Database, q: &Query, route: &JoinRoute<'_>) -> Result<ResultSet> {
+fn run_join(db: &Database, q: &Query, route: &JoinRoute<'_>, topk: &mut bool) -> Result<ResultSet> {
     let JoinRoute {
         s,
         plan,
@@ -937,7 +1349,7 @@ fn run_join(db: &Database, q: &Query, route: &JoinRoute<'_>) -> Result<ResultSet
 
     let sel: Vec<u32> = (0..n as u32).collect();
     let mut ex = Exec::new(db);
-    finish_block(&mut ex, q, s, cols.clone(), &joined, &sel, par)
+    finish_block(&mut ex, q, s, cols.clone(), &joined, &sel, par, topk)
 }
 
 /// Narrow a full-table scan by a list of pushed-down kernels
@@ -1054,15 +1466,19 @@ struct GroupedPlan {
 /// Try the columnar grouped path. `None` means "not fast-path eligible"
 /// (including compile errors — the row-engine fallback recompiles and
 /// reports them identically); `Some(Err)` is a genuine execution error.
+/// On success the grouped tail has already applied LIMIT/OFFSET.
+#[allow(clippy::too_many_arguments)]
 fn grouped_fast(
     ex: &mut Exec<'_>,
+    q: &Query,
     s: &Select,
     cols: &[ColMeta],
     ctab: &ColumnarTable,
     sel: &[u32],
-    order_by: &[OrderByItem],
     par: Parallelism,
+    topk: &mut bool,
 ) -> Option<Result<Relation>> {
+    let order_by = &q.order_by;
     let group_exprs = ex.compile_group_exprs(s, cols).ok()?;
     let mut key_cols = Vec::with_capacity(group_exprs.len());
     for g in &group_exprs {
@@ -1096,14 +1512,10 @@ fn grouped_fast(
         Some(h) => Some(gc.compile(ex, h, cols).ok()?),
         None => None,
     };
-    let mut order_plan = Vec::with_capacity(order_by.len());
-    for item in order_by {
-        let key = match exec::sort_key_by_output(&item.expr, &out_cols).ok()? {
-            Some(pos) => SortKey::Output(pos),
-            None => SortKey::Source(gc.compile(ex, &item.expr, cols).ok()?),
-        };
-        order_plan.push(key);
-    }
+    // Shared alias/ordinal resolution rule — the same helper the row
+    // engine's grouped path uses, so the engines cannot drift.
+    let order_plan =
+        exec::plan_sort_keys_with(order_by, &out_cols, &mut |e| gc.compile(ex, e, cols)).ok()?;
     let mut agg_args = Vec::with_capacity(gc.aggs.len());
     for spec in &gc.aggs {
         match &spec.arg {
@@ -1121,19 +1533,20 @@ fn grouped_fast(
         having,
         order_plan,
     };
-    Some(run_grouped(s, ctab, sel, order_by, plan, par))
+    Some(run_grouped(q, s, ctab, sel, plan, par, topk))
 }
 
 fn run_grouped(
+    q: &Query,
     s: &Select,
     ctab: &ColumnarTable,
     sel: &[u32],
-    order_by: &[OrderByItem],
     plan: GroupedPlan,
     par: Parallelism,
+    topk: &mut bool,
 ) -> Result<Relation> {
     if par.engaged(sel.len()) {
-        return run_grouped_parallel(s, ctab, sel, order_by, plan, par);
+        return run_grouped_parallel(q, s, ctab, sel, plan, par, topk);
     }
     let (gids, mut groups) = assign_groups(ctab, &plan.key_cols, sel);
     // A grand aggregate over zero rows still yields one group.
@@ -1146,7 +1559,7 @@ fn run_grouped(
     for (spec, arg) in plan.aggs.iter().zip(&plan.agg_args) {
         agg_vals.push(compute_agg(ctab, spec.func, *arg, sel, &gids, ngroups)?);
     }
-    grouped_tail(s, order_by, plan, groups, agg_vals)
+    grouped_tail(q, s, plan, GroupedRows::new(groups, agg_vals), topk)
 }
 
 /// Morsel-parallel grouped aggregation: every morsel of the selection
@@ -1160,12 +1573,13 @@ fn run_grouped(
 /// an aggregate, from the earliest morsel — exactly the sequential
 /// engine's aggregate-major, row-order error.
 fn run_grouped_parallel(
+    q: &Query,
     s: &Select,
     ctab: &ColumnarTable,
     sel: &[u32],
-    order_by: &[OrderByItem],
     plan: GroupedPlan,
     par: Parallelism,
+    topk: &mut bool,
 ) -> Result<Relation> {
     type MorselState = (Vec<Row>, Vec<Result<AggPartial>>);
     let morsels: Vec<MorselState> = morsel::run(sel.len(), par, |range| {
@@ -1238,32 +1652,33 @@ fn run_grouped_parallel(
         .zip(&plan.aggs)
         .map(|(g, spec)| g.finalize(spec.func))
         .collect();
-    grouped_tail(s, order_by, plan, groups, agg_vals)
+    grouped_tail(q, s, plan, GroupedRows::new(groups, agg_vals), topk)
 }
 
 /// Post-aggregation tail shared by the sequential and parallel grouped
-/// operators — identical to the row engine's `select_grouped`: build
-/// post-group rows `[key values..., aggregate values...]`, filter HAVING,
-/// project, sort.
+/// operators — identical to the row engine's `select_grouped` followed
+/// by the LIMIT/OFFSET slice: build post-group rows
+/// `[key values..., aggregate values...]` (transposed out of the
+/// column-major [`GroupedRows`] without cloning aggregate values), filter
+/// HAVING, project, then sort **group indices** — `ORDER BY … LIMIT k`
+/// selects the top `offset + k` groups with a bounded heap instead of
+/// sorting every group ([`exec::finish_select_sliced`]).
 fn grouped_tail(
+    q: &Query,
     s: &Select,
-    order_by: &[OrderByItem],
     plan: GroupedPlan,
-    groups: Vec<Row>,
-    agg_vals: Vec<Vec<Value>>,
+    grouped: GroupedRows,
+    topk: &mut bool,
 ) -> Result<Relation> {
-    let ngroups = groups.len();
+    let order_by = &q.order_by;
+    let ngroups = grouped.len();
     let mut out_rows = Vec::with_capacity(ngroups);
     let mut key_rows = if order_by.is_empty() {
         None
     } else {
         Some(Vec::with_capacity(ngroups))
     };
-    for (g, key_vals) in groups.into_iter().enumerate() {
-        let mut group_row = key_vals;
-        for a in &agg_vals {
-            group_row.push(a[g].clone());
-        }
+    for group_row in grouped.into_rows() {
         if let Some(h) = &plan.having {
             if !h.eval_bool(&group_row)? {
                 continue;
@@ -1278,11 +1693,14 @@ fn grouped_tail(
         }
         out_rows.push(out);
     }
-    Ok(exec::finish_select(
+    Ok(exec::finish_select_sliced(
         Relation::new(plan.out_cols, out_rows),
         key_rows,
         order_by,
         s.distinct,
+        q.limit,
+        q.offset,
+        topk,
     ))
 }
 

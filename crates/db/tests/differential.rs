@@ -129,23 +129,55 @@ fn arb_where() -> BoxedStrategy<String> {
 /// columnar hash-aggregates on int/str/expression keys, grand
 /// aggregates, plus DISTINCT / HAVING / ORDER BY / LIMIT tails.
 fn arb_query() -> BoxedStrategy<String> {
-    let plain = (arb_where(), 0u32..4, 0u32..4, 0u32..2).prop_map(|(w, ob, lim, dis)| {
+    let plain = (arb_where(), 0u32..7, 0u32..6, 0u32..2).prop_map(|(w, ob, lim, dis)| {
         let distinct = if dis == 1 { "DISTINCT " } else { "" };
         let order = match ob {
             0 => "",
             1 => " ORDER BY a, b, c, d",
             2 => " ORDER BY 1 DESC, 4",
-            _ => " ORDER BY c DESC, a",
+            3 => " ORDER BY c DESC, a",
+            // Multi-key with mixed directions, NULLs in every key.
+            4 => " ORDER BY b DESC, d DESC, a",
+            5 => " ORDER BY d, c DESC, b",
+            // Single Float key: the typed pair-sort fast path.
+            _ => " ORDER BY b DESC",
         };
         let limit = match lim {
             0 => "",
             1 => " LIMIT 5",
             2 => " LIMIT 3 OFFSET 2",
-            _ => " LIMIT 2 OFFSET 40",
+            3 => " LIMIT 2 OFFSET 40",
+            4 => " LIMIT 1",
+            _ => " LIMIT 0",
         };
         format!("SELECT {distinct}a, b, c, d FROM t{w}{order}{limit}")
     });
-    let agg_int_key = (arb_where(), 0u32..3, 0u32..3).prop_map(|(w, hv, ob)| {
+    // Aliased plain-column projection: ORDER BY resolves aliases and
+    // ordinals against the output columns (the shared resolution rule),
+    // and the vectorized tail must map them back to source columns.
+    let aliased = (arb_where(), 0u32..3, 0u32..3, 0u32..2).prop_map(|(w, ob, lim, dis)| {
+        let distinct = if dis == 1 { "DISTINCT " } else { "" };
+        let order = match ob {
+            0 => " ORDER BY x DESC, y",
+            1 => " ORDER BY 2, x DESC",
+            // `a` names the output column (aliased from d), not t.a.
+            _ => " ORDER BY a DESC, x",
+        };
+        let limit = match lim {
+            0 => "",
+            1 => " LIMIT 4",
+            _ => " LIMIT 3 OFFSET 1",
+        };
+        format!("SELECT {distinct}a AS x, b AS y, d AS a FROM t{w}{order}{limit}")
+    });
+    // Computed projection with ORDER BY on the alias: ineligible for the
+    // columnar tail (fallible projection), pinning the row-tail fallback
+    // against the row engine.
+    let computed = (arb_where(), 0u32..2).prop_map(|(w, lim)| {
+        let limit = if lim == 0 { "" } else { " LIMIT 3 OFFSET 1" };
+        format!("SELECT a + d AS k, c FROM t{w} ORDER BY k DESC, c{limit}")
+    });
+    let agg_int_key = (arb_where(), 0u32..3, 0u32..3, 0u32..3).prop_map(|(w, hv, ob, lim)| {
         let having = match hv {
             0 => "",
             1 => " HAVING COUNT(*) > 1",
@@ -156,9 +188,15 @@ fn arb_query() -> BoxedStrategy<String> {
             1 => " ORDER BY n DESC, d",
             _ => " ORDER BY 1",
         };
+        // LIMIT under ORDER BY exercises the grouped top-K tail.
+        let limit = match (ob, lim) {
+            (_, 0) | (0, _) => "",
+            (_, 1) => " LIMIT 2",
+            _ => " LIMIT 1 OFFSET 1",
+        };
         format!(
             "SELECT d, COUNT(*) AS n, SUM(a), AVG(b), MIN(c), MAX(a), \
-             COUNT(DISTINCT a) FROM t{w} GROUP BY d{having}{order}"
+             COUNT(DISTINCT a) FROM t{w} GROUP BY d{having}{order}{limit}"
         )
     });
     let agg_str_key = (arb_where(), 0u32..2).prop_map(|(w, ob)| {
@@ -177,6 +215,8 @@ fn arb_query() -> BoxedStrategy<String> {
     });
     prop_oneof![
         plain,
+        aliased,
+        computed,
         agg_int_key,
         agg_str_key,
         agg_multi_key,
@@ -247,6 +287,10 @@ fn arb_join_query() -> BoxedStrategy<String> {
         }),
         Just("SELECT * FROM_JOIN LIMIT 7".to_string()),
         Just("SELECT y.* FROM_JOIN".to_string()),
+        // Columnar tail over the joined table: top-K and DISTINCT on
+        // late-materialized columns.
+        Just("SELECT x.a, x.c, y.w, y.u FROM_JOIN ORDER BY y.w DESC, x.a, x.c, y.u LIMIT 5 OFFSET 1".to_string()),
+        Just("SELECT DISTINCT x.d, y.u FROM_JOIN ORDER BY 1 DESC, 2 LIMIT 3".to_string()),
         Just(
             "SELECT COUNT(*), COUNT(y.w), SUM(y.w), MIN(x.c), MAX(y.w), \
              COUNT(DISTINCT y.u) FROM_JOIN"
@@ -393,6 +437,256 @@ proptest! {
         let par = db.execute_sql(&sql);
         assert_modes_agree(seq, par, workers, &sql)?;
     }
+}
+
+// ---- top-K pushdown: byte-identity against the full sort ------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `ORDER BY … LIMIT k OFFSET o` must return exactly rows
+    /// `o..o + k` of the same query's full sort — the bounded top-K heap
+    /// (and its morsel-parallel variant) is pinned against the full-sort
+    /// path it replaces, at every worker count, and against the row
+    /// engine.
+    #[test]
+    fn topk_limit_is_a_prefix_of_the_full_sort(
+        rows in arb_rows(),
+        w in arb_where(),
+        ob in 0u32..5,
+        limit in 0u64..8,
+        offset in 0u64..6,
+        workers in 1usize..=8,
+    ) {
+        let order = match ob {
+            0 => "a DESC, b, c, d",
+            1 => "b, a DESC, c DESC, d",
+            2 => "c, 1 DESC",
+            3 => "d DESC, a",
+            // Single Float key: the typed pair-sort / pair-heap path.
+            _ => "b DESC",
+        };
+        let full_sql = format!("SELECT a, b, c, d FROM t{w} ORDER BY {order}");
+        let lim_sql = format!("{full_sql} LIMIT {limit} OFFSET {offset}");
+        let db = build_db(rows);
+        parallelize(&db, workers);
+        let full = db.execute_sql(&full_sql).unwrap();
+        let limited = db.execute_sql(&lim_sql).unwrap();
+        let lo = (offset as usize).min(full.rows.len());
+        let hi = (lo + limit as usize).min(full.rows.len());
+        prop_assert_eq!(
+            &limited.rows[..],
+            &full.rows[lo..hi],
+            "top-K is not a prefix of the full sort: {} (workers {})",
+            lim_sql,
+            workers
+        );
+        let row = db.execute_sql_row(&lim_sql).unwrap();
+        prop_assert_eq!(limited, row, "engines disagree on: {}", lim_sql);
+    }
+}
+
+/// LIMIT cutting *inside* a run of duplicate sort keys must keep exactly
+/// the row engine's tie order (input order) at the boundary — the heap's
+/// index tie-break, the loser tree's run tie-break, and the stable sort
+/// must all agree.
+#[test]
+fn topk_tie_order_matches_full_sort_at_boundary() {
+    let rows: Vec<_> = (0..24)
+        .map(|i| {
+            (
+                Value::Int(i),
+                Value::Float((i % 2) as f64), // heavy ties on b
+                Value::str(if i % 2 == 0 { "x" } else { "y" }),
+                Value::Int(i % 3), // heavy ties on d
+            )
+        })
+        .collect();
+    let db = build_db(rows);
+    for sql_full in [
+        "SELECT a, d FROM t ORDER BY d",
+        "SELECT a, d FROM t ORDER BY d DESC",
+        "SELECT a, b FROM t ORDER BY b DESC",
+    ] {
+        let full = both(&db, sql_full);
+        for (limit, offset) in [(4, 0), (4, 1), (1, 7), (30, 2)] {
+            let sql = format!("{sql_full} LIMIT {limit} OFFSET {offset}");
+            let sliced = both(&db, &sql);
+            let lo = offset.min(full.rows.len());
+            let hi = (lo + limit).min(full.rows.len());
+            assert_eq!(sliced.rows, &full.rows[lo..hi], "boundary slice: {sql}");
+            // And identically under morsel-parallel top-K.
+            parallelize(&db, 4);
+            let par = db.execute_sql(&sql).unwrap();
+            assert_eq!(par.rows, sliced.rows, "parallel boundary slice: {sql}");
+            db.set_parallelism(1);
+        }
+    }
+}
+
+/// NaN and -0.0 sort keys: `total_cmp` orders -NaN < … < -0.0 < 0.0 < …
+/// < NaN, and the engines (full sort, top-K, morsel-parallel, row) must
+/// place the exact bit patterns in the same slots.
+#[test]
+fn order_by_nan_negative_zero_sort_keys_bit_identical() {
+    let b_vals = [f64::NAN, -0.0, 0.0, -f64::NAN, 1.5, f64::NAN, -2.5, -0.0];
+    let rows: Vec<_> = b_vals
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| {
+            (
+                Value::Int(i as i64),
+                Value::Float(b),
+                Value::str("s"),
+                Value::Int(0),
+            )
+        })
+        .collect();
+    let db = build_db(rows);
+    for sql in [
+        "SELECT a, b FROM t ORDER BY b",
+        "SELECT a, b FROM t ORDER BY b DESC",
+        "SELECT a, b FROM t ORDER BY b LIMIT 3",
+        "SELECT a, b FROM t ORDER BY b DESC LIMIT 4 OFFSET 2",
+        "SELECT a, b FROM t ORDER BY b DESC, a LIMIT 5",
+    ] {
+        let v = db.execute_sql(sql).unwrap();
+        let r = db.execute_sql_row(sql).unwrap();
+        assert_rows_bit_identical(&v, &r, sql);
+        parallelize(&db, 4);
+        let p = db.execute_sql(sql).unwrap();
+        assert_rows_bit_identical(&p, &r, sql);
+        db.set_parallelism(1);
+    }
+}
+
+/// Top-K over a mostly-NULL sort key: NULL indices are collected under
+/// the same `offset + k` cap as the pairs (only the first k can survive
+/// the splice), and the output must still equal the full sort's prefix
+/// in both directions — NULLs first ascending, last descending — at
+/// every worker count.
+#[test]
+fn topk_on_mostly_null_key_matches_full_sort() {
+    let rows: Vec<_> = (0..40)
+        .map(|i| {
+            let b = if i % 5 == 0 {
+                Value::Float(i as f64)
+            } else {
+                Value::Null // 80% NULL keys
+            };
+            (Value::Int(i), b, Value::str("s"), Value::Int(0))
+        })
+        .collect();
+    let db = build_db(rows);
+    for sql_full in [
+        "SELECT a, b FROM t ORDER BY b",
+        "SELECT a, b FROM t ORDER BY b DESC",
+    ] {
+        let full = both(&db, sql_full);
+        for (limit, offset) in [(3, 0), (5, 2), (10, 35)] {
+            let sql = format!("{sql_full} LIMIT {limit} OFFSET {offset}");
+            let sliced = both(&db, &sql);
+            let lo = offset.min(full.rows.len());
+            let hi = (lo + limit).min(full.rows.len());
+            assert_eq!(sliced.rows, &full.rows[lo..hi], "null-heavy slice: {sql}");
+            parallelize(&db, 4);
+            let par = db.execute_sql(&sql).unwrap();
+            assert_eq!(par.rows, sliced.rows, "parallel null-heavy slice: {sql}");
+            db.set_parallelism(1);
+        }
+    }
+}
+
+/// OFFSET past the end of an ordered (and DISTINCT) result: the tail
+/// must clamp to empty on every path, not panic or wrap.
+#[test]
+fn order_by_offset_past_end_is_empty() {
+    let db = null_db();
+    for sql in [
+        "SELECT a, b FROM t ORDER BY a DESC LIMIT 2 OFFSET 40",
+        "SELECT DISTINCT d FROM t ORDER BY d LIMIT 5 OFFSET 9",
+        "SELECT a FROM t ORDER BY b LIMIT 0 OFFSET 3",
+        "SELECT d, COUNT(*) FROM t GROUP BY d ORDER BY 2 DESC LIMIT 3 OFFSET 8",
+    ] {
+        let rs = both(&db, sql);
+        assert!(rs.rows.is_empty(), "expected empty result for: {sql}");
+        parallelize(&db, 3);
+        assert!(
+            db.execute_sql(sql).unwrap().rows.is_empty(),
+            "parallel: expected empty result for: {sql}"
+        );
+        db.set_parallelism(1);
+    }
+}
+
+/// DISTINCT composed with ORDER BY and LIMIT: dedupe happens after the
+/// sort and before the slice, first occurrence in sorted order wins —
+/// including sort keys outside the projection.
+#[test]
+fn distinct_order_by_limit_combinations() {
+    let db = join_db();
+    for sql in [
+        "SELECT DISTINCT d, c FROM t ORDER BY d DESC, c LIMIT 2 OFFSET 1",
+        "SELECT DISTINCT d FROM t ORDER BY d DESC LIMIT 2",
+        // Sort key not in the projection: dedupe keys and sort keys come
+        // from different columns.
+        "SELECT DISTINCT d FROM t ORDER BY a, b LIMIT 3",
+        "SELECT DISTINCT c FROM t LIMIT 2",
+    ] {
+        let seq = both(&db, sql);
+        parallelize(&db, 4);
+        let par = db.execute_sql(sql).unwrap();
+        assert_eq!(par, seq, "parallel diverges on: {sql}");
+        db.set_parallelism(1);
+    }
+}
+
+/// The pipeline's own trace must report the top-K pushdown exactly when
+/// the bounded path engages — that is what the service's `topk_hits`
+/// telemetry counts.
+#[test]
+fn exec_trace_reports_topk_pushdown() {
+    let rows: Vec<_> = (0..20)
+        .map(|i| {
+            (
+                Value::Int(i),
+                Value::Float(i as f64),
+                Value::str("s"),
+                Value::Int(i % 7),
+            )
+        })
+        .collect();
+    let db = build_db(rows);
+    let case = |sql: &str| {
+        let q = parse_query(sql).unwrap();
+        let (trace, result) = db.execute_traced(&q);
+        result.unwrap();
+        trace
+    };
+    // Eligible: ORDER BY + LIMIT smaller than the input, no DISTINCT.
+    let t = case("SELECT a, b FROM t ORDER BY b DESC LIMIT 3");
+    assert!(t.vectorized && t.topk, "plain top-K should engage: {t:?}");
+    // Grouped top-K over group indices.
+    let t = case("SELECT d, COUNT(*) AS n FROM t GROUP BY d ORDER BY n DESC, d LIMIT 2");
+    assert!(t.vectorized && t.topk, "grouped top-K should engage: {t:?}");
+    // No LIMIT → full sort, no pushdown.
+    let t = case("SELECT a, b FROM t ORDER BY b DESC");
+    assert!(
+        t.vectorized && !t.topk,
+        "full sort is not a top-K hit: {t:?}"
+    );
+    // DISTINCT disables the bounded path (dedupe follows the sort).
+    let t = case("SELECT DISTINCT d FROM t ORDER BY d LIMIT 3");
+    assert!(t.vectorized && !t.topk, "DISTINCT disables top-K: {t:?}");
+    // LIMIT covering the whole input: nothing to bound.
+    let t = case("SELECT a FROM t ORDER BY a LIMIT 500");
+    assert!(
+        t.vectorized && !t.topk,
+        "covering LIMIT is not a hit: {t:?}"
+    );
+    // Row-engine fallback never reports top-K.
+    let t = case("SELECT a FROM t UNION SELECT d FROM t");
+    assert!(!t.vectorized && !t.topk, "row fallback: {t:?}");
 }
 
 /// `Value::total_cmp` is not transitive across physical types: Int-vs-Int

@@ -515,7 +515,9 @@ fn run_job(shared: &Shared, job: Job) {
             // Engine routing observed by the pipeline itself (no second
             // planning pass): makes fast-path coverage visible in the
             // telemetry snapshot.
-            shared.telemetry.record_engine(result.vectorized);
+            shared
+                .telemetry
+                .record_engine(result.vectorized, result.topk);
             for (analyst, waiter) in take_waiters(shared, &job.key) {
                 let _ = waiter.send(Ok(ServiceResponse {
                     analyst,
@@ -872,6 +874,33 @@ mod tests {
         let t2 = svc.telemetry();
         assert_eq!(t2.vectorized_hits, t.vectorized_hits);
         assert_eq!(t2.row_fallbacks, t.row_fallbacks);
+    }
+
+    /// `topk_hits` is reported by the pipeline itself: a dashboard-shaped
+    /// `ORDER BY … LIMIT` query through the full DP pipeline counts one
+    /// top-K pushdown, and queries without a bounded tail count none.
+    #[test]
+    fn telemetry_tracks_topk_pushdowns() {
+        let svc = service(ServiceConfig::default());
+        // Grouped top-K: 7 groups, LIMIT 3 → bounded selection engages.
+        svc.query(
+            "a",
+            "SELECT city_id, COUNT(*) AS n FROM trips GROUP BY city_id \
+             ORDER BY n DESC, city_id LIMIT 3",
+            params(0.1),
+        )
+        .unwrap();
+        // Vectorized but unbounded: no LIMIT, no pushdown.
+        svc.query(
+            "a",
+            "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id ORDER BY 2 DESC, 1",
+            params(0.1),
+        )
+        .unwrap();
+        let t = svc.telemetry();
+        assert_eq!(t.topk_hits, 1, "snapshot: {t}");
+        assert_eq!(t.vectorized_hits, 2, "snapshot: {t}");
+        assert!(t.to_string().contains("top-K pushdowns"), "snapshot: {t}");
     }
 
     /// The tentpole contract end to end: intra-query parallelism is pure

@@ -18,6 +18,7 @@ pub struct Telemetry {
     failed: AtomicU64,
     vectorized_hits: AtomicU64,
     row_fallbacks: AtomicU64,
+    topk_hits: AtomicU64,
     exec_parallelism: AtomicU64,
     queue_depth: AtomicU64,
     max_queue_depth: AtomicU64,
@@ -51,13 +52,18 @@ impl Telemetry {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record which execution engine a computed query routed to:
-    /// vectorized columnar (`true`) or the row interpreter (`false`).
-    pub fn record_engine(&self, vectorized: bool) {
+    /// Record how a computed query executed: which engine it routed to
+    /// (vectorized columnar vs the row interpreter) and whether the
+    /// vectorized tail served `ORDER BY … LIMIT` from the bounded top-K
+    /// heap instead of a full sort.
+    pub fn record_engine(&self, vectorized: bool, topk: bool) {
         if vectorized {
             self.vectorized_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.row_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        if topk {
+            self.topk_hits.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -101,6 +107,7 @@ impl Telemetry {
             failed: self.failed.load(Ordering::Relaxed),
             vectorized_hits: self.vectorized_hits.load(Ordering::Relaxed),
             row_fallbacks: self.row_fallbacks.load(Ordering::Relaxed),
+            topk_hits: self.topk_hits.load(Ordering::Relaxed),
             exec_parallelism: self.exec_parallelism.load(Ordering::Relaxed).max(1),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
@@ -142,6 +149,11 @@ pub struct TelemetrySnapshot {
     /// Completed queries whose execution fell back to the row
     /// interpreter.
     pub row_fallbacks: u64,
+    /// Completed vectorized queries whose `ORDER BY … LIMIT` tail ran as
+    /// a bounded top-K selection instead of a full sort (a subset of
+    /// `vectorized_hits`; byte-identical results, surfaced so dashboards
+    /// can see how often the dashboard-query pushdown actually engages).
+    pub topk_hits: u64,
     /// Per-query worker budget of the vectorized engine (morsel-driven
     /// parallelism; 1 = sequential execution), as configured on the
     /// service. A gauge, not a counter.
@@ -205,6 +217,7 @@ impl std::fmt::Display for TelemetrySnapshot {
             100.0 * self.vectorized_rate()
         )?;
         writeln!(f, "  row fallbacks    {:>8}", self.row_fallbacks)?;
+        writeln!(f, "  top-K pushdowns  {:>8}", self.topk_hits)?;
         writeln!(f, "  exec workers     {:>8}", self.exec_parallelism)?;
         writeln!(
             f,
@@ -270,6 +283,7 @@ mod tests {
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.vectorized_rate(), 0.0);
         assert!(s.hit_rate().is_finite() && s.vectorized_rate().is_finite());
+        assert_eq!(s.topk_hits, 0);
         // The parallelism gauge defaults to 1 (sequential) until the
         // service records its configuration.
         assert_eq!(s.exec_parallelism, 1);
@@ -277,6 +291,7 @@ mod tests {
         assert!(!text.contains("NaN"), "Display leaked a NaN: {text}");
         assert!(text.contains("(0.0% of lookups)"), "snapshot: {text}");
         assert!(text.contains("(0.0% of computed)"), "snapshot: {text}");
+        assert!(text.contains("top-K pushdowns"), "snapshot: {text}");
     }
 
     #[test]
@@ -296,15 +311,16 @@ mod tests {
     fn engine_routing_counters() {
         let t = Telemetry::default();
         let s = t.snapshot();
-        assert_eq!((s.vectorized_hits, s.row_fallbacks), (0, 0));
+        assert_eq!((s.vectorized_hits, s.row_fallbacks, s.topk_hits), (0, 0, 0));
         assert_eq!(s.vectorized_rate(), 0.0);
-        t.record_engine(true);
-        t.record_engine(true);
-        t.record_engine(true);
-        t.record_engine(false);
+        t.record_engine(true, true);
+        t.record_engine(true, false);
+        t.record_engine(true, true);
+        t.record_engine(false, false);
         let s = t.snapshot();
         assert_eq!(s.vectorized_hits, 3);
         assert_eq!(s.row_fallbacks, 1);
+        assert_eq!(s.topk_hits, 2);
         assert!((s.vectorized_rate() - 0.75).abs() < 1e-12);
         assert!(s.to_string().contains("75.0% of computed"));
     }
