@@ -33,14 +33,14 @@
 //! calibration) are byte-identical.
 
 use flex_core::{run_sql_with, FlexOptions, PrivacyParams};
-use flex_service::{QueryService, ServiceConfig};
+use flex_service::{MetricsReport, QueryService, QueryTrace, ServiceConfig, SlowQuery, Telemetry};
 use flex_sql::parse_query;
 use flex_workloads::uber::{self, UberConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::{json, Value};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A scenario fails the gate when its median exceeds baseline × this
 /// (after normalizing by the run's median cur/baseline ratio, which
@@ -84,6 +84,7 @@ struct Args {
     quick: bool,
     out: String,
     baseline: String,
+    telemetry_out: String,
     write_baseline: bool,
 }
 
@@ -92,6 +93,7 @@ fn parse_args() -> Args {
         quick: false,
         out: "BENCH_exec.json".to_string(),
         baseline: "BENCH_exec.baseline.json".to_string(),
+        telemetry_out: "BENCH_exec_telemetry.json".to_string(),
         write_baseline: false,
     };
     let mut it = std::env::args().skip(1);
@@ -101,6 +103,9 @@ fn parse_args() -> Args {
             "--write-baseline" => args.write_baseline = true,
             "--out" => args.out = it.next().expect("--out needs a path"),
             "--baseline" => args.baseline = it.next().expect("--baseline needs a path"),
+            "--telemetry-out" => {
+                args.telemetry_out = it.next().expect("--telemetry-out needs a path")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -189,14 +194,38 @@ fn main() {
         ),
     ];
 
+    // A real telemetry instance fed by the benchmark itself: every gated
+    // scenario's trace and median latency lands in it, and the snapshot
+    // is written as `BENCH_exec_telemetry.json` (a CI artifact) so a
+    // routing or pushdown regression is visible in the uploaded metrics,
+    // not just in the exit code.
+    let telemetry = Telemetry::default();
+    telemetry.record_parallelism(1);
+
     let mut scenarios: Vec<(String, Value)> = Vec::new();
     let mut speedup_gate: Vec<(String, f64, f64)> = Vec::new();
     for (name, sql, floor) in sql_scenarios {
         let q = parse_query(sql).expect("benchmark SQL parses");
 
         // Correctness gate before any timing: identical answers on both
-        // engines (this is what keeps DP noise calibration unchanged).
-        let fast = db.execute(&q).expect("query executes");
+        // engines (this is what keeps DP noise calibration unchanged),
+        // and the expected routing — every scenario here exists to time
+        // the vectorized engine, so a silent fallback (which would
+        // benchmark the row interpreter against itself) fails loudly
+        // with the concrete route decision. The top-K scenario must also
+        // report the bounded-heap pushdown actually engaging.
+        let (trace, fast) = db.execute_traced(&q);
+        let fast = fast.expect("query executes");
+        assert!(
+            trace.vectorized(),
+            "`{name}` must route to the vectorized engine, got `{}`",
+            trace.route
+        );
+        assert_eq!(
+            trace.topk,
+            name == "order-by-limit-topk",
+            "`{name}`: top-K pushdown flag disagrees with the scenario shape"
+        );
         let slow = db.execute_row(&q).expect("query executes on row engine");
         assert_eq!(
             fast, slow,
@@ -205,6 +234,19 @@ fn main() {
 
         let med = median_ns(iters, || {
             std::hint::black_box(db.execute(&q).unwrap());
+        });
+        let bench_trace = QueryTrace {
+            execution: Duration::from_nanos(med),
+            exec: trace,
+            ..QueryTrace::default()
+        };
+        telemetry.record_completed(&bench_trace);
+        telemetry.record_release(SlowQuery {
+            analyst: "exec_bench".to_string(),
+            canonical_sql: sql.to_string(),
+            epsilon: 0.0,
+            delta: 0.0,
+            trace: bench_trace,
         });
         let mut entry = vec![("median_ns".to_string(), Value::from(med))];
         if let Some(floor) = floor {
@@ -223,24 +265,6 @@ fn main() {
             eprintln!("{name:>18}: {med:>10} ns/op");
         }
         scenarios.push((name.to_string(), Value::Object(entry)));
-    }
-
-    // The top-K scenario must actually take the bounded-heap path; if
-    // eligibility regresses the speedup gate would likely catch it, but
-    // check the pipeline's own trace explicitly so the failure names the
-    // real cause.
-    {
-        let q = parse_query(
-            "SELECT trip_date, fare FROM trips WHERE fare > 20 \
-             ORDER BY fare DESC, trip_date LIMIT 10",
-        )
-        .expect("benchmark SQL parses");
-        let (trace, result) = db.execute_traced(&q);
-        result.expect("query executes");
-        assert!(
-            trace.vectorized && trace.topk,
-            "`order-by-limit-topk` no longer engages the top-K pushdown"
-        );
     }
 
     // Morsel-parallel variants: the same vectorized scenarios at
@@ -324,8 +348,9 @@ fn main() {
     }
 
     // Cache-hit serving path: repeated query answered from the
-    // noisy-answer cache.
-    {
+    // noisy-answer cache. The service's own metrics report (full
+    // pipeline traces, per-analyst budget burn) joins the artifact.
+    let service_metrics = {
         let svc = QueryService::new(
             Arc::new(db),
             ServiceConfig {
@@ -344,7 +369,8 @@ fn main() {
             "cache-hit".to_string(),
             Value::Object(vec![("median_ns".to_string(), Value::from(med))]),
         ));
-    }
+        svc.metrics().to_json()
+    };
 
     let available_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -362,6 +388,22 @@ fn main() {
     let text = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&args.out, text.clone() + "\n").expect("write report");
     eprintln!("wrote {}", args.out);
+
+    // Telemetry artifact: the benchmark-fed snapshot (per-scenario
+    // traces, routing breakdown, latency histogram quantiles) plus the
+    // cache-hit service's own metrics report, as one JSON document CI
+    // uploads next to the bench numbers.
+    let bench_report = MetricsReport {
+        telemetry: telemetry.snapshot(),
+        analysts: Vec::new(),
+    };
+    let telemetry_doc = json!({
+        "bench": bench_report.to_json(),
+        "service": service_metrics,
+    });
+    let telemetry_text = serde_json::to_string_pretty(&telemetry_doc).expect("serialize telemetry");
+    std::fs::write(&args.telemetry_out, telemetry_text + "\n").expect("write telemetry");
+    eprintln!("wrote {}", args.telemetry_out);
     if args.write_baseline {
         std::fs::write(&args.baseline, text + "\n").expect("write baseline");
         eprintln!("wrote {}", args.baseline);

@@ -15,7 +15,7 @@ use crate::histogram::{enumerate_bins, DEFAULT_MAX_BINS};
 use crate::laplace::laplace;
 use crate::lower::OutputColumn;
 use crate::smooth::{smooth, PrivacyParams, SmoothSensitivity};
-use flex_db::{Database, ResultSet, RowKey, Value};
+use flex_db::{Database, ExecTrace, ResultSet, RowKey, Value};
 use flex_sql::{parse_query, Query};
 use rand::Rng;
 use std::time::{Duration, Instant};
@@ -71,15 +71,12 @@ pub struct FlexResult {
     pub timings: FlexTimings,
     /// Join count of the analyzed query.
     pub join_count: usize,
-    /// Whether the true query ran on the vectorized columnar engine
-    /// (`false` = row-interpreter fallback). Surfaced for routing
-    /// telemetry; it never affects the released values, which are
-    /// byte-identical on both engines.
-    pub vectorized: bool,
-    /// Whether the vectorized tail served `ORDER BY … LIMIT k` from a
-    /// bounded top-K heap instead of a full sort. Telemetry only — the
-    /// top-K path is byte-identical to the full sort.
-    pub topk: bool,
+    /// The execution pipeline's own record of how the true query ran:
+    /// engine routing (with the concrete fallback reason when the
+    /// vectorized engine declined), top-K pushdown, morsel/worker/row
+    /// statistics. Telemetry only — it never affects the released
+    /// values, which are byte-identical across every routing combination.
+    pub trace: ExecTrace,
 }
 
 impl FlexResult {
@@ -233,8 +230,7 @@ fn run_query_timed<R: Rng + ?Sized>(
             perturbation,
         },
         join_count: analysis.join_count,
-        vectorized: trace.vectorized,
-        topk: trace.topk,
+        trace,
     })
 }
 

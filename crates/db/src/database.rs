@@ -216,6 +216,13 @@ impl Database {
     pub fn routes_vectorized(&self, q: &Query) -> bool {
         exec::routes_vectorized(self, q)
     }
+
+    /// The routing decision [`Database::execute`] would make for `q` —
+    /// [`crate::plan::RouteDecision::Vectorized`] or the concrete
+    /// fallback reason. Plans but does not execute.
+    pub fn route_decision(&self, q: &Query) -> crate::plan::RouteDecision {
+        exec::route_decision(self, q)
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ use crate::aggregate::{AggFunc, AggSpec};
 use crate::database::Database;
 use crate::error::{DbError, Result};
 use crate::expr::{CastTarget, CompiledExpr, ScalarFunc};
-use crate::plan::{ColMeta, Relation, ResultSet};
+use crate::plan::{ColMeta, Relation, ResultSet, RouteDecision};
 use crate::table::Row;
 use crate::value::{RowKey, Value, ValueKey};
 use flex_sql::{
@@ -47,35 +47,91 @@ pub fn execute(db: &Database, q: &Query) -> Result<ResultSet> {
     execute_traced(db, q).1
 }
 
-/// What the execution pipeline observed about how one query ran —
-/// routing facts the service surfaces as telemetry. Never affects
-/// results, which are byte-identical across every routing combination.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// What the execution pipeline observed about how one query ran — the
+/// per-query execution span the service folds into its trace. Never
+/// affects results, which are byte-identical across every routing
+/// combination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecTrace {
-    /// Whether the query ran on the vectorized columnar engine (`false`
-    /// = row-interpreter fallback).
-    pub vectorized: bool,
+    /// Which engine ran the query, with the concrete fallback reason
+    /// when the vectorized engine declined it.
+    pub route: RouteDecision,
     /// Whether the vectorized tail served `ORDER BY … LIMIT k` from a
     /// bounded top-K heap instead of a full sort (always `false` on the
     /// row interpreter, which has no such pushdown).
     pub topk: bool,
+    /// Scan morsels the vectorized input split into (both sides for a
+    /// join; 0 on the row interpreter, which does not scan in morsels).
+    pub morsels: u64,
+    /// Worker threads the execution was entitled to use (1 = sequential;
+    /// the row interpreter is always sequential).
+    pub workers: u64,
+    /// Base-table rows scanned by the vectorized engine (0 on the row
+    /// interpreter, which materializes relations instead of scanning
+    /// columns).
+    pub rows_scanned: u64,
+    /// Rows in the result set (0 when execution erred).
+    pub rows_emitted: u64,
+}
+
+impl Default for ExecTrace {
+    fn default() -> Self {
+        ExecTrace {
+            route: RouteDecision::default(),
+            topk: false,
+            morsels: 0,
+            workers: 1,
+            rows_scanned: 0,
+            rows_emitted: 0,
+        }
+    }
+}
+
+impl ExecTrace {
+    /// Whether the query ran on the vectorized columnar engine.
+    pub fn vectorized(&self) -> bool {
+        self.route.is_vectorized()
+    }
 }
 
 /// Like [`execute`], but also report how the query ran (engine routing
-/// plus top-K pushdown). This is the pipeline's own record, not a
-/// re-plan — callers that want fast-path coverage telemetry (e.g. the
-/// query service) read it at zero extra cost.
+/// with fallback reason, top-K pushdown, morsel/worker/row statistics).
+/// This is the pipeline's own record, not a re-plan — callers that want
+/// fast-path coverage telemetry (e.g. the query service) read it at zero
+/// extra cost.
 pub fn execute_traced(db: &Database, q: &Query) -> (ExecTrace, Result<ResultSet>) {
-    match crate::vexec::try_execute_traced(db, q) {
-        Some((result, topk)) => (
+    let (mut trace, result) = match crate::vexec::try_execute_traced(db, q) {
+        Ok((result, stats)) => (
             ExecTrace {
-                vectorized: true,
-                topk,
+                route: RouteDecision::Vectorized,
+                topk: stats.topk,
+                morsels: stats.morsels,
+                workers: stats.workers,
+                rows_scanned: stats.rows_scanned,
+                rows_emitted: 0,
             },
             result,
         ),
-        None => (ExecTrace::default(), execute_row(db, q)),
+        Err(reason) => (
+            ExecTrace {
+                route: RouteDecision::Fallback(reason),
+                ..ExecTrace::default()
+            },
+            execute_row(db, q),
+        ),
+    };
+    if let Ok(rs) = &result {
+        trace.rows_emitted = rs.rows.len() as u64;
     }
+    (trace, result)
+}
+
+/// The routing decision for `q` without executing it (one planning
+/// pass). [`execute_traced`] reports the same decision from the
+/// execution itself; this is for tools (benchmarks, tests) that assert
+/// routing without running the query.
+pub fn route_decision(db: &Database, q: &Query) -> RouteDecision {
+    crate::vexec::decide(db, q)
 }
 
 /// Execute a parsed query on the row interpreter only (no vectorization).

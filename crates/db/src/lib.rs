@@ -62,7 +62,7 @@ pub use error::{DbError, Result};
 pub use exec::ExecTrace;
 pub use metrics::MetricsCatalog;
 pub use morsel::DEFAULT_MORSEL_ROWS;
-pub use plan::{ColMeta, Relation, ResultSet};
+pub use plan::{ColMeta, FallbackReason, Relation, ResultSet, RouteDecision};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use table::{Row, Table};
 pub use value::{BorrowKey, RowKey, Value, ValueKey};

@@ -46,6 +46,133 @@ use flex_sql::{
     SelectItem,
 };
 
+/// Which engine one query executed on — and, when the vectorized engine
+/// declined it, the concrete reason — as recorded by the routing entry
+/// point itself ([`crate::exec::execute_traced`]). Pure observability:
+/// results are byte-identical on both engines, so the decision never
+/// leaks into released values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteDecision {
+    /// The vectorized columnar engine ran the query (a single-table
+    /// block or a planned two-table INNER/LEFT equi-join).
+    Vectorized,
+    /// The row interpreter ran it, for this reason.
+    Fallback(FallbackReason),
+}
+
+impl Default for RouteDecision {
+    /// An un-routed trace: a fallback with no recorded reason. Real
+    /// routing always substitutes a concrete [`FallbackReason`].
+    fn default() -> Self {
+        RouteDecision::Fallback(FallbackReason::Unknown)
+    }
+}
+
+impl RouteDecision {
+    pub fn is_vectorized(self) -> bool {
+        matches!(self, RouteDecision::Vectorized)
+    }
+
+    /// The fallback reason, or `None` for a vectorized run.
+    pub fn fallback_reason(self) -> Option<FallbackReason> {
+        match self {
+            RouteDecision::Vectorized => None,
+            RouteDecision::Fallback(r) => Some(r),
+        }
+    }
+
+    /// Stable snake_case label (`"vectorized"` or the reason's label),
+    /// used for metric labels and bench reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouteDecision::Vectorized => "vectorized",
+            RouteDecision::Fallback(r) => r.as_str(),
+        }
+    }
+}
+
+impl std::fmt::Display for RouteDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why the vectorized engine declined a query. Each `return` point in
+/// `vexec`'s router maps to exactly one variant, so production telemetry
+/// can show *which* query shapes still miss the fast path instead of a
+/// bare fallback count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FallbackReason {
+    /// Default placeholder for an un-routed trace; the router never
+    /// produces it.
+    #[default]
+    Unknown,
+    /// The query has `WITH` common table expressions.
+    Cte,
+    /// The query body is a set operation (UNION/INTERSECT/EXCEPT).
+    SetOperation,
+    /// Table-less `SELECT` (no FROM clause).
+    TableLess,
+    /// A referenced base table does not exist; the row interpreter runs
+    /// it so the error is reported from one place.
+    UnknownTable,
+    /// RIGHT/FULL/CROSS join (only INNER and LEFT are vectorized).
+    UnsupportedJoinType,
+    /// A join tree of more than two tables.
+    MultiTableJoin,
+    /// A derived table (`FROM (SELECT …)`), standalone or as a join side.
+    DerivedTable,
+    /// A join side exceeds the engine's `u32` selection-vector row limit.
+    TableTooLarge,
+    /// The join planner extracted no equi-key pair from ON/USING (non-equi
+    /// or keyless join), or could not compile the join's expressions.
+    NonEquiJoin,
+}
+
+impl FallbackReason {
+    /// Every variant, in a stable order (`Unknown` first). Telemetry
+    /// indexes its per-variant counters by position in this array.
+    pub const ALL: [FallbackReason; 10] = [
+        FallbackReason::Unknown,
+        FallbackReason::Cte,
+        FallbackReason::SetOperation,
+        FallbackReason::TableLess,
+        FallbackReason::UnknownTable,
+        FallbackReason::UnsupportedJoinType,
+        FallbackReason::MultiTableJoin,
+        FallbackReason::DerivedTable,
+        FallbackReason::TableTooLarge,
+        FallbackReason::NonEquiJoin,
+    ];
+
+    /// Position of this variant in [`FallbackReason::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case label for metric labels and bench reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FallbackReason::Unknown => "unknown",
+            FallbackReason::Cte => "cte",
+            FallbackReason::SetOperation => "set_operation",
+            FallbackReason::TableLess => "table_less",
+            FallbackReason::UnknownTable => "unknown_table",
+            FallbackReason::UnsupportedJoinType => "unsupported_join_type",
+            FallbackReason::MultiTableJoin => "multi_table_join",
+            FallbackReason::DerivedTable => "derived_table",
+            FallbackReason::TableTooLarge => "table_too_large",
+            FallbackReason::NonEquiJoin => "non_equi_join",
+        }
+    }
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Metadata for one column of an intermediate relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColMeta {

@@ -82,7 +82,9 @@ use crate::error::{DbError, Result};
 use crate::exec::{self, Exec, GroupCompiler, SortKey};
 use crate::expr::{like_match, CompiledExpr};
 use crate::morsel::{self, Parallelism};
-use crate::plan::{self, ColMeta, JoinPlan, JoinSide, Relation, ResultSet, TailPlan};
+use crate::plan::{
+    self, ColMeta, FallbackReason, JoinPlan, JoinSide, Relation, ResultSet, RouteDecision, TailPlan,
+};
 use crate::table::{Row, Table};
 use crate::value::{BorrowKey, RowKey, Value, ValueKey};
 use flex_sql::{BinaryOperator, JoinType, Query, Select, SelectItem, SetExpr, TableRef};
@@ -113,22 +115,23 @@ struct JoinRoute<'a> {
     rtab: Arc<ColumnarTable>,
 }
 
-/// Decide whether (and how) the vectorized engine runs `q`. `None` means
-/// the row interpreter handles it — including shapes where planning hits
-/// a scope error the row engine will re-derive and report identically.
-fn route<'a>(db: &'a Database, q: &'a Query) -> Option<Route<'a>> {
+/// Decide whether (and how) the vectorized engine runs `q`. `Err` names
+/// the concrete reason the row interpreter handles it — including shapes
+/// where planning hits a scope error the row engine will re-derive and
+/// report identically.
+fn route<'a>(db: &'a Database, q: &'a Query) -> std::result::Result<Route<'a>, FallbackReason> {
     if !q.ctes.is_empty() {
-        return None;
+        return Err(FallbackReason::Cte);
     }
     let s = match &q.body {
         SetExpr::Select(s) => s,
-        SetExpr::SetOp { .. } => return None,
+        SetExpr::SetOp { .. } => return Err(FallbackReason::SetOperation),
     };
-    match s.from.as_ref()? {
+    match s.from.as_ref().ok_or(FallbackReason::TableLess)? {
         TableRef::Table { name, alias } => {
             // Unknown tables fall back so the row engine reports the error.
-            let table = db.table(name)?;
-            Some(Route::Single {
+            let table = db.table(name).ok_or(FallbackReason::UnknownTable)?;
+            Ok(Route::Single {
                 s,
                 table,
                 qualifier: alias.as_deref().unwrap_or(name),
@@ -141,7 +144,7 @@ fn route<'a>(db: &'a Database, q: &'a Query) -> Option<Route<'a>> {
             constraint,
         } => {
             if !matches!(join_type, JoinType::Inner | JoinType::Left) {
-                return None;
+                return Err(FallbackReason::UnsupportedJoinType);
             }
             let (
                 TableRef::Table {
@@ -154,13 +157,22 @@ fn route<'a>(db: &'a Database, q: &'a Query) -> Option<Route<'a>> {
                 },
             ) = (&**left, &**right)
             else {
-                return None;
+                // A nested join on either side is a >2-table tree; the
+                // only other non-base side the parser produces is a
+                // derived table.
+                let nested = matches!(&**left, TableRef::Join { .. })
+                    || matches!(&**right, TableRef::Join { .. });
+                return Err(if nested {
+                    FallbackReason::MultiTableJoin
+                } else {
+                    FallbackReason::DerivedTable
+                });
             };
-            let lt = db.table(lname)?;
-            let rt = db.table(rname)?;
+            let lt = db.table(lname).ok_or(FallbackReason::UnknownTable)?;
+            let rt = db.table(rname).ok_or(FallbackReason::UnknownTable)?;
             // Selection vectors are u32 with GATHER_NULL as a sentinel.
             if lt.len() >= GATHER_NULL as usize || rt.len() >= GATHER_NULL as usize {
-                return None;
+                return Err(FallbackReason::TableTooLarge);
             }
             let left_cols = lt.col_metas(lalias.as_deref().unwrap_or(lname));
             let right_cols = rt.col_metas(ralias.as_deref().unwrap_or(rname));
@@ -177,10 +189,11 @@ fn route<'a>(db: &'a Database, q: &'a Query) -> Option<Route<'a>> {
                 &right_cols,
                 &ltab,
                 &rtab,
-            )?;
+            )
+            .ok_or(FallbackReason::NonEquiJoin)?;
             let mut cols = left_cols;
             cols.extend(right_cols);
-            Some(Route::Join(Box::new(JoinRoute {
+            Ok(Route::Join(Box::new(JoinRoute {
                 s,
                 plan,
                 cols,
@@ -188,30 +201,72 @@ fn route<'a>(db: &'a Database, q: &'a Query) -> Option<Route<'a>> {
                 rtab,
             })))
         }
-        TableRef::Derived { .. } => None,
+        TableRef::Derived { .. } => Err(FallbackReason::DerivedTable),
     }
+}
+
+/// Execution statistics the vectorized engine reports about one run —
+/// the observability payload of [`crate::exec::ExecTrace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct VexecStats {
+    /// Whether the `ORDER BY … LIMIT` tail ran as a bounded top-K
+    /// selection instead of a full sort.
+    pub topk: bool,
+    /// Scan morsels the input split into (both sides, for a join).
+    pub morsels: u64,
+    /// Worker threads the execution was entitled to use (1 when the
+    /// input was too small to engage the morsel pool).
+    pub workers: u64,
+    /// Base-table rows scanned (both sides, for a join).
+    pub rows_scanned: u64,
+}
+
+/// Morsel count for `len` input rows under tuning `par`.
+fn morsel_count(len: usize, par: Parallelism) -> u64 {
+    len.div_ceil(par.morsel_rows.max(1)) as u64
 }
 
 /// Execute `q` on the vectorized engine if it is vectorizable, else
 /// `None` (the caller falls back to the row interpreter).
 pub fn try_execute(db: &Database, q: &Query) -> Option<Result<ResultSet>> {
-    try_execute_traced(db, q).map(|(result, _)| result)
+    try_execute_traced(db, q).ok().map(|(result, _)| result)
 }
 
-/// Like [`try_execute`], but also report whether the `ORDER BY … LIMIT`
-/// tail ran as a bounded top-K selection instead of a full sort — the
-/// pipeline's own record, surfaced as `topk_hits` service telemetry.
-pub(crate) fn try_execute_traced(db: &Database, q: &Query) -> Option<(Result<ResultSet>, bool)> {
-    let mut topk = false;
-    let result = match route(db, q)? {
+/// Like [`try_execute`], but report execution statistics alongside the
+/// result, or the concrete [`FallbackReason`] when declining — the
+/// pipeline's own record, surfaced through [`crate::exec::ExecTrace`].
+pub(crate) fn try_execute_traced(
+    db: &Database,
+    q: &Query,
+) -> std::result::Result<(Result<ResultSet>, VexecStats), FallbackReason> {
+    let routed = route(db, q)?;
+    let par = db.exec_tuning();
+    let mut stats = VexecStats::default();
+    let result = match routed {
         Route::Single {
             s,
             table,
             qualifier,
-        } => run(db, q, s, table, qualifier, &mut topk),
-        Route::Join(j) => run_join(db, q, &j, &mut topk),
+        } => {
+            let len = table.len();
+            stats.rows_scanned = len as u64;
+            stats.morsels = morsel_count(len, par);
+            stats.workers = if par.engaged(len) { par.workers } else { 1 } as u64;
+            run(db, q, s, table, qualifier, &mut stats.topk)
+        }
+        Route::Join(j) => {
+            let (ln, rn) = (j.ltab.len(), j.rtab.len());
+            stats.rows_scanned = (ln + rn) as u64;
+            stats.morsels = morsel_count(ln, par) + morsel_count(rn, par);
+            stats.workers = if par.engaged(ln.max(rn)) {
+                par.workers
+            } else {
+                1
+            } as u64;
+            run_join(db, q, &j, &mut stats.topk)
+        }
     };
-    Some((result, topk))
+    Ok((result, stats))
 }
 
 /// Whether [`try_execute`] would accept `q` — i.e. whether
@@ -219,7 +274,17 @@ pub(crate) fn try_execute_traced(db: &Database, q: &Query) -> Option<(Result<Res
 /// callers (e.g. service telemetry) can observe fast-path coverage
 /// without executing anything.
 pub fn accepts(db: &Database, q: &Query) -> bool {
-    route(db, q).is_some()
+    route(db, q).is_ok()
+}
+
+/// The routing decision for `q`, without executing anything: costs one
+/// planning pass. [`crate::exec::execute_traced`] reports the same
+/// decision from the execution itself at zero extra cost.
+pub fn decide(db: &Database, q: &Query) -> RouteDecision {
+    match route(db, q) {
+        Ok(_) => RouteDecision::Vectorized,
+        Err(reason) => RouteDecision::Fallback(reason),
+    }
 }
 
 fn run(

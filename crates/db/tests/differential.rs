@@ -665,28 +665,31 @@ fn exec_trace_reports_topk_pushdown() {
     };
     // Eligible: ORDER BY + LIMIT smaller than the input, no DISTINCT.
     let t = case("SELECT a, b FROM t ORDER BY b DESC LIMIT 3");
-    assert!(t.vectorized && t.topk, "plain top-K should engage: {t:?}");
+    assert!(t.vectorized() && t.topk, "plain top-K should engage: {t:?}");
     // Grouped top-K over group indices.
     let t = case("SELECT d, COUNT(*) AS n FROM t GROUP BY d ORDER BY n DESC, d LIMIT 2");
-    assert!(t.vectorized && t.topk, "grouped top-K should engage: {t:?}");
+    assert!(
+        t.vectorized() && t.topk,
+        "grouped top-K should engage: {t:?}"
+    );
     // No LIMIT → full sort, no pushdown.
     let t = case("SELECT a, b FROM t ORDER BY b DESC");
     assert!(
-        t.vectorized && !t.topk,
+        t.vectorized() && !t.topk,
         "full sort is not a top-K hit: {t:?}"
     );
     // DISTINCT disables the bounded path (dedupe follows the sort).
     let t = case("SELECT DISTINCT d FROM t ORDER BY d LIMIT 3");
-    assert!(t.vectorized && !t.topk, "DISTINCT disables top-K: {t:?}");
+    assert!(t.vectorized() && !t.topk, "DISTINCT disables top-K: {t:?}");
     // LIMIT covering the whole input: nothing to bound.
     let t = case("SELECT a FROM t ORDER BY a LIMIT 500");
     assert!(
-        t.vectorized && !t.topk,
+        t.vectorized() && !t.topk,
         "covering LIMIT is not a hit: {t:?}"
     );
     // Row-engine fallback never reports top-K.
     let t = case("SELECT a FROM t UNION SELECT d FROM t");
-    assert!(!t.vectorized && !t.topk, "row fallback: {t:?}");
+    assert!(!t.vectorized() && !t.topk, "row fallback: {t:?}");
 }
 
 /// `Value::total_cmp` is not transitive across physical types: Int-vs-Int

@@ -1,0 +1,532 @@
+//! Metrics exposition: one [`MetricsReport`] per scrape, rendered as
+//! Prometheus text format ([`MetricsReport::prometheus`]) or a JSON
+//! document ([`MetricsReport::to_json`]).
+//!
+//! The report joins two sources: the service's [`TelemetrySnapshot`]
+//! (counters, routing breakdown, latency histograms, slow-query log) and
+//! the [`BudgetLedger`]'s per-analyst budget burn. Exposition carries
+//! only operational data — canonical query text, counts and timings —
+//! never result rows or raw data values.
+
+use crate::ledger::BudgetLedger;
+use crate::telemetry::{LatencySnapshot, SlowQuery, TelemetrySnapshot};
+use serde_json::{json, Value};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One analyst's budget burn, read from the ledger at report time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalystBudget {
+    pub analyst: String,
+    /// Settled `ε` spend (refunded charges excluded).
+    pub epsilon_spent: f64,
+    /// Settled `δ` spend.
+    pub delta_spent: f64,
+    /// `ε` headroom under the analyst's cap.
+    pub epsilon_remaining: f64,
+    /// Released (charged) queries.
+    pub queries: u32,
+}
+
+/// A complete metrics report: telemetry plus per-analyst budget gauges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    pub telemetry: TelemetrySnapshot,
+    /// Sorted by analyst name for stable exposition order.
+    pub analysts: Vec<AnalystBudget>,
+}
+
+impl MetricsReport {
+    pub fn new(telemetry: TelemetrySnapshot, ledger: &BudgetLedger) -> Self {
+        // `analysts()` returns sorted names; keep that order.
+        let analysts = ledger
+            .analysts()
+            .into_iter()
+            .map(|analyst| {
+                let (epsilon_spent, delta_spent) = ledger.spent(&analyst);
+                AnalystBudget {
+                    epsilon_remaining: ledger.remaining_epsilon(&analyst),
+                    queries: ledger.queries(&analyst),
+                    analyst,
+                    epsilon_spent,
+                    delta_spent,
+                }
+            })
+            .collect();
+        MetricsReport {
+            telemetry,
+            analysts,
+        }
+    }
+
+    /// Render the report in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP`/`# TYPE` comments, one sample per line,
+    /// label values escaped per the spec. Latency histograms surface as
+    /// summaries (`quantile` labels plus `_sum`/`_count`); the slow-query
+    /// log is JSON-only (Prometheus samples are numeric).
+    pub fn prometheus(&self) -> String {
+        let t = &self.telemetry;
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        counter(
+            "flex_queries_submitted_total",
+            "Requests accepted by the service front door.",
+            t.submitted,
+        );
+        counter(
+            "flex_queries_completed_total",
+            "Queries computed through the full DP pipeline.",
+            t.completed,
+        );
+        counter(
+            "flex_cache_hits_total",
+            "Requests served from the noisy-answer cache (zero budget).",
+            t.cache_hits,
+        );
+        counter(
+            "flex_cache_misses_total",
+            "Requests that missed the cache and went to admission.",
+            t.cache_misses,
+        );
+        counter(
+            "flex_coalesced_total",
+            "Requests piggybacked on an identical in-flight computation.",
+            t.coalesced,
+        );
+        counter(
+            "flex_budget_rejected_total",
+            "Requests rejected by budget admission control.",
+            t.rejected_budget,
+        );
+        counter(
+            "flex_failed_total",
+            "Admitted requests whose pipeline failed (charge refunded).",
+            t.failed,
+        );
+        counter(
+            "flex_vectorized_total",
+            "Completed queries executed on the vectorized columnar engine.",
+            t.vectorized_hits,
+        );
+        counter(
+            "flex_topk_pushdown_total",
+            "Vectorized queries whose ORDER BY/LIMIT tail ran as top-K.",
+            t.topk_hits,
+        );
+
+        // Per-reason fallback breakdown: every variant is exposed, zeros
+        // included, so dashboards see a stable label set.
+        let name = "flex_row_fallbacks_total";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Completed queries that fell back to the row interpreter, by reason."
+        );
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (reason, n) in &t.fallback_reasons {
+            let _ = writeln!(
+                out,
+                "{name}{{reason=\"{}\"}} {n}",
+                escape_label(reason.as_str())
+            );
+        }
+
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        };
+        gauge(
+            "flex_exec_parallelism",
+            "Per-query worker budget of the vectorized engine.",
+            t.exec_parallelism,
+        );
+        gauge(
+            "flex_queue_depth",
+            "Jobs currently queued for a pipeline worker.",
+            t.queue_depth,
+        );
+        gauge(
+            "flex_queue_depth_max",
+            "High-water mark of the job queue depth.",
+            t.max_queue_depth,
+        );
+
+        summary(
+            &mut out,
+            "flex_query_latency_seconds",
+            "End-to-end pipeline latency per completed query.",
+            &t.latency,
+        );
+        summary(
+            &mut out,
+            "flex_analysis_latency_seconds",
+            "Elastic-sensitivity analysis latency per completed query.",
+            &t.analysis_latency,
+        );
+        summary(
+            &mut out,
+            "flex_execution_latency_seconds",
+            "True-query execution latency per completed query.",
+            &t.execution_latency,
+        );
+        summary(
+            &mut out,
+            "flex_perturbation_latency_seconds",
+            "Smoothing and noise latency per completed query.",
+            &t.perturbation_latency,
+        );
+
+        type Field = fn(&AnalystBudget) -> f64;
+        let per_analyst: [(&str, &str, Field); 4] = [
+            (
+                "flex_analyst_epsilon_spent",
+                "Settled epsilon spend per analyst.",
+                |a| a.epsilon_spent,
+            ),
+            (
+                "flex_analyst_delta_spent",
+                "Settled delta spend per analyst.",
+                |a| a.delta_spent,
+            ),
+            (
+                "flex_analyst_epsilon_remaining",
+                "Epsilon headroom under the analyst's cap.",
+                |a| a.epsilon_remaining,
+            ),
+            (
+                "flex_analyst_queries",
+                "Released (charged) queries per analyst.",
+                |a| f64::from(a.queries),
+            ),
+        ];
+        for (name, help, value) in per_analyst {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for a in &self.analysts {
+                let _ = writeln!(
+                    out,
+                    "{name}{{analyst=\"{}\"}} {}",
+                    escape_label(&a.analyst),
+                    fmt_f64(value(a))
+                );
+            }
+        }
+        out
+    }
+
+    /// Render the report as a JSON document (durations in nanoseconds,
+    /// quantiles precomputed, slow-query log included). Parses back with
+    /// `serde_json::from_str` — see the round-trip test.
+    pub fn to_json(&self) -> Value {
+        let t = &self.telemetry;
+        let fallback_reasons = Value::Object(
+            t.fallback_reasons
+                .iter()
+                .map(|(reason, n)| (reason.as_str().to_string(), Value::from(*n)))
+                .collect(),
+        );
+        json!({
+            "telemetry": {
+                "submitted": t.submitted,
+                "completed": t.completed,
+                "cache_hits": t.cache_hits,
+                "cache_misses": t.cache_misses,
+                "coalesced": t.coalesced,
+                "rejected_budget": t.rejected_budget,
+                "failed": t.failed,
+                "vectorized_hits": t.vectorized_hits,
+                "row_fallbacks": t.row_fallbacks,
+                "fallback_reasons": fallback_reasons,
+                "topk_hits": t.topk_hits,
+                "exec_parallelism": t.exec_parallelism,
+                "queue_depth": t.queue_depth,
+                "max_queue_depth": t.max_queue_depth,
+                "latency": latency_json(&t.latency),
+                "analysis_latency": latency_json(&t.analysis_latency),
+                "execution_latency": latency_json(&t.execution_latency),
+                "perturbation_latency": latency_json(&t.perturbation_latency)
+            },
+            "slow_queries": t.slow_queries.iter().map(slow_query_json).collect::<Vec<Value>>(),
+            "analysts": self.analysts.iter().map(|a| json!({
+                "analyst": a.analyst,
+                "epsilon_spent": a.epsilon_spent,
+                "delta_spent": a.delta_spent,
+                "epsilon_remaining": a.epsilon_remaining,
+                "queries": a.queries
+            })).collect::<Vec<Value>>()
+        })
+    }
+
+    /// The JSON report, pretty-printed.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_json()).expect("json render is total")
+    }
+}
+
+/// Escape a Prometheus label value: backslash, double quote and newline,
+/// per the text exposition format.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` sample so the output is always a valid Prometheus
+/// float (no NaN from 0/0 upstream — callers guarantee finiteness, this
+/// clamps just in case).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Emit one histogram as a Prometheus summary: quantile samples plus the
+/// conventional `_sum` and `_count`.
+fn summary(out: &mut String, name: &str, help: &str, snap: &LatencySnapshot) {
+    let secs = |d: Duration| d.as_secs_f64();
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (q, v) in [
+        ("0.5", snap.p50()),
+        ("0.95", snap.p95()),
+        ("0.99", snap.p99()),
+    ] {
+        let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", fmt_f64(secs(v)));
+    }
+    let _ = writeln!(
+        out,
+        "{name}_sum {}",
+        fmt_f64(Duration::from_nanos(snap.sum_ns).as_secs_f64())
+    );
+    let _ = writeln!(out, "{name}_count {}", snap.count());
+}
+
+fn latency_json(snap: &LatencySnapshot) -> Value {
+    json!({
+        "count": snap.count(),
+        "sum_ns": snap.sum_ns,
+        "mean_ns": snap.mean().as_nanos() as u64,
+        "p50_ns": snap.p50().as_nanos() as u64,
+        "p95_ns": snap.p95().as_nanos() as u64,
+        "p99_ns": snap.p99().as_nanos() as u64
+    })
+}
+
+fn slow_query_json(q: &SlowQuery) -> Value {
+    let ns = |d: Duration| d.as_nanos() as u64;
+    json!({
+        "analyst": q.analyst,
+        "canonical_sql": q.canonical_sql,
+        "epsilon": q.epsilon,
+        "delta": q.delta,
+        "total_ns": ns(q.trace.total()),
+        "spans_ns": {
+            "parse": ns(q.trace.parse),
+            "canonicalize": ns(q.trace.canonicalize),
+            "admission": ns(q.trace.admission),
+            "queue": ns(q.trace.queue),
+            "analysis": ns(q.trace.analysis),
+            "execution": ns(q.trace.execution),
+            "perturbation": ns(q.trace.perturbation)
+        },
+        "route": q.trace.exec.route.as_str(),
+        "topk": q.trace.exec.topk,
+        "morsels": q.trace.exec.morsels,
+        "workers": q.trace.exec.workers,
+        "rows_scanned": q.trace.exec.rows_scanned,
+        "rows_emitted": q.trace.exec.rows_emitted
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::LedgerPolicy;
+    use crate::telemetry::{QueryTrace, Telemetry};
+    use flex_db::{ExecTrace, FallbackReason, RouteDecision};
+
+    fn sample_report() -> MetricsReport {
+        let t = Telemetry::default();
+        t.record_submitted();
+        t.record_submitted();
+        t.record_cache_hit();
+        t.record_cache_miss();
+        t.record_parallelism(4);
+        let mut trace = QueryTrace {
+            analysis: Duration::from_micros(250),
+            execution: Duration::from_micros(900),
+            perturbation: Duration::from_micros(40),
+            exec: ExecTrace {
+                route: RouteDecision::Vectorized,
+                topk: true,
+                morsels: 2,
+                workers: 4,
+                rows_scanned: 8192,
+                rows_emitted: 3,
+            },
+            ..QueryTrace::default()
+        };
+        t.record_completed(&trace);
+        t.record_release(SlowQuery {
+            analyst: "alice".to_string(),
+            canonical_sql: "SELECT COUNT(*) FROM trips".to_string(),
+            epsilon: 0.5,
+            delta: 1e-9,
+            trace,
+        });
+        trace.exec.route = RouteDecision::Fallback(FallbackReason::MultiTableJoin);
+        trace.exec.topk = false;
+        t.record_completed(&trace);
+
+        let ledger = BudgetLedger::new(LedgerPolicy::sequential(10.0, 1e-4));
+        let c = ledger.try_charge("alice", 0.5, 1e-9).unwrap();
+        ledger.settle(&c);
+        let c = ledger
+            .try_charge("bob \"the\\analyst\"", 1.0, 1e-9)
+            .unwrap();
+        ledger.settle(&c);
+        MetricsReport::new(t.snapshot(), &ledger)
+    }
+
+    /// Every non-comment line of the Prometheus rendering must be a
+    /// valid sample: `name{labels} value` with a parseable, finite
+    /// value and a well-formed metric name.
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let text = sample_report().prometheus();
+        assert!(text.ends_with('\n'), "exposition must end with a newline");
+        let mut samples = 0;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name: {line}"
+            );
+            if let Some(rest) = series.strip_prefix(name) {
+                if !rest.is_empty() {
+                    assert!(
+                        rest.starts_with('{') && rest.ends_with('}'),
+                        "labels: {line}"
+                    );
+                }
+            }
+            let v: f64 = value.parse().unwrap_or_else(|_| panic!("value: {line}"));
+            assert!(v.is_finite(), "non-finite sample: {line}");
+            samples += 1;
+        }
+        assert!(samples >= 30, "expected a full exposition, got {samples}");
+    }
+
+    #[test]
+    fn prometheus_exposes_expected_series() {
+        let text = sample_report().prometheus();
+        for needle in [
+            "flex_queries_submitted_total 2",
+            "flex_vectorized_total 1",
+            "flex_topk_pushdown_total 1",
+            "flex_row_fallbacks_total{reason=\"multi_table_join\"} 1",
+            "flex_row_fallbacks_total{reason=\"cte\"} 0",
+            "flex_exec_parallelism 4",
+            "flex_query_latency_seconds{quantile=\"0.99\"}",
+            "flex_query_latency_seconds_count 2",
+            "flex_analyst_epsilon_spent{analyst=\"alice\"} 0.5",
+            // Label escaping: quote and backslash in the analyst name.
+            "flex_analyst_epsilon_spent{analyst=\"bob \\\"the\\\\analyst\\\"\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    /// The JSON export round-trips through the parser, and the parsed
+    /// tree carries the structured content (trace spans, fallback
+    /// breakdown, analyst budgets).
+    #[test]
+    fn json_export_round_trips() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        let parsed = serde_json::from_str(&text).expect("valid JSON");
+        // Print → parse is a fixpoint: re-rendering the parsed tree
+        // reproduces the exposition byte for byte. (Value-level equality
+        // with `to_json()` would be too strict — the printer renders
+        // whole floats like `1.0` as `1`, which parse back as integers.)
+        let reprinted = serde_json::to_string_pretty(&parsed).unwrap();
+        assert_eq!(reprinted, text, "print(parse(text)) == text");
+
+        let telemetry = parsed.get("telemetry").unwrap();
+        assert_eq!(telemetry.get("completed").unwrap().as_i64(), Some(2));
+        assert_eq!(
+            telemetry
+                .get("fallback_reasons")
+                .unwrap()
+                .get("multi_table_join")
+                .unwrap()
+                .as_i64(),
+            Some(1)
+        );
+        assert_eq!(
+            telemetry
+                .get("latency")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_i64(),
+            Some(2)
+        );
+        let slow = parsed.get("slow_queries").unwrap().as_array().unwrap();
+        assert_eq!(slow.len(), 1, "one query was offered to the slow log");
+        assert_eq!(
+            slow[0].get("canonical_sql").unwrap().as_str(),
+            Some("SELECT COUNT(*) FROM trips")
+        );
+        assert_eq!(slow[0].get("route").unwrap().as_str(), Some("vectorized"));
+        let analysts = parsed.get("analysts").unwrap().as_array().unwrap();
+        assert_eq!(analysts.len(), 2);
+        assert_eq!(analysts[0].get("analyst").unwrap().as_str(), Some("alice"));
+        assert_eq!(
+            analysts[0].get("epsilon_spent").unwrap().as_f64(),
+            Some(0.5)
+        );
+    }
+
+    /// Privacy stance: exposition carries canonical SQL and numbers only
+    /// — a report over a query never contains result values. (The
+    /// sample's noised answer rows are not even reachable from the
+    /// report type.)
+    #[test]
+    fn empty_report_renders_cleanly() {
+        let ledger = BudgetLedger::new(LedgerPolicy::sequential(1.0, 1e-6));
+        let report = MetricsReport::new(Telemetry::default().snapshot(), &ledger);
+        let text = report.prometheus();
+        assert!(text.contains("flex_queries_submitted_total 0"));
+        assert!(!text.contains("NaN"), "empty report leaked NaN:\n{text}");
+        let parsed = serde_json::from_str(&report.to_json_string()).unwrap();
+        assert_eq!(
+            parsed.get("analysts").unwrap().as_array().map(Vec::len),
+            Some(0)
+        );
+    }
+}

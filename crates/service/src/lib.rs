@@ -42,8 +42,13 @@
 //! assert_eq!(svc.ledger().spent("alice").0, 1.0); // charged once
 //! ```
 
+// The vendored `json!` macro is a token-tree muncher; the full metrics
+// document in `export` expands past the default recursion limit.
+#![recursion_limit = "1024"]
+
 pub mod cache;
 pub mod error;
+pub mod export;
 pub mod ledger;
 mod prf;
 pub mod service;
@@ -51,6 +56,9 @@ pub mod telemetry;
 
 pub use cache::{AnswerCache, CacheKey, CachedAnswer};
 pub use error::{ServiceError, ServiceResult};
+pub use export::{AnalystBudget, MetricsReport};
 pub use ledger::{BudgetLedger, Charge, LedgerPolicy};
 pub use service::{QueryService, ServiceConfig, ServiceResponse, Ticket};
-pub use telemetry::{Telemetry, TelemetrySnapshot};
+pub use telemetry::{
+    LatencyHistogram, LatencySnapshot, QueryTrace, SlowQuery, Telemetry, TelemetrySnapshot,
+};

@@ -17,9 +17,10 @@
 
 use crate::cache::{AnswerCache, CacheKey, CachedAnswer};
 use crate::error::{ServiceError, ServiceResult};
+use crate::export::MetricsReport;
 use crate::ledger::{BudgetLedger, Charge, LedgerPolicy};
 use crate::prf;
-use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::telemetry::{QueryTrace, SlowQuery, Telemetry, TelemetrySnapshot};
 use flex_core::{run_query_with, Composition, FlexOptions, FlexTimings, PrivacyParams};
 use flex_db::{Database, Value};
 use flex_sql::{canonicalize, parse_query, print_query, Query};
@@ -29,6 +30,7 @@ use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, SendError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Tuning knobs for a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -105,6 +107,12 @@ pub struct ServiceResponse {
     pub join_count: usize,
     /// Pipeline stage timings; `None` for cache hits (nothing ran).
     pub timings: Option<FlexTimings>,
+    /// The full per-query trace — every serving span (parse,
+    /// canonicalize, admission, queue wait, analysis, execution,
+    /// perturbation) plus the execution engine's routing record. `None`
+    /// for cache hits and coalesced requests: this request computed
+    /// nothing, so there is no trace to attribute to it.
+    pub trace: Option<QueryTrace>,
 }
 
 impl ServiceResponse {
@@ -140,6 +148,14 @@ struct Job {
     params: PrivacyParams,
     charge: Charge,
     respond: Respond,
+    /// Front-door spans measured by `submit`, carried into the worker so
+    /// the released trace covers the whole pipeline.
+    parse: std::time::Duration,
+    canonicalize: std::time::Duration,
+    admission: std::time::Duration,
+    /// When the job entered the queue; the worker turns it into the
+    /// queue-wait span.
+    enqueued_at: Instant,
 }
 
 struct Shared {
@@ -318,20 +334,26 @@ impl QueryService {
         let (tx, rx) = channel();
         let ticket = Ticket { rx };
 
-        let query = match parse_query(sql) {
-            Ok(q) => canonicalize(&q),
+        let started = Instant::now();
+        let parsed = match parse_query(sql) {
+            Ok(q) => q,
             Err(e) => {
                 shared.telemetry.record_failed();
                 let _ = tx.send(Err(ServiceError::from(e)));
                 return ticket;
             }
         };
+        let parse_span = started.elapsed();
+        let canon_started = Instant::now();
+        let query = canonicalize(&parsed);
         let canonical_sql = print_query(&query);
+        let canonicalize_span = canon_started.elapsed();
         let key = CacheKey::new(canonical_sql.clone(), params);
 
         // Single-flight section: cache lookup, coalescing, and admission
         // are decided under the pending-map lock so concurrent identical
         // submissions can never each charge budget for the same release.
+        let admission_started = Instant::now();
         let charge = {
             let mut pending = shared.pending.lock().expect("pending map poisoned");
 
@@ -347,6 +369,7 @@ impl QueryService {
                     charged: (0.0, 0.0),
                     join_count: hit.join_count,
                     timings: None,
+                    trace: None,
                 }));
                 return ticket;
             }
@@ -386,6 +409,10 @@ impl QueryService {
             params,
             charge,
             respond: tx,
+            parse: parse_span,
+            canonicalize: canonicalize_span,
+            admission: admission_started.elapsed(),
+            enqueued_at: Instant::now(),
         };
         shared.telemetry.record_enqueued();
         match &self.sender {
@@ -416,7 +443,23 @@ impl QueryService {
 
     /// Point-in-time telemetry.
     pub fn telemetry(&self) -> TelemetrySnapshot {
+        // Re-read the execution-parallelism gauge from the shared
+        // database at snapshot time: the knob is an atomic on the
+        // `Arc<Database>` and can be retuned at runtime by anyone
+        // holding the handle, so a value recorded once at construction
+        // would go stale.
+        self.shared
+            .telemetry
+            .record_parallelism(self.shared.db.parallelism() as u64);
         self.shared.telemetry.snapshot()
+    }
+
+    /// A full metrics report — the telemetry snapshot plus per-analyst
+    /// budget burn from the ledger — ready for Prometheus text or JSON
+    /// exposition (see [`MetricsReport::prometheus`] and
+    /// [`MetricsReport::to_json`]).
+    pub fn metrics(&self) -> MetricsReport {
+        MetricsReport::new(self.telemetry(), &self.shared.ledger)
     }
 
     /// Number of answers currently cached.
@@ -427,6 +470,9 @@ impl QueryService {
     /// Drain the queue and stop all workers, returning final telemetry.
     pub fn shutdown(mut self) -> TelemetrySnapshot {
         self.stop_workers();
+        self.shared
+            .telemetry
+            .record_parallelism(self.shared.db.parallelism() as u64);
         self.shared.telemetry.snapshot()
     }
 
@@ -472,6 +518,7 @@ fn abort_job(shared: &Shared, job: Job) {
 }
 
 fn run_job(shared: &Shared, job: Job) {
+    let queue_span = job.enqueued_at.elapsed();
     // Noise is a deterministic function of (secret service key, canonical
     // query, ε, δ, dataset fingerprint): re-computing the same release
     // after a cache eviction or restart reproduces the same answer
@@ -511,13 +558,30 @@ fn run_job(shared: &Shared, job: Job) {
             // at every instant a concurrent submit sees the key in at
             // least one of the two, so exactly one computation is paid.
             shared.cache.insert(job.key.clone(), answer);
-            shared.telemetry.record_completed(&result.timings);
-            // Engine routing observed by the pipeline itself (no second
-            // planning pass): makes fast-path coverage visible in the
-            // telemetry snapshot.
-            shared
-                .telemetry
-                .record_engine(result.vectorized, result.topk);
+            // One structured trace per release: the front-door spans
+            // measured by `submit`, the queue wait, the three FLEX stage
+            // timings, and the execution engine's own routing record
+            // (observed by the pipeline itself — no second planning
+            // pass). Feeds the stage histograms, the per-reason fallback
+            // counters and the slow-query log in one shot.
+            let trace = QueryTrace {
+                parse: job.parse,
+                canonicalize: job.canonicalize,
+                admission: job.admission,
+                queue: queue_span,
+                analysis: result.timings.analysis,
+                execution: result.timings.execution,
+                perturbation: result.timings.perturbation,
+                exec: result.trace,
+            };
+            shared.telemetry.record_completed(&trace);
+            shared.telemetry.record_release(SlowQuery {
+                analyst: job.analyst.clone(),
+                canonical_sql: job.key.canonical_sql().to_string(),
+                epsilon: job.charge.epsilon,
+                delta: job.charge.delta,
+                trace,
+            });
             for (analyst, waiter) in take_waiters(shared, &job.key) {
                 let _ = waiter.send(Ok(ServiceResponse {
                     analyst,
@@ -530,6 +594,7 @@ fn run_job(shared: &Shared, job: Job) {
                     charged: (0.0, 0.0),
                     join_count: result.join_count,
                     timings: None,
+                    trace: None,
                 }));
             }
             let _ = job.respond.send(Ok(ServiceResponse {
@@ -541,6 +606,7 @@ fn run_job(shared: &Shared, job: Job) {
                 charged: (job.charge.epsilon, job.charge.delta),
                 join_count: result.join_count,
                 timings: Some(result.timings),
+                trace: Some(trace),
             }));
         }
         Ok(Err(e)) => {
@@ -956,6 +1022,101 @@ mod tests {
             },
         );
         assert_eq!(svc0.telemetry().exec_parallelism, 1);
+    }
+
+    /// Satellite regression: the parallelism gauge is *re-read from the
+    /// shared database at snapshot time*. Recording it once at
+    /// construction would go stale the moment anyone retunes the
+    /// `Arc<Database>` at runtime.
+    #[test]
+    fn parallelism_gauge_tracks_runtime_retuning() {
+        let db = test_db();
+        let svc = QueryService::new(
+            Arc::clone(&db),
+            ServiceConfig {
+                parallelism: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        assert_eq!(svc.telemetry().exec_parallelism, 2);
+        // Retune the shared database behind the service's back.
+        db.set_parallelism(6);
+        assert_eq!(
+            svc.telemetry().exec_parallelism,
+            6,
+            "gauge must follow runtime retuning of the shared Database"
+        );
+        db.set_parallelism(1);
+        assert_eq!(svc.shutdown().exec_parallelism, 1);
+    }
+
+    /// Computed responses carry the full per-query trace; cache hits
+    /// (which compute nothing) carry none. The same trace feeds the
+    /// telemetry histograms, the per-reason fallback counters and the
+    /// slow-query log.
+    #[test]
+    fn responses_carry_query_traces() {
+        let svc = service(ServiceConfig::default());
+        let r = svc
+            .query("alice", "SELECT COUNT(*) FROM trips", params(0.5))
+            .unwrap();
+        let trace = r.trace.expect("computed response has a trace");
+        assert!(trace.exec.route.is_vectorized(), "trace: {trace:?}");
+        assert_eq!(trace.exec.rows_scanned, 500);
+        assert_eq!(trace.exec.rows_emitted, 1);
+        assert!(trace.total() > std::time::Duration::ZERO);
+        let hit = svc
+            .query("bob", "SELECT COUNT(*) FROM trips", params(0.5))
+            .unwrap();
+        assert!(hit.from_cache && hit.trace.is_none());
+
+        // A three-table join falls back with a *specific* reason, and
+        // the response trace agrees with the telemetry breakdown.
+        let fb = svc
+            .query(
+                "alice",
+                "SELECT COUNT(*) FROM trips t JOIN trips u ON t.id = u.id \
+                 JOIN trips v ON u.id = v.id",
+                params(0.5),
+            )
+            .unwrap();
+        use flex_db::{FallbackReason, RouteDecision};
+        assert_eq!(
+            fb.trace.unwrap().exec.route,
+            RouteDecision::Fallback(FallbackReason::MultiTableJoin)
+        );
+        let t = svc.telemetry();
+        let multi = t
+            .fallback_reasons
+            .iter()
+            .find(|(r, _)| *r == FallbackReason::MultiTableJoin)
+            .map(|(_, n)| *n);
+        assert_eq!(multi, Some(1), "snapshot: {t}");
+        assert_eq!(t.latency.count(), 2, "two computed queries");
+        assert_eq!(t.slow_queries.len(), 2);
+        assert!(t
+            .slow_queries
+            .iter()
+            .any(|q| q.canonical_sql.to_ascii_uppercase().contains("COUNT")));
+    }
+
+    /// The metrics report joins telemetry with per-analyst budget burn
+    /// and renders valid Prometheus text and JSON.
+    #[test]
+    fn metrics_report_joins_ledger_and_telemetry() {
+        let svc = service(ServiceConfig::default());
+        svc.query("alice", "SELECT COUNT(*) FROM trips", params(0.5))
+            .unwrap();
+        let report = svc.metrics();
+        assert_eq!(report.analysts.len(), 1);
+        assert_eq!(report.analysts[0].analyst, "alice");
+        assert!((report.analysts[0].epsilon_spent - 0.5).abs() < 1e-12);
+        assert_eq!(report.analysts[0].queries, 1);
+        let text = report.prometheus();
+        assert!(text.contains("flex_analyst_epsilon_spent{analyst=\"alice\"} 0.5"));
+        assert!(text.contains("flex_queries_completed_total 1"));
+        let json = report.to_json_string();
+        assert!(json.contains("\"epsilon_spent\": 0.5"), "json: {json}");
     }
 
     #[test]

@@ -1,12 +1,203 @@
-//! Service telemetry: lock-free counters and stage-timing accumulators,
-//! snapshotable for ops dashboards.
+//! Service telemetry: lock-free counters, per-variant fallback-reason
+//! counters, log-bucketed latency histograms, per-query trace spans and
+//! a bounded slow-query log — snapshotable for ops dashboards and
+//! exported through [`crate::export`].
+//!
+//! Everything on the query path is a relaxed atomic update: counters and
+//! histogram buckets never contend with query execution. The only lock
+//! is around the slow-query log, taken once per *completed* query to
+//! insert into a bounded, sorted vector.
 
-use flex_core::FlexTimings;
+use flex_db::{ExecTrace, FallbackReason, RouteDecision};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
-/// Monotonic counters and gauges for one service instance. All updates
-/// are relaxed atomics — telemetry never contends with the query path.
+/// Buckets per latency histogram: one per power of two of nanoseconds,
+/// covering the full `u64` range (bucket `i` spans `[2^i, 2^(i+1))` ns;
+/// sub-nanosecond durations land in bucket 0).
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// Entries the slow-query log retains (the slowest completed queries).
+pub const SLOW_LOG_CAPACITY: usize = 16;
+
+/// A lock-free log-bucketed (HDR-style) latency histogram. `record` is
+/// one relaxed `fetch_add` on the bucket for `floor(log2(ns))` plus one
+/// on the running sum — no locks, no allocation, so the query path never
+/// contends on it. Quantiles come out of a [`LatencySnapshot`] with at
+/// most one power-of-two of overestimate (a quantile reports its
+/// bucket's upper bound).
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a nanosecond value: `floor(log2(ns))`, with 0 ns
+/// clamped into bucket 0.
+fn bucket_of(ns: u64) -> usize {
+    63 - ns.max(1).leading_zeros() as usize
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, latency: Duration) {
+        self.record_ns(latency.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> LatencySnapshot {
+        LatencySnapshot {
+            counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Count per power-of-two bucket (`counts[i]` holds values in
+    /// `[2^i, 2^(i+1))` ns).
+    pub counts: [u64; LATENCY_BUCKETS],
+    /// Sum of all recorded values, for exact means in exposition.
+    pub sum_ns: u64,
+}
+
+impl Default for LatencySnapshot {
+    fn default() -> Self {
+        LatencySnapshot {
+            counts: [0; LATENCY_BUCKETS],
+            sum_ns: 0,
+        }
+    }
+}
+
+impl LatencySnapshot {
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Exact mean of the recorded values (zero when empty).
+    pub fn mean(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.checked_div(self.count()).unwrap_or(0))
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), reported as the upper bound
+    /// of the bucket holding the rank-`⌈q·n⌉` observation — an
+    /// overestimate of at most one power of two. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Duration::from_nanos(upper);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+/// The structured trace of one completed query: every span of the
+/// serving pipeline — parse, canonicalize, admission, queue wait, the
+/// three FLEX stages — plus the execution layer's own [`ExecTrace`]
+/// (engine routing with fallback reason, top-K pushdown, morsel/worker/
+/// row statistics). Spans are wall-clock, measured by the stage that ran
+/// them; `total()` is their sum, i.e. time attributable to the pipeline
+/// rather than client-observed latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryTrace {
+    /// SQL text → AST.
+    pub parse: Duration,
+    /// AST → canonical form (the cache/noise-seed key).
+    pub canonicalize: Duration,
+    /// Cache lookup, coalescing and budget admission under the
+    /// single-flight lock.
+    pub admission: Duration,
+    /// Wait between enqueue and a worker picking the job up.
+    pub queue: Duration,
+    /// Elastic-sensitivity analysis.
+    pub analysis: Duration,
+    /// True-query execution on the database.
+    pub execution: Duration,
+    /// Smoothing + noise + histogram assembly.
+    pub perturbation: Duration,
+    /// The execution engine's own record of how the query ran.
+    pub exec: ExecTrace,
+}
+
+impl QueryTrace {
+    /// Total pipeline time across all spans.
+    pub fn total(&self) -> Duration {
+        self.parse
+            + self.canonicalize
+            + self.admission
+            + self.queue
+            + self.analysis
+            + self.execution
+            + self.perturbation
+    }
+}
+
+/// One slow-query log entry. Privacy stance: only the *canonical query
+/// text*, privacy cost and trace spans are retained — never result rows,
+/// true values, or raw data; the canonical SQL is already visible to the
+/// service's clients as `ServiceResponse::canonical_sql`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowQuery {
+    pub analyst: String,
+    pub canonical_sql: String,
+    /// `(ε, δ)` charged for the release.
+    pub epsilon: f64,
+    pub delta: f64,
+    pub trace: QueryTrace,
+}
+
+impl SlowQuery {
+    pub fn total(&self) -> Duration {
+        self.trace.total()
+    }
+}
+
+/// Monotonic counters, gauges, histograms and the slow-query log for one
+/// service instance. All query-path updates are relaxed atomics —
+/// telemetry never contends with the query path (the slow-log mutex is
+/// taken once per completed query, off the caller's critical path).
 #[derive(Debug, Default)]
 pub struct Telemetry {
     submitted: AtomicU64,
@@ -17,7 +208,9 @@ pub struct Telemetry {
     rejected_budget: AtomicU64,
     failed: AtomicU64,
     vectorized_hits: AtomicU64,
-    row_fallbacks: AtomicU64,
+    /// Row-interpreter fallbacks, one counter per [`FallbackReason`]
+    /// variant (indexed by `FallbackReason::index`).
+    fallbacks: [AtomicU64; FallbackReason::ALL.len()],
     topk_hits: AtomicU64,
     exec_parallelism: AtomicU64,
     queue_depth: AtomicU64,
@@ -25,6 +218,11 @@ pub struct Telemetry {
     analysis_ns: AtomicU64,
     execution_ns: AtomicU64,
     perturbation_ns: AtomicU64,
+    latency: LatencyHistogram,
+    analysis_latency: LatencyHistogram,
+    execution_latency: LatencyHistogram,
+    perturbation_latency: LatencyHistogram,
+    slow: Mutex<Vec<SlowQuery>>,
 }
 
 impl Telemetry {
@@ -52,41 +250,63 @@ impl Telemetry {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record how a computed query executed: which engine it routed to
-    /// (vectorized columnar vs the row interpreter) and whether the
-    /// vectorized tail served `ORDER BY … LIMIT` from the bounded top-K
-    /// heap instead of a full sort.
-    pub fn record_engine(&self, vectorized: bool, topk: bool) {
-        if vectorized {
-            self.vectorized_hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.row_fallbacks.fetch_add(1, Ordering::Relaxed);
-        }
-        if topk {
-            self.topk_hits.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
     /// Record the vectorized engine's per-query worker budget (gauge,
     /// not a counter): how many morsel workers one execution may use.
-    /// Set at service construction so dashboards can correlate stage
-    /// timings with the configured intra-query parallelism.
+    /// The service re-records it on every snapshot, so retuning the
+    /// shared `Database` at runtime cannot leave the gauge stale.
     pub fn record_parallelism(&self, workers: u64) {
         self.exec_parallelism
             .store(workers.max(1), Ordering::Relaxed);
     }
 
-    pub fn record_completed(&self, timings: &FlexTimings) {
+    /// Record one completed (computed, about-to-release) query: bumps
+    /// the completion counter, folds every trace span into the stage
+    /// sums and latency histograms, and counts the routing decision —
+    /// per-variant for fallbacks — plus the top-K pushdown flag. Cache
+    /// hits and coalesced requests execute nothing and must not be
+    /// recorded here.
+    pub fn record_completed(&self, trace: &QueryTrace) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.analysis_ns
-            .fetch_add(timings.analysis.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(trace.analysis.as_nanos() as u64, Ordering::Relaxed);
         self.execution_ns
-            .fetch_add(timings.execution.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(trace.execution.as_nanos() as u64, Ordering::Relaxed);
         self.perturbation_ns
-            .fetch_add(timings.perturbation.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(trace.perturbation.as_nanos() as u64, Ordering::Relaxed);
+        self.latency.record(trace.total());
+        self.analysis_latency.record(trace.analysis);
+        self.execution_latency.record(trace.execution);
+        self.perturbation_latency.record(trace.perturbation);
+        match trace.exec.route {
+            RouteDecision::Vectorized => {
+                self.vectorized_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            RouteDecision::Fallback(reason) => {
+                self.fallbacks[reason.index()].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if trace.exec.topk {
+            self.topk_hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Offer one released query to the slow-query log, which keeps the
+    /// [`SLOW_LOG_CAPACITY`] slowest entries sorted slowest-first.
+    pub fn record_release(&self, entry: SlowQuery) {
+        let Ok(mut log) = self.slow.lock() else {
+            return;
+        };
+        let pos = log.partition_point(|e| e.total() >= entry.total());
+        if pos < SLOW_LOG_CAPACITY {
+            log.insert(pos, entry);
+            log.truncate(SLOW_LOG_CAPACITY);
+        }
     }
 
     pub fn record_enqueued(&self) {
+        // `fetch_max` keeps the high-water mark correct under concurrent
+        // submitters — a read-then-store would let two racing enqueues
+        // both publish a stale maximum.
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
@@ -95,8 +315,14 @@ impl Telemetry {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// A consistent-enough point-in-time copy of all counters.
+    /// A consistent-enough point-in-time copy of all counters,
+    /// histograms and the slow-query log.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        let fallback_reasons: Vec<(FallbackReason, u64)> = FallbackReason::ALL
+            .iter()
+            .map(|&r| (r, self.fallbacks[r.index()].load(Ordering::Relaxed)))
+            .collect();
+        let row_fallbacks = fallback_reasons.iter().map(|(_, n)| n).sum();
         TelemetrySnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -106,7 +332,8 @@ impl Telemetry {
             rejected_budget: self.rejected_budget.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             vectorized_hits: self.vectorized_hits.load(Ordering::Relaxed),
-            row_fallbacks: self.row_fallbacks.load(Ordering::Relaxed),
+            row_fallbacks,
+            fallback_reasons,
             topk_hits: self.topk_hits.load(Ordering::Relaxed),
             exec_parallelism: self.exec_parallelism.load(Ordering::Relaxed).max(1),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
@@ -114,6 +341,11 @@ impl Telemetry {
             analysis_time: Duration::from_nanos(self.analysis_ns.load(Ordering::Relaxed)),
             execution_time: Duration::from_nanos(self.execution_ns.load(Ordering::Relaxed)),
             perturbation_time: Duration::from_nanos(self.perturbation_ns.load(Ordering::Relaxed)),
+            latency: self.latency.snapshot(),
+            analysis_latency: self.analysis_latency.snapshot(),
+            execution_latency: self.execution_latency.snapshot(),
+            perturbation_latency: self.perturbation_latency.snapshot(),
+            slow_queries: self.slow.lock().map(|log| log.clone()).unwrap_or_default(),
         }
     }
 }
@@ -147,8 +379,13 @@ pub struct TelemetrySnapshot {
     /// fail before release are counted in neither.
     pub vectorized_hits: u64,
     /// Completed queries whose execution fell back to the row
-    /// interpreter.
+    /// interpreter (the sum over `fallback_reasons`).
     pub row_fallbacks: u64,
+    /// Row-interpreter fallbacks broken down by concrete reason, every
+    /// variant present in [`FallbackReason::ALL`] order. The `Unknown`
+    /// placeholder stays 0 in production — the router always names a
+    /// specific reason.
+    pub fallback_reasons: Vec<(FallbackReason, u64)>,
     /// Completed vectorized queries whose `ORDER BY … LIMIT` tail ran as
     /// a bounded top-K selection instead of a full sort (a subset of
     /// `vectorized_hits`; byte-identical results, surfaced so dashboards
@@ -168,6 +405,18 @@ pub struct TelemetrySnapshot {
     pub execution_time: Duration,
     /// Total time smoothing + noising.
     pub perturbation_time: Duration,
+    /// End-to-end pipeline latency histogram (sum of all trace spans per
+    /// completed query); `latency.p50()/p95()/p99()` are the quantiles
+    /// dashboards want.
+    pub latency: LatencySnapshot,
+    /// Per-stage latency histograms.
+    pub analysis_latency: LatencySnapshot,
+    pub execution_latency: LatencySnapshot,
+    pub perturbation_latency: LatencySnapshot,
+    /// The slowest completed queries (canonical SQL, privacy cost and
+    /// trace only — never data), slowest first, at most
+    /// [`SLOW_LOG_CAPACITY`] entries.
+    pub slow_queries: Vec<SlowQuery>,
 }
 
 impl TelemetrySnapshot {
@@ -217,6 +466,11 @@ impl std::fmt::Display for TelemetrySnapshot {
             100.0 * self.vectorized_rate()
         )?;
         writeln!(f, "  row fallbacks    {:>8}", self.row_fallbacks)?;
+        for (reason, n) in &self.fallback_reasons {
+            if *n > 0 {
+                writeln!(f, "    {:<22} {n:>6}", reason.as_str())?;
+            }
+        }
         writeln!(f, "  top-K pushdowns  {:>8}", self.topk_hits)?;
         writeln!(f, "  exec workers     {:>8}", self.exec_parallelism)?;
         writeln!(
@@ -224,20 +478,31 @@ impl std::fmt::Display for TelemetrySnapshot {
             "  queue depth      {:>8}  (max {})",
             self.queue_depth, self.max_queue_depth
         )?;
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
         writeln!(
             f,
-            "  analysis time    {:>10.3} ms",
-            self.analysis_time.as_secs_f64() * 1e3
+            "  latency          p50 {:>9.3} ms  p95 {:>9.3} ms  p99 {:>9.3} ms",
+            ms(self.latency.p50()),
+            ms(self.latency.p95()),
+            ms(self.latency.p99())
         )?;
         writeln!(
             f,
-            "  execution time   {:>10.3} ms",
-            self.execution_time.as_secs_f64() * 1e3
+            "  analysis time    {:>10.3} ms  (p95 {:.3} ms)",
+            ms(self.analysis_time),
+            ms(self.analysis_latency.p95())
+        )?;
+        writeln!(
+            f,
+            "  execution time   {:>10.3} ms  (p95 {:.3} ms)",
+            ms(self.execution_time),
+            ms(self.execution_latency.p95())
         )?;
         write!(
             f,
-            "  perturbation     {:>10.3} ms",
-            self.perturbation_time.as_secs_f64() * 1e3
+            "  perturbation     {:>10.3} ms  (p95 {:.3} ms)",
+            ms(self.perturbation_time),
+            ms(self.perturbation_latency.p95())
         )
     }
 }
@@ -245,6 +510,21 @@ impl std::fmt::Display for TelemetrySnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A QueryTrace with the given stage timings (parse/canonicalize/
+    /// admission/queue zero) and a vectorized exec trace.
+    fn trace_ms(analysis: u64, execution: u64, perturbation: u64) -> QueryTrace {
+        QueryTrace {
+            analysis: Duration::from_millis(analysis),
+            execution: Duration::from_millis(execution),
+            perturbation: Duration::from_millis(perturbation),
+            exec: ExecTrace {
+                route: RouteDecision::Vectorized,
+                ..ExecTrace::default()
+            },
+            ..QueryTrace::default()
+        }
+    }
 
     #[test]
     fn counters_accumulate_and_snapshot() {
@@ -256,11 +536,7 @@ mod tests {
         t.record_enqueued();
         t.record_enqueued();
         t.record_dequeued();
-        t.record_completed(&FlexTimings {
-            analysis: Duration::from_millis(2),
-            execution: Duration::from_millis(3),
-            perturbation: Duration::from_millis(1),
-        });
+        t.record_completed(&trace_ms(2, 3, 1));
         let s = t.snapshot();
         assert_eq!(s.submitted, 2);
         assert_eq!(s.cache_hits, 1);
@@ -268,6 +544,7 @@ mod tests {
         assert_eq!(s.queue_depth, 1);
         assert_eq!(s.max_queue_depth, 2);
         assert_eq!(s.analysis_time, Duration::from_millis(2));
+        assert_eq!(s.latency.count(), 1);
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
         let text = s.to_string();
         assert!(text.contains("cache hits") && text.contains("50.0%"));
@@ -284,6 +561,9 @@ mod tests {
         assert_eq!(s.vectorized_rate(), 0.0);
         assert!(s.hit_rate().is_finite() && s.vectorized_rate().is_finite());
         assert_eq!(s.topk_hits, 0);
+        assert_eq!(s.latency.p50(), Duration::ZERO);
+        assert_eq!(s.latency.p99(), Duration::ZERO);
+        assert!(s.slow_queries.is_empty());
         // The parallelism gauge defaults to 1 (sequential) until the
         // service records its configuration.
         assert_eq!(s.exec_parallelism, 1);
@@ -292,6 +572,7 @@ mod tests {
         assert!(text.contains("(0.0% of lookups)"), "snapshot: {text}");
         assert!(text.contains("(0.0% of computed)"), "snapshot: {text}");
         assert!(text.contains("top-K pushdowns"), "snapshot: {text}");
+        assert!(text.contains("latency"), "snapshot: {text}");
     }
 
     #[test]
@@ -313,15 +594,188 @@ mod tests {
         let s = t.snapshot();
         assert_eq!((s.vectorized_hits, s.row_fallbacks, s.topk_hits), (0, 0, 0));
         assert_eq!(s.vectorized_rate(), 0.0);
-        t.record_engine(true, true);
-        t.record_engine(true, false);
-        t.record_engine(true, true);
-        t.record_engine(false, false);
+        let vectorized = |topk: bool| {
+            let mut tr = trace_ms(0, 1, 0);
+            tr.exec.topk = topk;
+            tr
+        };
+        let fallback = |reason: FallbackReason| {
+            let mut tr = trace_ms(0, 1, 0);
+            tr.exec.route = RouteDecision::Fallback(reason);
+            tr
+        };
+        t.record_completed(&vectorized(true));
+        t.record_completed(&vectorized(false));
+        t.record_completed(&vectorized(true));
+        t.record_completed(&fallback(FallbackReason::MultiTableJoin));
         let s = t.snapshot();
         assert_eq!(s.vectorized_hits, 3);
         assert_eq!(s.row_fallbacks, 1);
         assert_eq!(s.topk_hits, 2);
         assert!((s.vectorized_rate() - 0.75).abs() < 1e-12);
         assert!(s.to_string().contains("75.0% of computed"));
+    }
+
+    /// Every fallback variant is counted individually, and the display
+    /// breaks down the nonzero ones by name.
+    #[test]
+    fn fallback_reasons_counted_per_variant() {
+        let t = Telemetry::default();
+        let fallback = |reason: FallbackReason| QueryTrace {
+            exec: ExecTrace {
+                route: RouteDecision::Fallback(reason),
+                ..ExecTrace::default()
+            },
+            ..QueryTrace::default()
+        };
+        t.record_completed(&fallback(FallbackReason::Cte));
+        t.record_completed(&fallback(FallbackReason::Cte));
+        t.record_completed(&fallback(FallbackReason::SetOperation));
+        let s = t.snapshot();
+        assert_eq!(s.row_fallbacks, 3);
+        let count = |r: FallbackReason| {
+            s.fallback_reasons
+                .iter()
+                .find(|(reason, _)| *reason == r)
+                .map(|(_, n)| *n)
+                .unwrap()
+        };
+        assert_eq!(count(FallbackReason::Cte), 2);
+        assert_eq!(count(FallbackReason::SetOperation), 1);
+        assert_eq!(count(FallbackReason::Unknown), 0);
+        // Every variant is present exactly once, in stable order.
+        assert_eq!(s.fallback_reasons.len(), FallbackReason::ALL.len());
+        let text = s.to_string();
+        assert!(text.contains("cte") && text.contains("set_operation"));
+        assert!(!text.contains("unknown"), "zero rows are hidden: {text}");
+    }
+
+    /// The histogram's quantiles bracket the recorded values: a bucketed
+    /// quantile overestimates by at most one power of two.
+    #[test]
+    fn latency_histogram_quantiles() {
+        let h = LatencyHistogram::default();
+        // 90 fast (1 µs) + 10 slow (1 ms) observations.
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(1));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        // 1000 ns lands in bucket [512, 1024); the quantile reports the
+        // bucket's upper bound.
+        assert_eq!(s.p50(), Duration::from_nanos(1023));
+        // 1 ms lands in bucket [2^19, 2^20).
+        assert_eq!(s.p95(), Duration::from_nanos((1 << 20) - 1));
+        assert_eq!(s.p99(), Duration::from_nanos((1 << 20) - 1));
+        // Exact mean from the running sum.
+        let mean = s.mean().as_nanos() as u64;
+        assert_eq!(mean, (90 * 1_000 + 10 * 1_000_000) / 100);
+        // Degenerate quantiles stay on the recorded buckets' bounds.
+        assert_eq!(s.quantile(0.0), Duration::from_nanos(1023));
+        assert_eq!(s.quantile(1.0), Duration::from_nanos((1 << 20) - 1));
+    }
+
+    #[test]
+    fn latency_histogram_handles_extremes() {
+        let h = LatencyHistogram::default();
+        h.record_ns(0); // clamped into bucket 0
+        h.record_ns(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[63], 1);
+        assert_eq!(s.quantile(1.0), Duration::from_nanos(u64::MAX));
+    }
+
+    /// Satellite: the queue-depth high-water mark must be exact under
+    /// concurrency. Eight threads enqueue behind a barrier (so all eight
+    /// are in flight at once), then hammer enqueue/dequeue pairs; the
+    /// `fetch_max` CAS must have observed the full depth of 8 and the
+    /// final depth must return to zero.
+    #[test]
+    fn max_queue_depth_is_exact_under_concurrency() {
+        use std::sync::{Arc, Barrier};
+        let t = Arc::new(Telemetry::default());
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    t.record_enqueued();
+                    // All eight enqueues happen before any dequeue.
+                    barrier.wait();
+                    t.record_dequeued();
+                    for _ in 0..1000 {
+                        t.record_enqueued();
+                        t.record_dequeued();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = t.snapshot();
+        assert_eq!(s.queue_depth, 0, "all enqueues were dequeued");
+        assert!(
+            (8..=16).contains(&s.max_queue_depth),
+            "high-water mark {} must see the barrier phase's full depth",
+            s.max_queue_depth
+        );
+    }
+
+    /// The slow-query log keeps the slowest entries, sorted, bounded.
+    #[test]
+    fn slow_query_log_is_bounded_and_sorted() {
+        let t = Telemetry::default();
+        for i in 0..(SLOW_LOG_CAPACITY + 10) {
+            let trace = QueryTrace {
+                execution: Duration::from_micros(i as u64 + 1),
+                ..QueryTrace::default()
+            };
+            t.record_release(SlowQuery {
+                analyst: format!("a{i}"),
+                canonical_sql: format!("SELECT {i}"),
+                epsilon: 0.1,
+                delta: 1e-9,
+                trace,
+            });
+        }
+        let s = t.snapshot();
+        assert_eq!(s.slow_queries.len(), SLOW_LOG_CAPACITY);
+        // Slowest first, and only the slowest survived.
+        let totals: Vec<Duration> = s.slow_queries.iter().map(SlowQuery::total).collect();
+        let mut sorted = totals.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(totals, sorted, "log is sorted slowest-first");
+        assert_eq!(
+            totals[0],
+            Duration::from_micros((SLOW_LOG_CAPACITY + 10) as u64)
+        );
+        assert!(
+            s.slow_queries
+                .iter()
+                .all(|e| e.total() > Duration::from_micros(10)),
+            "fast queries were evicted"
+        );
+    }
+
+    #[test]
+    fn query_trace_total_sums_all_spans() {
+        let trace = QueryTrace {
+            parse: Duration::from_nanos(1),
+            canonicalize: Duration::from_nanos(2),
+            admission: Duration::from_nanos(4),
+            queue: Duration::from_nanos(8),
+            analysis: Duration::from_nanos(16),
+            execution: Duration::from_nanos(32),
+            perturbation: Duration::from_nanos(64),
+            exec: ExecTrace::default(),
+        };
+        assert_eq!(trace.total(), Duration::from_nanos(127));
     }
 }

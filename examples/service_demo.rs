@@ -8,6 +8,11 @@
 //! telemetry snapshot an operator would scrape.
 //!
 //! Run with: `cargo run --release --example service_demo`
+//!
+//! Pass `--metrics` to additionally dump the full metrics report — the
+//! Prometheus text exposition and the JSON document an ops scrape would
+//! collect (trace quantiles, fallback-reason breakdown, per-analyst
+//! budget burn, slow-query log).
 
 use flex::prelude::*;
 use flex::workloads::uber;
@@ -18,6 +23,7 @@ const QUERIES_PER_ANALYST: usize = 100;
 const PER_QUERY_EPSILON: f64 = 0.1;
 
 fn main() {
+    let dump_metrics = std::env::args().any(|a| a == "--metrics");
     println!("generating synthetic Uber dataset…");
     let db = Arc::new(uber::generate(&UberConfig {
         trips: 20_000,
@@ -130,4 +136,25 @@ fn main() {
         snapshot.submitted,
         snapshot.submitted as f64 / snapshot.completed.max(1) as f64
     );
+
+    if dump_metrics {
+        let report = service.metrics();
+        println!(
+            "\n===== Prometheus exposition =====\n{}",
+            report.prometheus()
+        );
+        println!(
+            "===== JSON metrics report =====\n{}",
+            report.to_json_string()
+        );
+        if let Some(slowest) = snapshot.slow_queries.first() {
+            println!(
+                "\nslowest release: {:?} by {} — {:.3} ms total ({:?})",
+                slowest.canonical_sql,
+                slowest.analyst,
+                slowest.total().as_secs_f64() * 1e3,
+                slowest.trace.exec.route,
+            );
+        }
+    }
 }

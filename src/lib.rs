@@ -49,10 +49,13 @@ pub mod prelude {
         AnalyzedQuery, BudgetedFlex, Composition, FlexError, FlexOptions, FlexResult,
         PrivacyBudget, PrivacyParams, SensExpr, SmoothSensitivity,
     };
-    pub use flex_db::{DataType, Database, ResultSet, Schema, Table, Value};
+    pub use flex_db::{
+        DataType, Database, ExecTrace, FallbackReason, ResultSet, RouteDecision, Schema, Table,
+        Value,
+    };
     pub use flex_service::{
-        BudgetLedger, LedgerPolicy, QueryService, ServiceConfig, ServiceError, ServiceResponse,
-        TelemetrySnapshot,
+        BudgetLedger, LedgerPolicy, MetricsReport, QueryService, QueryTrace, ServiceConfig,
+        ServiceError, ServiceResponse, TelemetrySnapshot,
     };
     pub use flex_sql::{canonical_sql, canonicalize, parse_query, print_query, Query};
     pub use flex_workloads::{GraphConfig, TpchConfig, UberConfig};
