@@ -270,14 +270,18 @@ fn main() {
     // Morsel-parallel variants: the same vectorized scenarios at
     // PARALLEL_WORKERS workers. `scaling` is parallel-vs-sequential from
     // this run, so runner speed cancels out; scenarios with a floor must
-    // clear it when the runner has the cores for it. `parallel-order-by`
-    // exercises the morsel-local sorts + loser-tree merge and the
-    // parallel late materialization; see [`SORT_SCALING_FLOOR`] for why
-    // its floor sits just below parity, with the upside reported as
-    // `scaling`.
+    // clear it when the runner has the cores for it.
+    // `parallel-group-by-sum` is gated since the reduction tree moved
+    // the numeric fold onto the workers: each morsel now produces leaf
+    // sums instead of shipping values back for a sequential coordinator
+    // replay, so the aggregate phase genuinely parallelizes and must
+    // keep clearing [`SCALING_FLOOR`]. `parallel-order-by` exercises the
+    // morsel-local sorts + loser-tree merge and the parallel late
+    // materialization; see [`SORT_SCALING_FLOOR`] for why its floor sits
+    // just below parity, with the upside reported as `scaling`.
     let parallel_scenarios = [
         ("scan-filter-count", Some(SCALING_FLOOR)),
-        ("group-by-sum", None),
+        ("group-by-sum", Some(SCALING_FLOOR)),
         ("join-filter-sum", Some(SCALING_FLOOR)),
         ("order-by", Some(SORT_SCALING_FLOOR)),
     ];
@@ -375,6 +379,11 @@ fn main() {
     let available_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // The config block doubles as the baseline's capture-conditions
+    // record (`--write-baseline` persists this same document): anyone
+    // reading BENCH_exec.baseline.json can see how many cores the
+    // capture machine had — and therefore whether its parallel medians
+    // reflect real scaling — plus the platform and workload size.
     let report = json!({
         "config": {
             "quick": args.quick,
@@ -382,6 +391,8 @@ fn main() {
             "iters": iters,
             "parallel_workers": PARALLEL_WORKERS,
             "available_cores": available_cores,
+            "os": std::env::consts::OS,
+            "arch": std::env::consts::ARCH,
         },
         "scenarios": Value::Object(scenarios),
     });

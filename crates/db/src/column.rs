@@ -82,9 +82,13 @@ impl NullMask {
 /// placeholder in the typed variants; the [`NullMask`] is authoritative.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ColumnData {
+    /// 64-bit integer column.
     Int64(Vec<i64>),
+    /// 64-bit float column.
     Float64(Vec<f64>),
+    /// Boolean column.
     Bool(Vec<bool>),
+    /// String column.
     Str(Vec<String>),
     /// Columns mixing physical types (e.g. `Int` and `Float` in one
     /// `Float` column) keep their original values, NULLs included.
@@ -94,7 +98,9 @@ pub enum ColumnData {
 /// One column: typed data plus a null bitmap.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Column {
+    /// The typed value vector (placeholders in NULL slots).
     pub data: ColumnData,
+    /// Which slots are NULL — authoritative over `data`.
     pub nulls: NullMask,
 }
 
@@ -110,10 +116,12 @@ impl Column {
         }
     }
 
+    /// Whether the column has zero rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// Whether slot `i` is NULL.
     #[inline]
     pub fn is_null(&self, i: usize) -> bool {
         self.nulls.is_null(i)
@@ -309,6 +317,7 @@ impl Column {
 /// A column-major projection of a table: one [`Column`] per schema column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnarTable {
+    /// The columns, in schema order.
     pub columns: Vec<Column>,
     len: usize,
 }
@@ -334,6 +343,7 @@ impl ColumnarTable {
         self.len
     }
 
+    /// Whether the table has zero rows.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

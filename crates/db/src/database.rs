@@ -30,8 +30,10 @@ pub struct Database {
     /// (`Arc<Database>`) handles can tune it; it is pure execution tuning
     /// and never affects results, which are byte-identical at any value.
     exec_parallelism: AtomicUsize,
-    /// Rows per morsel for parallel operators (tests shrink it to force
-    /// multi-morsel merging on small tables).
+    /// Reduction-grid chunk size (the aggregate fold tree's leaf width;
+    /// tests shrink it to force multi-leaf merging on small tables).
+    /// Unlike the worker count this is determinism-bearing: it fixes the
+    /// fold-tree shape and therefore float bit patterns.
     exec_morsel_rows: AtomicUsize,
 }
 
@@ -55,6 +57,7 @@ impl Default for Database {
 }
 
 impl Database {
+    /// Create an empty database with no tables.
     pub fn new() -> Self {
         Database {
             tables: BTreeMap::new(),
@@ -69,9 +72,24 @@ impl Database {
     /// Set the number of worker threads the vectorized engine may use for
     /// one query (clamped to ≥ 1; 1 disables intra-query parallelism and
     /// runs the exact sequential code paths). Results are byte-identical
-    /// at every setting — per-morsel partial results are merged in morsel
-    /// order — so downstream DP noise seeding is unaffected. Takes
-    /// `&self` (atomic) so services holding `Arc<Database>` can tune it.
+    /// at every setting — aggregates fold on a fixed reduction grid and
+    /// per-morsel partial results merge in morsel order — so downstream
+    /// DP noise seeding is unaffected. Takes `&self` (atomic) so services
+    /// holding `Arc<Database>` can tune it.
+    ///
+    /// ```
+    /// use flex_db::{Database, DataType, Schema, Value};
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table("t", Schema::of(&[("x", DataType::Float)])).unwrap();
+    /// db.insert("t", (0..10_000).map(|i| vec![Value::Float(i as f64 * 0.1)]).collect())
+    ///     .unwrap();
+    /// let sequential = db.execute_sql("SELECT SUM(x) FROM t").unwrap();
+    /// db.set_parallelism(4);
+    /// let parallel = db.execute_sql("SELECT SUM(x) FROM t").unwrap();
+    /// // Bit-identical floats at any worker count.
+    /// assert_eq!(sequential, parallel);
+    /// ```
     pub fn set_parallelism(&self, workers: usize) {
         self.exec_parallelism
             .store(workers.max(1), Ordering::Relaxed);
@@ -82,16 +100,21 @@ impl Database {
         self.exec_parallelism.load(Ordering::Relaxed).max(1)
     }
 
-    /// Override the rows-per-morsel granularity of parallel operators.
-    /// Exposed for differential tests (tiny morsels force real multi-
-    /// morsel merging on small tables); production code should keep the
-    /// default.
+    /// Override the reduction-grid chunk size (the fold tree's leaf
+    /// width; see [`crate::morsel`]). Exposed for differential tests —
+    /// tiny chunks force real multi-leaf tree folds and multi-morsel
+    /// merging on small tables. **Determinism-bearing**: unlike the
+    /// worker count, this changes aggregate float bit patterns, so a
+    /// service that seeds noise from result bits must pin it before
+    /// fingerprinting and never retune it afterwards. Production code
+    /// should keep the default; scheduling morsel sizes are autotuned
+    /// independently ([`crate::morsel::Parallelism::sched_rows`]).
     #[doc(hidden)]
     pub fn set_morsel_rows(&self, rows: usize) {
         self.exec_morsel_rows.store(rows.max(1), Ordering::Relaxed);
     }
 
-    /// Current rows-per-morsel granularity.
+    /// Current reduction-grid chunk size.
     pub fn morsel_rows(&self) -> usize {
         self.exec_morsel_rows.load(Ordering::Relaxed).max(1)
     }
@@ -102,7 +125,7 @@ impl Database {
     pub(crate) fn exec_tuning(&self) -> morsel::Parallelism {
         morsel::Parallelism {
             workers: self.parallelism(),
-            morsel_rows: self.morsel_rows(),
+            fold_rows: self.morsel_rows(),
         }
     }
 
@@ -138,18 +161,23 @@ impl Database {
         self.public_tables.insert(table.to_string());
     }
 
+    /// Whether `table` was marked public (joins against it do not
+    /// multiply sensitivity).
     pub fn is_public(&self, table: &str) -> bool {
         self.public_tables.contains(table)
     }
 
+    /// Names of all tables marked public, in sorted order.
     pub fn public_tables(&self) -> impl Iterator<Item = &str> {
         self.public_tables.iter().map(String::as_str)
     }
 
+    /// Look up a table by name.
     pub fn table(&self, name: &str) -> Option<&Table> {
         self.tables.get(name)
     }
 
+    /// Names of all tables, in sorted order.
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
         self.tables.keys().map(String::as_str)
     }
@@ -186,6 +214,27 @@ impl Database {
     /// Execute a parsed query. Vectorizable query blocks run on the
     /// columnar engine ([`crate::vexec`]); everything else runs on the
     /// row interpreter. Both produce identical results.
+    ///
+    /// ```
+    /// use flex_db::{Database, DataType, Schema, Value};
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table("trips", Schema::of(&[("city", DataType::Str), ("fare", DataType::Float)]))
+    ///     .unwrap();
+    /// db.insert(
+    ///     "trips",
+    ///     vec![
+    ///         vec![Value::str("sf"), Value::Float(12.0)],
+    ///         vec![Value::str("nyc"), Value::Float(30.0)],
+    ///         vec![Value::str("sf"), Value::Float(8.0)],
+    ///     ],
+    /// )
+    /// .unwrap();
+    /// let q = flex_sql::parse_query("SELECT city, SUM(fare) AS total FROM trips GROUP BY city")
+    ///     .unwrap();
+    /// let rs = db.execute(&q).unwrap();
+    /// assert_eq!(rs.rows[0], vec![Value::str("sf"), Value::Float(20.0)]);
+    /// ```
     pub fn execute(&self, q: &Query) -> Result<ResultSet> {
         exec::execute(self, q)
     }

@@ -16,12 +16,20 @@ pub enum DbError {
     AmbiguousColumn(String),
     /// A value of the wrong type was supplied for a column.
     TypeMismatch {
+        /// Where the mismatch happened (column, operator, aggregate).
         context: String,
+        /// The type that was required.
         expected: String,
+        /// The type that was actually supplied.
         found: String,
     },
     /// Row arity does not match the table schema.
-    ArityMismatch { expected: usize, found: usize },
+    ArityMismatch {
+        /// The schema's column count.
+        expected: usize,
+        /// The inserted row's width.
+        found: usize,
+    },
     /// The query uses a feature the engine does not execute.
     Unsupported(String),
     /// Aggregate function misuse (e.g. nested aggregates, non-grouped column).

@@ -454,6 +454,11 @@ impl<'a> Exec<'a> {
         } else {
             Some(Vec::with_capacity(groups.len()))
         };
+        // Positions in the post-WHERE input sequence (`ri`) are exactly
+        // the columnar engine's selection indices, so handing them to
+        // `AggSpec::compute` makes the row engine evaluate the identical
+        // fixed-shape reduction tree over the identical fold grid.
+        let fold_rows = self.db.morsel_rows();
         for (key_vals, row_indices) in groups {
             let member_rows: Vec<&[Value]> = row_indices
                 .iter()
@@ -461,7 +466,7 @@ impl<'a> Exec<'a> {
                 .collect();
             let mut group_row = key_vals;
             for spec in &aggs {
-                group_row.push(spec.compute(&member_rows)?);
+                group_row.push(spec.compute(&member_rows, &row_indices, fold_rows)?);
             }
             if let Some(h) = &having {
                 if !h.eval_bool(&group_row)? {

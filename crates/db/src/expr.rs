@@ -15,55 +15,94 @@ use std::collections::HashSet;
 pub enum CompiledExpr {
     /// Value of the `i`-th column of the input row.
     Column(usize),
+    /// A constant value.
     Literal(Value),
+    /// A binary operation `left op right` (SQL three-valued logic for
+    /// comparisons and AND/OR).
     Binary {
+        /// The operator.
         op: BinaryOperator,
+        /// Left operand.
         left: Box<CompiledExpr>,
+        /// Right operand.
         right: Box<CompiledExpr>,
     },
+    /// A unary operation (`NOT expr`, `-expr`, `+expr`).
     Unary {
+        /// The operator.
         op: UnaryOperator,
+        /// The operand.
         expr: Box<CompiledExpr>,
     },
+    /// A scalar function call.
     ScalarFn {
+        /// Which function.
         func: ScalarFunc,
+        /// Argument expressions, in call order.
         args: Vec<CompiledExpr>,
     },
+    /// `CASE [operand] WHEN … THEN … [ELSE …] END`.
     Case {
+        /// The comparison operand of a simple CASE (`None` for the
+        /// searched form, whose WHEN arms are boolean conditions).
         operand: Option<Box<CompiledExpr>>,
+        /// `(WHEN condition, THEN result)` arms, in order.
         branches: Vec<(CompiledExpr, CompiledExpr)>,
+        /// The `ELSE` result (NULL when absent).
         else_result: Option<Box<CompiledExpr>>,
     },
+    /// `expr [NOT] IN (e1, e2, …)` over expression operands.
     InList {
+        /// The probe expression.
         expr: Box<CompiledExpr>,
+        /// The list members.
         list: Vec<CompiledExpr>,
+        /// `NOT IN` when true.
         negated: bool,
     },
     /// Membership in a pre-evaluated (subquery) value set.
     InSet {
+        /// The probe expression.
         expr: Box<CompiledExpr>,
+        /// The materialized subquery values.
         set: HashSet<ValueKey>,
         /// Whether the set contains a NULL (affects three-valued logic).
         has_null: bool,
+        /// `NOT IN` when true.
         negated: bool,
     },
+    /// `expr [NOT] BETWEEN low AND high`.
     Between {
+        /// The tested expression.
         expr: Box<CompiledExpr>,
+        /// Inclusive lower bound.
         low: Box<CompiledExpr>,
+        /// Inclusive upper bound.
         high: Box<CompiledExpr>,
+        /// `NOT BETWEEN` when true.
         negated: bool,
     },
+    /// `expr [NOT] LIKE pattern` (`%` and `_` wildcards).
     Like {
+        /// The tested string expression.
         expr: Box<CompiledExpr>,
+        /// The pattern expression.
         pattern: Box<CompiledExpr>,
+        /// `NOT LIKE` when true.
         negated: bool,
     },
+    /// `expr IS [NOT] NULL`.
     IsNull {
+        /// The tested expression.
         expr: Box<CompiledExpr>,
+        /// `IS NOT NULL` when true.
         negated: bool,
     },
+    /// `CAST(expr AS type)`.
     Cast {
+        /// The source expression.
         expr: Box<CompiledExpr>,
+        /// The destination type.
         target: CastTarget,
     },
 }
@@ -71,13 +110,18 @@ pub enum CompiledExpr {
 /// Target type of a `CAST`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CastTarget {
+    /// Integer types (`INT`, `BIGINT`, …).
     Int,
+    /// Floating-point and decimal types.
     Float,
+    /// Character types (`VARCHAR`, `TEXT`, …).
     Str,
+    /// `BOOLEAN`.
     Bool,
 }
 
 impl CastTarget {
+    /// Resolve a SQL type name to a cast target.
     pub fn parse(name: &str) -> Result<CastTarget> {
         match name {
             "int" | "integer" | "bigint" | "smallint" => Ok(CastTarget::Int),
@@ -92,18 +136,28 @@ impl CastTarget {
 /// Scalar (non-aggregate) functions understood by the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalarFunc {
+    /// `LOWER(s)` — ASCII lowercase.
     Lower,
+    /// `UPPER(s)` — ASCII uppercase.
     Upper,
+    /// `LENGTH(s)` — string length in characters.
     Length,
+    /// `ABS(x)` — absolute value.
     Abs,
+    /// `ROUND(x)` — round half away from zero.
     Round,
+    /// `FLOOR(x)`.
     Floor,
+    /// `CEIL(x)`.
     Ceil,
+    /// `COALESCE(a, b, …)` — first non-NULL argument.
     Coalesce,
+    /// `SUBSTR(s, start[, len])` — 1-indexed substring.
     Substr,
 }
 
 impl ScalarFunc {
+    /// Resolve a SQL function name to a scalar function.
     pub fn parse(name: &str) -> Option<ScalarFunc> {
         match name {
             "lower" => Some(ScalarFunc::Lower),

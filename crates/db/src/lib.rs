@@ -39,6 +39,8 @@
 //! assert_eq!(rs.scalar(), Some(&Value::Int(1)));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod aggregate;
 pub mod column;
 pub mod csv;

@@ -96,6 +96,7 @@ impl MetricsCatalog {
         self.mf.len()
     }
 
+    /// Whether the catalog holds no metrics at all.
     pub fn is_empty(&self) -> bool {
         self.mf.is_empty()
     }

@@ -1,15 +1,25 @@
 //! Morsel-driven parallel scheduling for the vectorized engine.
 //!
-//! A *morsel* is a fixed-size slice of rows (or selection-vector entries).
-//! Parallel operators split their input into morsels, a scoped worker
-//! pool ([`std::thread::scope`] — no runtime dependency, threads never
-//! outlive the query) claims morsels from a shared atomic cursor, and the
-//! per-morsel results are **merged in morsel order**. That merge order is
-//! the whole determinism story: whatever the scheduling, the combined
-//! output is exactly what a sequential left-to-right pass would have
-//! produced, so floats accumulate in the same order, first-appearance
-//! group ids match, and the first error (in row order) is the error
-//! reported. The DP layers above can never observe the worker count.
+//! A *morsel* is a contiguous slice of rows (or selection-vector
+//! entries). Parallel operators split their input into morsels, a scoped
+//! worker pool ([`std::thread::scope`] — no runtime dependency, threads
+//! never outlive the query) claims morsels from a shared atomic cursor,
+//! and the per-morsel results are **merged in morsel order**. Two sizes
+//! govern a morsel run, and only one of them may touch result bits:
+//!
+//! - `Parallelism::fold_rows` fixes the aggregate reduction grid (the
+//!   leaf width of the fixed-shape fold tree in [`crate::aggregate`]).
+//!   It is part of the numeric contract and never derived from the
+//!   worker count.
+//! - `Parallelism::sched_rows` — the actual morsel size — is autotuned
+//!   from input cardinality and worker count, always a whole multiple of
+//!   `fold_rows`. It is pure scheduling: morsel-order merging makes the
+//!   combined output (concatenations, loser-tree run merges, group
+//!   first-appearance order, fold-tree leaf lists, and which error is
+//!   reported — the first in row order) independent of how the input was
+//!   cut.
+//!
+//! The DP layers above can therefore never observe the worker count.
 //!
 //! With one effective worker (or a single morsel) `run` degrades to a
 //! plain sequential loop on the calling thread — no threads, no atomics —
@@ -20,25 +30,51 @@ use std::cmp::Ordering as CmpOrdering;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Default rows per morsel. Small enough that a 100k-row scan yields
-/// ~24 morsels (good load balance at 4–8 workers), large enough that the
-/// per-morsel scheduling cost disappears into the scan itself.
+/// Default rows per fold chunk — the reduction-grid granularity (see
+/// [`crate::aggregate`]): `SUM`/`AVG`/`STDDEV` leaves cover this many
+/// selection positions, so the value is part of the engine's *numeric
+/// contract* (changing it changes result bit patterns) and is bound into
+/// the service's noise-seed fingerprint. 4096 keeps each leaf inside the
+/// L1 cache while amortizing the per-leaf tree bookkeeping.
 pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// How many scheduling morsels [`Parallelism::sched_rows`] aims to hand
+/// each worker: enough slack that an unlucky worker can't serialize the
+/// tail, few enough that per-morsel merge cost stays negligible.
+const MORSELS_PER_WORKER: usize = 4;
 
 /// Execution-tuning knobs threaded through the vectorized operators.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Parallelism {
     /// Worker threads an operator may use (1 = sequential).
     pub workers: usize,
-    /// Rows per morsel (tests shrink this to exercise merging on tiny
-    /// tables).
-    pub morsel_rows: usize,
+    /// Reduction-grid chunk size: the aggregate fold tree's leaf width
+    /// (tests shrink it to exercise multi-leaf merging on tiny tables).
+    /// Determinism-bearing — results change bits if this changes — so it
+    /// must never be derived from the worker count.
+    pub fold_rows: usize,
 }
 
 impl Parallelism {
     /// Should `len` input rows be processed in parallel at all?
     pub fn engaged(&self, len: usize) -> bool {
-        self.workers > 1 && len > self.morsel_rows
+        self.workers > 1 && len > self.fold_rows
+    }
+
+    /// Rows per *scheduling* morsel for a `len`-row input: a whole
+    /// multiple of [`Parallelism::fold_rows`] (so one reduction leaf is
+    /// never split across two workers) autotuned from the input
+    /// cardinality and worker count to target ~[`MORSELS_PER_WORKER`]
+    /// morsels per worker. Scheduling granularity is pure tuning: every
+    /// parallel operator merges per-morsel results in morsel order and
+    /// aggregates fold on the absolute-position chunk grid, so this
+    /// value — unlike `fold_rows` — can chase the worker count freely
+    /// without moving a single result bit.
+    pub fn sched_rows(&self, len: usize) -> usize {
+        let fold = self.fold_rows.max(1);
+        let leaves = len.div_ceil(fold).max(1);
+        let target = (self.workers.max(1) * MORSELS_PER_WORKER).max(1);
+        leaves.div_ceil(target).max(1) * fold
     }
 }
 
@@ -62,7 +98,7 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
-    let ranges = morsel_ranges(len, par.morsel_rows);
+    let ranges = morsel_ranges(len, par.sched_rows(len));
     let workers = par.workers.min(ranges.len());
     if workers <= 1 {
         return ranges.into_iter().map(f).collect();
@@ -226,11 +262,27 @@ pub(crate) fn merge_sorted_runs<T: Copy>(
 mod tests {
     use super::*;
 
-    fn par(workers: usize, morsel_rows: usize) -> Parallelism {
-        Parallelism {
-            workers,
-            morsel_rows,
+    fn par(workers: usize, fold_rows: usize) -> Parallelism {
+        Parallelism { workers, fold_rows }
+    }
+
+    #[test]
+    fn sched_rows_is_fold_aligned_and_tracks_workers() {
+        // Always a whole multiple of fold_rows, never below it.
+        for (workers, fold, len) in [(1, 7, 1000), (4, 3, 100), (8, 4096, 10_000_000), (2, 1, 5)] {
+            let p = par(workers, fold);
+            let sched = p.sched_rows(len);
+            assert_eq!(sched % fold, 0, "workers={workers} fold={fold} len={len}");
+            assert!(sched >= fold);
         }
+        // ~4 morsels per worker once the input is large enough.
+        let p = par(4, 4096);
+        let len = 10_000_000usize;
+        let morsels = len.div_ceil(p.sched_rows(len));
+        assert!((13..=16).contains(&morsels), "got {morsels} morsels");
+        // Small inputs degrade to one-leaf morsels, not zero.
+        assert_eq!(par(4, 4096).sched_rows(100), 4096);
+        assert_eq!(par(4, 10).sched_rows(0), 10);
     }
 
     #[test]

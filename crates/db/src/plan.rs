@@ -69,6 +69,7 @@ impl Default for RouteDecision {
 }
 
 impl RouteDecision {
+    /// Whether the query ran (or would run) on the vectorized engine.
     pub fn is_vectorized(self) -> bool {
         matches!(self, RouteDecision::Vectorized)
     }
@@ -178,10 +179,12 @@ impl std::fmt::Display for FallbackReason {
 pub struct ColMeta {
     /// Table alias (or table name) qualifying the column, if any.
     pub qualifier: Option<String>,
+    /// The column's (output) name.
     pub name: String,
 }
 
 impl ColMeta {
+    /// Column metadata with an optional qualifier.
     pub fn new(qualifier: Option<String>, name: impl Into<String>) -> Self {
         ColMeta {
             qualifier,
@@ -203,11 +206,14 @@ impl ColMeta {
 /// An intermediate relation: ordered columns plus a multiset of rows.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Relation {
+    /// Column metadata, in output order.
     pub cols: Vec<ColMeta>,
+    /// The rows (each as wide as `cols`).
     pub rows: Vec<Row>,
 }
 
 impl Relation {
+    /// Assemble a relation from columns and rows.
     pub fn new(cols: Vec<ColMeta>, rows: Vec<Row>) -> Self {
         Relation { cols, rows }
     }
@@ -242,7 +248,9 @@ impl Relation {
 /// The final result of executing a query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultSet {
+    /// Output column names, in SELECT order.
     pub columns: Vec<String>,
+    /// Result rows, in result order.
     pub rows: Vec<Row>,
 }
 

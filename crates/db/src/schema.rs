@@ -8,9 +8,13 @@ use serde::{Deserialize, Serialize};
 /// type is checked on insert and drives the value-range metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DataType {
+    /// Boolean.
     Bool,
+    /// 64-bit signed integer.
     Int,
+    /// 64-bit float (also admits `Int` values on insert).
     Float,
+    /// UTF-8 string.
     Str,
 }
 
@@ -28,6 +32,7 @@ impl DataType {
         )
     }
 
+    /// Human-readable type name, as used in error messages.
     pub fn name(&self) -> &'static str {
         match self {
             DataType::Bool => "boolean",
@@ -41,11 +46,14 @@ impl DataType {
 /// A column definition.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ColumnDef {
+    /// Column name.
     pub name: String,
+    /// Declared data type.
     pub data_type: DataType,
 }
 
 impl ColumnDef {
+    /// A column definition.
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
         ColumnDef {
             name: name.into(),
@@ -57,10 +65,12 @@ impl ColumnDef {
 /// An ordered list of column definitions.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Schema {
+    /// The column definitions, in table order.
     pub columns: Vec<ColumnDef>,
 }
 
 impl Schema {
+    /// A schema from pre-built column definitions.
     pub fn new(columns: Vec<ColumnDef>) -> Self {
         Schema { columns }
     }
@@ -72,10 +82,12 @@ impl Schema {
         }
     }
 
+    /// Number of columns.
     pub fn len(&self) -> usize {
         self.columns.len()
     }
 
+    /// Whether the schema has no columns.
     pub fn is_empty(&self) -> bool {
         self.columns.is_empty()
     }

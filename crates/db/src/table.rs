@@ -22,8 +22,11 @@ pub type Row = Vec<Value>;
 /// stays coherent.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table {
+    /// Table name.
     pub name: String,
+    /// Declared column layout.
     pub schema: Schema,
+    /// The rows, row-major, in insertion order.
     pub rows: Vec<Row>,
     /// Lazily built column-major projection of `rows`.
     columnar: OnceLock<Arc<ColumnarTable>>,
@@ -38,6 +41,7 @@ impl PartialEq for Table {
 }
 
 impl Table {
+    /// An empty table with the given schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
         Table {
             name: name.into(),
@@ -47,10 +51,12 @@ impl Table {
         }
     }
 
+    /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
+    /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }

@@ -12,18 +12,25 @@ use std::hash::{Hash, Hasher};
 /// paper's workloads require.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Value {
+    /// SQL `NULL`.
     Null,
+    /// A boolean.
     Bool(bool),
+    /// A 64-bit signed integer.
     Int(i64),
+    /// A 64-bit float.
     Float(f64),
+    /// A UTF-8 string.
     Str(String),
 }
 
 impl Value {
+    /// Shorthand for `Value::Str(s.into())`.
     pub fn str(s: impl Into<String>) -> Value {
         Value::Str(s.into())
     }
 
+    /// Whether this is SQL `NULL`.
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
@@ -44,6 +51,7 @@ impl Value {
         }
     }
 
+    /// Integer view (floats truncate, booleans map to 0/1).
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Int(v) => Some(*v),
@@ -53,6 +61,7 @@ impl Value {
         }
     }
 
+    /// Borrow the string payload, if this is a `Str`.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -166,11 +175,15 @@ impl From<bool> for Value {
 /// and `NULL` keys compare equal to each other (SQL `GROUP BY` semantics).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ValueKey {
+    /// `NULL` (all NULLs key equal, per SQL `GROUP BY`).
     Null,
+    /// A boolean key.
     Bool(bool),
+    /// An integer key — also used for floats that are exact integers.
     Int(i64),
     /// Bit pattern of a float that is not exactly representable as i64.
     FloatBits(u64),
+    /// A string key.
     Str(String),
 }
 
@@ -210,11 +223,15 @@ impl From<&Value> for ValueKey {
 /// each other and drop them before the borrow ends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BorrowKey<'a> {
+    /// `NULL` (all NULLs key equal, per SQL `GROUP BY`).
     Null,
+    /// A boolean key.
     Bool(bool),
+    /// An integer key — also used for floats that are exact integers.
     Int(i64),
     /// Bit pattern of a float that is not exactly representable as i64.
     FloatBits(u64),
+    /// A borrowed string key.
     Str(&'a str),
 }
 
@@ -253,6 +270,7 @@ impl Hash for RowKey {
 }
 
 impl RowKey {
+    /// Key every value of a row (e.g. a group's key columns).
     pub fn from_values(values: &[Value]) -> RowKey {
         RowKey(values.iter().map(ValueKey::from).collect())
     }

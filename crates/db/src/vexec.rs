@@ -48,22 +48,30 @@
 //! probe (against a shared read-only build side), row gathering, the
 //! ORDER BY sort (morsel-local sorts or top-K selections merged by the
 //! loser tree in [`crate::morsel`]), tail late materialization and
-//! grouped aggregation all run across a scoped worker pool in fixed-size
-//! morsels ([`crate::morsel`]). Every parallel operator merges its
-//! per-morsel results **in morsel order**: selection vectors and match
-//! vectors concatenate, sorted runs merge with a lower-run-wins
-//! tie-break (= the sequential stable sort), per-morsel group tables map
-//! into the global first-appearance order, and aggregate partial states
-//! (`AggPartial` in [`crate::aggregate`]) merge under order-preserving rules
-//! (value-collecting partials for `SUM`/`AVG`/`MEDIAN`/`STDDEV`, so the
-//! single float fold still happens in row order). Execution is therefore
-//! byte-identical at every worker count — including *which* runtime
-//! error surfaces — and `parallelism = 1` takes the exact sequential
-//! code paths.
+//! grouped aggregation all run across a scoped worker pool in morsels
+//! whose size is autotuned from cardinality and worker count
+//! ([`crate::morsel`]). Every parallel operator merges its per-morsel
+//! results **in morsel order**: selection vectors and match vectors
+//! concatenate, sorted runs merge with a lower-run-wins tie-break (= the
+//! sequential stable sort), per-morsel group tables map into the global
+//! first-appearance order, and aggregate partial states (`AggPartial` in
+//! [`crate::aggregate`]) merge under order-preserving rules. Numeric
+//! aggregates (`SUM`/`AVG`/`STDDEV`) fold through a **fixed-shape
+//! reduction tree**: each morsel folds its fold-grid chunks into leaf
+//! sums locally (the 8-lane SIMD kernel), the merged leaf lists
+//! concatenate in morsel order, and one pairwise tree combine produces
+//! the result — the tree's shape depends only on the data layout and the
+//! reduction grid, never on worker count or scheduling. `MEDIAN` sorts
+//! per-morsel runs on the workers and loser-tree-merges them. Execution
+//! is therefore byte-identical at every worker count — including *which*
+//! runtime error surfaces — and `parallelism = 1` evaluates exactly the
+//! same functions sequentially.
 //!
 //! **Result identity:** both engines compile expressions with the same
-//! compiler, accumulate floating-point aggregates in the same row order,
-//! and resolve ORDER BY keys through one shared rule, and the columnar
+//! compiler, fold floating-point aggregates through the same fixed-shape
+//! reduction tree over the same fold grid (the row engine hands
+//! `AggSpec::compute` the identical selection positions), and resolve
+//! ORDER BY keys through one shared rule, and the columnar
 //! tail reproduces the row engine's stable sort / first-occurrence
 //! DISTINCT / LIMIT slice exactly (index tie-breaks stand in for sort
 //! stability — see `run_tail`), so any query that executes without
@@ -75,7 +83,7 @@
 //! table order rather than group order; whether a query errors is still
 //! identical.
 
-use crate::aggregate::{self, AggFunc, AggPartial, AggSpec, GroupedRows};
+use crate::aggregate::{self, AggFunc, AggPartial, AggSpec, FoldAcc, FoldState, GroupedRows};
 use crate::column::{Column, ColumnData, ColumnarTable, GATHER_NULL};
 use crate::database::Database;
 use crate::error::{DbError, Result};
@@ -221,9 +229,13 @@ pub(crate) struct VexecStats {
     pub rows_scanned: u64,
 }
 
-/// Morsel count for `len` input rows under tuning `par`.
+/// Scheduling-morsel count for `len` input rows under tuning `par`
+/// (the autotuned [`Parallelism::sched_rows`] granularity).
 fn morsel_count(len: usize, par: Parallelism) -> u64 {
-    len.div_ceil(par.morsel_rows.max(1)) as u64
+    if len == 0 {
+        return 0;
+    }
+    len.div_ceil(par.sched_rows(len)) as u64
 }
 
 /// Execute `q` on the vectorized engine if it is vectorizable, else
@@ -1622,18 +1634,30 @@ fn run_grouped(
 
     let mut agg_vals: Vec<Vec<Value>> = Vec::with_capacity(plan.aggs.len());
     for (spec, arg) in plan.aggs.iter().zip(&plan.agg_args) {
-        agg_vals.push(compute_agg(ctab, spec.func, *arg, sel, &gids, ngroups)?);
+        agg_vals.push(compute_agg(
+            ctab,
+            spec.func,
+            *arg,
+            sel,
+            &gids,
+            ngroups,
+            par.fold_rows,
+        )?);
     }
     grouped_tail(q, s, plan, GroupedRows::new(groups, agg_vals), topk)
 }
 
 /// Morsel-parallel grouped aggregation: every morsel of the selection
 /// builds its own local group table (first-appearance order within the
-/// morsel) and one [`AggPartial`] per aggregate; the coordinating thread
-/// then merges morsels **in morsel order** — local groups map into a
-/// global table that reproduces the sequential first-appearance order
-/// (all of morsel 0's rows precede morsel 1's), and partial states merge
-/// per [`AggPartial::merge`]'s order-preserving rules. Aggregate-stage
+/// morsel) and one [`AggPartial`] per aggregate — numeric aggregates
+/// fold their fold-grid chunks into leaf sums right on the worker; the
+/// coordinating thread then merges morsels **in morsel order** — local
+/// groups map into a global table that reproduces the sequential
+/// first-appearance order (all of morsel 0's rows precede morsel 1's),
+/// and partial states merge per [`AggPartial::merge`]'s order-preserving
+/// rules, after which a single fixed-shape tree combine (or loser-tree
+/// run merge) finishes each group. `STDDEV` takes a second morsel pass
+/// ([`parallel_stddev`]) once the mean pass has merged. Aggregate-stage
 /// errors are reported for the lowest aggregate index first and, within
 /// an aggregate, from the earliest morsel — exactly the sequential
 /// engine's aggregate-major, row-order error.
@@ -1646,8 +1670,14 @@ fn run_grouped_parallel(
     par: Parallelism,
     topk: &mut bool,
 ) -> Result<Relation> {
-    type MorselState = (Vec<Row>, Vec<Result<AggPartial>>);
+    let fold_rows = par.fold_rows;
+    let dense = sel.len() == ctab.len();
+    // STDDEV's second (M2) pass revisits the data with per-group means
+    // in hand; it needs each morsel's local group assignments.
+    let need_gids = plan.aggs.iter().any(|spec| spec.func == AggFunc::Stddev);
+    type MorselState = (Vec<Row>, Vec<u32>, Vec<Result<AggPartial>>);
     let morsels: Vec<MorselState> = morsel::run(sel.len(), par, |range| {
+        let base = range.start;
         let chunk = &sel[range];
         let (gids, groups) = assign_groups(ctab, &plan.key_cols, chunk);
         let ngroups = groups.len();
@@ -1655,9 +1685,13 @@ fn run_grouped_parallel(
             .aggs
             .iter()
             .zip(&plan.agg_args)
-            .map(|(spec, arg)| partial_agg(ctab, spec.func, *arg, chunk, &gids, ngroups))
+            .map(|(spec, arg)| {
+                partial_agg(
+                    ctab, spec.func, *arg, chunk, &gids, ngroups, base, fold_rows, dense,
+                )
+            })
             .collect();
-        (groups, partials)
+        (groups, if need_gids { gids } else { Vec::new() }, partials)
     });
 
     // Merge morsel-local groups into the global first-appearance order.
@@ -1665,8 +1699,9 @@ fn run_grouped_parallel(
     let mut map: HashMap<RowKey, u32> = HashMap::new();
     let mut groups: Vec<Row> = Vec::new();
     let mut gid_maps: Vec<Vec<u32>> = Vec::with_capacity(morsels.len());
+    let mut morsel_gids: Vec<Vec<u32>> = Vec::with_capacity(morsels.len());
     let mut locals: Vec<Vec<Result<AggPartial>>> = Vec::with_capacity(morsels.len());
-    for (local_groups, partials) in morsels {
+    for (local_groups, gids, partials) in morsels {
         let mut gmap = Vec::with_capacity(local_groups.len());
         for key_vals in local_groups {
             let gid = match map.entry(RowKey::from_values(&key_vals)) {
@@ -1679,6 +1714,7 @@ fn run_grouped_parallel(
             gmap.push(gid);
         }
         gid_maps.push(gmap);
+        morsel_gids.push(gids);
         locals.push(partials);
     }
     // A grand aggregate over zero rows still yields one group.
@@ -1712,12 +1748,93 @@ fn run_grouped_parallel(
     if let Some(e) = first_err.into_iter().flatten().next() {
         return Err(e);
     }
-    let agg_vals: Vec<Vec<Value>> = global
-        .into_iter()
-        .zip(&plan.aggs)
-        .map(|(g, spec)| g.finalize(spec.func))
-        .collect();
+    let mut agg_vals: Vec<Vec<Value>> = Vec::with_capacity(naggs);
+    for (a, (g, spec)) in global.into_iter().zip(&plan.aggs).enumerate() {
+        if spec.func == AggFunc::Stddev {
+            let AggPartial::Sums(states) = g else {
+                unreachable!("STDDEV mean pass always produces Sums partials")
+            };
+            agg_vals.push(parallel_stddev(
+                ctab,
+                plan.agg_args[a],
+                sel,
+                par,
+                &morsel_gids,
+                &gid_maps,
+                states,
+            )?);
+        } else {
+            agg_vals.push(g.finalize(spec.func));
+        }
+    }
     grouped_tail(q, s, plan, GroupedRows::new(groups, agg_vals), topk)
+}
+
+/// Second pass of the morsel-parallel `STDDEV`: with per-group means
+/// fixed by the merged mean pass, every morsel folds its groups' squared
+/// deviations on the same fold grid (global group ids this time), and
+/// the per-morsel leaf lists concatenate in morsel order — exactly the
+/// sequential [`aggregate::stddev_tree`], bit for bit.
+fn parallel_stddev(
+    ctab: &ColumnarTable,
+    arg: Option<usize>,
+    sel: &[u32],
+    par: Parallelism,
+    morsel_gids: &[Vec<u32>],
+    gid_maps: &[Vec<u32>],
+    states: Vec<FoldState>,
+) -> Result<Vec<Value>> {
+    let col = match arg {
+        Some(c) => &ctab.columns[c],
+        None => {
+            return Err(DbError::InvalidAggregate(
+                "Stddev requires an argument".to_string(),
+            ))
+        }
+    };
+    let ngroups = states.len();
+    let counts: Vec<u64> = states.iter().map(FoldState::count).collect();
+    let means: Vec<f64> = states
+        .into_iter()
+        .zip(&counts)
+        .map(|(s, &n)| if n == 0 { 0.0 } else { s.into_sum() / n as f64 })
+        .collect();
+    let step = par.fold_rows.max(1);
+    let sched = par.sched_rows(sel.len());
+    let m2s: Vec<Vec<FoldState>> =
+        morsel::try_run(sel.len(), par, |range| -> Result<Vec<FoldState>> {
+            let m = range.start / sched;
+            let gids = &morsel_gids[m];
+            let gmap = &gid_maps[m];
+            let mut accs: Vec<FoldAcc> = vec![FoldAcc::new(); ngroups];
+            for (k, &i) in sel[range.clone()].iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                let g = gmap[gids[k] as usize] as usize;
+                let x = numeric_at(col, idx, AggFunc::Stddev)?;
+                accs[g].push((range.start + k) / step, (x - means[g]).powi(2));
+            }
+            Ok(accs.into_iter().map(FoldAcc::finish).collect::<Vec<_>>())
+        })?;
+    let mut m2: Vec<FoldState> = vec![FoldState::default(); ngroups];
+    for morsel_states in m2s {
+        for (g, state) in morsel_states.into_iter().enumerate() {
+            m2[g].append(state);
+        }
+    }
+    Ok(m2
+        .into_iter()
+        .zip(&counts)
+        .map(|(state, &n)| {
+            if n < 2 {
+                Value::Null
+            } else {
+                Value::Float((state.into_sum() / (n as f64 - 1.0)).sqrt())
+            }
+        })
+        .collect())
 }
 
 /// Post-aggregation tail shared by the sequential and parallel grouped
@@ -1874,9 +1991,52 @@ fn numeric_at(col: &Column, idx: usize, func: AggFunc) -> Result<f64> {
     }
 }
 
+/// Tree-fold a contiguous fully-selected slice of a no-null numeric
+/// column with the dense SIMD leaf kernels — the fast path for grand
+/// aggregates (and single-group morsels) where fold chunks map to
+/// contiguous column slices. `range.start` must be fold-chunk-aligned
+/// (scheduling morsels are whole multiples of `fold_rows`). Returns
+/// `None` when the column shape doesn't admit the dense kernel.
+fn dense_fold(col: &Column, range: std::ops::Range<usize>, fold_rows: usize) -> Option<FoldState> {
+    if col.nulls.any() {
+        return None;
+    }
+    let step = fold_rows.max(1);
+    let mut acc = FoldAcc::new();
+    match &col.data {
+        ColumnData::Float64(xs) => {
+            for leaf in xs[range].chunks(step) {
+                acc.push_leaf(aggregate::leaf_sum(leaf), leaf.len() as u64);
+            }
+        }
+        ColumnData::Int64(xs) => {
+            for leaf in xs[range].chunks(step) {
+                acc.push_leaf(aggregate::leaf_sum_ints(leaf), leaf.len() as u64);
+            }
+        }
+        _ => return None,
+    }
+    Some(acc.finish())
+}
+
+/// Finish a SUM or AVG from one group's fold state.
+fn finish_sum_avg(func: AggFunc, state: FoldState) -> Value {
+    if state.count() == 0 {
+        return Value::Null;
+    }
+    let n = state.count() as f64;
+    let sum = state.into_sum();
+    match func {
+        AggFunc::Sum => Value::Float(sum),
+        AggFunc::Avg => Value::Float(sum / n),
+        _ => unreachable!("fold state finalized for {func:?}"),
+    }
+}
+
 /// Evaluate one aggregate over all groups in a single columnar pass.
-/// Floating-point accumulation visits rows in selection (= table) order,
-/// matching the row engine's per-group summation order bit-for-bit.
+/// Floating-point aggregates fold through the fixed-shape reduction tree
+/// on the `fold_rows` grid over selection positions — the same function
+/// the row engine and the parallel operator evaluate, bit for bit.
 fn compute_agg(
     ctab: &ColumnarTable,
     func: AggFunc,
@@ -1884,6 +2044,7 @@ fn compute_agg(
     sel: &[u32],
     gids: &[u32],
     ngroups: usize,
+    fold_rows: usize,
 ) -> Result<Vec<Value>> {
     if func == AggFunc::CountStar {
         let mut counts = vec![0i64; ngroups];
@@ -1932,31 +2093,30 @@ fn compute_agg(
                 .collect())
         }
         AggFunc::Sum | AggFunc::Avg => {
-            let mut sums = vec![0.0f64; ngroups];
-            let mut counts = vec![0usize; ngroups];
+            // Dense kernel fast path: one group over the full table —
+            // fold chunks are contiguous column slices, so the SIMD
+            // leaf kernels apply directly.
+            if ngroups == 1 && sel.len() == ctab.len() {
+                if let Some(state) = dense_fold(col, 0..sel.len(), fold_rows) {
+                    return Ok(vec![finish_sum_avg(func, state)]);
+                }
+            }
+            let mut accs: Vec<FoldAcc> = vec![FoldAcc::new(); ngroups];
+            let step = fold_rows.max(1);
             for (k, &i) in sel.iter().enumerate() {
                 let idx = i as usize;
                 if col.is_null(idx) {
                     continue;
                 }
-                let g = gids[k] as usize;
-                sums[g] += numeric_at(col, idx, func)?;
-                counts[g] += 1;
+                accs[gids[k] as usize].push(k / step, numeric_at(col, idx, func)?);
             }
-            Ok((0..ngroups)
-                .map(|g| {
-                    if counts[g] == 0 {
-                        Value::Null
-                    } else if func == AggFunc::Sum {
-                        Value::Float(sums[g])
-                    } else {
-                        Value::Float(sums[g] / counts[g] as f64)
-                    }
-                })
+            Ok(accs
+                .into_iter()
+                .map(|acc| finish_sum_avg(func, acc.finish()))
                 .collect())
         }
         AggFunc::Min | AggFunc::Max => Ok(min_max(col, func, sel, gids, ngroups)),
-        AggFunc::Median | AggFunc::Stddev => {
+        AggFunc::Median => {
             let mut per: Vec<Vec<f64>> = vec![Vec::new(); ngroups];
             for (k, &i) in sel.iter().enumerate() {
                 let idx = i as usize;
@@ -1965,15 +2125,21 @@ fn compute_agg(
                 }
                 per[gids[k] as usize].push(numeric_at(col, idx, func)?);
             }
+            Ok(per.into_iter().map(aggregate::median_of).collect())
+        }
+        AggFunc::Stddev => {
+            let mut per: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ngroups];
+            let step = fold_rows.max(1);
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                per[gids[k] as usize].push((k / step, numeric_at(col, idx, func)?));
+            }
             Ok(per
                 .into_iter()
-                .map(|nums| {
-                    if func == AggFunc::Median {
-                        aggregate::median_of(nums)
-                    } else {
-                        aggregate::stddev_of(&nums)
-                    }
-                })
+                .map(|pairs| aggregate::stddev_tree(&pairs))
                 .collect())
         }
     }
@@ -1992,12 +2158,16 @@ fn value_key_at(col: &Column, idx: usize) -> ValueKey {
 }
 
 /// Compute one aggregate's [`AggPartial`] over one morsel of the
-/// selection (morsel-local group ids). Mirrors [`compute_agg`] exactly,
-/// but defers the order-sensitive finishing steps — float folds, median
-/// sorting — to [`AggPartial::finalize`] after the morsel-order merge, so
-/// the parallel pipeline's numeric results are bit-identical to the
-/// sequential single pass. Type errors surface from the same rows,
-/// walked in the same (selection) order.
+/// selection (morsel-local group ids). Mirrors [`compute_agg`] exactly:
+/// `SUM`/`AVG`/`STDDEV` fold their fold-grid chunks into leaf sums right
+/// here on the worker (`base` is the morsel's absolute selection offset,
+/// so chunk ids are global and morsel boundaries — always chunk-aligned
+/// — never split a leaf), and `MEDIAN` sorts its run locally; only the
+/// final tree combine / run merge is left for after the morsel-order
+/// merge. `dense` says the selection is the full table (identity), which
+/// unlocks the contiguous SIMD kernel for single-group morsels. Type
+/// errors surface from the same rows, walked in the same order.
+#[allow(clippy::too_many_arguments)]
 fn partial_agg(
     ctab: &ColumnarTable,
     func: AggFunc,
@@ -2005,6 +2175,9 @@ fn partial_agg(
     sel: &[u32],
     gids: &[u32],
     ngroups: usize,
+    base: usize,
+    fold_rows: usize,
+    dense: bool,
 ) -> Result<AggPartial> {
     if func == AggFunc::CountStar {
         let mut counts = vec![0i64; ngroups];
@@ -2049,7 +2222,29 @@ fn partial_agg(
             }
             Ok(AggPartial::Distinct(sets))
         }
-        AggFunc::Sum | AggFunc::Avg | AggFunc::Median | AggFunc::Stddev => {
+        AggFunc::Sum | AggFunc::Avg | AggFunc::Stddev => {
+            // Single-group morsel over the identity selection: all of
+            // this morsel's rows belong to one group, so its leaves are
+            // contiguous column slices — the SIMD kernel path.
+            if ngroups == 1 && dense {
+                if let Some(state) = dense_fold(col, base..base + sel.len(), fold_rows) {
+                    return Ok(AggPartial::Sums(vec![state]));
+                }
+            }
+            let mut accs: Vec<FoldAcc> = vec![FoldAcc::new(); ngroups];
+            let step = fold_rows.max(1);
+            for (k, &i) in sel.iter().enumerate() {
+                let idx = i as usize;
+                if col.is_null(idx) {
+                    continue;
+                }
+                accs[gids[k] as usize].push((base + k) / step, numeric_at(col, idx, func)?);
+            }
+            Ok(AggPartial::Sums(
+                accs.into_iter().map(FoldAcc::finish).collect(),
+            ))
+        }
+        AggFunc::Median => {
             let mut per: Vec<Vec<f64>> = vec![Vec::new(); ngroups];
             for (k, &i) in sel.iter().enumerate() {
                 let idx = i as usize;
@@ -2058,7 +2253,16 @@ fn partial_agg(
                 }
                 per[gids[k] as usize].push(numeric_at(col, idx, func)?);
             }
-            Ok(AggPartial::Values(per))
+            // Sort each group's run here on the worker; the coordinator
+            // only loser-tree-merges the pre-sorted runs.
+            Ok(AggPartial::Runs(
+                per.into_iter()
+                    .map(|mut run| {
+                        run.sort_by(f64::total_cmp);
+                        vec![run]
+                    })
+                    .collect(),
+            ))
         }
         AggFunc::Min | AggFunc::Max => {
             // Mixed columns need value-collecting partials: total_cmp is

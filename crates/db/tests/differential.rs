@@ -18,6 +18,15 @@ use proptest::prelude::*;
 
 /// Schema shared by every generated case: an Int, a Float, a Str and a
 /// small Int "category" column, all nullable.
+///
+/// The fold grid (`set_morsel_rows`) is pinned to 3 rows **at build
+/// time**, before any baseline executes: the reduction-grid chunk size
+/// is determinism-bearing — part of the numeric function, bound into
+/// the release fingerprint — so every run a test compares (row engine,
+/// sequential columnar, every worker count) must share it. Pinning it
+/// this small also makes the handful-of-row generated tables span many
+/// fold chunks, so the fixed-shape tree really exercises multi-leaf
+/// combines.
 fn build_db(rows: Vec<(Value, Value, Value, Value)>) -> Database {
     let mut db = Database::new();
     db.create_table(
@@ -37,6 +46,7 @@ fn build_db(rows: Vec<(Value, Value, Value, Value)>) -> Database {
             .collect(),
     )
     .unwrap();
+    db.set_morsel_rows(3);
     db
 }
 
@@ -362,11 +372,12 @@ proptest! {
 // ---- morsel-parallel execution: byte-identity across worker counts -------
 
 /// Engage real multi-morsel parallel merging on the tiny generated
-/// tables: a handful of rows per morsel forces per-morsel group tables,
-/// partial aggregates and match vectors to actually merge.
+/// tables: [`build_db`] already pinned 3-row fold chunks, so raising the
+/// worker count is all it takes to force per-morsel group tables,
+/// partial aggregates and match vectors to actually merge. Only the
+/// worker count moves — the fold grid stays where the baseline ran.
 fn parallelize(db: &Database, workers: usize) {
     db.set_parallelism(workers);
-    db.set_morsel_rows(3);
 }
 
 /// Both executions must agree exactly: same `ResultSet` (rows, order,
@@ -717,12 +728,14 @@ fn parallel_min_max_on_mixed_column_matches_sequential_above_2p53() {
         ],
     )
     .unwrap();
+    // Fold grid fixed before any baseline runs (MIN/MAX never folds on
+    // the grid, but the contract is uniform: compared runs share it).
+    db.set_morsel_rows(2);
     for sql in ["SELECT MIN(v) FROM m", "SELECT MAX(v) FROM m"] {
         let seq = db.execute_sql(sql).unwrap();
         let row = db.execute_sql_row(sql).unwrap();
         assert_eq!(seq, row, "engines disagree on: {sql}");
         db.set_parallelism(2);
-        db.set_morsel_rows(2);
         let par = db.execute_sql(sql).unwrap();
         assert_eq!(par, seq, "parallel diverges on: {sql}");
         db.set_parallelism(1);
@@ -936,11 +949,10 @@ fn median_stddev_nan_negative_zero_bit_identical() {
             let v = db.execute_sql(sql).unwrap();
             let r = db.execute_sql_row(sql).unwrap();
             assert_rows_bit_identical(&v, &r, sql);
-            // Morsel-parallel grouped aggregation: value-collecting
-            // partials concatenated in morsel order must not move a NaN
-            // or flip a -0.0.
+            // Morsel-parallel grouped aggregation on the same fold grid
+            // the baselines ran: per-morsel leaf sums concatenated in
+            // morsel order must not move a NaN or flip a -0.0.
             db.set_parallelism(4);
-            db.set_morsel_rows(2);
             let p = db.execute_sql(sql).unwrap();
             assert_rows_bit_identical(&p, &r, sql);
             db.set_parallelism(1);
@@ -962,6 +974,68 @@ fn median_stddev_nan_negative_zero_bit_identical() {
         panic!("expected float MEDIAN");
     };
     assert_eq!(med.to_bits(), 0.0f64.to_bits(), "median of {{-0.0, 0.0}}");
+}
+
+/// The reduction-tree contract under the nastiest float inputs: with the
+/// fold grid pinned at 3-row chunks (pathologically small, so a 33-row
+/// table spans 11 leaves), every worker count in {1, 2, 4, 8} must
+/// produce bit-identical aggregates — NaN payloads, −0.0 signs and
+/// 2^53-boundary rounding included — and the row engine must agree,
+/// because all of them fold through the same fixed-shape tree over the
+/// same chunk grid. Worker count only changes *scheduling* morsels
+/// (2 workers → 6-row morsels, 8 workers → 3-row), never the leaves.
+#[test]
+fn reduction_tree_bit_identical_across_worker_counts() {
+    let two53 = 9_007_199_254_740_992.0f64; // 2^53: above this, f64 skips odd ints
+    let b_vals = [
+        f64::NAN,
+        1.5,
+        -0.0,
+        two53,
+        1.0, // absorbed by 2^53 unless the fold order protects it
+        0.0,
+        -f64::NAN,
+        -two53,
+        2.5,
+        1e16,
+        -1.0,
+        1e-16, // vanishes against 1e16 in the wrong association
+    ];
+    let rows: Vec<_> = (0..33)
+        .map(|i| {
+            let b = if i % 11 == 7 {
+                Value::Null
+            } else {
+                Value::Float(b_vals[i % b_vals.len()])
+            };
+            (
+                Value::Int(i as i64),
+                b,
+                Value::str(if i % 2 == 0 { "x" } else { "y" }),
+                Value::Int(i as i64 % 3),
+            )
+        })
+        .collect();
+    let db = build_db(rows); // fold grid pinned to 3-row chunks
+    let queries = [
+        "SELECT SUM(b), AVG(b), STDDEV(b), MEDIAN(b), MIN(b), MAX(b) FROM t",
+        "SELECT d, SUM(b), AVG(b), STDDEV(b), MEDIAN(b) FROM t GROUP BY d ORDER BY d",
+        // Non-dense selection: fold chunks index the post-WHERE
+        // selection, not base-table rows.
+        "SELECT SUM(b), STDDEV(b), MEDIAN(b) FROM t WHERE a >= 5 AND b > -1",
+        "SELECT c, SUM(b), AVG(b) FROM t WHERE d < 2 GROUP BY c ORDER BY c",
+    ];
+    for sql in queries {
+        let baseline = db.execute_sql(sql).unwrap();
+        let row_engine = db.execute_sql_row(sql).unwrap();
+        assert_rows_bit_identical(&baseline, &row_engine, sql);
+        for workers in [2, 4, 8] {
+            db.set_parallelism(workers);
+            let par = db.execute_sql(sql).unwrap();
+            assert_rows_bit_identical(&par, &baseline, &format!("{sql} (workers {workers})"));
+            db.set_parallelism(1);
+        }
+    }
 }
 
 // ---- LIMIT/OFFSET and ORDER BY regressions (both engines) ----------------

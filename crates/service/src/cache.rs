@@ -25,6 +25,7 @@ pub struct CacheKey {
 }
 
 impl CacheKey {
+    /// Key a canonical query at exact (bitwise) privacy parameters.
     pub fn new(canonical_sql: String, params: PrivacyParams) -> Self {
         CacheKey {
             canonical_sql,
@@ -33,6 +34,7 @@ impl CacheKey {
         }
     }
 
+    /// The canonicalized SQL this key was built from.
     pub fn canonical_sql(&self) -> &str {
         &self.canonical_sql
     }
@@ -41,10 +43,12 @@ impl CacheKey {
 /// A released noisy answer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedAnswer {
+    /// Output column names.
     pub columns: Vec<String>,
     /// Noised rows only — label cells pass through, aggregate cells carry
     /// Laplace noise. No true values.
     pub rows: Vec<Vec<Value>>,
+    /// Number of joins in the query (telemetry passthrough).
     pub join_count: usize,
 }
 
@@ -79,6 +83,7 @@ impl AnswerCache {
         }
     }
 
+    /// Look up a released answer, refreshing its LRU position.
     pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
         let mut inner = self.inner.lock().expect("cache poisoned");
         inner.clock += 1;
@@ -89,6 +94,8 @@ impl AnswerCache {
         })
     }
 
+    /// Store a released answer, evicting least-recently-used entries
+    /// beyond capacity.
     pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
         if self.capacity == 0 {
             return;
@@ -114,10 +121,12 @@ impl AnswerCache {
         }
     }
 
+    /// Number of cached answers.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("cache poisoned").map.len()
     }
 
+    /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

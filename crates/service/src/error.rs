@@ -13,16 +13,22 @@ pub enum ServiceError {
     /// analyst's composed privacy cost past their cap. Nothing was
     /// computed and nothing was charged.
     BudgetRejected {
+        /// Who asked.
         analyst: String,
+        /// The `ε` cost the request would have composed in.
         requested_epsilon: f64,
+        /// The `ε` headroom actually left under the analyst's cap.
         remaining_epsilon: f64,
     },
     /// The ledger runs strong composition, which requires homogeneous
     /// per-query parameters; this request's `(ε, δ)` differs from the
     /// analyst's pinned values.
     HeterogeneousParams {
+        /// Who asked.
         analyst: String,
+        /// The `(ε, δ)` the analyst's earlier queries pinned.
         pinned: (f64, f64),
+        /// The differing `(ε, δ)` of this request.
         requested: (f64, f64),
     },
     /// The underlying FLEX pipeline failed (parse error, unsupported

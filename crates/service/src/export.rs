@@ -17,6 +17,7 @@ use std::time::Duration;
 /// One analyst's budget burn, read from the ledger at report time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalystBudget {
+    /// Analyst name (ledger account key).
     pub analyst: String,
     /// Settled `ε` spend (refunded charges excluded).
     pub epsilon_spent: f64,
@@ -31,12 +32,14 @@ pub struct AnalystBudget {
 /// A complete metrics report: telemetry plus per-analyst budget gauges.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
+    /// The service-wide telemetry snapshot.
     pub telemetry: TelemetrySnapshot,
     /// Sorted by analyst name for stable exposition order.
     pub analysts: Vec<AnalystBudget>,
 }
 
 impl MetricsReport {
+    /// Snapshot the ledger's per-analyst budgets next to `telemetry`.
     pub fn new(telemetry: TelemetrySnapshot, ledger: &BudgetLedger) -> Self {
         // `analysts()` returns sorted names; keep that order.
         let analysts = ledger

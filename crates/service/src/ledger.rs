@@ -19,12 +19,16 @@ use std::sync::Mutex;
 /// external partner).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LedgerPolicy {
+    /// Per-analyst total `ε` cap.
     pub epsilon_cap: f64,
+    /// Per-analyst total `δ` cap.
     pub delta_cap: f64,
+    /// How per-query costs compose toward the caps.
     pub composition: Composition,
 }
 
 impl LedgerPolicy {
+    /// Sequential-composition policy: costs add up linearly.
     pub fn sequential(epsilon_cap: f64, delta_cap: f64) -> Self {
         LedgerPolicy {
             epsilon_cap,
@@ -61,8 +65,11 @@ impl LedgerPolicy {
 /// Charges cannot be constructed outside the ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Charge {
+    /// The charged analyst.
     pub analyst: String,
+    /// The admitted query's `ε`.
     pub epsilon: f64,
+    /// The admitted query's `δ`.
     pub delta: f64,
     id: u64,
 }

@@ -45,6 +45,7 @@
 // The vendored `json!` macro is a token-tree muncher; the full metrics
 // document in `export` expands past the default recursion limit.
 #![recursion_limit = "1024"]
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod error;

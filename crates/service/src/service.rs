@@ -90,9 +90,11 @@ impl Default for ServiceConfig {
 /// A differentially-private answer released to an analyst.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceResponse {
+    /// The analyst the answer was released to.
     pub analyst: String,
     /// Canonical SQL the answer was computed for (also the cache key).
     pub canonical_sql: String,
+    /// Output column names.
     pub columns: Vec<String>,
     /// Noised rows (label cells pass through, aggregates carry noise).
     pub rows: Vec<Vec<Value>>,
@@ -104,6 +106,8 @@ pub struct ServiceResponse {
     /// `(ε, δ)` charged to the analyst for this answer; `(0, 0)` on a
     /// cache hit or a coalesced request.
     pub charged: (f64, f64),
+    /// Number of joins in the executed query (drives the elastic-
+    /// sensitivity join analysis; surfaced for telemetry).
     pub join_count: usize,
     /// Pipeline stage timings; `None` for cache hits (nothing ran).
     pub timings: Option<FlexTimings>,
@@ -134,6 +138,8 @@ pub struct Ticket {
 }
 
 impl Ticket {
+    /// Block until the request resolves (released answer, rejection, or
+    /// [`ServiceError::Shutdown`] if the service dropped first).
     pub fn wait(self) -> ServiceResult<ServiceResponse> {
         self.rx.recv().unwrap_or(Err(ServiceError::Shutdown))
     }
@@ -277,6 +283,10 @@ fn db_fingerprint(db: &Database) -> u64 {
 }
 
 impl QueryService {
+    /// Start a service over `db`: spawns the worker pool, pins the
+    /// database fingerprint (schema, content, options, fold grid) that
+    /// keys deterministic noise, and applies `config.parallelism` to the
+    /// database's execution tuning.
     pub fn new(db: Arc<Database>, config: ServiceConfig) -> Self {
         let noise_key = match config.seed {
             Some(seed) => prf::expand_key(seed),
@@ -289,9 +299,18 @@ impl QueryService {
             [db_fingerprint(&db), 0x6f70_7473],
             format!("{:?}", config.flex).as_bytes(),
         );
+        // The reduction-grid chunk size (fold_rows) fixes the shape of
+        // the engine's aggregate fold tree, so it shifts result bit
+        // patterns the same way a data change would — bind it. It must
+        // not be retuned after the service is constructed.
+        let db_fingerprint = prf::siphash24(
+            [db_fingerprint, 0x666f_6c64], // "fold"
+            &(db.morsel_rows() as u64).to_le_bytes(),
+        );
         // The execution-parallelism knob lives on the (shared) database:
         // it is pure tuning, never part of the noise-seed fingerprint,
-        // because results are byte-identical at every worker count.
+        // because results are byte-identical at every worker count —
+        // aggregates fold on the fixed reduction grid bound above.
         db.set_parallelism(config.parallelism);
         let telemetry = Telemetry::default();
         telemetry.record_parallelism(db.parallelism() as u64);
@@ -328,6 +347,25 @@ impl QueryService {
     ///
     /// Cache hits and rejections resolve the ticket without touching the
     /// worker pool; everything else is answered asynchronously.
+    ///
+    /// ```
+    /// use flex_core::PrivacyParams;
+    /// use flex_db::{Database, DataType, Schema, Value};
+    /// use flex_service::{QueryService, ServiceConfig};
+    /// use std::sync::Arc;
+    ///
+    /// let mut db = Database::new();
+    /// db.create_table("t", Schema::of(&[("x", DataType::Int)])).unwrap();
+    /// db.insert("t", (0..50).map(|i| vec![Value::Int(i)]).collect()).unwrap();
+    /// let svc = QueryService::new(Arc::new(db), ServiceConfig::default());
+    ///
+    /// let params = PrivacyParams::new(1.0, 1e-8).unwrap();
+    /// let ticket = svc.submit("alice", "SELECT COUNT(*) FROM t", params);
+    /// let answer = ticket.wait().unwrap();      // blocks for the release
+    /// assert_eq!(answer.columns, vec!["count"]);
+    /// assert!(answer.scalar().is_some());       // noised count, not 50
+    /// assert_eq!(svc.ledger().spent("alice").0, 1.0);
+    /// ```
     pub fn submit(&self, analyst: &str, sql: &str, params: PrivacyParams) -> Ticket {
         let shared = &self.shared;
         shared.telemetry.record_submitted();
@@ -845,6 +883,32 @@ mod tests {
 
         // And identical databases agree (the fingerprint is stable).
         assert_eq!(fp0, db_fingerprint(&base()));
+    }
+
+    #[test]
+    fn fingerprint_binds_fold_grid_but_not_parallelism() {
+        let mk = |fold: Option<usize>, workers: usize| {
+            let mut db = Database::new();
+            db.create_table("t", Schema::of(&[("a", DataType::Int)]))
+                .unwrap();
+            db.insert("t", vec![vec![Value::Int(1)]]).unwrap();
+            if let Some(f) = fold {
+                db.set_morsel_rows(f);
+            }
+            let cfg = ServiceConfig {
+                seed: Some(1),
+                parallelism: workers,
+                ..ServiceConfig::default()
+            };
+            QueryService::new(Arc::new(db), cfg)
+        };
+        let base = mk(None, 1).shared.db_fingerprint;
+        // Worker count is pure tuning — results are byte-identical at
+        // every setting — so the release fingerprint must not move.
+        assert_eq!(base, mk(None, 8).shared.db_fingerprint, "parallelism");
+        // The reduction grid shapes aggregate bit patterns, so it must
+        // re-key the noise like a data change would.
+        assert_ne!(base, mk(Some(64), 1).shared.db_fingerprint, "fold grid");
     }
 
     #[test]

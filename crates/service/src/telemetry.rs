@@ -49,15 +49,18 @@ fn bucket_of(ns: u64) -> usize {
 }
 
 impl LatencyHistogram {
+    /// Record one latency sample.
     pub fn record(&self, latency: Duration) {
         self.record_ns(latency.as_nanos().min(u64::MAX as u128) as u64);
     }
 
+    /// Record one latency sample given directly in nanoseconds.
     pub fn record_ns(&self, ns: u64) {
         self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Point-in-time copy of the bucket counts and sum.
     pub fn snapshot(&self) -> LatencySnapshot {
         LatencySnapshot {
             counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
@@ -120,14 +123,17 @@ impl LatencySnapshot {
         Duration::from_nanos(u64::MAX)
     }
 
+    /// Median latency (upper bound of the median's bucket).
     pub fn p50(&self) -> Duration {
         self.quantile(0.50)
     }
 
+    /// 95th-percentile latency.
     pub fn p95(&self) -> Duration {
         self.quantile(0.95)
     }
 
+    /// 99th-percentile latency.
     pub fn p99(&self) -> Duration {
         self.quantile(0.99)
     }
@@ -180,15 +186,20 @@ impl QueryTrace {
 /// service's clients as `ServiceResponse::canonical_sql`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlowQuery {
+    /// The analyst who ran it.
     pub analyst: String,
+    /// The canonical query text.
     pub canonical_sql: String,
     /// `(ε, δ)` charged for the release.
     pub epsilon: f64,
+    /// The `δ` component of the charge.
     pub delta: f64,
+    /// The query's full pipeline trace.
     pub trace: QueryTrace,
 }
 
 impl SlowQuery {
+    /// Total pipeline time (the slow-log's sort key).
     pub fn total(&self) -> Duration {
         self.trace.total()
     }
@@ -226,26 +237,32 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
+    /// Count one submitted request.
     pub fn record_submitted(&self) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one noisy-answer cache hit.
     pub fn record_cache_hit(&self) {
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one cache miss (the request went on to compute).
     pub fn record_cache_miss(&self) {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one request coalesced onto an identical in-flight compute.
     pub fn record_coalesced(&self) {
         self.coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one budget-admission rejection.
     pub fn record_rejected(&self) {
         self.rejected_budget.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one pipeline failure (parse/analysis/execution error).
     pub fn record_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
@@ -292,6 +309,8 @@ impl Telemetry {
 
     /// Offer one released query to the slow-query log, which keeps the
     /// [`SLOW_LOG_CAPACITY`] slowest entries sorted slowest-first.
+    /// Offer one released query to the bounded slow-query log (kept only
+    /// if it ranks among the slowest).
     pub fn record_release(&self, entry: SlowQuery) {
         let Ok(mut log) = self.slow.lock() else {
             return;
@@ -303,6 +322,8 @@ impl Telemetry {
         }
     }
 
+    /// Count one job entering the worker queue, maintaining the
+    /// high-water mark.
     pub fn record_enqueued(&self) {
         // `fetch_max` keeps the high-water mark correct under concurrent
         // submitters — a read-then-store would let two racing enqueues
@@ -311,6 +332,7 @@ impl Telemetry {
         self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
     }
 
+    /// Count one job leaving the worker queue.
     pub fn record_dequeued(&self) {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
@@ -409,9 +431,11 @@ pub struct TelemetrySnapshot {
     /// completed query); `latency.p50()/p95()/p99()` are the quantiles
     /// dashboards want.
     pub latency: LatencySnapshot,
-    /// Per-stage latency histograms.
+    /// Per-stage latency histogram: elastic-sensitivity analysis.
     pub analysis_latency: LatencySnapshot,
+    /// Per-stage latency histogram: true-query execution.
     pub execution_latency: LatencySnapshot,
+    /// Per-stage latency histogram: smoothing + noise.
     pub perturbation_latency: LatencySnapshot,
     /// The slowest completed queries (canonical SQL, privacy cost and
     /// trace only — never data), slowest first, at most
