@@ -1,0 +1,80 @@
+//! Service hot-path contention benchmark: cache-hit and admission
+//! storms at 1→16 threads over the sharded service (see
+//! `flex_bench::contention`).
+//!
+//! ```text
+//! contention_bench [--quick] [--out PATH]
+//! ```
+//!
+//! Writes `BENCH_contention.json` with the runner's capture conditions
+//! and per-scenario ops/sec + scaling maps. Scaling floors (4-thread
+//! and 16-thread cache-hit scaling) are enforced only on runners with
+//! enough cores; under-provisioned machines report without failing, the
+//! same policy as the parallel-execution scaling gates in `exec_bench`.
+
+use flex_bench::contention;
+use serde_json::{json, Value};
+use std::process::ExitCode;
+
+struct Args {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_contention.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown arg: {other}");
+                eprintln!("usage: contention_bench [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let available_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let report = contention::run(args.quick);
+
+    let doc = json!({
+        "benchmark": "contention_bench",
+        "config": {
+            "quick": args.quick,
+            "thread_steps": contention::THREAD_STEPS.to_vec(),
+            "available_cores": available_cores,
+            "os": std::env::consts::OS,
+            "arch": std::env::consts::ARCH,
+        },
+        "gates": report.gates.iter().map(|g| json!({
+            "scenario": g.name,
+            "threads": g.threads,
+            "scaling": (g.scaling * 100.0).round() / 100.0,
+            "floor": g.floor,
+            "min_cores": g.min_cores,
+            "enforced": available_cores >= g.min_cores,
+        })).collect::<Vec<Value>>(),
+        "scenarios": Value::Object(report.scenarios.clone()),
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("render report");
+    std::fs::write(&args.out, rendered + "\n").expect("write report");
+    eprintln!("wrote {}", args.out);
+
+    if contention::enforce_gates(&report.gates, available_cores) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

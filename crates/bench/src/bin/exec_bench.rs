@@ -3,10 +3,12 @@
 //! Measures median ns/op for the scenarios the serving path depends on —
 //! the vectorized scan/aggregate shapes, the vectorized hash-join
 //! pipeline (`join-count`, `join-filter-sum`), their morsel-parallel
-//! variants (`parallel-*`, at [`PARALLEL_WORKERS`] workers), and the
-//! service's noisy-answer cache hit — and writes `BENCH_exec.json`.
-//! Three gates can fail the run (which is what the CI `bench` job
-//! enforces on PRs):
+//! variants (`parallel-*`, at [`PARALLEL_WORKERS`] workers), the
+//! service's noisy-answer cache hit, and the hot-path contention storms
+//! (`contention-*`, from `flex_bench::contention`: multi-threaded
+//! cache-hit and ledger-admission throughput over the sharded service)
+//! — and writes `BENCH_exec.json`. Four gates can fail the run (which
+//! is what the CI `bench` job enforces on PRs):
 //!
 //! 1. vectorized scenarios must keep a ≥ `SPEEDUP_FLOOR`× speedup over
 //!    the row interpreter measured in the same run (machine-independent);
@@ -15,7 +17,10 @@
 //!    only when the runner actually has ≥ `PARALLEL_WORKERS` cores
 //!    (`std::thread::available_parallelism`), so core-starved runners
 //!    report the scaling without flaking the gate;
-//! 3. against the committed `BENCH_exec.baseline.json`, no scenario may
+//! 3. the contention cache-hit storm must scale ≥ 2× at 4 threads on
+//!    ≥ 4-core runners and ≥ 4× at 16 threads on ≥ 8-core runners,
+//!    with the same report-only fallback on core-starved runners;
+//! 4. against the committed `BENCH_exec.baseline.json`, no scenario may
 //!    regress more than `REGRESSION_FACTOR`× after normalizing by the
 //!    run's median current/baseline ratio — the "machine factor" that
 //!    cancels out CI runners being faster or slower than the machine
@@ -376,6 +381,13 @@ fn main() {
         svc.metrics().to_json()
     };
 
+    // Hot-path contention storms (sharded cache hits, striped ledger
+    // admission at 1→16 threads). Their 1-thread medians join the
+    // baseline regression gate below; their scaling floors are enforced
+    // at the end alongside the parallel-execution scaling gate.
+    let contention_report = flex_bench::contention::run(args.quick);
+    scenarios.extend(contention_report.scenarios.iter().cloned());
+
     let available_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -459,6 +471,12 @@ fn main() {
             "runner has {available_cores} core(s) < {PARALLEL_WORKERS} workers: reporting \
              parallel scaling without enforcing the scaling floors"
         );
+    }
+
+    // Contention scaling floors (cache-hit throughput at 4 and 16
+    // threads), each conditioned on its own core requirement.
+    if flex_bench::contention::enforce_gates(&contention_report.gates, available_cores) {
+        failed = true;
     }
 
     // Regression gate against the committed baseline, if present. Runner

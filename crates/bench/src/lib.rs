@@ -5,6 +5,7 @@
 //! index). Each binary prints the paper's reported values next to the
 //! measured ones and writes machine-readable JSON under `results/`.
 
+pub mod contention;
 pub mod report;
 pub mod setup;
 

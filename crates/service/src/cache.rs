@@ -1,4 +1,5 @@
-//! The noisy-answer cache.
+//! The sharded, memory-bounded noisy-answer cache with built-in
+//! single-flight coalescing.
 //!
 //! Keyed on the **canonical AST form** of the query (see
 //! [`flex_sql::canonical`]) plus the privacy parameters, the cache stores
@@ -9,11 +10,48 @@
 //! asking the same question) without budget blowup.
 //!
 //! Only the *noised* rows are stored; true rows never enter the cache.
+//!
+//! ## Sharding
+//!
+//! The map is split into [`AnswerCache::shards`] lock-striped shards
+//! keyed by the hash of the [`CacheKey`], so concurrent lookups of
+//! different queries take different locks and cache-hit throughput
+//! scales with cores instead of serializing on one global mutex. Shard
+//! placement is pure scheduling — it is derived from the key hash, never
+//! fed into noise seeds or result bytes, so the shard count is *not*
+//! part of the release fingerprint and can be retuned freely.
+//!
+//! ## Single-flight
+//!
+//! Each shard slot (private `Slot`) is either a `Ready` released answer
+//! or a `Pending` in-flight computation carrying the requesters
+//! waiting to piggyback on the release. Folding the pending map into the
+//! cache shards makes the miss → coalesce → admit decision **one** shard
+//! lock acquisition (see [`AnswerCache::admit`]) instead of the two
+//! global ones (pending lock + cache lock) it used to take.
+//!
+//! ## Memory bound
+//!
+//! Ready entries are byte-accounted (key text + serialized-result size,
+//! see [`CachedAnswer::cost_bytes`]) against a per-shard slice of the
+//! configured budget, with per-shard LRU eviction beyond either the
+//! entry-count or the byte bound. `len`/`bytes`/`evictions` are served
+//! from per-shard atomics, so metrics reads never contend with the
+//! query path.
 
+use crate::sync::lock;
 use flex_core::PrivacyParams;
 use flex_db::Value;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default shard count for [`AnswerCache::new`]: enough stripes that a
+/// multi-core cache-hit storm rarely collides on one lock, few enough
+/// that per-shard capacity slices stay useful.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
 
 /// Cache key: canonical SQL text plus exact privacy parameters (the same
 /// query at a different ε is a different release).
@@ -38,6 +76,11 @@ impl CacheKey {
     pub fn canonical_sql(&self) -> &str {
         &self.canonical_sql
     }
+
+    /// Bytes this key contributes to an entry's cache cost.
+    fn cost_bytes(&self) -> usize {
+        self.canonical_sql.len() + 2 * std::mem::size_of::<u64>()
+    }
 }
 
 /// A released noisy answer.
@@ -52,83 +95,340 @@ pub struct CachedAnswer {
     pub join_count: usize,
 }
 
-#[derive(Debug)]
-struct Entry {
-    answer: CachedAnswer,
-    /// Logical timestamp of last use, for eviction.
-    last_used: u64,
+impl CachedAnswer {
+    /// Approximate serialized size of this answer in bytes, used for the
+    /// cache's memory accounting: column names, per-row vector overhead
+    /// and per-value payload (strings by length, scalars by width).
+    pub fn cost_bytes(&self) -> usize {
+        let header = std::mem::size_of::<Self>();
+        let columns: usize = self
+            .columns
+            .iter()
+            .map(|c| c.len() + std::mem::size_of::<String>())
+            .sum();
+        let rows: usize = self
+            .rows
+            .iter()
+            .map(|row| {
+                std::mem::size_of::<Vec<Value>>()
+                    + row
+                        .iter()
+                        .map(|v| {
+                            std::mem::size_of::<Value>()
+                                + match v {
+                                    Value::Str(s) => s.len(),
+                                    _ => 0,
+                                }
+                        })
+                        .sum::<usize>()
+            })
+            .sum();
+        header + columns + rows
+    }
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    map: HashMap<CacheKey, Entry>,
+/// Outcome of [`AnswerCache::admit`] — the one-lock miss/coalesce/admit
+/// decision for a submitted query.
+#[derive(Debug)]
+pub enum Admission<C, E> {
+    /// The key holds a released answer: serve it, zero budget.
+    Hit(Arc<CachedAnswer>),
+    /// An identical computation is in flight; the caller's waiter was
+    /// parked on it and will be handed the release (or its failure).
+    Coalesced,
+    /// No entry and nothing in flight: the admission closure succeeded
+    /// (carrying e.g. a budget [`crate::ledger::Charge`]) and a pending
+    /// slot now marks this computation as in flight. The caller **must**
+    /// eventually call [`AnswerCache::complete`] or [`AnswerCache::fail`]
+    /// for the key, or later identical requests will coalesce forever.
+    Admitted(C),
+    /// No entry and nothing in flight, but the admission closure refused
+    /// (e.g. budget rejection); nothing was recorded.
+    Rejected(E),
+}
+
+#[derive(Debug)]
+struct Entry {
+    answer: Arc<CachedAnswer>,
+    /// Logical timestamp of last use, for eviction.
+    last_used: u64,
+    /// Byte cost (key + answer) charged against the shard's budget.
+    cost: usize,
+}
+
+/// One shard slot: a released answer, or an in-flight computation with
+/// its piggybacking waiters. Pending slots are never evicted and never
+/// byte-accounted — they are bounded by in-flight computations, not by
+/// cache capacity.
+#[derive(Debug)]
+enum Slot<W> {
+    Ready(Entry),
+    Pending(Vec<W>),
+}
+
+#[derive(Debug)]
+struct ShardInner<W> {
+    map: HashMap<CacheKey, Slot<W>>,
     clock: u64,
 }
 
-/// A bounded, thread-safe LRU map from canonical queries to released
-/// answers.
+impl<W> Default for ShardInner<W> {
+    fn default() -> Self {
+        ShardInner {
+            map: HashMap::new(),
+            clock: 0,
+        }
+    }
+}
+
 #[derive(Debug)]
-pub struct AnswerCache {
-    inner: Mutex<Inner>,
+struct Shard<W> {
+    inner: Mutex<ShardInner<W>>,
+    /// Ready entries in this shard (mirrors the map, readable lock-free).
+    len: AtomicUsize,
+    /// Byte cost of the ready entries (readable lock-free).
+    bytes: AtomicUsize,
+    /// Entries evicted by the count or byte bound since construction.
+    evictions: AtomicU64,
+}
+
+impl<W> Default for Shard<W> {
+    fn default() -> Self {
+        Shard {
+            inner: Mutex::new(ShardInner::default()),
+            len: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A sharded, bounded, thread-safe LRU map from canonical queries to
+/// released answers, with built-in single-flight coalescing (see the
+/// module docs). `W` is the caller's waiter handle type parked on
+/// in-flight computations; plain cache users can leave it at `()`.
+#[derive(Debug)]
+pub struct AnswerCache<W = ()> {
+    shards: Box<[Shard<W>]>,
+    /// Max ready entries per shard (total capacity / shard count).
+    capacity_per_shard: usize,
+    /// Max ready-entry bytes per shard (0 = unbounded).
+    max_bytes_per_shard: usize,
+    /// Total entry capacity; 0 disables ready storage entirely (pending
+    /// slots still coalesce).
     capacity: usize,
 }
 
-impl AnswerCache {
-    /// A cache holding at most `capacity` answers (`capacity = 0` is
-    /// legal and caches nothing).
+impl<W> AnswerCache<W> {
+    /// A cache holding at most `capacity` answers across
+    /// [`DEFAULT_CACHE_SHARDS`] shards with no byte bound
+    /// (`capacity = 0` is legal and caches nothing).
     pub fn new(capacity: usize) -> Self {
+        Self::with_config(capacity, 0, DEFAULT_CACHE_SHARDS)
+    }
+
+    /// A cache with explicit entry capacity, total byte budget
+    /// (`max_bytes = 0` = unbounded) and shard count (clamped to ≥ 1).
+    /// Both bounds are split evenly across shards.
+    pub fn with_config(capacity: usize, max_bytes: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
         AnswerCache {
-            inner: Mutex::new(Inner::default()),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            capacity_per_shard: capacity.div_ceil(shards).max(usize::from(capacity > 0)),
+            max_bytes_per_shard: max_bytes.div_ceil(shards),
             capacity,
         }
     }
 
-    /// Look up a released answer, refreshing its LRU position.
-    pub fn get(&self, key: &CacheKey) -> Option<CachedAnswer> {
-        let mut inner = self.inner.lock().expect("cache poisoned");
-        inner.clock += 1;
-        let clock = inner.clock;
-        inner.map.get_mut(key).map(|e| {
-            e.last_used = clock;
-            e.answer.clone()
-        })
+    /// Number of lock stripes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Store a released answer, evicting least-recently-used entries
-    /// beyond capacity.
-    pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
-        if self.capacity == 0 {
-            return;
-        }
-        let mut inner = self.inner.lock().expect("cache poisoned");
+    fn shard_for(&self, key: &CacheKey) -> &Shard<W> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up a released answer, refreshing its LRU position. In-flight
+    /// (pending) keys read as a miss — use [`AnswerCache::admit`] to
+    /// coalesce onto them.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<CachedAnswer>> {
+        let shard = self.shard_for(key);
+        let mut inner = lock(&shard.inner);
         inner.clock += 1;
         let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(Slot::Ready(e)) => {
+                e.last_used = clock;
+                Some(Arc::clone(&e.answer))
+            }
+            _ => None,
+        }
+    }
+
+    /// The one-lock hot-path decision for a submitted query: under a
+    /// single shard-lock acquisition, either serve a released answer
+    /// ([`Admission::Hit`]), park `waiter` on an identical in-flight
+    /// computation ([`Admission::Coalesced`]), or run `admit` (typically
+    /// budget admission control) and — on success — mark the computation
+    /// in flight ([`Admission::Admitted`]).
+    ///
+    /// `admit` runs while the shard lock is held, so its success and the
+    /// pending-slot insertion are atomic: concurrent identical
+    /// submissions can never each charge budget for the same release.
+    /// Lock ordering: the cache shard lock is taken **before** any
+    /// ledger shard lock, never the reverse.
+    pub fn admit<C, E>(
+        &self,
+        key: &CacheKey,
+        waiter: impl FnOnce() -> W,
+        admit: impl FnOnce() -> Result<C, E>,
+    ) -> Admission<C, E> {
+        let shard = self.shard_for(key);
+        let mut inner = lock(&shard.inner);
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(Slot::Ready(e)) => {
+                e.last_used = clock;
+                Admission::Hit(Arc::clone(&e.answer))
+            }
+            Some(Slot::Pending(waiters)) => {
+                waiters.push(waiter());
+                Admission::Coalesced
+            }
+            None => match admit() {
+                Ok(c) => {
+                    inner.map.insert(key.clone(), Slot::Pending(Vec::new()));
+                    Admission::Admitted(c)
+                }
+                Err(e) => Admission::Rejected(e),
+            },
+        }
+    }
+
+    /// Publish a released answer for `key` and return the waiters parked
+    /// on its pending slot, all under one shard-lock acquisition — at no
+    /// instant can a concurrent [`AnswerCache::admit`] see the key in
+    /// neither state, so exactly one computation is ever paid for.
+    /// Evicts least-recently-used ready entries beyond the shard's entry
+    /// or byte budget (the freshly published answer is the most recent,
+    /// so it survives unless it alone exceeds the shard byte budget).
+    pub fn complete(&self, key: CacheKey, answer: CachedAnswer) -> Vec<W> {
+        let shard = self.shard_for(&key);
+        let mut inner = lock(&shard.inner);
+        inner.clock += 1;
+        let clock = inner.clock;
+        let waiters = match inner.map.remove(&key) {
+            Some(Slot::Pending(waiters)) => waiters,
+            Some(Slot::Ready(e)) => {
+                // Re-publishing over a ready entry (e.g. plain `insert`):
+                // retire the old entry's accounting first.
+                shard.len.fetch_sub(1, Ordering::Relaxed);
+                shard.bytes.fetch_sub(e.cost, Ordering::Relaxed);
+                Vec::new()
+            }
+            None => Vec::new(),
+        };
+        if self.capacity == 0 {
+            return waiters;
+        }
+        let cost = key.cost_bytes() + answer.cost_bytes();
         inner.map.insert(
             key,
-            Entry {
-                answer,
+            Slot::Ready(Entry {
+                answer: Arc::new(answer),
                 last_used: clock,
-            },
+                cost,
+            }),
         );
-        while inner.map.len() > self.capacity {
+        shard.len.fetch_add(1, Ordering::Relaxed);
+        shard.bytes.fetch_add(cost, Ordering::Relaxed);
+        self.evict_over_budget(shard, &mut inner);
+        waiters
+    }
+
+    /// Drop the pending slot for a failed computation and return its
+    /// waiters (so they can be handed the failure). A no-op for ready or
+    /// absent keys.
+    pub fn fail(&self, key: &CacheKey) -> Vec<W> {
+        let shard = self.shard_for(key);
+        let mut inner = lock(&shard.inner);
+        match inner.map.get(key) {
+            Some(Slot::Pending(_)) => match inner.map.remove(key) {
+                Some(Slot::Pending(waiters)) => waiters,
+                _ => unreachable!("slot changed under the shard lock"),
+            },
+            _ => Vec::new(),
+        }
+    }
+
+    /// Evict LRU ready entries until the shard is within both budgets.
+    fn evict_over_budget(&self, shard: &Shard<W>, inner: &mut ShardInner<W>) {
+        loop {
+            let len = shard.len.load(Ordering::Relaxed);
+            let bytes = shard.bytes.load(Ordering::Relaxed);
+            let over_count = len > self.capacity_per_shard;
+            let over_bytes = self.max_bytes_per_shard > 0 && bytes > self.max_bytes_per_shard;
+            if !(over_count || over_bytes) || len == 0 {
+                return;
+            }
             let oldest = inner
                 .map
                 .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("nonempty map has a minimum");
-            inner.map.remove(&oldest);
+                .filter_map(|(k, slot)| match slot {
+                    Slot::Ready(e) => Some((e.last_used, k.clone())),
+                    Slot::Pending(_) => None,
+                })
+                .min_by_key(|(used, _)| *used)
+                .map(|(_, k)| k)
+                .expect("len > 0 implies a ready entry exists");
+            if let Some(Slot::Ready(e)) = inner.map.remove(&oldest) {
+                shard.len.fetch_sub(1, Ordering::Relaxed);
+                shard.bytes.fetch_sub(e.cost, Ordering::Relaxed);
+                shard.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
-    /// Number of cached answers.
+    /// Store a released answer directly (no single-flight bookkeeping),
+    /// evicting least-recently-used entries beyond the shard budgets.
+    pub fn insert(&self, key: CacheKey, answer: CachedAnswer) {
+        let _ = self.complete(key, answer);
+    }
+
+    /// Number of cached (ready) answers, from per-shard atomics — never
+    /// takes a shard lock, so metrics reads cannot contend with the
+    /// query path.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache poisoned").map.len()
+        self.shards
+            .iter()
+            .map(|s| s.len.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Byte cost of all cached answers, from per-shard atomics (lock-free).
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.bytes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Entries evicted by the count or byte bound since construction,
+    /// from per-shard atomics (lock-free).
+    pub fn evictions(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -148,21 +448,26 @@ mod tests {
         }
     }
 
+    /// A single-shard cache so LRU order is observable deterministically.
+    fn striped(capacity: usize) -> AnswerCache {
+        AnswerCache::with_config(capacity, 0, 1)
+    }
+
     #[test]
     fn hit_and_miss() {
-        let cache = AnswerCache::new(8);
+        let cache: AnswerCache = AnswerCache::new(8);
         let k1 = CacheKey::new("SELECT 1".into(), params(1.0));
-        assert_eq!(cache.get(&k1), None);
+        assert!(cache.get(&k1).is_none());
         cache.insert(k1.clone(), answer(1));
-        assert_eq!(cache.get(&k1), Some(answer(1)));
+        assert_eq!(*cache.get(&k1).unwrap(), answer(1));
         // Same SQL at a different epsilon is a different release.
         let k2 = CacheKey::new("SELECT 1".into(), params(0.5));
-        assert_eq!(cache.get(&k2), None);
+        assert!(cache.get(&k2).is_none());
     }
 
     #[test]
     fn lru_eviction_prefers_stale_entries() {
-        let cache = AnswerCache::new(2);
+        let cache = striped(2);
         let ka = CacheKey::new("a".into(), params(1.0));
         let kb = CacheKey::new("b".into(), params(1.0));
         let kc = CacheKey::new("c".into(), params(1.0));
@@ -174,14 +479,192 @@ mod tests {
         assert!(cache.get(&ka).is_some());
         assert!(cache.get(&kb).is_none());
         assert!(cache.get(&kc).is_some());
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
-        let cache = AnswerCache::new(0);
+        let cache: AnswerCache = AnswerCache::new(0);
         let k = CacheKey::new("a".into(), params(1.0));
         cache.insert(k.clone(), answer(1));
         assert!(cache.is_empty());
-        assert_eq!(cache.get(&k), None);
+        assert!(cache.get(&k).is_none());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    /// The byte bound evicts by LRU even when the entry count is within
+    /// capacity, and the byte gauge tracks exactly the live entries.
+    #[test]
+    fn byte_bound_evicts_lru() {
+        let a = answer(1);
+        let key_of = |s: &str| CacheKey::new(s.to_string(), params(1.0));
+        let unit = key_of("q0").cost_bytes() + a.cost_bytes();
+        // Room for two entries, not three.
+        let cache = AnswerCache::<()>::with_config(1024, 2 * unit + unit / 2, 1);
+        cache.insert(key_of("q0"), answer(1));
+        cache.insert(key_of("q1"), answer(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.bytes(), 2 * unit);
+        cache.get(&key_of("q0")); // q1 becomes LRU
+        cache.insert(key_of("q2"), answer(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key_of("q0")).is_some());
+        assert!(cache.get(&key_of("q1")).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key_of("q2")).is_some());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.bytes(), 2 * unit);
+    }
+
+    /// admit() resolves hit / coalesce / admit / reject under one lock,
+    /// and complete()/fail() hand back exactly the parked waiters.
+    #[test]
+    fn single_flight_lifecycle() {
+        let cache: AnswerCache<u32> = AnswerCache::new(8);
+        let k = CacheKey::new("q".into(), params(1.0));
+
+        // First requester is admitted (the admit closure runs).
+        match cache.admit(&k, || 1, || Ok::<_, ()>("charge")) {
+            Admission::Admitted(c) => assert_eq!(c, "charge"),
+            other => panic!("expected Admitted, got {other:?}"),
+        }
+        // Identical requests coalesce; the admit closure must NOT run.
+        for w in [2u32, 3] {
+            match cache.admit(
+                &k,
+                || w,
+                || -> Result<&str, ()> { panic!("admission must not run for a coalesced request") },
+            ) {
+                Admission::Coalesced => {}
+                other => panic!("expected Coalesced, got {other:?}"),
+            }
+        }
+        // Completion publishes the answer and returns the two waiters.
+        let waiters = cache.complete(k.clone(), answer(9));
+        assert_eq!(waiters, vec![2, 3]);
+        // Later requests hit.
+        match cache.admit(&k, || 4, || Ok::<_, ()>("unused")) {
+            Admission::Hit(a) => assert_eq!(*a, answer(9)),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failed_flight_releases_waiters_and_clears_slot() {
+        let cache: AnswerCache<u32> = AnswerCache::new(8);
+        let k = CacheKey::new("q".into(), params(1.0));
+        assert!(matches!(
+            cache.admit(&k, || 0, || Ok::<_, ()>(())),
+            Admission::Admitted(())
+        ));
+        assert!(matches!(
+            cache.admit(&k, || 7, || Err::<(), _>("no")),
+            Admission::Coalesced
+        ));
+        assert_eq!(cache.fail(&k), vec![7]);
+        assert!(cache.get(&k).is_none());
+        // The slot is free again: a retry is admitted, not coalesced.
+        assert!(matches!(
+            cache.admit(&k, || 0, || Ok::<_, ()>(())),
+            Admission::Admitted(())
+        ));
+    }
+
+    #[test]
+    fn rejected_admission_records_nothing() {
+        let cache: AnswerCache<u32> = AnswerCache::new(8);
+        let k = CacheKey::new("q".into(), params(1.0));
+        match cache.admit(&k, || 0, || Err::<(), _>("over budget")) {
+            Admission::Rejected(e) => assert_eq!(e, "over budget"),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // Nothing pending: the next request is admitted, not coalesced.
+        assert!(matches!(
+            cache.admit(&k, || 0, || Ok::<_, ()>(())),
+            Admission::Admitted(())
+        ));
+    }
+
+    /// Pending slots survive eviction pressure (they are not ready
+    /// entries) and zero capacity (single-flight still coalesces).
+    #[test]
+    fn pending_slots_are_never_evicted() {
+        let cache: AnswerCache<u32> = AnswerCache::with_config(1, 0, 1);
+        let inflight = CacheKey::new("inflight".into(), params(1.0));
+        assert!(matches!(
+            cache.admit(&inflight, || 0, || Ok::<_, ()>(())),
+            Admission::Admitted(())
+        ));
+        // Churn enough ready entries through the 1-entry shard to evict
+        // everything evictable.
+        for i in 0..8 {
+            cache.insert(CacheKey::new(format!("q{i}"), params(1.0)), answer(i));
+        }
+        assert_eq!(cache.len(), 1, "capacity 1 shard holds one ready entry");
+        // The pending slot is still there: identical requests coalesce.
+        assert!(matches!(
+            cache.admit(&inflight, || 9, || Ok::<_, ()>(())),
+            Admission::Coalesced
+        ));
+        assert_eq!(cache.complete(inflight, answer(0)), vec![9]);
+
+        // And with capacity 0: no ready storage, but coalescing works.
+        let disabled: AnswerCache<u32> = AnswerCache::with_config(0, 0, 4);
+        let k = CacheKey::new("q".into(), params(1.0));
+        assert!(matches!(
+            disabled.admit(&k, || 0, || Ok::<_, ()>(())),
+            Admission::Admitted(())
+        ));
+        assert!(matches!(
+            disabled.admit(&k, || 5, || Ok::<_, ()>(())),
+            Admission::Coalesced
+        ));
+        assert_eq!(disabled.complete(k.clone(), answer(1)), vec![5]);
+        assert!(disabled.get(&k).is_none(), "nothing stored at capacity 0");
+    }
+
+    /// Shard count is invisible to cache semantics: the same operation
+    /// sequence yields the same hits/misses at 1, 4 and 16 shards when
+    /// capacity is not the binding constraint.
+    #[test]
+    fn shard_count_does_not_change_observable_state() {
+        for shards in [1, 4, 16] {
+            // Capacity is split per shard, so give every shard headroom
+            // for the worst-case placement of all 32 keys.
+            let cache = AnswerCache::<()>::with_config(512 * shards, 0, shards);
+            assert_eq!(cache.shards(), shards);
+            let keys: Vec<CacheKey> = (0..32)
+                .map(|i| CacheKey::new(format!("SELECT {i}"), params(1.0)))
+                .collect();
+            for (i, k) in keys.iter().enumerate() {
+                cache.insert(k.clone(), answer(i as i64));
+            }
+            for (i, k) in keys.iter().enumerate() {
+                assert_eq!(
+                    *cache.get(k).unwrap(),
+                    answer(i as i64),
+                    "shards = {shards}"
+                );
+            }
+            assert_eq!(cache.len(), 32, "shards = {shards}");
+            assert_eq!(cache.evictions(), 0, "shards = {shards}");
+        }
+    }
+
+    /// The lock-free gauges agree with the locked map contents.
+    #[test]
+    fn gauges_track_contents() {
+        let cache: AnswerCache = AnswerCache::new(64);
+        assert_eq!((cache.len(), cache.bytes(), cache.evictions()), (0, 0, 0));
+        let k = CacheKey::new("SELECT COUNT(*) FROM t".into(), params(0.5));
+        let a = answer(42);
+        let expect = k.cost_bytes() + a.cost_bytes();
+        cache.insert(k.clone(), a);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), expect);
+        // Re-inserting the same key replaces, not duplicates, the cost.
+        cache.insert(k, answer(43));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), expect);
     }
 }

@@ -120,6 +120,16 @@ impl MetricsReport {
             "Vectorized queries whose ORDER BY/LIMIT tail ran as top-K.",
             t.topk_hits,
         );
+        counter(
+            "flex_cache_evictions_total",
+            "Answers evicted from the noisy-answer cache by its bounds.",
+            t.cache_evictions,
+        );
+        counter(
+            "flex_queue_steals_total",
+            "Jobs a worker took from a sibling's queue (work stealing).",
+            t.queue_steals,
+        );
 
         // Per-reason fallback breakdown: every variant is exposed, zeros
         // included, so dashboards see a stable label set.
@@ -156,6 +166,16 @@ impl MetricsReport {
             "flex_queue_depth_max",
             "High-water mark of the job queue depth.",
             t.max_queue_depth,
+        );
+        gauge(
+            "flex_cache_bytes",
+            "Bytes held by the noisy-answer cache.",
+            t.cache_bytes,
+        );
+        gauge(
+            "flex_queue_shard_max_depth",
+            "High-water mark of any single per-worker queue's depth.",
+            t.queue_shard_max_depth,
         );
 
         summary(
@@ -248,6 +268,10 @@ impl MetricsReport {
                 "exec_parallelism": t.exec_parallelism,
                 "queue_depth": t.queue_depth,
                 "max_queue_depth": t.max_queue_depth,
+                "cache_bytes": t.cache_bytes,
+                "cache_evictions": t.cache_evictions,
+                "queue_steals": t.queue_steals,
+                "queue_shard_max_depth": t.queue_shard_max_depth,
                 "latency": latency_json(&t.latency),
                 "analysis_latency": latency_json(&t.analysis_latency),
                 "execution_latency": latency_json(&t.execution_latency),
@@ -368,6 +392,8 @@ mod tests {
         t.record_cache_hit();
         t.record_cache_miss();
         t.record_parallelism(4);
+        t.record_cache_stats(2048, 3);
+        t.record_queue_stats(5, 2);
         let mut trace = QueryTrace {
             analysis: Duration::from_micros(250),
             execution: Duration::from_micros(900),
@@ -454,6 +480,10 @@ mod tests {
             "flex_row_fallbacks_total{reason=\"multi_table_join\"} 1",
             "flex_row_fallbacks_total{reason=\"cte\"} 0",
             "flex_exec_parallelism 4",
+            "flex_cache_bytes 2048",
+            "flex_cache_evictions_total 3",
+            "flex_queue_steals_total 5",
+            "flex_queue_shard_max_depth 2",
             "flex_query_latency_seconds{quantile=\"0.99\"}",
             "flex_query_latency_seconds_count 2",
             "flex_analyst_epsilon_spent{analyst=\"alice\"} 0.5",
@@ -481,6 +511,13 @@ mod tests {
 
         let telemetry = parsed.get("telemetry").unwrap();
         assert_eq!(telemetry.get("completed").unwrap().as_i64(), Some(2));
+        assert_eq!(telemetry.get("cache_bytes").unwrap().as_i64(), Some(2048));
+        assert_eq!(telemetry.get("cache_evictions").unwrap().as_i64(), Some(3));
+        assert_eq!(telemetry.get("queue_steals").unwrap().as_i64(), Some(5));
+        assert_eq!(
+            telemetry.get("queue_shard_max_depth").unwrap().as_i64(),
+            Some(2)
+        );
         assert_eq!(
             telemetry
                 .get("fallback_reasons")

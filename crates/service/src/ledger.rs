@@ -9,10 +9,18 @@
 //! cost for homogeneous per-query parameters).
 
 use crate::error::{ServiceError, ServiceResult};
+use crate::sync::lock;
 use flex_core::{Composition, PrivacyBudget};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+
+/// Default shard count for [`BudgetLedger::new`]. Analysts are spread
+/// over the stripes by hash, so with many concurrent analysts the
+/// chance two admissions serialize on one lock is ~1/16.
+pub const DEFAULT_LEDGER_SHARDS: usize = 16;
 
 /// Per-analyst budget policy. Different analysts may run different caps
 /// and composition strategies (e.g. a trusted internal team vs. an
@@ -116,31 +124,63 @@ impl Account {
 
 /// A thread-safe multi-analyst budget ledger.
 ///
-/// All methods take `&self`; interior state is guarded by a single mutex,
-/// which makes admission atomic: concurrent `try_charge` calls can never
-/// jointly overshoot a cap (stress-tested in `tests/`).
+/// All methods take `&self`; accounts are spread over lock-striped
+/// shards keyed by the analyst-id hash, so concurrent admissions for
+/// *different* analysts take different locks and scale with cores,
+/// while every operation on *one* analyst's account still serializes on
+/// its shard — admission stays atomic: concurrent `try_charge` calls
+/// can never jointly overshoot a cap (stress-tested in `tests/`).
+///
+/// Shard placement is pure scheduling: charge ids come from one global
+/// counter, every observable quantity (spend, remaining, query counts,
+/// the analyst list) is independent of the shard count, and nothing
+/// shard-related ever feeds a noise seed.
 #[derive(Debug)]
 pub struct BudgetLedger {
     default_policy: LedgerPolicy,
-    accounts: Mutex<HashMap<String, Account>>,
+    shards: Box<[Mutex<HashMap<String, Account>>]>,
+    /// Global — charge ids stay unique across shards.
     next_charge_id: AtomicU64,
 }
 
 impl BudgetLedger {
-    /// A ledger handing every new analyst `default_policy`.
+    /// A ledger handing every new analyst `default_policy`, striped over
+    /// [`DEFAULT_LEDGER_SHARDS`] shards.
     pub fn new(default_policy: LedgerPolicy) -> Self {
+        Self::with_shards(default_policy, DEFAULT_LEDGER_SHARDS)
+    }
+
+    /// A ledger with an explicit shard count (clamped to ≥ 1). The shard
+    /// count changes only contention, never observable ledger state —
+    /// pinned by the `shard_count_never_changes_observable_state`
+    /// proptest below.
+    pub fn with_shards(default_policy: LedgerPolicy, shards: usize) -> Self {
         BudgetLedger {
             default_policy,
-            accounts: Mutex::new(HashMap::new()),
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             next_charge_id: AtomicU64::new(0),
         }
+    }
+
+    /// Number of lock stripes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Lock the shard owning `analyst`'s account.
+    fn shard(&self, analyst: &str) -> MutexGuard<'_, HashMap<String, Account>> {
+        let mut h = DefaultHasher::new();
+        analyst.hash(&mut h);
+        lock(&self.shards[(h.finish() as usize) % self.shards.len()])
     }
 
     /// Override the policy for one analyst. Fails if the analyst has
     /// already spent budget (retroactive policy edits would un-release
     /// answers that are already out).
     pub fn set_policy(&self, analyst: &str, policy: LedgerPolicy) -> ServiceResult<()> {
-        let mut accounts = self.accounts.lock().expect("ledger poisoned");
+        let mut accounts = self.shard(analyst);
         if let Some(acct) = accounts.get(analyst) {
             if acct.queries > 0 {
                 let (e_now, _) = acct.composed_cost();
@@ -167,7 +207,7 @@ impl BudgetLedger {
                 format!("invalid privacy charge (ε = {epsilon}, δ = {delta})"),
             )));
         }
-        let mut accounts = self.accounts.lock().expect("ledger poisoned");
+        let mut accounts = self.shard(analyst);
         let acct = accounts
             .entry(analyst.to_string())
             .or_insert_with(|| Account::new(self.default_policy));
@@ -245,7 +285,7 @@ impl BudgetLedger {
     /// no-op, so a retry loop (or a hostile caller cloning charges) can
     /// never erase budget that paid for a released answer.
     pub fn refund(&self, charge: &Charge) {
-        let mut accounts = self.accounts.lock().expect("ledger poisoned");
+        let mut accounts = self.shard(&charge.analyst);
         if let Some(acct) = accounts.get_mut(&charge.analyst) {
             if !acct.outstanding.remove(&charge.id) {
                 return;
@@ -268,7 +308,7 @@ impl BudgetLedger {
     /// charge is no longer refundable. Keeps the outstanding-charge set
     /// bounded by queries actually in flight.
     pub fn settle(&self, charge: &Charge) {
-        let mut accounts = self.accounts.lock().expect("ledger poisoned");
+        let mut accounts = self.shard(&charge.analyst);
         if let Some(acct) = accounts.get_mut(&charge.analyst) {
             acct.outstanding.remove(&charge.id);
         }
@@ -277,7 +317,7 @@ impl BudgetLedger {
     /// The analyst's composed `(ε, δ)` spend so far (0 for unknown
     /// analysts).
     pub fn spent(&self, analyst: &str) -> (f64, f64) {
-        let accounts = self.accounts.lock().expect("ledger poisoned");
+        let accounts = self.shard(analyst);
         accounts
             .get(analyst)
             .map(|a| a.composed_cost())
@@ -287,7 +327,7 @@ impl BudgetLedger {
     /// Remaining ε under the analyst's cap (the full default cap for
     /// unknown analysts).
     pub fn remaining_epsilon(&self, analyst: &str) -> f64 {
-        let accounts = self.accounts.lock().expect("ledger poisoned");
+        let accounts = self.shard(analyst);
         match accounts.get(analyst) {
             Some(a) => (a.policy.epsilon_cap - a.composed_cost().0).max(0.0),
             None => self.default_policy.epsilon_cap,
@@ -296,14 +336,18 @@ impl BudgetLedger {
 
     /// Number of admitted (non-refunded) queries for the analyst.
     pub fn queries(&self, analyst: &str) -> u32 {
-        let accounts = self.accounts.lock().expect("ledger poisoned");
+        let accounts = self.shard(analyst);
         accounts.get(analyst).map(|a| a.queries).unwrap_or(0)
     }
 
-    /// All analysts with an account, sorted.
+    /// All analysts with an account, sorted. Takes the shard locks one
+    /// at a time (never two at once), so this read-only sweep cannot
+    /// deadlock against the single-shard write paths.
     pub fn analysts(&self) -> Vec<String> {
-        let accounts = self.accounts.lock().expect("ledger poisoned");
-        let mut names: Vec<String> = accounts.keys().cloned().collect();
+        let mut names: Vec<String> = Vec::new();
+        for shard in self.shards.iter() {
+            names.extend(lock(shard).keys().cloned());
+        }
         names.sort();
         names
     }
@@ -585,6 +629,111 @@ mod tests {
                         );
                         prop_assert!(e <= cap + 1e-9, "spend exceeded the cap");
                     }
+                }
+            }
+        }
+        run();
+    }
+
+    /// Lock striping is pure scheduling: running the *same* random
+    /// charge/refund/settle interleaving over many analysts against
+    /// ledgers striped at 1, 4 and 16 shards must leave every
+    /// observable quantity — spend, remaining ε, admitted-query count,
+    /// the sorted analyst list, and each charge's admit/reject outcome
+    /// and recorded (ε, δ) — bit-identical across shard counts.
+    #[test]
+    fn shard_count_never_changes_observable_state() {
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            fn run(
+                ops in proptest::collection::vec((0u8..4, 0usize..12, 0usize..24), 1..100),
+                strong in proptest::prelude::any::<bool>(),
+            ) {
+                let policy = if strong {
+                    LedgerPolicy::strong(1.0, 1e-4, 1e-6)
+                } else {
+                    LedgerPolicy::sequential(1.0, 1e-4)
+                };
+                let ledgers: Vec<BudgetLedger> = [1usize, 4, 16]
+                    .iter()
+                    .map(|&n| BudgetLedger::with_shards(policy, n))
+                    .collect();
+                prop_assert_eq!(ledgers[0].shards(), 1);
+                prop_assert_eq!(ledgers[2].shards(), 16);
+                let analysts: Vec<String> =
+                    (0..12).map(|i| format!("analyst-{i}")).collect();
+                // Per-ledger charge history, same indices in each.
+                let mut charges: Vec<Vec<Charge>> = vec![Vec::new(); ledgers.len()];
+                for (kind, who, slot) in ops {
+                    let analyst = &analysts[who];
+                    match kind {
+                        0 | 3 => {
+                            let eps = if strong { 0.02 } else { 0.01 + who as f64 * 0.01 };
+                            let results: Vec<_> = ledgers
+                                .iter()
+                                .map(|l| l.try_charge(analyst, eps, 1e-9))
+                                .collect();
+                            // Admission decisions agree across shard counts.
+                            prop_assert_eq!(
+                                results.iter().map(|r| r.is_ok()).collect::<Vec<_>>(),
+                                vec![results[0].is_ok(); ledgers.len()],
+                                "admit/reject diverged across shard counts"
+                            );
+                            let admitted: Vec<Charge> =
+                                results.into_iter().filter_map(|r| r.ok()).collect();
+                            if let Some(first) = admitted.first() {
+                                // Recorded (ε, δ) agree across shard counts.
+                                prop_assert!(
+                                    admitted.iter().all(|c| {
+                                        c.epsilon.to_bits() == first.epsilon.to_bits()
+                                            && c.delta.to_bits() == first.delta.to_bits()
+                                    }),
+                                    "charge params diverged across shard counts"
+                                );
+                                for (i, c) in admitted.into_iter().enumerate() {
+                                    charges[i].push(c);
+                                }
+                            }
+                        }
+                        1 => {
+                            if !charges[0].is_empty() {
+                                let i = slot % charges[0].len();
+                                for (l, ch) in ledgers.iter().zip(&charges) {
+                                    l.refund(&ch[i]);
+                                }
+                            }
+                        }
+                        _ => {
+                            if !charges[0].is_empty() {
+                                let i = slot % charges[0].len();
+                                for (l, ch) in ledgers.iter().zip(&charges) {
+                                    l.settle(&ch[i]);
+                                }
+                            }
+                        }
+                    }
+                    // Observable state is identical after every step.
+                    for a in &analysts {
+                        let spent: Vec<_> = ledgers.iter().map(|l| l.spent(a)).collect();
+                        let remaining: Vec<_> =
+                            ledgers.iter().map(|l| l.remaining_epsilon(a)).collect();
+                        let queries: Vec<_> = ledgers.iter().map(|l| l.queries(a)).collect();
+                        prop_assert!(
+                            spent.iter().all(|s| *s == spent[0])
+                                && remaining.iter().all(|r| r.to_bits() == remaining[0].to_bits())
+                                && queries.iter().all(|q| *q == queries[0]),
+                            "state for {} diverged: spent {:?} remaining {:?} queries {:?}",
+                            a, spent, remaining, queries
+                        );
+                    }
+                    let lists: Vec<_> = ledgers.iter().map(|l| l.analysts()).collect();
+                    prop_assert!(
+                        lists.iter().all(|l| *l == lists[0]),
+                        "analyst lists diverged: {:?}",
+                        lists
+                    );
                 }
             }
         }

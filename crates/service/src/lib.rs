@@ -52,10 +52,12 @@ pub mod error;
 pub mod export;
 pub mod ledger;
 mod prf;
+mod queue;
 pub mod service;
+mod sync;
 pub mod telemetry;
 
-pub use cache::{AnswerCache, CacheKey, CachedAnswer};
+pub use cache::{Admission, AnswerCache, CacheKey, CachedAnswer};
 pub use error::{ServiceError, ServiceResult};
 pub use export::{AnalystBudget, MetricsReport};
 pub use ledger::{BudgetLedger, Charge, LedgerPolicy};

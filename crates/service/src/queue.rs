@@ -1,0 +1,258 @@
+//! Per-worker job queues with work stealing — the service's replacement
+//! for a single `Mutex<Receiver<Job>>` around an mpsc channel.
+//!
+//! With a shared receiver every worker contends on one lock per
+//! dequeue, and a storm of cheap jobs turns the lock into a convoy: the
+//! workers spend more time queueing on the mutex than running jobs.
+//! Here each worker owns a queue; submitters distribute jobs
+//! round-robin (one short per-queue lock), and an idle worker steals
+//! from siblings before sleeping, so the only global serialization left
+//! is a brief gate lock used to park and wake idle workers (the same
+//! Condvar discipline as the morsel cursor in `flex-db`).
+//!
+//! Placement is pure scheduling: which queue a job lands on (and who
+//! steals it) affects timing only, never results — jobs carry their own
+//! deterministic noise seeds.
+
+use crate::sync::lock;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A multi-producer, work-stealing multi-consumer FIFO queue set.
+///
+/// `pop` is keyed by a worker index in `0..queues()`; each worker
+/// prefers its own queue and steals from siblings when empty.
+#[derive(Debug)]
+pub(crate) struct WorkQueue<T> {
+    queues: Box<[Mutex<VecDeque<T>>]>,
+    /// Parking lot for idle workers. Pushers take this lock *briefly*
+    /// before notifying so a wakeup can never slip between a worker's
+    /// empty re-scan and its wait (the classic lost-wakeup race).
+    gate: Mutex<()>,
+    available: Condvar,
+    /// Round-robin placement cursor for pushes.
+    next: AtomicUsize,
+    /// Cleared by [`WorkQueue::close`]; workers drain and exit.
+    open: AtomicBool,
+    /// Jobs taken from a sibling's queue rather than the worker's own.
+    steals: AtomicU64,
+    /// High-water mark of any single queue's depth.
+    max_depth: AtomicU64,
+}
+
+impl<T> WorkQueue<T> {
+    /// A queue set with one queue per worker (clamped to ≥ 1).
+    pub(crate) fn new(workers: usize) -> Self {
+        WorkQueue {
+            queues: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            gate: Mutex::new(()),
+            available: Condvar::new(),
+            next: AtomicUsize::new(0),
+            open: AtomicBool::new(true),
+            steals: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of per-worker queues.
+    #[cfg(test)]
+    pub(crate) fn queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueue a job on the next queue round-robin and wake one idle
+    /// worker. Returns the job back if the queue set is closed.
+    pub(crate) fn push(&self, job: T) -> Result<(), T> {
+        if !self.open.load(Ordering::Acquire) {
+            return Err(job);
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        let depth = {
+            let mut q = lock(&self.queues[i]);
+            q.push_back(job);
+            q.len() as u64
+        };
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        // Gate-locked notify: any worker between its empty re-scan
+        // (under the gate) and `wait` holds the gate, so this lock
+        // acquisition orders the notify after its wait begins.
+        drop(lock(&self.gate));
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue a job for `worker`: own queue first, then steal from
+    /// siblings, then park until work arrives. Returns `None` only when
+    /// the queue set is closed *and* fully drained, so no admitted job
+    /// is ever dropped on shutdown.
+    pub(crate) fn pop(&self, worker: usize) -> Option<T> {
+        loop {
+            if let Some(job) = self.try_pop(worker) {
+                return Some(job);
+            }
+            let gate = lock(&self.gate);
+            // Re-scan under the gate: a push that landed after the
+            // miss above has either pushed already (we find it here)
+            // or is blocked on the gate (its notify will wake us).
+            if let Some(job) = self.try_pop(worker) {
+                return Some(job);
+            }
+            if !self.open.load(Ordering::Acquire) {
+                return None;
+            }
+            let _gate = self
+                .available
+                .wait(gate)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// One non-blocking sweep: own queue, then each sibling in order.
+    fn try_pop(&self, worker: usize) -> Option<T> {
+        let n = self.queues.len();
+        for k in 0..n {
+            let i = (worker + k) % n;
+            if let Some(job) = lock(&self.queues[i]).pop_front() {
+                if k != 0 {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Close the queue set: pending jobs are still drained by `pop`,
+    /// further pushes bounce, and idle workers wake up to exit.
+    pub(crate) fn close(&self) {
+        self.open.store(false, Ordering::Release);
+        drop(lock(&self.gate));
+        self.available.notify_all();
+    }
+
+    /// Jobs taken by work stealing since construction (lock-free read).
+    pub(crate) fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of any single per-worker queue (lock-free read).
+    pub(crate) fn max_depth(&self) -> u64 {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn single_queue_is_fifo() {
+        let q: WorkQueue<u32> = WorkQueue::new(1);
+        for v in [1, 2, 3] {
+            q.push(v).unwrap();
+        }
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), Some(3));
+        assert_eq!(q.max_depth(), 3);
+        assert_eq!(q.steals(), 0);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_siblings() {
+        let q: WorkQueue<u32> = WorkQueue::new(2);
+        assert_eq!(q.queues(), 2);
+        // Round-robin placement: 10 lands on queue 0, 20 on queue 1.
+        q.push(10).unwrap();
+        q.push(20).unwrap();
+        assert_eq!(q.pop(0), Some(10), "own queue first");
+        assert_eq!(q.pop(0), Some(20), "then steal from the sibling");
+        assert_eq!(q.steals(), 1);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q: Arc<WorkQueue<u32>> = Arc::new(WorkQueue::new(4));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop(2))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        q.push(99).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(99));
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q: Arc<WorkQueue<u32>> = Arc::new(WorkQueue::new(2));
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3), "pushes bounce after close");
+        // Already-admitted jobs are still drained, by any worker.
+        let mut drained = vec![q.pop(1).unwrap(), q.pop(1).unwrap()];
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2]);
+        assert_eq!(q.pop(1), None);
+        // Parked workers wake up and exit on close.
+        let open: Arc<WorkQueue<u32>> = Arc::new(WorkQueue::new(2));
+        let workers: Vec<_> = (0..2)
+            .map(|w| {
+                let q = Arc::clone(&open);
+                std::thread::spawn(move || q.pop(w))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        open.close();
+        for w in workers {
+            assert_eq!(w.join().unwrap(), None);
+        }
+    }
+
+    /// Hammer the queue from many producers and consumers: every pushed
+    /// job is popped exactly once.
+    #[test]
+    fn concurrent_push_pop_loses_nothing() {
+        let q: Arc<WorkQueue<u64>> = Arc::new(WorkQueue::new(4));
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 500;
+        let consumers: Vec<_> = (0..4)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop(w) {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push(p * PER_PRODUCER + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expect, "every job popped exactly once");
+    }
+}

@@ -15,20 +15,20 @@
 //!
 //! Responses carry only noised rows; true values never leave the worker.
 
-use crate::cache::{AnswerCache, CacheKey, CachedAnswer};
+use crate::cache::{Admission, AnswerCache, CacheKey, CachedAnswer, DEFAULT_CACHE_SHARDS};
 use crate::error::{ServiceError, ServiceResult};
 use crate::export::MetricsReport;
-use crate::ledger::{BudgetLedger, Charge, LedgerPolicy};
+use crate::ledger::{BudgetLedger, Charge, LedgerPolicy, DEFAULT_LEDGER_SHARDS};
 use crate::prf;
+use crate::queue::WorkQueue;
 use crate::telemetry::{QueryTrace, SlowQuery, Telemetry, TelemetrySnapshot};
 use flex_core::{run_query_with, Composition, FlexOptions, FlexTimings, PrivacyParams};
 use flex_db::{Database, Value};
 use flex_sql::{canonicalize, parse_query, print_query, Query};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
-use std::sync::mpsc::{channel, Receiver, SendError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -48,8 +48,23 @@ pub struct ServiceConfig {
     pub parallelism: usize,
     /// Default per-analyst `(ε, δ)` caps and composition strategy.
     pub policy: LedgerPolicy,
-    /// Maximum cached answers; 0 disables the cache entirely.
+    /// Maximum cached answers; 0 disables the cache entirely (identical
+    /// in-flight queries still coalesce onto one computation).
     pub cache_capacity: usize,
+    /// Memory bound for the noisy-answer cache, in bytes (key text plus
+    /// serialized-result size per entry); 0 means no byte bound. Split
+    /// evenly across the cache shards; least-recently-used answers are
+    /// evicted past either bound. Evicted answers recompute to the same
+    /// bytes — noise seeds do not depend on cache state.
+    pub cache_max_bytes: usize,
+    /// Lock stripes for the noisy-answer cache (clamped to ≥ 1). Pure
+    /// contention tuning: placement is by cache-key hash and never feeds
+    /// noise seeds, so answers are byte-identical at every setting.
+    pub cache_shards: usize,
+    /// Lock stripes for the budget ledger's analyst accounts (clamped to
+    /// ≥ 1). Pure contention tuning, like [`ServiceConfig::cache_shards`]:
+    /// observable ledger state is identical at every setting.
+    pub ledger_shards: usize,
     /// Options forwarded to the FLEX mechanism.
     pub flex: FlexOptions,
     /// Optional secret base seed for noise generation.
@@ -81,6 +96,9 @@ impl Default for ServiceConfig {
                 composition: Composition::Sequential,
             },
             cache_capacity: 1024,
+            cache_max_bytes: 64 << 20,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            ledger_shards: DEFAULT_LEDGER_SHARDS,
             flex: FlexOptions::new(),
             seed: None,
         }
@@ -164,10 +182,20 @@ struct Job {
     enqueued_at: Instant,
 }
 
+/// A parked requester: who asked, and where to send the release.
+type Waiter = (String, Respond);
+
 struct Shared {
     db: Arc<Database>,
     ledger: BudgetLedger,
-    cache: AnswerCache,
+    /// Sharded noisy-answer cache with built-in single-flight: each
+    /// shard slot is a released answer or an in-flight computation with
+    /// its piggybacking waiters, so the miss → coalesce → admit decision
+    /// is one shard-lock acquisition (see [`AnswerCache::admit`]).
+    cache: AnswerCache<Waiter>,
+    /// Per-worker job queues with work stealing (replaces the old
+    /// `Mutex<Receiver<Job>>` convoy).
+    queue: WorkQueue<Job>,
     telemetry: Telemetry,
     flex: FlexOptions,
     /// Secret 128-bit key for the per-query noise-seed PRF. Derived from
@@ -180,26 +208,11 @@ struct Shared {
     /// re-applying the old stream (which an analyst could difference
     /// away).
     db_fingerprint: u64,
-    /// Single-flight map: canonical queries currently being computed, and
-    /// the requesters waiting to piggyback on the release. Guarantees
-    /// concurrent identical submissions charge **one** budget for **one**
-    /// computation instead of racing past the cache.
-    pending: Mutex<HashMap<CacheKey, Vec<(String, Respond)>>>,
-}
-
-/// Remove and return the piggybacking waiters for a completed key.
-fn take_waiters(shared: &Shared, key: &CacheKey) -> Vec<(String, Respond)> {
-    shared
-        .pending
-        .lock()
-        .map(|mut p| p.remove(key).unwrap_or_default())
-        .unwrap_or_default()
 }
 
 /// A concurrent multi-analyst DP query service over one database.
 pub struct QueryService {
     shared: Arc<Shared>,
-    sender: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -314,33 +327,31 @@ impl QueryService {
         db.set_parallelism(config.parallelism);
         let telemetry = Telemetry::default();
         telemetry.record_parallelism(db.parallelism() as u64);
+        let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             db,
-            ledger: BudgetLedger::new(config.policy),
-            cache: AnswerCache::new(config.cache_capacity),
+            ledger: BudgetLedger::with_shards(config.policy, config.ledger_shards),
+            cache: AnswerCache::with_config(
+                config.cache_capacity,
+                config.cache_max_bytes,
+                config.cache_shards,
+            ),
+            queue: WorkQueue::new(workers),
             telemetry,
             flex: config.flex.clone(),
             noise_key,
             db_fingerprint,
-            pending: Mutex::new(HashMap::new()),
         });
-        let (tx, rx) = channel::<Job>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.workers.max(1))
+        let workers = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("flex-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn service worker")
             })
             .collect();
-        QueryService {
-            shared,
-            sender: Some(tx),
-            workers,
-        }
+        QueryService { shared, workers }
     }
 
     /// Submit a query for `analyst`, returning a [`Ticket`] immediately.
@@ -389,20 +400,29 @@ impl QueryService {
         let key = CacheKey::new(canonical_sql.clone(), params);
 
         // Single-flight section: cache lookup, coalescing, and admission
-        // are decided under the pending-map lock so concurrent identical
-        // submissions can never each charge budget for the same release.
+        // are decided under ONE cache shard-lock acquisition (the ledger
+        // charge runs inside it — lock order: cache shard, then ledger
+        // shard), so concurrent identical submissions can never each
+        // charge budget for the same release.
         let admission_started = Instant::now();
-        let charge = {
-            let mut pending = shared.pending.lock().expect("pending map poisoned");
-
+        let decision = shared.cache.admit(
+            &key,
+            || (analyst.to_string(), tx.clone()),
+            || {
+                shared
+                    .ledger
+                    .try_charge(analyst, params.epsilon, params.delta)
+            },
+        );
+        let charge = match decision {
             // Serving an already-released answer is post-processing: free.
-            if let Some(hit) = shared.cache.get(&key) {
+            Admission::Hit(hit) => {
                 shared.telemetry.record_cache_hit();
                 let _ = tx.send(Ok(ServiceResponse {
                     analyst: analyst.to_string(),
                     canonical_sql,
-                    columns: hit.columns,
-                    rows: hit.rows,
+                    columns: hit.columns.clone(),
+                    rows: hit.rows.clone(),
                     from_cache: true,
                     charged: (0.0, 0.0),
                     join_count: hit.join_count,
@@ -411,32 +431,26 @@ impl QueryService {
                 }));
                 return ticket;
             }
-
-            // An identical query is already in flight: piggyback on its
-            // release instead of paying for a duplicate computation.
-            // Counted as coalesced only — not as a miss — so misses stay
-            // exactly "requests that went to admission control".
-            if let Some(waiters) = pending.get_mut(&key) {
+            // An identical query is already in flight: this request was
+            // parked to piggyback on its release instead of paying for a
+            // duplicate computation. Counted as coalesced only — not as
+            // a miss — so misses stay exactly "requests that went to
+            // admission control".
+            Admission::Coalesced => {
                 shared.telemetry.record_coalesced();
-                waiters.push((analyst.to_string(), tx));
                 return ticket;
             }
-            shared.telemetry.record_cache_miss();
-
-            // Admission control: charge before any computation.
-            match shared
-                .ledger
-                .try_charge(analyst, params.epsilon, params.delta)
-            {
-                Ok(c) => {
-                    pending.insert(key.clone(), Vec::new());
-                    c
-                }
-                Err(e) => {
-                    shared.telemetry.record_rejected();
-                    let _ = tx.send(Err(e));
-                    return ticket;
-                }
+            // Admission control charged before any computation; the key
+            // is now marked in flight.
+            Admission::Admitted(c) => {
+                shared.telemetry.record_cache_miss();
+                c
+            }
+            Admission::Rejected(e) => {
+                shared.telemetry.record_cache_miss();
+                shared.telemetry.record_rejected();
+                let _ = tx.send(Err(e));
+                return ticket;
             }
         };
 
@@ -453,13 +467,8 @@ impl QueryService {
             enqueued_at: Instant::now(),
         };
         shared.telemetry.record_enqueued();
-        match &self.sender {
-            Some(sender) => {
-                if let Err(SendError(job)) = sender.send(job) {
-                    abort_job(shared, job);
-                }
-            }
-            None => abort_job(shared, job),
+        if let Err(job) = shared.queue.push(job) {
+            abort_job(shared, job);
         }
         ticket
     }
@@ -480,6 +489,10 @@ impl QueryService {
     }
 
     /// Point-in-time telemetry.
+    ///
+    /// Never contends with admission: the cache and queue figures below
+    /// are read from per-shard atomics, and the parallelism gauge from
+    /// an atomic on the database — no hot-path lock is taken.
     pub fn telemetry(&self) -> TelemetrySnapshot {
         // Re-read the execution-parallelism gauge from the shared
         // database at snapshot time: the knob is an atomic on the
@@ -489,6 +502,16 @@ impl QueryService {
         self.shared
             .telemetry
             .record_parallelism(self.shared.db.parallelism() as u64);
+        // Same discipline for the cache and work-queue gauges: they live
+        // as per-shard atomics on the cache/queue themselves and are
+        // reconciled into the snapshot here, lock-free.
+        self.shared.telemetry.record_cache_stats(
+            self.shared.cache.bytes() as u64,
+            self.shared.cache.evictions(),
+        );
+        self.shared
+            .telemetry
+            .record_queue_stats(self.shared.queue.steals(), self.shared.queue.max_depth());
         self.shared.telemetry.snapshot()
     }
 
@@ -500,9 +523,14 @@ impl QueryService {
         MetricsReport::new(self.telemetry(), &self.shared.ledger)
     }
 
-    /// Number of answers currently cached.
+    /// Number of answers currently cached (lock-free: per-shard atomics).
     pub fn cached_answers(&self) -> usize {
         self.shared.cache.len()
+    }
+
+    /// Bytes held by the noisy-answer cache (lock-free read).
+    pub fn cached_bytes(&self) -> usize {
+        self.shared.cache.bytes()
     }
 
     /// Drain the queue and stop all workers, returning final telemetry.
@@ -511,11 +539,20 @@ impl QueryService {
         self.shared
             .telemetry
             .record_parallelism(self.shared.db.parallelism() as u64);
+        self.shared.telemetry.record_cache_stats(
+            self.shared.cache.bytes() as u64,
+            self.shared.cache.evictions(),
+        );
+        self.shared
+            .telemetry
+            .record_queue_stats(self.shared.queue.steals(), self.shared.queue.max_depth());
         self.shared.telemetry.snapshot()
     }
 
     fn stop_workers(&mut self) {
-        self.sender.take();
+        // Close, don't clear: workers drain already-admitted jobs (whose
+        // budgets are charged) before exiting.
+        self.shared.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -528,28 +565,22 @@ impl Drop for QueryService {
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
-    loop {
-        // Hold the lock only while receiving so workers drain in parallel.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
-        };
-        let Ok(job) = job else {
-            return; // all senders dropped: shutdown
-        };
+fn worker_loop(shared: &Shared, worker: usize) {
+    // Own queue first, steal from siblings when idle; `None` only after
+    // close + full drain, so admitted (charged) jobs always run.
+    while let Some(job) = shared.queue.pop(worker) {
         shared.telemetry.record_dequeued();
         run_job(shared, job);
     }
 }
 
-/// An admitted job that can no longer reach a worker (channel closed):
+/// An admitted job that can no longer reach a worker (queue closed):
 /// refund the charge, release any piggybacked waiters, and tell everyone.
 fn abort_job(shared: &Shared, job: Job) {
     shared.telemetry.record_dequeued();
     shared.telemetry.record_failed();
     shared.ledger.refund(&job.charge);
-    for (_, waiter) in take_waiters(shared, &job.key) {
+    for (_, waiter) in shared.cache.fail(&job.key) {
         let _ = waiter.send(Err(ServiceError::Shutdown));
     }
     let _ = job.respond.send(Err(ServiceError::Shutdown));
@@ -592,10 +623,11 @@ fn run_job(shared: &Shared, job: Job) {
                 rows: result.rows.clone(),
                 join_count: result.join_count,
             };
-            // Insert into the cache *before* draining the pending entry:
-            // at every instant a concurrent submit sees the key in at
-            // least one of the two, so exactly one computation is paid.
-            shared.cache.insert(job.key.clone(), answer);
+            // Publish the answer and collect the piggybacked waiters in
+            // one shard-lock acquisition: at every instant a concurrent
+            // submit sees the key as either pending or released, so
+            // exactly one computation is paid.
+            let waiters = shared.cache.complete(job.key.clone(), answer);
             // One structured trace per release: the front-door spans
             // measured by `submit`, the queue wait, the three FLEX stage
             // timings, and the execution engine's own routing record
@@ -620,7 +652,7 @@ fn run_job(shared: &Shared, job: Job) {
                 delta: job.charge.delta,
                 trace,
             });
-            for (analyst, waiter) in take_waiters(shared, &job.key) {
+            for (analyst, waiter) in waiters {
                 let _ = waiter.send(Ok(ServiceResponse {
                     analyst,
                     canonical_sql: job.key.canonical_sql().to_string(),
@@ -653,7 +685,7 @@ fn run_job(shared: &Shared, job: Job) {
             shared.ledger.refund(&job.charge);
             shared.telemetry.record_failed();
             let err = ServiceError::Flex(e);
-            for (_, waiter) in take_waiters(shared, &job.key) {
+            for (_, waiter) in shared.cache.fail(&job.key) {
                 let _ = waiter.send(Err(err.clone()));
             }
             let _ = job.respond.send(Err(err));
@@ -664,7 +696,7 @@ fn run_job(shared: &Shared, job: Job) {
             let err = ServiceError::Flex(flex_core::FlexError::Db(
                 "query worker panicked while computing the release".to_string(),
             ));
-            for (_, waiter) in take_waiters(shared, &job.key) {
+            for (_, waiter) in shared.cache.fail(&job.key) {
                 let _ = waiter.send(Err(err.clone()));
             }
             let _ = job.respond.send(Err(err));
@@ -1206,5 +1238,118 @@ mod tests {
         assert_eq!(snap.submitted, 1);
         assert_eq!(snap.completed, 1);
         assert_eq!(snap.queue_depth, 0);
+    }
+
+    /// Seed binding is unaffected by eviction: an answer evicted under
+    /// cache pressure recomputes — and recharges — but releases exactly
+    /// the same bytes, because the noise seed is a function of (key,
+    /// query, ε, δ, data), never of cache state.
+    #[test]
+    fn evicted_answers_recompute_to_identical_bytes() {
+        let cfg = ServiceConfig {
+            seed: Some(0x5EED),
+            cache_capacity: 1,
+            cache_shards: 1, // one shard so capacity 1 really means 1
+            ..ServiceConfig::default()
+        };
+        let svc = service(cfg);
+        let p = params(0.5);
+        let first = svc.query("a", "SELECT COUNT(*) FROM trips", p).unwrap();
+        // Evict it by releasing a different answer through the 1-entry
+        // shard.
+        svc.query("a", "SELECT COUNT(*) FROM trips WHERE city_id = 1", p)
+            .unwrap();
+        let t = svc.telemetry();
+        assert_eq!(t.cache_evictions, 1, "snapshot: {t}");
+        let again = svc.query("a", "SELECT COUNT(*) FROM trips", p).unwrap();
+        assert!(!again.from_cache, "the entry was evicted");
+        assert_eq!(again.charged, (0.5, 1e-8), "recomputation is recharged");
+        assert_eq!(
+            again.rows, first.rows,
+            "recomputed release is bit-identical"
+        );
+    }
+
+    /// The tentpole determinism contract: cache/ledger shard counts are
+    /// pure scheduling. Same explicit seed, same queries, shard counts
+    /// 1/4/16 — released bytes and ledger state must be identical.
+    #[test]
+    fn shard_counts_do_not_change_noise_results_or_ledger_state() {
+        let p = params(1.0);
+        let queries = [
+            "SELECT COUNT(*) FROM trips",
+            "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id",
+            "SELECT COUNT(*) FROM trips WHERE city_id = 3",
+        ];
+        let run = |shards: usize| {
+            let cfg = ServiceConfig {
+                seed: Some(0xCAFE),
+                cache_shards: shards,
+                ledger_shards: shards,
+                ..ServiceConfig::default()
+            };
+            let svc = service(cfg);
+            let rows: Vec<_> = queries
+                .iter()
+                .map(|sql| svc.query("alice", sql, p).unwrap().rows)
+                .collect();
+            let spent = svc.ledger().spent("alice");
+            (rows, spent)
+        };
+        let baseline = run(1);
+        for shards in [4, 16] {
+            assert_eq!(run(shards), baseline, "shards = {shards}");
+        }
+    }
+
+    /// The shard/byte knobs reach the cache and ledger.
+    #[test]
+    fn shard_config_reaches_components() {
+        let cfg = ServiceConfig {
+            cache_shards: 3,
+            ledger_shards: 5,
+            ..ServiceConfig::default()
+        };
+        let svc = service(cfg);
+        assert_eq!(svc.shared.cache.shards(), 3);
+        assert_eq!(svc.shared.ledger.shards(), 5);
+        // Clamped to ≥ 1.
+        let svc0 = service(ServiceConfig {
+            cache_shards: 0,
+            ledger_shards: 0,
+            ..ServiceConfig::default()
+        });
+        assert_eq!(svc0.shared.cache.shards(), 1);
+        assert_eq!(svc0.shared.ledger.shards(), 1);
+    }
+
+    /// The new cache/queue gauges flow into telemetry snapshots without
+    /// touching hot-path locks.
+    #[test]
+    fn cache_and_queue_gauges_reach_telemetry() {
+        let svc = service(ServiceConfig::default());
+        svc.query("a", "SELECT COUNT(*) FROM trips", params(0.5))
+            .unwrap();
+        assert_eq!(svc.cached_answers(), 1);
+        assert!(svc.cached_bytes() > 0);
+        let t = svc.telemetry();
+        assert_eq!(t.cache_bytes, svc.cached_bytes() as u64, "snapshot: {t}");
+        assert_eq!(t.cache_evictions, 0);
+        assert!(
+            t.queue_shard_max_depth >= 1,
+            "one job crossed the queue: {t}"
+        );
+        // The byte-bound knob evicts: a 1-byte budget cannot hold any
+        // released answer.
+        let tiny = service(ServiceConfig {
+            cache_max_bytes: 1,
+            ..ServiceConfig::default()
+        });
+        tiny.query("a", "SELECT COUNT(*) FROM trips", params(0.5))
+            .unwrap();
+        assert_eq!(tiny.cached_answers(), 0, "over-budget entry evicted");
+        let t = tiny.telemetry();
+        assert_eq!(t.cache_evictions, 1, "snapshot: {t}");
+        assert_eq!(t.cache_bytes, 0);
     }
 }

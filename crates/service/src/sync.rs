@@ -1,0 +1,41 @@
+//! Poison-recovering lock helpers for the service hot path.
+//!
+//! Every mutex on the serving path (ledger shards, cache shards, worker
+//! queues) is locked through [`lock`] instead of `.lock().expect(…)`.
+//! A `PoisonError` only means *some* thread panicked while holding the
+//! guard; the critical sections in this crate perform no unwinding
+//! operations between state mutations (plain field stores, `HashMap`
+//! inserts/removes on pre-validated keys), so the guarded data is still
+//! structurally sound and recovery via `into_inner` is safe. Propagating
+//! the poison instead would turn one panicking worker into a permanent
+//! denial of service: every subsequent request would cascade-panic on
+//! the same lock.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock `m`, recovering the guard from a poisoned mutex instead of
+/// panicking (see the module docs for why recovery is sound here).
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A panic while holding the lock must not wedge later lockers.
+    #[test]
+    fn poisoned_mutex_recovers() {
+        let m = Mutex::new(7u32);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7, "state survives recovery");
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 8);
+    }
+}

@@ -226,6 +226,10 @@ pub struct Telemetry {
     exec_parallelism: AtomicU64,
     queue_depth: AtomicU64,
     max_queue_depth: AtomicU64,
+    cache_bytes: AtomicU64,
+    cache_evictions: AtomicU64,
+    queue_steals: AtomicU64,
+    queue_shard_max_depth: AtomicU64,
     analysis_ns: AtomicU64,
     execution_ns: AtomicU64,
     perturbation_ns: AtomicU64,
@@ -337,6 +341,24 @@ impl Telemetry {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Reconcile the noisy-answer cache's byte gauge and eviction
+    /// counter into telemetry. The live values are per-shard atomics on
+    /// the cache itself; the service re-records them at snapshot time,
+    /// so reading metrics never touches a cache shard lock.
+    pub fn record_cache_stats(&self, bytes: u64, evictions: u64) {
+        self.cache_bytes.store(bytes, Ordering::Relaxed);
+        self.cache_evictions.store(evictions, Ordering::Relaxed);
+    }
+
+    /// Reconcile the work queue's steal counter and per-shard depth
+    /// high-water mark into telemetry (same snapshot-time discipline as
+    /// [`Telemetry::record_cache_stats`]).
+    pub fn record_queue_stats(&self, steals: u64, shard_max_depth: u64) {
+        self.queue_steals.store(steals, Ordering::Relaxed);
+        self.queue_shard_max_depth
+            .store(shard_max_depth, Ordering::Relaxed);
+    }
+
     /// A consistent-enough point-in-time copy of all counters,
     /// histograms and the slow-query log.
     pub fn snapshot(&self) -> TelemetrySnapshot {
@@ -360,6 +382,10 @@ impl Telemetry {
             exec_parallelism: self.exec_parallelism.load(Ordering::Relaxed).max(1),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            cache_bytes: self.cache_bytes.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            queue_steals: self.queue_steals.load(Ordering::Relaxed),
+            queue_shard_max_depth: self.queue_shard_max_depth.load(Ordering::Relaxed),
             analysis_time: Duration::from_nanos(self.analysis_ns.load(Ordering::Relaxed)),
             execution_time: Duration::from_nanos(self.execution_ns.load(Ordering::Relaxed)),
             perturbation_time: Duration::from_nanos(self.perturbation_ns.load(Ordering::Relaxed)),
@@ -421,6 +447,20 @@ pub struct TelemetrySnapshot {
     pub queue_depth: u64,
     /// High-water mark of `queue_depth`.
     pub max_queue_depth: u64,
+    /// Bytes held by the noisy-answer cache (key text + serialized
+    /// result per entry). A gauge, reconciled from the cache's per-shard
+    /// atomics at snapshot time.
+    pub cache_bytes: u64,
+    /// Answers evicted from the cache by its entry or byte bound.
+    /// Evicted answers recompute to identical bytes — eviction never
+    /// moves noise seeds.
+    pub cache_evictions: u64,
+    /// Jobs a worker took from a sibling's queue instead of its own
+    /// (work stealing keeps cores busy under skewed placement).
+    pub queue_steals: u64,
+    /// High-water mark of any single per-worker queue's depth (the
+    /// global `max_queue_depth` tracks the sum across queues).
+    pub queue_shard_max_depth: u64,
     /// Total time in elastic-sensitivity analysis across queries.
     pub analysis_time: Duration,
     /// Total time executing true queries.
@@ -501,6 +541,16 @@ impl std::fmt::Display for TelemetrySnapshot {
             f,
             "  queue depth      {:>8}  (max {})",
             self.queue_depth, self.max_queue_depth
+        )?;
+        writeln!(
+            f,
+            "  cache bytes      {:>8}  ({} evictions)",
+            self.cache_bytes, self.cache_evictions
+        )?;
+        writeln!(
+            f,
+            "  queue steals     {:>8}  (max shard depth {})",
+            self.queue_steals, self.queue_shard_max_depth
         )?;
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
         writeln!(
@@ -786,6 +836,27 @@ mod tests {
                 .all(|e| e.total() > Duration::from_micros(10)),
             "fast queries were evicted"
         );
+    }
+
+    /// The cache/queue reconciliation gauges are stores, not adds:
+    /// re-recording reflects the latest reading, and the display carries
+    /// them.
+    #[test]
+    fn cache_and_queue_stats_are_gauges() {
+        let t = Telemetry::default();
+        t.record_cache_stats(4096, 2);
+        t.record_queue_stats(7, 3);
+        t.record_cache_stats(1024, 5);
+        let s = t.snapshot();
+        assert_eq!(s.cache_bytes, 1024);
+        assert_eq!(s.cache_evictions, 5);
+        assert_eq!(s.queue_steals, 7);
+        assert_eq!(s.queue_shard_max_depth, 3);
+        let text = s.to_string();
+        assert!(text.contains("cache bytes"), "snapshot: {text}");
+        assert!(text.contains("(5 evictions)"), "snapshot: {text}");
+        assert!(text.contains("queue steals"), "snapshot: {text}");
+        assert!(text.contains("max shard depth 3"), "snapshot: {text}");
     }
 
     #[test]
