@@ -69,6 +69,17 @@ const TOPK_SPEEDUP_FLOOR: f64 = 10.0;
 /// structural but bounded, so the floor sits below the generic 3x.
 const SORT_SPEEDUP_FLOOR: f64 = 2.5;
 
+/// Floor for `three-way-join-count`. A left-deep tree runs two columnar
+/// hash joins back to back while the row interpreter materializes and
+/// re-probes row vectors twice; the acceptance bar for the plan-IR
+/// executor is a 5x win over the row engine.
+const THREE_WAY_JOIN_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Floor for `union-distinct`. Both engines pay the same hash-dedup on
+/// the concatenated arms; the vectorized win is the columnar arm scans
+/// and typed dedup keys, structural but smaller than a full scan win.
+const UNION_SPEEDUP_FLOOR: f64 = 2.0;
+
 /// Morsel workers for the parallel scenarios.
 const PARALLEL_WORKERS: usize = 4;
 
@@ -180,6 +191,30 @@ fn main() {
              JOIN drivers d ON t.driver_id = d.id \
              WHERE d.status = 'active' GROUP BY d.city_id",
             Some(SPEEDUP_FLOOR),
+        ),
+        // Plan-IR scenarios: a left-deep three-table equijoin tree, a
+        // derived table feeding a columnar aggregate, and a UNION
+        // deduplicated by the vectorized DISTINCT machinery.
+        (
+            "three-way-join-count",
+            "SELECT COUNT(*) FROM trips t \
+             JOIN drivers d ON t.driver_id = d.id \
+             JOIN riders r ON t.rider_id = r.id \
+             WHERE d.status = 'active'",
+            Some(THREE_WAY_JOIN_SPEEDUP_FLOOR),
+        ),
+        (
+            "derived-table-agg",
+            "SELECT s.city_id, SUM(s.fare) FROM \
+             (SELECT city_id, fare FROM trips WHERE fare > 20) s \
+             GROUP BY s.city_id",
+            Some(SPEEDUP_FLOOR),
+        ),
+        (
+            "union-distinct",
+            "SELECT city_id FROM trips WHERE fare > 30 \
+             UNION SELECT city_id FROM trips WHERE status = 'completed'",
+            Some(UNION_SPEEDUP_FLOOR),
         ),
         (
             "order-by-limit-topk",

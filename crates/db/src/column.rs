@@ -23,7 +23,8 @@ use std::cmp::Ordering;
 
 /// Sentinel row index meaning "no source row" in a gather index vector:
 /// [`Column::gather`] fills such slots with NULL. Used by the vectorized
-/// join pipeline for the NULL-padded side of LEFT JOIN rows.
+/// join pipeline for the NULL-padded side of outer-join rows — probe-side
+/// pads for LEFT/FULL, matched-bit build-side pads for RIGHT/FULL.
 pub const GATHER_NULL: u32 = u32::MAX;
 
 /// A bitmap marking NULL slots of a column (1 bit per row, set = NULL).

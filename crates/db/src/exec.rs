@@ -9,12 +9,13 @@
 //! # Engine routing
 //!
 //! [`execute`] is the single entry point. It first offers the query to the
-//! vectorized engine ([`crate::vexec`]), which accepts single-table
-//! SELECT/WHERE/GROUP BY blocks and two-table INNER/LEFT equi-joins
-//! (run as a columnar hash join with predicate pushdown and late
-//! materialization — see [`crate::plan`]), and declines (returns `None`)
-//! everything else — CTEs, set operations, RIGHT/FULL/CROSS and non-equi
-//! joins, >2-table join trees, derived tables, table-less selects.
+//! vectorized engine ([`crate::vexec`]), an operator-at-a-time executor
+//! over the physical-plan IR of [`crate::plan`]: single-table blocks,
+//! derived tables in FROM, left-deep join trees of up to eight leaves
+//! (INNER/LEFT/RIGHT/FULL/CROSS, equi and non-equi), and UNION /
+//! UNION ALL. It declines (returns `None`) the residual shapes — CTEs,
+//! INTERSECT/EXCEPT, table-less selects, >8-leaf trees, statically
+//! unanalyzable derived join leaves, unresolvable names.
 //! Declined queries run on the row interpreter below;
 //! [`routes_vectorized`] exposes the decision for telemetry. The two
 //! engines share the expression compiler (`Exec::compile_scalar`,
@@ -32,7 +33,7 @@ use crate::aggregate::{AggFunc, AggSpec};
 use crate::database::Database;
 use crate::error::{DbError, Result};
 use crate::expr::{CastTarget, CompiledExpr, ScalarFunc};
-use crate::plan::{ColMeta, Relation, ResultSet, RouteDecision};
+use crate::plan::{ColMeta, JoinOrder, Relation, ResultSet, RouteDecision};
 use crate::table::Row;
 use crate::value::{RowKey, Value, ValueKey};
 use flex_sql::{
@@ -72,6 +73,10 @@ pub struct ExecTrace {
     pub rows_scanned: u64,
     /// Rows in the result set (0 when execution erred).
     pub rows_emitted: u64,
+    /// Join order the vectorized tree executor chose — pure scheduling
+    /// that never affects result bytes (empty on the row interpreter
+    /// and for joinless queries).
+    pub join_order: JoinOrder,
 }
 
 impl Default for ExecTrace {
@@ -83,6 +88,7 @@ impl Default for ExecTrace {
             workers: 1,
             rows_scanned: 0,
             rows_emitted: 0,
+            join_order: JoinOrder::default(),
         }
     }
 }
@@ -109,6 +115,7 @@ pub fn execute_traced(db: &Database, q: &Query) -> (ExecTrace, Result<ResultSet>
                 workers: stats.workers,
                 rows_scanned: stats.rows_scanned,
                 rows_emitted: 0,
+                join_order: stats.join_order,
             },
             result,
         ),

@@ -15,13 +15,14 @@
 //! predicates.
 //!
 //! Queries run on one of **two engines** behind [`Database::execute`]:
-//! single-table SELECT/WHERE/GROUP BY blocks and two-table INNER/LEFT
-//! equi-joins go to the vectorized columnar engine ([`vexec`], scanning
-//! each table's lazily built [`ColumnarTable`] projection with predicate
-//! kernels, a columnar hash join with predicate pushdown and late
-//! materialization — physical plans in [`plan`] — and a columnar
-//! hash-aggregate), and everything else runs on the row interpreter
-//! ([`exec`]). Both produce byte-identical results — see [`vexec`]'s
+//! single-table blocks, derived tables, join trees of up to eight
+//! leaves (INNER/LEFT/RIGHT/FULL/CROSS, equi and non-equi) and
+//! UNION \[ALL\] go to the vectorized columnar engine ([`vexec`], an
+//! operator-at-a-time executor over the physical-plan IR in [`plan`]:
+//! each table's lazily built [`ColumnarTable`] projection scanned with
+//! predicate kernels, columnar hash / nested-loop joins with predicate
+//! pushdown and late materialization, and a columnar hash-aggregate),
+//! and the residual shapes run on the row interpreter ([`exec`]). Both produce byte-identical results — see [`vexec`]'s
 //! module docs for the routing contract, and
 //! [`Database::routes_vectorized`] to observe the routing decision.
 //! The columnar engine additionally runs **morsel-parallel** across a
@@ -64,7 +65,7 @@ pub use error::{DbError, Result};
 pub use exec::ExecTrace;
 pub use metrics::MetricsCatalog;
 pub use morsel::DEFAULT_MORSEL_ROWS;
-pub use plan::{ColMeta, FallbackReason, Relation, ResultSet, RouteDecision};
+pub use plan::{ColMeta, FallbackReason, JoinOrder, Relation, ResultSet, RouteDecision};
 pub use schema::{ColumnDef, DataType, Schema};
 pub use table::{Row, Table};
 pub use value::{BorrowKey, RowKey, Value, ValueKey};

@@ -1,41 +1,70 @@
 //! Intermediate relations flowing between execution operators, plus the
-//! physical-plan layer for the vectorized join pipeline.
+//! physical-plan IR for the vectorized engine.
 //!
-//! # Physical join plans
+//! # The plan IR
 //!
-//! `JoinPlan` describes a two-table equi-join as the columnar engine
-//! runs it: `scan → filter → hash-join → post-filter → late
-//! materialization → aggregate/project`. `plan_equi_join` builds one
-//! from a SELECT block, splitting the WHERE clause into per-table
-//! conjuncts pushed below the join plus a residual, under rules that keep
-//! the result — rows, order, NULLs, *and errors* — byte-identical to the
-//! row interpreter:
+//! The vectorized engine executes a small physical-plan IR in which
+//! **every operator produces and consumes a [`ColumnarTable`]**, so any
+//! columnar result can feed the next operator:
 //!
-//! - Only **infallible kernel conjuncts** (`col op literal`, `IS NULL`,
-//!   `LIKE` on a string column — see `vexec::kernelizable`) are ever
-//!   pushed or reordered. Any fallible conjunct pins the whole predicate
-//!   it belongs to at its row-engine evaluation point, in original order,
-//!   so runtime errors surface from the same row on both engines.
-//! - ON-clause residual kernels push to their side for INNER joins; for
-//!   LEFT joins only the right side may be pushed (a left row failing a
-//!   left-side ON conjunct is *unmatchable*, not droppable — it must
-//!   still be NULL-padded), so left-side kernels become match kernels.
-//! - WHERE kernels push below an INNER join on both sides, and below a
-//!   LEFT join on the left side only; right-side WHERE kernels of a LEFT
-//!   join apply *after* the join so NULL-padded rows keep the row
-//!   engine's padding semantics (`w > 5` drops pads, `w IS NULL` keeps
-//!   them). WHERE pushdown below the join additionally requires the ON
-//!   residual to be all-kernel: shrinking the candidate pair set under a
-//!   fallible ON residual could skip an error the row engine reports.
-//! - Everything the plan cannot express falls back: the caller returns
-//!   `None` and the row interpreter runs the query unchanged.
+//! - **Scan** — one leaf of the FROM tree: a base table's columnar
+//!   projection, or a derived table (`FROM (SELECT …) alias`) whose
+//!   subquery result is columnarized via [`ColumnarTable::from_rows`]
+//!   when the executor reaches it (lazily, in the row engine's FROM-walk
+//!   order, so subquery errors surface at the same point).
+//! - **Filter** — infallible kernel conjuncts narrowing a selection
+//!   vector over any node's output (pushed-down WHERE/ON kernels).
+//! - **Join** — one binary join of the left-deep FROM tree
+//!   (`JoinNode`): equi-key hash join, or nested-loop for CROSS and
+//!   non-equi joins, producing `(left, right)` match index vectors, with
+//!   matched-bit tracking for the padded sides of RIGHT/FULL joins. The
+//!   node late-materializes only live columns into a new
+//!   [`ColumnarTable`] that feeds the parent operator.
+//! - **Aggregate / Tail** — the shared block tail (columnar
+//!   hash-aggregate, or the ORDER BY / DISTINCT / LIMIT tail described
+//!   by `TailPlan`) over whichever node's output reaches it.
 //!
-//! The plan itself is execution-strategy agnostic: `vexec` runs the same
-//! `JoinPlan` sequentially or morsel-parallel (pushed kernels, probe and
-//! post-filters all chunk per morsel and merge in morsel order — see
-//! [`crate::morsel`]), with byte-identical results either way.
+//! `plan_tree` builds the join-tree plan from a SELECT block,
+//! mirroring the row interpreter's per-node scoping *exactly*: equi-keys
+//! and ON residuals are extracted against each node's local
+//! `left.cols ++ right.cols` scope in the row engine's resolution order,
+//! and anything the planner cannot compile falls back so the row engine
+//! re-derives the same error.
+//!
+//! # Predicate placement rules
+//!
+//! Only **infallible kernel conjuncts** (`col op literal`, `IS NULL`,
+//! `LIKE` on a known-string column) are ever pushed or reordered; any
+//! fallible conjunct pins the whole predicate it belongs to at its
+//! row-engine evaluation point, so runtime errors surface from the same
+//! row on both engines:
+//!
+//! - An ON kernel on side `S` *drops* rows of `S` before the join —
+//!   unless the join keeps `S`'s unmatched rows (LEFT keeps left, RIGHT
+//!   keeps right, FULL keeps both), in which case a failing row is
+//!   *unmatchable but not droppable* (it must still be NULL-padded) and
+//!   the kernel becomes a **match kernel**. ON kernels push all-or-
+//!   nothing: one fallible conjunct keeps the entire residual at the
+//!   probe, in ON order.
+//! - A WHERE kernel on side `S` pushes below the **root** join iff the
+//!   join tree never NULL-pads `S`'s columns (those padded rows need the
+//!   post-join evaluation: `w > 5` drops pads, `w IS NULL` keeps them)
+//!   and the root's ON residual is all-kernel (shrinking the candidate
+//!   pair set under a fallible residual could skip an error the row
+//!   engine reports). Everything else runs post-join, whole, on the
+//!   shared interpreter.
+//!
+//! # Join order is scheduling, never semantics
+//!
+//! The executor picks the hash-build side per join with a greedy
+//! smallest-estimated-input-first heuristic, recorded in [`JoinOrder`].
+//! The choice never affects result bytes: swapped probes restore the row
+//! engine's emission order before materialization, and the shared tail
+//! re-sorts deterministically — so the decision is pure scheduling and
+//! is never bound into the release fingerprint.
 
-use crate::column::ColumnarTable;
+use crate::column::{ColumnData, ColumnarTable, GATHER_NULL};
+use crate::database::Database;
 use crate::error::{DbError, Result};
 use crate::exec::{self, output_name, Exec, SortKey};
 use crate::expr::CompiledExpr;
@@ -43,8 +72,9 @@ use crate::table::Row;
 use crate::vexec::{collect_conjuncts, side_kernel};
 use flex_sql::{
     visitor, ColumnRef, Expr, JoinConstraint, JoinType, Literal, OrderByItem, Query, Select,
-    SelectItem,
+    SelectItem, SetExpr, TableRef,
 };
+use std::sync::Arc;
 
 /// Which engine one query executed on — and, when the vectorized engine
 /// declined it, the concrete reason — as recorded by the routing entry
@@ -54,7 +84,7 @@ use flex_sql::{
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RouteDecision {
     /// The vectorized columnar engine ran the query (a single-table
-    /// block or a planned two-table INNER/LEFT equi-join).
+    /// block, a planned join tree, a derived table, or a UNION).
     Vectorized,
     /// The row interpreter ran it, for this reason.
     Fallback(FallbackReason),
@@ -102,6 +132,14 @@ impl std::fmt::Display for RouteDecision {
 /// `vexec`'s router maps to exactly one variant, so production telemetry
 /// can show *which* query shapes still miss the fast path instead of a
 /// bare fallback count.
+///
+/// The plan-IR refactor retired most of this list: join trees, derived
+/// tables, RIGHT/FULL/CROSS and non-equi joins, and UNION \[ALL\] now
+/// vectorize. Retired variants are **kept** for exposition stability —
+/// the Prometheus label set and telemetry counter layout index by
+/// position in [`FallbackReason::ALL`] and must not change shape — and
+/// each variant's doc says what residual shape (if any) still produces
+/// it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FallbackReason {
     /// Default placeholder for an un-routed trace; the router never
@@ -110,23 +148,37 @@ pub enum FallbackReason {
     Unknown,
     /// The query has `WITH` common table expressions.
     Cte,
-    /// The query body is a set operation (UNION/INTERSECT/EXCEPT).
+    /// A set operation the union planner does not cover:
+    /// INTERSECT/EXCEPT anywhere in the body, a statically detectable
+    /// arity mismatch, ORDER BY keys that do not resolve to output
+    /// columns, or an arm whose output shape cannot be derived without
+    /// executing it. Plain UNION/UNION ALL trees vectorize.
     SetOperation,
     /// Table-less `SELECT` (no FROM clause).
     TableLess,
     /// A referenced base table does not exist; the row interpreter runs
     /// it so the error is reported from one place.
     UnknownTable,
-    /// RIGHT/FULL/CROSS join (only INNER and LEFT are vectorized).
+    /// Retired: RIGHT/FULL/CROSS joins now run on the vectorized engine
+    /// (matched-bit padding + nested-loop morsels). The router no longer
+    /// returns this; the variant stays so telemetry labels and counter
+    /// indices are stable across releases.
     UnsupportedJoinType,
-    /// A join tree of more than two tables.
+    /// A join tree of more than eight leaves (the planner's depth cap;
+    /// trees up to eight base/derived tables vectorize).
     MultiTableJoin,
-    /// A derived table (`FROM (SELECT …)`), standalone or as a join side.
+    /// A derived table (`FROM (SELECT …)`) whose output shape cannot be
+    /// statically derived (its own CTEs, a set-operation body, or a
+    /// wildcard over an unanalyzable scope). Statically analyzable
+    /// derived tables vectorize, standalone or as join leaves.
     DerivedTable,
-    /// A join side exceeds the engine's `u32` selection-vector row limit.
+    /// A base join leaf exceeds the engine's `u32` selection-vector row
+    /// limit.
     TableTooLarge,
-    /// The join planner extracted no equi-key pair from ON/USING (non-equi
-    /// or keyless join), or could not compile the join's expressions.
+    /// The planner could not compile the join tree's expressions
+    /// (USING/ON/WHERE scope errors the row interpreter re-derives and
+    /// reports identically). Genuine non-equi and keyless joins now
+    /// vectorize as nested-loop joins.
     NonEquiJoin,
 }
 
@@ -172,6 +224,25 @@ impl std::fmt::Display for FallbackReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.as_str())
     }
+}
+
+/// The join-scheduling decisions one vectorized execution made, recorded
+/// in [`crate::exec::ExecTrace`]. Pure observability: join-order
+/// selection only ever changes *scheduling* (which input feeds the hash
+/// build), never result bytes — swapped probes restore the row engine's
+/// emission order before materialization and the shared tail re-sorts
+/// deterministically — so this is never bound into the release
+/// fingerprint and the heuristic can evolve freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct JoinOrder {
+    /// Join operators executed, numbered in post-order execution
+    /// sequence (a left-deep tree of `n` tables runs `n - 1` joins).
+    pub joins: u8,
+    /// Bitmask over that sequence: bit `k` set iff the `k`-th join chose
+    /// its *left* input as the hash-build side — the greedy
+    /// smallest-estimated-input-first heuristic swapped the default
+    /// build-on-the-right.
+    pub swapped: u8,
 }
 
 /// Metadata for one column of an intermediate relation.
@@ -274,7 +345,7 @@ impl ResultSet {
     }
 }
 
-// ---- physical plan for the vectorized join pipeline ----------------------
+// ---- physical plan IR for the vectorized join pipeline --------------------
 
 /// Which side of a join a single-column kernel conjunct reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -283,267 +354,575 @@ pub(crate) enum JoinSide {
     Right,
 }
 
-/// Physical plan for a two-table equi-join run by the columnar engine
-/// (`vexec`). All kernels are rebased to *side-local* column indices;
-/// `join_residual` and `post_filter` stay in the combined scope
-/// `left.cols ++ right.cols` and run on the shared scalar interpreter.
-pub(crate) struct JoinPlan {
+/// Where one Scan leaf's columnar data comes from.
+pub(crate) enum LeafSource<'a> {
+    /// A base table's lazily built columnar projection, shared by `Arc`.
+    Base(Arc<ColumnarTable>),
+    /// A derived table: the subquery is executed (on whichever engine
+    /// routing picks) and its result columnarized when the tree executor
+    /// reaches this leaf — the row engine's FROM-walk order, so subquery
+    /// errors surface at the same point on both engines.
+    Derived {
+        query: &'a Query,
+        /// Statically derived output arity (checked against the actual
+        /// result in debug builds).
+        width: usize,
+    },
+}
+
+/// One leaf of the planned FROM tree, in left-to-right FROM order.
+pub(crate) struct Leaf<'a> {
+    pub source: LeafSource<'a>,
+}
+
+/// A node of the physical join tree.
+pub(crate) enum PlanNode {
+    /// Leaf scan: index into [`TreePlan::leaves`].
+    Scan(usize),
+    /// Binary join of two subtrees.
+    Join(Box<JoinNode>),
+}
+
+/// One binary join operator. All kernels are rebased to *child-local*
+/// column indices; `residual` stays in this node's combined scope
+/// `left.cols ++ right.cols` and runs on the shared scalar interpreter.
+pub(crate) struct JoinNode {
+    pub left: PlanNode,
+    pub right: PlanNode,
     pub join_type: JoinType,
-    /// Equi-key column pairs as (left-local, right-local) indices.
-    /// Never empty — keyless joins fall back to the row engine.
+    /// Column width of the left child's output.
+    pub lw: usize,
+    /// Column width of the right child's output.
+    pub rw: usize,
+    /// Equi-key column pairs as (left-child-local, right-child-local)
+    /// indices. Empty for CROSS and pure non-equi joins, which run as
+    /// nested loops.
     pub key_pairs: Vec<(usize, usize)>,
-    /// Infallible kernels narrowing the left scan before the join.
-    pub pushed_left: Vec<CompiledExpr>,
-    /// Infallible kernels narrowing the right scan before the join.
-    pub pushed_right: Vec<CompiledExpr>,
-    /// LEFT JOIN only: left-side ON kernels. A left row failing one has
-    /// no match (it is NULL-padded), but is not dropped from the scan.
+    /// Infallible ON/WHERE kernels *dropping* left-child rows before the
+    /// join (sound because the tree never NULL-pads those columns).
+    pub left_kernels: Vec<CompiledExpr>,
+    /// Infallible kernels dropping right-child rows before the join.
+    pub right_kernels: Vec<CompiledExpr>,
+    /// ON kernels on a kept-unmatched left side (LEFT/FULL): a failing
+    /// row has no match but is not dropped — it must still be padded.
     pub left_match_kernels: Vec<CompiledExpr>,
+    /// ON kernels on a kept-unmatched right side (RIGHT/FULL): failing
+    /// rows never enter the hash build but still pad at the end.
+    pub right_match_kernels: Vec<CompiledExpr>,
     /// Fallible ON conjuncts, evaluated per candidate pair in ON order on
     /// the shared interpreter — exactly the row engine's residual check.
-    pub join_residual: Vec<CompiledExpr>,
-    /// Infallible WHERE kernels applied to the joined match vectors
-    /// (LEFT-join right-side predicates land here so NULL padding keeps
-    /// row-engine semantics).
+    pub residual: Vec<CompiledExpr>,
+    /// Which of the node's `lw + rw` output columns ancestors (or the
+    /// query tail) actually read. Only these are gathered; dead columns
+    /// become cheap all-NULL placeholders that are never re-gathered.
+    pub live_cols: Vec<bool>,
+}
+
+/// The planned physical tree for one SELECT block over a join FROM
+/// clause, plus the root-level WHERE remainder.
+pub(crate) struct TreePlan<'a> {
+    /// Scan leaves in FROM order (what [`PlanNode::Scan`] indexes).
+    pub leaves: Vec<Leaf<'a>>,
+    /// The root join (a join FROM always has one).
+    pub root: JoinNode,
+    /// Infallible WHERE kernels that could not push below the root
+    /// (kept-unmatched sides): applied to the root's match vectors,
+    /// side-local, pad-aware.
     pub post_kernels: Vec<(JoinSide, CompiledExpr)>,
     /// The whole WHERE predicate when any conjunct lacks a kernel:
     /// interpreted over joined rows in output order, preserving
     /// short-circuit and error behavior exactly.
     pub post_filter: Option<CompiledExpr>,
-    /// Combined columns the query reads after the join (projection,
-    /// grouping, HAVING, ORDER BY). Only these are materialized; dead
-    /// columns become cheap all-NULL placeholders.
-    pub live_cols: Vec<bool>,
+    /// The full combined scope (all leaf columns in FROM order), as the
+    /// row engine's nested joins would qualify it.
+    pub cols: Vec<ColMeta>,
 }
 
-/// Plan a two-table equi-join for the vectorized pipeline, or `None` if
-/// the shape must fall back to the row engine (no equi keys, or a scope
-/// error the row interpreter will re-derive and report identically).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn plan_equi_join(
+/// The planner's cap on join-tree width: more leaves than this falls
+/// back ([`FallbackReason::MultiTableJoin`]), which also bounds
+/// [`JoinOrder::swapped`]'s bitmask.
+pub(crate) const MAX_TREE_LEAVES: usize = 8;
+
+/// Plan the physical join tree for a SELECT block whose FROM clause is a
+/// join, or name the concrete reason the row interpreter must run it.
+/// Key extraction, kernel placement and liveness follow the rules in the
+/// [module docs](self).
+pub(crate) fn plan_tree<'a>(
     ex: &mut Exec<'_>,
+    db: &Database,
     q: &Query,
-    s: &Select,
-    join_type: JoinType,
-    constraint: &JoinConstraint,
-    left_cols: &[ColMeta],
-    right_cols: &[ColMeta],
-    ltab: &ColumnarTable,
-    rtab: &ColumnarTable,
-) -> Option<JoinPlan> {
-    debug_assert!(matches!(join_type, JoinType::Inner | JoinType::Left));
-    let lw = left_cols.len();
-    let left_rel = Relation::new(left_cols.to_vec(), Vec::new());
-    let right_rel = Relation::new(right_cols.to_vec(), Vec::new());
-    let mut combined = left_cols.to_vec();
-    combined.extend(right_cols.iter().cloned());
-
-    // Equi-key extraction, mirroring the row engine's `join` exactly
-    // (same resolution order, same leftovers going to the residual).
-    let mut key_pairs: Vec<(usize, usize)> = Vec::new();
-    let mut on_rest: Vec<&Expr> = Vec::new();
-    match constraint {
-        JoinConstraint::None => return None,
-        JoinConstraint::Using(cols) => {
-            for name in cols {
-                let cr = ColumnRef::bare(name.clone());
-                let li = left_rel.resolve(&cr).ok()?;
-                let ri = right_rel.resolve(&cr).ok()?;
-                key_pairs.push((li, ri));
-            }
-        }
-        JoinConstraint::On(on) => {
-            for conjunct in on.conjuncts() {
-                if let Some((a, b)) = conjunct.as_column_equality() {
-                    match (left_rel.resolve(a), right_rel.resolve(b)) {
-                        (Ok(li), Ok(ri)) => {
-                            key_pairs.push((li, ri));
-                            continue;
-                        }
-                        _ => {
-                            if let (Ok(li), Ok(ri)) = (left_rel.resolve(b), right_rel.resolve(a)) {
-                                key_pairs.push((li, ri));
-                                continue;
-                            }
-                        }
-                    }
-                }
-                on_rest.push(conjunct);
-            }
-        }
+    s: &'a Select,
+    from: &'a TableRef,
+) -> std::result::Result<TreePlan<'a>, FallbackReason> {
+    let mut leaves = Vec::new();
+    let (node, cols, like_ok) = build_node(ex, db, from, &mut leaves)?;
+    if leaves.len() > MAX_TREE_LEAVES {
+        return Err(FallbackReason::MultiTableJoin);
     }
-    if key_pairs.is_empty() {
-        return None;
-    }
-
-    let mut on_compiled = Vec::with_capacity(on_rest.len());
-    for c in &on_rest {
-        on_compiled.push(ex.compile_scalar(c, &combined).ok()?);
-    }
-
-    let mut plan = JoinPlan {
-        join_type,
-        key_pairs,
-        pushed_left: Vec::new(),
-        pushed_right: Vec::new(),
-        left_match_kernels: Vec::new(),
-        join_residual: Vec::new(),
-        post_kernels: Vec::new(),
-        post_filter: None,
-        live_cols: vec![false; combined.len()],
+    let PlanNode::Join(root) = node else {
+        unreachable!("plan_tree is only called on a join FROM clause");
     };
+    let mut root = *root;
 
-    // ON residual: push only when *every* conjunct has a kernel — a
-    // fallible conjunct must keep seeing the full candidate pair set.
-    let on_kernels: Option<Vec<_>> = on_compiled
-        .iter()
-        .map(|e| side_kernel(e, lw, ltab, rtab))
-        .collect();
-    // (An empty residual collects to `Some(vec![])`, so this also covers
-    // the pure-equi-join case.)
-    let push_on = on_kernels.is_some();
-    match on_kernels {
-        Some(kernels) => {
-            for (side, k) in kernels {
-                match (side, join_type) {
-                    (JoinSide::Right, _) => plan.pushed_right.push(k),
-                    (JoinSide::Left, JoinType::Inner) => plan.pushed_left.push(k),
-                    (JoinSide::Left, _) => plan.left_match_kernels.push(k),
-                }
-            }
-        }
-        None => plan.join_residual = on_compiled,
-    }
-
-    // WHERE: all-kernel predicates split per side; anything else runs
+    // Root-level WHERE: all-kernel predicates split per side and push
+    // below the root where the placement rules allow; anything else runs
     // whole, post-join, on the interpreter.
+    let keep_l = keeps_unmatched(root.join_type, JoinSide::Left);
+    let keep_r = keeps_unmatched(root.join_type, JoinSide::Right);
+    let mut post_kernels = Vec::new();
+    let mut post_filter = None;
     if let Some(pred) = &s.selection {
-        let compiled = ex.compile_scalar(pred, &combined).ok()?;
+        let compiled = ex
+            .compile_scalar(pred, &cols)
+            .map_err(|_| FallbackReason::NonEquiJoin)?;
         let mut conjuncts = Vec::new();
         collect_conjuncts(&compiled, &mut conjuncts);
+        // Pushing below the join is only sound when the root's own
+        // residual is infallible (here: empty, i.e. fully kernelized).
+        let push_ok = root.residual.is_empty();
         let kernels: Option<Vec<_>> = conjuncts
             .iter()
-            .map(|e| side_kernel(e, lw, ltab, rtab))
+            .map(|e| side_kernel(e, root.lw, &like_ok[..root.lw], &like_ok[root.lw..]))
             .collect();
         match kernels {
             Some(kernels) => {
                 for (side, k) in kernels {
-                    match (side, join_type) {
-                        // Pushing below the join is only sound when the
-                        // join's own residual is infallible.
-                        (JoinSide::Left, _) if push_on => plan.pushed_left.push(k),
-                        (JoinSide::Right, JoinType::Inner) if push_on => plan.pushed_right.push(k),
-                        (side, _) => plan.post_kernels.push((side, k)),
+                    match side {
+                        // A left-side WHERE kernel may narrow the left
+                        // scan unless unmatched *right* rows NULL-pad
+                        // the left columns (RIGHT/FULL) — those pads
+                        // need the post-join evaluation. Symmetrically
+                        // for the right side.
+                        JoinSide::Left if push_ok && !keep_r => root.left_kernels.push(k),
+                        JoinSide::Right if push_ok && !keep_l => root.right_kernels.push(k),
+                        side => post_kernels.push((side, k)),
                     }
                 }
             }
-            None => plan.post_filter = Some(compiled),
+            None => post_filter = Some(compiled),
         }
     }
 
-    mark_live_columns(
-        q,
-        s,
-        &Relation::new(combined, Vec::new()),
-        &mut plan.live_cols,
-    );
-    Some(plan)
+    // Liveness: what the tail reads from the root's output, plus what
+    // the root-level post filters read from the children (over-marking
+    // the root's own output for the latter is harmless — one extra
+    // gather — and keeps the rule simple: live from leaf to root).
+    let mut live = vec![false; cols.len()];
+    mark_live_columns(q, s, &Relation::new(cols.clone(), Vec::new()), &mut live);
+    for (side, k) in &post_kernels {
+        let offset = match side {
+            JoinSide::Left => 0,
+            JoinSide::Right => root.lw,
+        };
+        k.for_each_column(&mut |i| live[offset + i] = true);
+    }
+    if let Some(p) = &post_filter {
+        p.for_each_column(&mut |i| live[i] = true);
+    }
+    assign_liveness(&mut root, live);
+
+    Ok(TreePlan {
+        leaves,
+        root,
+        post_kernels,
+        post_filter,
+        cols,
+    })
+}
+
+/// Whether `join_type` keeps (NULL-pads) unmatched rows of `side`.
+pub(crate) fn keeps_unmatched(join_type: JoinType, side: JoinSide) -> bool {
+    match side {
+        JoinSide::Left => matches!(join_type, JoinType::Left | JoinType::Full),
+        JoinSide::Right => matches!(join_type, JoinType::Right | JoinType::Full),
+    }
+}
+
+/// Recursively build the plan node for one FROM subtree, returning the
+/// node, its output scope, and a per-column "physically all-string"
+/// marker (`like_ok`) that gates LIKE kernels (base-table columns only —
+/// a derived leaf's physical types are unknown until it executes).
+fn build_node<'a>(
+    ex: &mut Exec<'_>,
+    db: &Database,
+    t: &'a TableRef,
+    leaves: &mut Vec<Leaf<'a>>,
+) -> std::result::Result<(PlanNode, Vec<ColMeta>, Vec<bool>), FallbackReason> {
+    match t {
+        TableRef::Table { name, alias } => {
+            // Unknown tables fall back so the row engine reports the
+            // error; CTE shadowing cannot apply (routing rejects CTEs).
+            let table = db.table(name).ok_or(FallbackReason::UnknownTable)?;
+            // Selection vectors are u32 with GATHER_NULL as a sentinel.
+            if table.len() >= GATHER_NULL as usize {
+                return Err(FallbackReason::TableTooLarge);
+            }
+            let cols = table.col_metas(alias.as_deref().unwrap_or(name));
+            let ctab = table.columnar().clone();
+            let like_ok = ctab
+                .columns
+                .iter()
+                .map(|c| matches!(c.data, ColumnData::Str(_)))
+                .collect();
+            leaves.push(Leaf {
+                source: LeafSource::Base(ctab),
+            });
+            Ok((PlanNode::Scan(leaves.len() - 1), cols, like_ok))
+        }
+        TableRef::Derived { query, alias } => {
+            let names = derived_out_names(db, query).ok_or(FallbackReason::DerivedTable)?;
+            let cols: Vec<ColMeta> = names
+                .iter()
+                .map(|n| ColMeta::new(Some(alias.clone()), n.clone()))
+                .collect();
+            let width = cols.len();
+            leaves.push(Leaf {
+                source: LeafSource::Derived { query, width },
+            });
+            Ok((PlanNode::Scan(leaves.len() - 1), cols, vec![false; width]))
+        }
+        TableRef::Join {
+            left,
+            right,
+            join_type,
+            constraint,
+        } => {
+            let (lnode, lcols, llike) = build_node(ex, db, left, leaves)?;
+            let (rnode, rcols, rlike) = build_node(ex, db, right, leaves)?;
+            let lw = lcols.len();
+            let rw = rcols.len();
+            let left_rel = Relation::new(lcols.clone(), Vec::new());
+            let right_rel = Relation::new(rcols.clone(), Vec::new());
+            let mut combined = lcols;
+            combined.extend(rcols);
+
+            // Equi-key extraction against this node's local scopes,
+            // mirroring the row engine's `join` exactly (same resolution
+            // order, same leftovers going to the residual). Compile
+            // failures are scope errors the row engine re-derives.
+            let mut key_pairs: Vec<(usize, usize)> = Vec::new();
+            let mut on_rest: Vec<&Expr> = Vec::new();
+            match constraint {
+                JoinConstraint::None => {}
+                JoinConstraint::Using(names) => {
+                    for name in names {
+                        let cr = ColumnRef::bare(name.clone());
+                        let li = left_rel
+                            .resolve(&cr)
+                            .map_err(|_| FallbackReason::NonEquiJoin)?;
+                        let ri = right_rel
+                            .resolve(&cr)
+                            .map_err(|_| FallbackReason::NonEquiJoin)?;
+                        key_pairs.push((li, ri));
+                    }
+                }
+                JoinConstraint::On(on) => {
+                    for conjunct in on.conjuncts() {
+                        if let Some((a, b)) = conjunct.as_column_equality() {
+                            match (left_rel.resolve(a), right_rel.resolve(b)) {
+                                (Ok(li), Ok(ri)) => {
+                                    key_pairs.push((li, ri));
+                                    continue;
+                                }
+                                _ => {
+                                    if let (Ok(li), Ok(ri)) =
+                                        (left_rel.resolve(b), right_rel.resolve(a))
+                                    {
+                                        key_pairs.push((li, ri));
+                                        continue;
+                                    }
+                                }
+                            }
+                        }
+                        on_rest.push(conjunct);
+                    }
+                }
+            }
+            let mut residual = Vec::with_capacity(on_rest.len());
+            for c in &on_rest {
+                residual.push(
+                    ex.compile_scalar(c, &combined)
+                        .map_err(|_| FallbackReason::NonEquiJoin)?,
+                );
+            }
+
+            let mut node = JoinNode {
+                left: lnode,
+                right: rnode,
+                join_type: *join_type,
+                lw,
+                rw,
+                key_pairs,
+                left_kernels: Vec::new(),
+                right_kernels: Vec::new(),
+                left_match_kernels: Vec::new(),
+                right_match_kernels: Vec::new(),
+                residual: Vec::new(),
+                live_cols: Vec::new(),
+            };
+
+            // ON residual: push only when *every* conjunct has a kernel —
+            // a fallible conjunct must keep seeing the full candidate
+            // pair set, in ON order. (An empty residual collects to
+            // `Some(vec![])`, covering the pure-equi/CROSS cases.)
+            let kernels: Option<Vec<_>> = residual
+                .iter()
+                .map(|e| side_kernel(e, lw, &llike, &rlike))
+                .collect();
+            match kernels {
+                Some(kernels) => {
+                    for (side, k) in kernels {
+                        match side {
+                            JoinSide::Left if keeps_unmatched(*join_type, JoinSide::Left) => {
+                                node.left_match_kernels.push(k)
+                            }
+                            JoinSide::Left => node.left_kernels.push(k),
+                            JoinSide::Right if keeps_unmatched(*join_type, JoinSide::Right) => {
+                                node.right_match_kernels.push(k)
+                            }
+                            JoinSide::Right => node.right_kernels.push(k),
+                        }
+                    }
+                }
+                None => node.residual = residual,
+            }
+
+            let mut like_ok = llike;
+            like_ok.extend(rlike);
+            Ok((PlanNode::Join(Box::new(node)), combined, like_ok))
+        }
+    }
+}
+
+/// Push liveness down the tree: a node materializes exactly `needed`,
+/// and each child must additionally materialize whatever this node reads
+/// at pair time (join keys, kernels, residual references) — so a column
+/// is either real along its whole leaf-to-root path, or an all-NULL
+/// placeholder from some node upward that no operator ever gathers.
+fn assign_liveness(node: &mut JoinNode, needed: Vec<bool>) {
+    let lw = node.lw;
+    node.live_cols = needed;
+    let mut lneed = node.live_cols[..lw].to_vec();
+    let mut rneed = node.live_cols[lw..].to_vec();
+    for &(lk, rk) in &node.key_pairs {
+        lneed[lk] = true;
+        rneed[rk] = true;
+    }
+    for k in node.left_kernels.iter().chain(&node.left_match_kernels) {
+        k.for_each_column(&mut |i| lneed[i] = true);
+    }
+    for k in node.right_kernels.iter().chain(&node.right_match_kernels) {
+        k.for_each_column(&mut |i| rneed[i] = true);
+    }
+    for e in &node.residual {
+        e.for_each_column(&mut |i| {
+            if i < lw {
+                lneed[i] = true;
+            } else {
+                rneed[i - lw] = true;
+            }
+        });
+    }
+    if let PlanNode::Join(child) = &mut node.left {
+        assign_liveness(child, lneed);
+    }
+    if let PlanNode::Join(child) = &mut node.right {
+        assign_liveness(child, rneed);
+    }
+}
+
+// ---- static shape analysis (derived tables, union arms) -------------------
+
+/// The output column names of a SELECT block, derived without executing
+/// anything, or `None` when the shape requires execution to know (the
+/// row engine then reports any error from one place). Mirrors the names
+/// `select_plain`/`select_grouped` would produce: [`output_name`] for
+/// explicit items, scope column names for wildcards.
+pub(crate) fn static_out_names(db: &Database, s: &Select) -> Option<Vec<String>> {
+    let mut names = Vec::new();
+    for item in &s.projection {
+        match item {
+            SelectItem::Wildcard => {
+                let scope = static_scope(db, s.from.as_ref()?)?;
+                names.extend(scope.into_iter().map(|c| c.name));
+            }
+            SelectItem::QualifiedWildcard(q) => {
+                let scope = static_scope(db, s.from.as_ref()?)?;
+                let before = names.len();
+                names.extend(
+                    scope
+                        .into_iter()
+                        .filter(|c| c.qualifier.as_deref() == Some(q.as_str()))
+                        .map(|c| c.name),
+                );
+                if names.len() == before {
+                    // Unknown qualifier: the row engine reports it.
+                    return None;
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                names.push(output_name(expr, alias.as_deref()));
+            }
+        }
+    }
+    Some(names)
+}
+
+/// The statically known column scope of a FROM subtree, or `None` when
+/// any leaf's shape needs execution to know.
+fn static_scope(db: &Database, t: &TableRef) -> Option<Vec<ColMeta>> {
+    match t {
+        TableRef::Table { name, alias } => {
+            let table = db.table(name)?;
+            Some(table.col_metas(alias.as_deref().unwrap_or(name)))
+        }
+        TableRef::Derived { query, alias } => {
+            let names = derived_out_names(db, query)?;
+            Some(
+                names
+                    .into_iter()
+                    .map(|n| ColMeta::new(Some(alias.clone()), n))
+                    .collect(),
+            )
+        }
+        TableRef::Join { left, right, .. } => {
+            let mut cols = static_scope(db, left)?;
+            cols.extend(static_scope(db, right)?);
+            Some(cols)
+        }
+    }
+}
+
+/// The output column names of a derived table's subquery, statically, or
+/// `None` when they cannot be derived without executing it (its own
+/// CTEs, or a set-operation body).
+pub(crate) fn derived_out_names(db: &Database, q: &Query) -> Option<Vec<String>> {
+    if !q.ctes.is_empty() {
+        return None;
+    }
+    match &q.body {
+        SetExpr::Select(s) => static_out_names(db, s),
+        SetExpr::SetOp { .. } => None,
+    }
 }
 
 // ---- physical plan for the vectorized ORDER BY / DISTINCT / LIMIT tail ---
 
-/// Physical plan for a fully-columnar query tail: projection, ORDER BY,
-/// DISTINCT and LIMIT/OFFSET expressed entirely over **source column
-/// indices**, so the tail can sort/dedupe/slice the selection vector and
-/// late-materialize only the surviving rows.
+/// One projected (or sort-key) item of a planned columnar tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TailItem {
+    /// A plain source column (read straight from the columnar input).
+    Source(usize),
+    /// Index into [`TailPlan::computed`]: an expression evaluated
+    /// speculatively for every post-WHERE row.
+    Computed(usize),
+}
+
+/// Physical plan for the columnar query tail: projection, ORDER BY,
+/// DISTINCT and LIMIT/OFFSET over **source column indices plus compiled
+/// expressions**, so the tail can sort/dedupe/slice a selection vector
+/// and late-materialize only the surviving rows.
 ///
-/// # Eligibility (why every part must be a plain column)
+/// # Error semantics (why computed items are evaluated speculatively)
 ///
 /// The row engine evaluates projection and sort-key expressions for
 /// *every* post-WHERE row before sorting or truncating, so any of those
 /// expressions may raise a runtime error from a row that `LIMIT` would
-/// later discard. A tail that materializes only the surviving rows must
-/// therefore be **infallible**: [`plan_tail`] only accepts projections
-/// made of plain columns (wildcards included) and ORDER BY keys that
-/// resolve — through the engines' shared [`exec::plan_sort_keys_with`]
-/// rule, aliases and ordinals included — to source columns. Column
-/// reads cannot error, so skipping non-surviving rows is unobservable.
-/// Everything else (computed projections, expression sort keys) falls
-/// back to the row engine's tail over gathered rows, which reports
-/// errors identically.
+/// later discard. Plain-column items are infallible and can skip
+/// non-surviving rows unobservably; `computed` expressions are instead
+/// evaluated **for every row, in the row engine's per-row order**
+/// (projection items first, then ORDER BY source expressions), with the
+/// first error surfacing exactly as the row engine would report it —
+/// only then does the tail sort, dedupe and slice.
 pub(crate) struct TailPlan {
     /// Output column metadata, exactly as `select_plain` would name it.
     pub out_cols: Vec<ColMeta>,
-    /// Source column index backing each output column.
-    pub out_srcs: Vec<usize>,
-    /// ORDER BY keys as (source column, descending) pairs.
-    pub sort: Vec<(usize, bool)>,
+    /// What backs each output column.
+    pub out_items: Vec<TailItem>,
+    /// ORDER BY keys as (item, descending) pairs.
+    pub sort: Vec<(TailItem, bool)>,
+    /// Compiled non-column expressions, in the row engine's per-row
+    /// evaluation order: projection expressions in projection order,
+    /// then ORDER BY source expressions in ORDER BY order.
+    pub computed: Vec<CompiledExpr>,
     pub distinct: bool,
     pub limit: Option<u64>,
     pub offset: Option<u64>,
 }
 
-/// Plan the fully-columnar tail for a non-aggregated SELECT block, or
-/// `None` when the shape must use the row engine's tail (computed
-/// projections or sort keys, or a scope error the row engine will
-/// re-derive and report identically).
-pub(crate) fn plan_tail(q: &Query, s: &Select, cols: &[ColMeta]) -> Option<TailPlan> {
+/// Plan the columnar tail for a non-aggregated SELECT block, or `None`
+/// when planning hits a compile/scope error — the row-engine tail over
+/// gathered rows then re-derives and reports it identically.
+pub(crate) fn plan_tail(
+    ex: &mut Exec<'_>,
+    q: &Query,
+    s: &Select,
+    cols: &[ColMeta],
+) -> Option<TailPlan> {
     debug_assert!(!Exec::has_aggregates(s));
     let scope = Relation::new(cols.to_vec(), Vec::new());
     let mut out_cols: Vec<ColMeta> = Vec::new();
-    let mut out_srcs: Vec<usize> = Vec::new();
+    let mut out_items: Vec<TailItem> = Vec::new();
+    let mut computed: Vec<CompiledExpr> = Vec::new();
     for item in &s.projection {
         match item {
             SelectItem::Wildcard => {
                 out_cols.extend(cols.iter().cloned());
-                out_srcs.extend(0..cols.len());
+                out_items.extend((0..cols.len()).map(TailItem::Source));
             }
             SelectItem::QualifiedWildcard(qual) => {
-                let before = out_srcs.len();
+                let before = out_items.len();
                 for (i, c) in cols.iter().enumerate() {
                     if c.qualifier.as_deref() == Some(qual.as_str()) {
                         out_cols.push(c.clone());
-                        out_srcs.push(i);
+                        out_items.push(TailItem::Source(i));
                     }
                 }
-                if out_srcs.len() == before {
+                if out_items.len() == before {
                     // Unknown qualifier: the row-engine tail reports it.
                     return None;
                 }
             }
-            SelectItem::Expr { expr, alias } => match expr {
-                Expr::Column(c) => {
-                    let src = scope.resolve(c).ok()?;
-                    out_cols.push(ColMeta::new(None, output_name(expr, alias.as_deref())));
-                    out_srcs.push(src);
-                }
-                _ => return None,
-            },
+            SelectItem::Expr { expr, alias } => {
+                let item = match expr {
+                    Expr::Column(c) => TailItem::Source(scope.resolve(c).ok()?),
+                    _ => {
+                        let e = ex.compile_scalar(expr, cols).ok()?;
+                        computed.push(e);
+                        TailItem::Computed(computed.len() - 1)
+                    }
+                };
+                out_cols.push(ColMeta::new(None, output_name(expr, alias.as_deref())));
+                out_items.push(item);
+            }
         }
     }
 
-    // ORDER BY resolution goes through the engines' single shared rule;
-    // the source compiler only admits plain columns, so every key ends
-    // up column-backed (or the whole tail falls back).
-    let keys = exec::plan_sort_keys_with(&q.order_by, &out_cols, &mut |e| match e {
-        Expr::Column(c) => Ok(CompiledExpr::Column(scope.resolve(c)?)),
-        _ => Err(DbError::Unsupported("non-column sort key".into())),
-    })
-    .ok()?;
+    // ORDER BY resolution goes through the engines' single shared rule:
+    // output-position/name matches sort on the projected item; other
+    // keys compile against the source scope (plain columns read the
+    // column, everything else joins the speculative batch).
+    let keys =
+        exec::plan_sort_keys_with(&q.order_by, &out_cols, &mut |e| ex.compile_scalar(e, cols))
+            .ok()?;
     let mut sort = Vec::with_capacity(keys.len());
     for (key, item) in keys.into_iter().zip(&q.order_by) {
-        let src = match key {
-            SortKey::Output(pos) => out_srcs[pos],
-            SortKey::Source(CompiledExpr::Column(i)) => i,
-            SortKey::Source(_) => unreachable!("source compiler only admits columns"),
+        let tail_item = match key {
+            SortKey::Output(pos) => out_items[pos],
+            SortKey::Source(CompiledExpr::Column(i)) => TailItem::Source(i),
+            SortKey::Source(e) => {
+                computed.push(e);
+                TailItem::Computed(computed.len() - 1)
+            }
         };
-        sort.push((src, item.descending));
+        sort.push((tail_item, item.descending));
     }
 
     Some(TailPlan {
         out_cols,
-        out_srcs,
+        out_items,
         sort,
+        computed,
         distinct: s.distinct,
         limit: q.limit,
         offset: q.offset,

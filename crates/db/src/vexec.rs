@@ -11,18 +11,30 @@
 //!
 //! # Routing contract
 //!
-//! [`try_execute`] accepts a query iff it is a single SELECT block (no
-//! CTEs, no set operations, no table-less SELECT) whose FROM clause is
-//! either **one base table** or a **two-base-table INNER/LEFT equi-join**
-//! that the planner in [`crate::plan`] accepts (at least one equi-key
-//! pair extracted from ON/USING). Everything else — RIGHT/FULL/CROSS
-//! joins, non-equi and keyless joins, >2-table join trees, derived
-//! tables — returns `None` and runs on the row interpreter
-//! ([`crate::exec`]). Joined queries run the columnar pipeline described
-//! in [`crate::plan`]: per-side scans narrowed by pushed-down predicate
-//! kernels, a columnar hash join producing `(left, right)` match index
-//! vectors, post-join kernels/residuals, then **late materialization** —
-//! only columns the query reads are gathered into the joined table.
+//! [`try_execute`] accepts a query iff the planner in [`crate::plan`]
+//! can express it over the physical plan IR — every operator producing
+//! and consuming a [`ColumnarTable`]:
+//!
+//! - a single SELECT block over **one base table**;
+//! - a SELECT block over a **derived table** (`FROM (SELECT …) alias`):
+//!   the subquery executes first (routed independently) and its result
+//!   columnarizes into the block's scan;
+//! - a SELECT block over a **join tree** of up to eight base/derived
+//!   leaves (`plan::plan_tree`): INNER/LEFT/RIGHT/FULL equi-joins run
+//!   as columnar hash joins (matched-bit tracking pads the kept sides),
+//!   CROSS and non-equi joins as nested-loop morsels, each join
+//!   late-materializing only live columns into the next operator's
+//!   input;
+//! - **UNION / UNION ALL** trees whose arms are themselves routable
+//!   SELECT blocks with statically known output shapes: arms execute
+//!   left-to-right, concatenate columnar, and the existing DISTINCT
+//!   machinery dedupes at each distinct node.
+//!
+//! What remains on the row interpreter ([`crate::exec`]): CTEs,
+//! INTERSECT/EXCEPT, table-less SELECT, unknown tables, join trees
+//! deeper than eight leaves, and shapes whose planning hits a
+//! scope/compile error the row engine re-derives and reports
+//! identically — each with its concrete [`FallbackReason`].
 //! Within an accepted query, sub-shapes the columnar operators don't
 //! cover degrade gracefully rather than bailing out:
 //!
@@ -37,9 +49,13 @@
 //!   projection and sort keys are plain columns (`plan::plan_tail`):
 //!   indices sort by typed column keys, `ORDER BY … LIMIT k` runs as a
 //!   bounded top-K heap, DISTINCT dedupes typed keys, and only the
-//!   surviving rows late-materialize (`run_tail`); computed
-//!   projections or expression sort keys reuse the row engine's
-//!   compiled expressions and tail logic over gathered rows instead.
+//!   surviving rows late-materialize (`run_tail`); computed projections
+//!   and expression sort keys run the **speculative mixed tail**
+//!   (`run_tail_mixed`): every expression evaluates for every
+//!   post-WHERE row in the row engine's per-row order (so the first
+//!   error matches exactly), then indices sort/dedupe/slice as usual;
+//!   shapes the tail planner declines reuse the row engine's tail over
+//!   gathered rows instead.
 //!
 //! # Morsel-driven parallelism
 //!
@@ -91,11 +107,14 @@ use crate::exec::{self, Exec, GroupCompiler, SortKey};
 use crate::expr::{like_match, CompiledExpr};
 use crate::morsel::{self, Parallelism};
 use crate::plan::{
-    self, ColMeta, FallbackReason, JoinPlan, JoinSide, Relation, ResultSet, RouteDecision, TailPlan,
+    self, ColMeta, FallbackReason, JoinNode, JoinOrder, JoinSide, LeafSource, PlanNode, Relation,
+    ResultSet, RouteDecision, TailItem, TailPlan, TreePlan,
 };
 use crate::table::{Row, Table};
 use crate::value::{BorrowKey, RowKey, Value, ValueKey};
-use flex_sql::{BinaryOperator, JoinType, Query, Select, SelectItem, SetExpr, TableRef};
+use flex_sql::{
+    BinaryOperator, JoinType, Query, Select, SelectItem, SetExpr, SetOperator, TableRef,
+};
 use std::cmp::Ordering;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
@@ -109,18 +128,33 @@ enum Route<'a> {
         table: &'a Table,
         qualifier: &'a str,
     },
-    /// Two-table equi-join pipeline.
-    Join(Box<JoinRoute<'a>>),
+    /// Single derived-table block: the subquery executes first (routed
+    /// independently) and its result columnarizes into this block's
+    /// scan.
+    SingleDerived {
+        s: &'a Select,
+        query: &'a Query,
+        alias: &'a str,
+    },
+    /// Join-tree pipeline over base/derived leaves ([`TreePlan`]).
+    Tree(Box<TreeRoute<'a>>),
+    /// UNION / UNION ALL tree of routable SELECT arms.
+    Union(Box<UnionRoute<'a>>),
 }
 
-struct JoinRoute<'a> {
+struct TreeRoute<'a> {
     s: &'a Select,
-    plan: JoinPlan,
-    /// Combined scope `left.cols ++ right.cols`, qualified like the row
-    /// engine's join output.
-    cols: Vec<ColMeta>,
-    ltab: Arc<ColumnarTable>,
-    rtab: Arc<ColumnarTable>,
+    plan: TreePlan<'a>,
+}
+
+struct UnionRoute<'a> {
+    /// Leaf SELECT arms in depth-first (row-engine execution) order.
+    arms: Vec<&'a Select>,
+    /// Output width shared by every arm.
+    arity: usize,
+    /// ORDER BY keys resolved to output column positions (UNION output
+    /// only sorts by its own columns, exactly like the row engine).
+    sort: Vec<(usize, bool)>,
 }
 
 /// Decide whether (and how) the vectorized engine runs `q`. `Err` names
@@ -133,7 +167,7 @@ fn route<'a>(db: &'a Database, q: &'a Query) -> std::result::Result<Route<'a>, F
     }
     let s = match &q.body {
         SetExpr::Select(s) => s,
-        SetExpr::SetOp { .. } => return Err(FallbackReason::SetOperation),
+        SetExpr::SetOp { .. } => return plan_union(db, q).map(Route::Union),
     };
     match s.from.as_ref().ok_or(FallbackReason::TableLess)? {
         TableRef::Table { name, alias } => {
@@ -145,72 +179,104 @@ fn route<'a>(db: &'a Database, q: &'a Query) -> std::result::Result<Route<'a>, F
                 qualifier: alias.as_deref().unwrap_or(name),
             })
         }
-        TableRef::Join {
+        TableRef::Derived { query, alias } => Ok(Route::SingleDerived { s, query, alias }),
+        from @ TableRef::Join { .. } => {
+            let mut ex = Exec::new(db);
+            let tree = plan::plan_tree(&mut ex, db, q, s, from)?;
+            Ok(Route::Tree(Box::new(TreeRoute { s, plan: tree })))
+        }
+    }
+}
+
+/// Plan a set-operation body. Only UNION / UNION ALL trees whose arms
+/// are statically analyzable SELECT blocks vectorize; INTERSECT/EXCEPT,
+/// arity mismatches, unresolvable ORDER BY keys, and unroutable arms
+/// all report [`FallbackReason::SetOperation`] unless an arm declines
+/// with its own more specific reason.
+fn plan_union<'a>(
+    db: &'a Database,
+    q: &'a Query,
+) -> std::result::Result<Box<UnionRoute<'a>>, FallbackReason> {
+    let mut arms = Vec::new();
+    collect_union_arms(&q.body, &mut arms)?;
+    // Output shape: every arm must have statically known names, and all
+    // arities must agree (the row engine checks arity at runtime; here
+    // statically-equal arity guarantees the runtime check passes).
+    let mut names: Option<Vec<String>> = None;
+    for s in &arms {
+        let arm_names = plan::static_out_names(db, s).ok_or(FallbackReason::SetOperation)?;
+        match &names {
+            None => names = Some(arm_names),
+            Some(first) if first.len() != arm_names.len() => {
+                return Err(FallbackReason::SetOperation)
+            }
+            Some(_) => {}
+        }
+    }
+    let names = names.expect("a set-op body has at least two arms");
+    // Every arm must itself route; an arm's concrete reason propagates.
+    for s in &arms {
+        route(db, &arm_query(s))?;
+    }
+    // ORDER BY over the union resolves against the first arm's output
+    // names only (positional or bare-name keys — the row engine's
+    // `sort_by_output_columns` rule); anything else falls back and the
+    // row engine re-derives the same resolution failure as an error.
+    let mut sort = Vec::with_capacity(q.order_by.len());
+    if !q.order_by.is_empty() {
+        let out_cols: Vec<ColMeta> = names
+            .iter()
+            .map(|n| ColMeta::new(None, n.clone()))
+            .collect();
+        let keys = exec::plan_sort_keys_with(&q.order_by, &out_cols, &mut |_| {
+            Err(DbError::Unsupported(
+                "set-operation ORDER BY keys must name output columns".into(),
+            ))
+        })
+        .map_err(|_| FallbackReason::SetOperation)?;
+        for (key, item) in keys.into_iter().zip(&q.order_by) {
+            match key {
+                SortKey::Output(pos) => sort.push((pos, item.descending)),
+                SortKey::Source(_) => unreachable!("source compiler always errors"),
+            }
+        }
+    }
+    Ok(Box::new(UnionRoute {
+        arms,
+        arity: names.len(),
+        sort,
+    }))
+}
+
+/// Flatten a set-op tree into its SELECT leaves, in depth-first order.
+/// Any non-UNION operator rejects the whole tree.
+fn collect_union_arms<'a>(
+    e: &'a SetExpr,
+    arms: &mut Vec<&'a Select>,
+) -> std::result::Result<(), FallbackReason> {
+    match e {
+        SetExpr::Select(s) => {
+            arms.push(s);
+            Ok(())
+        }
+        SetExpr::SetOp {
+            op: SetOperator::Union,
             left,
             right,
-            join_type,
-            constraint,
+            ..
         } => {
-            if !matches!(join_type, JoinType::Inner | JoinType::Left) {
-                return Err(FallbackReason::UnsupportedJoinType);
-            }
-            let (
-                TableRef::Table {
-                    name: lname,
-                    alias: lalias,
-                },
-                TableRef::Table {
-                    name: rname,
-                    alias: ralias,
-                },
-            ) = (&**left, &**right)
-            else {
-                // A nested join on either side is a >2-table tree; the
-                // only other non-base side the parser produces is a
-                // derived table.
-                let nested = matches!(&**left, TableRef::Join { .. })
-                    || matches!(&**right, TableRef::Join { .. });
-                return Err(if nested {
-                    FallbackReason::MultiTableJoin
-                } else {
-                    FallbackReason::DerivedTable
-                });
-            };
-            let lt = db.table(lname).ok_or(FallbackReason::UnknownTable)?;
-            let rt = db.table(rname).ok_or(FallbackReason::UnknownTable)?;
-            // Selection vectors are u32 with GATHER_NULL as a sentinel.
-            if lt.len() >= GATHER_NULL as usize || rt.len() >= GATHER_NULL as usize {
-                return Err(FallbackReason::TableTooLarge);
-            }
-            let left_cols = lt.col_metas(lalias.as_deref().unwrap_or(lname));
-            let right_cols = rt.col_metas(ralias.as_deref().unwrap_or(rname));
-            let ltab = lt.columnar().clone();
-            let rtab = rt.columnar().clone();
-            let mut ex = Exec::new(db);
-            let plan = plan::plan_equi_join(
-                &mut ex,
-                q,
-                s,
-                *join_type,
-                constraint,
-                &left_cols,
-                &right_cols,
-                &ltab,
-                &rtab,
-            )
-            .ok_or(FallbackReason::NonEquiJoin)?;
-            let mut cols = left_cols;
-            cols.extend(right_cols);
-            Ok(Route::Join(Box::new(JoinRoute {
-                s,
-                plan,
-                cols,
-                ltab,
-                rtab,
-            })))
+            collect_union_arms(left, arms)?;
+            collect_union_arms(right, arms)
         }
-        TableRef::Derived { .. } => Err(FallbackReason::DerivedTable),
+        SetExpr::SetOp { .. } => Err(FallbackReason::SetOperation),
     }
+}
+
+/// Wrap one union arm as a standalone query (no ORDER BY / LIMIT —
+/// those apply to the union's output, not the arms), so it can route
+/// and execute through the ordinary block pipeline.
+fn arm_query(s: &Select) -> Query {
+    Query::from_select(s.clone())
 }
 
 /// Execution statistics the vectorized engine reports about one run —
@@ -227,6 +293,9 @@ pub(crate) struct VexecStats {
     pub workers: u64,
     /// Base-table rows scanned (both sides, for a join).
     pub rows_scanned: u64,
+    /// Join order the tree executor chose (pure scheduling — never
+    /// affects result bytes; see [`JoinOrder`]).
+    pub join_order: JoinOrder,
 }
 
 /// Scheduling-morsel count for `len` input rows under tuning `par`
@@ -264,19 +333,12 @@ pub(crate) fn try_execute_traced(
             stats.rows_scanned = len as u64;
             stats.morsels = morsel_count(len, par);
             stats.workers = if par.engaged(len) { par.workers } else { 1 } as u64;
-            run(db, q, s, table, qualifier, &mut stats.topk)
+            let ctab = table.columnar().clone();
+            run_block(db, q, s, table.col_metas(qualifier), &ctab, &mut stats.topk)
         }
-        Route::Join(j) => {
-            let (ln, rn) = (j.ltab.len(), j.rtab.len());
-            stats.rows_scanned = (ln + rn) as u64;
-            stats.morsels = morsel_count(ln, par) + morsel_count(rn, par);
-            stats.workers = if par.engaged(ln.max(rn)) {
-                par.workers
-            } else {
-                1
-            } as u64;
-            run_join(db, q, &j, &mut stats.topk)
-        }
+        Route::SingleDerived { s, query, alias } => run_derived(db, q, s, query, alias, &mut stats),
+        Route::Tree(t) => run_tree(db, q, t.s, t.plan, &mut stats),
+        Route::Union(u) => run_union(db, q, &u, &mut stats),
     };
     Ok((result, stats))
 }
@@ -299,16 +361,18 @@ pub fn decide(db: &Database, q: &Query) -> RouteDecision {
     }
 }
 
-fn run(
+/// One SELECT block over an already-columnar input: WHERE → selection
+/// vector, then the shared [`finish_block`] tail. The scan behind
+/// `ctab` can be a base table, a columnarized derived-table result, or
+/// a join-tree output.
+fn run_block(
     db: &Database,
     q: &Query,
     s: &Select,
-    table: &Table,
-    qualifier: &str,
+    cols: Vec<ColMeta>,
+    ctab: &ColumnarTable,
     topk: &mut bool,
 ) -> Result<ResultSet> {
-    let cols = table.col_metas(qualifier);
-    let ctab = table.columnar().clone();
     let par = db.exec_tuning();
     let mut ex = Exec::new(db);
 
@@ -317,11 +381,40 @@ fn run(
     let sel = match &s.selection {
         Some(pred) => {
             let compiled = ex.compile_scalar(pred, &cols)?;
-            filter(&ctab, &compiled, all, par)?
+            filter(ctab, &compiled, all, par)?
         }
         None => all,
     };
-    finish_block(&mut ex, q, s, cols, &ctab, &sel, par, topk)
+    finish_block(&mut ex, q, s, cols, ctab, &sel, par, topk)
+}
+
+/// A SELECT block whose FROM is a derived table: execute the subquery
+/// first (it routes independently — vectorized when it can), then
+/// columnarize its rows into this block's scan. Matches the row
+/// engine's order of operations (subquery before WHERE compilation), so
+/// errors surface identically.
+fn run_derived(
+    db: &Database,
+    q: &Query,
+    s: &Select,
+    query: &Query,
+    alias: &str,
+    stats: &mut VexecStats,
+) -> Result<ResultSet> {
+    let rs = exec::execute(db, query)?;
+    let width = rs.columns.len();
+    let ctab = ColumnarTable::from_rows(&rs.rows, width);
+    let cols: Vec<ColMeta> = rs
+        .columns
+        .iter()
+        .map(|n| ColMeta::new(Some(alias.to_string()), n.clone()))
+        .collect();
+    let par = db.exec_tuning();
+    let len = ctab.len();
+    stats.rows_scanned = len as u64;
+    stats.morsels = morsel_count(len, par);
+    stats.workers = if par.engaged(len) { par.workers } else { 1 } as u64;
+    run_block(db, q, s, cols, &ctab, &mut stats.topk)
 }
 
 /// Everything downstream of the scan/filter/join. Three tails, tried in
@@ -332,11 +425,13 @@ fn run(
 /// 2. plain blocks whose projection and sort keys are all plain columns
 ///    run the fully-columnar tail ([`run_tail`]): sort/dedupe/slice the
 ///    selection vector itself, then late-materialize only the survivors;
-/// 3. anything else gathers the filtered rows and reuses the row
+/// 3. plain blocks with computed projections or expression sort keys
+///    run the speculative mixed tail ([`run_tail_mixed`]);
+/// 4. anything else gathers the filtered rows and reuses the row
 ///    engine's projection/sort/DISTINCT tail verbatim (which also
 ///    re-derives any compile error, identically).
 ///
-/// Shared by the single-table and join pipelines.
+/// Shared by the single-table, derived-table, and join-tree pipelines.
 #[allow(clippy::too_many_arguments)]
 fn finish_block(
     ex: &mut Exec<'_>,
@@ -353,9 +448,12 @@ fn finish_block(
             // LIMIT/OFFSET already applied by the grouped tail.
             return result.map(ResultSet::from);
         }
-    } else if let Some(tail) = plan::plan_tail(q, s, &cols) {
-        // Fully-columnar tail: LIMIT/OFFSET applied on indices inside.
-        return Ok(ResultSet::from(run_tail(ctab, sel, &tail, par, topk)));
+    } else if let Some(tail) = plan::plan_tail(ex, q, s, &cols) {
+        // Columnar tail: LIMIT/OFFSET applied on indices inside.
+        if tail.computed.is_empty() {
+            return Ok(ResultSet::from(run_tail(ctab, sel, &tail, par, topk)));
+        }
+        return run_tail_mixed(ctab, sel, &tail, par, topk).map(ResultSet::from);
     }
     // Row-engine tail over only the surviving rows (grouping fallback for
     // non-column group keys/aggregate args, computed projections, or
@@ -427,6 +525,18 @@ fn run_tail(
     par: Parallelism,
     topk_hit: &mut bool,
 ) -> Relation {
+    // Pure-column tail: every item is `TailItem::Source` (the
+    // `computed.is_empty()` dispatch in `finish_block` guarantees it).
+    let source = |item: TailItem| match item {
+        TailItem::Source(c) => c,
+        TailItem::Computed(_) => unreachable!("pure tail has no computed items"),
+    };
+    let srcs: Vec<usize> = tail.out_items.iter().map(|&i| source(i)).collect();
+    let sort: Vec<(usize, bool)> = tail
+        .sort
+        .iter()
+        .map(|&(item, desc)| (source(item), desc))
+        .collect();
     let bound = if tail.distinct {
         None
     } else {
@@ -434,7 +544,7 @@ fn run_tail(
     };
 
     // 1. Order the surviving indices.
-    let mut idx: Vec<u32> = if tail.sort.is_empty() {
+    let mut idx: Vec<u32> = if sort.is_empty() {
         match bound {
             // No sort, no DISTINCT: the tail is a pure slice — take it
             // before materializing anything.
@@ -442,7 +552,7 @@ fn run_tail(
             None => sel.to_vec(),
         }
     } else {
-        ordered_indices(ctab, &tail.sort, sel, bound, par, topk_hit)
+        ordered_indices(ctab, &sort, sel, bound, par, topk_hit)
     };
 
     // 2. DISTINCT over typed column keys, first occurrence wins.
@@ -451,7 +561,7 @@ fn run_tail(
         let mut seen: HashSet<Vec<BorrowKey<'_>>> = HashSet::new();
         let mut kept = Vec::new();
         for &i in &idx {
-            if seen.insert(distinct_key(ctab, &tail.out_srcs, i as usize)) {
+            if seen.insert(distinct_key(ctab, &srcs, i as usize)) {
                 kept.push(i);
                 // Infallible tail: stopping at the bound is unobservable.
                 if target.is_some_and(|t| kept.len() >= t) {
@@ -472,8 +582,167 @@ fn run_tail(
     }
 
     // 4. Late materialization of only the projected columns.
-    let rows = materialize_rows(ctab, &idx, &tail.out_srcs, par);
+    let rows = materialize_rows(ctab, &idx, &srcs, par);
     Relation::new(tail.out_cols.clone(), rows)
+}
+
+/// The speculative **mixed tail**: a plain block whose projection or
+/// sort keys include computed expressions. Every computed expression is
+/// evaluated up front for *every* post-WHERE row, in the row engine's
+/// per-row order — projection items left to right, then ORDER BY source
+/// expressions — so the first error (earliest row, earliest expression)
+/// is exactly the one the row engine reports. After that the tail is
+/// infallible and proceeds like [`run_tail`]: indices sort (computed
+/// keys compare their pre-evaluated values, source keys their typed
+/// columns, ties break on position = the row engine's stable order),
+/// DISTINCT dedupes first occurrences, LIMIT/OFFSET slice, and only the
+/// survivors materialize.
+fn run_tail_mixed(
+    ctab: &ColumnarTable,
+    sel: &[u32],
+    tail: &TailPlan,
+    par: Parallelism,
+    topk_hit: &mut bool,
+) -> Result<Relation> {
+    let n = sel.len();
+    // 1. Speculative evaluation, column-major: `vals[k][p]` is computed
+    // expression `k` at selection position `p`. Scratch rows gather only
+    // the referenced columns.
+    let mut refs = Vec::new();
+    for e in &tail.computed {
+        e.for_each_column(&mut |i| refs.push(i));
+    }
+    refs.sort_unstable();
+    refs.dedup();
+    let eval_chunk = |r: std::ops::Range<usize>| -> Result<Vec<Vec<Value>>> {
+        let mut scratch: Row = vec![Value::Null; ctab.columns.len()];
+        let mut out: Vec<Vec<Value>> = tail
+            .computed
+            .iter()
+            .map(|_| Vec::with_capacity(r.len()))
+            .collect();
+        for &i in &sel[r] {
+            let idx = i as usize;
+            for &c in &refs {
+                scratch[c] = ctab.columns[c].value(idx);
+            }
+            for (e, vals) in tail.computed.iter().zip(&mut out) {
+                vals.push(e.eval(&scratch)?);
+            }
+        }
+        Ok(out)
+    };
+    let vals: Vec<Vec<Value>> = if par.engaged(n) {
+        // Earliest-morsel error wins = earliest-row error, sequentially
+        // identical.
+        let chunks = morsel::try_run(n, par, eval_chunk)?;
+        let mut vals: Vec<Vec<Value>> = tail
+            .computed
+            .iter()
+            .map(|_| Vec::with_capacity(n))
+            .collect();
+        for chunk in chunks {
+            for (v, c) in vals.iter_mut().zip(chunk) {
+                v.extend(c);
+            }
+        }
+        vals
+    } else {
+        eval_chunk(0..n)?
+    };
+
+    // 2. Order selection *positions* (0..n) — positions index both `sel`
+    // and `vals`; ascending position is ascending selection index, i.e.
+    // the row engine's stable-sort tie order.
+    let bound = if tail.distinct {
+        None
+    } else {
+        exec::tail_bound(tail.limit, tail.offset)
+    };
+    let all_pos: Vec<u32> = (0..n as u32).collect();
+    let mut pos = if tail.sort.is_empty() {
+        match bound {
+            Some(k) => all_pos[..k.min(n)].to_vec(),
+            None => all_pos,
+        }
+    } else {
+        type BoxedKey<'a> = (Box<dyn Fn(usize, usize) -> Ordering + Sync + 'a>, bool);
+        let keys: Vec<BoxedKey<'_>> = tail
+            .sort
+            .iter()
+            .map(|&(item, desc)| {
+                let key: Box<dyn Fn(usize, usize) -> Ordering + Sync> = match item {
+                    TailItem::Source(c) => {
+                        let ord = ctab.columns[c].row_ordering();
+                        Box::new(move |a: usize, b: usize| ord(sel[a] as usize, sel[b] as usize))
+                    }
+                    TailItem::Computed(k) => {
+                        let vs = &vals[k];
+                        Box::new(move |a: usize, b: usize| vs[a].total_cmp(&vs[b]))
+                    }
+                };
+                (key, desc)
+            })
+            .collect();
+        let cmp = move |a: &u32, b: &u32| {
+            for (key, desc) in &keys {
+                let ord = key(*a as usize, *b as usize);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            a.cmp(b)
+        };
+        order_indices(&all_pos, bound, par, cmp, topk_hit)
+    };
+
+    // 3. DISTINCT over the projected output keys, first occurrence wins.
+    if tail.distinct {
+        let target = exec::tail_bound(tail.limit, tail.offset);
+        let mut seen: HashSet<Vec<BorrowKey<'_>>> = HashSet::new();
+        let mut kept = Vec::new();
+        for &p in &pos {
+            let key: Vec<BorrowKey<'_>> = tail
+                .out_items
+                .iter()
+                .map(|&item| match item {
+                    TailItem::Source(c) => {
+                        borrow_key_at(&ctab.columns[c], sel[p as usize] as usize)
+                    }
+                    TailItem::Computed(k) => BorrowKey::from(&vals[k][p as usize]),
+                })
+                .collect();
+            if seen.insert(key) {
+                kept.push(p);
+                if target.is_some_and(|t| kept.len() >= t) {
+                    break;
+                }
+            }
+        }
+        pos = kept;
+    }
+
+    // 4. LIMIT/OFFSET on positions, then materialize the survivors.
+    if let Some(off) = tail.offset {
+        pos.drain(..(off as usize).min(pos.len()));
+    }
+    if let Some(lim) = tail.limit {
+        pos.truncate(lim as usize);
+    }
+    let rows: Vec<Row> = pos
+        .iter()
+        .map(|&p| {
+            tail.out_items
+                .iter()
+                .map(|&item| match item {
+                    TailItem::Source(c) => ctab.columns[c].value(sel[p as usize] as usize),
+                    TailItem::Computed(k) => vals[k][p as usize].clone(),
+                })
+                .collect()
+        })
+        .collect();
+    Ok(Relation::new(tail.out_cols.clone(), rows))
 }
 
 /// Sort the selection indices by the tail's typed columnar sort keys —
@@ -720,20 +989,23 @@ where
 /// strings straight from the columns, so keying a row never clones.
 fn distinct_key<'a>(ctab: &'a ColumnarTable, srcs: &[usize], i: usize) -> Vec<BorrowKey<'a>> {
     srcs.iter()
-        .map(|&c| {
-            let col = &ctab.columns[c];
-            if col.is_null(i) {
-                return BorrowKey::Null;
-            }
-            match &col.data {
-                ColumnData::Int64(xs) => BorrowKey::Int(xs[i]),
-                ColumnData::Float64(xs) => BorrowKey::from_float(xs[i]),
-                ColumnData::Bool(bs) => BorrowKey::Bool(bs[i]),
-                ColumnData::Str(ss) => BorrowKey::Str(&ss[i]),
-                ColumnData::Mixed(vs) => BorrowKey::from(&vs[i]),
-            }
-        })
+        .map(|&c| borrow_key_at(&ctab.columns[c], i))
         .collect()
+}
+
+/// One column's contribution to a DISTINCT key: the [`BorrowKey`] of row
+/// `i`, borrowing strings straight from the column.
+fn borrow_key_at(col: &Column, i: usize) -> BorrowKey<'_> {
+    if col.is_null(i) {
+        return BorrowKey::Null;
+    }
+    match &col.data {
+        ColumnData::Int64(xs) => BorrowKey::Int(xs[i]),
+        ColumnData::Float64(xs) => BorrowKey::from_float(xs[i]),
+        ColumnData::Bool(bs) => BorrowKey::Bool(bs[i]),
+        ColumnData::Str(ss) => BorrowKey::Str(&ss[i]),
+        ColumnData::Mixed(vs) => BorrowKey::from(&vs[i]),
+    }
 }
 
 /// Materialize the tail's surviving rows, reading only the projected
@@ -959,23 +1231,47 @@ fn flip(op: BinaryOperator) -> BinaryOperator {
 // ---- columnar hash join -------------------------------------------------
 
 /// If `e` (compiled against the combined join scope of width `lw + rw`)
-/// is a single-side [`kernelizable`] conjunct, return its side and the
+/// is a single-side kernel-shaped conjunct, return its side and the
 /// kernel rebased to that side's local column indices; else `None`.
+///
+/// `l_like` / `r_like` say, per side-local column, whether a `LIKE`
+/// kernel may run on it (physically `Str` columns only — the shape-only
+/// check the planner needs, since derived-table leaves have no
+/// plan-time column types and pass all-`false` slices).
 pub(crate) fn side_kernel(
     e: &CompiledExpr,
     lw: usize,
-    ltab: &ColumnarTable,
-    rtab: &ColumnarTable,
+    l_like: &[bool],
+    r_like: &[bool],
 ) -> Option<(JoinSide, CompiledExpr)> {
     // Kernel shapes reference exactly one column, which pins the side.
     let mut cols = Vec::new();
     e.for_each_column(&mut |i| cols.push(i));
     let [c] = cols[..] else { return None };
     if c < lw {
-        kernelizable(ltab, e).then(|| (JoinSide::Left, e.clone()))
+        kernel_shape_ok(e, l_like).then(|| (JoinSide::Left, e.clone()))
     } else {
         let rebased = rebase_kernel_shape(e, lw)?;
-        kernelizable(rtab, &rebased).then_some((JoinSide::Right, rebased))
+        kernel_shape_ok(&rebased, r_like).then_some((JoinSide::Right, rebased))
+    }
+}
+
+/// The shape half of [`kernelizable`], decidable at plan time from a
+/// per-column `LIKE`-eligibility slice instead of a materialized
+/// [`ColumnarTable`].
+fn kernel_shape_ok(e: &CompiledExpr, like_ok: &[bool]) -> bool {
+    match e {
+        CompiledExpr::Binary { op, left, right } if op.is_comparison() => matches!(
+            (&**left, &**right),
+            (CompiledExpr::Column(_), CompiledExpr::Literal(_))
+                | (CompiledExpr::Literal(_), CompiledExpr::Column(_))
+        ),
+        CompiledExpr::IsNull { expr, .. } => matches!(&**expr, CompiledExpr::Column(_)),
+        CompiledExpr::Like { expr, pattern, .. } => match (&**expr, &**pattern) {
+            (CompiledExpr::Column(c), CompiledExpr::Literal(Value::Str(_))) => like_ok[*c],
+            _ => false,
+        },
+        _ => false,
     }
 }
 
@@ -1201,8 +1497,9 @@ impl<'a> ResidualEval<'a> {
 }
 
 /// Apply one post-join kernel to the match vectors in place. On the
-/// NULL-padded right side of an unmatched LEFT JOIN row every column
-/// reads NULL, so only a non-negated `IS NULL` keeps the pad.
+/// NULL-padded side of an unmatched outer-join row (right side of a
+/// LEFT pad, left side of a RIGHT pad) every column reads NULL, so only
+/// a non-negated `IS NULL` keeps the pad.
 fn apply_pair_kernel(
     ltab: &ColumnarTable,
     rtab: &ColumnarTable,
@@ -1219,16 +1516,14 @@ fn apply_pair_kernel(
     let keeps_pad = kernel_keeps_all_null(kernel);
     let mut w = 0;
     for k in 0..pairs_l.len() {
-        let keep = match side {
-            JoinSide::Left => pred(pairs_l[k] as usize),
-            JoinSide::Right => {
-                let ri = pairs_r[k];
-                if ri == GATHER_NULL {
-                    keeps_pad
-                } else {
-                    pred(ri as usize)
-                }
-            }
+        let idx = match side {
+            JoinSide::Left => pairs_l[k],
+            JoinSide::Right => pairs_r[k],
+        };
+        let keep = if idx == GATHER_NULL {
+            keeps_pad
+        } else {
+            pred(idx as usize)
         };
         if keep {
             pairs_l[w] = pairs_l[k];
@@ -1262,7 +1557,11 @@ fn generic_pair_filter(
     for k in 0..pairs_l.len() {
         let (li, ri) = (pairs_l[k], pairs_r[k]);
         for &c in &lrefs {
-            scratch[c] = ltab.columns[c].value(li as usize);
+            scratch[c] = if li == GATHER_NULL {
+                Value::Null
+            } else {
+                ltab.columns[c].value(li as usize)
+            };
         }
         for &c in &rrefs {
             scratch[c] = if ri == GATHER_NULL {
@@ -1282,81 +1581,323 @@ fn generic_pair_filter(
     Ok(())
 }
 
-/// Run a planned two-table equi-join: kernel-narrowed scans, columnar
-/// hash join into `(left, right)` match vectors, post-join filters, late
-/// materialization of only the live columns, then the shared
-/// aggregate/projection tail. Byte-identical to the row interpreter —
-/// see [`crate::plan`] for why each pushdown preserves that.
-fn run_join(db: &Database, q: &Query, route: &JoinRoute<'_>, topk: &mut bool) -> Result<ResultSet> {
-    let JoinRoute {
-        s,
-        plan,
-        cols,
-        ltab,
-        rtab,
-    } = route;
-    let lw = ltab.columns.len();
-    let rw = rtab.columns.len();
-    let par = db.exec_tuning();
+/// The tree root's WHERE split: side-tagged pushed kernels plus the
+/// compiled post-join residual filter.
+type PostSplit<'p> = (&'p [(JoinSide, CompiledExpr)], Option<&'p CompiledExpr>);
 
-    // Scans: selection vectors narrowed by the pushed-down kernels
-    // (morsel-parallel per side; kernels are per-row, so chunked
-    // narrowing concatenates back to the sequential selection).
-    let lsel = kernel_scan(ltab, &plan.pushed_left, par);
-    let rsel = kernel_scan(rtab, &plan.pushed_right, par);
+/// Bottom-up executor over a planned join tree ([`TreePlan`]): each
+/// node's children materialize first (left before right — the row
+/// engine's FROM evaluation order, so errors inside derived leaves
+/// surface identically), then the node joins them into a columnar
+/// intermediate holding only the columns its parent needs.
+struct TreeExec<'e> {
+    db: &'e Database,
+    par: Parallelism,
+    stats: &'e mut VexecStats,
+    /// Longest leaf scanned, for the worker-entitlement stat.
+    max_leaf: usize,
+}
 
-    // Build + probe. The build side is sequential (it is the smaller,
-    // already-narrowed side and its bucket lists must be in right-table
-    // order); probing walks the left side in order and each bucket in
-    // right-table order, so matches come out exactly in the row engine's
-    // combined-row order; unmatched left rows of a LEFT JOIN are emitted
-    // in place with the GATHER_NULL pad. Parallel probes claim morsels
-    // of `lsel` against the shared read-only index and their match
-    // vectors concatenate in morsel order — the same pair sequence.
-    let index = JoinIndex::build(rtab, &plan.key_pairs, &rsel);
-    let pad = matches!(plan.join_type, JoinType::Left);
-    let probe_chunk = |chunk: &[u32]| -> Result<(Vec<u32>, Vec<u32>)> {
-        let left_preds: Vec<_> = plan
+impl TreeExec<'_> {
+    fn exec_node(
+        &mut self,
+        node: &PlanNode,
+        leaves: &[plan::Leaf<'_>],
+    ) -> Result<Arc<ColumnarTable>> {
+        match node {
+            PlanNode::Scan(i) => match &leaves[*i].source {
+                LeafSource::Base(ctab) => {
+                    self.note_leaf(ctab.len());
+                    Ok(ctab.clone())
+                }
+                // A derived leaf executes its subquery (routed
+                // independently — vectorized when it can be) and
+                // columnarizes the result.
+                LeafSource::Derived { query, width } => {
+                    let rs = exec::execute(self.db, query)?;
+                    debug_assert_eq!(rs.columns.len(), *width, "static width matches runtime");
+                    let ctab = ColumnarTable::from_rows(&rs.rows, *width);
+                    self.note_leaf(ctab.len());
+                    Ok(Arc::new(ctab))
+                }
+            },
+            PlanNode::Join(j) => self.exec_join(j, None, leaves),
+        }
+    }
+
+    fn note_leaf(&mut self, len: usize) {
+        self.stats.rows_scanned += len as u64;
+        self.stats.morsels += morsel_count(len, self.par);
+        self.max_leaf = self.max_leaf.max(len);
+    }
+
+    /// Join one node's children into `(left, right)` match vectors and
+    /// late-materialize the live columns. `post` carries the WHERE
+    /// split (kernels + residual filter) at the tree root only.
+    ///
+    /// `PostSplit` borrows the root's pushed WHERE kernels (tagged by
+    /// side) and the compiled residual filter.
+    ///
+    /// Emission order is always the row engine's: matches stream in
+    /// left-row order with each bucket in right-row order, unmatched
+    /// left rows of a pad-keeping join emit in place, and unmatched
+    /// right rows append at the end in right-row order. The swapped
+    /// build path restores that order by sorting its pair vector.
+    fn exec_join(
+        &mut self,
+        node: &JoinNode,
+        post: Option<PostSplit<'_>>,
+        leaves: &[plan::Leaf<'_>],
+    ) -> Result<Arc<ColumnarTable>> {
+        let ltab = self.exec_node(&node.left, leaves)?;
+        let rtab = self.exec_node(&node.right, leaves)?;
+        let par = self.par;
+        let (lw, rw) = (node.lw, node.rw);
+        debug_assert_eq!(ltab.columns.len(), lw);
+        debug_assert_eq!(rtab.columns.len(), rw);
+        let keep_l = plan::keeps_unmatched(node.join_type, JoinSide::Left);
+        let keep_r = plan::keeps_unmatched(node.join_type, JoinSide::Right);
+
+        // Scans: selection vectors narrowed by the pushed-down drop
+        // kernels (sound on a side only when it keeps no pads), then the
+        // match-only kernels (ON conjuncts on a pad-keeping right side:
+        // failing rows cannot match but still pad).
+        let lsel = kernel_scan(&ltab, &node.left_kernels, par);
+        let rsel = kernel_scan(&rtab, &node.right_kernels, par);
+        let rmatch = if node.right_match_kernels.is_empty() {
+            rsel.clone()
+        } else {
+            let refs: Vec<&CompiledExpr> = node.right_match_kernels.iter().collect();
+            narrow_by_kernels(&rtab, &refs, rsel.clone())
+        };
+
+        // Record this join in the scheduling trace (post-order position;
+        // the `swapped` bit says the build ran on the left input).
+        let jidx = self.stats.join_order.joins;
+        self.stats.join_order.joins = jidx.saturating_add(1);
+
+        let (mut pairs_l, mut pairs_r) = if node.key_pairs.is_empty() {
+            // CROSS and pure non-equi joins: nested-loop morsels.
+            nested_loop_join(&ltab, &rtab, node, &lsel, &rmatch, keep_l, par)?
+        } else if matches!(node.join_type, JoinType::Inner)
+            && node.residual.is_empty()
+            && node.left_match_kernels.is_empty()
+            && lsel.len() < rmatch.len()
+        {
+            // Greedy smallest-estimated-input-first: build on the
+            // smaller (already kernel-narrowed) input. Only pure INNER
+            // equi-joins swap — pads and fallible residuals pin the
+            // probe side — and the pair sort below makes the swap
+            // invisible to result bytes.
+            if jidx < 8 {
+                self.stats.join_order.swapped |= 1 << jidx;
+            }
+            swapped_equi_join(&ltab, &rtab, &node.key_pairs, &lsel, &rmatch, par)
+        } else {
+            // Build + probe. The build side is sequential (its bucket
+            // lists must be in right-table order); probing walks the
+            // left side in order and each bucket in right-table order,
+            // so matches come out exactly in the row engine's
+            // combined-row order; unmatched left rows of a pad-keeping
+            // join are emitted in place with the GATHER_NULL pad.
+            // Parallel probes claim morsels of `lsel` against the shared
+            // read-only index and their match vectors concatenate in
+            // morsel order — the same pair sequence.
+            let index = JoinIndex::build(&rtab, &node.key_pairs, &rmatch);
+            let probe_chunk = |chunk: &[u32]| -> Result<(Vec<u32>, Vec<u32>)> {
+                let left_preds: Vec<_> = node
+                    .left_match_kernels
+                    .iter()
+                    .map(|k| kernel_predicate(&ltab, k))
+                    .collect();
+                let mut residual =
+                    (!node.residual.is_empty()).then(|| ResidualEval::new(&node.residual, lw, rw));
+                let mut pairs_l: Vec<u32> = Vec::with_capacity(chunk.len());
+                let mut pairs_r: Vec<u32> = Vec::with_capacity(chunk.len());
+                for &li in chunk {
+                    let lidx = li as usize;
+                    let mut matched = false;
+                    if left_preds.iter().all(|p| p(lidx)) {
+                        if let Some(candidates) = index.probe(&ltab, &node.key_pairs, lidx) {
+                            if let Some(res) = &mut residual {
+                                res.load_left(&ltab, lidx);
+                                for &ri in candidates {
+                                    if res.pair_ok(&rtab, lw, ri as usize)? {
+                                        matched = true;
+                                        pairs_l.push(li);
+                                        pairs_r.push(ri);
+                                    }
+                                }
+                            } else {
+                                matched = !candidates.is_empty();
+                                for &ri in candidates {
+                                    pairs_l.push(li);
+                                    pairs_r.push(ri);
+                                }
+                            }
+                        }
+                    }
+                    if !matched && keep_l {
+                        pairs_l.push(li);
+                        pairs_r.push(GATHER_NULL);
+                    }
+                }
+                Ok((pairs_l, pairs_r))
+            };
+            if par.engaged(lsel.len()) {
+                let chunks = morsel::try_run(lsel.len(), par, |r| probe_chunk(&lsel[r]))?;
+                let total = chunks.iter().map(|(l, _)| l.len()).sum();
+                let mut pairs_l: Vec<u32> = Vec::with_capacity(total);
+                let mut pairs_r: Vec<u32> = Vec::with_capacity(total);
+                for (l, r) in chunks {
+                    pairs_l.extend(l);
+                    pairs_r.extend(r);
+                }
+                (pairs_l, pairs_r)
+            } else {
+                probe_chunk(&lsel)?
+            }
+        };
+
+        // Matched-bit tracking for RIGHT/FULL joins: right rows no
+        // surviving pair references pad with a NULL left side, appended
+        // after every match in right-row order — the row engine's
+        // emission order. Pads come from `rsel` (not `rmatch`): rows
+        // failing a match-only kernel still pad, and drop-kernel
+        // narrowing of a pad-keeping side is blocked at plan time.
+        if keep_r {
+            let mut matched = vec![false; rtab.len()];
+            for &rj in pairs_r.iter() {
+                if rj != GATHER_NULL {
+                    matched[rj as usize] = true;
+                }
+            }
+            for &rj in &rsel {
+                if !matched[rj as usize] {
+                    pairs_l.push(GATHER_NULL);
+                    pairs_r.push(rj);
+                }
+            }
+        }
+
+        // Post-join filters (WHERE conjuncts that could not be pushed),
+        // applied per pair at the tree root — after pads, exactly where
+        // the row engine filters the joined relation.
+        if let Some((post_kernels, post_filter)) = post {
+            if par.engaged(pairs_l.len()) && (!post_kernels.is_empty() || post_filter.is_some()) {
+                let chunks = morsel::try_run(pairs_l.len(), par, |range| {
+                    let mut pl = pairs_l[range.clone()].to_vec();
+                    let mut pr = pairs_r[range].to_vec();
+                    for (side, k) in post_kernels {
+                        if pl.is_empty() {
+                            break;
+                        }
+                        apply_pair_kernel(&ltab, &rtab, *side, k, &mut pl, &mut pr);
+                    }
+                    if let Some(pred) = post_filter {
+                        generic_pair_filter(&ltab, &rtab, pred, &mut pl, &mut pr)?;
+                    }
+                    Ok::<_, DbError>((pl, pr))
+                })?;
+                pairs_l.clear();
+                pairs_r.clear();
+                for (l, r) in chunks {
+                    pairs_l.extend(l);
+                    pairs_r.extend(r);
+                }
+            } else {
+                for (side, k) in post_kernels {
+                    if pairs_l.is_empty() {
+                        break;
+                    }
+                    apply_pair_kernel(&ltab, &rtab, *side, k, &mut pairs_l, &mut pairs_r);
+                }
+                if let Some(pred) = post_filter {
+                    generic_pair_filter(&ltab, &rtab, pred, &mut pairs_l, &mut pairs_r)?;
+                }
+            }
+        }
+
+        // Late materialization: gather only the live columns; dead
+        // columns become all-NULL placeholders nothing downstream reads
+        // (liveness planning guarantees no parent gathers them).
+        let n = pairs_l.len();
+        let mut columns = Vec::with_capacity(lw + rw);
+        for (c, col) in ltab.columns.iter().enumerate() {
+            columns.push(if node.live_cols[c] {
+                col.gather(&pairs_l)
+            } else {
+                Column::all_null(n)
+            });
+        }
+        for (c, col) in rtab.columns.iter().enumerate() {
+            columns.push(if node.live_cols[lw + c] {
+                col.gather(&pairs_r)
+            } else {
+                Column::all_null(n)
+            });
+        }
+        Ok(Arc::new(ColumnarTable::from_columns(columns, n)))
+    }
+}
+
+/// Nested-loop join for keyless nodes (CROSS joins and pure non-equi ON
+/// constraints): every surviving left row pairs against every
+/// match-eligible right row, gated by the fallible residual (evaluated
+/// in ON-conjunct order, left rows outermost — the row engine's loop,
+/// so values, short-circuits and errors are identical). Morsels split
+/// the left side; the earliest morsel's error wins, which is the
+/// sequential error.
+fn nested_loop_join(
+    ltab: &ColumnarTable,
+    rtab: &ColumnarTable,
+    node: &JoinNode,
+    lsel: &[u32],
+    rmatch: &[u32],
+    keep_l: bool,
+    par: Parallelism,
+) -> Result<(Vec<u32>, Vec<u32>)> {
+    let (lw, rw) = (node.lw, node.rw);
+    let chunk_fn = |chunk: &[u32]| -> Result<(Vec<u32>, Vec<u32>)> {
+        let left_preds: Vec<_> = node
             .left_match_kernels
             .iter()
             .map(|k| kernel_predicate(ltab, k))
             .collect();
-        let mut residual = (!plan.join_residual.is_empty())
-            .then(|| ResidualEval::new(&plan.join_residual, lw, rw));
-        let mut pairs_l: Vec<u32> = Vec::with_capacity(chunk.len());
-        let mut pairs_r: Vec<u32> = Vec::with_capacity(chunk.len());
+        let mut residual =
+            (!node.residual.is_empty()).then(|| ResidualEval::new(&node.residual, lw, rw));
+        let mut pairs_l: Vec<u32> = Vec::new();
+        let mut pairs_r: Vec<u32> = Vec::new();
         for &li in chunk {
             let lidx = li as usize;
             let mut matched = false;
             if left_preds.iter().all(|p| p(lidx)) {
-                if let Some(candidates) = index.probe(ltab, &plan.key_pairs, lidx) {
-                    if let Some(res) = &mut residual {
-                        res.load_left(ltab, lidx);
-                        for &ri in candidates {
-                            if res.pair_ok(rtab, lw, ri as usize)? {
-                                matched = true;
-                                pairs_l.push(li);
-                                pairs_r.push(ri);
-                            }
-                        }
-                    } else {
-                        matched = !candidates.is_empty();
-                        for &ri in candidates {
+                if let Some(res) = &mut residual {
+                    res.load_left(ltab, lidx);
+                    for &ri in rmatch {
+                        if res.pair_ok(rtab, lw, ri as usize)? {
+                            matched = true;
                             pairs_l.push(li);
                             pairs_r.push(ri);
                         }
                     }
+                } else {
+                    matched = !rmatch.is_empty();
+                    for &ri in rmatch {
+                        pairs_l.push(li);
+                        pairs_r.push(ri);
+                    }
                 }
             }
-            if !matched && pad {
+            if !matched && keep_l {
                 pairs_l.push(li);
                 pairs_r.push(GATHER_NULL);
             }
         }
         Ok((pairs_l, pairs_r))
     };
-    let (mut pairs_l, mut pairs_r) = if par.engaged(lsel.len()) {
-        let chunks = morsel::try_run(lsel.len(), par, |r| probe_chunk(&lsel[r]))?;
+    if par.engaged(lsel.len()) {
+        let chunks = morsel::try_run(lsel.len(), par, |r| chunk_fn(&lsel[r]))?;
         let total = chunks.iter().map(|(l, _)| l.len()).sum();
         let mut pairs_l: Vec<u32> = Vec::with_capacity(total);
         let mut pairs_r: Vec<u32> = Vec::with_capacity(total);
@@ -1364,69 +1905,198 @@ fn run_join(db: &Database, q: &Query, route: &JoinRoute<'_>, topk: &mut bool) ->
             pairs_l.extend(l);
             pairs_r.extend(r);
         }
-        (pairs_l, pairs_r)
+        Ok((pairs_l, pairs_r))
     } else {
-        probe_chunk(&lsel)?
-    };
+        chunk_fn(lsel)
+    }
+}
 
-    // Post-join filters (WHERE conjuncts that could not be pushed),
-    // applied per pair — chunkable the same way.
-    if par.engaged(pairs_l.len()) && (!plan.post_kernels.is_empty() || plan.post_filter.is_some()) {
-        let chunks = morsel::try_run(pairs_l.len(), par, |range| {
-            let mut pl = pairs_l[range.clone()].to_vec();
-            let mut pr = pairs_r[range].to_vec();
-            for (side, k) in &plan.post_kernels {
-                if pl.is_empty() {
-                    break;
+/// Pure INNER equi-join with the build side swapped onto the smaller
+/// left input: build over `lsel`, probe `rmatch` morsel-parallel, then
+/// sort the pair vector by `(left, right)` — bucket lists are ascending
+/// and pairs are unique, so the sort reproduces exactly the unswapped
+/// (row engine) emission order. Infallible by construction (no residual,
+/// no pads), which is what makes the order restoration a pure
+/// permutation.
+fn swapped_equi_join(
+    ltab: &ColumnarTable,
+    rtab: &ColumnarTable,
+    key_pairs: &[(usize, usize)],
+    lsel: &[u32],
+    rmatch: &[u32],
+    par: Parallelism,
+) -> (Vec<u32>, Vec<u32>) {
+    let inv: Vec<(usize, usize)> = key_pairs.iter().map(|&(lk, rk)| (rk, lk)).collect();
+    let index = JoinIndex::build(ltab, &inv, lsel);
+    let probe_chunk = |chunk: &[u32]| -> Vec<(u32, u32)> {
+        let mut pairs = Vec::with_capacity(chunk.len());
+        for &ri in chunk {
+            if let Some(candidates) = index.probe(rtab, &inv, ri as usize) {
+                for &li in candidates {
+                    pairs.push((li, ri));
                 }
-                apply_pair_kernel(ltab, rtab, *side, k, &mut pl, &mut pr);
             }
-            if let Some(pred) = &plan.post_filter {
-                generic_pair_filter(ltab, rtab, pred, &mut pl, &mut pr)?;
-            }
-            Ok::<_, DbError>((pl, pr))
-        })?;
-        pairs_l.clear();
-        pairs_r.clear();
-        for (l, r) in chunks {
-            pairs_l.extend(l);
-            pairs_r.extend(r);
         }
+        pairs
+    };
+    let mut pairs: Vec<(u32, u32)> = if par.engaged(rmatch.len()) {
+        morsel::run(rmatch.len(), par, |r| probe_chunk(&rmatch[r])).concat()
     } else {
-        for (side, k) in &plan.post_kernels {
-            if pairs_l.is_empty() {
-                break;
-            }
-            apply_pair_kernel(ltab, rtab, *side, k, &mut pairs_l, &mut pairs_r);
-        }
-        if let Some(pred) = &plan.post_filter {
-            generic_pair_filter(ltab, rtab, pred, &mut pairs_l, &mut pairs_r)?;
-        }
-    }
+        probe_chunk(rmatch)
+    };
+    pairs.sort_unstable();
+    (
+        pairs.iter().map(|p| p.0).collect(),
+        pairs.iter().map(|p| p.1).collect(),
+    )
+}
 
-    // Late materialization: gather only the live columns; dead columns
-    // become all-NULL placeholders the tail never reads.
-    let n = pairs_l.len();
-    let mut columns = Vec::with_capacity(lw + rw);
-    for (c, col) in ltab.columns.iter().enumerate() {
-        columns.push(if plan.live_cols[c] {
-            col.gather(&pairs_l)
-        } else {
-            Column::all_null(n)
-        });
-    }
-    for (c, col) in rtab.columns.iter().enumerate() {
-        columns.push(if plan.live_cols[lw + c] {
-            col.gather(&pairs_r)
-        } else {
-            Column::all_null(n)
-        });
-    }
-    let joined = ColumnarTable::from_columns(columns, n);
-
-    let sel: Vec<u32> = (0..n as u32).collect();
+/// Run a planned join tree: execute it bottom-up (each join
+/// late-materializing only live columns into a columnar intermediate),
+/// then the shared WHERE-residue, aggregate and projection tail over
+/// the root's output. Byte-identical to the row interpreter — see
+/// [`crate::plan`] for why each pushdown preserves that.
+fn run_tree(
+    db: &Database,
+    q: &Query,
+    s: &Select,
+    tree: TreePlan<'_>,
+    stats: &mut VexecStats,
+) -> Result<ResultSet> {
+    let par = db.exec_tuning();
+    let mut texec = TreeExec {
+        db,
+        par,
+        stats,
+        max_leaf: 0,
+    };
+    let joined = texec.exec_join(
+        &tree.root,
+        Some((&tree.post_kernels, tree.post_filter.as_ref())),
+        &tree.leaves,
+    );
+    let max_leaf = texec.max_leaf;
+    stats.workers = if par.engaged(max_leaf) {
+        par.workers
+    } else {
+        1
+    } as u64;
+    let joined = joined?;
+    let sel: Vec<u32> = (0..joined.len() as u32).collect();
     let mut ex = Exec::new(db);
-    finish_block(&mut ex, q, s, cols.clone(), &joined, &sel, par, topk)
+    finish_block(
+        &mut ex,
+        q,
+        s,
+        tree.cols,
+        &joined,
+        &sel,
+        par,
+        &mut stats.topk,
+    )
+}
+
+/// Run a UNION / UNION ALL tree: arms execute left-to-right through the
+/// ordinary block pipeline (each arm routed vectorized at plan time),
+/// their rows concatenate into one columnar intermediate, the set-op
+/// tree's DISTINCT nodes dedupe index ranges bottom-up, and the union's
+/// ORDER BY / LIMIT tail runs on indices like [`run_tail`].
+fn run_union(
+    db: &Database,
+    q: &Query,
+    route: &UnionRoute<'_>,
+    stats: &mut VexecStats,
+) -> Result<ResultSet> {
+    let par = db.exec_tuning();
+    // 1. Execute every arm in the row engine's depth-first order; the
+    // earliest arm error propagates, like the row engine's recursion.
+    let mut arm_results: Vec<ResultSet> = Vec::with_capacity(route.arms.len());
+    let mut workers = 1u64;
+    for s in &route.arms {
+        let synth = arm_query(s);
+        let (result, arm_stats) = try_execute_traced(db, &synth)
+            .unwrap_or_else(|_| unreachable!("arms routed at plan time; routing is deterministic"));
+        stats.morsels += arm_stats.morsels;
+        stats.rows_scanned += arm_stats.rows_scanned;
+        workers = workers.max(arm_stats.workers);
+        // Concatenate arm join orders into one (best-effort) record.
+        let shift = stats.join_order.joins;
+        if shift < 8 {
+            stats.join_order.swapped |= arm_stats.join_order.swapped << shift;
+        }
+        stats.join_order.joins = stats
+            .join_order
+            .joins
+            .saturating_add(arm_stats.join_order.joins);
+        arm_results.push(result?);
+    }
+    stats.workers = workers;
+
+    // 2. Concatenate rows columnar. Arity is statically verified equal
+    // across arms, so the row engine's runtime arity check cannot fire.
+    let columns = arm_results[0].columns.clone();
+    let mut ranges: Vec<std::ops::Range<u32>> = Vec::with_capacity(arm_results.len());
+    let mut all_rows: Vec<Row> = Vec::new();
+    for rs in &mut arm_results {
+        let start = all_rows.len() as u32;
+        all_rows.append(&mut rs.rows);
+        ranges.push(start..all_rows.len() as u32);
+    }
+    let ctab = ColumnarTable::from_rows(&all_rows, route.arity);
+    drop(all_rows);
+
+    // 3. The set-op tree dedupes index ranges bottom-up; the result is
+    // a strictly ascending index list in set-op emission order.
+    let mut next_arm = 0usize;
+    let srcs: Vec<usize> = (0..route.arity).collect();
+    let mut idx = union_indices(&q.body, &ranges, &mut next_arm, &ctab, &srcs);
+
+    // 4. Union ORDER BY sorts by output columns only; ties keep set-op
+    // emission order (index tie-break = the row engine's stable sort).
+    if !route.sort.is_empty() {
+        let mut topk_unused = false;
+        idx = ordered_indices(&ctab, &route.sort, &idx, None, par, &mut topk_unused);
+    }
+    if let Some(off) = q.offset {
+        idx.drain(..(off as usize).min(idx.len()));
+    }
+    if let Some(lim) = q.limit {
+        idx.truncate(lim as usize);
+    }
+    let rows = materialize_rows(&ctab, &idx, &srcs, par);
+    Ok(ResultSet { columns, rows })
+}
+
+/// The surviving row indices of a set-op tree over the concatenated
+/// arm rows: leaves consume arm ranges in depth-first order, UNION ALL
+/// concatenates, and UNION (distinct) keeps first occurrences over
+/// full-row keys — the same partition the row engine's `RowKey` dedupe
+/// produces at each node.
+fn union_indices(
+    e: &SetExpr,
+    ranges: &[std::ops::Range<u32>],
+    next_arm: &mut usize,
+    ctab: &ColumnarTable,
+    srcs: &[usize],
+) -> Vec<u32> {
+    match e {
+        SetExpr::Select(_) => {
+            let r = ranges[*next_arm].clone();
+            *next_arm += 1;
+            r.collect()
+        }
+        SetExpr::SetOp {
+            all, left, right, ..
+        } => {
+            let mut idx = union_indices(left, ranges, next_arm, ctab, srcs);
+            idx.extend(union_indices(right, ranges, next_arm, ctab, srcs));
+            if !*all {
+                let mut seen: HashSet<Vec<BorrowKey<'_>>> = HashSet::new();
+                idx.retain(|&i| seen.insert(distinct_key(ctab, srcs, i as usize)));
+            }
+            idx
+        }
+    }
 }
 
 /// Narrow a full-table scan by a list of pushed-down kernels

@@ -318,6 +318,130 @@ fn arb_join_query() -> BoxedStrategy<String> {
         .boxed()
 }
 
+/// Random queries over the plan-IR shapes: three-table join trees,
+/// RIGHT/FULL/CROSS and non-equi joins, derived tables in FROM
+/// (standalone and as join leaves), UNION / UNION ALL trees, and
+/// computed / constant projection or sort items that engage the
+/// speculative mixed tail.
+fn arb_tree_query() -> BoxedStrategy<String> {
+    // RIGHT/FULL joins: matched-bit padding on the build side.
+    let outer = (
+        prop_oneof![Just("RIGHT JOIN"), Just("FULL JOIN")],
+        prop_oneof![
+            Just("ON x.a = y.a".to_string()),
+            (-4i64..5).prop_map(|c| format!("ON x.a = y.a AND y.w >= {c}")),
+            (-4i64..5).prop_map(|c| format!("ON x.a = y.a AND x.d <> {c}")),
+            // Fallible residual: evaluated per candidate pair.
+            Just("ON x.a = y.a AND x.b < y.w".to_string()),
+        ],
+        prop_oneof![
+            Just(String::new()),
+            (-4i64..5).prop_map(|c| format!(" WHERE y.w <= {c}")),
+            Just(" WHERE x.a IS NULL".to_string()),
+            Just(" WHERE x.c IS NOT NULL OR y.u IS NULL".to_string()),
+        ],
+        0u32..3,
+    )
+        .prop_map(|(jt, on, wh, shape)| match shape {
+            0 => format!("SELECT x.a, x.c, y.w, y.u FROM t x {jt} r y {on}{wh}"),
+            1 => format!(
+                "SELECT x.a, y.w, y.u FROM t x {jt} r y {on}{wh} \
+                 ORDER BY x.a, y.w, y.u LIMIT 9 OFFSET 1"
+            ),
+            _ => format!(
+                "SELECT COUNT(*), COUNT(x.a), SUM(y.w), MIN(y.u) FROM t x {jt} r y {on}{wh}"
+            ),
+        });
+    // CROSS and non-equi joins: nested-loop morsels.
+    let nonequi = (
+        prop_oneof![
+            Just("CROSS JOIN r y".to_string()),
+            Just("JOIN r y ON x.a < y.a".to_string()),
+            Just("JOIN r y ON x.b >= y.w".to_string()),
+            Just("LEFT JOIN r y ON x.a <> y.a".to_string()),
+            // Keyless one-sided constraint: every probe row scans the
+            // whole build side.
+            Just("JOIN r y ON x.d = 2".to_string()),
+        ],
+        prop_oneof![
+            Just(String::new()),
+            (-4i64..5).prop_map(|c| format!(" WHERE x.d > {c}")),
+            Just(" WHERE y.u IS NOT NULL".to_string()),
+        ],
+        0u32..2,
+    )
+        .prop_map(|(j, wh, shape)| match shape {
+            0 => format!("SELECT x.a, x.d, y.w FROM t x {j}{wh} LIMIT 40"),
+            _ => format!("SELECT COUNT(*), SUM(x.a + y.w) FROM t x {j}{wh}"),
+        });
+    // Left-deep three-table trees: the greedy build-side choice is pure
+    // scheduling, so bytes cannot depend on which side gets built.
+    let tree = (
+        prop_oneof![Just("JOIN"), Just("LEFT JOIN")],
+        prop_oneof![Just("JOIN"), Just("LEFT JOIN"), Just("RIGHT JOIN")],
+        prop_oneof![
+            Just(String::new()),
+            (-4i64..5).prop_map(|c| format!(" WHERE y.w <= {c}")),
+            (-4i64..5).prop_map(|c| format!(" WHERE x.d + z.d > {c}")),
+        ],
+        0u32..3,
+    )
+        .prop_map(|(j1, j2, wh, shape)| {
+            let from = format!("FROM t x {j1} r y ON x.a = y.a {j2} t z ON y.a = z.a");
+            match shape {
+                0 => format!("SELECT x.a, y.w, z.d {from}{wh}"),
+                1 => format!("SELECT x.c, y.u, z.b {from}{wh} ORDER BY x.c, y.u, z.b DESC LIMIT 8"),
+                _ => format!(
+                    "SELECT z.d, COUNT(*) AS n, SUM(y.w) {from}{wh} \
+                     GROUP BY z.d ORDER BY n DESC, 1"
+                ),
+            }
+        });
+    // Derived tables: the subquery runs first and columnarizes into the
+    // outer scan — standalone FROM and as a join-tree leaf.
+    let derived = (arb_pred(), 0u32..3).prop_map(|(p, shape)| match shape {
+        0 => format!("SELECT COUNT(*), SUM(s.k) FROM (SELECT a + d AS k FROM t WHERE {p}) s"),
+        1 => format!(
+            "SELECT s.a, s.b FROM (SELECT a, b FROM t WHERE {p} ORDER BY a, b LIMIT 9) s \
+             ORDER BY s.a DESC, s.b"
+        ),
+        _ => format!(
+            "SELECT x.c, s.w FROM t x JOIN (SELECT a, w FROM r WHERE {p2}) s ON x.a = s.a \
+             ORDER BY x.c, s.w",
+            p2 = "w IS NOT NULL"
+        ),
+    });
+    // UNION trees: columnar concatenation + per-node first-occurrence
+    // dedup, including a nested three-arm tree.
+    let union = (arb_pred(), 0u32..2, 0u32..4).prop_map(|(p, all, tail)| {
+        let op = if all == 0 { "UNION" } else { "UNION ALL" };
+        let t = match tail {
+            0 => "",
+            1 => " ORDER BY 1 DESC, 2",
+            2 => " ORDER BY a, d DESC LIMIT 6 OFFSET 1",
+            _ => " LIMIT 5",
+        };
+        format!("SELECT a, d FROM t WHERE {p} {op} SELECT a, w FROM r{t}")
+    });
+    let union3 = (0u32..2).prop_map(|all| {
+        let op = if all == 0 { "UNION" } else { "UNION ALL" };
+        format!("SELECT a FROM t {op} SELECT a FROM r UNION SELECT d FROM t ORDER BY 1")
+    });
+    // Speculative mixed tail: computed / constant projection items and
+    // computed sort keys, including fallible expressions (Str operands)
+    // whose errors must match the row engine's.
+    let mixed_tail = (arb_where(), 0u32..6).prop_map(|(w, shape)| match shape {
+        0 => format!("SELECT a, b FROM t{w} ORDER BY a + d DESC, b, a"),
+        1 => format!("SELECT a * 2 AS k, c FROM t{w} ORDER BY k DESC, c, a LIMIT 6"),
+        2 => format!("SELECT DISTINCT 1 AS one, d FROM t{w} ORDER BY one, d DESC"),
+        3 => format!("SELECT DISTINCT a + d AS k FROM t{w} ORDER BY k LIMIT 4"),
+        4 => format!("SELECT a + b AS s2, c FROM t{w} ORDER BY 1, 2 OFFSET 2"),
+        // Type error on non-NULL strings: both engines must fail.
+        _ => format!("SELECT a, c FROM t{w} ORDER BY a + c, a"),
+    });
+    prop_oneof![outer, nonequi, tree, derived, union, union3, mixed_tail].boxed()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -360,6 +484,40 @@ proptest! {
         match (vectorized, row) {
             (Ok(v), Ok(r)) => prop_assert_eq!(v, r, "engines disagree on: {}", sql),
             (Err(_), Err(_)) => {}
+            (v, r) => prop_assert!(
+                false,
+                "one engine failed on {}: vectorized={:?} row={:?}",
+                sql, v, r
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Same contract for the plan-IR shapes: join trees, outer/cross/
+    /// non-equi joins, derived tables and UNIONs must be byte-identical
+    /// to the row interpreter — including *which* runtime error
+    /// surfaces on fallible computed tails.
+    #[test]
+    fn engines_agree_on_random_tree_queries(
+        trows in arb_rows(),
+        rrows in arb_r_rows(),
+        sql in arb_tree_query(),
+    ) {
+        let mut db = build_db(trows);
+        add_r(&mut db, rrows);
+        let vectorized = db.execute_sql(&sql);
+        let row = db.execute_sql_row(&sql);
+        match (vectorized, row) {
+            (Ok(v), Ok(r)) => prop_assert_eq!(v, r, "engines disagree on: {}", sql),
+            (Err(v), Err(r)) => prop_assert_eq!(
+                v.to_string(),
+                r.to_string(),
+                "engines report different errors on: {}",
+                sql
+            ),
             (v, r) => prop_assert!(
                 false,
                 "one engine failed on {}: vectorized={:?} row={:?}",
@@ -439,6 +597,26 @@ proptest! {
         trows in arb_rows(),
         rrows in arb_r_rows(),
         sql in arb_join_query(),
+        workers in 2usize..=8,
+    ) {
+        let mut db = build_db(trows);
+        add_r(&mut db, rrows);
+        let seq = db.execute_sql(&sql);
+        parallelize(&db, workers);
+        let par = db.execute_sql(&sql);
+        assert_modes_agree(seq, par, workers, &sql)?;
+    }
+
+    /// Same contract for the plan-IR shapes: nested-loop morsels,
+    /// matched-bit padding, derived-table intermediates, union
+    /// concatenation and the speculative mixed tail must all merge in
+    /// morsel order — rows, float bits and error choices cannot depend
+    /// on the worker count.
+    #[test]
+    fn parallel_matches_sequential_on_random_tree_queries(
+        trows in arb_rows(),
+        rrows in arb_r_rows(),
+        sql in arb_tree_query(),
         workers in 2usize..=8,
     ) {
         let mut db = build_db(trows);
@@ -699,7 +877,7 @@ fn exec_trace_reports_topk_pushdown() {
         "covering LIMIT is not a hit: {t:?}"
     );
     // Row-engine fallback never reports top-K.
-    let t = case("SELECT a FROM t UNION SELECT d FROM t");
+    let t = case("SELECT a FROM t INTERSECT SELECT d FROM t");
     assert!(!t.vectorized() && !t.topk, "row fallback: {t:?}");
 }
 
@@ -1403,6 +1581,17 @@ fn vectorized_path_engages_on_supported_shapes() {
         "SELECT COUNT(*) FROM t u LEFT JOIN t v ON u.a = v.a WHERE v.d > 1",
         "SELECT u.d, SUM(v.b) FROM t u JOIN t v USING (d) GROUP BY u.d",
         "SELECT COUNT(*) FROM t u JOIN t v ON u.a = v.a AND u.b < v.b",
+        // Plan-IR shapes: join trees, outer/cross/non-equi joins,
+        // derived tables (standalone and as join leaves), and UNION.
+        "SELECT COUNT(*) FROM t u JOIN t v ON u.a = v.a JOIN t w ON v.a = w.a",
+        "SELECT COUNT(*) FROM t u RIGHT JOIN t v ON u.a = v.a",
+        "SELECT COUNT(*) FROM t u FULL JOIN t v ON u.a = v.a",
+        "SELECT COUNT(*) FROM t u CROSS JOIN t v",
+        "SELECT COUNT(*) FROM t u JOIN t v ON u.a < v.a",
+        "SELECT COUNT(*) FROM (SELECT a FROM t) s",
+        "SELECT COUNT(*) FROM t u JOIN (SELECT a FROM t) s ON u.a = s.a",
+        "SELECT a FROM t UNION SELECT d FROM t",
+        "SELECT a FROM t UNION ALL SELECT d FROM t ORDER BY a LIMIT 5",
     ] {
         let q = parse_query(sql).unwrap();
         assert!(
@@ -1418,17 +1607,20 @@ fn vectorized_path_declines_unsupported_shapes() {
     let db = null_db();
     for sql in [
         "WITH x AS (SELECT a FROM t) SELECT COUNT(*) FROM x",
-        "SELECT a FROM t UNION SELECT d FROM t",
-        "SELECT COUNT(*) FROM (SELECT a FROM t) s",
         "SELECT 1 + 2",
-        // Join shapes the columnar pipeline must leave to the row engine:
-        // RIGHT/FULL/CROSS, non-equi, keyless, and >2-table trees.
-        "SELECT COUNT(*) FROM t u RIGHT JOIN t v ON u.a = v.a",
-        "SELECT COUNT(*) FROM t u FULL JOIN t v ON u.a = v.a",
-        "SELECT COUNT(*) FROM t u CROSS JOIN t v",
-        "SELECT COUNT(*) FROM t u JOIN t v ON u.a < v.a",
-        "SELECT COUNT(*) FROM t u JOIN t v ON u.a = v.a JOIN t w ON v.a = w.a",
-        "SELECT COUNT(*) FROM t u JOIN (SELECT a FROM t) s ON u.a = s.a",
+        // Residual shapes the plan IR still leaves to the row engine:
+        // INTERSECT/EXCEPT, >8-leaf join trees, derived join leaves
+        // without a static output shape, unresolvable ON constraints.
+        "SELECT a FROM t INTERSECT SELECT d FROM t",
+        "SELECT a FROM t EXCEPT SELECT d FROM t",
+        "SELECT COUNT(*) FROM t t1 JOIN t t2 ON t1.a = t2.a \
+         JOIN t t3 ON t2.a = t3.a JOIN t t4 ON t3.a = t4.a \
+         JOIN t t5 ON t4.a = t5.a JOIN t t6 ON t5.a = t6.a \
+         JOIN t t7 ON t6.a = t7.a JOIN t t8 ON t7.a = t8.a \
+         JOIN t t9 ON t8.a = t9.a",
+        "SELECT COUNT(*) FROM t u \
+         JOIN (WITH x AS (SELECT a FROM t) SELECT a FROM x) s ON u.a = s.a",
+        "SELECT COUNT(*) FROM t u JOIN t v ON u.nope = v.a",
     ] {
         let q = parse_query(sql).unwrap();
         assert!(

@@ -405,6 +405,7 @@ mod tests {
                 workers: 4,
                 rows_scanned: 8192,
                 rows_emitted: 3,
+                ..ExecTrace::default()
             },
             ..QueryTrace::default()
         };

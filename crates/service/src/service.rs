@@ -1016,12 +1016,15 @@ mod tests {
             params(0.1),
         )
         .unwrap_or_else(|_| panic!("join query should run"));
-        // Row fallback: a three-table join tree (completes through the
-        // pipeline, but the columnar engine only takes 2-table joins).
+        // Row fallback: a nine-leaf join tree (completes through the
+        // pipeline, but the plan IR caps trees at eight leaves).
         svc.query(
             "a",
-            "SELECT COUNT(*) FROM trips t JOIN trips u ON t.id = u.id \
-             JOIN trips v ON u.id = v.id",
+            "SELECT COUNT(*) FROM trips t1 JOIN trips t2 ON t1.id = t2.id \
+             JOIN trips t3 ON t2.id = t3.id JOIN trips t4 ON t3.id = t4.id \
+             JOIN trips t5 ON t4.id = t5.id JOIN trips t6 ON t5.id = t6.id \
+             JOIN trips t7 ON t6.id = t7.id JOIN trips t8 ON t7.id = t8.id \
+             JOIN trips t9 ON t8.id = t9.id",
             params(0.1),
         )
         .unwrap();
@@ -1166,13 +1169,17 @@ mod tests {
             .unwrap();
         assert!(hit.from_cache && hit.trace.is_none());
 
-        // A three-table join falls back with a *specific* reason, and
-        // the response trace agrees with the telemetry breakdown.
+        // A join tree past the plan IR's eight-leaf cap falls back with
+        // a *specific* reason, and the response trace agrees with the
+        // telemetry breakdown.
         let fb = svc
             .query(
                 "alice",
-                "SELECT COUNT(*) FROM trips t JOIN trips u ON t.id = u.id \
-                 JOIN trips v ON u.id = v.id",
+                "SELECT COUNT(*) FROM trips t1 JOIN trips t2 ON t1.id = t2.id \
+                 JOIN trips t3 ON t2.id = t3.id JOIN trips t4 ON t3.id = t4.id \
+                 JOIN trips t5 ON t4.id = t5.id JOIN trips t6 ON t5.id = t6.id \
+                 JOIN trips t7 ON t6.id = t7.id JOIN trips t8 ON t7.id = t8.id \
+                 JOIN trips t9 ON t8.id = t9.id",
                 params(0.5),
             )
             .unwrap();

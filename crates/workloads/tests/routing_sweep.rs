@@ -46,8 +46,10 @@ fn check(db: &Database, q: &Query, label: &str) -> RouteDecision {
 }
 
 /// Tally decisions and enforce the sweep-wide invariants: the sweep must
-/// exercise both paths (otherwise it tests nothing), and `Unknown` must
-/// never appear.
+/// exercise both paths (otherwise it tests nothing), `Unknown` must
+/// never appear, and neither must the variants the plan-IR executor
+/// retired — shapes that used to decline with them now vectorize, so a
+/// reappearance means the router regressed.
 fn summarize(label: &str, decisions: &[RouteDecision]) {
     let vectorized = decisions.iter().filter(|d| d.is_vectorized()).count();
     let fallbacks = decisions.len() - vectorized;
@@ -60,6 +62,12 @@ fn summarize(label: &str, decisions: &[RouteDecision]) {
             .iter()
             .all(|d| d.fallback_reason() != Some(FallbackReason::Unknown)),
         "{label}: an Unknown fallback slipped through"
+    );
+    assert!(
+        decisions
+            .iter()
+            .all(|d| d.fallback_reason() != Some(FallbackReason::UnsupportedJoinType)),
+        "{label}: the retired UnsupportedJoinType variant fired"
     );
     eprintln!(
         "{label}: {} queries, {vectorized} vectorized, {fallbacks} fallbacks",
