@@ -209,12 +209,29 @@ pub fn run(quick: bool) -> ContentionReport {
 
     // ---- cache-hit storm: the full serving path on warmed queries ----
     {
-        let svc = service_at(ServiceConfig::default().cache_shards);
+        // Run this storm with the durable ledger enabled: cache hits
+        // must never touch the write-ahead log (hits are free, nothing
+        // is charged, nothing is logged), so the scaling floors have to
+        // hold with fsync-per-admission durability turned on. Only the
+        // warmup admissions pay for log writes.
+        let wal_path =
+            std::env::temp_dir().join(format!("flex-contention-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&wal_path);
+        let svc = QueryService::new(
+            Arc::clone(&db),
+            ServiceConfig {
+                seed: Some(0xC047),
+                wal_path: Some(wal_path.clone()),
+                ..ServiceConfig::default()
+            },
+        );
         let sqls: Vec<String> = (0..QUERY_POOL).map(pool_sql).collect();
         for (i, sql) in sqls.iter().enumerate() {
             let got = svc.query("warm", sql, params).expect("warm").rows;
             assert_eq!(got, reference[i], "warmed release diverged");
         }
+        let appends_after_warm = svc.telemetry().wal_appends;
+        assert!(appends_after_warm > 0, "warm admissions must hit the WAL");
         let analysts: Vec<String> = (0..ANALYSTS).map(|i| format!("analyst-{i}")).collect();
         let query_zipf = Zipf::new(QUERY_POOL, 1.1);
         let analyst_zipf = Zipf::new(ANALYSTS, 1.1);
@@ -262,6 +279,12 @@ pub fn run(quick: bool) -> ContentionReport {
         });
         let t = svc.telemetry();
         assert_eq!(t.failed, 0, "storm must not fail queries: {t}");
+        assert_eq!(
+            t.wal_appends, appends_after_warm,
+            "cache hits must never touch the WAL: {t}"
+        );
+        assert_eq!(t.wal_errors, 0, "storm must not poison the WAL: {t}");
+        let _ = std::fs::remove_file(&wal_path);
     }
 
     // ---- admission storm: charge + settle on the striped ledger ----

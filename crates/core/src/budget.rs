@@ -71,6 +71,32 @@ impl PrivacyBudget {
         Ok(())
     }
 
+    /// Would [`try_spend`](Self::try_spend) admit this charge? Checks the
+    /// exact same cap condition (same tolerance) without mutating, so a
+    /// caller can interpose a fallible commit step (e.g. a write-ahead
+    /// log append) between the decision and the spend — rolling back a
+    /// float addition is not bitwise reversible, checking first is.
+    pub fn can_spend(&self, epsilon: f64, delta: f64) -> bool {
+        if !epsilon.is_finite() || epsilon <= 0.0 || !delta.is_finite() || delta < 0.0 {
+            return false;
+        }
+        let tol = 1e-12;
+        self.spent_epsilon + epsilon <= self.epsilon_cap + tol
+            && self.spent_delta + delta <= self.delta_cap + tol
+    }
+
+    /// Add `(ε, δ)` to the spent accumulators without any cap check —
+    /// the commit half of a [`can_spend`](Self::can_spend)-then-commit
+    /// sequence, and the primitive write-ahead-log *replay* needs: the
+    /// log is authoritative, so a replayed charge must land even if the
+    /// account's policy shrank since it was admitted (leaving the
+    /// account over cap simply makes future admissions reject — the
+    /// fail-closed direction).
+    pub fn spend_unchecked(&mut self, epsilon: f64, delta: f64) {
+        self.spent_epsilon += epsilon;
+        self.spent_delta += delta;
+    }
+
     /// Return a previously-charged `(ε, δ)` to the budget (e.g. when the
     /// mechanism failed after admission and released nothing). Clamped at
     /// zero so a stray refund can never mint spare budget.
@@ -334,6 +360,33 @@ mod tests {
         }
         assert!(Composition::Sequential.is_valid());
         assert!(Composition::Strong { delta_slack: 1e-6 }.is_valid());
+    }
+
+    #[test]
+    fn can_spend_then_spend_unchecked_is_bitwise_try_spend() {
+        // The check-then-commit pair must agree with try_spend on both
+        // the decision and the resulting bits, for every step of an
+        // awkward charge sequence (float dust at the cap included).
+        let mut a = PrivacyBudget::new(1.0, 1e-3);
+        let mut b = PrivacyBudget::new(1.0, 1e-3);
+        for (e, d) in [
+            (0.1, 1e-9),
+            (0.3, 1e-4),
+            (0.7, 1e-4), // rejected: ε over cap
+            (0.6, 1e-4),
+            (1e-13, 1e-9), // admitted via the cap tolerance
+            (-1.0, 0.0),   // invalid
+            (0.1, f64::NAN),
+        ] {
+            let admit_a = a.try_spend(e, d).is_ok();
+            let admit_b = b.can_spend(e, d);
+            if admit_b {
+                b.spend_unchecked(e, d);
+            }
+            assert_eq!(admit_a, admit_b, "decision diverged at (ε={e}, δ={d})");
+            assert_eq!(a.spent().0.to_bits(), b.spent().0.to_bits());
+            assert_eq!(a.spent().1.to_bits(), b.spent().1.to_bits());
+        }
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub enum FlexError {
     /// Histogram bins could not be enumerated automatically and none were
     /// supplied by the analyst (§4, histogram bin enumeration).
     BinsNotEnumerable(String),
+    /// The caller-supplied deadline expired between pipeline stages; no
+    /// noised answer was released. Carries the stage that observed the
+    /// expiry.
+    DeadlineExceeded {
+        /// Pipeline stage at whose boundary the deadline was found
+        /// expired (`"analysis"` or `"execution"`).
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for FlexError {
@@ -88,6 +96,9 @@ impl fmt::Display for FlexError {
             FlexError::Db(m) => write!(f, "database error: {m}"),
             FlexError::BinsNotEnumerable(m) => {
                 write!(f, "histogram bins cannot be enumerated: {m}")
+            }
+            FlexError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded after the {stage} stage")
             }
         }
     }

@@ -57,7 +57,8 @@ pub use histogram::enumerate_bins;
 pub use laplace::{laplace, noisy};
 pub use lower::{lower, GroupKey, Lowered, OutputColumn, RootAgg};
 pub use mechanism::{
-    run_query, run_query_with, run_sql, run_sql_with, FlexOptions, FlexResult, FlexTimings,
+    run_query, run_query_deadline, run_query_with, run_sql, run_sql_with, FlexOptions, FlexResult,
+    FlexTimings,
 };
 pub use mwem::{mwem, LinearQuery, MwemResult};
 pub use ptr::{propose_test_release, PtrOutcome};

@@ -145,7 +145,7 @@ pub fn run_sql_with<R: Rng + ?Sized>(
 ) -> Result<FlexResult> {
     let t0 = Instant::now();
     let q = parse_query(sql)?;
-    run_query_timed(db, &q, params, rng, opts, t0.elapsed())
+    run_query_timed(db, &q, params, rng, opts, t0.elapsed(), None)
 }
 
 /// Run FLEX on a parsed query.
@@ -167,9 +167,34 @@ pub fn run_query_with<R: Rng + ?Sized>(
     rng: &mut R,
     opts: &FlexOptions,
 ) -> Result<FlexResult> {
-    run_query_timed(db, q, params, rng, opts, Duration::ZERO)
+    run_query_timed(db, q, params, rng, opts, Duration::ZERO, None)
 }
 
+/// Like [`run_query_with`], but checks `deadline` at each pipeline
+/// stage boundary and aborts with [`FlexError::DeadlineExceeded`] once
+/// it has passed. The check sits *between* stages (after analysis and
+/// after execution), never after perturbation: once noise has been
+/// drawn the answer is ready, and the privacy charge is about to be
+/// settled — a deadline abort must always leave the charge refundable.
+pub fn run_query_deadline<R: Rng + ?Sized>(
+    db: &Database,
+    q: &Query,
+    params: PrivacyParams,
+    rng: &mut R,
+    opts: &FlexOptions,
+    deadline: Option<Instant>,
+) -> Result<FlexResult> {
+    run_query_timed(db, q, params, rng, opts, Duration::ZERO, deadline)
+}
+
+fn check_deadline(deadline: Option<Instant>, stage: &'static str) -> Result<()> {
+    match deadline {
+        Some(d) if Instant::now() > d => Err(FlexError::DeadlineExceeded { stage }),
+        _ => Ok(()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_query_timed<R: Rng + ?Sized>(
     db: &Database,
     q: &Query,
@@ -177,17 +202,20 @@ fn run_query_timed<R: Rng + ?Sized>(
     rng: &mut R,
     opts: &FlexOptions,
     parse_time: Duration,
+    deadline: Option<Instant>,
 ) -> Result<FlexResult> {
     // --- Stage 1: elastic sensitivity analysis (static). ---
     let t_analysis = Instant::now();
     let analysis = analyze_with(q, db, &opts.analysis)?;
     let analysis_time = parse_time + t_analysis.elapsed();
+    check_deadline(deadline, "analysis")?;
 
     // --- Stage 2: execute the unmodified query on the database. ---
     let t_exec = Instant::now();
     let (trace, truth) = db.execute_traced(q);
     let truth: ResultSet = truth?;
     let execution = t_exec.elapsed();
+    check_deadline(deadline, "execution")?;
 
     // --- Stage 3: smooth sensitivity + Laplace perturbation. ---
     let t_perturb = Instant::now();
@@ -503,6 +531,40 @@ mod tests {
         let r = run_sql(&db, "SELECT COUNT(*) FROM trips", params(), &mut rng).unwrap();
         let err = r.median_relative_error_pct().unwrap();
         assert!((0.0..10.0).contains(&err), "error {err}%");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_between_stages() {
+        let db = db();
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = flex_sql::parse_query("SELECT COUNT(*) FROM trips").unwrap();
+        // A deadline already in the past: the first stage boundary
+        // aborts the run.
+        let err = run_query_deadline(
+            &db,
+            &q,
+            params(),
+            &mut rng,
+            &FlexOptions::new(),
+            Some(Instant::now() - Duration::from_secs(1)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlexError::DeadlineExceeded { .. }), "{err}");
+        // A generous deadline changes nothing — including the noise
+        // bits, since the deadline check never touches the RNG.
+        let mut rng_a = StdRng::seed_from_u64(4);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let with = run_query_deadline(
+            &db,
+            &q,
+            params(),
+            &mut rng_a,
+            &FlexOptions::new(),
+            Some(Instant::now() + Duration::from_secs(3600)),
+        )
+        .unwrap();
+        let without = run_query_with(&db, &q, params(), &mut rng_b, &FlexOptions::new()).unwrap();
+        assert_eq!(with.rows, without.rows);
     }
 
     #[test]

@@ -36,6 +36,21 @@ pub enum ServiceError {
     Flex(FlexError),
     /// The service is shutting down and dropped the request.
     Shutdown,
+    /// The service shed the request under overload: every worker queue
+    /// was at its depth cap. Nothing was computed and the admission
+    /// charge was refunded — safe to retry after backing off.
+    Overloaded,
+    /// The per-query deadline expired before the answer was released.
+    /// The admission charge was refunded (a timed-out query releases
+    /// nothing).
+    Timeout {
+        /// The configured deadline that was exceeded.
+        timeout: std::time::Duration,
+    },
+    /// The budget write-ahead log could not record the admission, so
+    /// the service failed closed: the query was rejected rather than
+    /// admitted uncharged. Nothing was computed and nothing was spent.
+    WalUnavailable(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -62,6 +77,17 @@ impl fmt::Display for ServiceError {
             ),
             ServiceError::Flex(e) => write!(f, "query failed: {e}"),
             ServiceError::Shutdown => f.write_str("service is shutting down"),
+            ServiceError::Overloaded => f.write_str(
+                "service overloaded: all worker queues are full; charge refunded, retry later",
+            ),
+            ServiceError::Timeout { timeout } => write!(
+                f,
+                "query exceeded its {timeout:?} deadline; charge refunded"
+            ),
+            ServiceError::WalUnavailable(e) => write!(
+                f,
+                "budget write-ahead log unavailable, rejecting query (fail closed): {e}"
+            ),
         }
     }
 }

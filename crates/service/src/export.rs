@@ -111,6 +111,41 @@ impl MetricsReport {
             t.failed,
         );
         counter(
+            "flex_shed_total",
+            "Admitted requests shed because every worker queue was full (charge refunded).",
+            t.shed,
+        );
+        counter(
+            "flex_timeouts_total",
+            "Admitted requests abandoned at their deadline (charge refunded).",
+            t.timeouts,
+        );
+        counter(
+            "flex_worker_panics_total",
+            "Worker-thread panics caught by the job harness.",
+            t.worker_panics,
+        );
+        counter(
+            "flex_lock_poison_recoveries_total",
+            "Poisoned-mutex recoveries since process start.",
+            t.lock_poison_recoveries,
+        );
+        counter(
+            "flex_wal_appends_total",
+            "Records appended to the budget write-ahead log.",
+            t.wal_appends,
+        );
+        counter(
+            "flex_wal_fsyncs_total",
+            "Durability syncs performed by the budget write-ahead log.",
+            t.wal_fsyncs,
+        );
+        counter(
+            "flex_wal_errors_total",
+            "Budget WAL append/sync failures (charges rejected fail-closed).",
+            t.wal_errors,
+        );
+        counter(
             "flex_vectorized_total",
             "Completed queries executed on the vectorized columnar engine.",
             t.vectorized_hits,
@@ -176,6 +211,11 @@ impl MetricsReport {
             "flex_queue_shard_max_depth",
             "High-water mark of any single per-worker queue's depth.",
             t.queue_shard_max_depth,
+        );
+        gauge(
+            "flex_wal_recovery_replayed_records",
+            "WAL records replayed into the ledger at the last startup.",
+            t.wal_recovery_replayed,
         );
 
         summary(
@@ -261,6 +301,14 @@ impl MetricsReport {
                 "coalesced": t.coalesced,
                 "rejected_budget": t.rejected_budget,
                 "failed": t.failed,
+                "shed": t.shed,
+                "timeouts": t.timeouts,
+                "worker_panics": t.worker_panics,
+                "lock_poison_recoveries": t.lock_poison_recoveries,
+                "wal_appends": t.wal_appends,
+                "wal_fsyncs": t.wal_fsyncs,
+                "wal_errors": t.wal_errors,
+                "wal_recovery_replayed": t.wal_recovery_replayed,
                 "vectorized_hits": t.vectorized_hits,
                 "row_fallbacks": t.row_fallbacks,
                 "fallback_reasons": fallback_reasons,
@@ -394,6 +442,11 @@ mod tests {
         t.record_parallelism(4);
         t.record_cache_stats(2048, 3);
         t.record_queue_stats(5, 2);
+        t.record_shed();
+        t.record_timeout();
+        t.record_worker_panic();
+        t.record_poison_recoveries(1);
+        t.record_wal_stats(9, 4, 1, 6);
         let mut trace = QueryTrace {
             analysis: Duration::from_micros(250),
             execution: Duration::from_micros(900),
@@ -485,6 +538,14 @@ mod tests {
             "flex_cache_evictions_total 3",
             "flex_queue_steals_total 5",
             "flex_queue_shard_max_depth 2",
+            "flex_shed_total 1",
+            "flex_timeouts_total 1",
+            "flex_worker_panics_total 1",
+            "flex_lock_poison_recoveries_total 1",
+            "flex_wal_appends_total 9",
+            "flex_wal_fsyncs_total 4",
+            "flex_wal_errors_total 1",
+            "flex_wal_recovery_replayed_records 6",
             "flex_query_latency_seconds{quantile=\"0.99\"}",
             "flex_query_latency_seconds_count 2",
             "flex_analyst_epsilon_spent{analyst=\"alice\"} 0.5",
@@ -518,6 +579,14 @@ mod tests {
         assert_eq!(
             telemetry.get("queue_shard_max_depth").unwrap().as_i64(),
             Some(2)
+        );
+        assert_eq!(telemetry.get("shed").unwrap().as_i64(), Some(1));
+        assert_eq!(telemetry.get("timeouts").unwrap().as_i64(), Some(1));
+        assert_eq!(telemetry.get("worker_panics").unwrap().as_i64(), Some(1));
+        assert_eq!(telemetry.get("wal_appends").unwrap().as_i64(), Some(9));
+        assert_eq!(
+            telemetry.get("wal_recovery_replayed").unwrap().as_i64(),
+            Some(6)
         );
         assert_eq!(
             telemetry

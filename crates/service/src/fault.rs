@@ -1,0 +1,267 @@
+//! Fault-injection harness for the budget WAL: an in-memory
+//! [`Storage`] backend that models crashes, torn writes, bit rot, and
+//! injected I/O errors at every write site.
+//!
+//! [`FaultStorage`] keeps two byte buffers: `durable` (what survives a
+//! crash) and `buffered` (appended but not yet synced — the OS page
+//! cache). `sync` promotes buffered bytes to durable; [`crash`] throws
+//! the buffered bytes away; [`crash_at`] additionally tears the
+//! durable bytes at an arbitrary offset, modeling a power cut midway
+//! through a sector write. Handles are cheap clones sharing one
+//! backing store, so a test can hand one clone to a service, "kill" it,
+//! and boot a second service over the same bytes.
+//!
+//! Fault knobs cover every write site the WAL has: failing the Nth
+//! append, the Nth sync, compaction's `replace`, and short (torn)
+//! writes that persist a prefix of the record before erroring.
+//!
+//! [`crash`]: FaultStorage::crash
+//! [`crash_at`]: FaultStorage::crash_at
+
+use crate::sync::lock;
+use crate::wal::Storage;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct State {
+    durable: Vec<u8>,
+    buffered: Vec<u8>,
+    appends: u64,
+    syncs: u64,
+    /// Appends beyond this count fail (`None` = never fail).
+    fail_appends_after: Option<u64>,
+    /// Syncs beyond this count fail (`None` = never fail).
+    fail_syncs_after: Option<u64>,
+    /// Fail compaction's whole-log replacement.
+    fail_replace: bool,
+    /// The next append persists only this many bytes, then errors.
+    short_write_next: Option<usize>,
+}
+
+/// A cloneable, shared, in-memory [`Storage`] with fault injection.
+/// See the module docs for the crash model.
+#[derive(Debug, Clone, Default)]
+pub struct FaultStorage(Arc<Mutex<State>>);
+
+impl FaultStorage {
+    /// An empty, fault-free storage.
+    pub fn new() -> FaultStorage {
+        FaultStorage::default()
+    }
+
+    /// Storage pre-seeded with `bytes` as its durable contents (for
+    /// replaying a captured or hand-truncated log).
+    pub fn with_bytes(bytes: &[u8]) -> FaultStorage {
+        let s = FaultStorage::new();
+        lock(&s.0).durable = bytes.to_vec();
+        s
+    }
+
+    /// Let the first `n` appends succeed, then fail every later one.
+    pub fn fail_appends_after(&self, n: u64) {
+        lock(&self.0).fail_appends_after = Some(n);
+    }
+
+    /// Let the first `n` syncs succeed, then fail every later one.
+    pub fn fail_syncs_after(&self, n: u64) {
+        lock(&self.0).fail_syncs_after = Some(n);
+    }
+
+    /// Make compaction's `replace` fail.
+    pub fn fail_replace(&self, fail: bool) {
+        lock(&self.0).fail_replace = fail;
+    }
+
+    /// Tear the next append: persist only its first `prefix` bytes,
+    /// then report an error.
+    pub fn short_write_next(&self, prefix: usize) {
+        lock(&self.0).short_write_next = Some(prefix);
+    }
+
+    /// Clear every armed fault.
+    pub fn clear_faults(&self) {
+        let mut s = lock(&self.0);
+        s.fail_appends_after = None;
+        s.fail_syncs_after = None;
+        s.fail_replace = false;
+        s.short_write_next = None;
+    }
+
+    /// Crash: unsynced (buffered) bytes are lost; durable bytes remain.
+    pub fn crash(&self) {
+        lock(&self.0).buffered.clear();
+    }
+
+    /// Crash and tear: everything (durable + buffered) past byte
+    /// `offset` is lost, modeling a power cut mid-sector.
+    pub fn crash_at(&self, offset: usize) {
+        let mut s = lock(&self.0);
+        let mut all = std::mem::take(&mut s.durable);
+        all.extend_from_slice(&s.buffered);
+        all.truncate(offset);
+        s.durable = all;
+        s.buffered.clear();
+    }
+
+    /// Flip one bit of the stored bytes (durable first, then buffered).
+    pub fn flip_bit(&self, byte: usize, bit: u8) {
+        let mut s = lock(&self.0);
+        let d = s.durable.len();
+        if byte < d {
+            s.durable[byte] ^= 1 << (bit & 7);
+        } else if byte - d < s.buffered.len() {
+            let i = byte - d;
+            s.buffered[i] ^= 1 << (bit & 7);
+        }
+    }
+
+    /// The crash-surviving bytes.
+    pub fn durable_bytes(&self) -> Vec<u8> {
+        lock(&self.0).durable.clone()
+    }
+
+    /// Length of the crash-surviving bytes.
+    pub fn durable_len(&self) -> usize {
+        lock(&self.0).durable.len()
+    }
+
+    /// Total bytes written (durable + still-buffered).
+    pub fn total_len(&self) -> usize {
+        let s = lock(&self.0);
+        s.durable.len() + s.buffered.len()
+    }
+
+    /// Appends attempted so far (failed ones included).
+    pub fn appends(&self) -> u64 {
+        lock(&self.0).appends
+    }
+
+    /// Syncs attempted so far (failed ones included).
+    pub fn syncs(&self) -> u64 {
+        lock(&self.0).syncs
+    }
+}
+
+impl Storage for FaultStorage {
+    fn append(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut s = lock(&self.0);
+        s.appends += 1;
+        if let Some(prefix) = s.short_write_next.take() {
+            let keep = prefix.min(bytes.len());
+            let partial = bytes[..keep].to_vec();
+            s.buffered.extend_from_slice(&partial);
+            return Err(io::Error::other("injected short write"));
+        }
+        if let Some(limit) = s.fail_appends_after {
+            if s.appends > limit {
+                return Err(io::Error::other("injected append error"));
+            }
+        }
+        s.buffered.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        let mut s = lock(&self.0);
+        s.syncs += 1;
+        if let Some(limit) = s.fail_syncs_after {
+            if s.syncs > limit {
+                return Err(io::Error::other("injected sync error"));
+            }
+        }
+        let buffered = std::mem::take(&mut s.buffered);
+        s.durable.extend_from_slice(&buffered);
+        Ok(())
+    }
+
+    fn read(&self) -> io::Result<Vec<u8>> {
+        // Readers before a crash see the page cache too, exactly like a
+        // file reader would.
+        let s = lock(&self.0);
+        let mut all = s.durable.clone();
+        all.extend_from_slice(&s.buffered);
+        Ok(all)
+    }
+
+    fn replace(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut s = lock(&self.0);
+        if s.fail_replace {
+            return Err(io::Error::other("injected replace error"));
+        }
+        // Replacement is atomic and durable (tmp-write + fsync + rename).
+        s.durable = bytes.to_vec();
+        s.buffered.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_promotes_buffered_bytes_and_crash_drops_them() {
+        let s = FaultStorage::new();
+        s.append(b"abc").unwrap();
+        assert_eq!(s.durable_len(), 0);
+        assert_eq!(s.read().unwrap(), b"abc");
+        s.sync().unwrap();
+        assert_eq!(s.durable_len(), 3);
+        s.append(b"def").unwrap();
+        s.crash();
+        assert_eq!(s.read().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn crash_at_tears_mid_byte_stream() {
+        let s = FaultStorage::new();
+        s.append(b"abcdef").unwrap();
+        s.sync().unwrap();
+        s.crash_at(2);
+        assert_eq!(s.read().unwrap(), b"ab");
+    }
+
+    #[test]
+    fn clones_share_the_backing_store() {
+        let a = FaultStorage::new();
+        let b = a.clone();
+        a.append(b"xy").unwrap();
+        a.sync().unwrap();
+        assert_eq!(b.read().unwrap(), b"xy");
+    }
+
+    #[test]
+    fn injected_faults_fire_and_clear() {
+        let s = FaultStorage::new();
+        s.fail_appends_after(1);
+        s.append(b"a").unwrap();
+        assert!(s.append(b"b").is_err());
+        s.clear_faults();
+        s.append(b"c").unwrap();
+
+        s.fail_syncs_after(0);
+        assert!(s.sync().is_err());
+        s.clear_faults();
+        s.sync().unwrap();
+
+        s.fail_replace(true);
+        assert!(s.replace(b"z").is_err());
+        s.fail_replace(false);
+        s.replace(b"z").unwrap();
+        assert_eq!(s.read().unwrap(), b"z");
+    }
+
+    #[test]
+    fn short_write_persists_a_prefix_then_errors() {
+        let s = FaultStorage::new();
+        s.short_write_next(2);
+        assert!(s.append(b"abcd").is_err());
+        s.sync().unwrap();
+        assert_eq!(s.read().unwrap(), b"ab");
+        // One-shot: the next append goes through whole.
+        s.append(b"ef").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.read().unwrap(), b"abef");
+    }
+}

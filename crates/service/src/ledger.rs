@@ -10,12 +10,13 @@
 
 use crate::error::{ServiceError, ServiceResult};
 use crate::sync::lock;
+use crate::wal::{AccountSnapshot, LedgerSnapshot, RecoveryReport, Wal, WalOp};
 use flex_core::{Composition, PrivacyBudget};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Default shard count for [`BudgetLedger::new`]. Analysts are spread
 /// over the stripes by hash, so with many concurrent analysts the
@@ -141,6 +142,11 @@ pub struct BudgetLedger {
     shards: Box<[Mutex<HashMap<String, Account>>]>,
     /// Global — charge ids stay unique across shards.
     next_charge_id: AtomicU64,
+    /// Durability: when present, every mutation is logged — charges
+    /// *before* they commit (fail closed), refunds/settles best-effort
+    /// (a lost refund makes recovery overestimate spend, the safe
+    /// direction). `None` keeps the ledger purely in-memory.
+    wal: Option<Arc<Wal>>,
 }
 
 impl BudgetLedger {
@@ -161,7 +167,78 @@ impl BudgetLedger {
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
             next_charge_id: AtomicU64::new(0),
+            wal: None,
         }
+    }
+
+    /// A durable ledger: replay `wal`'s surviving records into a fresh
+    /// ledger (bitwise-identical to the pre-crash state — replay applies
+    /// the exact float additions the live ledger committed, in the same
+    /// per-analyst order), then write every future mutation through it.
+    ///
+    /// Replay treats the log as authoritative: a charge that was
+    /// admitted under an older (larger) default policy still lands even
+    /// if it now exceeds the cap — the account simply sits over cap and
+    /// future admissions reject, which is the fail-closed direction.
+    /// Accounts created by replayed charges use the *current*
+    /// `default_policy` unless a logged policy override pinned them.
+    pub fn with_wal(
+        default_policy: LedgerPolicy,
+        shards: usize,
+        wal: Arc<Wal>,
+    ) -> ServiceResult<(BudgetLedger, RecoveryReport)> {
+        let (ops, torn) = wal
+            .read_ops()
+            .map_err(|e| ServiceError::WalUnavailable(e.to_string()))?;
+        let mut ledger = Self::with_shards(default_policy, shards);
+        let mut report = RecoveryReport {
+            replayed_records: ops.len() as u64,
+            snapshot_restored: false,
+            torn_bytes_discarded: torn,
+        };
+        let mut next_id = 0u64;
+        for op in &ops {
+            match op {
+                WalOp::Charge {
+                    analyst,
+                    id,
+                    epsilon,
+                    delta,
+                } => {
+                    ledger.apply_charge(analyst, *id, *epsilon, *delta);
+                    next_id = next_id.max(id + 1);
+                }
+                WalOp::Refund {
+                    analyst,
+                    id,
+                    epsilon,
+                    delta,
+                } => {
+                    ledger.apply_refund(analyst, *id, *epsilon, *delta);
+                    next_id = next_id.max(id + 1);
+                }
+                WalOp::Settle { analyst, id } => {
+                    ledger.apply_settle(analyst, *id);
+                    next_id = next_id.max(id + 1);
+                }
+                WalOp::SetPolicy { analyst, policy } => {
+                    ledger.apply_set_policy(analyst, *policy);
+                }
+                WalOp::Snapshot(snap) => {
+                    ledger.restore_snapshot(snap);
+                    next_id = next_id.max(snap.next_charge_id);
+                    report.snapshot_restored = true;
+                }
+            }
+        }
+        *ledger.next_charge_id.get_mut() = next_id;
+        ledger.wal = Some(wal);
+        Ok((ledger, report))
+    }
+
+    /// The attached write-ahead log, if this ledger is durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// Number of lock stripes.
@@ -178,26 +255,47 @@ impl BudgetLedger {
 
     /// Override the policy for one analyst. Fails if the analyst has
     /// already spent budget (retroactive policy edits would un-release
-    /// answers that are already out).
+    /// answers that are already out). On a durable ledger the override
+    /// is logged before it applies and a log failure rejects the call:
+    /// an unlogged policy would silently revert to the default on
+    /// recovery, possibly *loosening* the analyst's cap.
     pub fn set_policy(&self, analyst: &str, policy: LedgerPolicy) -> ServiceResult<()> {
-        let mut accounts = self.shard(analyst);
-        if let Some(acct) = accounts.get(analyst) {
-            if acct.queries > 0 {
-                let (e_now, _) = acct.composed_cost();
-                return Err(ServiceError::BudgetRejected {
-                    analyst: analyst.to_string(),
-                    requested_epsilon: policy.epsilon_cap,
-                    remaining_epsilon: (acct.policy.epsilon_cap - e_now).max(0.0),
-                });
+        {
+            let mut accounts = self.shard(analyst);
+            if let Some(acct) = accounts.get(analyst) {
+                if acct.queries > 0 {
+                    let (e_now, _) = acct.composed_cost();
+                    return Err(ServiceError::BudgetRejected {
+                        analyst: analyst.to_string(),
+                        requested_epsilon: policy.epsilon_cap,
+                        remaining_epsilon: (acct.policy.epsilon_cap - e_now).max(0.0),
+                    });
+                }
             }
+            if let Some(wal) = &self.wal {
+                wal.append(&WalOp::SetPolicy {
+                    analyst: analyst.to_string(),
+                    policy,
+                })
+                .map_err(|e| ServiceError::WalUnavailable(e.to_string()))?;
+            }
+            accounts.insert(analyst.to_string(), Account::new(policy));
         }
-        accounts.insert(analyst.to_string(), Account::new(policy));
+        self.maybe_compact();
         Ok(())
     }
 
     /// Admission control: atomically charge `(ε, δ)` against the
     /// analyst's composed budget, creating the account on first contact.
     /// On `Err` nothing was charged.
+    ///
+    /// Structured check → log → commit: the admission decision mutates
+    /// nothing, the WAL append (if a log is attached) happens next
+    /// while the decision is still protected by the shard lock, and
+    /// only then does the in-memory state change. A WAL failure
+    /// therefore rejects the query with the account untouched — never
+    /// an uncharged admission, and no bitwise-lossy rollback of a float
+    /// accumulator (`(a + ε) − ε` need not equal `a`).
     pub fn try_charge(&self, analyst: &str, epsilon: f64, delta: f64) -> ServiceResult<Charge> {
         // Validate before touching any account: this entry point takes
         // raw f64s, and a negative (or NaN/∞) charge would *mint* budget
@@ -207,76 +305,97 @@ impl BudgetLedger {
                 format!("invalid privacy charge (ε = {epsilon}, δ = {delta})"),
             )));
         }
-        let mut accounts = self.shard(analyst);
-        let acct = accounts
-            .entry(analyst.to_string())
-            .or_insert_with(|| Account::new(self.default_policy));
+        let charge = {
+            let mut accounts = self.shard(analyst);
+            let acct = accounts
+                .entry(analyst.to_string())
+                .or_insert_with(|| Account::new(self.default_policy));
 
-        match acct.policy.composition {
-            Composition::Sequential => {
-                acct.budget.try_spend(epsilon, delta).map_err(|_| {
-                    ServiceError::BudgetRejected {
-                        analyst: analyst.to_string(),
-                        requested_epsilon: epsilon,
-                        remaining_epsilon: acct.budget.remaining_epsilon(),
+            // Decide (no mutation).
+            let (e0, d0) = match acct.policy.composition {
+                Composition::Sequential => {
+                    if !acct.budget.can_spend(epsilon, delta) {
+                        return Err(ServiceError::BudgetRejected {
+                            analyst: analyst.to_string(),
+                            requested_epsilon: epsilon,
+                            remaining_epsilon: acct.budget.remaining_epsilon(),
+                        });
                     }
-                })?;
-            }
-            Composition::Strong { .. } => {
-                let tol = 1e-12;
-                // The pin is immutable while queries are admitted: cost
-                // bounds are always computed against the *original*
-                // pinned (ε, δ), never the tolerance-matched request —
-                // otherwise repeated within-tolerance requests could walk
-                // the pin arbitrarily far from the parameters the
-                // composed-cost bound was checked against.
-                let (e0, d0) = match acct.pinned {
-                    Some((e0, d0)) => {
-                        if (epsilon - e0).abs() > tol || (delta - d0).abs() > tol {
-                            return Err(ServiceError::HeterogeneousParams {
-                                analyst: analyst.to_string(),
-                                pinned: (e0, d0),
-                                requested: (epsilon, delta),
-                            });
-                        }
-                        (e0, d0)
-                    }
-                    None => (epsilon, delta),
-                };
-                let (e_total, d_total) =
-                    acct.policy.composition.total_cost(e0, d0, acct.queries + 1);
-                if e_total > acct.policy.epsilon_cap + tol || d_total > acct.policy.delta_cap + tol
-                {
-                    let (e_now, _) = acct.composed_cost();
-                    return Err(ServiceError::BudgetRejected {
-                        analyst: analyst.to_string(),
-                        requested_epsilon: epsilon,
-                        remaining_epsilon: (acct.policy.epsilon_cap - e_now).max(0.0),
-                    });
+                    (epsilon, delta)
                 }
-                acct.pinned = Some((e0, d0));
-                acct.queries += 1;
-                let id = self.next_charge_id.fetch_add(1, Ordering::Relaxed);
-                acct.outstanding.insert(id);
-                // The charge records the pinned parameters — what the
-                // account is actually composed over.
-                return Ok(Charge {
+                Composition::Strong { .. } => {
+                    let tol = 1e-12;
+                    // The pin is immutable while queries are admitted:
+                    // cost bounds are always computed against the
+                    // *original* pinned (ε, δ), never the
+                    // tolerance-matched request — otherwise repeated
+                    // within-tolerance requests could walk the pin
+                    // arbitrarily far from the parameters the
+                    // composed-cost bound was checked against.
+                    let (e0, d0) = match acct.pinned {
+                        Some((e0, d0)) => {
+                            if (epsilon - e0).abs() > tol || (delta - d0).abs() > tol {
+                                return Err(ServiceError::HeterogeneousParams {
+                                    analyst: analyst.to_string(),
+                                    pinned: (e0, d0),
+                                    requested: (epsilon, delta),
+                                });
+                            }
+                            (e0, d0)
+                        }
+                        None => (epsilon, delta),
+                    };
+                    let (e_total, d_total) =
+                        acct.policy.composition.total_cost(e0, d0, acct.queries + 1);
+                    if e_total > acct.policy.epsilon_cap + tol
+                        || d_total > acct.policy.delta_cap + tol
+                    {
+                        let (e_now, _) = acct.composed_cost();
+                        return Err(ServiceError::BudgetRejected {
+                            analyst: analyst.to_string(),
+                            requested_epsilon: epsilon,
+                            remaining_epsilon: (acct.policy.epsilon_cap - e_now).max(0.0),
+                        });
+                    }
+                    (e0, d0)
+                }
+            };
+
+            // Make it durable before acknowledging (fail closed). The
+            // shard lock is still held, so the log's per-analyst record
+            // order matches the commit order exactly — what makes
+            // replay bitwise-deterministic at any shard count.
+            let id = self.next_charge_id.fetch_add(1, Ordering::Relaxed);
+            if let Some(wal) = &self.wal {
+                if let Err(e) = wal.append(&WalOp::Charge {
                     analyst: analyst.to_string(),
+                    id,
                     epsilon: e0,
                     delta: d0,
-                    id,
-                });
+                }) {
+                    // Nothing was mutated; the allocated id is burned,
+                    // leaving a harmless gap in the sequence.
+                    return Err(ServiceError::WalUnavailable(e.to_string()));
+                }
             }
-        }
-        acct.queries += 1;
-        let id = self.next_charge_id.fetch_add(1, Ordering::Relaxed);
-        acct.outstanding.insert(id);
-        Ok(Charge {
-            analyst: analyst.to_string(),
-            epsilon,
-            delta,
-            id,
-        })
+
+            // Commit (infallible). The charge records the pinned
+            // parameters — what the account is actually composed over.
+            match acct.policy.composition {
+                Composition::Sequential => acct.budget.spend_unchecked(e0, d0),
+                Composition::Strong { .. } => acct.pinned = Some((e0, d0)),
+            }
+            acct.queries += 1;
+            acct.outstanding.insert(id);
+            Charge {
+                analyst: analyst.to_string(),
+                epsilon: e0,
+                delta: d0,
+                id,
+            }
+        };
+        self.maybe_compact();
+        Ok(charge)
     }
 
     /// Hand a charge back (the query failed after admission; nothing was
@@ -285,11 +404,27 @@ impl BudgetLedger {
     /// no-op, so a retry loop (or a hostile caller cloning charges) can
     /// never erase budget that paid for a released answer.
     pub fn refund(&self, charge: &Charge) {
-        let mut accounts = self.shard(&charge.analyst);
-        if let Some(acct) = accounts.get_mut(&charge.analyst) {
-            if !acct.outstanding.remove(&charge.id) {
+        {
+            let mut accounts = self.shard(&charge.analyst);
+            let Some(acct) = accounts.get_mut(&charge.analyst) else {
+                return;
+            };
+            if !acct.outstanding.contains(&charge.id) {
                 return;
             }
+            if let Some(wal) = &self.wal {
+                // Best-effort: the refund still applies in memory if the
+                // log write fails — then recovery *overestimates* spend,
+                // which can only under-admit, never void privacy. (The
+                // error is counted in the WAL's telemetry.)
+                let _ = wal.append(&WalOp::Refund {
+                    analyst: charge.analyst.clone(),
+                    id: charge.id,
+                    epsilon: charge.epsilon,
+                    delta: charge.delta,
+                });
+            }
+            acct.outstanding.remove(&charge.id);
             match acct.policy.composition {
                 Composition::Sequential => acct.budget.refund(charge.epsilon, charge.delta),
                 Composition::Strong { .. } => {}
@@ -302,16 +437,166 @@ impl BudgetLedger {
                 acct.pinned = None;
             }
         }
+        self.maybe_compact();
     }
 
     /// Mark a charge as spent for good (its answer was released): the
     /// charge is no longer refundable. Keeps the outstanding-charge set
     /// bounded by queries actually in flight.
     pub fn settle(&self, charge: &Charge) {
-        let mut accounts = self.shard(&charge.analyst);
-        if let Some(acct) = accounts.get_mut(&charge.analyst) {
+        {
+            let mut accounts = self.shard(&charge.analyst);
+            let Some(acct) = accounts.get_mut(&charge.analyst) else {
+                return;
+            };
+            if !acct.outstanding.contains(&charge.id) {
+                return;
+            }
+            if let Some(wal) = &self.wal {
+                // Best-effort, like refunds: a lost settle record only
+                // means recovery leaves the charge refundable — spend is
+                // unchanged either way.
+                let _ = wal.append(&WalOp::Settle {
+                    analyst: charge.analyst.clone(),
+                    id: charge.id,
+                });
+            }
             acct.outstanding.remove(&charge.id);
         }
+        self.maybe_compact();
+    }
+
+    // -- WAL replay: apply logged mutations verbatim -------------------
+    //
+    // These mirror the commit halves of the public methods, with no
+    // admission checks and no re-logging: during recovery the log is
+    // the authority. Per-analyst record order equals the original
+    // commit order (the shard lock spans decide+log+commit), so the
+    // float additions replay in the same order and the rebuilt state is
+    // bitwise identical — at any shard count.
+
+    fn apply_charge(&self, analyst: &str, id: u64, epsilon: f64, delta: f64) {
+        let mut accounts = self.shard(analyst);
+        let acct = accounts
+            .entry(analyst.to_string())
+            .or_insert_with(|| Account::new(self.default_policy));
+        match acct.policy.composition {
+            Composition::Sequential => acct.budget.spend_unchecked(epsilon, delta),
+            Composition::Strong { .. } => acct.pinned = Some((epsilon, delta)),
+        }
+        acct.queries += 1;
+        acct.outstanding.insert(id);
+    }
+
+    fn apply_refund(&self, analyst: &str, id: u64, epsilon: f64, delta: f64) {
+        let mut accounts = self.shard(analyst);
+        let Some(acct) = accounts.get_mut(analyst) else {
+            return;
+        };
+        if !acct.outstanding.remove(&id) {
+            return;
+        }
+        match acct.policy.composition {
+            Composition::Sequential => acct.budget.refund(epsilon, delta),
+            Composition::Strong { .. } => {}
+        }
+        acct.queries = acct.queries.saturating_sub(1);
+        if acct.queries == 0 {
+            acct.pinned = None;
+        }
+    }
+
+    fn apply_settle(&self, analyst: &str, id: u64) {
+        let mut accounts = self.shard(analyst);
+        if let Some(acct) = accounts.get_mut(analyst) {
+            acct.outstanding.remove(&id);
+        }
+    }
+
+    fn apply_set_policy(&self, analyst: &str, policy: LedgerPolicy) {
+        self.shard(analyst)
+            .insert(analyst.to_string(), Account::new(policy));
+    }
+
+    /// Reset the whole ledger to a snapshot record's state (compaction
+    /// writes one as the first record of a rewritten log, so replaying
+    /// `[snapshot, tail]` any number of times converges to one state).
+    fn restore_snapshot(&self, snap: &LedgerSnapshot) {
+        for shard in self.shards.iter() {
+            lock(shard).clear();
+        }
+        for a in &snap.accounts {
+            let mut acct = Account::new(a.policy);
+            // 0.0 + x == x bitwise for the non-negative accumulator
+            // values a snapshot can hold, so this restores exact bits.
+            acct.budget.spend_unchecked(a.spent.0, a.spent.1);
+            acct.queries = a.queries;
+            acct.pinned = a.pinned;
+            acct.outstanding = a.outstanding.iter().copied().collect();
+            self.shard(&a.analyst).insert(a.analyst.clone(), acct);
+        }
+    }
+
+    // -- Snapshots & compaction ----------------------------------------
+
+    /// A deterministic snapshot of the complete ledger state: accounts
+    /// sorted by analyst, outstanding ids sorted. Two ledgers hold
+    /// bitwise-identical state exactly when their snapshots encode to
+    /// equal bytes (`WalOp::Snapshot(snap).encode()`).
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        let guards: Vec<_> = self.shards.iter().map(lock).collect();
+        Self::snapshot_of(&guards, self.next_charge_id.load(Ordering::Relaxed))
+    }
+
+    fn snapshot_of(
+        guards: &[MutexGuard<'_, HashMap<String, Account>>],
+        next_charge_id: u64,
+    ) -> LedgerSnapshot {
+        let mut accounts: Vec<AccountSnapshot> = guards
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|(name, acct)| {
+                let mut outstanding: Vec<u64> = acct.outstanding.iter().copied().collect();
+                outstanding.sort_unstable();
+                AccountSnapshot {
+                    analyst: name.clone(),
+                    policy: acct.policy,
+                    spent: acct.budget.spent(),
+                    queries: acct.queries,
+                    pinned: acct.pinned,
+                    outstanding,
+                }
+            })
+            .collect();
+        accounts.sort_by(|a, b| a.analyst.cmp(&b.analyst));
+        LedgerSnapshot {
+            next_charge_id,
+            accounts,
+        }
+    }
+
+    /// Compact the log into a single snapshot record once enough
+    /// records have accumulated. Called after every mutation *with the
+    /// shard lock already released*; takes all shard locks in index
+    /// order (the only multi-shard lock site, so no cycle) and the WAL
+    /// writer lock inside `rewrite` — consistent with the per-mutation
+    /// shard-then-writer order, so no deadlock. A rewrite failure is
+    /// counted in the WAL and the old log simply keeps growing.
+    fn maybe_compact(&self) {
+        let Some(wal) = &self.wal else {
+            return;
+        };
+        if !wal.wants_snapshot() {
+            return;
+        }
+        let guards: Vec<_> = self.shards.iter().map(lock).collect();
+        // Re-check: another thread may have compacted while we waited
+        // for the shard locks.
+        if !wal.wants_snapshot() {
+            return;
+        }
+        let snap = Self::snapshot_of(&guards, self.next_charge_id.load(Ordering::Relaxed));
+        let _ = wal.rewrite(&snap);
     }
 
     /// The analyst's composed `(ε, δ)` spend so far (0 for unknown
@@ -738,6 +1023,186 @@ mod tests {
             }
         }
         run();
+    }
+
+    fn wal_on(storage: crate::fault::FaultStorage, threshold: u64) -> Arc<Wal> {
+        Arc::new(Wal::new(
+            Box::new(storage),
+            crate::wal::FsyncPolicy::Always,
+            threshold,
+        ))
+    }
+
+    #[test]
+    fn durable_ledger_replays_to_bitwise_identical_state() {
+        let storage = crate::fault::FaultStorage::new();
+        let (ledger, report) = BudgetLedger::with_wal(
+            LedgerPolicy::sequential(1.0, 1e-4),
+            4,
+            wal_on(storage.clone(), 0),
+        )
+        .unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        let c1 = ledger.try_charge("alice", 0.1, 1e-9).unwrap();
+        let c2 = ledger.try_charge("alice", 0.2, 1e-9).unwrap();
+        ledger.try_charge("bob", 0.3, 1e-9).unwrap();
+        ledger.settle(&c1);
+        ledger.refund(&c2);
+        ledger
+            .set_policy("carol", LedgerPolicy::strong(2.0, 1e-3, 1e-6))
+            .unwrap();
+        ledger.try_charge("carol", 0.05, 1e-9).unwrap();
+        let before = WalOp::Snapshot(ledger.snapshot()).encode();
+
+        for shards in [1usize, 4, 16] {
+            let (replayed, report) = BudgetLedger::with_wal(
+                LedgerPolicy::sequential(1.0, 1e-4),
+                shards,
+                wal_on(storage.clone(), 0),
+            )
+            .unwrap();
+            assert!(report.replayed_records >= 7, "report: {report:?}");
+            assert_eq!(
+                WalOp::Snapshot(replayed.snapshot()).encode(),
+                before,
+                "replay at {shards} shards must be bitwise identical"
+            );
+            // And the replayed ledger keeps enforcing: same next id,
+            // same admission decision.
+            assert!((replayed.spent("alice").0 - 0.1).abs() < 1e-12);
+            assert!(replayed.try_charge("alice", 1.0, 1e-9).is_err());
+        }
+    }
+
+    #[test]
+    fn wal_append_error_rejects_charge_with_state_untouched() {
+        let storage = crate::fault::FaultStorage::new();
+        let (ledger, _) = BudgetLedger::with_wal(
+            LedgerPolicy::sequential(1.0, 1e-4),
+            4,
+            wal_on(storage.clone(), 0),
+        )
+        .unwrap();
+        ledger.try_charge("a", 0.25, 1e-9).unwrap();
+        let spent_before = ledger.spent("a");
+        storage.fail_appends_after(storage.appends());
+        let err = ledger.try_charge("a", 0.25, 1e-9).unwrap_err();
+        assert!(matches!(err, ServiceError::WalUnavailable(_)), "{err}");
+        // Fail closed: nothing charged, nothing admitted.
+        assert_eq!(ledger.spent("a").0.to_bits(), spent_before.0.to_bits());
+        assert_eq!(ledger.queries("a"), 1);
+        assert!(ledger.wal().unwrap().errors() >= 1);
+        // The log stays poisoned (a failed append may have torn the
+        // tail), so later charges keep failing closed too.
+        storage.clear_faults();
+        assert!(matches!(
+            ledger.try_charge("a", 0.25, 1e-9),
+            Err(ServiceError::WalUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn wal_sync_error_also_fails_closed() {
+        let storage = crate::fault::FaultStorage::new();
+        let (ledger, _) = BudgetLedger::with_wal(
+            LedgerPolicy::sequential(1.0, 1e-4),
+            4,
+            wal_on(storage.clone(), 0),
+        )
+        .unwrap();
+        storage.fail_syncs_after(0);
+        assert!(matches!(
+            ledger.try_charge("a", 0.25, 1e-9),
+            Err(ServiceError::WalUnavailable(_))
+        ));
+        assert_eq!(ledger.spent("a"), (0.0, 0.0));
+        assert_eq!(ledger.queries("a"), 0);
+    }
+
+    #[test]
+    fn refund_survives_wal_error_in_memory() {
+        // A refund whose log write fails must still apply in memory:
+        // recovery then overestimates spend (safe direction), but the
+        // live ledger keeps serving correct numbers.
+        let storage = crate::fault::FaultStorage::new();
+        let (ledger, _) = BudgetLedger::with_wal(
+            LedgerPolicy::sequential(1.0, 1e-4),
+            4,
+            wal_on(storage.clone(), 0),
+        )
+        .unwrap();
+        let c = ledger.try_charge("a", 0.25, 1e-9).unwrap();
+        storage.fail_appends_after(storage.appends());
+        ledger.refund(&c);
+        assert_eq!(ledger.spent("a"), (0.0, 0.0));
+        // Replay of the durable log sees only the charge: spend is
+        // overestimated, never underestimated.
+        storage.clear_faults();
+        let (replayed, _) = BudgetLedger::with_wal(
+            LedgerPolicy::sequential(1.0, 1e-4),
+            4,
+            wal_on(
+                crate::fault::FaultStorage::with_bytes(&storage.durable_bytes()),
+                0,
+            ),
+        )
+        .unwrap();
+        assert!((replayed.spent("a").0 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compaction_rewrites_log_and_replay_is_idempotent() {
+        let storage = crate::fault::FaultStorage::new();
+        let (ledger, _) = BudgetLedger::with_wal(
+            LedgerPolicy::sequential(100.0, 1e-2),
+            4,
+            wal_on(storage.clone(), 8),
+        )
+        .unwrap();
+        let mut charges = Vec::new();
+        for i in 0..20 {
+            let c = ledger
+                .try_charge(&format!("analyst-{}", i % 3), 0.5, 1e-9)
+                .unwrap();
+            if i % 2 == 0 {
+                ledger.settle(&c);
+            } else {
+                charges.push(c);
+            }
+        }
+        let reference = WalOp::Snapshot(ledger.snapshot()).encode();
+        // The log was compacted at least once: far fewer live records
+        // than the 30 mutations issued.
+        let (ops, torn) = ledger.wal().unwrap().read_ops().unwrap();
+        assert_eq!(torn, 0);
+        assert!(
+            matches!(ops.first(), Some(WalOp::Snapshot(_))),
+            "compacted log must start with a snapshot record"
+        );
+        assert!(ops.len() < 30, "compaction must shrink the log");
+
+        // Replaying the compacted log once — or its bytes twice over —
+        // converges to the same state (the snapshot record resets).
+        let bytes = storage.durable_bytes();
+        for copies in [1usize, 2] {
+            let doubled = crate::fault::FaultStorage::new();
+            for _ in 0..copies {
+                crate::wal::Storage::append(&doubled, &bytes).unwrap();
+            }
+            crate::wal::Storage::sync(&doubled).unwrap();
+            let (replayed, report) = BudgetLedger::with_wal(
+                LedgerPolicy::sequential(100.0, 1e-2),
+                4,
+                wal_on(doubled, 0),
+            )
+            .unwrap();
+            assert!(report.snapshot_restored);
+            assert_eq!(
+                WalOp::Snapshot(replayed.snapshot()).encode(),
+                reference,
+                "replay of {copies} copies must converge to one state"
+            );
+        }
     }
 
     #[test]

@@ -50,18 +50,24 @@
 pub mod cache;
 pub mod error;
 pub mod export;
+pub mod fault;
 pub mod ledger;
 mod prf;
 mod queue;
 pub mod service;
 mod sync;
 pub mod telemetry;
+pub mod wal;
 
 pub use cache::{Admission, AnswerCache, CacheKey, CachedAnswer};
 pub use error::{ServiceError, ServiceResult};
 pub use export::{AnalystBudget, MetricsReport};
+pub use fault::FaultStorage;
 pub use ledger::{BudgetLedger, Charge, LedgerPolicy};
 pub use service::{QueryService, ServiceConfig, ServiceResponse, Ticket};
 pub use telemetry::{
     LatencyHistogram, LatencySnapshot, QueryTrace, SlowQuery, Telemetry, TelemetrySnapshot,
+};
+pub use wal::{
+    AccountSnapshot, FileStorage, FsyncPolicy, LedgerSnapshot, RecoveryReport, Storage, Wal, WalOp,
 };

@@ -19,6 +19,17 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
+/// Why a [`WorkQueue::push`] bounced; the job comes back either way.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum PushError<T> {
+    /// The queue set is closed (service shutting down).
+    Closed(T),
+    /// Every per-worker queue is at its depth cap: the service is
+    /// overloaded and the job should be shed, not buffered without
+    /// bound.
+    Full(T),
+}
+
 /// A multi-producer, work-stealing multi-consumer FIFO queue set.
 ///
 /// `pop` is keyed by a worker index in `0..queues()`; each worker
@@ -35,6 +46,11 @@ pub(crate) struct WorkQueue<T> {
     next: AtomicUsize,
     /// Cleared by [`WorkQueue::close`]; workers drain and exit.
     open: AtomicBool,
+    /// Per-queue depth cap; 0 disables the bound. A push scans every
+    /// queue from its round-robin cursor and sheds only when *all* are
+    /// at the cap, so a single slow worker never triggers shedding
+    /// while its siblings have room (they would steal the job anyway).
+    depth_cap: usize,
     /// Jobs taken from a sibling's queue rather than the worker's own.
     steals: AtomicU64,
     /// High-water mark of any single queue's depth.
@@ -42,8 +58,15 @@ pub(crate) struct WorkQueue<T> {
 }
 
 impl<T> WorkQueue<T> {
-    /// A queue set with one queue per worker (clamped to ≥ 1).
+    /// A queue set with one unbounded queue per worker (clamped to ≥ 1).
+    #[cfg(test)]
     pub(crate) fn new(workers: usize) -> Self {
+        Self::with_depth_cap(workers, 0)
+    }
+
+    /// A queue set with one queue per worker (clamped to ≥ 1), each
+    /// bounded to `depth_cap` jobs (0 = unbounded).
+    pub(crate) fn with_depth_cap(workers: usize, depth_cap: usize) -> Self {
         WorkQueue {
             queues: (0..workers.max(1))
                 .map(|_| Mutex::new(VecDeque::new()))
@@ -52,6 +75,7 @@ impl<T> WorkQueue<T> {
             available: Condvar::new(),
             next: AtomicUsize::new(0),
             open: AtomicBool::new(true),
+            depth_cap,
             steals: AtomicU64::new(0),
             max_depth: AtomicU64::new(0),
         }
@@ -63,25 +87,36 @@ impl<T> WorkQueue<T> {
         self.queues.len()
     }
 
-    /// Enqueue a job on the next queue round-robin and wake one idle
-    /// worker. Returns the job back if the queue set is closed.
-    pub(crate) fn push(&self, job: T) -> Result<(), T> {
+    /// Enqueue a job on the next queue with room, round-robin from the
+    /// placement cursor, and wake one idle worker. Returns the job back
+    /// if the queue set is closed, or (with a depth cap) if every queue
+    /// is full — the caller sheds the load instead of buffering it.
+    pub(crate) fn push(&self, job: T) -> Result<(), PushError<T>> {
         if !self.open.load(Ordering::Acquire) {
-            return Err(job);
+            return Err(PushError::Closed(job));
         }
-        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-        let depth = {
-            let mut q = lock(&self.queues[i]);
-            q.push_back(job);
-            q.len() as u64
-        };
-        self.max_depth.fetch_max(depth, Ordering::Relaxed);
-        // Gate-locked notify: any worker between its empty re-scan
-        // (under the gate) and `wait` holds the gate, so this lock
-        // acquisition orders the notify after its wait begins.
-        drop(lock(&self.gate));
-        self.available.notify_one();
-        Ok(())
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        let n = self.queues.len();
+        let mut job = Some(job);
+        for k in 0..n {
+            let i = (start + k) % n;
+            let depth = {
+                let mut q = lock(&self.queues[i]);
+                if self.depth_cap != 0 && q.len() >= self.depth_cap {
+                    continue;
+                }
+                q.push_back(job.take().expect("job not yet placed"));
+                q.len() as u64
+            };
+            self.max_depth.fetch_max(depth, Ordering::Relaxed);
+            // Gate-locked notify: any worker between its empty re-scan
+            // (under the gate) and `wait` holds the gate, so this lock
+            // acquisition orders the notify after its wait begins.
+            drop(lock(&self.gate));
+            self.available.notify_one();
+            return Ok(());
+        }
+        Err(PushError::Full(job.take().expect("job not yet placed")))
     }
 
     /// Dequeue a job for `worker`: own queue first, then steal from
@@ -193,7 +228,11 @@ mod tests {
         q.push(1).unwrap();
         q.push(2).unwrap();
         q.close();
-        assert_eq!(q.push(3), Err(3), "pushes bounce after close");
+        assert_eq!(
+            q.push(3),
+            Err(PushError::Closed(3)),
+            "pushes bounce after close"
+        );
         // Already-admitted jobs are still drained, by any worker.
         let mut drained = vec![q.pop(1).unwrap(), q.pop(1).unwrap()];
         drained.sort_unstable();
@@ -212,6 +251,31 @@ mod tests {
         for w in workers {
             assert_eq!(w.join().unwrap(), None);
         }
+    }
+
+    #[test]
+    fn depth_cap_sheds_only_when_every_queue_is_full() {
+        let q: WorkQueue<u32> = WorkQueue::with_depth_cap(2, 2);
+        // Capacity is workers × cap = 4; the round-robin cursor spreads
+        // placement, and an overflowing push probes *all* queues before
+        // giving up.
+        for v in 0..4 {
+            q.push(v).unwrap();
+        }
+        assert_eq!(q.push(99), Err(PushError::Full(99)));
+        // Draining one slot makes room again, whichever queue it was.
+        assert!(q.pop(0).is_some());
+        q.push(99).unwrap();
+        assert_eq!(q.push(100), Err(PushError::Full(100)));
+    }
+
+    #[test]
+    fn zero_depth_cap_means_unbounded() {
+        let q: WorkQueue<u32> = WorkQueue::with_depth_cap(1, 0);
+        for v in 0..10_000 {
+            q.push(v).unwrap();
+        }
+        assert_eq!(q.max_depth(), 10_000);
     }
 
     /// Hammer the queue from many producers and consumers: every pushed

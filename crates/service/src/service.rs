@@ -20,17 +20,20 @@ use crate::error::{ServiceError, ServiceResult};
 use crate::export::MetricsReport;
 use crate::ledger::{BudgetLedger, Charge, LedgerPolicy, DEFAULT_LEDGER_SHARDS};
 use crate::prf;
-use crate::queue::WorkQueue;
+use crate::queue::{PushError, WorkQueue};
+use crate::sync;
 use crate::telemetry::{QueryTrace, SlowQuery, Telemetry, TelemetrySnapshot};
-use flex_core::{run_query_with, Composition, FlexOptions, FlexTimings, PrivacyParams};
+use crate::wal::{FileStorage, FsyncPolicy, RecoveryReport, Storage, Wal};
+use flex_core::{run_query_deadline, Composition, FlexOptions, FlexTimings, PrivacyParams};
 use flex_db::{Database, Value};
 use flex_sql::{canonicalize, parse_query, print_query, Query};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a [`QueryService`].
 #[derive(Debug, Clone)]
@@ -83,6 +86,35 @@ pub struct ServiceConfig {
     /// files an analyst could read — anyone who knows it can strip the
     /// noise from every release.
     pub seed: Option<u64>,
+    /// Path of the budget write-ahead log. `None` (the default) keeps
+    /// the ledger in memory only; `Some(path)` makes every admission
+    /// durable — a charge is logged (and synced per
+    /// [`ServiceConfig::wal_fsync`]) *before* the query runs, and a
+    /// restart over the same path replays the log into bitwise-identical
+    /// ledger state. A WAL write failure rejects the query fail-closed
+    /// rather than admitting it uncharged. Durability knobs never feed
+    /// noise seeds: released bytes are identical with or without a WAL.
+    pub wal_path: Option<PathBuf>,
+    /// When the WAL syncs to durable storage: [`FsyncPolicy::Always`]
+    /// (the default — every acknowledged charge survives a crash),
+    /// `EveryN(n)` for group durability, or `Never` to leave syncing to
+    /// the OS. Ignored without [`ServiceConfig::wal_path`].
+    pub wal_fsync: FsyncPolicy,
+    /// Compact the WAL into a snapshot record once this many records
+    /// accumulate since the last snapshot (0 disables compaction).
+    /// Ignored without [`ServiceConfig::wal_path`].
+    pub wal_snapshot_threshold: u64,
+    /// Depth cap per worker queue; admission refuses new work once every
+    /// queue is full (the charge is refunded and the caller gets the
+    /// retryable [`ServiceError::Overloaded`]). 0 means unbounded.
+    pub queue_depth: usize,
+    /// Per-query deadline, measured from submission. A job past its
+    /// deadline is abandoned at the next pipeline-stage boundary (never
+    /// after its answer is released), its charge refunded, and the
+    /// caller gets [`ServiceError::Timeout`]. `None` (default) disables
+    /// deadlines. The check never touches the noise RNG — a query that
+    /// completes in time releases identical bytes at every setting.
+    pub query_timeout: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -101,6 +133,11 @@ impl Default for ServiceConfig {
             ledger_shards: DEFAULT_LEDGER_SHARDS,
             flex: FlexOptions::new(),
             seed: None,
+            wal_path: None,
+            wal_fsync: FsyncPolicy::Always,
+            wal_snapshot_threshold: 4096,
+            queue_depth: 1024,
+            query_timeout: None,
         }
     }
 }
@@ -180,6 +217,9 @@ struct Job {
     /// When the job entered the queue; the worker turns it into the
     /// queue-wait span.
     enqueued_at: Instant,
+    /// Absolute deadline (submission time + `query_timeout`); checked at
+    /// dequeue and between pipeline stages, never after release.
+    deadline: Option<Instant>,
 }
 
 /// A parked requester: who asked, and where to send the release.
@@ -208,6 +248,11 @@ struct Shared {
     /// re-applying the old stream (which an analyst could difference
     /// away).
     db_fingerprint: u64,
+    /// What WAL recovery replayed when this service's ledger was built
+    /// (all-zero without a WAL or over a fresh log).
+    recovery: RecoveryReport,
+    /// Per-query deadline from [`ServiceConfig::query_timeout`].
+    query_timeout: Option<Duration>,
 }
 
 /// A concurrent multi-analyst DP query service over one database.
@@ -300,7 +345,53 @@ impl QueryService {
     /// database fingerprint (schema, content, options, fold grid) that
     /// keys deterministic noise, and applies `config.parallelism` to the
     /// database's execution tuning.
+    ///
+    /// Panics if the WAL at [`ServiceConfig::wal_path`] cannot be opened
+    /// or recovered; use [`QueryService::try_new`] to handle that case.
     pub fn new(db: Arc<Database>, config: ServiceConfig) -> Self {
+        Self::try_new(db, config).expect("service construction failed")
+    }
+
+    /// Fallible construction: like [`QueryService::new`] but surfacing a
+    /// WAL that cannot be opened or replayed as
+    /// [`ServiceError::WalUnavailable`] instead of panicking.
+    pub fn try_new(db: Arc<Database>, config: ServiceConfig) -> ServiceResult<Self> {
+        let wal = match &config.wal_path {
+            Some(path) => {
+                let storage = FileStorage::open(path)
+                    .map_err(|e| ServiceError::WalUnavailable(e.to_string()))?;
+                Some(Arc::new(Wal::new(
+                    Box::new(storage),
+                    config.wal_fsync,
+                    config.wal_snapshot_threshold,
+                )))
+            }
+            None => None,
+        };
+        Self::build(db, config, wal)
+    }
+
+    /// Construct over an injectable [`Storage`] backend (e.g. a
+    /// [`crate::fault::FaultStorage`] in crash tests): the ledger writes
+    /// through a WAL on `storage` exactly as it would through a file.
+    pub fn with_storage(
+        db: Arc<Database>,
+        config: ServiceConfig,
+        storage: Box<dyn Storage>,
+    ) -> ServiceResult<Self> {
+        let wal = Arc::new(Wal::new(
+            storage,
+            config.wal_fsync,
+            config.wal_snapshot_threshold,
+        ));
+        Self::build(db, config, Some(wal))
+    }
+
+    fn build(
+        db: Arc<Database>,
+        config: ServiceConfig,
+        wal: Option<Arc<Wal>>,
+    ) -> ServiceResult<Self> {
         let noise_key = match config.seed {
             Some(seed) => prf::expand_key(seed),
             None => [prf::entropy64(), prf::entropy64()],
@@ -327,20 +418,31 @@ impl QueryService {
         db.set_parallelism(config.parallelism);
         let telemetry = Telemetry::default();
         telemetry.record_parallelism(db.parallelism() as u64);
+        let (ledger, recovery) = match wal {
+            // Recovery first: replay whatever the log holds into the
+            // ledger, then attach the WAL for write-through admission.
+            Some(wal) => BudgetLedger::with_wal(config.policy, config.ledger_shards, wal)?,
+            None => (
+                BudgetLedger::with_shards(config.policy, config.ledger_shards),
+                RecoveryReport::default(),
+            ),
+        };
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             db,
-            ledger: BudgetLedger::with_shards(config.policy, config.ledger_shards),
+            ledger,
             cache: AnswerCache::with_config(
                 config.cache_capacity,
                 config.cache_max_bytes,
                 config.cache_shards,
             ),
-            queue: WorkQueue::new(workers),
+            queue: WorkQueue::with_depth_cap(workers, config.queue_depth),
             telemetry,
             flex: config.flex.clone(),
             noise_key,
             db_fingerprint,
+            recovery,
+            query_timeout: config.query_timeout,
         });
         let workers = (0..workers)
             .map(|i| {
@@ -351,7 +453,7 @@ impl QueryService {
                     .expect("spawn service worker")
             })
             .collect();
-        QueryService { shared, workers }
+        Ok(QueryService { shared, workers })
     }
 
     /// Submit a query for `analyst`, returning a [`Ticket`] immediately.
@@ -465,10 +567,19 @@ impl QueryService {
             canonicalize: canonicalize_span,
             admission: admission_started.elapsed(),
             enqueued_at: Instant::now(),
+            // The deadline clock starts at submission, not at dequeue:
+            // time spent waiting in a saturated queue counts against it.
+            deadline: shared.query_timeout.map(|t| started + t),
         };
         shared.telemetry.record_enqueued();
-        if let Err(job) = shared.queue.push(job) {
-            abort_job(shared, job);
+        match shared.queue.push(job) {
+            Ok(()) => {}
+            // Every worker queue is at its depth cap: shed the load
+            // instead of letting the backlog grow without bound. The
+            // charge is refunded (nothing will be released) and the
+            // caller gets a retryable error.
+            Err(PushError::Full(job)) => shed_job(shared, job),
+            Err(PushError::Closed(job)) => abort_job(shared, job),
         }
         ticket
     }
@@ -488,23 +599,34 @@ impl QueryService {
         &self.shared.ledger
     }
 
+    /// What WAL recovery replayed when this service started: records
+    /// replayed, whether a snapshot was restored, and torn bytes
+    /// discarded from the tail. All zero without a WAL or over a fresh
+    /// log.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.shared.recovery
+    }
+
     /// Point-in-time telemetry.
     ///
     /// Never contends with admission: the cache and queue figures below
     /// are read from per-shard atomics, and the parallelism gauge from
     /// an atomic on the database — no hot-path lock is taken.
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        // Re-read the execution-parallelism gauge from the shared
-        // database at snapshot time: the knob is an atomic on the
-        // `Arc<Database>` and can be retuned at runtime by anyone
-        // holding the handle, so a value recorded once at construction
-        // would go stale.
+        self.reconcile_gauges();
+        self.shared.telemetry.snapshot()
+    }
+
+    /// Reconcile every gauge that lives on another component into
+    /// telemetry, lock-free: the parallelism knob (an atomic on the
+    /// shared `Database`, retunable at runtime), the cache and
+    /// work-queue per-shard atomics, the WAL's own counters, and the
+    /// process-wide poisoned-lock recovery count. Recording any of these
+    /// once at construction would go stale.
+    fn reconcile_gauges(&self) {
         self.shared
             .telemetry
             .record_parallelism(self.shared.db.parallelism() as u64);
-        // Same discipline for the cache and work-queue gauges: they live
-        // as per-shard atomics on the cache/queue themselves and are
-        // reconciled into the snapshot here, lock-free.
         self.shared.telemetry.record_cache_stats(
             self.shared.cache.bytes() as u64,
             self.shared.cache.evictions(),
@@ -512,7 +634,19 @@ impl QueryService {
         self.shared
             .telemetry
             .record_queue_stats(self.shared.queue.steals(), self.shared.queue.max_depth());
-        self.shared.telemetry.snapshot()
+        let (appends, fsyncs, errors) = match self.shared.ledger.wal() {
+            Some(wal) => (wal.appends(), wal.fsyncs(), wal.errors()),
+            None => (0, 0, 0),
+        };
+        self.shared.telemetry.record_wal_stats(
+            appends,
+            fsyncs,
+            errors,
+            self.shared.recovery.replayed_records,
+        );
+        self.shared
+            .telemetry
+            .record_poison_recoveries(sync::poison_recoveries());
     }
 
     /// A full metrics report — the telemetry snapshot plus per-analyst
@@ -536,16 +670,7 @@ impl QueryService {
     /// Drain the queue and stop all workers, returning final telemetry.
     pub fn shutdown(mut self) -> TelemetrySnapshot {
         self.stop_workers();
-        self.shared
-            .telemetry
-            .record_parallelism(self.shared.db.parallelism() as u64);
-        self.shared.telemetry.record_cache_stats(
-            self.shared.cache.bytes() as u64,
-            self.shared.cache.evictions(),
-        );
-        self.shared
-            .telemetry
-            .record_queue_stats(self.shared.queue.steals(), self.shared.queue.max_depth());
+        self.reconcile_gauges();
         self.shared.telemetry.snapshot()
     }
 
@@ -586,8 +711,44 @@ fn abort_job(shared: &Shared, job: Job) {
     let _ = job.respond.send(Err(ServiceError::Shutdown));
 }
 
+/// An admitted job shed at the queue (every worker queue at its depth
+/// cap): refund the charge — nothing will be released — and tell the
+/// caller (and any piggybacked waiters) to retry later.
+fn shed_job(shared: &Shared, job: Job) {
+    shared.telemetry.record_dequeued();
+    shared.telemetry.record_shed();
+    shared.ledger.refund(&job.charge);
+    for (_, waiter) in shared.cache.fail(&job.key) {
+        let _ = waiter.send(Err(ServiceError::Overloaded));
+    }
+    let _ = job.respond.send(Err(ServiceError::Overloaded));
+}
+
+/// A job found past its deadline (at dequeue or between pipeline
+/// stages): refund — the refund always precedes the release, never
+/// follows a settle — and report the timeout distinctly from failures.
+fn timeout_job(shared: &Shared, job: &Job) {
+    shared.telemetry.record_timeout();
+    shared.ledger.refund(&job.charge);
+    let timeout = shared.query_timeout.unwrap_or_default();
+    let err = ServiceError::Timeout { timeout };
+    for (_, waiter) in shared.cache.fail(&job.key) {
+        let _ = waiter.send(Err(err.clone()));
+    }
+    let _ = job.respond.send(Err(err));
+}
+
 fn run_job(shared: &Shared, job: Job) {
     let queue_span = job.enqueued_at.elapsed();
+    // Deadline check at dequeue: a job that waited out its whole budget
+    // in a saturated queue is abandoned before any computation. The
+    // refund is safe — nothing has been released.
+    if let Some(deadline) = job.deadline {
+        if Instant::now() > deadline {
+            timeout_job(shared, &job);
+            return;
+        }
+    }
     // Noise is a deterministic function of (secret service key, canonical
     // query, ε, δ, dataset fingerprint): re-computing the same release
     // after a cache eviction or restart reproduces the same answer
@@ -610,7 +771,18 @@ fn run_job(shared: &Shared, job: Job) {
     // job's budget) down with it: catch, refund, report.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let mut rng = StdRng::seed_from_u64(noise_seed);
-        run_query_with(&shared.db, &job.query, job.params, &mut rng, &shared.flex)
+        // The deadline is re-checked between pipeline stages (after
+        // analysis and after execution, never after perturbation — the
+        // abort must always leave the charge refundable). The check
+        // never touches `rng`, so noise bits are unchanged by it.
+        run_query_deadline(
+            &shared.db,
+            &job.query,
+            job.params,
+            &mut rng,
+            &shared.flex,
+            job.deadline,
+        )
     }));
 
     match outcome {
@@ -679,6 +851,11 @@ fn run_job(shared: &Shared, job: Job) {
                 trace: Some(trace),
             }));
         }
+        // A mid-pipeline deadline expiry is a timeout, not a failure:
+        // refund and report it under its own counter.
+        Ok(Err(flex_core::FlexError::DeadlineExceeded { .. })) => {
+            timeout_job(shared, &job);
+        }
         Ok(Err(e)) => {
             // Nothing was released: hand the budget back. Waiters get the
             // same (deterministic) failure without being charged.
@@ -693,6 +870,7 @@ fn run_job(shared: &Shared, job: Job) {
         Err(_panic) => {
             shared.ledger.refund(&job.charge);
             shared.telemetry.record_failed();
+            shared.telemetry.record_worker_panic();
             let err = ServiceError::Flex(flex_core::FlexError::Db(
                 "query worker panicked while computing the release".to_string(),
             ));
@@ -1358,5 +1536,204 @@ mod tests {
         let t = tiny.telemetry();
         assert_eq!(t.cache_evictions, 1, "snapshot: {t}");
         assert_eq!(t.cache_bytes, 0);
+    }
+
+    /// A zero `query_timeout` makes every admitted query's deadline
+    /// expire by dequeue time: the job is abandoned before computing,
+    /// the charge refunded, and the caller told it timed out.
+    #[test]
+    fn zero_timeout_abandons_at_dequeue_with_refund() {
+        let svc = service(ServiceConfig {
+            query_timeout: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        });
+        let err = svc
+            .query("a", "SELECT COUNT(*) FROM trips", params(1.0))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Timeout { .. }), "got {err:?}");
+        assert_eq!(svc.ledger().spent("a"), (0.0, 0.0), "charge refunded");
+        let t = svc.telemetry();
+        assert_eq!(t.timeouts, 1, "snapshot: {t}");
+        assert_eq!(t.completed, 0, "nothing ran");
+        assert_eq!(t.failed, 0, "a timeout is not a failure");
+    }
+
+    /// A generous deadline changes nothing: same explicit seed with and
+    /// without a timeout releases bit-identical rows (the deadline check
+    /// never touches the noise RNG).
+    #[test]
+    fn generous_timeout_leaves_released_bytes_unchanged() {
+        let p = params(1.0);
+        let sql = "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id";
+        let run = |timeout| {
+            let svc = service(ServiceConfig {
+                seed: Some(0x7137),
+                query_timeout: timeout,
+                ..ServiceConfig::default()
+            });
+            svc.query("x", sql, p).unwrap().rows
+        };
+        assert_eq!(run(None), run(Some(Duration::from_secs(3600))));
+    }
+
+    /// Overload shedding end to end: one worker, a depth cap of one, and
+    /// a burst of expensive distinct queries. Shed requests get the
+    /// retryable `Overloaded` error and a full refund — final spend is
+    /// exactly the sum of successfully released charges.
+    #[test]
+    fn saturated_queues_shed_with_refund() {
+        let svc = service(ServiceConfig {
+            workers: 1,
+            queue_depth: 1,
+            policy: LedgerPolicy::sequential(1e9, 1.0),
+            ..ServiceConfig::default()
+        });
+        // Expensive to compute (nine-leaf join tree → row interpreter),
+        // cheap to submit; distinct filters prevent coalescing.
+        let join_sql = |i: usize| {
+            format!(
+                "SELECT COUNT(*) FROM trips t1 JOIN trips t2 ON t1.id = t2.id \
+                 JOIN trips t3 ON t2.id = t3.id JOIN trips t4 ON t3.id = t4.id \
+                 JOIN trips t5 ON t4.id = t5.id JOIN trips t6 ON t5.id = t6.id \
+                 JOIN trips t7 ON t6.id = t7.id JOIN trips t8 ON t7.id = t8.id \
+                 JOIN trips t9 ON t8.id = t9.id WHERE t1.id < {}",
+                1000 + i
+            )
+        };
+        let p = params(1.0);
+        let tickets: Vec<Ticket> = (0..24).map(|i| svc.submit("a", &join_sql(i), p)).collect();
+        let mut released = 0u32;
+        let mut shed = 0u64;
+        for t in tickets {
+            match t.wait() {
+                Ok(r) => {
+                    assert_eq!(r.charged, (1.0, 1e-8));
+                    released += 1;
+                }
+                Err(ServiceError::Overloaded) => shed += 1,
+                Err(e) => panic!("unexpected error: {e:?}"),
+            }
+        }
+        assert!(shed >= 1, "a 24-deep burst into capacity 2 must shed");
+        let spent = svc.ledger().spent("a");
+        assert!(
+            (spent.0 - f64::from(released)).abs() < 1e-9,
+            "spend {spent:?} must equal released count {released} (shed fully refunded)"
+        );
+        let t = svc.telemetry();
+        assert_eq!(t.shed, shed, "snapshot: {t}");
+        assert_eq!(t.completed, u64::from(released));
+        assert_eq!(svc.ledger().queries("a"), released);
+    }
+
+    /// A zero depth cap means unbounded queues: the same burst never
+    /// sheds.
+    #[test]
+    fn unbounded_queue_never_sheds() {
+        let svc = service(ServiceConfig {
+            workers: 1,
+            queue_depth: 0,
+            policy: LedgerPolicy::sequential(1e9, 1.0),
+            ..ServiceConfig::default()
+        });
+        let p = params(0.5);
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| {
+                svc.submit(
+                    "a",
+                    &format!("SELECT COUNT(*) FROM trips WHERE id < {i}"),
+                    p,
+                )
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(svc.telemetry().shed, 0);
+    }
+
+    /// The WAL plumbing end to end: admissions write through the log,
+    /// the WAL counters reach telemetry, and a restart over the same
+    /// bytes recovers the spend ledger exactly.
+    #[test]
+    fn wal_backed_service_logs_and_recovers() {
+        use crate::fault::FaultStorage;
+        let storage = FaultStorage::new();
+        let cfg = || ServiceConfig {
+            seed: Some(0xD07),
+            wal_fsync: FsyncPolicy::Always,
+            ..ServiceConfig::default()
+        };
+        let svc = QueryService::with_storage(test_db(), cfg(), Box::new(storage.clone())).unwrap();
+        assert_eq!(svc.recovery_report().replayed_records, 0, "fresh log");
+        let p = params(0.5);
+        svc.query("alice", "SELECT COUNT(*) FROM trips", p).unwrap();
+        svc.query("alice", "SELECT COUNT(*) FROM trips WHERE city_id = 1", p)
+            .unwrap();
+        // A failed query logs a charge and refunds it.
+        let _ = svc.query("alice", "SELECT id FROM trips", p).unwrap_err();
+        let spent = svc.ledger().spent("alice");
+        let t = svc.telemetry();
+        assert!(
+            t.wal_appends >= 4,
+            "2 charges+settles, 1 charge+refund: {t}"
+        );
+        assert!(t.wal_fsyncs >= 1, "snapshot: {t}");
+        assert_eq!(t.wal_errors, 0);
+        drop(svc);
+
+        // "Restart" over the same durable bytes.
+        let svc2 = QueryService::with_storage(test_db(), cfg(), Box::new(storage.clone())).unwrap();
+        let report = svc2.recovery_report();
+        assert!(report.replayed_records >= 6, "report: {report:?}");
+        assert_eq!(svc2.ledger().spent("alice"), spent, "spend recovered");
+        assert_eq!(svc2.ledger().queries("alice"), 2);
+        assert_eq!(
+            svc2.telemetry().wal_recovery_replayed,
+            report.replayed_records
+        );
+    }
+
+    /// Fail-closed at the service layer: when the WAL cannot append, an
+    /// admission is rejected — never admitted uncharged — and the ledger
+    /// is left untouched.
+    #[test]
+    fn wal_write_error_rejects_queries_fail_closed() {
+        use crate::fault::FaultStorage;
+        let storage = FaultStorage::new();
+        storage.fail_appends_after(0);
+        let svc =
+            QueryService::with_storage(test_db(), ServiceConfig::default(), Box::new(storage))
+                .unwrap();
+        let err = svc
+            .query("a", "SELECT COUNT(*) FROM trips", params(1.0))
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::WalUnavailable(_)),
+            "got {err:?}"
+        );
+        assert_eq!(svc.ledger().spent("a"), (0.0, 0.0), "nothing admitted");
+        let t = svc.telemetry();
+        assert!(t.wal_errors >= 1, "snapshot: {t}");
+        assert_eq!(t.completed, 0);
+    }
+
+    /// Durability knobs are invisible in released bytes: the same
+    /// explicit seed with and without a WAL releases identical rows.
+    #[test]
+    fn wal_does_not_change_released_bytes() {
+        use crate::fault::FaultStorage;
+        let p = params(1.0);
+        let sql = "SELECT city_id, COUNT(*) FROM trips GROUP BY city_id";
+        let cfg = || ServiceConfig {
+            seed: Some(0xBEEF),
+            ..ServiceConfig::default()
+        };
+        let plain = service(cfg()).query("x", sql, p).unwrap();
+        let walled = QueryService::with_storage(test_db(), cfg(), Box::new(FaultStorage::new()))
+            .unwrap()
+            .query("x", sql, p)
+            .unwrap();
+        assert_eq!(plain.rows, walled.rows);
     }
 }

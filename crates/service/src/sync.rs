@@ -10,13 +10,35 @@
 //! the poison instead would turn one panicking worker into a permanent
 //! denial of service: every subsequent request would cascade-panic on
 //! the same lock.
+//!
+//! Recoveries are not silent: each one bumps a process-wide counter the
+//! service surfaces in telemetry ([`poison_recoveries`]), so an
+//! operator can tell "a worker panicked once, we kept serving" apart
+//! from a panic loop.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Process-wide count of poisoned-lock recoveries. Static (not
+/// per-service) because `lock` has no service handle; the telemetry
+/// snapshot reads it as a gauge.
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
 
 /// Lock `m`, recovering the guard from a poisoned mutex instead of
 /// panicking (see the module docs for why recovery is sound here).
+/// Every recovery is counted in [`poison_recoveries`].
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+    m.lock()
+        .unwrap_or_else(|e: PoisonError<MutexGuard<'_, T>>| {
+            POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+            e.into_inner()
+        })
+}
+
+/// How many times [`lock`] recovered a poisoned mutex since process
+/// start (process-wide, across all service instances).
+pub(crate) fn poison_recoveries() -> u64 {
+    POISON_RECOVERIES.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -24,7 +46,8 @@ mod tests {
     use super::*;
     use std::sync::Mutex;
 
-    /// A panic while holding the lock must not wedge later lockers.
+    /// A panic while holding the lock must not wedge later lockers —
+    /// and each recovery must be counted.
     #[test]
     fn poisoned_mutex_recovers() {
         let m = Mutex::new(7u32);
@@ -34,8 +57,15 @@ mod tests {
         }));
         assert!(caught.is_err());
         assert!(m.is_poisoned());
+        let before = poison_recoveries();
         assert_eq!(*lock(&m), 7, "state survives recovery");
         *lock(&m) += 1;
         assert_eq!(*lock(&m), 8);
+        // Three recovering locks above; other tests may recover
+        // concurrently, so assert a floor, not equality.
+        assert!(
+            poison_recoveries() >= before + 3,
+            "recoveries must be counted"
+        );
     }
 }

@@ -218,6 +218,14 @@ pub struct Telemetry {
     coalesced: AtomicU64,
     rejected_budget: AtomicU64,
     failed: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    worker_panics: AtomicU64,
+    lock_poison_recoveries: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_errors: AtomicU64,
+    wal_recovery_replayed: AtomicU64,
     vectorized_hits: AtomicU64,
     /// Row-interpreter fallbacks, one counter per [`FallbackReason`]
     /// variant (indexed by `FallbackReason::index`).
@@ -269,6 +277,45 @@ impl Telemetry {
     /// Count one pipeline failure (parse/analysis/execution error).
     pub fn record_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one load-shed submission (every worker queue at its depth
+    /// cap; the charge was refunded and the caller told to retry).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one query abandoned at its deadline (charge refunded, no
+    /// answer released).
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one worker-thread panic caught by the job harness (the
+    /// waiter got an error; the worker kept serving).
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reconcile the process-wide poisoned-lock recovery count into
+    /// telemetry (a gauge, re-read at snapshot time like
+    /// [`Telemetry::record_cache_stats`]).
+    pub fn record_poison_recoveries(&self, recoveries: u64) {
+        self.lock_poison_recoveries
+            .store(recoveries, Ordering::Relaxed);
+    }
+
+    /// Reconcile the write-ahead log's own counters — appends, fsyncs,
+    /// append/sync errors — plus the number of records replayed during
+    /// the last recovery, into telemetry. The live values are atomics on
+    /// the [`crate::wal::Wal`]; the service re-records them at snapshot
+    /// time so reading metrics never takes the WAL writer lock.
+    pub fn record_wal_stats(&self, appends: u64, fsyncs: u64, errors: u64, replayed: u64) {
+        self.wal_appends.store(appends, Ordering::Relaxed);
+        self.wal_fsyncs.store(fsyncs, Ordering::Relaxed);
+        self.wal_errors.store(errors, Ordering::Relaxed);
+        self.wal_recovery_replayed
+            .store(replayed, Ordering::Relaxed);
     }
 
     /// Record the vectorized engine's per-query worker budget (gauge,
@@ -375,6 +422,14 @@ impl Telemetry {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             rejected_budget: self.rejected_budget.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            lock_poison_recoveries: self.lock_poison_recoveries.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_errors: self.wal_errors.load(Ordering::Relaxed),
+            wal_recovery_replayed: self.wal_recovery_replayed.load(Ordering::Relaxed),
             vectorized_hits: self.vectorized_hits.load(Ordering::Relaxed),
             row_fallbacks,
             fallback_reasons,
@@ -419,6 +474,32 @@ pub struct TelemetrySnapshot {
     pub rejected_budget: u64,
     /// Admitted requests whose pipeline failed (charge refunded).
     pub failed: u64,
+    /// Admitted requests shed because every worker queue was at its
+    /// depth cap (charge refunded; the caller should retry later).
+    pub shed: u64,
+    /// Admitted requests abandoned at their deadline before release
+    /// (charge refunded, no noised answer produced).
+    pub timeouts: u64,
+    /// Worker-thread panics caught by the job harness. The worker kept
+    /// serving; the waiting client got an error and a refund.
+    pub worker_panics: u64,
+    /// Poisoned-mutex recoveries since process start (process-wide, a
+    /// gauge reconciled at snapshot time). Nonzero means some thread
+    /// panicked while holding a service lock and the service recovered.
+    pub lock_poison_recoveries: u64,
+    /// Records appended to the budget write-ahead log (0 when the
+    /// service runs without a WAL). A gauge reconciled from the WAL's
+    /// own counters at snapshot time.
+    pub wal_appends: u64,
+    /// fsync/sync-to-durable operations the WAL performed (cadence
+    /// depends on [`crate::wal::FsyncPolicy`]).
+    pub wal_fsyncs: u64,
+    /// WAL append/sync failures. Any nonzero value means charges were
+    /// rejected fail-closed and the log is poisoned until compaction.
+    pub wal_errors: u64,
+    /// Records replayed from the WAL when this service recovered its
+    /// ledger at startup (0 for a fresh log or no WAL).
+    pub wal_recovery_replayed: u64,
     /// Completed queries whose execution ran on the vectorized columnar
     /// engine (single-table blocks and two-table equi-joins), as
     /// reported by the pipeline itself. Together with `row_fallbacks`
@@ -523,6 +604,23 @@ impl std::fmt::Display for TelemetrySnapshot {
         writeln!(f, "  coalesced        {:>8}", self.coalesced)?;
         writeln!(f, "  budget rejects   {:>8}", self.rejected_budget)?;
         writeln!(f, "  failed           {:>8}", self.failed)?;
+        writeln!(f, "  shed (overload)  {:>8}", self.shed)?;
+        writeln!(f, "  timeouts         {:>8}", self.timeouts)?;
+        writeln!(
+            f,
+            "  worker panics    {:>8}  ({} lock recoveries)",
+            self.worker_panics, self.lock_poison_recoveries
+        )?;
+        writeln!(
+            f,
+            "  wal appends      {:>8}  ({} fsyncs, {} errors)",
+            self.wal_appends, self.wal_fsyncs, self.wal_errors
+        )?;
+        writeln!(
+            f,
+            "  wal replayed     {:>8}  (records recovered at startup)",
+            self.wal_recovery_replayed
+        )?;
         writeln!(
             f,
             "  vectorized       {:>8}  ({:.1}% of computed)",
@@ -857,6 +955,43 @@ mod tests {
         assert!(text.contains("(5 evictions)"), "snapshot: {text}");
         assert!(text.contains("queue steals"), "snapshot: {text}");
         assert!(text.contains("max shard depth 3"), "snapshot: {text}");
+    }
+
+    /// The robustness/durability counters: shed, timeout and panic are
+    /// monotonic counters; the WAL and poison-recovery numbers are
+    /// gauges (stores) reconciled at snapshot time.
+    #[test]
+    fn robustness_and_wal_counters() {
+        let t = Telemetry::default();
+        t.record_shed();
+        t.record_shed();
+        t.record_timeout();
+        t.record_worker_panic();
+        t.record_poison_recoveries(3);
+        t.record_wal_stats(10, 4, 1, 7);
+        // Gauges overwrite; counters accumulate.
+        t.record_poison_recoveries(5);
+        t.record_wal_stats(12, 6, 1, 7);
+        let s = t.snapshot();
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.lock_poison_recoveries, 5);
+        assert_eq!(
+            (
+                s.wal_appends,
+                s.wal_fsyncs,
+                s.wal_errors,
+                s.wal_recovery_replayed
+            ),
+            (12, 6, 1, 7)
+        );
+        let text = s.to_string();
+        assert!(text.contains("shed (overload)"), "snapshot: {text}");
+        assert!(text.contains("timeouts"), "snapshot: {text}");
+        assert!(text.contains("(5 lock recoveries)"), "snapshot: {text}");
+        assert!(text.contains("(6 fsyncs, 1 errors)"), "snapshot: {text}");
+        assert!(text.contains("wal replayed"), "snapshot: {text}");
     }
 
     #[test]

@@ -54,8 +54,8 @@ pub mod prelude {
         Value,
     };
     pub use flex_service::{
-        BudgetLedger, LedgerPolicy, MetricsReport, QueryService, QueryTrace, ServiceConfig,
-        ServiceError, ServiceResponse, TelemetrySnapshot,
+        BudgetLedger, FsyncPolicy, LedgerPolicy, MetricsReport, QueryService, QueryTrace,
+        RecoveryReport, ServiceConfig, ServiceError, ServiceResponse, TelemetrySnapshot,
     };
     pub use flex_sql::{canonical_sql, canonicalize, parse_query, print_query, Query};
     pub use flex_workloads::{GraphConfig, TpchConfig, UberConfig};
